@@ -1,0 +1,32 @@
+//! Coherence-engine message throughput: update vs invalidation protocol.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use teco_cxl::{Agent, CoherenceEngine, ProtocolMode};
+use teco_mem::{Addr, LineData, LINE_BYTES};
+
+fn bench_protocols(c: &mut Criterion) {
+    let line = LineData::zeroed();
+    let n = 4096u64;
+    let mut g = c.benchmark_group("coherence");
+    g.throughput(Throughput::Elements(n));
+    for (name, mode) in [
+        ("update_write_read", ProtocolMode::Update),
+        ("invalidation_write_read", ProtocolMode::Invalidation),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut eng = CoherenceEngine::new(mode);
+                for i in 0..n {
+                    let a = Addr(i * 64);
+                    eng.write(Agent::Cpu, black_box(a), line.bytes(), false);
+                    eng.read(Agent::Device, a, LINE_BYTES);
+                }
+                eng.to_device.data_bytes
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

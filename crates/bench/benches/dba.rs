@@ -1,0 +1,62 @@
+//! Criterion microbenchmarks for the DBA Aggregator/Disaggregator — the
+//! software model of the logic §VIII-D synthesizes at ~1 ns/line.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use teco_cxl::{Aggregator, DbaRegister, Disaggregator};
+use teco_mem::{LineData, LINE_BYTES};
+
+fn lines(n: usize) -> Vec<LineData> {
+    (0..n)
+        .map(|i| {
+            let mut l = LineData::zeroed();
+            for w in 0..16 {
+                l.set_word(w, (i as u32).wrapping_mul(2654435761).wrapping_add(w as u32));
+            }
+            l
+        })
+        .collect()
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let data = lines(1024);
+    let mut g = c.benchmark_group("aggregator");
+    g.throughput(Throughput::Bytes((data.len() * LINE_BYTES) as u64));
+    for dirty in [1u8, 2, 4] {
+        g.bench_function(format!("dirty_bytes_{dirty}"), |b| {
+            let mut agg = Aggregator::new();
+            agg.set_register(DbaRegister::new(true, dirty));
+            b.iter(|| {
+                let mut total = 0usize;
+                for l in &data {
+                    total += agg.aggregate(black_box(l)).len();
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_disaggregate(c: &mut Criterion) {
+    let data = lines(1024);
+    let reg = DbaRegister::new(true, 2);
+    let mut agg = Aggregator::new();
+    agg.set_register(reg);
+    let payloads: Vec<Vec<u8>> = data.iter().map(|l| agg.aggregate(l)).collect();
+    let mut g = c.benchmark_group("disaggregator");
+    g.throughput(Throughput::Bytes((data.len() * LINE_BYTES) as u64));
+    g.bench_function("merge_dirty2", |b| {
+        let mut dis = Disaggregator::new();
+        dis.set_register(reg);
+        let mut resident = lines(1024);
+        b.iter(|| {
+            for (r, p) in resident.iter_mut().zip(&payloads) {
+                dis.merge(black_box(p), r);
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_aggregate, bench_disaggregate);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! DRAM model replay throughput and the §VIII-D RMW experiment timings.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use teco_mem::dram::{read_modify_write_trace, write_only_trace, Dram, DramConfig};
+use teco_mem::Addr;
+
+fn bench_dram(c: &mut Criterion) {
+    let n = 16_384u64;
+    let addrs: Vec<Addr> = (0..n).map(|i| Addr(i * 64)).collect();
+    let cfg = DramConfig::gddr5();
+    let mut g = c.benchmark_group("dram");
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("write_only_replay", |b| {
+        b.iter(|| Dram::replay(cfg, write_only_trace(&addrs)))
+    });
+    g.bench_function("rmw_replay", |b| {
+        b.iter(|| Dram::replay(cfg, read_modify_write_trace(&addrs)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dram);
+criterion_main!(benches);

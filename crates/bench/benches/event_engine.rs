@@ -1,0 +1,45 @@
+//! Discrete-event engine throughput (events/second).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use teco_sim::{Engine, Model, Scheduler, SimTime};
+
+struct Ping {
+    left: u64,
+}
+impl Model for Ping {
+    type Event = ();
+    fn handle(&mut self, _: SimTime, _: (), sched: &mut Scheduler<()>) {
+        if self.left > 0 {
+            self.left -= 1;
+            sched.schedule_in(SimTime::from_ns(1), ());
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let n = 100_000u64;
+    let mut g = c.benchmark_group("event_engine");
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("chained_events", |b| {
+        b.iter(|| {
+            let mut eng = Engine::new(Ping { left: n });
+            eng.prime(SimTime::ZERO, ());
+            eng.run();
+            eng.events_processed()
+        })
+    });
+    g.bench_function("heap_heavy_fanout", |b| {
+        b.iter(|| {
+            let mut eng = Engine::new(Ping { left: 0 });
+            for i in 0..n {
+                eng.prime(SimTime::from_ns(i % 1000), ());
+            }
+            eng.run();
+            eng.events_processed()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

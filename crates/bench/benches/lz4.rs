@@ -1,0 +1,32 @@
+//! LZ4 codec throughput on parameter-like byte streams (Table VIII).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use teco_compress::{compress, decompress};
+use teco_sim::SimRng;
+
+fn param_bytes(zero_frac: f64, n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n * 4);
+    for _ in 0..n {
+        let v = if rng.bernoulli(zero_frac) { 0f32 } else { rng.normal(0.0, 0.02) as f32 };
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn bench_lz4(c: &mut Criterion) {
+    let dense = param_bytes(0.0, 256 * 1024, 1);
+    let sparse = param_bytes(0.42, 256 * 1024, 2);
+    let mut g = c.benchmark_group("lz4");
+    g.throughput(Throughput::Bytes(dense.len() as u64));
+    g.bench_function("compress_dense_params", |b| b.iter(|| compress(black_box(&dense))));
+    g.bench_function("compress_sparse_params", |b| b.iter(|| compress(black_box(&sparse))));
+    let comp = compress(&sparse);
+    g.bench_function("decompress_sparse_params", |b| {
+        b.iter(|| decompress(black_box(&comp)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lz4);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Dense matmul kernel throughput (the DL substrate's hot loop).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use teco_dl::ops::matmul;
+use teco_dl::Tensor;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    for n in [32usize, 128, 256] {
+        let a = Tensor::from_vec(&[n, n], (0..n * n).map(|i| (i as f32).sin()).collect());
+        let b = Tensor::from_vec(&[n, n], (0..n * n).map(|i| (i as f32).cos()).collect());
+        g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        g.bench_function(format!("{n}x{n}"), |bch| {
+            bch.iter(|| matmul(black_box(&a), black_box(&b)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_matmul);
+criterion_main!(benches);

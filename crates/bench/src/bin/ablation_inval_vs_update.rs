@@ -1,0 +1,18 @@
+//! §IV-A2 ablation: cost of stock invalidation-based MESI vs. TECO's
+//! update protocol (paper: +56.6% average, up to +99.7%).
+
+use teco_bench::{dump_json, header, pct, row};
+use teco_offload::{experiments, Calibration};
+
+fn main() {
+    let cal = Calibration::paper();
+    let rows = experiments::ablation_inval_vs_update(&cal);
+    header("Ablation", "Invalidation protocol vs update protocol (step-time increase)");
+    row(&["model".into(), "penalty".into()]);
+    for r in &rows {
+        row(&[r.model.clone(), pct(r.penalty_pct)]);
+    }
+    let avg = rows.iter().map(|r| r.penalty_pct).sum::<f64>() / rows.len() as f64;
+    println!("\naverage: +{avg:.1}% (paper: +56.6% average, up to +99.7%)");
+    dump_json("ablation_inval_vs_update", &rows);
+}

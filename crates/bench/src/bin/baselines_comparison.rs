@@ -1,0 +1,45 @@
+//! Extended baseline comparison: the §I/§II software alternatives —
+//! layer-wise prefetching (SwapAdvisor/Sentinel class) and ZeRO-Offload's
+//! own DPU — against TECO, across batch sizes.
+
+use teco_bench::{dump_json, f, header, row};
+use teco_dl::ModelSpec;
+use teco_offload::{
+    dpu_hiding_fraction, simulate_prefetch_step, simulate_step, simulate_zero_offload_dpu,
+    Calibration, System,
+};
+
+fn main() {
+    let cal = Calibration::paper();
+    let bert = ModelSpec::bert_large();
+    header("Baselines", "Step time (ms), Bert-large — software vs hardware hiding");
+    row(&[
+        "batch".into(), "ZeRO".into(), "+DPU".into(), "prefetch".into(),
+        "TECO-CXL".into(), "TECO-Red".into(),
+    ]);
+    let mut out = Vec::new();
+    for batch in [4u32, 8, 16, 20] {
+        let zero = simulate_step(&cal, &bert, batch, System::ZeroOffload);
+        let dpu = simulate_zero_offload_dpu(&cal, &bert, batch);
+        let pre = simulate_prefetch_step(&cal, &bert, batch);
+        let cxl = simulate_step(&cal, &bert, batch, System::TecoCxl);
+        let red = simulate_step(&cal, &bert, batch, System::TecoReduction);
+        row(&[
+            batch.to_string(),
+            f(zero.total.as_millis_f64()),
+            f(dpu.total.as_millis_f64()),
+            f(pre.total.as_millis_f64()),
+            f(cxl.total.as_millis_f64()),
+            f(red.total.as_millis_f64()),
+        ]);
+        out.push((batch, zero.total.as_millis_f64(), dpu.total.as_millis_f64(),
+                  pre.total.as_millis_f64(), red.total.as_millis_f64()));
+    }
+    println!("\nDPU hides {:.0}% of the parameter transfer at batch 4 but {:.0}% at batch 20",
+        100.0 * dpu_hiding_fraction(&cal, &bert, 4),
+        100.0 * dpu_hiding_fraction(&cal, &bert, 20));
+    println!("(§II-A: 'requires significantly large batch sizes'); prefetching is bounded");
+    println!("by per-layer transfer:compute ratios; TECO needs neither large batches nor");
+    println!("convergence-affecting staleness.");
+    dump_json("baselines_comparison", &out);
+}

@@ -1,0 +1,14 @@
+//! Render the timing-experiment suite into a single markdown report at
+//! `bench_results/REPORT.md` — the mechanical counterpart of
+//! EXPERIMENTS.md.
+
+use teco_offload::{timing_report, Calibration};
+
+fn main() {
+    let report = timing_report(&Calibration::paper());
+    std::fs::create_dir_all("bench_results").expect("create bench_results/");
+    let path = "bench_results/REPORT.md";
+    std::fs::write(path, &report).expect("write report");
+    println!("{report}");
+    println!("\nwritten to {path}");
+}

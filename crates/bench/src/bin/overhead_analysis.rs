@@ -1,0 +1,41 @@
+//! §VIII-D: Aggregator/Disaggregator hardware overhead and the
+//! Disaggregator's extra DRAM read. The ns-scale logic latency amortizes
+//! behind the ~4 ns/line link; the read-modify-write traffic inflates DRAM
+//! cycles (paper: 2.48× sequential, 1.9× shuffled) yet stays invisible
+//! because GDDR bandwidth dwarfs PCIe.
+
+use teco_bench::{dump_json, f, header, row};
+use teco_cxl::CxlConfig;
+use teco_mem::dram::{read_modify_write_trace, write_only_trace, Dram, DramConfig};
+use teco_mem::Addr;
+use teco_sim::SimRng;
+
+fn main() {
+    let cfg = CxlConfig::paper();
+    header("§VIII-D", "DBA hardware overhead");
+    let line_time = cfg.cxl_bandwidth().transfer_time(64);
+    println!("CXL line time: {line_time} (paper: ~4 ns/line)");
+    println!("Aggregator latency: {} (synthesized 1.28 ns, modeled 1 ns)", cfg.aggregator_latency);
+    println!("Disaggregator latency: {} (synthesized 1.126 ns)", cfg.disaggregator_latency);
+    println!("→ pipelined behind the link: per-line overhead amortized to ~0.\n");
+
+    let n = 65_536u64;
+    let seq: Vec<Addr> = (0..n).map(|i| Addr(i * 64)).collect();
+    let mut rng = SimRng::seed_from_u64(5);
+    let mut shuf = seq.clone();
+    rng.shuffle(&mut shuf);
+    let gddr = DramConfig::gddr5();
+
+    row(&["access order".into(), "W-only cyc".into(), "R+W cyc".into(), "inflation".into(), "paper".into()]);
+    let mut results = Vec::new();
+    for (label, addrs, paper) in [("sequential", &seq, 2.48), ("shuffled", &shuf, 1.9)] {
+        let w = Dram::replay(gddr, write_only_trace(addrs));
+        let rmw = Dram::replay(gddr, read_modify_write_trace(addrs));
+        let infl = rmw.cycles as f64 / w.cycles as f64;
+        row(&[label.into(), w.cycles.to_string(), rmw.cycles.to_string(), f(infl), f(paper)]);
+        results.push((label, infl));
+    }
+    println!("\nGDDR5 total ~900 GB/s vs PCIe 3.0 16 GB/s: the extra read stream uses");
+    println!("<4% of DRAM bandwidth → no perceivable end-to-end overhead (paper's conclusion).");
+    dump_json("overhead_analysis", &results);
+}

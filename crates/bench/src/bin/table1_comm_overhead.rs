@@ -1,0 +1,21 @@
+//! Table I: percentage of ZeRO-Offload training time spent in exposed
+//! communication, Bert-large, batch sizes {4, 8, 16, 20}.
+
+use teco_bench::{dump_json, f, header, pct, row};
+use teco_offload::{experiments, Calibration};
+
+fn main() {
+    let cal = Calibration::paper();
+    let rows = experiments::table1(&cal);
+    header("Table I", "Communication share of ZeRO-Offload training time (Bert-large)");
+    row(&["batch".into(), "measured".into(), "paper".into(), "abs err".into()]);
+    for r in &rows {
+        row(&[
+            r.batch.to_string(),
+            pct(r.measured_pct),
+            pct(r.paper_pct),
+            f((r.measured_pct - r.paper_pct).abs()),
+        ]);
+    }
+    dump_json("table1_comm_overhead", &rows);
+}

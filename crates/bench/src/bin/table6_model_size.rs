@@ -1,0 +1,21 @@
+//! Table VI: impact of model size (GPT-2 → 11B) on TECO effectiveness.
+
+use teco_bench::{dump_json, f, header, row};
+use teco_offload::{experiments, Calibration};
+
+fn main() {
+    let cal = Calibration::paper();
+    let rows = experiments::table6(&cal);
+    header("Table VI", "Model-size sensitivity (batch 4, speedup over ZeRO-Offload)");
+    row(&["model".into(), "TECO-CXL".into(), "paper".into(), "TECO-Red".into(), "paper".into()]);
+    for r in &rows {
+        row(&[
+            r.model.clone(),
+            f(r.teco_cxl),
+            f(r.paper.0),
+            f(r.teco_reduction),
+            f(r.paper.1),
+        ]);
+    }
+    dump_json("table6_model_size", &rows);
+}

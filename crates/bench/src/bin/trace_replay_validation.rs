@@ -1,0 +1,78 @@
+//! Methodology validation: the paper's gem5 flow collects a cache-hierarchy
+//! *writeback trace* and replays it through the CXL emulator. We do the
+//! same at reduced scale — drive a real vectorized-ADAM access sweep
+//! through the Table II cache hierarchy, replay the resulting per-line
+//! writebacks through the event-driven CXL controller — and compare the
+//! exposed transfer time against the chunk-granular fast path the big
+//! simulations use.
+
+use teco_bench::{dump_json, f, header, row};
+use teco_cxl::controller::{run_controller, LineRequest};
+use teco_cxl::CxlConfig;
+use teco_mem::{Addr, ChunkedSweep, Hierarchy, SweepGen, LINE_BYTES};
+use teco_offload::Calibration;
+use teco_sim::{SerialServer, SimTime};
+
+fn main() {
+    let cal = Calibration::paper();
+    let cfg = CxlConfig::paper();
+    header("Validation", "Per-line trace replay vs chunked fast path");
+    row(&["region MB".into(), "lines".into(), "trace drain ms".into(), "chunk drain ms".into(), "err %".into()]);
+    let mut out = Vec::new();
+    for mb in [8u64, 32, 128, 256] {
+        let bytes = mb << 20;
+        // Per-line path: ADAM sweep through the gem5 hierarchy → writeback
+        // trace → DES controller.
+        let mut h = Hierarchy::gem5();
+        let rate = cal.cpu_mem_bw.scaled(4.0 / cal_adam_bytes(&cal));
+        let sweep = SweepGen {
+            base: Addr(0),
+            bytes,
+            update_rate: rate,
+            start: SimTime::ZERO,
+        };
+        let trace = sweep.writeback_trace(&mut h);
+        let reqs: Vec<LineRequest> = trace
+            .events
+            .iter()
+            .enumerate()
+            .map(|(id, w)| LineRequest { id, ready: w.time, bytes: LINE_BYTES as u64 })
+            .collect();
+        let des = run_controller(&cfg, reqs, SimTime::ZERO);
+
+        // Chunked fast path at the same production rate.
+        let chunked = ChunkedSweep {
+            total_bytes: bytes,
+            chunks: 48,
+            update_rate: rate,
+            start: SimTime::ZERO,
+        };
+        let mut link = SerialServer::new(cfg.cxl_bandwidth());
+        for c in chunked.chunks() {
+            link.submit(c.ready, c.bytes);
+        }
+        let fast = link.next_free();
+        let err = 100.0 * (des.drain.as_secs_f64() - fast.as_secs_f64()).abs() / fast.as_secs_f64();
+        row(&[
+            mb.to_string(),
+            trace.len().to_string(),
+            f(des.drain.as_millis_f64()),
+            f(fast.as_millis_f64()),
+            f(err),
+        ]);
+        out.push((mb, des.drain.as_millis_f64(), fast.as_millis_f64(), err));
+    }
+    println!("\nthe error is the end-of-iteration flush tail: lines still resident in the");
+    println!("16 MB L3 when the sweep ends can only drain afterwards (the paper's");
+    println!("once-per-iteration flush, §IV-A2). For tensor regions >> L3 — every Table III");
+    println!("model — the tail vanishes and the chunk-granular fast path matches the");
+    println!("per-line DES replay, justifying its use at billion-parameter scale");
+    println!("(a 737M-parameter sweep is ~46M lines).");
+    dump_json("trace_replay_validation", &out);
+}
+
+/// ADAM touches `adam_bytes_per_param` per 4-byte parameter; the sweep's
+/// line-store rate is cpu_mem_bw scaled to the parameter-byte share.
+fn cal_adam_bytes(cal: &Calibration) -> f64 {
+    cal.adam_bytes_per_param as f64
+}

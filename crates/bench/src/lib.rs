@@ -1,0 +1,78 @@
+//! # teco-bench — experiment harness
+//!
+//! One binary per paper table/figure (see `src/bin/`) plus Criterion
+//! micro-benchmarks (`benches/`). This library holds the shared output
+//! helpers: aligned-table printing and JSON result dumps into
+//! `bench_results/`.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Print a section header for an experiment.
+pub fn header(id: &str, title: &str) {
+    println!("\n=== {id}: {title} ===");
+}
+
+/// Print one aligned table row.
+pub fn row(cells: &[String]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>14}")).collect();
+    println!("{}", line.join(" "));
+}
+
+/// Format a float cell.
+pub fn f(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a percent cell.
+pub fn pct(x: f64) -> String {
+    format!("{x:.1}%")
+}
+
+/// Write an experiment's rows as JSON under `bench_results/<name>.json`.
+/// Returns the path written (or None if serialization/IO failed, which is
+/// reported but non-fatal: the printed table is the primary output).
+pub fn dump_json<T: Serialize>(name: &str, value: &T) -> Option<PathBuf> {
+    let dir = PathBuf::from("bench_results");
+    if fs::create_dir_all(&dir).is_err() {
+        eprintln!("warning: cannot create bench_results/");
+        return None;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => match fs::write(&path, s) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+                None
+            }
+        },
+        Err(e) => {
+            eprintln!("warning: cannot serialize {name}: {e}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f(1.234), "1.23");
+        assert_eq!(pct(12.345), "12.3%");
+    }
+
+    #[test]
+    fn dump_json_roundtrips() {
+        let rows = vec![("a", 1.5f64), ("b", 2.5)];
+        let path = dump_json("unit_test_rows", &rows).expect("write ok");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back: Vec<(String, f64)> = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].0, "a");
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,16 @@
+//! # teco-compress — compression baselines
+//!
+//! The paper compares DBA against model compression (§VIII-F):
+//!
+//! - [`lz4`]: a from-scratch LZ4 block codec (round-trip correct, with the
+//!   standard end-of-block rules) used to regenerate Table VIII's
+//!   compression ratios on parameter byte streams;
+//! - [`quant`]: symmetric per-group INT8 quantization plus the ZeRO-Quant
+//!   teacher-model cost model (Table VII) and the LZ4 pipeline cost model
+//!   (Table VIII's normalized training times).
+
+pub mod lz4;
+pub mod quant;
+
+pub use lz4::{compress, compression_ratio, decompress, Lz4Error};
+pub use quant::{dequantize, quantize, quantized_bytes, Lz4Throughput, QuantizedBlock, ZeroQuantCost};

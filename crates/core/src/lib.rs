@@ -1,0 +1,29 @@
+//! # teco-core — the public TECO API
+//!
+//! The paper's user-visible surface (§VI): a [`TecoConfig`] carrying the
+//! two DBA hyperparameters (`act_aft_steps`, `dirty_bytes`) plus platform
+//! settings, and a [`TecoSession`] that owns the full hardware stack
+//! (coherence engine, Aggregator, giant cache + Disaggregator, CXL link,
+//! `CXLFENCE`) and exposes:
+//!
+//! - [`TecoSession::check_activation`] — Listing 1's one user-facing call,
+//!   made once per training step after `loss.backward()`;
+//! - tensor mapping into the giant-cache domain
+//!   ([`TecoSession::alloc_tensor`]);
+//! - the functional parameter/gradient line paths
+//!   ([`TecoSession::push_param_line`], [`TecoSession::push_grad_line`])
+//!   used by examples and integration tests — byte-exact aggregation and
+//!   device-side merge included;
+//! - the two per-step fences ([`TecoSession::cxlfence_params`],
+//!   [`TecoSession::cxlfence_grads`]).
+//!
+//! For whole-training-run *timing* simulation use `teco-offload`; for live
+//! convergence-with-DBA training use `teco_offload::convergence`.
+
+pub mod config;
+pub mod session;
+pub mod trainer;
+
+pub use config::TecoConfig;
+pub use session::{SessionStats, TecoSession};
+pub use trainer::{TecoTrainer, TrainStepReport};

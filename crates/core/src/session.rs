@@ -1,0 +1,354 @@
+//! The TECO session: the runtime object behind Listing 1's two-line
+//! integration.
+//!
+//! A session owns the whole hardware stack — coherence engine, CPU-side
+//! Aggregator, device-side giant cache with its Disaggregator, the CXL
+//! link, and `CXLFENCE` — and exposes the paper's user API:
+//! `check_activation(step)` after `loss.backward()`, with tensor mapping
+//! and fences hidden inside. It also provides the *functional* end-to-end
+//! data path (CPU writes a parameter line → update protocol → aggregation
+//! → link → merge into the giant cache) used by the examples and
+//! integration tests.
+
+use crate::config::TecoConfig;
+use teco_cxl::{
+    Agent, Aggregator, CoherenceEngine, CxlFence, CxlLink, DbaRegister, Direction, GiantCache,
+    GiantCacheError, Opcode, ProtocolMode,
+};
+use teco_mem::{Addr, LineData, RegionId, LINE_BYTES};
+use teco_sim::{Interval, SimTime};
+
+/// Statistics a session accumulates.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionStats {
+    /// Parameter lines pushed CPU→device.
+    pub param_lines: u64,
+    /// Gradient lines pushed device→CPU.
+    pub grad_lines: u64,
+    /// Payload bytes CPU→device.
+    pub bytes_to_device: u64,
+    /// Payload bytes device→CPU.
+    pub bytes_to_host: u64,
+    /// Training steps seen by `check_activation`.
+    pub steps: u64,
+}
+
+/// The TECO runtime session.
+#[derive(Debug)]
+pub struct TecoSession {
+    cfg: TecoConfig,
+    /// CPU-side CXL module.
+    aggregator: Aggregator,
+    /// Accelerator memory mapped into the coherence domain (owns the
+    /// Disaggregator).
+    giant_cache: GiantCache,
+    /// The MESI(+update) engine.
+    coherence: CoherenceEngine,
+    /// The physical link.
+    link: CxlLink,
+    /// CXLFENCE bookkeeping.
+    fence: CxlFence,
+    dba_active: bool,
+    stats: SessionStats,
+}
+
+impl TecoSession {
+    /// Create a session; the giant cache is sized by the config's BAR
+    /// setting.
+    pub fn new(cfg: TecoConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        Ok(TecoSession {
+            aggregator: Aggregator::new(),
+            giant_cache: GiantCache::new(cfg.giant_cache_bytes),
+            coherence: CoherenceEngine::new(cfg.protocol),
+            link: CxlLink::new(cfg.cxl),
+            fence: CxlFence::new(),
+            dba_active: false,
+            stats: SessionStats::default(),
+            cfg,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TecoConfig {
+        &self.cfg
+    }
+    /// Is DBA currently active?
+    pub fn dba_active(&self) -> bool {
+        self.dba_active
+    }
+    /// Session statistics.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+    /// The giant cache (read access for assertions/tests).
+    pub fn giant_cache(&self) -> &GiantCache {
+        &self.giant_cache
+    }
+    /// The coherence engine.
+    pub fn coherence(&self) -> &CoherenceEngine {
+        &self.coherence
+    }
+    /// The link.
+    pub fn link(&self) -> &CxlLink {
+        &self.link
+    }
+    /// Fence statistics.
+    pub fn fence_stats(&self) -> teco_cxl::FenceStats {
+        self.fence.stats()
+    }
+
+    /// Map a tensor into the giant-cache coherence domain (hidden from the
+    /// user in §VI — called by the framework at allocation time). Returns
+    /// the region id and device base address.
+    pub fn alloc_tensor(
+        &mut self,
+        name: impl Into<String>,
+        bytes: u64,
+    ) -> Result<(RegionId, Addr), GiantCacheError> {
+        self.giant_cache.alloc_region(name, bytes)
+    }
+
+    /// Listing 1's `check_activation(i)`: called once per training step
+    /// after `loss.backward()`. Activates DBA once `act_aft_steps` have
+    /// elapsed, programming the DBA register in the CPU CXL module and
+    /// propagating it to the accelerator's module via a `DbaConfig`
+    /// message. Returns whether DBA is active.
+    pub fn check_activation(&mut self, step: u64) -> bool {
+        self.stats.steps = self.stats.steps.max(step + 1);
+        let should = step >= self.cfg.act_aft_steps
+            && self.cfg.dirty_bytes < 4
+            && self.cfg.protocol == ProtocolMode::Update;
+        if should && !self.dba_active {
+            let reg = DbaRegister::new(true, self.cfg.dirty_bytes);
+            self.aggregator.set_register(reg);
+            // Host agent forwards the register value to the device module.
+            self.giant_cache.disaggregator.set_register(reg);
+            self.dba_active = true;
+        }
+        self.dba_active
+    }
+
+    /// Push one *parameter* cache line CPU→device through the full TECO
+    /// path: coherence transaction, (possible) aggregation, link transfer,
+    /// and device-side merge into the giant cache. Returns the wire
+    /// interval.
+    ///
+    /// `fresh` is the updated line as the CPU optimizer produced it.
+    pub fn push_param_line(
+        &mut self,
+        addr: Addr,
+        fresh: LineData,
+        now: SimTime,
+    ) -> Result<Interval, GiantCacheError> {
+        if !self.giant_cache.is_mapped(addr) {
+            return Err(GiantCacheError::NotMapped(addr));
+        }
+        let payload = self.aggregator.aggregate(&fresh);
+        let aggregated = payload.len() < LINE_BYTES;
+        let pkts = self
+            .coherence
+            .write(Agent::Cpu, addr, &payload, aggregated);
+        debug_assert!(pkts.iter().any(|p| p.opcode == Opcode::FlushData)
+            || self.cfg.protocol == ProtocolMode::Invalidation);
+        let latency = if aggregated {
+            self.cfg.cxl.aggregator_latency
+        } else {
+            SimTime::ZERO
+        };
+        let iv = self
+            .link
+            .transfer(Direction::ToDevice, now, payload.len() as u64, latency);
+        // Device side: merge (DBA) or overwrite (full line).
+        self.giant_cache.apply_dba_payload(addr, &payload)?;
+        self.stats.param_lines += 1;
+        self.stats.bytes_to_device += payload.len() as u64;
+        Ok(iv)
+    }
+
+    /// Push one *gradient* cache line device→CPU. Gradients never use DBA
+    /// (§V: "The gradients transfers from the accelerator to CPU cannot
+    /// apply DBA").
+    pub fn push_grad_line(&mut self, addr: Addr, line: LineData, now: SimTime) -> Interval {
+        let _ = self
+            .coherence
+            .write(Agent::Device, addr, line.bytes(), false);
+        let iv = self
+            .link
+            .transfer(Direction::ToHost, now, LINE_BYTES as u64, SimTime::ZERO);
+        self.stats.grad_lines += 1;
+        self.stats.bytes_to_host += LINE_BYTES as u64;
+        iv
+    }
+
+    /// `CXLFENCE()` for the CPU→device direction (end of parameter
+    /// updates, called inside `optimizer.step()` per Listing 1).
+    pub fn cxlfence_params(&mut self, now: SimTime) -> SimTime {
+        self.fence.fence(&self.link, Direction::ToDevice, now)
+    }
+
+    /// `CXLFENCE()` for the device→CPU direction (end of the gradient
+    /// flush, called inside `loss.backward()`).
+    pub fn cxlfence_grads(&mut self, now: SimTime) -> SimTime {
+        self.fence.fence(&self.link, Direction::ToHost, now)
+    }
+
+    /// Read a line from the device's giant cache (what the GPU kernels
+    /// see).
+    pub fn device_read_line(&self, addr: Addr) -> Result<LineData, GiantCacheError> {
+        self.giant_cache.read_line(addr)
+    }
+
+    /// The DBA payload bytes one 64-byte line currently costs on the wire.
+    pub fn wire_bytes_per_line(&self) -> usize {
+        self.aggregator.register().payload_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teco_cxl::MesiState;
+
+    fn session() -> TecoSession {
+        TecoSession::new(TecoConfig::default().with_giant_cache_bytes(1 << 20)).unwrap()
+    }
+
+    fn line_with(v: u32) -> LineData {
+        let mut l = LineData::zeroed();
+        for w in 0..16 {
+            l.set_word(w, v.wrapping_add(w as u32));
+        }
+        l
+    }
+
+    #[test]
+    fn activation_follows_schedule() {
+        let mut s = session();
+        assert!(!s.check_activation(0));
+        assert!(!s.check_activation(499));
+        assert!(s.check_activation(500));
+        assert!(s.dba_active());
+        assert_eq!(s.wire_bytes_per_line(), 32);
+        // Device-side register mirrored.
+        assert!(s.giant_cache().disaggregator.register().active());
+    }
+
+    #[test]
+    fn no_activation_under_invalidation_protocol() {
+        let cfg = TecoConfig::default().with_protocol(ProtocolMode::Invalidation);
+        let mut s = TecoSession::new(cfg).unwrap();
+        assert!(!s.check_activation(10_000));
+        assert_eq!(s.wire_bytes_per_line(), 64);
+    }
+
+    #[test]
+    fn param_line_roundtrip_before_dba() {
+        let mut s = session();
+        let (_, base) = s.alloc_tensor("params", 4096).unwrap();
+        let fresh = line_with(0xABCD_0000);
+        s.push_param_line(base, fresh, SimTime::ZERO).unwrap();
+        assert_eq!(s.device_read_line(base).unwrap(), fresh);
+        assert_eq!(s.stats().bytes_to_device, 64);
+        // Coherent state after push: both S.
+        let st = s.coherence().line_state(base);
+        assert_eq!(st.cs, MesiState::S);
+        assert_eq!(st.gs, MesiState::S);
+    }
+
+    #[test]
+    fn param_line_dba_merges_on_device() {
+        let mut s = session();
+        let (_, base) = s.alloc_tensor("params", 4096).unwrap();
+        // Step 0: full-line push establishes the resident copy.
+        let v0 = line_with(0x4111_2222);
+        s.push_param_line(base, v0, SimTime::ZERO).unwrap();
+        // Activate DBA and push an update that only changes low 2 bytes.
+        s.check_activation(500);
+        let mut v1 = v0;
+        for w in 0..16 {
+            v1.set_word(w, (v0.word(w) & 0xFFFF_0000) | 0x0000_7777);
+        }
+        s.push_param_line(base, v1, SimTime::from_us(1)).unwrap();
+        assert_eq!(s.device_read_line(base).unwrap(), v1, "exact reconstruction");
+        // Only 32 payload bytes crossed for the second line.
+        assert_eq!(s.stats().bytes_to_device, 64 + 32);
+    }
+
+    #[test]
+    fn dba_is_lossy_on_high_byte_changes() {
+        let mut s = session();
+        let (_, base) = s.alloc_tensor("params", 4096).unwrap();
+        let v0 = line_with(0x1111_0000);
+        s.push_param_line(base, v0, SimTime::ZERO).unwrap();
+        s.check_activation(999);
+        let v1 = line_with(0x2222_0000); // high bytes changed too
+        s.push_param_line(base, v1, SimTime::from_us(1)).unwrap();
+        let got = s.device_read_line(base).unwrap();
+        for w in 0..16 {
+            let expect = (v0.word(w) & 0xFFFF_0000) | (v1.word(w) & 0x0000_FFFF);
+            assert_eq!(got.word(w), expect, "word {w}");
+        }
+    }
+
+    #[test]
+    fn fence_drains_link() {
+        let mut s = session();
+        let (_, base) = s.alloc_tensor("params", 1 << 16).unwrap();
+        let mut last_end = SimTime::ZERO;
+        for i in 0..100u64 {
+            let iv = s
+                .push_param_line(Addr(base.0 + i * 64), line_with(i as u32), SimTime::ZERO)
+                .unwrap();
+            last_end = last_end.max(iv.end);
+        }
+        let fence_done = s.cxlfence_params(SimTime::ZERO);
+        assert!(fence_done >= last_end);
+        assert_eq!(s.fence_stats().calls, 1);
+    }
+
+    #[test]
+    fn gradient_lines_never_aggregate() {
+        let mut s = session();
+        let (_, gbase) = s.alloc_tensor("grads", 4096).unwrap();
+        s.check_activation(1_000); // DBA on for params
+        s.push_grad_line(gbase, line_with(7), SimTime::ZERO);
+        assert_eq!(s.stats().bytes_to_host, 64, "gradients go as full lines");
+        assert_eq!(s.link().volume(Direction::ToHost), 64);
+    }
+
+    #[test]
+    fn unmapped_param_push_fails() {
+        let mut s = session();
+        let err = s.push_param_line(Addr(0xDEAD_0000), line_with(1), SimTime::ZERO);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn listing1_training_loop_shape() {
+        // The §VI integration: per step, gradients flush + fence, then
+        // params push + fence — exactly two fences per step.
+        let mut s = session();
+        let (_, pbase) = s.alloc_tensor("params", 1 << 12).unwrap();
+        let (_, gbase) = s.alloc_tensor("grads", 1 << 12).unwrap();
+        let mut now = SimTime::ZERO;
+        for step in 0..3u64 {
+            // backward: gradient lines stream out, then CXLFENCE (inside
+            // loss.backward()).
+            for i in 0..8u64 {
+                s.push_grad_line(Addr(gbase.0 + i * 64), line_with(i as u32), now);
+            }
+            now = s.cxlfence_grads(now);
+            s.check_activation(step);
+            // optimizer.step(): param pushes, then CXLFENCE.
+            for i in 0..8u64 {
+                s.push_param_line(Addr(pbase.0 + i * 64), line_with(100 + i as u32), now)
+                    .unwrap();
+            }
+            now = s.cxlfence_params(now);
+        }
+        assert_eq!(s.fence_stats().calls, 6);
+        assert_eq!(s.stats().param_lines, 24);
+        assert_eq!(s.stats().grad_lines, 24);
+    }
+}

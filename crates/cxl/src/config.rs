@@ -1,0 +1,111 @@
+//! CXL interconnect configuration.
+//!
+//! The paper's platform (§VIII-A): "We emulate PCIe 3.0 with 16 lanes with
+//! 16 GB/s bandwidth. All data transfer times over the CXL protocol are
+//! emulated by assuming to consume 94.3% of PCIe bandwidth. The
+//! communications over CXL are controlled by a CXL controller with a pending
+//! queue of 128 entries."
+
+use serde::{Deserialize, Serialize};
+use teco_sim::{Bandwidth, SimTime};
+
+/// PCIe generation of the underlying physical link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PcieGen {
+    /// PCIe 3.0: ~1 GB/s per lane.
+    Gen3,
+    /// PCIe 4.0: ~2 GB/s per lane.
+    Gen4,
+    /// PCIe 5.0: ~4 GB/s per lane.
+    Gen5,
+}
+
+impl PcieGen {
+    /// Usable bandwidth per lane in GB/s (post-encoding).
+    pub fn gb_per_lane(self) -> f64 {
+        match self {
+            PcieGen::Gen3 => 1.0,
+            PcieGen::Gen4 => 2.0,
+            PcieGen::Gen5 => 4.0,
+        }
+    }
+}
+
+/// Full interconnect configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CxlConfig {
+    /// Physical layer generation.
+    pub gen: PcieGen,
+    /// Number of lanes (the paper uses ×16).
+    pub lanes: u32,
+    /// Fraction of raw PCIe bandwidth the CXL protocol delivers
+    /// (0.943 per the paper's emulation, citing the CXL consortium).
+    pub cxl_efficiency: f64,
+    /// CXL controller pending-queue entries (128 in the paper).
+    pub pending_queue_entries: usize,
+    /// Aggregator pipeline latency per 64-byte line. The paper synthesizes
+    /// 1.28 ns and models 1 ns end-to-end.
+    pub aggregator_latency: SimTime,
+    /// Disaggregator pipeline latency per line (1.126 ns synthesized,
+    /// 1 ns modeled).
+    pub disaggregator_latency: SimTime,
+}
+
+impl Default for CxlConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl CxlConfig {
+    /// The exact configuration of the paper's evaluation platform.
+    pub fn paper() -> Self {
+        CxlConfig {
+            gen: PcieGen::Gen3,
+            lanes: 16,
+            cxl_efficiency: 0.943,
+            pending_queue_entries: 128,
+            aggregator_latency: SimTime::from_ns(1),
+            disaggregator_latency: SimTime::from_ns(1),
+        }
+    }
+
+    /// Raw PCIe bandwidth of the physical link.
+    pub fn pcie_bandwidth(&self) -> Bandwidth {
+        Bandwidth::from_gb_per_sec(self.gen.gb_per_lane() * self.lanes as f64)
+    }
+
+    /// Effective CXL payload bandwidth (PCIe × efficiency).
+    pub fn cxl_bandwidth(&self) -> Bandwidth {
+        self.pcie_bandwidth().scaled(self.cxl_efficiency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_bandwidths() {
+        let c = CxlConfig::paper();
+        assert!((c.pcie_bandwidth().gb_per_sec() - 16.0).abs() < 1e-9);
+        assert!((c.cxl_bandwidth().gb_per_sec() - 15.088).abs() < 1e-9);
+        assert_eq!(c.pending_queue_entries, 128);
+    }
+
+    #[test]
+    fn per_line_transfer_time_matches_paper() {
+        // §VIII-D: "each cache line takes around 4 ns" on the CXL link.
+        let c = CxlConfig::paper();
+        let t = c.cxl_bandwidth().transfer_time(64);
+        assert!(t >= SimTime::from_ns(4) && t < SimTime::from_ns(5), "line time {t}");
+    }
+
+    #[test]
+    fn gen5_is_4x_gen3() {
+        let g3 = CxlConfig { gen: PcieGen::Gen3, ..CxlConfig::paper() };
+        let g5 = CxlConfig { gen: PcieGen::Gen5, ..CxlConfig::paper() };
+        let r = g5.pcie_bandwidth().gb_per_sec() / g3.pcie_bandwidth().gb_per_sec();
+        assert!((r - 4.0).abs() < 1e-9);
+    }
+}

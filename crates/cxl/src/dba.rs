@@ -1,0 +1,409 @@
+//! Dirty-Byte Aggregation (DBA): the Aggregator and Disaggregator of §V.
+//!
+//! For each FP32 word in a 64-byte cache line, the Aggregator in the
+//! CPU-side CXL module extracts the least-significant `N = dirty_bytes`
+//! bytes and concatenates them into a compact payload (`N = 2` → a 32-byte
+//! payload per line). The Disaggregator in the accelerator-side CXL module
+//! reconstructs the updated line by merging the payload with the stale
+//! resident copy, implemented exactly as §V-C describes: *reset* the low
+//! `N` bytes of each word, *shift* each payload fragment to its word slot,
+//! and *OR* it in.
+//!
+//! The DBA register layout follows §V-B: a 4-bit register whose MSB is the
+//! activation flag and whose low 3 bits encode the dirty-byte length
+//! (0–4). `dirty_bytes = 2` with activation on is `0b1010`.
+
+use serde::{Deserialize, Serialize};
+use teco_mem::line::{LineData, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};
+
+/// The 4-bit DBA configuration register in the CPU CXL module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DbaRegister(u8);
+
+impl DbaRegister {
+    /// An inactive register (Aggregator bypassed).
+    pub const INACTIVE: DbaRegister = DbaRegister(0);
+
+    /// Build a register value. `dirty_bytes` must be 0..=4.
+    pub fn new(active: bool, dirty_bytes: u8) -> Self {
+        assert!(dirty_bytes <= 4, "dirty_bytes out of range: {dirty_bytes}");
+        // 3 low bits encode the length; bit 3 is the activation flag.
+        DbaRegister(((active as u8) << 3) | (dirty_bytes & 0b111))
+    }
+
+    /// Decode from the raw 4-bit value (as sent to the accelerator's CXL
+    /// module when activating disaggregation).
+    pub fn from_bits(bits: u8) -> Self {
+        assert!(bits <= 0b1111, "DBA register is 4 bits");
+        let r = DbaRegister(bits);
+        assert!(r.dirty_bytes() <= 4, "invalid dirty-byte length");
+        r
+    }
+
+    /// Raw 4-bit value. The paper's canonical example: active with 2 dirty
+    /// bytes is `1010₂`.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+    /// Is the Aggregator active?
+    pub fn active(self) -> bool {
+        self.0 & 0b1000 != 0
+    }
+    /// Dirty-byte length (0..=4).
+    pub fn dirty_bytes(self) -> u8 {
+        self.0 & 0b111
+    }
+
+    /// Aggregated payload size for one 64-byte line under this register.
+    /// With the register inactive (or `dirty_bytes == 4`, i.e. all bytes
+    /// dirty) the full line is sent.
+    pub fn payload_bytes(self) -> usize {
+        if !self.active() || self.dirty_bytes() == 4 {
+            LINE_BYTES
+        } else {
+            WORDS_PER_LINE * self.dirty_bytes() as usize
+        }
+    }
+
+    /// Compression ratio of the aggregated payload vs. a full line
+    /// (1.0 = no reduction; 0.5 for `dirty_bytes = 2`).
+    pub fn compression(self) -> f64 {
+        self.payload_bytes() as f64 / LINE_BYTES as f64
+    }
+}
+
+/// The CPU-side Aggregator (§V-B). Stateless combinational logic plus the
+/// DBA register; the struct also counts lines and bytes for the
+/// communication-volume experiments (§VIII-C).
+#[derive(Debug, Clone, Default)]
+pub struct Aggregator {
+    reg: DbaRegister,
+    lines_aggregated: u64,
+    lines_bypassed: u64,
+    payload_bytes_out: u64,
+}
+
+impl Default for DbaRegister {
+    fn default() -> Self {
+        DbaRegister::INACTIVE
+    }
+}
+
+impl Aggregator {
+    /// New aggregator with the register inactive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Program the DBA register (done by the DL framework "through a CXL
+    /// configuration interface").
+    pub fn set_register(&mut self, reg: DbaRegister) {
+        self.reg = reg;
+    }
+    /// Current register value.
+    pub fn register(&self) -> DbaRegister {
+        self.reg
+    }
+
+    /// Process one outbound 64-byte line. Returns the on-wire payload: the
+    /// aggregated dirty bytes when active, or the full line when bypassed.
+    pub fn aggregate(&mut self, line: &LineData) -> Vec<u8> {
+        let n = self.reg.dirty_bytes() as usize;
+        if !self.reg.active() || n == 4 {
+            self.lines_bypassed += 1;
+            self.payload_bytes_out += LINE_BYTES as u64;
+            return line.bytes().to_vec();
+        }
+        self.lines_aggregated += 1;
+        let mut payload = Vec::with_capacity(WORDS_PER_LINE * n);
+        for w in 0..WORDS_PER_LINE {
+            // Little-endian words: the least-significant N bytes are the
+            // first N bytes of the word in memory.
+            let base = w * WORD_BYTES;
+            payload.extend_from_slice(&line.bytes()[base..base + n]);
+        }
+        self.payload_bytes_out += payload.len() as u64;
+        payload
+    }
+
+    /// Lines that went through aggregation.
+    pub fn lines_aggregated(&self) -> u64 {
+        self.lines_aggregated
+    }
+    /// Lines that bypassed aggregation.
+    pub fn lines_bypassed(&self) -> u64 {
+        self.lines_bypassed
+    }
+    /// Total payload bytes emitted on the wire.
+    pub fn payload_bytes_out(&self) -> u64 {
+        self.payload_bytes_out
+    }
+}
+
+/// The accelerator-side Disaggregator (§V-C). Holds the mirrored DBA
+/// register value received from the host agent.
+#[derive(Debug, Clone, Default)]
+pub struct Disaggregator {
+    reg: DbaRegister,
+    lines_merged: u64,
+    extra_reads: u64,
+}
+
+impl Disaggregator {
+    /// New disaggregator with the register inactive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Receive the DBA-register value from the CXL host agent.
+    pub fn set_register(&mut self, reg: DbaRegister) {
+        self.reg = reg;
+    }
+    /// Current register value.
+    pub fn register(&self) -> DbaRegister {
+        self.reg
+    }
+
+    /// Merge an inbound payload into the stale resident line, reconstructing
+    /// the updated line. Implements §V-C's reset-shift-OR procedure.
+    ///
+    /// Panics if the payload length does not match the register.
+    pub fn merge(&mut self, payload: &[u8], resident: &mut LineData) {
+        let n = self.reg.dirty_bytes() as usize;
+        if !self.reg.active() || n == 4 {
+            assert_eq!(payload.len(), LINE_BYTES, "expected full line");
+            resident.bytes_mut().copy_from_slice(payload);
+            self.lines_merged += 1;
+            return;
+        }
+        assert_eq!(
+            payload.len(),
+            WORDS_PER_LINE * n,
+            "payload size mismatch for dirty_bytes={n}"
+        );
+        // One extra DRAM read per update: the resident line must be fetched
+        // to merge (§V-C); counted for the §VIII-D overhead study.
+        self.extra_reads += 1;
+        for w in 0..WORDS_PER_LINE {
+            // (1) reset the low N bytes of the word,
+            let mut word = resident.word(w);
+            let keep_mask: u32 = if n == 0 { !0 } else { !0u32 << (8 * n) };
+            word &= keep_mask;
+            // (2) shift the payload fragment into the low bytes,
+            let mut frag: u32 = 0;
+            for b in 0..n {
+                frag |= (payload[w * n + b] as u32) << (8 * b);
+            }
+            // (3) OR it in.
+            resident.set_word(w, word | frag);
+        }
+        self.lines_merged += 1;
+    }
+
+    /// Lines merged so far.
+    pub fn lines_merged(&self) -> u64 {
+        self.lines_merged
+    }
+    /// Extra resident-line reads incurred by merging.
+    pub fn extra_reads(&self) -> u64 {
+        self.extra_reads
+    }
+}
+
+/// Reference model: what the merged line *should* be — each word keeps the
+/// high `4-N` bytes of the stale resident word and takes the low `N` bytes
+/// from the freshly-updated source word. Used by tests to validate the
+/// reset-shift-OR implementation.
+pub fn merged_reference(stale: &LineData, fresh: &LineData, dirty_bytes: u8) -> LineData {
+    let n = dirty_bytes as usize;
+    assert!(n <= 4);
+    let mut out = *stale;
+    for w in 0..WORDS_PER_LINE {
+        if n == 4 {
+            out.set_word(w, fresh.word(w));
+        } else if n > 0 {
+            let low_mask: u32 = (1u32 << (8 * n)) - 1;
+            let merged = (stale.word(w) & !low_mask) | (fresh.word(w) & low_mask);
+            out.set_word(w, merged);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_of_words(f: impl Fn(usize) -> u32) -> LineData {
+        let mut l = LineData::zeroed();
+        for w in 0..WORDS_PER_LINE {
+            l.set_word(w, f(w));
+        }
+        l
+    }
+
+    #[test]
+    fn register_encoding_matches_paper() {
+        // "the DBA register is set to 1010₂" for active + 2 dirty bytes.
+        let r = DbaRegister::new(true, 2);
+        assert_eq!(r.bits(), 0b1010);
+        assert!(r.active());
+        assert_eq!(r.dirty_bytes(), 2);
+        assert_eq!(r.payload_bytes(), 32);
+        assert!((r.compression() - 0.5).abs() < 1e-12);
+
+        let off = DbaRegister::new(false, 2);
+        assert!(!off.active());
+        assert_eq!(off.payload_bytes(), 64);
+
+        assert_eq!(DbaRegister::from_bits(0b1010), r);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn register_rejects_bad_length() {
+        DbaRegister::new(true, 5);
+    }
+
+    #[test]
+    fn aggregate_two_dirty_bytes() {
+        // Words 0xAABBCCDD (LE bytes DD CC BB AA): low 2 bytes are DD CC.
+        let line = line_of_words(|w| 0xAABB_CC00 | w as u32);
+        let mut agg = Aggregator::new();
+        agg.set_register(DbaRegister::new(true, 2));
+        let p = agg.aggregate(&line);
+        assert_eq!(p.len(), 32);
+        for w in 0..WORDS_PER_LINE {
+            assert_eq!(p[w * 2], w as u8); // LSB
+            assert_eq!(p[w * 2 + 1], 0xCC); // second byte
+        }
+        assert_eq!(agg.lines_aggregated(), 1);
+        assert_eq!(agg.payload_bytes_out(), 32);
+    }
+
+    #[test]
+    fn aggregate_bypass_when_inactive() {
+        let line = line_of_words(|w| w as u32 * 17);
+        let mut agg = Aggregator::new();
+        let p = agg.aggregate(&line);
+        assert_eq!(p, line.bytes().to_vec());
+        assert_eq!(agg.lines_bypassed(), 1);
+        assert_eq!(agg.lines_aggregated(), 0);
+    }
+
+    #[test]
+    fn aggregate_one_and_three_dirty_bytes() {
+        let line = line_of_words(|w| 0x1122_3344 + w as u32);
+        for n in [1u8, 3] {
+            let mut agg = Aggregator::new();
+            agg.set_register(DbaRegister::new(true, n));
+            let p = agg.aggregate(&line);
+            assert_eq!(p.len(), 16 * n as usize);
+        }
+    }
+
+    #[test]
+    fn merge_reconstructs_update() {
+        // Stale resident line vs freshly updated CPU line differing only in
+        // low 2 bytes of each word — DBA with N=2 must reconstruct exactly.
+        let stale = line_of_words(|w| 0x4000_1234 + (w as u32) * 0x0001_0000);
+        let fresh = line_of_words(|w| (stale_word(&stale, w) & 0xFFFF_0000) | (0xBEEF ^ w as u32));
+        let mut agg = Aggregator::new();
+        let mut dis = Disaggregator::new();
+        let reg = DbaRegister::new(true, 2);
+        agg.set_register(reg);
+        dis.set_register(reg);
+
+        let payload = agg.aggregate(&fresh);
+        let mut resident = stale;
+        dis.merge(&payload, &mut resident);
+        assert_eq!(resident, fresh);
+        assert_eq!(dis.extra_reads(), 1);
+    }
+
+    fn stale_word(l: &LineData, w: usize) -> u32 {
+        l.word(w)
+    }
+
+    #[test]
+    fn merge_is_lossy_when_high_bytes_changed() {
+        // If the fresh value changed its top bytes too, N=2 DBA produces an
+        // approximation: high bytes stay stale. This is the accuracy trade
+        // studied in Table V / Fig 13.
+        let stale = line_of_words(|_| 0x11111111);
+        let fresh = line_of_words(|_| 0x2222_3333); // top bytes changed
+        let reg = DbaRegister::new(true, 2);
+        let mut agg = Aggregator::new();
+        let mut dis = Disaggregator::new();
+        agg.set_register(reg);
+        dis.set_register(reg);
+        let mut resident = stale;
+        dis.merge(&agg.aggregate(&fresh), &mut resident);
+        // Merged word: stale high half, fresh low half.
+        for w in 0..WORDS_PER_LINE {
+            assert_eq!(resident.word(w), 0x1111_3333);
+        }
+        assert_eq!(resident, merged_reference(&stale, &fresh, 2));
+    }
+
+    #[test]
+    fn merge_matches_reference_for_all_lengths() {
+        let stale = line_of_words(|w| 0x90AB_CDEF ^ (w as u32 * 0x0101_0101));
+        let fresh = line_of_words(|w| 0x1234_5678 ^ (w as u32 * 0x1111_1111));
+        for n in 0..=4u8 {
+            let reg = DbaRegister::new(true, n);
+            let mut agg = Aggregator::new();
+            let mut dis = Disaggregator::new();
+            agg.set_register(reg);
+            dis.set_register(reg);
+            let mut resident = stale;
+            dis.merge(&agg.aggregate(&fresh), &mut resident);
+            assert_eq!(resident, merged_reference(&stale, &fresh, n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn merge_full_line_when_inactive() {
+        let stale = line_of_words(|_| 0);
+        let fresh = line_of_words(|w| w as u32 + 1);
+        let mut agg = Aggregator::new();
+        let mut dis = Disaggregator::new();
+        let mut resident = stale;
+        dis.merge(&agg.aggregate(&fresh), &mut resident);
+        assert_eq!(resident, fresh);
+        assert_eq!(dis.extra_reads(), 0); // full-line write needs no merge read
+    }
+
+    #[test]
+    #[should_panic(expected = "payload size mismatch")]
+    fn merge_rejects_wrong_payload_size() {
+        let mut dis = Disaggregator::new();
+        dis.set_register(DbaRegister::new(true, 2));
+        let mut resident = LineData::zeroed();
+        dis.merge(&[0u8; 16], &mut resident);
+    }
+
+    #[test]
+    fn float_parameters_roundtrip_when_only_mantissa_changes() {
+        // The motivating case from §III: FP32 params whose low 16 mantissa
+        // bits change between steps are transferred exactly with N=2.
+        let mut stale_words = [0f32; WORDS_PER_LINE];
+        let mut fresh_words = [0f32; WORDS_PER_LINE];
+        for i in 0..WORDS_PER_LINE {
+            let base = 0.7311f32 + i as f32 * 0.001;
+            stale_words[i] = base;
+            // Perturb only low mantissa bits.
+            fresh_words[i] = f32::from_bits((base.to_bits() & 0xFFFF_0000) | 0x0000_1A2B);
+        }
+        let stale = LineData::from_f32(stale_words);
+        let fresh = LineData::from_f32(fresh_words);
+        let reg = DbaRegister::new(true, 2);
+        let mut agg = Aggregator::new();
+        let mut dis = Disaggregator::new();
+        agg.set_register(reg);
+        dis.set_register(reg);
+        let mut resident = stale;
+        dis.merge(&agg.aggregate(&fresh), &mut resident);
+        assert_eq!(resident.to_f32().map(f32::to_bits), fresh.to_f32().map(f32::to_bits));
+    }
+}

@@ -1,0 +1,131 @@
+//! `CXLFENCE()` — the memory-consistency fence of §IV-A2.
+//!
+//! "We introduce a function, CXLFENCE(), to ensure the completion of
+//! in-flight CXL cache coherent traffic. ... CXLFENCE() works similar to
+//! cudaDeviceSynchronize() but it only guarantees the CXL coherence traffic
+//! by checking the status of CXL controller and home agent."
+//!
+//! In the TECO training step the fence is called exactly twice: once after
+//! all parameter updates (inside `optimizer.step()`) and once after the
+//! gradient buffer fills (inside `loss.backward()`). Its cost is the drain
+//! time of the relevant link direction plus a small constant check
+//! overhead, which §VI measures at "less than 1 % of training time".
+
+use crate::link::{CxlLink, Direction};
+use teco_sim::SimTime;
+
+/// Fixed software cost of one fence call (driver round trip, comparable to
+/// a cudaDeviceSynchronize check).
+pub const FENCE_CHECK_OVERHEAD: SimTime = SimTime::from_us(5);
+
+/// Fence statistics across a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FenceStats {
+    /// Number of CXLFENCE invocations.
+    pub calls: u64,
+    /// Total time spent blocked in fences (drain wait + check overhead).
+    pub total_wait: SimTime,
+}
+
+/// The fence primitive: tracks invocations against a link.
+#[derive(Debug, Clone, Default)]
+pub struct CxlFence {
+    stats: FenceStats,
+}
+
+impl CxlFence {
+    /// New fence tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Issue a fence at time `now` for traffic in direction `d`; returns
+    /// the completion time (when all in-flight coherence traffic in that
+    /// direction has drained and the status check finished).
+    pub fn fence(&mut self, link: &CxlLink, d: Direction, now: SimTime) -> SimTime {
+        let drained = link.drained_at(d).max(now);
+        let done = drained + FENCE_CHECK_OVERHEAD;
+        self.stats.calls += 1;
+        self.stats.total_wait += done - now;
+        done
+    }
+
+    /// Fence both directions (used at step boundaries).
+    pub fn fence_all(&mut self, link: &CxlLink, now: SimTime) -> SimTime {
+        let drained = link
+            .drained_at(Direction::ToDevice)
+            .max(link.drained_at(Direction::ToHost))
+            .max(now);
+        let done = drained + FENCE_CHECK_OVERHEAD;
+        self.stats.calls += 1;
+        self.stats.total_wait += done - now;
+        done
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> FenceStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CxlConfig;
+
+    #[test]
+    fn fence_waits_for_drain() {
+        let mut link = CxlLink::new(CxlConfig::paper());
+        let iv = link.transfer_simple(Direction::ToDevice, SimTime::ZERO, 1 << 20);
+        let mut fence = CxlFence::new();
+        let done = fence.fence(&link, Direction::ToDevice, SimTime::ZERO);
+        assert_eq!(done, iv.end + FENCE_CHECK_OVERHEAD);
+        assert_eq!(fence.stats().calls, 1);
+        assert_eq!(fence.stats().total_wait, done);
+    }
+
+    #[test]
+    fn fence_on_idle_link_costs_only_check() {
+        let link = CxlLink::new(CxlConfig::paper());
+        let mut fence = CxlFence::new();
+        let now = SimTime::from_ms(3);
+        let done = fence.fence(&link, Direction::ToHost, now);
+        assert_eq!(done, now + FENCE_CHECK_OVERHEAD);
+    }
+
+    #[test]
+    fn fence_after_drain_does_not_wait() {
+        let mut link = CxlLink::new(CxlConfig::paper());
+        let iv = link.transfer_simple(Direction::ToDevice, SimTime::ZERO, 4096);
+        let mut fence = CxlFence::new();
+        let later = iv.end + SimTime::from_ms(1);
+        let done = fence.fence(&link, Direction::ToDevice, later);
+        assert_eq!(done, later + FENCE_CHECK_OVERHEAD);
+    }
+
+    #[test]
+    fn fence_all_covers_both_directions() {
+        let mut link = CxlLink::new(CxlConfig::paper());
+        link.transfer_simple(Direction::ToDevice, SimTime::ZERO, 64);
+        let up = link.transfer_simple(Direction::ToHost, SimTime::ZERO, 1 << 20);
+        let mut fence = CxlFence::new();
+        let done = fence.fence_all(&link, SimTime::ZERO);
+        assert_eq!(done, up.end + FENCE_CHECK_OVERHEAD);
+    }
+
+    #[test]
+    fn two_fences_per_training_step_pattern() {
+        // §VI: CXLFENCE is called only twice per step — once for gradients,
+        // once for parameters.
+        let mut link = CxlLink::new(CxlConfig::paper());
+        let mut fence = CxlFence::new();
+        // Backward: gradients to host.
+        link.transfer_simple(Direction::ToHost, SimTime::ZERO, 1 << 20);
+        let t1 = fence.fence(&link, Direction::ToHost, SimTime::ZERO);
+        // Optimizer: parameters to device.
+        link.transfer_simple(Direction::ToDevice, t1, 1 << 20);
+        let t2 = fence.fence(&link, Direction::ToDevice, t1);
+        assert!(t2 > t1);
+        assert_eq!(fence.stats().calls, 2);
+    }
+}

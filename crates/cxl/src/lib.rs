@@ -1,0 +1,43 @@
+//! # teco-cxl — the CXL interconnect with TECO's extensions
+//!
+//! This crate implements the hardware side of the paper's contribution:
+//!
+//! - [`config`]: the evaluation platform's link parameters (PCIe 3.0 ×16,
+//!   94.3 % CXL efficiency, 128-entry pending queue);
+//! - [`packet`]: CXL packets, opcodes, and the link layer's payload packing
+//!   (including the reserved header bit flagging DBA-aggregated payloads);
+//! - [`coherence`]: the MESI engine with the **update-protocol extension**
+//!   (Fig. 4/5) and its invalidation-mode fallback;
+//! - [`snoop`]: the sharer directory the invalidation fallback needs — and
+//!   the memory cost the update mode avoids;
+//! - [`dba`]: **Dirty-Byte Aggregation** — the Aggregator and Disaggregator
+//!   of §V, bit-exact;
+//! - [`giant_cache`]: the BAR-configured giant-cache region of accelerator
+//!   memory with the device-side merge path;
+//! - [`link`]: the full-duplex serial link with per-direction volume and
+//!   busy-interval accounting;
+//! - [`fence`]: `CXLFENCE()`.
+
+pub mod coherence;
+pub mod controller;
+pub mod config;
+pub mod dba;
+pub mod fence;
+pub mod flit;
+pub mod flow;
+pub mod giant_cache;
+pub mod link;
+pub mod packet;
+pub mod snoop;
+
+pub use coherence::{Agent, CoherenceEngine, LineState, MesiState, ProtocolMode, TrafficStats};
+pub use controller::{run_controller, ControllerResult, LineCompletion, LineRequest};
+pub use config::{CxlConfig, PcieGen};
+pub use dba::{merged_reference, Aggregator, DbaRegister, Disaggregator};
+pub use fence::{CxlFence, FenceStats, FENCE_CHECK_OVERHEAD};
+pub use flit::{unpack, wire_bytes_for_packets, Flit, FlitError, FlitPacker, Slot, FLIT_BYTES, SLOTS_PER_FLIT, SLOT_BYTES};
+pub use flow::{CreditLoop, FlowConfig};
+pub use giant_cache::{GiantCache, GiantCacheError};
+pub use link::{CxlLink, Direction};
+pub use packet::{wire_bytes_for_lines, CxlPacket, Opcode, HEADER_BYTES, MAX_PAYLOAD_BYTES};
+pub use snoop::{full_directory_bytes, SnoopFilter, BYTES_PER_ENTRY};

@@ -1,0 +1,161 @@
+//! CXL packet model.
+//!
+//! §V-B: "the Aggregator takes the least significant two bytes of each
+//! 4-byte parameter, aggregates them into a 32-byte payload, and passes it
+//! with the cache line address to the CXL Link Layer to create a CXL
+//! packet. The CXL Link Layer combines one or multiple 32-byte payloads
+//! into one CXL packet depending on the CXL transfer size. We indicate the
+//! size of payloads (32-byte aggregated cache lines or a 64-byte
+//! unaggregated cache line) by reserving an unused bit in the CXL packet
+//! header (the packet header has at least six unused bits)."
+
+use serde::{Deserialize, Serialize};
+use teco_mem::Addr;
+
+/// Message opcodes used by the coherence engine. A subset of CXL.cache
+/// D2H/H2D plus the update-protocol extension messages of Fig. 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Opcode {
+    /// Request ownership of a line (CPU write miss).
+    ReadOwn,
+    /// Request a shared copy of a line (read miss).
+    ReadShared,
+    /// Home agent's go-and-flush response enabling the M→S fast path of the
+    /// update extension (the red arrow in Fig. 4).
+    GoFlush,
+    /// The pushed updated line data (update protocol) — carries a payload.
+    FlushData,
+    /// Invalidate a peer's copy (invalidation protocol).
+    Invalidate,
+    /// On-demand data response to a read after invalidation — carries a
+    /// payload.
+    Data,
+    /// Eviction notice (line leaves a peer cache).
+    Evict,
+    /// DBA-register propagation from host agent to the accelerator CXL
+    /// module (§V-C).
+    DbaConfig,
+}
+
+impl Opcode {
+    /// Does this message carry a data payload (vs. header-only control)?
+    pub fn carries_data(self) -> bool {
+        matches!(self, Opcode::FlushData | Opcode::Data)
+    }
+}
+
+/// Fixed header size on the wire. CXL.cache headers fit in a slot of the
+/// 528-bit flit; 16 bytes is the granularity we charge control messages at.
+pub const HEADER_BYTES: usize = 16;
+
+/// The maximum data payload a single packet carries: one full cache line.
+pub const MAX_PAYLOAD_BYTES: usize = 64;
+
+/// A CXL packet: header plus optional payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CxlPacket {
+    /// Operation.
+    pub opcode: Opcode,
+    /// Target cache-line address.
+    pub addr: Addr,
+    /// The header's reserved "aggregated payload" bit: set when the payload
+    /// is a DBA-compacted fragment rather than a full line.
+    pub dba_aggregated: bool,
+    /// Data payload (empty for control messages).
+    pub payload: Vec<u8>,
+}
+
+impl CxlPacket {
+    /// A header-only control packet.
+    pub fn control(opcode: Opcode, addr: Addr) -> Self {
+        assert!(!opcode.carries_data(), "{opcode:?} requires a payload");
+        CxlPacket { opcode, addr, dba_aggregated: false, payload: Vec::new() }
+    }
+
+    /// A data-carrying packet. `dba_aggregated` must reflect whether
+    /// `payload` is compacted (the receiver dispatches on the header bit,
+    /// not the length).
+    pub fn data(opcode: Opcode, addr: Addr, payload: Vec<u8>, dba_aggregated: bool) -> Self {
+        assert!(opcode.carries_data(), "{opcode:?} cannot carry a payload");
+        assert!(!payload.is_empty() && payload.len() <= MAX_PAYLOAD_BYTES);
+        CxlPacket { opcode, addr, dba_aggregated, payload }
+    }
+
+    /// Bytes this packet occupies on the wire.
+    pub fn wire_bytes(&self) -> usize {
+        HEADER_BYTES + self.payload.len()
+    }
+}
+
+/// The link layer's packing of multiple aggregated payloads into transfer
+/// units: with 32-byte aggregated lines, two fit where one full line went.
+/// Returns the total wire bytes for `n_lines` lines under the given
+/// aggregated payload size.
+pub fn wire_bytes_for_lines(n_lines: u64, payload_bytes_per_line: usize) -> u64 {
+    // Each full-line slot (header + 64B) can carry 64/payload lines'
+    // payloads plus one shared header — the link layer "combines one or
+    // multiple 32-byte payloads into one CXL packet".
+    let per_packet = (MAX_PAYLOAD_BYTES / payload_bytes_per_line.max(1)).max(1) as u64;
+    let packets = n_lines.div_ceil(per_packet);
+    packets * HEADER_BYTES as u64 + n_lines * payload_bytes_per_line as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_packet_sizes() {
+        let p = CxlPacket::control(Opcode::ReadOwn, Addr(0x40));
+        assert_eq!(p.wire_bytes(), HEADER_BYTES);
+        assert!(p.payload.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a payload")]
+    fn control_rejects_data_opcode() {
+        CxlPacket::control(Opcode::FlushData, Addr(0));
+    }
+
+    #[test]
+    fn data_packet_sizes() {
+        let p = CxlPacket::data(Opcode::FlushData, Addr(0x80), vec![0u8; 64], false);
+        assert_eq!(p.wire_bytes(), HEADER_BYTES + 64);
+        let agg = CxlPacket::data(Opcode::FlushData, Addr(0x80), vec![0u8; 32], true);
+        assert_eq!(agg.wire_bytes(), HEADER_BYTES + 32);
+        assert!(agg.dba_aggregated);
+    }
+
+    #[test]
+    #[should_panic]
+    fn data_rejects_oversized_payload() {
+        CxlPacket::data(Opcode::Data, Addr(0), vec![0u8; 65], false);
+    }
+
+    #[test]
+    fn opcode_payload_classification() {
+        assert!(Opcode::FlushData.carries_data());
+        assert!(Opcode::Data.carries_data());
+        for op in [Opcode::ReadOwn, Opcode::ReadShared, Opcode::GoFlush, Opcode::Invalidate, Opcode::Evict, Opcode::DbaConfig] {
+            assert!(!op.carries_data());
+        }
+    }
+
+    #[test]
+    fn wire_bytes_packing_halves_with_dba() {
+        // 1000 lines unaggregated: 1000 packets × (16 + 64).
+        let full = wire_bytes_for_lines(1000, 64);
+        assert_eq!(full, 1000 * 80);
+        // Aggregated to 32 B: two payloads share one header.
+        let agg = wire_bytes_for_lines(1000, 32);
+        assert_eq!(agg, 500 * 16 + 1000 * 32);
+        assert!((agg as f64) < 0.6 * full as f64);
+    }
+
+    #[test]
+    fn wire_bytes_single_line() {
+        assert_eq!(wire_bytes_for_lines(1, 64), 80);
+        assert_eq!(wire_bytes_for_lines(1, 32), 48);
+        assert_eq!(wire_bytes_for_lines(0, 64), 0);
+    }
+}

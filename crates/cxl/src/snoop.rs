@@ -1,0 +1,158 @@
+//! Snoop filter (coherence directory) for the invalidation protocol.
+//!
+//! §IV-A2: "One challenge to designing a giant cache is the large size of
+//! snoop filter (or coherence directory) as the sharer information of
+//! individual cache lines should be maintained in the filter. TECO does not
+//! have the snoop filter design problem" — in update mode the clear
+//! producer-consumer relationship makes sharer tracking unnecessary. This
+//! module provides the directory the invalidation fallback needs, plus the
+//! memory-overhead accounting that quantifies what update mode saves.
+
+use crate::coherence::Agent;
+use std::collections::HashMap;
+use teco_mem::Addr;
+
+/// Bit flags for the two possible sharers.
+const CPU_BIT: u8 = 0b01;
+const DEV_BIT: u8 = 0b10;
+
+/// Per-entry storage cost in a realistic directory: tag + sharer vector +
+/// state ≈ 8 bytes per tracked line.
+pub const BYTES_PER_ENTRY: u64 = 8;
+
+/// A sharer directory keyed by line index.
+#[derive(Debug, Clone, Default)]
+pub struct SnoopFilter {
+    entries: HashMap<u64, u8>,
+    peak_entries: usize,
+}
+
+impl SnoopFilter {
+    /// Empty filter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bit(a: Agent) -> u8 {
+        match a {
+            Agent::Cpu => CPU_BIT,
+            Agent::Device => DEV_BIT,
+        }
+    }
+
+    /// Record `a` as a sharer of the line.
+    pub fn add_sharer(&mut self, addr: Addr, a: Agent) {
+        let e = self.entries.entry(addr.line_index()).or_insert(0);
+        *e |= Self::bit(a);
+        self.peak_entries = self.peak_entries.max(self.entries.len());
+    }
+
+    /// Record `a` as the sole owner (others dropped) — a ReadOwn result.
+    pub fn set_exclusive(&mut self, addr: Addr, a: Agent) {
+        self.entries.insert(addr.line_index(), Self::bit(a));
+        self.peak_entries = self.peak_entries.max(self.entries.len());
+    }
+
+    /// Remove `a` from the sharers; drops the entry when no sharers remain.
+    pub fn remove_sharer(&mut self, addr: Addr, a: Agent) {
+        if let Some(e) = self.entries.get_mut(&addr.line_index()) {
+            *e &= !Self::bit(a);
+            if *e == 0 {
+                self.entries.remove(&addr.line_index());
+            }
+        }
+    }
+
+    /// Is `a` recorded as sharing the line?
+    pub fn is_sharer(&self, addr: Addr, a: Agent) -> bool {
+        self.entries
+            .get(&addr.line_index())
+            .is_some_and(|e| e & Self::bit(a) != 0)
+    }
+
+    /// Sharers of the line, as (cpu, device) booleans.
+    pub fn sharers(&self, addr: Addr) -> (bool, bool) {
+        let e = self.entries.get(&addr.line_index()).copied().unwrap_or(0);
+        (e & CPU_BIT != 0, e & DEV_BIT != 0)
+    }
+
+    /// Number of tracked lines right now.
+    pub fn entries(&self) -> usize {
+        self.entries.len()
+    }
+    /// High-water mark of tracked lines.
+    pub fn peak_entries(&self) -> usize {
+        self.peak_entries
+    }
+    /// Directory storage at the peak, in bytes. For a Bert-large giant
+    /// cache (817 MB = ~12.8 M lines) a full directory costs ~102 MB —
+    /// the cost update mode avoids.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_entries as u64 * BYTES_PER_ENTRY
+    }
+}
+
+/// Directory size needed to track every line of a giant cache of
+/// `giant_cache_bytes` — the hypothetical full-directory cost.
+pub fn full_directory_bytes(giant_cache_bytes: u64) -> u64 {
+    teco_mem::lines_for_bytes(giant_cache_bytes) * BYTES_PER_ENTRY
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Addr = Addr(0x100);
+
+    #[test]
+    fn add_and_query_sharers() {
+        let mut f = SnoopFilter::new();
+        f.add_sharer(A, Agent::Cpu);
+        assert!(f.is_sharer(A, Agent::Cpu));
+        assert!(!f.is_sharer(A, Agent::Device));
+        f.add_sharer(A, Agent::Device);
+        assert_eq!(f.sharers(A), (true, true));
+        assert_eq!(f.entries(), 1);
+    }
+
+    #[test]
+    fn set_exclusive_drops_peer() {
+        let mut f = SnoopFilter::new();
+        f.add_sharer(A, Agent::Cpu);
+        f.add_sharer(A, Agent::Device);
+        f.set_exclusive(A, Agent::Cpu);
+        assert_eq!(f.sharers(A), (true, false));
+    }
+
+    #[test]
+    fn remove_last_sharer_frees_entry() {
+        let mut f = SnoopFilter::new();
+        f.add_sharer(A, Agent::Cpu);
+        f.remove_sharer(A, Agent::Cpu);
+        assert_eq!(f.entries(), 0);
+        assert_eq!(f.sharers(A), (false, false));
+        // Removing from an untracked line is a no-op.
+        f.remove_sharer(A, Agent::Device);
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut f = SnoopFilter::new();
+        for i in 0..1000u64 {
+            f.add_sharer(Addr(i * 64), Agent::Device);
+        }
+        for i in 0..1000u64 {
+            f.remove_sharer(Addr(i * 64), Agent::Device);
+        }
+        assert_eq!(f.entries(), 0);
+        assert_eq!(f.peak_entries(), 1000);
+        assert_eq!(f.peak_bytes(), 8000);
+    }
+
+    #[test]
+    fn full_directory_cost_for_bert_giant_cache() {
+        // 817 MB giant cache → ~12.8M lines → ~102 MB of directory.
+        let bytes = full_directory_bytes(817 << 20);
+        assert!(bytes > 100 << 20 && bytes < 110 << 20, "{bytes}");
+    }
+}

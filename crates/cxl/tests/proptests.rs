@@ -1,0 +1,167 @@
+//! Property-based tests for the CXL protocol crate.
+
+use proptest::prelude::*;
+use teco_cxl::{
+    merged_reference, Agent, Aggregator, CoherenceEngine, DbaRegister, Disaggregator, MesiState,
+    ProtocolMode,
+};
+use teco_mem::{Addr, LineData, LINE_BYTES, WORDS_PER_LINE};
+
+fn line_strategy() -> impl Strategy<Value = LineData> {
+    prop::array::uniform32(any::<u16>()).prop_map(|halves| {
+        let mut bytes = [0u8; LINE_BYTES];
+        for (i, h) in halves.iter().enumerate() {
+            bytes[i * 2..i * 2 + 2].copy_from_slice(&h.to_le_bytes());
+        }
+        LineData(bytes)
+    })
+}
+
+proptest! {
+    /// DBA round-trip exactness: when the fresh value differs from the stale
+    /// value only in its low `N` bytes per word, aggregate+merge reproduces
+    /// the fresh line bit-exactly.
+    #[test]
+    fn dba_exact_when_change_fits(
+        stale in line_strategy(),
+        low in prop::array::uniform16(any::<u16>()),
+    ) {
+        let n = 2u8;
+        let mut fresh = stale;
+        for w in 0..WORDS_PER_LINE {
+            fresh.set_word(w, (stale.word(w) & 0xFFFF_0000) | low[w] as u32);
+        }
+        let reg = DbaRegister::new(true, n);
+        let mut agg = Aggregator::new();
+        let mut dis = Disaggregator::new();
+        agg.set_register(reg);
+        dis.set_register(reg);
+        let payload = agg.aggregate(&fresh);
+        prop_assert_eq!(payload.len(), 32);
+        let mut resident = stale;
+        dis.merge(&payload, &mut resident);
+        prop_assert_eq!(resident, fresh);
+    }
+
+    /// For arbitrary stale/fresh pairs and any dirty length, the merge
+    /// matches the reference semantics: low N bytes fresh, high bytes stale.
+    #[test]
+    fn dba_merge_matches_reference(
+        stale in line_strategy(),
+        fresh in line_strategy(),
+        n in 0u8..=4,
+    ) {
+        let reg = DbaRegister::new(true, n);
+        let mut agg = Aggregator::new();
+        let mut dis = Disaggregator::new();
+        agg.set_register(reg);
+        dis.set_register(reg);
+        let mut resident = stale;
+        dis.merge(&agg.aggregate(&fresh), &mut resident);
+        prop_assert_eq!(resident, merged_reference(&stale, &fresh, n));
+    }
+
+    /// Merging is idempotent: applying the same payload twice gives the same
+    /// line as applying it once.
+    #[test]
+    fn dba_merge_idempotent(
+        stale in line_strategy(),
+        fresh in line_strategy(),
+        n in 1u8..=4,
+    ) {
+        let reg = DbaRegister::new(true, n);
+        let mut agg = Aggregator::new();
+        let mut dis = Disaggregator::new();
+        agg.set_register(reg);
+        dis.set_register(reg);
+        let payload = agg.aggregate(&fresh);
+        let mut once = stale;
+        dis.merge(&payload, &mut once);
+        let mut twice = once;
+        dis.merge(&payload, &mut twice);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Aggregated payload size always equals register.payload_bytes().
+    #[test]
+    fn dba_payload_size_invariant(line in line_strategy(), n in 0u8..=4, active in any::<bool>()) {
+        let reg = DbaRegister::new(active, n);
+        let mut agg = Aggregator::new();
+        agg.set_register(reg);
+        let p = agg.aggregate(&line);
+        prop_assert_eq!(p.len(), reg.payload_bytes());
+    }
+
+    /// Coherence safety invariant: never two M copies; an M copy implies the
+    /// peer is I (single-writer), in both protocol modes, across arbitrary
+    /// operation sequences.
+    #[test]
+    fn coherence_single_writer_invariant(
+        ops in prop::collection::vec((0u8..4, 0u64..16), 1..200),
+        update_mode in any::<bool>(),
+    ) {
+        let mode = if update_mode { ProtocolMode::Update } else { ProtocolMode::Invalidation };
+        let mut eng = CoherenceEngine::new(mode);
+        let line = LineData::zeroed();
+        for &(op, l) in &ops {
+            let addr = Addr(l * 64);
+            match op {
+                0 => { eng.write(Agent::Cpu, addr, line.bytes(), false); }
+                1 => { eng.read(Agent::Device, addr, LINE_BYTES); }
+                2 => { eng.flush(Agent::Cpu, &[addr], LINE_BYTES); }
+                _ => { eng.read(Agent::Cpu, addr, LINE_BYTES); }
+            }
+            let st = eng.line_state(addr);
+            // Single-writer: M on one side implies I on the other.
+            if st.cs == MesiState::M {
+                prop_assert_eq!(st.gs, MesiState::I, "M/{:?} violates single-writer", st.gs);
+            }
+            if st.gs == MesiState::M {
+                prop_assert_eq!(st.cs, MesiState::I);
+            }
+            // E is exclusive too.
+            if st.cs == MesiState::E {
+                prop_assert!(st.gs == MesiState::I || st.gs == MesiState::E,
+                    "update-extension permits transient E/E only");
+            }
+        }
+    }
+
+    /// In update mode, after any CPU write the device read never generates
+    /// traffic (data was pushed eagerly).
+    #[test]
+    fn update_mode_reads_always_hit_after_write(lines in prop::collection::vec(0u64..64, 1..100)) {
+        let mut eng = CoherenceEngine::new(ProtocolMode::Update);
+        let line = LineData::zeroed();
+        for &l in &lines {
+            eng.write(Agent::Cpu, Addr(l * 64), line.bytes(), false);
+        }
+        for &l in &lines {
+            let pkts = eng.read(Agent::Device, Addr(l * 64), LINE_BYTES);
+            prop_assert!(pkts.is_empty());
+        }
+    }
+
+    /// Data conservation: in both modes, total data bytes moved for one
+    /// write+read round trip of each distinct line equals lines × 64.
+    #[test]
+    fn data_volume_equal_across_modes(lines_raw in prop::collection::vec(0u64..256, 1..100)) {
+        let mut lines = lines_raw;
+        lines.sort_unstable();
+        lines.dedup();
+        let payload = LineData::zeroed();
+        let mut volumes = Vec::new();
+        for mode in [ProtocolMode::Update, ProtocolMode::Invalidation] {
+            let mut eng = CoherenceEngine::new(mode);
+            for &l in &lines {
+                eng.write(Agent::Cpu, Addr(l * 64), payload.bytes(), false);
+            }
+            for &l in &lines {
+                eng.read(Agent::Device, Addr(l * 64), LINE_BYTES);
+            }
+            volumes.push(eng.to_device.data_bytes);
+        }
+        prop_assert_eq!(volumes[0], volumes[1]);
+        prop_assert_eq!(volumes[0], lines.len() as u64 * 64);
+    }
+}

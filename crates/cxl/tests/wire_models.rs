@@ -1,0 +1,82 @@
+//! Consistency between the two wire-cost models: the packet-level
+//! `wire_bytes_for_lines` estimator (used in unit analyses) and the
+//! slot-accurate flit packer, and both against the 94.3 % bandwidth
+//! abstraction the timing simulators use.
+
+use teco_cxl::{
+    wire_bytes_for_packets, CxlConfig, CxlPacket, FlitPacker, Opcode, FLIT_BYTES, SLOTS_PER_FLIT,
+    SLOT_BYTES,
+};
+use teco_mem::Addr;
+
+fn line_pkts(n: u64, payload: usize) -> Vec<CxlPacket> {
+    (0..n)
+        .map(|i| {
+            CxlPacket::data(
+                Opcode::FlushData,
+                Addr(i * 64),
+                vec![0u8; payload],
+                payload < 64,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn flit_efficiency_brackets_the_bandwidth_abstraction() {
+    // The timing model charges payload bytes at 94.3 % of PCIe. The flit
+    // layer's pure-data ceiling is 64/68 = 94.1 % — effectively the same
+    // constant — while header-per-line streams run at 75–80 %. The
+    // abstraction is therefore an upper bound within ~25 % of the detailed
+    // model, tightest for long data bursts.
+    let pure_data_eff = (SLOTS_PER_FLIT * SLOT_BYTES) as f64 / FLIT_BYTES as f64;
+    let cfg = CxlConfig::paper();
+    assert!((pure_data_eff - cfg.cxl_efficiency).abs() < 0.01);
+
+    let pkts = line_pkts(10_000, 64);
+    let wire = wire_bytes_for_packets(pkts.iter()) as f64;
+    let payload = (10_000 * 64) as f64;
+    let measured_eff = payload / wire;
+    assert!(measured_eff > 0.70 && measured_eff <= pure_data_eff + 1e-9);
+}
+
+#[test]
+fn dba_wire_saving_holds_at_flit_level() {
+    // DBA's 2× payload cut survives the header overhead: at flit level the
+    // saving is ~40 % rather than the ideal 50 %.
+    let full = wire_bytes_for_packets(line_pkts(4096, 64).iter()) as f64;
+    let dba = wire_bytes_for_packets(line_pkts(4096, 32).iter()) as f64;
+    let saving = 1.0 - dba / full;
+    assert!((0.35..=0.5).contains(&saving), "saving {saving:.2}");
+}
+
+#[test]
+fn packer_incremental_equals_batch() {
+    // Packing packets one by one gives the same wire image as batch
+    // accounting.
+    let pkts = line_pkts(100, 32);
+    let mut p = FlitPacker::new();
+    for pkt in &pkts {
+        p.push_packet(pkt);
+    }
+    assert_eq!(p.wire_bytes(), wire_bytes_for_packets(pkts.iter()));
+    let flits = p.finish();
+    assert_eq!(flits.len() * FLIT_BYTES, wire_bytes_for_packets(pkts.iter()));
+}
+
+#[test]
+fn control_messages_are_cheap() {
+    // A ReadOwn+GoFlush pair per line adds two slots per five-slot line —
+    // the protocol-overhead share the coherence engine's counters report.
+    let mut pkts = Vec::new();
+    for i in 0..1000u64 {
+        pkts.push(CxlPacket::control(Opcode::ReadOwn, Addr(i * 64)));
+        pkts.push(CxlPacket::control(Opcode::GoFlush, Addr(i * 64)));
+        pkts.push(CxlPacket::data(Opcode::FlushData, Addr(i * 64), vec![0; 64], false));
+    }
+    let wire = wire_bytes_for_packets(pkts.iter()) as f64;
+    let payload = (1000 * 64) as f64;
+    let eff = payload / wire;
+    // 7 slots per line → 64 / (7/4 · 68) ≈ 0.54.
+    assert!((0.5..0.6).contains(&eff), "eff {eff:.2}");
+}

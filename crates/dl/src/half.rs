@@ -1,0 +1,189 @@
+//! IEEE-754 binary16 (FP16) conversion, implemented from scratch.
+//!
+//! Mixed-precision training (§V, "About mixed-precision training") keeps
+//! FP32 master parameters on CPU and converts to FP16 **on the GPU** after
+//! the transfer — so the CPU→GPU traffic stays FP32 and DBA still applies.
+//! These conversions implement that GPU-side cast, with round-to-nearest-
+//! even, subnormal, infinity and NaN handling.
+
+/// Convert an `f32` to its binary16 bit pattern (round-to-nearest-even).
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf / NaN. Preserve NaN-ness with a quiet mantissa bit.
+        return if mant == 0 { sign | 0x7C00 } else { sign | 0x7E00 };
+    }
+
+    // Unbiased exponent, rebiasing from 127 to 15.
+    let e = exp - 127 + 15;
+    if e >= 0x1F {
+        // Overflow → infinity.
+        return sign | 0x7C00;
+    }
+    if e <= 0 {
+        // Subnormal (or underflow to zero).
+        if e < -10 {
+            return sign; // too small: ±0
+        }
+        // Implicit leading 1 becomes explicit; shift right by (1 − e).
+        let m = mant | 0x0080_0000;
+        let shift = (14 - e) as u32;
+        let half = m >> shift;
+        // Round to nearest even.
+        let rem = m & ((1u32 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let rounded = if rem > halfway || (rem == halfway && half & 1 == 1) {
+            half + 1
+        } else {
+            half
+        };
+        return sign | rounded as u16;
+    }
+
+    // Normal number: keep top 10 mantissa bits with RNE.
+    let half_mant = (mant >> 13) as u16;
+    let rem = mant & 0x1FFF;
+    let mut out = sign | ((e as u16) << 10) | half_mant;
+    if rem > 0x1000 || (rem == 0x1000 && half_mant & 1 == 1) {
+        out = out.wrapping_add(1); // may carry into exponent — that's correct
+    }
+    out
+}
+
+/// Convert a binary16 bit pattern to `f32` (exact).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let mant = (h & 0x3FF) as u32;
+    if exp == 0x1F {
+        return f32::from_bits(sign | 0x7F80_0000 | (mant << 13)); // Inf / NaN
+    }
+    // Finite values are exact in f32; compute them arithmetically.
+    // Subnormal: mant · 2⁻²⁴. Normal: (1024 + mant) · 2^(exp − 25).
+    let mag = if exp == 0 {
+        mant as f32 * 2f32.powi(-24)
+    } else {
+        (1024 + mant) as f32 * 2f32.powi(exp as i32 - 25)
+    };
+    if sign != 0 {
+        -mag
+    } else {
+        mag
+    }
+}
+
+/// Round-trip an f32 through FP16 (the precision the GPU compute sees).
+pub fn through_f16(x: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(x))
+}
+
+/// Cast a slice through FP16 in place (the GPU-side conversion kernel).
+pub fn cast_slice_through_f16(xs: &mut [f32]) {
+    for x in xs {
+        *x = through_f16(*x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers() {
+        for i in -64i32..=64 {
+            let x = i as f32;
+            assert_eq!(through_f16(x), x, "{x}");
+        }
+    }
+
+    #[test]
+    fn known_bit_patterns() {
+        assert_eq!(f32_to_f16_bits(0.0), 0x0000);
+        assert_eq!(f32_to_f16_bits(-0.0), 0x8000);
+        assert_eq!(f32_to_f16_bits(1.0), 0x3C00);
+        assert_eq!(f32_to_f16_bits(-2.0), 0xC000);
+        assert_eq!(f32_to_f16_bits(65504.0), 0x7BFF); // f16::MAX
+        assert_eq!(f32_to_f16_bits(0.5), 0x3800);
+    }
+
+    #[test]
+    fn overflow_to_infinity() {
+        assert_eq!(f32_to_f16_bits(1e6), 0x7C00);
+        assert_eq!(f32_to_f16_bits(-1e6), 0xFC00);
+        assert_eq!(f16_bits_to_f32(0x7C00), f32::INFINITY);
+        assert_eq!(f16_bits_to_f32(0xFC00), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn nan_preserved() {
+        let h = f32_to_f16_bits(f32::NAN);
+        assert!(f16_bits_to_f32(h).is_nan());
+    }
+
+    #[test]
+    fn subnormals() {
+        // Smallest positive f16 subnormal = 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(f32_to_f16_bits(tiny), 0x0001);
+        assert_eq!(f16_bits_to_f32(0x0001), tiny);
+        // Below half of that → 0.
+        assert_eq!(f32_to_f16_bits(2.0f32.powi(-26)), 0x0000);
+        // Largest subnormal.
+        let big_sub = f16_bits_to_f32(0x03FF);
+        assert!(big_sub < 2.0f32.powi(-14));
+        assert_eq!(f32_to_f16_bits(big_sub), 0x03FF);
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next f16 → rounds
+        // to even (1.0).
+        let x = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(f32_to_f16_bits(x), 0x3C00);
+        // 1 + 3·2^-11 is halfway between 0x3C01 and 0x3C02 → rounds to even
+        // (0x3C02).
+        let y = 1.0 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(f32_to_f16_bits(y), 0x3C02);
+    }
+
+    #[test]
+    fn roundtrip_error_bounded() {
+        // Relative error of f32→f16→f32 is ≤ 2^-11 for normal numbers.
+        let mut x = 1.000001f32;
+        for _ in 0..2000 {
+            let y = through_f16(x);
+            let rel = ((y - x) / x).abs();
+            assert!(rel <= 2.0f32.powi(-11) + 1e-7, "x={x} y={y} rel={rel}");
+            x *= 1.01;
+            if x > 60000.0 {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn all_f16_values_roundtrip_exactly() {
+        // f16 → f32 → f16 must be the identity for every finite pattern.
+        for h in 0u16..=0xFFFF {
+            let exp = (h >> 10) & 0x1F;
+            if exp == 0x1F {
+                continue; // Inf/NaN handled separately
+            }
+            let back = f32_to_f16_bits(f16_bits_to_f32(h));
+            assert_eq!(back, h, "pattern {h:#06x}");
+        }
+    }
+
+    #[test]
+    fn cast_slice() {
+        let mut xs = vec![0.1f32, 1.5, -3.25, 100.0];
+        cast_slice_through_f16(&mut xs);
+        assert_eq!(xs[1], 1.5);
+        assert_eq!(xs[2], -3.25);
+        assert!((xs[0] - 0.1).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,94 @@
+//! Elementwise activation layers (stateless apart from the backward cache).
+
+use crate::ops::{gelu, gelu_grad, relu};
+use crate::tensor::Tensor;
+
+/// Supported activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Act {
+    /// GELU (tanh approximation) — transformers.
+    Gelu,
+    /// ReLU — GCNs and MLP baselines.
+    Relu,
+}
+
+/// An activation layer with cached pre-activation input.
+#[derive(Debug, Clone)]
+pub struct Activation {
+    act: Act,
+    cache_x: Option<Tensor>,
+}
+
+impl Activation {
+    /// New activation of the given kind.
+    pub fn new(act: Act) -> Self {
+        Activation { act, cache_x: None }
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.cache_x = Some(x.clone());
+        match self.act {
+            Act::Gelu => x.map(gelu),
+            Act::Relu => x.map(relu),
+        }
+    }
+
+    /// Backward pass: `dx = dy ⊙ f'(x)`.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self.cache_x.as_ref().expect("backward before forward");
+        assert_eq!(x.shape(), dy.shape());
+        let mut dx = dy.clone();
+        match self.act {
+            Act::Gelu => {
+                for (d, &xv) in dx.data_mut().iter_mut().zip(x.data()) {
+                    *d *= gelu_grad(xv);
+                }
+            }
+            Act::Relu => {
+                for (d, &xv) in dx.data_mut().iter_mut().zip(x.data()) {
+                    if xv <= 0.0 {
+                        *d = 0.0;
+                    }
+                }
+            }
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut a = Activation::new(Act::Relu);
+        let x = Tensor::from_vec(&[1, 4], vec![-2.0, -0.5, 0.5, 2.0]);
+        let y = a.forward(&x);
+        assert_eq!(y.data(), &[0.0, 0.0, 0.5, 2.0]);
+        let dy = Tensor::full(&[1, 4], 1.0);
+        let dx = a.backward(&dy);
+        assert_eq!(dx.data(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn gelu_backward_matches_finite_difference() {
+        let mut a = Activation::new(Act::Gelu);
+        let x = Tensor::from_vec(&[1, 5], vec![-2.0, -0.7, 0.0, 0.9, 1.8]);
+        a.forward(&x);
+        let dy = Tensor::full(&[1, 5], 1.0);
+        let dx = a.backward(&dy);
+        let h = 1e-3f32;
+        for i in 0..5 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += h;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= h;
+            let mut ap = Activation::new(Act::Gelu);
+            let mut am = Activation::new(Act::Gelu);
+            let num = (ap.forward(&xp).sum() - am.forward(&xm).sum()) / (2.0 * h);
+            assert!((dx.data()[i] - num).abs() < 1e-2, "i={i}");
+        }
+    }
+}

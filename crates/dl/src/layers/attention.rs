@@ -1,0 +1,325 @@
+//! Causal multi-head self-attention with a full explicit backward pass.
+//!
+//! Operates on a single sequence `[T, D]`; the model loops over batch
+//! sequences (batch sizes in the convergence experiments are small).
+
+use super::linear::Linear;
+use super::param::{Param, Visitable};
+use crate::ops::softmax_rows;
+use crate::tensor::Tensor;
+use teco_sim::SimRng;
+
+/// Multi-head causal self-attention: fused QKV projection, per-head scaled
+/// dot-product attention with a causal mask, and an output projection.
+#[derive(Debug, Clone)]
+pub struct CausalSelfAttention {
+    /// Fused QKV projection `[D, 3D]`.
+    pub wqkv: Linear,
+    /// Output projection `[D, D]`.
+    pub wo: Linear,
+    dim: usize,
+    heads: usize,
+    /// Cache: (q, k, v as [T, D] each, per-head attention matrices).
+    cache: Option<AttnCache>,
+    causal: bool,
+}
+
+#[derive(Debug, Clone)]
+struct AttnCache {
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    /// Softmax outputs, one `[T, T]` tensor per head.
+    attn: Vec<Tensor>,
+}
+
+impl CausalSelfAttention {
+    /// New attention block. `dim` must be divisible by `heads`.
+    pub fn new(name: &str, dim: usize, heads: usize, causal: bool, rng: &mut SimRng) -> Self {
+        assert!(dim % heads == 0, "dim {dim} not divisible by heads {heads}");
+        let std = 0.02;
+        CausalSelfAttention {
+            wqkv: Linear::new(&format!("{name}.wqkv"), dim, 3 * dim, std, rng),
+            wo: Linear::new(&format!("{name}.wo"), dim, dim, std, rng),
+            dim,
+            heads,
+            cache: None,
+            causal,
+        }
+    }
+
+    /// Head width.
+    pub fn head_dim(&self) -> usize {
+        self.dim / self.heads
+    }
+    /// Number of heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Slice head `h` columns out of `[T, D]` into `[T, dh]`.
+    fn head(&self, x: &Tensor, h: usize) -> Tensor {
+        let t = x.rows();
+        let dh = self.head_dim();
+        let mut out = Tensor::zeros(&[t, dh]);
+        for r in 0..t {
+            out.row_mut(r).copy_from_slice(&x.row(r)[h * dh..(h + 1) * dh]);
+        }
+        out
+    }
+
+    /// Add head `h`'s `[T, dh]` gradient back into `[T, D]` at its columns.
+    fn unhead(&self, full: &mut Tensor, part: &Tensor, h: usize) {
+        let dh = self.head_dim();
+        for r in 0..part.rows() {
+            let dst = &mut full.row_mut(r)[h * dh..(h + 1) * dh];
+            for (d, s) in dst.iter_mut().zip(part.row(r)) {
+                *d += s;
+            }
+        }
+    }
+
+    /// Forward over one sequence `[T, D]`.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let t = x.rows();
+        assert_eq!(x.cols(), self.dim);
+        let qkv = self.wqkv.forward(x); // [T, 3D]
+        let d = self.dim;
+        let mut q = Tensor::zeros(&[t, d]);
+        let mut k = Tensor::zeros(&[t, d]);
+        let mut v = Tensor::zeros(&[t, d]);
+        for r in 0..t {
+            q.row_mut(r).copy_from_slice(&qkv.row(r)[0..d]);
+            k.row_mut(r).copy_from_slice(&qkv.row(r)[d..2 * d]);
+            v.row_mut(r).copy_from_slice(&qkv.row(r)[2 * d..3 * d]);
+        }
+
+        let dh = self.head_dim();
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut ctx = Tensor::zeros(&[t, d]);
+        let mut attn_mats = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let qh = self.head(&q, h);
+            let kh = self.head(&k, h);
+            let vh = self.head(&v, h);
+            // Scores with causal mask.
+            let mut s = Tensor::zeros(&[t, t]);
+            for i in 0..t {
+                for j in 0..t {
+                    if self.causal && j > i {
+                        s.set(i, j, f32::NEG_INFINITY);
+                    } else {
+                        let dot: f32 = qh.row(i).iter().zip(kh.row(j)).map(|(a, b)| a * b).sum();
+                        s.set(i, j, dot * scale);
+                    }
+                }
+            }
+            softmax_rows(&mut s);
+            // ctx_h = a · v_h.
+            let mut ctx_h = Tensor::zeros(&[t, dh]);
+            for i in 0..t {
+                for j in 0..t {
+                    let a = s.at(i, j);
+                    if a == 0.0 {
+                        continue;
+                    }
+                    for c in 0..dh {
+                        ctx_h.data_mut()[i * dh + c] += a * vh.at(j, c);
+                    }
+                }
+            }
+            self.unhead(&mut ctx, &ctx_h, h);
+            attn_mats.push(s);
+        }
+        self.cache = Some(AttnCache { q, k, v, attn: attn_mats });
+        self.wo.forward(&ctx)
+    }
+
+    /// Backward over one sequence; returns dx `[T, D]`.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let d_ctx = self.wo.backward(dy); // [T, D]
+        let cache = self.cache.take().expect("backward before forward");
+        let t = d_ctx.rows();
+        let d = self.dim;
+        let dh = self.head_dim();
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        let mut dq = Tensor::zeros(&[t, d]);
+        let mut dk = Tensor::zeros(&[t, d]);
+        let mut dv = Tensor::zeros(&[t, d]);
+
+        for h in 0..self.heads {
+            let qh = self.head(&cache.q, h);
+            let kh = self.head(&cache.k, h);
+            let vh = self.head(&cache.v, h);
+            let a = &cache.attn[h]; // [T, T]
+            let d_ctx_h = self.head(&d_ctx, h); // [T, dh]
+
+            // dV_h = aᵀ · d_ctx_h ; dA = d_ctx_h · V_hᵀ.
+            let mut dvh = Tensor::zeros(&[t, dh]);
+            let mut da = Tensor::zeros(&[t, t]);
+            for i in 0..t {
+                for j in 0..t {
+                    let aij = a.at(i, j);
+                    let mut dot = 0f32;
+                    for c in 0..dh {
+                        let g = d_ctx_h.at(i, c);
+                        dvh.data_mut()[j * dh + c] += aij * g;
+                        dot += g * vh.at(j, c);
+                    }
+                    da.set(i, j, dot);
+                }
+            }
+            // Softmax backward per row: ds = a ⊙ (da − Σ_j a·da).
+            let mut ds = Tensor::zeros(&[t, t]);
+            for i in 0..t {
+                let mut dot = 0f32;
+                for j in 0..t {
+                    dot += a.at(i, j) * da.at(i, j);
+                }
+                for j in 0..t {
+                    ds.set(i, j, a.at(i, j) * (da.at(i, j) - dot));
+                }
+            }
+            // dQ_h = ds · K_h · scale ; dK_h = dsᵀ · Q_h · scale.
+            let mut dqh = Tensor::zeros(&[t, dh]);
+            let mut dkh = Tensor::zeros(&[t, dh]);
+            for i in 0..t {
+                for j in 0..t {
+                    let dsv = ds.at(i, j) * scale;
+                    if dsv == 0.0 {
+                        continue;
+                    }
+                    for c in 0..dh {
+                        dqh.data_mut()[i * dh + c] += dsv * kh.at(j, c);
+                        dkh.data_mut()[j * dh + c] += dsv * qh.at(i, c);
+                    }
+                }
+            }
+            self.unhead(&mut dq, &dqh, h);
+            self.unhead(&mut dk, &dkh, h);
+            self.unhead(&mut dv, &dvh, h);
+        }
+
+        // Reassemble d_qkv and run the fused projection backward.
+        let mut d_qkv = Tensor::zeros(&[t, 3 * d]);
+        for r in 0..t {
+            d_qkv.row_mut(r)[0..d].copy_from_slice(dq.row(r));
+            d_qkv.row_mut(r)[d..2 * d].copy_from_slice(dk.row(r));
+            d_qkv.row_mut(r)[2 * d..3 * d].copy_from_slice(dv.row(r));
+        }
+        self.wqkv.backward(&d_qkv)
+    }
+}
+
+impl Visitable for CausalSelfAttention {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.wqkv.visit_params(f);
+        self.wo.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attn(dim: usize, heads: usize, causal: bool, seed: u64) -> CausalSelfAttention {
+        let mut rng = SimRng::seed_from_u64(seed);
+        CausalSelfAttention::new("attn", dim, heads, causal, &mut rng)
+    }
+
+    #[test]
+    fn output_shape_and_determinism() {
+        let mut a1 = attn(8, 2, true, 5);
+        let mut a2 = attn(8, 2, true, 5);
+        let x = Tensor::from_vec(&[4, 8], (0..32).map(|i| ((i as f32) * 0.2).sin()).collect());
+        let y1 = a1.forward(&x);
+        let y2 = a2.forward(&x);
+        assert_eq!(y1.shape(), &[4, 8]);
+        assert_eq!(y1.data(), y2.data());
+    }
+
+    #[test]
+    fn causal_mask_blocks_future() {
+        // Changing a later token must not change earlier outputs.
+        let mut a = attn(8, 2, true, 5);
+        let x1 = Tensor::from_vec(&[4, 8], (0..32).map(|i| ((i as f32) * 0.2).sin()).collect());
+        let mut x2 = x1.clone();
+        for v in x2.row_mut(3) {
+            *v += 1.0;
+        }
+        let y1 = a.forward(&x1);
+        let mut a2 = attn(8, 2, true, 5);
+        let y2 = a2.forward(&x2);
+        for r in 0..3 {
+            for c in 0..8 {
+                assert!((y1.at(r, c) - y2.at(r, c)).abs() < 1e-6, "row {r} leaked future");
+            }
+        }
+        // Row 3 must differ.
+        let diff: f32 = (0..8).map(|c| (y1.at(3, c) - y2.at(3, c)).abs()).sum();
+        assert!(diff > 1e-4);
+    }
+
+    #[test]
+    fn non_causal_attends_everywhere() {
+        let mut a = attn(4, 1, false, 9);
+        let x1 = Tensor::from_vec(&[3, 4], (0..12).map(|i| (i as f32) * 0.1).collect());
+        let mut x2 = x1.clone();
+        for v in x2.row_mut(2) {
+            *v += 1.0;
+        }
+        let y1 = a.forward(&x1);
+        let mut a2 = attn(4, 1, false, 9);
+        let y2 = a2.forward(&x2);
+        let diff: f32 = (0..4).map(|c| (y1.at(0, c) - y2.at(0, c)).abs()).sum();
+        assert!(diff > 1e-5, "non-causal row 0 must see row 2");
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut a = attn(6, 2, true, 11);
+        let t = 3;
+        let x = Tensor::from_vec(&[t, 6], (0..18).map(|i| ((i as f32) * 0.37).cos() * 0.5).collect());
+        a.zero_grads();
+        a.forward(&x);
+        let dy = Tensor::full(&[t, 6], 1.0);
+        let dx = a.backward(&dy);
+
+        let h = 1e-3f32;
+        let loss = |att: &mut CausalSelfAttention, xx: &Tensor| att.forward(xx).sum();
+        for &idx in &[0usize, 7, 17] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += h;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= h;
+            let num = (loss(&mut a, &xp) - loss(&mut a, &xm)) / (2.0 * h);
+            let ana = dx.data()[idx];
+            assert!(
+                (num - ana).abs() < 3e-2 * (1.0 + ana.abs()),
+                "dx[{idx}]: {ana} vs {num}"
+            );
+        }
+        // Spot-check a weight gradient too (re-run fwd/bwd to refresh grads).
+        a.zero_grads();
+        a.forward(&x);
+        a.backward(&dy);
+        let widx = 5usize;
+        let ana = a.wqkv.w.grad[widx];
+        let orig = a.wqkv.w.value[widx];
+        a.wqkv.w.value[widx] = orig + h;
+        let lp = loss(&mut a, &x);
+        a.wqkv.w.value[widx] = orig - h;
+        let lm = loss(&mut a, &x);
+        a.wqkv.w.value[widx] = orig;
+        let num = (lp - lm) / (2.0 * h);
+        assert!((num - ana).abs() < 3e-2 * (1.0 + ana.abs()), "dW: {ana} vs {num}");
+    }
+
+    #[test]
+    fn param_count() {
+        let mut a = attn(8, 2, true, 1);
+        // wqkv: 8·24 + 24; wo: 8·8 + 8.
+        assert_eq!(a.param_count(), 8 * 24 + 24 + 64 + 8);
+    }
+}

@@ -1,0 +1,126 @@
+//! Inverted dropout.
+//!
+//! Fine-tuning recipes for every Table III model use dropout; it also
+//! matters to the §III byte-change statistics (dropout noise keeps
+//! gradients "changing in all bytes" even near convergence).
+
+use crate::tensor::Tensor;
+use teco_sim::SimRng;
+
+/// Inverted dropout: at train time, zero each element with probability `p`
+/// and scale survivors by `1/(1−p)`; at eval time, identity.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    /// Drop probability.
+    pub p: f32,
+    training: bool,
+    mask: Option<Vec<bool>>,
+}
+
+impl Dropout {
+    /// New dropout with probability `p ∈ [0, 1)`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "p must be in [0,1): {p}");
+        Dropout { p, training: true, mask: None }
+    }
+
+    /// Switch between train and eval behavior.
+    pub fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+    /// Is the layer in training mode?
+    pub fn training(&self) -> bool {
+        self.training
+    }
+
+    /// Forward pass; draws a fresh mask from `rng` when training.
+    pub fn forward(&mut self, x: &Tensor, rng: &mut SimRng) -> Tensor {
+        if !self.training || self.p == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<bool> = (0..x.len()).map(|_| rng.bernoulli(keep as f64)).collect();
+        let mut y = x.clone();
+        for (v, &m) in y.data_mut().iter_mut().zip(&mask) {
+            *v = if m { *v * scale } else { 0.0 };
+        }
+        self.mask = Some(mask);
+        y
+    }
+
+    /// Backward pass: gradients flow only through kept elements, scaled.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        match &self.mask {
+            None => dy.clone(),
+            Some(mask) => {
+                assert_eq!(mask.len(), dy.len(), "mask/grad shape mismatch");
+                let scale = 1.0 / (1.0 - self.p);
+                let mut dx = dy.clone();
+                for (g, &m) in dx.data_mut().iter_mut().zip(mask) {
+                    *g = if m { *g * scale } else { 0.0 };
+                }
+                dx
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5);
+        d.set_training(false);
+        let mut rng = SimRng::seed_from_u64(1);
+        let x = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(d.forward(&x, &mut rng).data(), x.data());
+        assert_eq!(d.backward(&x).data(), x.data());
+    }
+
+    #[test]
+    fn expectation_preserved() {
+        let mut d = Dropout::new(0.3);
+        let mut rng = SimRng::seed_from_u64(2);
+        let x = Tensor::full(&[100, 100], 1.0);
+        let y = d.forward(&x, &mut rng);
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.02, "E[y]={mean}");
+        // Survivors are scaled by exactly 1/keep.
+        let keep_scale = 1.0 / 0.7;
+        assert!(y
+            .data()
+            .iter()
+            .all(|&v| v == 0.0 || (v - keep_scale).abs() < 1e-6));
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5);
+        let mut rng = SimRng::seed_from_u64(3);
+        let x = Tensor::full(&[1, 64], 1.0);
+        let y = d.forward(&x, &mut rng);
+        let dy = Tensor::full(&[1, 64], 1.0);
+        let dx = d.backward(&dy);
+        for (yv, gv) in y.data().iter().zip(dx.data()) {
+            assert_eq!(*yv == 0.0, *gv == 0.0, "mask mismatch");
+        }
+    }
+
+    #[test]
+    fn zero_probability_is_identity_in_training() {
+        let mut d = Dropout::new(0.0);
+        let mut rng = SimRng::seed_from_u64(4);
+        let x = Tensor::from_vec(&[4], vec![1., -2., 3., -4.]);
+        assert_eq!(d.forward(&x, &mut rng).data(), x.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in")]
+    fn rejects_p_one() {
+        Dropout::new(1.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Lookup-table embedding with explicit backward.
+
+use super::param::{Param, Visitable};
+use crate::tensor::Tensor;
+use teco_sim::SimRng;
+
+/// An embedding table `[vocab, dim]`: forward gathers rows by index,
+/// backward scatters gradients back to the gathered rows.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    /// The table, flat `[vocab × dim]`.
+    pub table: Param,
+    vocab: usize,
+    dim: usize,
+    cache_idx: Option<Vec<usize>>,
+}
+
+impl Embedding {
+    /// New table with N(0, std) entries.
+    pub fn new(name: &str, vocab: usize, dim: usize, std: f32, rng: &mut SimRng) -> Self {
+        Embedding {
+            table: Param::randn(format!("{name}.table"), vocab * dim, std, rng),
+            vocab,
+            dim,
+            cache_idx: None,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Gather rows for `indices`; output `[len, dim]`.
+    pub fn forward(&mut self, indices: &[usize]) -> Tensor {
+        let mut out = Tensor::zeros(&[indices.len(), self.dim]);
+        for (r, &ix) in indices.iter().enumerate() {
+            assert!(ix < self.vocab, "token {ix} out of vocab {}", self.vocab);
+            let src = &self.table.value[ix * self.dim..(ix + 1) * self.dim];
+            out.row_mut(r).copy_from_slice(src);
+        }
+        self.cache_idx = Some(indices.to_vec());
+        out
+    }
+
+    /// Scatter-add `dy` rows into the table gradient.
+    pub fn backward(&mut self, dy: &Tensor) {
+        let idx = self.cache_idx.as_ref().expect("backward before forward");
+        assert_eq!(dy.rows(), idx.len());
+        assert_eq!(dy.cols(), self.dim);
+        for (r, &ix) in idx.iter().enumerate() {
+            let dst = &mut self.table.grad[ix * self.dim..(ix + 1) * self.dim];
+            for (g, d) in dst.iter_mut().zip(dy.row(r)) {
+                *g += d;
+            }
+        }
+    }
+}
+
+impl Visitable for Embedding {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.table);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_rows() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut e = Embedding::new("e", 4, 3, 0.1, &mut rng);
+        for v in 0..4 {
+            for d in 0..3 {
+                e.table.value[v * 3 + d] = (v * 10 + d) as f32;
+            }
+        }
+        let y = e.forward(&[2, 0, 2]);
+        assert_eq!(y.row(0), &[20., 21., 22.]);
+        assert_eq!(y.row(1), &[0., 1., 2.]);
+        assert_eq!(y.row(2), &[20., 21., 22.]);
+    }
+
+    #[test]
+    fn scatter_accumulates_repeats() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut e = Embedding::new("e", 4, 2, 0.1, &mut rng);
+        e.forward(&[1, 1, 3]);
+        let dy = Tensor::from_vec(&[3, 2], vec![1., 2., 3., 4., 5., 6.]);
+        e.backward(&dy);
+        // Token 1 appears twice: grads sum.
+        assert_eq!(&e.table.grad[2..4], &[4., 6.]);
+        assert_eq!(&e.table.grad[6..8], &[5., 6.]);
+        // Untouched rows stay zero.
+        assert_eq!(&e.table.grad[0..2], &[0., 0.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocab")]
+    fn oov_panics() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut e = Embedding::new("e", 4, 2, 0.1, &mut rng);
+        e.forward(&[4]);
+    }
+}

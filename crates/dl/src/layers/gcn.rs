@@ -1,0 +1,270 @@
+//! GCNII-style graph convolution (Chen et al., ICML'20 — the paper's fifth
+//! workload, Table III).
+//!
+//! One GCNII layer computes
+//! `H' = σ( ((1−α)·P·H + α·H0) · ((1−β)·I + β·W) )`
+//! where `P` is the symmetric-normalized adjacency with self-loops, `H0` the
+//! initial representation (residual connection to layer 0), `α` the initial
+//! residual weight and `β = ln(λ/ℓ + 1)` the identity-mapping strength at
+//! depth `ℓ`.
+
+use super::param::{Param, Visitable};
+use crate::ops::{matmul, matmul_nt, matmul_tn};
+use crate::tensor::Tensor;
+use teco_sim::SimRng;
+
+/// A sparse symmetric-normalized adjacency operator `P = D̃^-½ Ã D̃^-½`.
+#[derive(Debug, Clone)]
+pub struct NormAdj {
+    n: usize,
+    /// CSR-ish: for each node, (neighbor, weight) including the self loop.
+    rows: Vec<Vec<(usize, f32)>>,
+}
+
+impl NormAdj {
+    /// Build from an undirected edge list over `n` nodes (self-loops added).
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            assert!(a < n && b < n, "edge ({a},{b}) out of range");
+            if a != b {
+                adj[a].push(b);
+                adj[b].push(a);
+            }
+        }
+        for (i, l) in adj.iter_mut().enumerate() {
+            l.push(i); // self loop
+            l.sort_unstable();
+            l.dedup();
+        }
+        let deg: Vec<f32> = adj.iter().map(|l| l.len() as f32).collect();
+        let rows = adj
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                l.iter()
+                    .map(|&j| (j, 1.0 / (deg[i] * deg[j]).sqrt()))
+                    .collect()
+            })
+            .collect();
+        NormAdj { n, rows }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `Y = P · X` for `X: [n, d]`.
+    pub fn propagate(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.rows(), self.n);
+        let d = x.cols();
+        let mut y = Tensor::zeros(&[self.n, d]);
+        for (i, nbrs) in self.rows.iter().enumerate() {
+            for &(j, w) in nbrs {
+                let src = x.row(j);
+                let dst = &mut y.data_mut()[i * d..(i + 1) * d];
+                for (o, s) in dst.iter_mut().zip(src) {
+                    *o += w * s;
+                }
+            }
+        }
+        y
+    }
+
+    /// `P` is symmetric, so propagate is its own transpose — used in
+    /// backward.
+    pub fn propagate_transpose(&self, x: &Tensor) -> Tensor {
+        self.propagate(x)
+    }
+}
+
+/// One GCNII layer.
+#[derive(Debug, Clone)]
+pub struct GcnIILayer {
+    /// Weight `[d, d]`.
+    pub w: Param,
+    dim: usize,
+    /// Initial-residual mixing weight α.
+    pub alpha: f32,
+    /// Identity-mapping strength β at this depth.
+    pub beta: f32,
+    cache: Option<(Tensor, Tensor)>, // (support = (1−α)PH + αH0, pre-ReLU out)
+}
+
+impl GcnIILayer {
+    /// New layer at depth `layer_index` (1-based) with decay constant
+    /// `lambda` (GCNII uses λ ≈ 0.5–1.5).
+    pub fn new(name: &str, dim: usize, alpha: f32, lambda: f32, layer_index: usize, rng: &mut SimRng) -> Self {
+        let beta = (lambda / layer_index as f32 + 1.0).ln();
+        GcnIILayer {
+            w: Param::randn(format!("{name}.w"), dim * dim, (1.0 / dim as f32).sqrt(), rng),
+            dim,
+            alpha,
+            beta,
+            cache: None,
+        }
+    }
+
+    fn w_tensor(&self) -> Tensor {
+        Tensor::from_vec(&[self.dim, self.dim], self.w.value.clone())
+    }
+
+    /// Forward: `relu( support · ((1−β)I + βW) )` with
+    /// `support = (1−α)·P·h + α·h0`.
+    pub fn forward(&mut self, adj: &NormAdj, h: &Tensor, h0: &Tensor) -> Tensor {
+        assert_eq!(h.cols(), self.dim);
+        let ph = adj.propagate(h);
+        let mut support = ph;
+        support.scale(1.0 - self.alpha);
+        let mut h0s = h0.clone();
+        h0s.scale(self.alpha);
+        support.add_assign(&h0s);
+
+        // out = (1−β)·support + β·support·W
+        let mut sw = matmul(&support, &self.w_tensor());
+        sw.scale(self.beta);
+        let mut pre = support.clone();
+        pre.scale(1.0 - self.beta);
+        pre.add_assign(&sw);
+
+        let out = pre.map(|x| x.max(0.0));
+        self.cache = Some((support, pre));
+        out
+    }
+
+    /// Backward; returns `(dh, dh0)`.
+    pub fn backward(&mut self, adj: &NormAdj, dy: &Tensor) -> (Tensor, Tensor) {
+        let (support, pre) = self.cache.take().expect("backward before forward");
+        // Through ReLU.
+        let mut d_pre = dy.clone();
+        for (d, &p) in d_pre.data_mut().iter_mut().zip(pre.data()) {
+            if p <= 0.0 {
+                *d = 0.0;
+            }
+        }
+        // dW = β · supportᵀ · d_pre.
+        let dw = matmul_tn(&support, &d_pre);
+        for (g, d) in self.w.grad.iter_mut().zip(dw.data()) {
+            *g += self.beta * d;
+        }
+        // d_support = (1−β)·d_pre + β·d_pre·Wᵀ.
+        let mut d_support = matmul_nt(&d_pre, &self.w_tensor());
+        d_support.scale(self.beta);
+        let mut lin = d_pre;
+        lin.scale(1.0 - self.beta);
+        d_support.add_assign(&lin);
+        // Split into the two inputs.
+        let mut dh = adj.propagate_transpose(&d_support);
+        dh.scale(1.0 - self.alpha);
+        let mut dh0 = d_support;
+        dh0.scale(self.alpha);
+        (dh, dh0)
+    }
+}
+
+impl Visitable for GcnIILayer {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> NormAdj {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        NormAdj::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn norm_adj_row_weights() {
+        let adj = path_graph(3);
+        // Node 0: neighbors {0, 1}; deg(0)=2 (incl self), deg(1)=3.
+        let x = Tensor::from_vec(&[3, 1], vec![1.0, 1.0, 1.0]);
+        let y = adj.propagate(&x);
+        // Each output = Σ 1/sqrt(deg_i deg_j).
+        let expect0 = 1.0 / (2.0f32) + 1.0 / (2.0f32 * 3.0).sqrt();
+        assert!((y.at(0, 0) - expect0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn propagation_is_symmetric() {
+        let adj = path_graph(5);
+        let x = Tensor::from_vec(&[5, 2], (0..10).map(|i| (i as f32).sin()).collect());
+        let y = Tensor::from_vec(&[5, 2], (0..10).map(|i| (i as f32).cos()).collect());
+        // <Px, y> == <x, Py> for symmetric P.
+        let px = adj.propagate(&x);
+        let py = adj.propagate(&y);
+        let a: f32 = px.data().iter().zip(y.data()).map(|(u, v)| u * v).sum();
+        let b: f32 = x.data().iter().zip(py.data()).map(|(u, v)| u * v).sum();
+        assert!((a - b).abs() < 1e-4);
+    }
+
+    #[test]
+    fn beta_decays_with_depth() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let l1 = GcnIILayer::new("g1", 4, 0.1, 1.0, 1, &mut rng);
+        let l8 = GcnIILayer::new("g8", 4, 0.1, 1.0, 8, &mut rng);
+        assert!(l1.beta > l8.beta, "identity mapping strengthens with depth");
+        assert!(l8.beta > 0.0);
+    }
+
+    #[test]
+    fn forward_shape_and_nonnegativity() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let adj = path_graph(6);
+        let mut l = GcnIILayer::new("g", 3, 0.1, 0.5, 1, &mut rng);
+        let h = Tensor::from_vec(&[6, 3], (0..18).map(|i| ((i as f32) * 0.7).sin()).collect());
+        let h0 = h.clone();
+        let y = l.forward(&adj, &h, &h0);
+        assert_eq!(y.shape(), &[6, 3]);
+        assert!(y.data().iter().all(|&v| v >= 0.0), "ReLU output");
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = SimRng::seed_from_u64(23);
+        let adj = path_graph(4);
+        let mut l = GcnIILayer::new("g", 3, 0.2, 0.8, 2, &mut rng);
+        let h = Tensor::from_vec(&[4, 3], (0..12).map(|i| ((i as f32) * 0.41).cos()).collect());
+        let h0 = Tensor::from_vec(&[4, 3], (0..12).map(|i| ((i as f32) * 0.23).sin()).collect());
+        l.zero_grads();
+        l.forward(&adj, &h, &h0);
+        let dy = Tensor::full(&[4, 3], 1.0);
+        let (dh, dh0) = l.backward(&adj, &dy);
+
+        let hstep = 1e-3f32;
+        let loss = |l: &mut GcnIILayer, hh: &Tensor, hh0: &Tensor| l.forward(&adj, hh, hh0).sum();
+        for &idx in &[0usize, 5, 11] {
+            let mut hp = h.clone();
+            hp.data_mut()[idx] += hstep;
+            let mut hm = h.clone();
+            hm.data_mut()[idx] -= hstep;
+            let num = (loss(&mut l, &hp, &h0) - loss(&mut l, &hm, &h0)) / (2.0 * hstep);
+            assert!((num - dh.data()[idx]).abs() < 5e-2, "dh[{idx}]: {} vs {num}", dh.data()[idx]);
+
+            let mut h0p = h0.clone();
+            h0p.data_mut()[idx] += hstep;
+            let mut h0m = h0.clone();
+            h0m.data_mut()[idx] -= hstep;
+            let num0 = (loss(&mut l, &h, &h0p) - loss(&mut l, &h, &h0m)) / (2.0 * hstep);
+            assert!((num0 - dh0.data()[idx]).abs() < 5e-2, "dh0[{idx}]");
+        }
+        // Weight gradient spot check.
+        l.zero_grads();
+        l.forward(&adj, &h, &h0);
+        l.backward(&adj, &dy);
+        let widx = 4;
+        let ana = l.w.grad[widx];
+        let orig = l.w.value[widx];
+        l.w.value[widx] = orig + hstep;
+        let lp = loss(&mut l, &h, &h0);
+        l.w.value[widx] = orig - hstep;
+        let lm = loss(&mut l, &h, &h0);
+        l.w.value[widx] = orig;
+        let num = (lp - lm) / (2.0 * hstep);
+        assert!((num - ana).abs() < 5e-2, "dW: {ana} vs {num}");
+    }
+}

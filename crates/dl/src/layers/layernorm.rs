@@ -1,0 +1,168 @@
+//! Layer normalization with explicit backward.
+
+use super::param::{Param, Visitable};
+use crate::tensor::Tensor;
+
+/// Row-wise LayerNorm: `y = γ · (x − μ) / √(σ² + ε) + β`.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    /// Scale γ, `[dim]`.
+    pub gamma: Param,
+    /// Shift β, `[dim]`.
+    pub beta: Param,
+    dim: usize,
+    eps: f32,
+    /// Cached normalized input x̂ and inverse std per row.
+    cache: Option<(Tensor, Vec<f32>)>,
+}
+
+impl LayerNorm {
+    /// New LayerNorm over feature width `dim`, γ=1, β=0.
+    pub fn new(name: &str, dim: usize) -> Self {
+        let mut gamma = Param::zeros(format!("{name}.gamma"), dim);
+        gamma.value.iter_mut().for_each(|v| *v = 1.0);
+        LayerNorm {
+            gamma,
+            beta: Param::zeros(format!("{name}.beta"), dim),
+            dim,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Forward pass over `[n, dim]`.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.cols(), self.dim);
+        let n = x.rows();
+        let d = self.dim;
+        let mut xhat = Tensor::zeros(&[n, d]);
+        let mut inv_std = vec![0f32; n];
+        let mut y = Tensor::zeros(&[n, d]);
+        for r in 0..n {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let istd = 1.0 / (var + self.eps).sqrt();
+            inv_std[r] = istd;
+            for c in 0..d {
+                let xh = (row[c] - mean) * istd;
+                xhat.set(r, c, xh);
+                y.set(r, c, self.gamma.value[c] * xh + self.beta.value[c]);
+            }
+        }
+        self.cache = Some((xhat, inv_std));
+        y
+    }
+
+    /// Backward pass: accumulates dγ, dβ; returns dx.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let (xhat, inv_std) = self.cache.as_ref().expect("backward before forward");
+        let n = dy.rows();
+        let d = self.dim;
+        let mut dx = Tensor::zeros(&[n, d]);
+        for r in 0..n {
+            let dyr = dy.row(r);
+            let xhr = xhat.row(r);
+            // dγ, dβ.
+            for c in 0..d {
+                self.gamma.grad[c] += dyr[c] * xhr[c];
+                self.beta.grad[c] += dyr[c];
+            }
+            // dx via the standard LayerNorm backward:
+            // dx = (γ·dy − mean(γ·dy) − x̂·mean(γ·dy·x̂)) · inv_std
+            let mut g = vec![0f32; d];
+            for c in 0..d {
+                g[c] = self.gamma.value[c] * dyr[c];
+            }
+            let mean_g = g.iter().sum::<f32>() / d as f32;
+            let mean_gx = g.iter().zip(xhr).map(|(a, b)| a * b).sum::<f32>() / d as f32;
+            for c in 0..d {
+                dx.set(r, c, (g[c] - mean_g - xhr[c] * mean_gx) * inv_std[r]);
+            }
+        }
+        dx
+    }
+}
+
+impl Visitable for LayerNorm {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_normalizes_rows() {
+        let mut ln = LayerNorm::new("ln", 4);
+        let x = Tensor::from_vec(&[2, 4], vec![1., 2., 3., 4., 10., 10., 10., 10.]);
+        let y = ln.forward(&x);
+        // Row 0: mean 0, unit variance after normalization.
+        let m: f32 = y.row(0).iter().sum::<f32>() / 4.0;
+        assert!(m.abs() < 1e-5);
+        let v: f32 = y.row(0).iter().map(|a| a * a).sum::<f32>() / 4.0;
+        assert!((v - 1.0).abs() < 1e-3);
+        // Constant row normalizes to ~0.
+        assert!(y.row(1).iter().all(|a| a.abs() < 1e-2));
+    }
+
+    #[test]
+    fn gamma_beta_applied() {
+        let mut ln = LayerNorm::new("ln", 2);
+        ln.gamma.value = vec![2.0, 2.0];
+        ln.beta.value = vec![1.0, 1.0];
+        let x = Tensor::from_vec(&[1, 2], vec![-1.0, 1.0]);
+        let y = ln.forward(&x);
+        // x̂ = [-1, 1] (unit variance already): y = 2·x̂ + 1 = [-1, 3].
+        assert!((y.at(0, 0) + 1.0).abs() < 1e-2);
+        assert!((y.at(0, 1) - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut ln = LayerNorm::new("ln", 6);
+        ln.gamma.value = vec![0.9, 1.1, 1.0, 0.8, 1.2, 1.05];
+        let x = Tensor::from_vec(&[2, 6], (0..12).map(|i| ((i as f32) * 0.31).cos()).collect());
+        let y = ln.forward(&x);
+        let dy = Tensor::full(&[2, 6], 1.0);
+        ln.zero_grads();
+        let dx = ln.backward(&dy);
+        drop(y);
+
+        let h = 1e-3f32;
+        // Check dx numerically: L = sum(LN(x)).
+        for &idx in &[0usize, 5, 7, 11] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += h;
+            let lp = ln.forward(&xp).sum();
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= h;
+            let lm = ln.forward(&xm).sum();
+            let num = (lp - lm) / (2.0 * h);
+            let ana = dx.data()[idx];
+            assert!((num - ana).abs() < 5e-2, "dx[{idx}]: {ana} vs {num}");
+        }
+        // Check dγ numerically.
+        for &c in &[0usize, 3, 5] {
+            let orig = ln.gamma.value[c];
+            ln.gamma.value[c] = orig + h;
+            let lp = ln.forward(&x).sum();
+            ln.gamma.value[c] = orig - h;
+            let lm = ln.forward(&x).sum();
+            ln.gamma.value[c] = orig;
+            let num = (lp - lm) / (2.0 * h);
+            assert!((num - ln.gamma.grad[c]).abs() < 5e-2, "dγ[{c}]");
+        }
+        // dβ is just the column sum of dy.
+        assert!(ln.beta.grad.iter().all(|g| (g - 2.0).abs() < 1e-5));
+    }
+
+    #[test]
+    fn visitable() {
+        let mut ln = LayerNorm::new("n", 8);
+        assert_eq!(ln.param_count(), 16);
+    }
+}

@@ -1,0 +1,175 @@
+//! Fully-connected layer with explicit backward.
+
+use super::param::{Param, Visitable};
+use crate::ops::{add_bias, matmul, matmul_nt, matmul_tn};
+use crate::tensor::Tensor;
+use teco_sim::SimRng;
+
+/// `y = x·W + b`, `x: [n, in]`, `W: [in, out]`, `b: [out]`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weight matrix, flat `[in × out]`.
+    pub w: Param,
+    /// Bias vector `[out]`.
+    pub b: Param,
+    in_dim: usize,
+    out_dim: usize,
+    /// Cached input from the last forward, for backward.
+    cache_x: Option<Tensor>,
+}
+
+impl Linear {
+    /// New layer with N(0, std) weights and zero bias.
+    pub fn new(name: &str, in_dim: usize, out_dim: usize, std: f32, rng: &mut SimRng) -> Self {
+        Linear {
+            w: Param::randn(format!("{name}.w"), in_dim * out_dim, std, rng),
+            b: Param::zeros(format!("{name}.b"), out_dim),
+            in_dim,
+            out_dim,
+            cache_x: None,
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    fn w_tensor(&self) -> Tensor {
+        Tensor::from_vec(&[self.in_dim, self.out_dim], self.w.value.clone())
+    }
+
+    /// Forward pass; caches `x` for backward.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.cols(), self.in_dim);
+        let mut y = matmul(x, &self.w_tensor());
+        add_bias(&mut y, &self.b.value);
+        self.cache_x = Some(x.clone());
+        y
+    }
+
+    /// Backward pass: accumulates `dW = xᵀ·dy`, `db = Σ dy`, returns
+    /// `dx = dy·Wᵀ`.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self.cache_x.as_ref().expect("backward before forward");
+        assert_eq!(dy.cols(), self.out_dim);
+        assert_eq!(dy.rows(), x.rows());
+
+        let dw = matmul_tn(x, dy); // [in, out]
+        for (g, d) in self.w.grad.iter_mut().zip(dw.data()) {
+            *g += d;
+        }
+        for r in 0..dy.rows() {
+            for (g, d) in self.b.grad.iter_mut().zip(dy.row(r)) {
+                *g += d;
+            }
+        }
+        let w = self.w_tensor();
+        matmul_nt(dy, &w) // [n, in]
+    }
+}
+
+impl Visitable for Linear {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check(layer: &mut Linear, x: &Tensor) {
+        // Scalar loss L = sum(y). dL/dy = ones.
+        let y = layer.forward(x);
+        let ones = Tensor::full(&[y.rows(), y.cols()], 1.0);
+        layer.zero_grads();
+        let dx = layer.backward(&ones);
+
+        // Check dW numerically at a few positions.
+        let h = 1e-3f32;
+        for &idx in &[0usize, 1, layer.w.len() - 1] {
+            let orig = layer.w.value[idx];
+            layer.w.value[idx] = orig + h;
+            let lp = layer.forward(x).sum();
+            layer.w.value[idx] = orig - h;
+            let lm = layer.forward(x).sum();
+            layer.w.value[idx] = orig;
+            let num = (lp - lm) / (2.0 * h);
+            let ana = layer.w.grad[idx];
+            assert!((num - ana).abs() < 2e-2 * (1.0 + ana.abs()), "dW[{idx}]: {ana} vs {num}");
+        }
+        // Check dx numerically.
+        for &idx in &[0usize, x.len() - 1] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += h;
+            let lp = layer.forward(&xp).sum();
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= h;
+            let lm = layer.forward(&xm).sum();
+            let num = (lp - lm) / (2.0 * h);
+            let ana = dx.data()[idx];
+            assert!((num - ana).abs() < 2e-2 * (1.0 + ana.abs()), "dx[{idx}]: {ana} vs {num}");
+        }
+    }
+
+    #[test]
+    fn forward_known_values() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut l = Linear::new("l", 2, 2, 0.0, &mut rng);
+        l.w.value = vec![1.0, 2.0, 3.0, 4.0]; // [[1,2],[3,4]]
+        l.b.value = vec![0.5, -0.5];
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, 1.0]);
+        let y = l.forward(&x);
+        assert_eq!(y.data(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let mut l = Linear::new("l", 5, 4, 0.3, &mut rng);
+        let x = Tensor::from_vec(&[3, 5], (0..15).map(|i| ((i as f32) * 0.17).sin()).collect());
+        finite_diff_check(&mut l, &x);
+    }
+
+    #[test]
+    fn backward_accumulates_grads() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut l = Linear::new("l", 3, 2, 0.1, &mut rng);
+        let x = Tensor::full(&[2, 3], 1.0);
+        let dy = Tensor::full(&[2, 2], 1.0);
+        l.forward(&x);
+        l.backward(&dy);
+        let g1 = l.w.grad.clone();
+        l.forward(&x);
+        l.backward(&dy);
+        for (a, b) in l.w.grad.iter().zip(&g1) {
+            assert!((a - 2.0 * b).abs() < 1e-5, "grad must accumulate");
+        }
+        // Bias grad: each output column saw 2 rows × 2 passes of 1.0.
+        assert_eq!(l.b.grad, vec![4.0, 4.0]);
+    }
+
+    #[test]
+    fn visit_params_order() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut l = Linear::new("q", 4, 3, 0.1, &mut rng);
+        let mut names = Vec::new();
+        l.visit_params(&mut |p| names.push(p.name.clone()));
+        assert_eq!(names, vec!["q.w", "q.b"]);
+        assert_eq!(l.param_count(), 4 * 3 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_requires_forward() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut l = Linear::new("l", 2, 2, 0.1, &mut rng);
+        l.backward(&Tensor::zeros(&[1, 2]));
+    }
+}

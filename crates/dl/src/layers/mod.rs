@@ -1,0 +1,21 @@
+//! Neural-network layers with explicit forward/backward passes.
+
+pub mod activation;
+pub mod attention;
+pub mod dropout;
+pub mod embedding;
+pub mod gcn;
+pub mod layernorm;
+pub mod linear;
+pub mod param;
+pub mod transformer;
+
+pub use activation::{Act, Activation};
+pub use attention::CausalSelfAttention;
+pub use dropout::Dropout;
+pub use embedding::Embedding;
+pub use gcn::{GcnIILayer, NormAdj};
+pub use layernorm::LayerNorm;
+pub use linear::Linear;
+pub use param::{Param, Visitable};
+pub use transformer::TransformerBlock;

@@ -1,0 +1,120 @@
+//! Trainable parameters.
+//!
+//! A [`Param`] is a named flat FP32 buffer plus its gradient accumulator —
+//! the unit the ADAM optimizer sweeps and the unit whose bytes the TECO
+//! transfer path moves. Layers expose their parameters through
+//! [`Visitable::visit_params`], which is how the optimizer, the byte-change
+//! profiler, and the DBA truncation coupling reach every weight without the
+//! layers knowing about any of them.
+
+use teco_sim::SimRng;
+
+/// One named trainable tensor, stored flat.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Diagnostic name (e.g. `"block0.attn.wqkv"`).
+    pub name: String,
+    /// Current value (on the "GPU" side of the offload split: the working
+    /// copy used by forward/backward).
+    pub value: Vec<f32>,
+    /// Gradient accumulator, same length as `value`.
+    pub grad: Vec<f32>,
+}
+
+impl Param {
+    /// Zero-initialized parameter.
+    pub fn zeros(name: impl Into<String>, len: usize) -> Self {
+        Param {
+            name: name.into(),
+            value: vec![0.0; len],
+            grad: vec![0.0; len],
+        }
+    }
+
+    /// Gaussian initialization with the given std — the usual transformer
+    /// init (0.02) or Xavier-ish scaling chosen by the caller.
+    pub fn randn(name: impl Into<String>, len: usize, std: f32, rng: &mut SimRng) -> Self {
+        Param {
+            name: name.into(),
+            value: (0..len).map(|_| rng.normal(0.0, std as f64) as f32).collect(),
+            grad: vec![0.0; len],
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Reset the gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.iter_mut().for_each(|g| *g = 0.0);
+    }
+}
+
+/// Implemented by every layer and model: walk all trainable parameters.
+pub trait Visitable {
+    /// Call `f` on each parameter, in a stable order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Total scalar parameter count.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+
+    /// Zero all gradients.
+    fn zero_grads(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Global L2 norm of all gradients (for clipping).
+    fn grad_l2_norm(&mut self) -> f32 {
+        let mut acc = 0f64;
+        self.visit_params(&mut |p| {
+            acc += p.grad.iter().map(|g| (*g as f64).powi(2)).sum::<f64>();
+        });
+        acc.sqrt() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Two(Param, Param);
+    impl Visitable for Two {
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.0);
+            f(&mut self.1);
+        }
+    }
+
+    #[test]
+    fn zeros_and_randn() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let z = Param::zeros("z", 8);
+        assert_eq!(z.len(), 8);
+        assert!(z.value.iter().all(|&v| v == 0.0));
+        let r = Param::randn("r", 1000, 0.02, &mut rng);
+        let mean: f32 = r.value.iter().sum::<f32>() / 1000.0;
+        assert!(mean.abs() < 0.01);
+        let std = (r.value.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 1000.0).sqrt();
+        assert!((std - 0.02).abs() < 0.005, "std {std}");
+    }
+
+    #[test]
+    fn visitor_counts_and_zeroes() {
+        let mut m = Two(Param::zeros("a", 3), Param::zeros("b", 5));
+        assert_eq!(m.param_count(), 8);
+        m.0.grad = vec![3.0, 0.0, 4.0];
+        assert!((m.grad_l2_norm() - 5.0).abs() < 1e-6);
+        m.zero_grads();
+        assert_eq!(m.grad_l2_norm(), 0.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! A pre-norm transformer block: `x + Attn(LN(x))` then `x + MLP(LN(x))`.
+
+use super::activation::{Act, Activation};
+use super::attention::CausalSelfAttention;
+use super::layernorm::LayerNorm;
+use super::linear::Linear;
+use super::param::{Param, Visitable};
+use crate::tensor::Tensor;
+use teco_sim::SimRng;
+
+/// One transformer block (GPT-2 style pre-norm).
+#[derive(Debug, Clone)]
+pub struct TransformerBlock {
+    /// Pre-attention LayerNorm.
+    pub ln1: LayerNorm,
+    /// Self-attention.
+    pub attn: CausalSelfAttention,
+    /// Pre-MLP LayerNorm.
+    pub ln2: LayerNorm,
+    /// MLP up-projection `[D, 4D]`.
+    pub fc1: Linear,
+    /// MLP activation.
+    pub act: Activation,
+    /// MLP down-projection `[4D, D]`.
+    pub fc2: Linear,
+}
+
+impl TransformerBlock {
+    /// New block of width `dim` with `heads` attention heads and a 4×
+    /// MLP expansion.
+    pub fn new(name: &str, dim: usize, heads: usize, causal: bool, rng: &mut SimRng) -> Self {
+        let std = 0.02;
+        TransformerBlock {
+            ln1: LayerNorm::new(&format!("{name}.ln1"), dim),
+            attn: CausalSelfAttention::new(&format!("{name}.attn"), dim, heads, causal, rng),
+            ln2: LayerNorm::new(&format!("{name}.ln2"), dim),
+            fc1: Linear::new(&format!("{name}.fc1"), dim, 4 * dim, std, rng),
+            act: Activation::new(Act::Gelu),
+            fc2: Linear::new(&format!("{name}.fc2"), 4 * dim, dim, std, rng),
+        }
+    }
+
+    /// Forward over one sequence `[T, D]`.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        // x + Attn(LN1(x))
+        let h = self.ln1.forward(x);
+        let a = self.attn.forward(&h);
+        let mut y = x.clone();
+        y.add_assign(&a);
+        // y + MLP(LN2(y))
+        let h2 = self.ln2.forward(&y);
+        let m = self.fc2.forward(&self.act.forward(&self.fc1.forward(&h2)));
+        let mut out = y;
+        out.add_assign(&m);
+        out
+    }
+
+    /// Backward; returns dx.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        // Through the MLP residual branch.
+        let d_m = self.fc1.backward(&self.act.backward(&self.fc2.backward(dy)));
+        let d_h2 = self.ln2.backward(&d_m);
+        let mut d_y = dy.clone();
+        d_y.add_assign(&d_h2);
+        // Through the attention residual branch.
+        let d_a = self.attn.backward(&d_y);
+        let d_h1 = self.ln1.backward(&d_a);
+        let mut d_x = d_y;
+        d_x.add_assign(&d_h1);
+        d_x
+    }
+}
+
+impl Visitable for TransformerBlock {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.ln1.visit_params(f);
+        self.attn.visit_params(f);
+        self.ln2.visit_params(f);
+        self.fc1.visit_params(f);
+        self.fc2.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_param_count() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let d = 8;
+        let mut b = TransformerBlock::new("b0", d, 2, true, &mut rng);
+        let x = Tensor::from_vec(&[5, d], (0..40).map(|i| ((i as f32) * 0.11).sin()).collect());
+        let y = b.forward(&x);
+        assert_eq!(y.shape(), &[5, d]);
+        // ln1: 2d; attn: d·3d+3d + d·d+d; ln2: 2d; fc1: d·4d+4d; fc2: 4d·d+d.
+        let expect = 2 * d + (d * 3 * d + 3 * d) + (d * d + d) + 2 * d + (d * 4 * d + 4 * d) + (4 * d * d + d);
+        assert_eq!(b.param_count(), expect);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = SimRng::seed_from_u64(17);
+        let d = 6;
+        let t = 3;
+        let mut b = TransformerBlock::new("b0", d, 2, true, &mut rng);
+        let x = Tensor::from_vec(&[t, d], (0..t * d).map(|i| ((i as f32) * 0.29).cos() * 0.3).collect());
+        b.zero_grads();
+        b.forward(&x);
+        let dy = Tensor::full(&[t, d], 1.0);
+        let dx = b.backward(&dy);
+
+        let h = 1e-3f32;
+        for &idx in &[0usize, 8, t * d - 1] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += h;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= h;
+            let num = (b.forward(&xp).sum() - b.forward(&xm).sum()) / (2.0 * h);
+            let ana = dx.data()[idx];
+            assert!(
+                (num - ana).abs() < 5e-2 * (1.0 + ana.abs()),
+                "dx[{idx}]: {ana} vs {num}"
+            );
+        }
+    }
+
+    #[test]
+    fn residual_path_preserves_signal() {
+        // With tiny weights the block is ≈ identity (residual dominates).
+        let mut rng = SimRng::seed_from_u64(4);
+        let mut b = TransformerBlock::new("b0", 8, 2, true, &mut rng);
+        b.visit_params(&mut |p| {
+            if !p.name.contains("gamma") {
+                p.value.iter_mut().for_each(|v| *v *= 1e-3);
+            }
+        });
+        let x = Tensor::from_vec(&[2, 8], (0..16).map(|i| i as f32 * 0.1).collect());
+        let y = b.forward(&x);
+        for (a, b) in x.data().iter().zip(y.data()) {
+            assert!((a - b).abs() < 0.15, "{a} vs {b}");
+        }
+    }
+}

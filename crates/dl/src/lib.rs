@@ -1,0 +1,45 @@
+//! # teco-dl — a minimal deep-learning framework
+//!
+//! The DL substrate for the TECO (SC'24) reproduction. The paper's
+//! convergence, accuracy, and byte-change-profiling experiments need *real*
+//! training dynamics, so this crate implements — from scratch — everything
+//! those experiments require:
+//!
+//! - [`tensor`] / [`ops`]: dense FP32 tensors and kernels (blocked matmul
+//!   with optional crossbeam-threaded rows, softmax, GELU);
+//! - [`layers`]: Linear, LayerNorm, Embedding, causal multi-head attention,
+//!   pre-norm transformer blocks, and GCNII graph convolution — all with
+//!   explicit, finite-difference-validated backward passes;
+//! - [`loss`]: softmax cross-entropy (+ perplexity), MSE, accuracy;
+//! - [`optim`]: the CPU-resident **ZeRO-Offload-style ADAM** with FP32
+//!   master weights and an explicit GPU-writeback hook (where the DBA merge
+//!   plugs in), plus gradient clipping and SGD;
+//! - [`half`]: IEEE binary16 conversion (the GPU-side mixed-precision cast);
+//! - [`model`]: a trainable GPT-style LM and a GCNII node classifier;
+//! - [`data`]: synthetic learnable datasets (Markov text, Gaussian
+//!   clusters, SBM community graphs);
+//! - [`modelzoo`]: the Table III / Table VI model configurations with the
+//!   FLOP and byte arithmetic the timing models consume;
+//! - [`profile`]: the Fig. 2 value-changed-bytes profiler.
+
+pub mod data;
+pub mod half;
+pub mod layers;
+pub mod loss;
+pub mod model;
+pub mod modelzoo;
+pub mod ops;
+pub mod optim;
+pub mod profile;
+pub mod schedule;
+pub mod seq2seq;
+pub mod tensor;
+
+pub use layers::{Param, Visitable};
+pub use model::{GcnConfig, GcnIIModel, TinyGpt, TinyGptConfig};
+pub use modelzoo::{ModelKind, ModelSpec};
+pub use optim::{AdamConfig, OffloadedAdam, Sgd};
+pub use schedule::LrSchedule;
+pub use seq2seq::{CrossAttention, DecoderBlock, TinyT5, TinyT5Config};
+pub use profile::{flatten_grads, flatten_params, ByteChangeStats, SnapshotProfiler};
+pub use tensor::Tensor;

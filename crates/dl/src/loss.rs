@@ -1,0 +1,210 @@
+//! Loss functions with analytic gradients.
+
+use crate::ops::softmax_rows;
+use crate::tensor::Tensor;
+
+/// Softmax cross-entropy over logits `[n, classes]` with integer targets.
+/// Returns `(mean_loss, d_logits)` where the gradient is already divided by
+/// `n` (mean reduction).
+pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+    let n = logits.rows();
+    let c = logits.cols();
+    assert_eq!(targets.len(), n, "targets/logits row mismatch");
+    let mut probs = logits.clone();
+    softmax_rows(&mut probs);
+    let mut loss = 0f64;
+    let mut grad = probs.clone();
+    for (r, &t) in targets.iter().enumerate() {
+        assert!(t < c, "target {t} out of {c} classes");
+        let p = probs.at(r, t).max(1e-12);
+        loss -= (p as f64).ln();
+        grad.set(r, t, grad.at(r, t) - 1.0);
+    }
+    grad.scale(1.0 / n as f32);
+    ((loss / n as f64) as f32, grad)
+}
+
+/// Perplexity from a mean cross-entropy loss (the GPT-2 metric in Table V).
+pub fn perplexity(mean_ce: f32) -> f32 {
+    mean_ce.exp()
+}
+
+/// Mean-squared error; returns `(mean_loss, d_pred)`.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape());
+    let n = pred.len() as f32;
+    let mut grad = pred.clone();
+    let mut loss = 0f64;
+    for (g, &t) in grad.data_mut().iter_mut().zip(target.data()) {
+        let d = *g - t;
+        loss += (d as f64) * (d as f64);
+        *g = 2.0 * d / n;
+    }
+    ((loss / n as f64) as f32, grad)
+}
+
+/// Binary cross-entropy on logits: `mean( log(1+e^z) − y·z )` with the
+/// numerically-stable max trick. Returns `(mean_loss, d_logits)`. Used by
+/// the GCNII *link prediction* task (Table III's Wisconsin workload).
+pub fn bce_with_logits(logits: &[f32], targets: &[f32]) -> (f32, Vec<f32>) {
+    assert_eq!(logits.len(), targets.len());
+    assert!(!logits.is_empty());
+    let n = logits.len() as f32;
+    let mut loss = 0f64;
+    let mut grad = Vec::with_capacity(logits.len());
+    for (&z, &y) in logits.iter().zip(targets) {
+        debug_assert!((0.0..=1.0).contains(&y));
+        // loss = max(z,0) − y·z + ln(1 + e^{−|z|})
+        loss += (z.max(0.0) - y * z + (1.0 + (-z.abs()).exp()).ln()) as f64;
+        let sigma = 1.0 / (1.0 + (-z).exp());
+        grad.push((sigma - y) / n);
+    }
+    ((loss / n as f64) as f32, grad)
+}
+
+/// Fraction of correct binary predictions at threshold 0 on the logits.
+pub fn binary_accuracy(logits: &[f32], targets: &[f32]) -> f32 {
+    assert_eq!(logits.len(), targets.len());
+    let correct = logits
+        .iter()
+        .zip(targets)
+        .filter(|(&z, &y)| (z > 0.0) == (y > 0.5))
+        .count();
+    correct as f32 / logits.len() as f32
+}
+
+/// Classification accuracy: fraction of rows whose argmax equals the target.
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
+    let n = logits.rows();
+    assert_eq!(targets.len(), n);
+    let mut correct = 0usize;
+    for (r, &t) in targets.iter().enumerate() {
+        let row = logits.row(r);
+        let argmax = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        if argmax == t {
+            correct += 1;
+        }
+    }
+    correct as f32 / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - (4f32).ln()).abs() < 1e-5);
+        // Gradient: (p − one-hot)/n with p = 0.25.
+        assert!((grad.at(0, 0) - (0.25 - 1.0) / 2.0).abs() < 1e-6);
+        assert!((grad.at(0, 1) - 0.25 / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_confident_correct_is_small() {
+        let mut logits = Tensor::zeros(&[1, 3]);
+        logits.set(0, 1, 20.0);
+        let (loss, _) = softmax_cross_entropy(&logits, &[1]);
+        assert!(loss < 1e-3);
+        let (loss_wrong, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss_wrong > 10.0);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(&[2, 3], vec![0.2, -0.1, 0.4, 1.0, 0.0, -1.0]);
+        let targets = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &targets);
+        let h = 1e-3f32;
+        for idx in 0..6 {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += h;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= h;
+            let (fp, _) = softmax_cross_entropy(&lp, &targets);
+            let (fm, _) = softmax_cross_entropy(&lm, &targets);
+            let num = (fp - fm) / (2.0 * h);
+            assert!((num - grad.data()[idx]).abs() < 1e-3, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn grad_rows_sum_to_zero() {
+        // Softmax CE gradient rows always sum to 0 (probabilities − one-hot).
+        let logits = Tensor::from_vec(&[1, 5], vec![0.3, 1.2, -0.7, 0.0, 2.0]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[4]);
+        let s: f32 = grad.row(0).iter().sum();
+        assert!(s.abs() < 1e-6);
+    }
+
+    #[test]
+    fn perplexity_of_uniform() {
+        assert!((perplexity((4f32).ln()) - 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn mse_basics() {
+        let p = Tensor::from_vec(&[2], vec![1.0, 3.0]);
+        let t = Tensor::from_vec(&[2], vec![0.0, 0.0]);
+        let (loss, grad) = mse(&p, &t);
+        assert!((loss - 5.0).abs() < 1e-6);
+        assert_eq!(grad.data(), &[1.0, 3.0]); // 2·d/n = d
+    }
+
+    #[test]
+    fn bce_known_values() {
+        // z = 0 → loss = ln 2 regardless of the label; grad = (0.5 − y).
+        let (loss, grad) = bce_with_logits(&[0.0], &[1.0]);
+        assert!((loss - std::f32::consts::LN_2).abs() < 1e-6);
+        assert!((grad[0] + 0.5).abs() < 1e-6);
+        // Confident-correct is cheap; confident-wrong is expensive.
+        let (good, _) = bce_with_logits(&[10.0], &[1.0]);
+        let (bad, _) = bce_with_logits(&[10.0], &[0.0]);
+        assert!(good < 1e-3);
+        assert!(bad > 9.0);
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        let logits = [0.3f32, -1.2, 2.0];
+        let targets = [1.0f32, 0.0, 1.0];
+        let (_, grad) = bce_with_logits(&logits, &targets);
+        let h = 1e-3f32;
+        for i in 0..3 {
+            let mut lp = logits;
+            lp[i] += h;
+            let mut lm = logits;
+            lm[i] -= h;
+            let num = (bce_with_logits(&lp, &targets).0 - bce_with_logits(&lm, &targets).0) / (2.0 * h);
+            assert!((num - grad[i]).abs() < 1e-3, "i={i}");
+        }
+    }
+
+    #[test]
+    fn bce_is_stable_for_large_logits() {
+        let (loss, grad) = bce_with_logits(&[1000.0, -1000.0], &[1.0, 0.0]);
+        assert!(loss.is_finite() && loss < 1e-3);
+        assert!(grad.iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn binary_accuracy_thresholds_at_zero() {
+        let acc = binary_accuracy(&[2.0, -1.0, 0.5, -0.5], &[1.0, 0.0, 0.0, 1.0]);
+        assert!((acc - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accuracy_counts_argmax() {
+        let logits = Tensor::from_vec(&[3, 2], vec![2.0, 1.0, 0.0, 5.0, 1.0, 1.0]);
+        // Row 2 ties → `max_by` keeps the last maximal element (index 1).
+        assert!((accuracy(&logits, &[0, 1, 1]) - 1.0).abs() < 1e-6);
+        assert!((accuracy(&logits, &[1, 1, 0]) - 1.0 / 3.0).abs() < 1e-6);
+    }
+}

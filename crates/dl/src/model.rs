@@ -1,0 +1,540 @@
+//! End-to-end trainable models: a small GPT-style language model and a
+//! GCNII node classifier. These are the *real* training workloads behind
+//! the paper's convergence/accuracy experiments (Figs. 2, 10, 13;
+//! Table V); the billion-parameter configurations of Table III are modeled
+//! for *timing* by [`crate::modelzoo`].
+
+use crate::layers::{
+    Embedding, GcnIILayer, LayerNorm, Linear, NormAdj, Param, TransformerBlock, Visitable,
+};
+use crate::loss::softmax_cross_entropy;
+use crate::tensor::Tensor;
+use teco_sim::SimRng;
+
+/// Configuration for [`TinyGpt`].
+#[derive(Debug, Clone, Copy)]
+pub struct TinyGptConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Model width.
+    pub dim: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Transformer blocks.
+    pub layers: usize,
+    /// Maximum sequence length (positional table size).
+    pub max_seq: usize,
+}
+
+impl Default for TinyGptConfig {
+    fn default() -> Self {
+        TinyGptConfig { vocab: 64, dim: 32, heads: 4, layers: 2, max_seq: 32 }
+    }
+}
+
+/// A small causal language model: token+position embeddings, pre-norm
+/// transformer blocks, final LayerNorm, and a vocabulary head.
+#[derive(Debug, Clone)]
+pub struct TinyGpt {
+    cfg: TinyGptConfig,
+    tok_emb: Embedding,
+    pos_emb: Embedding,
+    blocks: Vec<TransformerBlock>,
+    ln_f: LayerNorm,
+    head: Linear,
+    cache_tokens: Option<Vec<usize>>,
+}
+
+impl TinyGpt {
+    /// Build with N(0, 0.02) initialization.
+    pub fn new(cfg: TinyGptConfig, rng: &mut SimRng) -> Self {
+        let std = 0.02;
+        TinyGpt {
+            tok_emb: Embedding::new("tok_emb", cfg.vocab, cfg.dim, std, rng),
+            pos_emb: Embedding::new("pos_emb", cfg.max_seq, cfg.dim, std, rng),
+            blocks: (0..cfg.layers)
+                .map(|i| TransformerBlock::new(&format!("block{i}"), cfg.dim, cfg.heads, true, rng))
+                .collect(),
+            ln_f: LayerNorm::new("ln_f", cfg.dim),
+            head: Linear::new("head", cfg.dim, cfg.vocab, std, rng),
+            cfg,
+            cache_tokens: None,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> TinyGptConfig {
+        self.cfg
+    }
+
+    /// Forward one sequence of token ids; returns logits `[T, vocab]`.
+    pub fn forward(&mut self, tokens: &[usize]) -> Tensor {
+        assert!(tokens.len() <= self.cfg.max_seq, "sequence too long");
+        let te = self.tok_emb.forward(tokens);
+        let positions: Vec<usize> = (0..tokens.len()).collect();
+        let pe = self.pos_emb.forward(&positions);
+        let mut x = te;
+        x.add_assign(&pe);
+        for b in &mut self.blocks {
+            x = b.forward(&x);
+        }
+        let x = self.ln_f.forward(&x);
+        self.cache_tokens = Some(tokens.to_vec());
+        self.head.forward(&x)
+    }
+
+    /// Backward from d_logits through the whole stack.
+    pub fn backward(&mut self, d_logits: &Tensor) {
+        let dx = self.head.backward(d_logits);
+        let mut dx = self.ln_f.backward(&dx);
+        for b in self.blocks.iter_mut().rev() {
+            dx = b.backward(&dx);
+        }
+        // Token and position embeddings both received x, so both get dx.
+        self.tok_emb.backward(&dx);
+        self.pos_emb.backward(&dx);
+    }
+
+    /// Compute mean next-token cross-entropy on one sequence and accumulate
+    /// gradients (scaled by `grad_scale` for batch averaging). Returns the
+    /// loss.
+    pub fn train_sequence(&mut self, tokens: &[usize], grad_scale: f32) -> f32 {
+        assert!(tokens.len() >= 2, "need at least 2 tokens");
+        let inputs = &tokens[..tokens.len() - 1];
+        let targets = &tokens[1..];
+        let logits = self.forward(inputs);
+        let (loss, mut d_logits) = softmax_cross_entropy(&logits, targets);
+        d_logits.scale(grad_scale);
+        self.backward(&d_logits);
+        loss
+    }
+
+    /// Greedy autoregressive generation: extend `prompt` token by token
+    /// (argmax decoding) up to `max_new` new tokens or the context limit.
+    pub fn generate(&mut self, prompt: &[usize], max_new: usize) -> Vec<usize> {
+        assert!(!prompt.is_empty());
+        let mut tokens = prompt.to_vec();
+        for _ in 0..max_new {
+            if tokens.len() >= self.cfg.max_seq {
+                break;
+            }
+            let logits = self.forward(&tokens);
+            let last = logits.row(logits.rows() - 1);
+            let next = last
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap();
+            tokens.push(next);
+        }
+        tokens
+    }
+
+    /// Evaluate mean cross-entropy on one sequence without touching grads.
+    pub fn eval_sequence(&mut self, tokens: &[usize]) -> f32 {
+        let inputs = &tokens[..tokens.len() - 1];
+        let targets = &tokens[1..];
+        let logits = self.forward(inputs);
+        softmax_cross_entropy(&logits, targets).0
+    }
+}
+
+impl Visitable for TinyGpt {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.tok_emb.visit_params(f);
+        self.pos_emb.visit_params(f);
+        for b in &mut self.blocks {
+            b.visit_params(f);
+        }
+        self.ln_f.visit_params(f);
+        self.head.visit_params(f);
+    }
+}
+
+/// Configuration for [`GcnIIModel`].
+#[derive(Debug, Clone, Copy)]
+pub struct GcnConfig {
+    /// Input feature width.
+    pub in_dim: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Number of GCNII propagation layers.
+    pub layers: usize,
+    /// Output classes.
+    pub classes: usize,
+    /// Initial-residual α.
+    pub alpha: f32,
+    /// Identity-map decay λ.
+    pub lambda: f32,
+}
+
+impl Default for GcnConfig {
+    fn default() -> Self {
+        GcnConfig { in_dim: 8, hidden: 16, layers: 4, classes: 4, alpha: 0.1, lambda: 0.5 }
+    }
+}
+
+/// GCNII node classifier: input projection → L GCNII layers (with the
+/// initial representation residual) → output projection.
+#[derive(Debug, Clone)]
+pub struct GcnIIModel {
+    cfg: GcnConfig,
+    input: Linear,
+    layers: Vec<GcnIILayer>,
+    output: Linear,
+    cache_h0: Option<Tensor>,
+}
+
+impl GcnIIModel {
+    /// Build the model.
+    pub fn new(cfg: GcnConfig, rng: &mut SimRng) -> Self {
+        let std = (1.0 / cfg.in_dim as f32).sqrt();
+        GcnIIModel {
+            input: Linear::new("gcn.in", cfg.in_dim, cfg.hidden, std, rng),
+            layers: (1..=cfg.layers)
+                .map(|l| GcnIILayer::new(&format!("gcn.l{l}"), cfg.hidden, cfg.alpha, cfg.lambda, l, rng))
+                .collect(),
+            output: Linear::new("gcn.out", cfg.hidden, cfg.classes, std, rng),
+            cfg,
+            cache_h0: None,
+        }
+    }
+
+    /// Forward all nodes: features `[n, in_dim]` → logits `[n, classes]`.
+    pub fn forward(&mut self, adj: &NormAdj, x: &Tensor) -> Tensor {
+        let h0 = self.input.forward(x).map(|v| v.max(0.0));
+        let mut h = h0.clone();
+        for l in &mut self.layers {
+            h = l.forward(adj, &h, &h0);
+        }
+        self.cache_h0 = Some(h0);
+        self.output.forward(&h)
+    }
+
+    /// Backward from d_logits.
+    pub fn backward(&mut self, adj: &NormAdj, d_logits: &Tensor) {
+        let mut dh = self.output.backward(d_logits);
+        let mut dh0_acc = Tensor::zeros(&[dh.rows(), self.cfg.hidden]);
+        for l in self.layers.iter_mut().rev() {
+            let (dh_prev, dh0) = l.backward(adj, &dh);
+            dh = dh_prev;
+            dh0_acc.add_assign(&dh0);
+        }
+        dh0_acc.add_assign(&dh); // layer-1 input is h0 itself
+        // Through the input ReLU.
+        let h0 = self.cache_h0.take().expect("backward before forward");
+        for (d, &v) in dh0_acc.data_mut().iter_mut().zip(h0.data()) {
+            if v <= 0.0 {
+                *d = 0.0;
+            }
+        }
+        self.input.backward(&dh0_acc);
+    }
+
+    /// Node embeddings after the GCNII stack (before the classifier head),
+    /// for the link-prediction task.
+    pub fn embed(&mut self, adj: &NormAdj, x: &Tensor) -> Tensor {
+        let h0 = self.input.forward(x).map(|v| v.max(0.0));
+        let mut h = h0.clone();
+        for l in &mut self.layers {
+            h = l.forward(adj, &h, &h0);
+        }
+        self.cache_h0 = Some(h0);
+        h
+    }
+
+    /// Backward from a gradient on the embeddings (skipping the classifier
+    /// head) — the link-prediction backward path.
+    pub fn backward_from_hidden(&mut self, adj: &NormAdj, d_h: &Tensor) {
+        let mut dh = d_h.clone();
+        let mut dh0_acc = Tensor::zeros(&[dh.rows(), self.cfg.hidden]);
+        for l in self.layers.iter_mut().rev() {
+            let (dh_prev, dh0) = l.backward(adj, &dh);
+            dh = dh_prev;
+            dh0_acc.add_assign(&dh0);
+        }
+        dh0_acc.add_assign(&dh);
+        let h0 = self.cache_h0.take().expect("backward before forward");
+        for (d, &v) in dh0_acc.data_mut().iter_mut().zip(h0.data()) {
+            if v <= 0.0 {
+                *d = 0.0;
+            }
+        }
+        self.input.backward(&dh0_acc);
+    }
+
+    /// One *link-prediction* training step (Table III's GCNII task): score
+    /// each candidate edge `(u, v)` as `h_u · h_v`, BCE against the labels
+    /// (1 = real edge, 0 = sampled non-edge). Returns (loss, accuracy).
+    pub fn link_prediction_step(
+        &mut self,
+        adj: &NormAdj,
+        x: &Tensor,
+        pairs: &[(usize, usize)],
+        labels: &[f32],
+    ) -> (f32, f32) {
+        assert_eq!(pairs.len(), labels.len());
+        let h = self.embed(adj, x);
+        let logits: Vec<f32> = pairs
+            .iter()
+            .map(|&(u, v)| h.row(u).iter().zip(h.row(v)).map(|(a, b)| a * b).sum())
+            .collect();
+        let (loss, d_logits) = crate::loss::bce_with_logits(&logits, labels);
+        let acc = crate::loss::binary_accuracy(&logits, labels);
+        // d h_u += g · h_v ; d h_v += g · h_u.
+        let mut dh = Tensor::zeros(&[h.rows(), h.cols()]);
+        for (&(u, v), &g) in pairs.iter().zip(&d_logits) {
+            for c in 0..h.cols() {
+                dh.data_mut()[u * h.cols() + c] += g * h.at(v, c);
+                dh.data_mut()[v * h.cols() + c] += g * h.at(u, c);
+            }
+        }
+        self.backward_from_hidden(adj, &dh);
+        (loss, acc)
+    }
+
+    /// One full-graph training step; returns (loss, accuracy).
+    pub fn train_step(&mut self, adj: &NormAdj, x: &Tensor, labels: &[usize]) -> (f32, f32) {
+        let logits = self.forward(adj, x);
+        let (loss, d) = softmax_cross_entropy(&logits, labels);
+        let acc = crate::loss::accuracy(&logits, labels);
+        self.backward(adj, &d);
+        (loss, acc)
+    }
+}
+
+impl Visitable for GcnIIModel {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.input.visit_params(f);
+        for l in &mut self.layers {
+            l.visit_params(f);
+        }
+        self.output.visit_params(f);
+    }
+}
+
+/// A two-layer MLP classifier (used by the Table V accuracy-proxy tasks).
+#[derive(Debug, Clone)]
+pub struct MlpClassifier {
+    fc1: Linear,
+    act: crate::layers::Activation,
+    fc2: Linear,
+}
+
+impl MlpClassifier {
+    /// Build `in_dim → hidden → classes` with GELU.
+    pub fn new(in_dim: usize, hidden: usize, classes: usize, rng: &mut SimRng) -> Self {
+        let std = (2.0 / in_dim as f32).sqrt();
+        MlpClassifier {
+            fc1: Linear::new("mlp.fc1", in_dim, hidden, std, rng),
+            act: crate::layers::Activation::new(crate::layers::Act::Gelu),
+            fc2: Linear::new("mlp.fc2", hidden, classes, std, rng),
+        }
+    }
+
+    /// Forward: features `[n, in]` → logits `[n, classes]`.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let h = self.act.forward(&self.fc1.forward(x));
+        self.fc2.forward(&h)
+    }
+
+    /// One training step on a batch; returns (loss, accuracy).
+    pub fn train_step(&mut self, x: &Tensor, labels: &[usize]) -> (f32, f32) {
+        let logits = self.forward(x);
+        let (loss, d) = softmax_cross_entropy(&logits, labels);
+        let acc = crate::loss::accuracy(&logits, labels);
+        let dh = self.fc2.backward(&d);
+        let dh = self.act.backward(&dh);
+        self.fc1.backward(&dh);
+        (loss, acc)
+    }
+
+    /// Accuracy on a batch without touching gradients.
+    pub fn eval(&mut self, x: &Tensor, labels: &[usize]) -> f32 {
+        let logits = self.forward(x);
+        crate::loss::accuracy(&logits, labels)
+    }
+}
+
+impl Visitable for MlpClassifier {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.fc1.visit_params(f);
+        self.fc2.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::MarkovTextGen;
+    use crate::optim::{AdamConfig, OffloadedAdam};
+
+    #[test]
+    fn tinygpt_shapes() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let cfg = TinyGptConfig { vocab: 16, dim: 8, heads: 2, layers: 2, max_seq: 12 };
+        let mut m = TinyGpt::new(cfg, &mut rng);
+        let logits = m.forward(&[1, 2, 3, 4]);
+        assert_eq!(logits.shape(), &[4, 16]);
+        assert!(m.param_count() > 0);
+    }
+
+    #[test]
+    fn tinygpt_loss_decreases_on_fixed_batch() {
+        // Overfit a single repeated sequence — loss must fall sharply.
+        let mut rng = SimRng::seed_from_u64(7);
+        let cfg = TinyGptConfig { vocab: 8, dim: 16, heads: 2, layers: 1, max_seq: 10 };
+        let mut m = TinyGpt::new(cfg, &mut rng);
+        let mut opt = OffloadedAdam::new(AdamConfig { lr: 3e-3, ..Default::default() });
+        let seq = [1usize, 2, 3, 4, 5, 6, 7, 1, 2];
+        let first = m.eval_sequence(&seq);
+        for _ in 0..60 {
+            m.zero_grads();
+            m.train_sequence(&seq, 1.0);
+            opt.step(&mut m);
+        }
+        let last = m.eval_sequence(&seq);
+        assert!(last < first * 0.5, "loss {first} → {last}");
+    }
+
+    #[test]
+    fn tinygpt_learns_markov_structure() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let gen = MarkovTextGen::new(16, 2, &mut rng);
+        let cfg = TinyGptConfig { vocab: 16, dim: 16, heads: 2, layers: 1, max_seq: 16 };
+        let mut m = TinyGpt::new(cfg, &mut rng);
+        let mut opt = OffloadedAdam::new(AdamConfig { lr: 2e-3, ..Default::default() });
+        let mut data_rng = rng.fork("data");
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for step in 0..80 {
+            let seq = gen.sample(12, &mut data_rng);
+            m.zero_grads();
+            let loss = m.train_sequence(&seq, 1.0);
+            if step == 0 {
+                first = loss;
+            }
+            last = loss;
+            opt.step(&mut m);
+        }
+        assert!(last < first, "loss {first} → {last}");
+        assert!(last < (16f32).ln(), "below uniform entropy");
+    }
+
+    #[test]
+    fn generation_follows_learned_transitions() {
+        // After training on Markov data, greedy decoding should emit only
+        // legal transitions most of the time.
+        let mut rng = SimRng::seed_from_u64(77);
+        let gen = MarkovTextGen::new(12, 2, &mut rng);
+        let cfg = TinyGptConfig { vocab: 12, dim: 16, heads: 2, layers: 1, max_seq: 24 };
+        let mut m = TinyGpt::new(cfg, &mut rng);
+        let mut opt = OffloadedAdam::new(AdamConfig { lr: 3e-3, ..Default::default() });
+        let mut data_rng = rng.fork("data");
+        for _ in 0..150 {
+            let seq = gen.sample(16, &mut data_rng);
+            m.zero_grads();
+            m.train_sequence(&seq, 1.0);
+            opt.step(&mut m);
+        }
+        let out = m.generate(&[0], 20);
+        assert!(out.len() > 1 && out.len() <= 24);
+        assert!(out.iter().all(|&t| t < 12));
+        // Determinism of greedy decoding.
+        assert_eq!(out, m.generate(&[0], 20));
+    }
+
+    #[test]
+    fn gcn_learns_communities() {
+        use crate::data::community_graph;
+        let mut rng = SimRng::seed_from_u64(13);
+        let g = community_graph(40, 4, 0.5, 0.02, 8, &mut rng);
+        let adj = NormAdj::from_edges(g.n, &g.edges);
+        let cfg = GcnConfig { in_dim: 8, hidden: 16, layers: 3, classes: 4, alpha: 0.1, lambda: 0.5 };
+        let mut m = GcnIIModel::new(cfg, &mut rng);
+        let mut opt = OffloadedAdam::new(AdamConfig { lr: 5e-3, ..Default::default() });
+        let mut accs = Vec::new();
+        for _ in 0..60 {
+            m.zero_grads();
+            let (_, acc) = m.train_step(&adj, &g.features, &g.labels);
+            accs.push(acc);
+            opt.step(&mut m);
+        }
+        let early = accs[0];
+        let late = *accs.last().unwrap();
+        assert!(late > early.max(0.5), "accuracy {early} → {late}");
+    }
+
+    #[test]
+    fn gcn_link_prediction_learns() {
+        use crate::data::community_graph;
+        let mut rng = SimRng::seed_from_u64(41);
+        let g = community_graph(40, 4, 0.5, 0.03, 8, &mut rng);
+        let adj = NormAdj::from_edges(g.n, &g.edges);
+        let cfg = GcnConfig { in_dim: 8, hidden: 16, layers: 2, classes: 4, alpha: 0.1, lambda: 0.5 };
+        let mut m = GcnIIModel::new(cfg, &mut rng);
+        let mut opt = OffloadedAdam::new(AdamConfig { lr: 5e-3, ..Default::default() });
+        // Positive pairs = real edges; negatives = random non-edges.
+        let mut pairs: Vec<(usize, usize)> = g.edges.iter().take(60).copied().collect();
+        let mut labels = vec![1.0f32; pairs.len()];
+        let mut tries = 0;
+        while labels.iter().filter(|&&l| l == 0.0).count() < 60 && tries < 10_000 {
+            tries += 1;
+            let (u, v) = (rng.index(g.n), rng.index(g.n));
+            if u != v && !g.edges.contains(&(u.min(v), u.max(v))) {
+                pairs.push((u, v));
+                labels.push(0.0);
+            }
+        }
+        let mut acc = 0.0;
+        let mut first = 0.0;
+        for step in 0..250 {
+            m.zero_grads();
+            let (_, a) = m.link_prediction_step(&adj, &g.features, &pairs, &labels);
+            if step == 0 {
+                first = a;
+            }
+            acc = a;
+            opt.step(&mut m);
+        }
+        assert!(acc > first.max(0.65), "link-prediction accuracy {first} → {acc}");
+    }
+
+    #[test]
+    fn mlp_learns_clusters() {
+        use crate::data::gaussian_clusters;
+        let mut rng = SimRng::seed_from_u64(31);
+        let data = gaussian_clusters(120, 6, 3, 0.2, &mut rng);
+        let mut m = MlpClassifier::new(6, 16, 3, &mut rng);
+        let mut opt = OffloadedAdam::new(AdamConfig { lr: 5e-3, ..Default::default() });
+        let mut final_acc = 0.0;
+        for _ in 0..80 {
+            m.zero_grads();
+            let (_, acc) = m.train_step(&data.features, &data.labels);
+            final_acc = acc;
+            opt.step(&mut m);
+        }
+        assert!(final_acc > 0.9, "accuracy {final_acc}");
+    }
+
+    #[test]
+    fn backward_is_deterministic() {
+        let mut rng1 = SimRng::seed_from_u64(21);
+        let mut rng2 = SimRng::seed_from_u64(21);
+        let cfg = TinyGptConfig { vocab: 8, dim: 8, heads: 2, layers: 1, max_seq: 8 };
+        let mut a = TinyGpt::new(cfg, &mut rng1);
+        let mut b = TinyGpt::new(cfg, &mut rng2);
+        let seq = [1usize, 2, 3, 4];
+        a.zero_grads();
+        b.zero_grads();
+        let la = a.train_sequence(&seq, 1.0);
+        let lb = b.train_sequence(&seq, 1.0);
+        assert_eq!(la, lb);
+        let mut ga = Vec::new();
+        let mut gb = Vec::new();
+        a.visit_params(&mut |p| ga.extend_from_slice(&p.grad));
+        b.visit_params(&mut |p| gb.extend_from_slice(&p.grad));
+        assert_eq!(ga, gb);
+    }
+}

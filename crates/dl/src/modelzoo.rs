@@ -1,0 +1,293 @@
+//! The model zoo of Table III (plus the Table VI GPT-2 scale sweep):
+//! parameter counts, shapes, giant-cache sizes, and the FLOP/byte
+//! quantities the timing models consume.
+
+use serde::{Deserialize, Serialize};
+
+/// Architecture family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Decoder-only transformer (GPT-2).
+    TransformerDecoder,
+    /// Encoder-only transformer (BERT, ALBERT).
+    TransformerEncoder,
+    /// Encoder-decoder transformer (T5).
+    TransformerEncDec,
+    /// Graph neural network (GCNII).
+    Gnn,
+}
+
+/// One evaluated model configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Display name.
+    pub name: &'static str,
+    /// Family.
+    pub kind: ModelKind,
+    /// Total parameters.
+    pub params: u64,
+    /// Transformer layers (or GCN depth).
+    pub layers: u32,
+    /// Hidden size.
+    pub hidden: u32,
+    /// Attention heads (0 for GNN).
+    pub heads: u32,
+    /// Giant-cache size from Table III, in MB.
+    pub giant_cache_mb: u64,
+    /// Typical fine-tuning sequence length (tokens per sample).
+    pub seq_len: u32,
+    /// Relative attention-compute weight: ALBERT has 4× more heads, making
+    /// forward/backward a larger share of step time (§VIII-B observation 2).
+    pub attention_intensity: f64,
+    /// GPU activation memory per processed token (bytes) — drives the
+    /// out-of-memory model (§VIII-B: T5-large OOMs at batch 16). ALBERT's
+    /// cross-layer parameter sharing and GPT2-11B's activation
+    /// checkpointing give them smaller per-token footprints.
+    pub act_bytes_per_token: u64,
+}
+
+impl ModelSpec {
+    /// Parameter bytes in FP32.
+    pub fn param_bytes(&self) -> u64 {
+        self.params * 4
+    }
+    /// Gradient bytes in FP32 (same count as parameters).
+    pub fn grad_bytes(&self) -> u64 {
+        self.params * 4
+    }
+    /// ADAM optimizer-state bytes on CPU (moments m+v in FP32).
+    pub fn optimizer_state_bytes(&self) -> u64 {
+        self.params * 8
+    }
+    /// Giant-cache size in bytes.
+    pub fn giant_cache_bytes(&self) -> u64 {
+        self.giant_cache_mb << 20
+    }
+    /// Parameter bytes per transformer layer (uniform split — transformer
+    /// blocks are homogeneous).
+    pub fn per_layer_param_bytes(&self) -> u64 {
+        self.param_bytes() / self.layers as u64
+    }
+    /// Tokens processed per step at a given batch size.
+    pub fn tokens_per_step(&self, batch: u32) -> u64 {
+        batch as u64 * self.seq_len as u64
+    }
+    /// Training FLOPs per step: the standard `6 · params · tokens`
+    /// estimate (2 for forward, 4 for backward), scaled by the model's
+    /// attention intensity.
+    pub fn flops_per_step(&self, batch: u32) -> f64 {
+        6.0 * self.params as f64 * self.tokens_per_step(batch) as f64 * self.attention_intensity
+    }
+
+    // ---- Table III ----
+
+    /// GPT-2 (122M): 12 layers, hidden 1024, 12 heads; Wikitext LM.
+    pub fn gpt2() -> Self {
+        ModelSpec {
+            name: "GPT-2",
+            kind: ModelKind::TransformerDecoder,
+            params: 122_000_000,
+            layers: 12,
+            hidden: 1024,
+            heads: 12,
+            giant_cache_mb: 324,
+            seq_len: 128,
+            attention_intensity: 1.0,
+            act_bytes_per_token: 3_700_000,
+        }
+    }
+
+    /// ALBERT-xxlarge-v1 (223M): 12 layers, hidden 4096, 48 heads; SQuAD-v2.
+    pub fn albert_xxlarge() -> Self {
+        ModelSpec {
+            name: "Albert-xxlarge-v1",
+            kind: ModelKind::TransformerEncoder,
+            params: 223_000_000,
+            layers: 12,
+            hidden: 4096,
+            heads: 48,
+            giant_cache_mb: 547,
+            seq_len: 384,
+            // 4× more attention heads than the others (§VIII-B): compute
+            // takes a larger share, leaving less room for TECO to win.
+            attention_intensity: 2.4,
+            act_bytes_per_token: 4_500_000,
+        }
+    }
+
+    /// BERT-large-cased (334M): 24 layers, hidden 1024, 12 heads; IMDB.
+    pub fn bert_large() -> Self {
+        ModelSpec {
+            name: "Bert-large-cased",
+            kind: ModelKind::TransformerEncoder,
+            params: 334_000_000,
+            layers: 24,
+            hidden: 1024,
+            heads: 12,
+            giant_cache_mb: 817,
+            seq_len: 128,
+            attention_intensity: 1.0,
+            act_bytes_per_token: 7_400_000,
+        }
+    }
+
+    /// T5-large (737M): 48 layers, hidden 1024, 12 heads; Wiki-summary.
+    pub fn t5_large() -> Self {
+        ModelSpec {
+            name: "T5-large",
+            kind: ModelKind::TransformerEncDec,
+            params: 737_000_000,
+            layers: 48,
+            hidden: 1024,
+            heads: 12,
+            giant_cache_mb: 2069,
+            seq_len: 128,
+            attention_intensity: 0.95,
+            act_bytes_per_token: 16_500_000,
+        }
+    }
+
+    /// GCNII (156M): 64 layers, hidden 1560; Wisconsin link prediction.
+    pub fn gcnii() -> Self {
+        ModelSpec {
+            name: "GCNII",
+            kind: ModelKind::Gnn,
+            params: 156_000_000,
+            layers: 64,
+            hidden: 1560,
+            heads: 0,
+            giant_cache_mb: 400,
+            seq_len: 1, // full-graph training: batch size fixed
+            attention_intensity: 0.8,
+            act_bytes_per_token: 100_000,
+        }
+    }
+
+    // ---- Table VI scale sweep ----
+
+    /// GPT-2 Medium (356M).
+    pub fn gpt2_medium() -> Self {
+        ModelSpec {
+            name: "GPT2-Medium",
+            params: 356_000_000,
+            layers: 24,
+            giant_cache_mb: 950,
+            act_bytes_per_token: 7_400_000,
+            ..Self::gpt2()
+        }
+    }
+    /// GPT-2 Large (778M).
+    pub fn gpt2_large() -> Self {
+        ModelSpec {
+            name: "GPT2-Large",
+            params: 778_000_000,
+            layers: 36,
+            hidden: 1280,
+            giant_cache_mb: 2075,
+            act_bytes_per_token: 13_800_000,
+            ..Self::gpt2()
+        }
+    }
+    /// The paper's 11-billion-parameter GPT-2 configuration.
+    pub fn gpt2_11b() -> Self {
+        ModelSpec {
+            name: "GPT2-11B",
+            params: 11_000_000_000,
+            layers: 70,
+            hidden: 3584,
+            giant_cache_mb: 28_000,
+            // At this scale compute dominates: the paper reports compute is
+            // already 63.4 % of total time, shrinking TECO's win to 1.41×.
+            attention_intensity: 1.35,
+            // Activation checkpointing keeps the footprint trainable.
+            act_bytes_per_token: 15_000_000,
+            ..Self::gpt2()
+        }
+    }
+
+    /// All Table III models, in the paper's order.
+    pub fn table3() -> Vec<ModelSpec> {
+        vec![
+            Self::gpt2(),
+            Self::albert_xxlarge(),
+            Self::bert_large(),
+            Self::t5_large(),
+            Self::gcnii(),
+        ]
+    }
+
+    /// The Table VI GPT-2 scale sweep.
+    pub fn table6() -> Vec<ModelSpec> {
+        vec![Self::gpt2(), Self::gpt2_medium(), Self::gpt2_large(), Self::gpt2_11b()]
+    }
+
+    /// Find a spec by name.
+    pub fn by_name(name: &str) -> Option<ModelSpec> {
+        Self::table3()
+            .into_iter()
+            .chain(Self::table6())
+            .find(|m| m.name.eq_ignore_ascii_case(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_matches_paper() {
+        let specs = ModelSpec::table3();
+        assert_eq!(specs.len(), 5);
+        let bert = &specs[2];
+        assert_eq!(bert.params, 334_000_000);
+        assert_eq!(bert.layers, 24);
+        assert_eq!(bert.hidden, 1024);
+        assert_eq!(bert.giant_cache_mb, 817);
+        let t5 = &specs[3];
+        assert_eq!(t5.params, 737_000_000);
+        assert_eq!(t5.giant_cache_mb, 2069);
+    }
+
+    #[test]
+    fn byte_arithmetic() {
+        let gpt2 = ModelSpec::gpt2();
+        assert_eq!(gpt2.param_bytes(), 488_000_000);
+        assert_eq!(gpt2.optimizer_state_bytes(), 976_000_000);
+        assert_eq!(gpt2.per_layer_param_bytes() * gpt2.layers as u64, gpt2.param_bytes() - gpt2.param_bytes() % gpt2.layers as u64);
+    }
+
+    #[test]
+    fn flops_scale_with_batch_and_params() {
+        let gpt2 = ModelSpec::gpt2();
+        assert!((gpt2.flops_per_step(8) / gpt2.flops_per_step(4) - 2.0).abs() < 1e-9);
+        let b = ModelSpec::bert_large();
+        assert!(b.flops_per_step(4) > gpt2.flops_per_step(4));
+    }
+
+    #[test]
+    fn albert_is_compute_heavy() {
+        // §VIII-B: Albert's 4× attention heads → larger compute share.
+        let albert = ModelSpec::albert_xxlarge();
+        let bert = ModelSpec::bert_large();
+        // Per-parameter compute intensity must exceed Bert's.
+        let ai = albert.flops_per_step(4) / albert.params as f64;
+        let bi = bert.flops_per_step(4) / bert.params as f64;
+        assert!(ai > bi);
+    }
+
+    #[test]
+    fn table6_is_monotone_in_params() {
+        let sweep = ModelSpec::table6();
+        for w in sweep.windows(2) {
+            assert!(w[0].params < w[1].params);
+        }
+        assert_eq!(sweep[3].params, 11_000_000_000);
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert_eq!(ModelSpec::by_name("t5-large").unwrap().params, 737_000_000);
+        assert_eq!(ModelSpec::by_name("GPT2-11B").unwrap().layers, 70);
+        assert!(ModelSpec::by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,282 @@
+//! Dense math kernels: blocked matmul (with optional multi-threading via
+//! crossbeam scoped threads), softmax, and elementwise helpers. These are
+//! the compute kernels behind the layers in [`crate::layers`].
+
+use crate::tensor::Tensor;
+
+/// Threshold (in output elements) above which matmul spawns worker threads.
+const PAR_THRESHOLD: usize = 64 * 64;
+
+/// `C = A · B` for 2-D tensors `[m,k]·[k,n] → [m,n]`.
+///
+/// Inner loops are written i-k-j over row-major data so the hot loop is a
+/// stride-1 FMA over `B`'s rows — the standard cache-friendly ordering.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    assert_eq!(k, kb, "matmul inner dims {k} vs {kb}");
+    let mut c = Tensor::zeros(&[m, n]);
+    let a_d = a.data();
+    let b_d = b.data();
+
+    if m * n >= PAR_THRESHOLD && m >= 4 {
+        let nthreads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(m)
+            .min(8);
+        let rows_per = m.div_ceil(nthreads);
+        crossbeam::thread::scope(|s| {
+            for (ci, chunk) in c.data_mut().chunks_mut(rows_per * n).enumerate() {
+                let start = ci * rows_per;
+                s.spawn(move |_| {
+                    for (li, c_row) in chunk.chunks_mut(n).enumerate() {
+                        let i = start + li;
+                        matmul_row(&a_d[i * k..(i + 1) * k], b_d, n, c_row);
+                    }
+                });
+            }
+        })
+        .expect("matmul worker panicked");
+    } else {
+        for i in 0..m {
+            let c_start = i * n;
+            // Split borrow: read A row by index, write C row slice.
+            let a_row = &a_d[i * k..(i + 1) * k];
+            matmul_row(a_row, b_d, n, &mut c.data_mut()[c_start..c_start + n]);
+        }
+    }
+    c
+}
+
+#[inline]
+fn matmul_row(a_row: &[f32], b: &[f32], n: usize, c_row: &mut [f32]) {
+    for (kk, &a_ik) in a_row.iter().enumerate() {
+        if a_ik == 0.0 {
+            continue;
+        }
+        let b_row = &b[kk * n..kk * n + n];
+        for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+            *c_v += a_ik * b_v;
+        }
+    }
+}
+
+/// `C = Aᵀ · B` without materializing the transpose: `[k,m]ᵀ·[k,n] → [m,n]`.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    assert_eq!(k, kb, "matmul_tn inner dims {k} vs {kb}");
+    let mut c = Tensor::zeros(&[m, n]);
+    for kk in 0..k {
+        let a_row = a.row(kk);
+        let b_row = b.row(kk);
+        for (i, &a_ki) in a_row.iter().enumerate() {
+            if a_ki == 0.0 {
+                continue;
+            }
+            let c_row = &mut c.data_mut()[i * n..(i + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                *c_v += a_ki * b_v;
+            }
+        }
+    }
+    c
+}
+
+/// `C = A · Bᵀ` without materializing the transpose: `[m,k]·[n,k]ᵀ → [m,n]`.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (n, kb) = (b.rows(), b.cols());
+    assert_eq!(k, kb, "matmul_nt inner dims {k} vs {kb}");
+    let mut c = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        let a_row = a.row(i);
+        for j in 0..n {
+            let b_row = b.row(j);
+            let mut acc = 0f32;
+            for (x, y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            c.set(i, j, acc);
+        }
+    }
+    c
+}
+
+/// Add a bias row vector to each row of a 2-D tensor.
+pub fn add_bias(x: &mut Tensor, bias: &[f32]) {
+    let n = x.cols();
+    assert_eq!(bias.len(), n);
+    for r in 0..x.rows() {
+        for (v, b) in x.row_mut(r).iter_mut().zip(bias) {
+            *v += b;
+        }
+    }
+}
+
+/// Numerically-stable row-wise softmax, in place.
+pub fn softmax_rows(x: &mut Tensor) {
+    for r in 0..x.rows() {
+        let row = x.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// GELU activation (tanh approximation, as used by BERT/GPT-2).
+#[inline]
+pub fn gelu(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/π)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Derivative of [`gelu`].
+#[inline]
+pub fn gelu_grad(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let x3 = 0.044715 * x * x * x;
+    let t = (C * (x + x3)).tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044715 * x * x)
+}
+
+/// ReLU activation.
+#[inline]
+pub fn relu(x: f32) -> f32 {
+    x.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: &[usize], v: Vec<f32>) -> Tensor {
+        Tensor::from_vec(shape, v)
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = t(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = t(&[3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let n = 17;
+        let mut eye = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            eye.set(i, i, 1.0);
+        }
+        let x = t(&[n, n], (0..n * n).map(|i| (i as f32).sin()).collect());
+        let y = matmul(&x, &eye);
+        for (a, b) in x.data().iter().zip(y.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matmul_parallel_matches_serial() {
+        // Cross the PAR_THRESHOLD and compare against the naive definition.
+        let m = 70;
+        let k = 40;
+        let n = 70;
+        let a = t(&[m, k], (0..m * k).map(|i| ((i * 37 % 101) as f32 - 50.0) / 25.0).collect());
+        let b = t(&[k, n], (0..k * n).map(|i| ((i * 53 % 97) as f32 - 48.0) / 24.0).collect());
+        let c = matmul(&a, &b);
+        for i in (0..m).step_by(13) {
+            for j in (0..n).step_by(17) {
+                let mut acc = 0f32;
+                for kk in 0..k {
+                    acc += a.at(i, kk) * b.at(kk, j);
+                }
+                assert!((c.at(i, j) - acc).abs() < 1e-3, "({i},{j}): {} vs {acc}", c.at(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = t(&[3, 2], vec![1., 2., 3., 4., 5., 6.]);
+        let b = t(&[3, 4], (0..12).map(|i| i as f32).collect());
+        let c1 = matmul_tn(&a, &b);
+        let c2 = matmul(&a.transposed(), &b);
+        assert_eq!(c1.shape(), c2.shape());
+        for (x, y) in c1.data().iter().zip(c2.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = t(&[2, 3], (0..6).map(|i| i as f32 + 1.0).collect());
+        let b = t(&[4, 3], (0..12).map(|i| (i as f32) * 0.5).collect());
+        let c1 = matmul_nt(&a, &b);
+        let c2 = matmul(&a, &b.transposed());
+        for (x, y) in c1.data().iter().zip(c2.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn matmul_dim_mismatch_panics() {
+        matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2]));
+    }
+
+    #[test]
+    fn bias_and_softmax() {
+        let mut x = t(&[2, 3], vec![0., 0., 0., 1., 2., 3.]);
+        add_bias(&mut x, &[1., 1., 1.]);
+        assert_eq!(x.row(0), &[1., 1., 1.]);
+        softmax_rows(&mut x);
+        for r in 0..2 {
+            let s: f32 = x.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // Uniform logits → uniform probabilities.
+        for &p in x.row(0) {
+            assert!((p - 1.0 / 3.0).abs() < 1e-6);
+        }
+        // Monotone logits → monotone probabilities.
+        assert!(x.at(1, 0) < x.at(1, 1) && x.at(1, 1) < x.at(1, 2));
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let mut x = t(&[1, 3], vec![1000.0, 1001.0, 1002.0]);
+        softmax_rows(&mut x);
+        let s: f32 = x.row(0).iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        assert!(x.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn gelu_properties() {
+        assert_eq!(gelu(0.0), 0.0);
+        assert!(gelu(3.0) > 2.9); // ≈ identity for large positive x
+        assert!(gelu(-5.0).abs() < 1e-3); // ≈ 0 for large negative x
+        // Numeric derivative check.
+        for &x in &[-2.0f32, -0.5, 0.0, 0.7, 2.3] {
+            let h = 1e-3;
+            let num = (gelu(x + h) - gelu(x - h)) / (2.0 * h);
+            assert!((gelu_grad(x) - num).abs() < 1e-2, "x={x}: {} vs {num}", gelu_grad(x));
+        }
+    }
+
+    #[test]
+    fn relu_basics() {
+        assert_eq!(relu(-1.0), 0.0);
+        assert_eq!(relu(2.5), 2.5);
+    }
+}

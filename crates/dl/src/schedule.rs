@@ -1,0 +1,117 @@
+//! Learning-rate schedules.
+//!
+//! Fine-tuning schedules matter to this reproduction twice over: the §III
+//! byte-change profile depends on late-training update magnitudes (decayed
+//! learning rates shrink updates into the low mantissa bytes), and the
+//! paper lists the learning rate among the hyperparameters that — like
+//! `act_aft_steps` — the user tunes per model.
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule over a fixed number of steps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Constant rate.
+    Constant {
+        /// The rate.
+        lr: f32,
+    },
+    /// Linear decay from `lr` to `lr_end` over `total` steps.
+    Linear {
+        /// Initial rate.
+        lr: f32,
+        /// Final rate.
+        lr_end: f32,
+        /// Total steps.
+        total: u64,
+    },
+    /// Linear warmup to `lr` over `warmup` steps, then cosine decay to
+    /// `lr_end` at `total`.
+    CosineWarmup {
+        /// Peak rate.
+        lr: f32,
+        /// Final rate.
+        lr_end: f32,
+        /// Warmup steps.
+        warmup: u64,
+        /// Total steps.
+        total: u64,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate at (0-based) `step`.
+    pub fn at(&self, step: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::Linear { lr, lr_end, total } => {
+                if total <= 1 {
+                    return lr_end;
+                }
+                let t = (step.min(total - 1)) as f32 / (total - 1) as f32;
+                lr + (lr_end - lr) * t
+            }
+            LrSchedule::CosineWarmup { lr, lr_end, warmup, total } => {
+                if warmup > 0 && step < warmup {
+                    return lr * (step + 1) as f32 / warmup as f32;
+                }
+                let span = total.saturating_sub(warmup).max(1);
+                let t = (step.saturating_sub(warmup)).min(span) as f32 / span as f32;
+                let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+                lr_end + (lr - lr_end) * cos
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 1e-3 };
+        assert_eq!(s.at(0), 1e-3);
+        assert_eq!(s.at(1_000_000), 1e-3);
+    }
+
+    #[test]
+    fn linear_endpoints_and_midpoint() {
+        let s = LrSchedule::Linear { lr: 1.0, lr_end: 0.0, total: 101 };
+        assert_eq!(s.at(0), 1.0);
+        assert!((s.at(50) - 0.5).abs() < 1e-6);
+        assert_eq!(s.at(100), 0.0);
+        // Clamped beyond the end.
+        assert_eq!(s.at(500), 0.0);
+    }
+
+    #[test]
+    fn linear_degenerate_total() {
+        let s = LrSchedule::Linear { lr: 1.0, lr_end: 0.25, total: 1 };
+        assert_eq!(s.at(0), 0.25);
+    }
+
+    #[test]
+    fn cosine_warmup_shape() {
+        let s = LrSchedule::CosineWarmup { lr: 1.0, lr_end: 0.1, warmup: 10, total: 110 };
+        // Warmup ramps up.
+        assert!(s.at(0) < s.at(5));
+        assert!(s.at(5) < s.at(9));
+        assert!((s.at(9) - 1.0).abs() < 1e-6);
+        // Then decays monotonically.
+        assert!(s.at(20) > s.at(60));
+        assert!(s.at(60) > s.at(105));
+        // Ends at lr_end.
+        assert!((s.at(110) - 0.1).abs() < 1e-6);
+        // Midpoint of cosine ≈ average of peak and floor.
+        let mid = s.at(10 + 50);
+        assert!((mid - 0.55).abs() < 0.02, "mid {mid}");
+    }
+
+    #[test]
+    fn cosine_without_warmup() {
+        let s = LrSchedule::CosineWarmup { lr: 2.0, lr_end: 0.0, warmup: 0, total: 100 };
+        assert!((s.at(0) - 2.0).abs() < 1e-5);
+        assert!(s.at(99) < 0.01);
+    }
+}

@@ -1,0 +1,518 @@
+//! Encoder-decoder (T5-style) models: cross-attention, decoder blocks, and
+//! a small trainable seq2seq transformer. T5-large is one of the paper's
+//! five workloads (Table III, Wiki-summary summarization); this module
+//! provides the real encoder-decoder training dynamics for its convergence
+//! proxy.
+
+use crate::layers::{
+    Act, Activation, CausalSelfAttention, Embedding, LayerNorm, Linear, Param, TransformerBlock,
+    Visitable,
+};
+use crate::loss::softmax_cross_entropy;
+use crate::ops::softmax_rows;
+use crate::tensor::Tensor;
+use teco_sim::SimRng;
+
+/// Cross-attention: queries from the decoder stream, keys/values from the
+/// encoder memory. Single-head-per-group layout identical to
+/// [`CausalSelfAttention`] but with separate Q and KV projections and no
+/// causal mask (every decoder position may read all encoder positions).
+#[derive(Debug, Clone)]
+pub struct CrossAttention {
+    /// Query projection `[D, D]`.
+    pub wq: Linear,
+    /// Fused key-value projection `[D, 2D]`.
+    pub wkv: Linear,
+    /// Output projection `[D, D]`.
+    pub wo: Linear,
+    dim: usize,
+    heads: usize,
+    cache: Option<XAttnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct XAttnCache {
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    attn: Vec<Tensor>, // per head [Td, Te]
+}
+
+impl CrossAttention {
+    /// New cross-attention of width `dim` with `heads` heads.
+    pub fn new(name: &str, dim: usize, heads: usize, rng: &mut SimRng) -> Self {
+        assert!(dim % heads == 0);
+        let std = 0.02;
+        CrossAttention {
+            wq: Linear::new(&format!("{name}.wq"), dim, dim, std, rng),
+            wkv: Linear::new(&format!("{name}.wkv"), dim, 2 * dim, std, rng),
+            wo: Linear::new(&format!("{name}.wo"), dim, dim, std, rng),
+            dim,
+            heads,
+            cache: None,
+        }
+    }
+
+    fn head(&self, x: &Tensor, h: usize) -> Tensor {
+        let dh = self.dim / self.heads;
+        let mut out = Tensor::zeros(&[x.rows(), dh]);
+        for r in 0..x.rows() {
+            out.row_mut(r).copy_from_slice(&x.row(r)[h * dh..(h + 1) * dh]);
+        }
+        out
+    }
+    fn unhead(&self, full: &mut Tensor, part: &Tensor, h: usize) {
+        let dh = self.dim / self.heads;
+        for r in 0..part.rows() {
+            let dst = &mut full.row_mut(r)[h * dh..(h + 1) * dh];
+            for (d, s) in dst.iter_mut().zip(part.row(r)) {
+                *d += s;
+            }
+        }
+    }
+
+    /// Forward: decoder stream `x [Td, D]` attends to `memory [Te, D]`.
+    pub fn forward(&mut self, x: &Tensor, memory: &Tensor) -> Tensor {
+        let td = x.rows();
+        let te = memory.rows();
+        let d = self.dim;
+        let q = self.wq.forward(x);
+        let kv = self.wkv.forward(memory);
+        let mut k = Tensor::zeros(&[te, d]);
+        let mut v = Tensor::zeros(&[te, d]);
+        for r in 0..te {
+            k.row_mut(r).copy_from_slice(&kv.row(r)[0..d]);
+            v.row_mut(r).copy_from_slice(&kv.row(r)[d..2 * d]);
+        }
+        let dh = d / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut ctx = Tensor::zeros(&[td, d]);
+        let mut attn_mats = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let qh = self.head(&q, h);
+            let kh = self.head(&k, h);
+            let vh = self.head(&v, h);
+            let mut s = Tensor::zeros(&[td, te]);
+            for i in 0..td {
+                for j in 0..te {
+                    let dot: f32 = qh.row(i).iter().zip(kh.row(j)).map(|(a, b)| a * b).sum();
+                    s.set(i, j, dot * scale);
+                }
+            }
+            softmax_rows(&mut s);
+            let mut ctx_h = Tensor::zeros(&[td, dh]);
+            for i in 0..td {
+                for j in 0..te {
+                    let a = s.at(i, j);
+                    for c in 0..dh {
+                        ctx_h.data_mut()[i * dh + c] += a * vh.at(j, c);
+                    }
+                }
+            }
+            self.unhead(&mut ctx, &ctx_h, h);
+            attn_mats.push(s);
+        }
+        self.cache = Some(XAttnCache { q, k, v, attn: attn_mats });
+        self.wo.forward(&ctx)
+    }
+
+    /// Backward: returns `(dx, d_memory)`.
+    pub fn backward(&mut self, dy: &Tensor) -> (Tensor, Tensor) {
+        let d_ctx = self.wo.backward(dy);
+        let cache = self.cache.take().expect("backward before forward");
+        let td = d_ctx.rows();
+        let te = cache.k.rows();
+        let d = self.dim;
+        let dh = d / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        let mut dq = Tensor::zeros(&[td, d]);
+        let mut dk = Tensor::zeros(&[te, d]);
+        let mut dv = Tensor::zeros(&[te, d]);
+        for h in 0..self.heads {
+            let qh = self.head(&cache.q, h);
+            let kh = self.head(&cache.k, h);
+            let vh = self.head(&cache.v, h);
+            let a = &cache.attn[h];
+            let d_ctx_h = self.head(&d_ctx, h);
+
+            let mut dvh = Tensor::zeros(&[te, dh]);
+            let mut da = Tensor::zeros(&[td, te]);
+            for i in 0..td {
+                for j in 0..te {
+                    let aij = a.at(i, j);
+                    let mut dot = 0f32;
+                    for c in 0..dh {
+                        let g = d_ctx_h.at(i, c);
+                        dvh.data_mut()[j * dh + c] += aij * g;
+                        dot += g * vh.at(j, c);
+                    }
+                    da.set(i, j, dot);
+                }
+            }
+            let mut ds = Tensor::zeros(&[td, te]);
+            for i in 0..td {
+                let mut dot = 0f32;
+                for j in 0..te {
+                    dot += a.at(i, j) * da.at(i, j);
+                }
+                for j in 0..te {
+                    ds.set(i, j, a.at(i, j) * (da.at(i, j) - dot));
+                }
+            }
+            let mut dqh = Tensor::zeros(&[td, dh]);
+            let mut dkh = Tensor::zeros(&[te, dh]);
+            for i in 0..td {
+                for j in 0..te {
+                    let dsv = ds.at(i, j) * scale;
+                    if dsv == 0.0 {
+                        continue;
+                    }
+                    for c in 0..dh {
+                        dqh.data_mut()[i * dh + c] += dsv * kh.at(j, c);
+                        dkh.data_mut()[j * dh + c] += dsv * qh.at(i, c);
+                    }
+                }
+            }
+            self.unhead(&mut dq, &dqh, h);
+            self.unhead(&mut dk, &dkh, h);
+            self.unhead(&mut dv, &dvh, h);
+        }
+        let dx = self.wq.backward(&dq);
+        let mut d_kv = Tensor::zeros(&[te, 2 * d]);
+        for r in 0..te {
+            d_kv.row_mut(r)[0..d].copy_from_slice(dk.row(r));
+            d_kv.row_mut(r)[d..2 * d].copy_from_slice(dv.row(r));
+        }
+        let d_memory = self.wkv.backward(&d_kv);
+        (dx, d_memory)
+    }
+}
+
+impl Visitable for CrossAttention {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.wq.visit_params(f);
+        self.wkv.visit_params(f);
+        self.wo.visit_params(f);
+    }
+}
+
+/// One decoder block: causal self-attention, cross-attention to the
+/// encoder memory, and an MLP — each pre-normed with a residual.
+#[derive(Debug, Clone)]
+pub struct DecoderBlock {
+    ln1: LayerNorm,
+    self_attn: CausalSelfAttention,
+    ln2: LayerNorm,
+    cross: CrossAttention,
+    ln3: LayerNorm,
+    fc1: Linear,
+    act: Activation,
+    fc2: Linear,
+}
+
+impl DecoderBlock {
+    /// New decoder block.
+    pub fn new(name: &str, dim: usize, heads: usize, rng: &mut SimRng) -> Self {
+        let std = 0.02;
+        DecoderBlock {
+            ln1: LayerNorm::new(&format!("{name}.ln1"), dim),
+            self_attn: CausalSelfAttention::new(&format!("{name}.self"), dim, heads, true, rng),
+            ln2: LayerNorm::new(&format!("{name}.ln2"), dim),
+            cross: CrossAttention::new(&format!("{name}.cross"), dim, heads, rng),
+            ln3: LayerNorm::new(&format!("{name}.ln3"), dim),
+            fc1: Linear::new(&format!("{name}.fc1"), dim, 4 * dim, std, rng),
+            act: Activation::new(Act::Gelu),
+            fc2: Linear::new(&format!("{name}.fc2"), 4 * dim, dim, std, rng),
+        }
+    }
+
+    /// Forward over the decoder stream with the encoder memory.
+    pub fn forward(&mut self, x: &Tensor, memory: &Tensor) -> Tensor {
+        let mut y = x.clone();
+        y.add_assign(&self.self_attn.forward(&self.ln1.forward(x)));
+        let mut z = y.clone();
+        z.add_assign(&self.cross.forward(&self.ln2.forward(&y), memory));
+        let m = self.fc2.forward(&self.act.forward(&self.fc1.forward(&self.ln3.forward(&z))));
+        let mut out = z;
+        out.add_assign(&m);
+        out
+    }
+
+    /// Backward; returns `(dx, d_memory)`.
+    pub fn backward(&mut self, dy: &Tensor) -> (Tensor, Tensor) {
+        let d_m = self.fc1.backward(&self.act.backward(&self.fc2.backward(dy)));
+        let mut d_z = dy.clone();
+        d_z.add_assign(&self.ln3.backward(&d_m));
+
+        let (d_h2, d_memory) = self.cross.backward(&d_z);
+        let mut d_y = d_z;
+        d_y.add_assign(&self.ln2.backward(&d_h2));
+
+        let d_h1 = self.self_attn.backward(&d_y);
+        let mut d_x = d_y;
+        d_x.add_assign(&self.ln1.backward(&d_h1));
+        (d_x, d_memory)
+    }
+}
+
+impl Visitable for DecoderBlock {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.ln1.visit_params(f);
+        self.self_attn.visit_params(f);
+        self.ln2.visit_params(f);
+        self.cross.visit_params(f);
+        self.ln3.visit_params(f);
+        self.fc1.visit_params(f);
+        self.fc2.visit_params(f);
+    }
+}
+
+/// Configuration for [`TinyT5`].
+#[derive(Debug, Clone, Copy)]
+pub struct TinyT5Config {
+    /// Vocabulary (shared between encoder and decoder).
+    pub vocab: usize,
+    /// Width.
+    pub dim: usize,
+    /// Heads.
+    pub heads: usize,
+    /// Encoder blocks.
+    pub enc_layers: usize,
+    /// Decoder blocks.
+    pub dec_layers: usize,
+    /// Max sequence length.
+    pub max_seq: usize,
+}
+
+impl Default for TinyT5Config {
+    fn default() -> Self {
+        TinyT5Config { vocab: 32, dim: 16, heads: 2, enc_layers: 1, dec_layers: 1, max_seq: 16 }
+    }
+}
+
+/// A small encoder-decoder transformer (T5 shape).
+#[derive(Debug, Clone)]
+pub struct TinyT5 {
+    cfg: TinyT5Config,
+    enc_emb: Embedding,
+    enc_pos: Embedding,
+    enc_blocks: Vec<TransformerBlock>,
+    dec_emb: Embedding,
+    dec_pos: Embedding,
+    dec_blocks: Vec<DecoderBlock>,
+    ln_f: LayerNorm,
+    head: Linear,
+}
+
+impl TinyT5 {
+    /// Build the model.
+    pub fn new(cfg: TinyT5Config, rng: &mut SimRng) -> Self {
+        let std = 0.02;
+        TinyT5 {
+            enc_emb: Embedding::new("enc_emb", cfg.vocab, cfg.dim, std, rng),
+            enc_pos: Embedding::new("enc_pos", cfg.max_seq, cfg.dim, std, rng),
+            enc_blocks: (0..cfg.enc_layers)
+                .map(|i| TransformerBlock::new(&format!("enc{i}"), cfg.dim, cfg.heads, false, rng))
+                .collect(),
+            dec_emb: Embedding::new("dec_emb", cfg.vocab, cfg.dim, std, rng),
+            dec_pos: Embedding::new("dec_pos", cfg.max_seq, cfg.dim, std, rng),
+            dec_blocks: (0..cfg.dec_layers)
+                .map(|i| DecoderBlock::new(&format!("dec{i}"), cfg.dim, cfg.heads, rng))
+                .collect(),
+            ln_f: LayerNorm::new("t5.ln_f", cfg.dim),
+            head: Linear::new("t5.head", cfg.dim, cfg.vocab, std, rng),
+            cfg,
+        }
+    }
+
+    /// Forward: encode `src`, decode `dec_input`, return logits `[Td, V]`.
+    pub fn forward(&mut self, src: &[usize], dec_input: &[usize]) -> Tensor {
+        assert!(src.len() <= self.cfg.max_seq && dec_input.len() <= self.cfg.max_seq);
+        // Encoder.
+        let mut m = self.enc_emb.forward(src);
+        let pos: Vec<usize> = (0..src.len()).collect();
+        m.add_assign(&self.enc_pos.forward(&pos));
+        for b in &mut self.enc_blocks {
+            m = b.forward(&m);
+        }
+        // Decoder.
+        let mut x = self.dec_emb.forward(dec_input);
+        let dpos: Vec<usize> = (0..dec_input.len()).collect();
+        x.add_assign(&self.dec_pos.forward(&dpos));
+        for b in &mut self.dec_blocks {
+            x = b.forward(&x, &m);
+        }
+        self.head.forward(&self.ln_f.forward(&x))
+    }
+
+    /// Train on one (src, target) pair (teacher forcing: decoder input is
+    /// `targets[..n-1]`, labels `targets[1..]`). Returns the loss.
+    pub fn train_pair(&mut self, src: &[usize], targets: &[usize], grad_scale: f32) -> f32 {
+        assert!(targets.len() >= 2);
+        let dec_in = &targets[..targets.len() - 1];
+        let labels = &targets[1..];
+        let logits = self.forward(src, dec_in);
+        let (loss, mut d_logits) = softmax_cross_entropy(&logits, labels);
+        d_logits.scale(grad_scale);
+
+        // Backward through head + decoder, accumulating memory grads.
+        let dx = self.head.backward(&d_logits);
+        let mut dx = self.ln_f.backward(&dx);
+        let mut d_memory_total: Option<Tensor> = None;
+        for b in self.dec_blocks.iter_mut().rev() {
+            let (d_prev, d_mem) = b.backward(&dx);
+            dx = d_prev;
+            match &mut d_memory_total {
+                Some(t) => t.add_assign(&d_mem),
+                None => d_memory_total = Some(d_mem),
+            }
+        }
+        self.dec_emb.backward(&dx);
+        self.dec_pos.backward(&dx);
+
+        // Backward through the encoder with the accumulated memory grad.
+        let mut dm = d_memory_total.expect("at least one decoder block");
+        for b in self.enc_blocks.iter_mut().rev() {
+            dm = b.backward(&dm);
+        }
+        self.enc_emb.backward(&dm);
+        self.enc_pos.backward(&dm);
+        loss
+    }
+
+    /// Evaluate loss on a pair without touching gradients... except layer
+    /// caches (grads are accumulated; callers should `zero_grads` after).
+    pub fn eval_pair(&mut self, src: &[usize], targets: &[usize]) -> f32 {
+        let dec_in = &targets[..targets.len() - 1];
+        let labels = &targets[1..];
+        let logits = self.forward(src, dec_in);
+        softmax_cross_entropy(&logits, labels).0
+    }
+}
+
+impl Visitable for TinyT5 {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.enc_emb.visit_params(f);
+        self.enc_pos.visit_params(f);
+        for b in &mut self.enc_blocks {
+            b.visit_params(f);
+        }
+        self.dec_emb.visit_params(f);
+        self.dec_pos.visit_params(f);
+        for b in &mut self.dec_blocks {
+            b.visit_params(f);
+        }
+        self.ln_f.visit_params(f);
+        self.head.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{AdamConfig, OffloadedAdam};
+
+    #[test]
+    fn cross_attention_shapes() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut xa = CrossAttention::new("xa", 8, 2, &mut rng);
+        let x = Tensor::from_vec(&[3, 8], (0..24).map(|i| (i as f32 * 0.1).sin()).collect());
+        let m = Tensor::from_vec(&[5, 8], (0..40).map(|i| (i as f32 * 0.2).cos()).collect());
+        let y = xa.forward(&x, &m);
+        assert_eq!(y.shape(), &[3, 8]);
+        let (dx, dm) = xa.backward(&Tensor::full(&[3, 8], 1.0));
+        assert_eq!(dx.shape(), &[3, 8]);
+        assert_eq!(dm.shape(), &[5, 8]);
+    }
+
+    #[test]
+    fn cross_attention_gradcheck() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let mut xa = CrossAttention::new("xa", 6, 2, &mut rng);
+        let x = Tensor::from_vec(&[2, 6], (0..12).map(|i| (i as f32 * 0.31).cos() * 0.4).collect());
+        let m = Tensor::from_vec(&[3, 6], (0..18).map(|i| (i as f32 * 0.17).sin() * 0.4).collect());
+        xa.zero_grads();
+        xa.forward(&x, &m);
+        let dy = Tensor::full(&[2, 6], 1.0);
+        let (dx, dm) = xa.backward(&dy);
+        let h = 1e-3f32;
+        // dx check.
+        for &idx in &[0usize, 11] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += h;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= h;
+            let num = (xa.forward(&xp, &m).sum() - xa.forward(&xm, &m).sum()) / (2.0 * h);
+            assert!((num - dx.data()[idx]).abs() < 3e-2, "dx[{idx}]: {} vs {num}", dx.data()[idx]);
+        }
+        // d_memory check.
+        for &idx in &[0usize, 17] {
+            let mut mp = m.clone();
+            mp.data_mut()[idx] += h;
+            let mut mm = m.clone();
+            mm.data_mut()[idx] -= h;
+            let num = (xa.forward(&x, &mp).sum() - xa.forward(&x, &mm).sum()) / (2.0 * h);
+            assert!((num - dm.data()[idx]).abs() < 3e-2, "dm[{idx}]: {} vs {num}", dm.data()[idx]);
+        }
+    }
+
+    #[test]
+    fn decoder_block_roundtrip_shapes() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut b = DecoderBlock::new("d0", 8, 2, &mut rng);
+        let x = Tensor::from_vec(&[4, 8], (0..32).map(|i| (i as f32 * 0.07).sin()).collect());
+        let m = Tensor::from_vec(&[6, 8], (0..48).map(|i| (i as f32 * 0.11).cos()).collect());
+        let y = b.forward(&x, &m);
+        assert_eq!(y.shape(), &[4, 8]);
+        let (dx, dm) = b.backward(&Tensor::full(&[4, 8], 0.5));
+        assert_eq!(dx.shape(), &[4, 8]);
+        assert_eq!(dm.shape(), &[6, 8]);
+        assert!(b.param_count() > 0);
+    }
+
+    #[test]
+    fn t5_overfits_a_copy_task() {
+        // Seq2seq copy: target = src shifted; a tiny T5 must overfit one
+        // fixed pair quickly.
+        let mut rng = SimRng::seed_from_u64(11);
+        let mut m = TinyT5::new(TinyT5Config::default(), &mut rng);
+        let mut opt = OffloadedAdam::new(AdamConfig { lr: 3e-3, ..Default::default() });
+        let src = [5usize, 9, 2, 7, 1];
+        let tgt = [0usize, 5, 9, 2, 7, 1]; // BOS + copy
+        let first = m.eval_pair(&src, &tgt);
+        m.zero_grads();
+        for _ in 0..80 {
+            m.zero_grads();
+            m.train_pair(&src, &tgt, 1.0);
+            opt.step(&mut m);
+        }
+        let last = m.eval_pair(&src, &tgt);
+        assert!(last < first * 0.3, "loss {first} → {last}");
+    }
+
+    #[test]
+    fn decoder_attends_to_encoder() {
+        // Changing the source must change the decoder logits (cross-attn
+        // actually wired).
+        let mut rng = SimRng::seed_from_u64(13);
+        let mut m = TinyT5::new(TinyT5Config::default(), &mut rng);
+        let dec = [0usize, 1, 2];
+        let a = m.forward(&[3, 4, 5], &dec);
+        let b = m.forward(&[6, 7, 8], &dec);
+        let diff: f32 = a.data().iter().zip(b.data()).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1e-3, "decoder ignored the source");
+    }
+
+    #[test]
+    fn t5_training_is_deterministic() {
+        let run = |seed| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let mut m = TinyT5::new(TinyT5Config::default(), &mut rng);
+            m.zero_grads();
+            m.train_pair(&[1, 2, 3], &[0, 1, 2, 3], 1.0)
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

@@ -1,0 +1,241 @@
+//! A small dense FP32 tensor type.
+//!
+//! The convergence and profiling experiments need *real* training dynamics,
+//! not a framework: this tensor is a contiguous row-major `Vec<f32>` with
+//! the handful of shape operations the layer implementations require. All
+//! heavy math lives in [`crate::ops`].
+
+use std::fmt;
+
+/// A dense, row-major FP32 tensor.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}(", self.shape)?;
+        let preview: Vec<String> = self.data.iter().take(6).map(|x| format!("{x:.4}")).collect();
+        write!(f, "{}{})", preview.join(", "), if self.data.len() > 6 { ", …" } else { "" })
+    }
+}
+
+impl Tensor {
+    /// Zero-filled tensor.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let n = shape.iter().product();
+        Tensor { shape: shape.to_vec(), data: vec![0.0; n] }
+    }
+
+    /// Constant-filled tensor.
+    pub fn full(shape: &[usize], v: f32) -> Self {
+        let n = shape.iter().product();
+        Tensor { shape: shape.to_vec(), data: vec![v; n] }
+    }
+
+    /// Build from existing data; length must match the shape product.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape {shape:?} incompatible with {} elements",
+            data.len()
+        );
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+    /// Number of rows of a 2-D tensor.
+    pub fn rows(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "rows() needs a 2-D tensor");
+        self.shape[0]
+    }
+    /// Number of columns of a 2-D tensor.
+    pub fn cols(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "cols() needs a 2-D tensor");
+        self.shape[1]
+    }
+
+    /// Flat data slice.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+    /// Mutable flat data slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+    /// Consume into the flat data.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// 2-D element access.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        self.data[r * self.shape[1] + c]
+    }
+    /// 2-D element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert_eq!(self.shape.len(), 2);
+        self.data[r * self.shape[1] + c] = v;
+    }
+
+    /// A view of row `r` of a 2-D tensor.
+    pub fn row(&self, r: usize) -> &[f32] {
+        let w = self.cols();
+        &self.data[r * w..(r + 1) * w]
+    }
+    /// A mutable view of row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        let w = self.cols();
+        &mut self.data[r * w..(r + 1) * w]
+    }
+
+    /// Reinterpret with a new shape of equal element count.
+    pub fn reshape(mut self, shape: &[usize]) -> Self {
+        assert_eq!(shape.iter().product::<usize>(), self.data.len());
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Element-wise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// In-place element-wise `self += other` (shapes must match).
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape);
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place scale.
+    pub fn scale(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// L2 norm of the flattened tensor.
+    pub fn l2_norm(&self) -> f32 {
+        self.data.iter().map(|x| (*x as f64).powi(2)).sum::<f64>().sqrt() as f32
+    }
+
+    /// Transposed copy of a 2-D tensor.
+    pub fn transposed(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2);
+        let (r, c) = (self.shape[0], self.shape[1]);
+        let mut out = Tensor::zeros(&[c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_shape() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 3);
+        let u = Tensor::full(&[4], 2.5);
+        assert_eq!(u.sum(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn from_vec_checks_length() {
+        Tensor::from_vec(&[2, 2], vec![1.0; 3]);
+    }
+
+    #[test]
+    fn element_access() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.set(1, 2, 7.0);
+        assert_eq!(t.at(1, 2), 7.0);
+        assert_eq!(t.row(1), &[0.0, 0.0, 7.0]);
+        t.row_mut(0)[1] = 3.0;
+        assert_eq!(t.at(0, 1), 3.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[2, 3], (0..6).map(|i| i as f32).collect());
+        let u = t.clone().reshape(&[3, 2]);
+        assert_eq!(u.shape(), &[3, 2]);
+        assert_eq!(u.data(), t.data());
+    }
+
+    #[test]
+    fn map_scale_add() {
+        let t = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        let sq = t.map(|x| x * x);
+        assert_eq!(sq.data(), &[1.0, 4.0, 9.0]);
+        let mut u = t.clone();
+        u.add_assign(&t);
+        assert_eq!(u.data(), &[2.0, 4.0, 6.0]);
+        u.scale(0.5);
+        assert_eq!(u.data(), t.data());
+    }
+
+    #[test]
+    fn norms_and_means() {
+        let t = Tensor::from_vec(&[2, 2], vec![3.0, 4.0, 0.0, 0.0]);
+        assert!((t.l2_norm() - 5.0).abs() < 1e-6);
+        assert_eq!(t.mean(), 1.75);
+    }
+
+    #[test]
+    fn transpose() {
+        let t = Tensor::from_vec(&[2, 3], (0..6).map(|i| i as f32).collect());
+        let u = t.transposed();
+        assert_eq!(u.shape(), &[3, 2]);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(t.at(i, j), u.at(j, i));
+            }
+        }
+    }
+}

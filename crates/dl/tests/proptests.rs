@@ -1,0 +1,160 @@
+//! Property-based tests for the DL framework.
+
+use proptest::prelude::*;
+use teco_dl::half::{f16_bits_to_f32, f32_to_f16_bits, through_f16};
+use teco_dl::layers::{Linear, Visitable};
+use teco_dl::loss::softmax_cross_entropy;
+use teco_dl::ops::{matmul, matmul_nt, matmul_tn, softmax_rows};
+use teco_dl::profile::profile_change;
+use teco_dl::Tensor;
+use teco_sim::SimRng;
+
+proptest! {
+    /// f16→f32→f16 is the identity for all finite patterns (exhaustive in a
+    /// unit test; here, random patterns including specials).
+    #[test]
+    fn f16_f32_f16_roundtrip(h in any::<u16>()) {
+        let x = f16_bits_to_f32(h);
+        if x.is_nan() {
+            prop_assert!(f16_bits_to_f32(f32_to_f16_bits(x)).is_nan());
+        } else {
+            prop_assert_eq!(f32_to_f16_bits(x), h);
+        }
+    }
+
+    /// f32→f16 relative error is bounded by 2⁻¹¹ for in-range normals.
+    #[test]
+    fn f16_relative_error_bound(x in -60000.0f32..60000.0) {
+        prop_assume!(x.abs() >= 2.0f32.powi(-14)); // skip subnormal range
+        let y = through_f16(x);
+        let rel = ((y - x) / x).abs();
+        prop_assert!(rel <= 2.0f32.powi(-11) + 1e-7, "x={x} y={y}");
+    }
+
+    /// f16 conversion is monotone: a ≤ b → f16(a) ≤ f16(b).
+    #[test]
+    fn f16_monotone(a in -1000.0f32..1000.0, b in -1000.0f32..1000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(through_f16(lo) <= through_f16(hi));
+    }
+
+    /// Matmul distributes over addition: (A+B)·C = A·C + B·C.
+    #[test]
+    fn matmul_distributive(
+        m in 1usize..6, k in 1usize..6, n in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let rnd = |r: &mut SimRng, len: usize| -> Vec<f32> {
+            (0..len).map(|_| r.normal(0.0, 1.0) as f32).collect()
+        };
+        let a = Tensor::from_vec(&[m, k], rnd(&mut rng, m * k));
+        let b = Tensor::from_vec(&[m, k], rnd(&mut rng, m * k));
+        let c = Tensor::from_vec(&[k, n], rnd(&mut rng, k * n));
+        let mut ab = a.clone();
+        ab.add_assign(&b);
+        let lhs = matmul(&ab, &c);
+        let mut rhs = matmul(&a, &c);
+        rhs.add_assign(&matmul(&b, &c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// matmul_tn/matmul_nt agree with explicit transposes.
+    #[test]
+    fn transposed_matmuls_consistent(m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in any::<u64>()) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let rnd = |r: &mut SimRng, len: usize| -> Vec<f32> {
+            (0..len).map(|_| r.normal(0.0, 1.0) as f32).collect()
+        };
+        let at = Tensor::from_vec(&[k, m], rnd(&mut rng, m * k));
+        let b = Tensor::from_vec(&[k, n], rnd(&mut rng, k * n));
+        let c1 = matmul_tn(&at, &b);
+        let c2 = matmul(&at.transposed(), &b);
+        for (x, y) in c1.data().iter().zip(c2.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+        let a = Tensor::from_vec(&[m, k], rnd(&mut rng, m * k));
+        let bt = Tensor::from_vec(&[n, k], rnd(&mut rng, k * n));
+        let d1 = matmul_nt(&a, &bt);
+        let d2 = matmul(&a, &bt.transposed());
+        for (x, y) in d1.data().iter().zip(d2.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Softmax rows always sum to 1 and are shift-invariant.
+    #[test]
+    fn softmax_invariants(rows in 1usize..5, cols in 1usize..8, seed in any::<u64>(), shift in -50.0f32..50.0) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..rows * cols).map(|_| rng.normal(0.0, 3.0) as f32).collect();
+        let mut a = Tensor::from_vec(&[rows, cols], data.clone());
+        let mut b = Tensor::from_vec(&[rows, cols], data.iter().map(|x| x + shift).collect());
+        softmax_rows(&mut a);
+        softmax_rows(&mut b);
+        for r in 0..rows {
+            let s: f32 = a.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-5);
+            for c in 0..cols {
+                prop_assert!((a.at(r, c) - b.at(r, c)).abs() < 1e-5, "shift invariance");
+            }
+        }
+    }
+
+    /// Cross-entropy gradient rows sum to ~0 and the loss is nonnegative.
+    #[test]
+    fn cross_entropy_invariants(rows in 1usize..6, cols in 2usize..8, seed in any::<u64>()) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let logits = Tensor::from_vec(
+            &[rows, cols],
+            (0..rows * cols).map(|_| rng.normal(0.0, 2.0) as f32).collect(),
+        );
+        let targets: Vec<usize> = (0..rows).map(|_| rng.index(cols)).collect();
+        let (loss, grad) = softmax_cross_entropy(&logits, &targets);
+        prop_assert!(loss >= 0.0);
+        for r in 0..rows {
+            let s: f32 = grad.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-5);
+        }
+    }
+
+    /// Linear-layer gradients match finite differences for random shapes.
+    #[test]
+    fn linear_gradcheck(inn in 1usize..5, out in 1usize..5, n in 1usize..4, seed in any::<u64>()) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut l = Linear::new("l", inn, out, 0.5, &mut rng);
+        let x = Tensor::from_vec(
+            &[n, inn],
+            (0..n * inn).map(|_| rng.normal(0.0, 1.0) as f32).collect(),
+        );
+        l.zero_grads();
+        l.forward(&x);
+        let dy = Tensor::full(&[n, out], 1.0);
+        l.backward(&dy);
+        let h = 1e-2f32;
+        let idx = (seed as usize) % (inn * out);
+        let orig = l.w.value[idx];
+        l.w.value[idx] = orig + h;
+        let lp = l.forward(&x).sum();
+        l.w.value[idx] = orig - h;
+        let lm = l.forward(&x).sum();
+        l.w.value[idx] = orig;
+        let num = (lp - lm) / (2.0 * h);
+        let ana = l.w.grad[idx];
+        prop_assert!((num - ana).abs() < 5e-2 * (1.0 + ana.abs()), "{ana} vs {num}");
+    }
+
+    /// profile_change class counts always partition the words.
+    #[test]
+    fn profile_partition(prev in prop::collection::vec(any::<f32>(), 1..200), seed in any::<u64>()) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let curr: Vec<f32> = prev
+            .iter()
+            .map(|&x| if rng.bernoulli(0.5) { x } else { f32::from_bits(x.to_bits() ^ rng.next_u64() as u32) })
+            .collect();
+        let s = profile_change(&prev, &curr);
+        prop_assert_eq!(s.total() as usize, prev.len());
+        prop_assert_eq!(s.changed(), s.last_byte + s.last_two + s.other);
+    }
+}

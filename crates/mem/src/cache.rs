@@ -1,0 +1,456 @@
+//! Set-associative write-back cache model and a three-level hierarchy
+//! matching the gem5-avx configuration of Table II:
+//!
+//! | level | size  | line | assoc |
+//! |-------|-------|------|-------|
+//! | L1    | 8 KB  | 64 B | 8     |
+//! | L2    | 64 KB | 64 B | 16    |
+//! | L3    | 16 MB | 64 B | 64    |
+//!
+//! The model is functional (hit/miss/eviction/writeback), not cycle-level:
+//! the paper's CXL emulator only consumes the *writeback stream* ("we collect
+//! the timing and amount of these writebacks by generating a trace of main
+//! memory accesses during CPU simulation"), which this model produces.
+
+use crate::line::{Addr, LINE_BYTES};
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+}
+
+impl CacheConfig {
+    /// L1 data cache from Table II: 8 KB, 64 B lines, 8-way.
+    pub fn gem5_l1() -> Self {
+        CacheConfig { size_bytes: 8 << 10, assoc: 8 }
+    }
+    /// L2 from Table II: 64 KB, 64 B lines, 16-way.
+    pub fn gem5_l2() -> Self {
+        CacheConfig { size_bytes: 64 << 10, assoc: 16 }
+    }
+    /// Shared L3 from Table II: 16 MB, 64 B lines, 64-way.
+    pub fn gem5_l3() -> Self {
+        CacheConfig { size_bytes: 16 << 20, assoc: 64 }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn num_sets(&self) -> usize {
+        let lines = self.size_bytes as usize / LINE_BYTES;
+        assert!(lines % self.assoc == 0, "size/assoc mismatch");
+        lines / self.assoc
+    }
+}
+
+/// The outcome of a single cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Did the access hit in this level?
+    pub hit: bool,
+    /// If a dirty victim was evicted to make room, its line address.
+    pub writeback: Option<Addr>,
+    /// If a (clean or dirty) victim was evicted, its line address.
+    pub evicted: Option<Addr>,
+}
+
+/// Aggregate counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    pub accesses: u64,
+    pub hits: u64,
+    pub misses: u64,
+    pub writebacks: u64,
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; zero when no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// A single set-associative write-back, write-allocate cache with LRU
+/// replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Build an empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let nsets = cfg.num_sets();
+        Cache {
+            cfg,
+            sets: vec![
+                vec![
+                    Way { tag: 0, valid: false, dirty: false, lru: 0 };
+                    cfg.assoc
+                ];
+                nsets
+            ],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    #[inline]
+    fn set_and_tag(&self, a: Addr) -> (usize, u64) {
+        let line = a.line_index();
+        let nsets = self.sets.len() as u64;
+        ((line % nsets) as usize, line / nsets)
+    }
+
+    /// Access the line containing `a`. `is_store` marks the line dirty on
+    /// hit or fill. Returns hit/miss plus any eviction/writeback produced.
+    pub fn access(&mut self, a: Addr, is_store: bool) -> AccessResult {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let (set_idx, tag) = self.set_and_tag(a);
+        let nsets = self.sets.len() as u64;
+        let set = &mut self.sets[set_idx];
+
+        // Hit path.
+        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.lru = self.clock;
+            way.dirty |= is_store;
+            self.stats.hits += 1;
+            return AccessResult { hit: true, writeback: None, evicted: None };
+        }
+
+        // Miss: pick an invalid way or the LRU victim.
+        self.stats.misses += 1;
+        let victim_idx = match set.iter().position(|w| !w.valid) {
+            Some(i) => i,
+            None => {
+                let (i, _) = set
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.lru)
+                    .expect("nonempty set");
+                i
+            }
+        };
+        let victim = set[victim_idx];
+        let (mut writeback, mut evicted) = (None, None);
+        if victim.valid {
+            let victim_addr = Addr((victim.tag * nsets + set_idx as u64) * LINE_BYTES as u64);
+            evicted = Some(victim_addr);
+            self.stats.evictions += 1;
+            if victim.dirty {
+                writeback = Some(victim_addr);
+                self.stats.writebacks += 1;
+            }
+        }
+        set[victim_idx] = Way { tag, valid: true, dirty: is_store, lru: self.clock };
+        AccessResult { hit: false, writeback, evicted }
+    }
+
+    /// Flush every dirty line, returning their addresses in set order. This
+    /// models the once-per-iteration CPU cache flush that "guarantees all
+    /// the updated parameters are sent out" (§IV-A2).
+    pub fn flush_dirty(&mut self) -> Vec<Addr> {
+        let nsets = self.sets.len() as u64;
+        let mut out = Vec::new();
+        for (set_idx, set) in self.sets.iter_mut().enumerate() {
+            for way in set.iter_mut() {
+                if way.valid && way.dirty {
+                    out.push(Addr((way.tag * nsets + set_idx as u64) * LINE_BYTES as u64));
+                    way.dirty = false;
+                    self.stats.writebacks += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Invalidate everything (cold restart), with no writebacks.
+    pub fn invalidate_all(&mut self) {
+        for set in &mut self.sets {
+            for way in set.iter_mut() {
+                way.valid = false;
+                way.dirty = false;
+            }
+        }
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|w| w.valid).count())
+            .sum()
+    }
+
+    /// Number of dirty lines currently resident.
+    pub fn dirty_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|w| w.valid && w.dirty).count())
+            .sum()
+    }
+}
+
+/// A writeback emitted by the hierarchy to main memory, tagged with the level
+/// it left from (always the last level here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemWriteback {
+    /// Line address written back to memory.
+    pub addr: Addr,
+}
+
+/// A three-level inclusive-enough hierarchy: L1 misses go to L2, L2 misses
+/// to L3; dirty evictions cascade downwards; dirty L3 evictions become main
+/// memory writebacks — the events the CXL home agent inspects.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    /// Levels from closest (L1) to farthest (L3).
+    levels: Vec<Cache>,
+}
+
+impl Hierarchy {
+    /// The Table II gem5-avx hierarchy.
+    pub fn gem5() -> Self {
+        Hierarchy {
+            levels: vec![
+                Cache::new(CacheConfig::gem5_l1()),
+                Cache::new(CacheConfig::gem5_l2()),
+                Cache::new(CacheConfig::gem5_l3()),
+            ],
+        }
+    }
+
+    /// A custom stack of levels (closest first).
+    pub fn new(levels: Vec<Cache>) -> Self {
+        assert!(!levels.is_empty());
+        Hierarchy { levels }
+    }
+
+    /// Access an address; returns writebacks that reached main memory.
+    pub fn access(&mut self, a: Addr, is_store: bool) -> Vec<MemWriteback> {
+        let mut mem_wbs = Vec::new();
+        // Walk down until a level hits (or we reach memory), collecting
+        // dirty victims which are then *stored* into the next level down.
+        let mut pending_dirty: Vec<(usize, Addr)> = Vec::new(); // (from_level, addr)
+        for (li, level) in self.levels.iter_mut().enumerate() {
+            let r = level.access(a, is_store && li == 0);
+            if let Some(wb) = r.writeback {
+                pending_dirty.push((li, wb));
+            }
+            if r.hit {
+                break;
+            }
+        }
+        // Dirty victims move to the next level down (write-allocate there);
+        // from the last level they hit memory.
+        while let Some((from, addr)) = pending_dirty.pop() {
+            let next = from + 1;
+            if next >= self.levels.len() {
+                mem_wbs.push(MemWriteback { addr });
+            } else {
+                let r = self.levels[next].access(addr, true);
+                if let Some(wb) = r.writeback {
+                    pending_dirty.push((next, wb));
+                }
+            }
+        }
+        mem_wbs
+    }
+
+    /// Flush all dirty lines in every level to memory; returns the line
+    /// addresses (deduplicated, sorted) that reach main memory.
+    pub fn flush_to_memory(&mut self) -> Vec<Addr> {
+        let mut addrs: Vec<Addr> = Vec::new();
+        for level in &mut self.levels {
+            addrs.extend(level.flush_dirty());
+        }
+        addrs.sort_unstable();
+        addrs.dedup();
+        addrs
+    }
+
+    /// Per-level stats, closest level first.
+    pub fn stats(&self) -> Vec<CacheStats> {
+        self.levels.iter().map(|c| c.stats()).collect()
+    }
+
+    /// Access a level directly (0 = L1).
+    pub fn level(&self, i: usize) -> &Cache {
+        &self.levels[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets × 2 ways × 64 B = 512 B.
+        Cache::new(CacheConfig { size_bytes: 512, assoc: 2 })
+    }
+
+    #[test]
+    fn geometry() {
+        assert_eq!(CacheConfig::gem5_l1().num_sets(), 16);
+        assert_eq!(CacheConfig::gem5_l2().num_sets(), 64);
+        assert_eq!(CacheConfig::gem5_l3().num_sets(), 4096);
+        assert_eq!(tiny().config().num_sets(), 4);
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny();
+        let a = Addr(0x100);
+        assert!(!c.access(a, false).hit);
+        assert!(c.access(a, false).hit);
+        assert!(c.access(Addr(0x13F), false).hit); // same line
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_and_writeback() {
+        let mut c = tiny(); // 4 sets, 2 ways; lines mapping to set 0: 0, 256, 512, ...
+        let s0 = |i: u64| Addr(i * 4 * 64); // stride of num_sets lines
+        c.access(s0(0), true); // dirty
+        c.access(s0(1), false);
+        // Third distinct line in set 0 evicts LRU = line 0 (dirty → writeback).
+        let r = c.access(s0(2), false);
+        assert!(!r.hit);
+        assert_eq!(r.writeback, Some(s0(0)));
+        assert_eq!(r.evicted, Some(s0(0)));
+        // Fourth evicts line 1 (clean → eviction but no writeback).
+        let r = c.access(s0(3), false);
+        assert_eq!(r.writeback, None);
+        assert_eq!(r.evicted, Some(s0(1)));
+        assert_eq!(c.stats().writebacks, 1);
+        assert_eq!(c.stats().evictions, 2);
+    }
+
+    #[test]
+    fn lru_recency_updates_on_hit() {
+        let mut c = tiny();
+        let s0 = |i: u64| Addr(i * 4 * 64);
+        c.access(s0(0), false);
+        c.access(s0(1), false);
+        c.access(s0(0), false); // refresh 0 → victim should be 1
+        let r = c.access(s0(2), false);
+        assert_eq!(r.evicted, Some(s0(1)));
+    }
+
+    #[test]
+    fn store_marks_dirty_on_hit() {
+        let mut c = tiny();
+        let a = Addr(0);
+        c.access(a, false); // clean fill
+        assert_eq!(c.dirty_lines(), 0);
+        c.access(a, true); // dirtied by store hit
+        assert_eq!(c.dirty_lines(), 1);
+    }
+
+    #[test]
+    fn flush_dirty_emits_each_dirty_line_once() {
+        let mut c = tiny();
+        c.access(Addr(0), true);
+        c.access(Addr(64), true);
+        c.access(Addr(128), false);
+        let mut flushed = c.flush_dirty();
+        flushed.sort_unstable();
+        assert_eq!(flushed, vec![Addr(0), Addr(64)]);
+        // Second flush finds nothing.
+        assert!(c.flush_dirty().is_empty());
+        assert_eq!(c.dirty_lines(), 0);
+        assert_eq!(c.resident_lines(), 3);
+    }
+
+    #[test]
+    fn sequential_sweep_writes_back_everything() {
+        // Streaming stores over a footprint ≫ cache size: every line is
+        // eventually written back (either by eviction or final flush).
+        // This is exactly the vectorized-ADAM parameter-update pattern.
+        let mut c = Cache::new(CacheConfig { size_bytes: 4096, assoc: 4 });
+        let nlines = 1000u64;
+        let mut wbs = 0u64;
+        for i in 0..nlines {
+            let r = c.access(Addr(i * 64), true);
+            if r.writeback.is_some() {
+                wbs += 1;
+            }
+        }
+        wbs += c.flush_dirty().len() as u64;
+        assert_eq!(wbs, nlines);
+    }
+
+    #[test]
+    fn hierarchy_miss_cascades_and_dirty_evictions_reach_memory() {
+        let mut h = Hierarchy::new(vec![
+            Cache::new(CacheConfig { size_bytes: 256, assoc: 2 }), // 2 sets
+            Cache::new(CacheConfig { size_bytes: 512, assoc: 2 }), // 4 sets
+        ]);
+        // Write a footprint much larger than L2; count memory writebacks
+        // plus final flush — must equal the number of distinct dirty lines.
+        let nlines = 256u64;
+        let mut mem_wbs = 0usize;
+        for i in 0..nlines {
+            mem_wbs += h.access(Addr(i * 64), true).len();
+        }
+        mem_wbs += h.flush_to_memory().len();
+        assert_eq!(mem_wbs as u64, nlines);
+    }
+
+    #[test]
+    fn hierarchy_small_footprint_stays_cached() {
+        let mut h = Hierarchy::gem5();
+        // 4 KB working set fits in L1 (8 KB): after warmup, no memory
+        // writebacks during re-traversal.
+        for round in 0..3 {
+            let mut wbs = 0;
+            for i in 0..64u64 {
+                wbs += h.access(Addr(i * 64), true).len();
+            }
+            if round > 0 {
+                assert_eq!(wbs, 0, "warm working set must not leak to memory");
+            }
+        }
+        let l1 = h.stats()[0];
+        assert!(l1.hit_rate() > 0.6);
+    }
+
+    #[test]
+    fn invalidate_all_drops_contents() {
+        let mut c = tiny();
+        c.access(Addr(0), true);
+        c.invalidate_all();
+        assert_eq!(c.resident_lines(), 0);
+        assert!(c.flush_dirty().is_empty());
+    }
+}

@@ -1,0 +1,176 @@
+//! BAR-style address-region registry.
+//!
+//! TECO configures the giant cache "using resizable Base Address Registers
+//! (BAR)" and the Aggregator holds "two registers ('address registers') per
+//! cached region, which are set when a tensor is allocated and checked by the
+//! CXL host agent when triggering coherent data transfer" (§V-B). This module
+//! models that registry: named, non-overlapping `[base, base+size)` regions
+//! with O(log n) containment lookup.
+
+use crate::line::Addr;
+use serde::{Deserialize, Serialize};
+
+/// One registered memory region (a pair of address registers).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// Human-readable tag (e.g. `"parameters"`, `"gradient_buffer"`).
+    pub name: String,
+    /// Base byte address (inclusive).
+    pub base: Addr,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+impl Region {
+    /// End address (exclusive).
+    pub fn end(&self) -> Addr {
+        Addr(self.base.0 + self.size)
+    }
+    /// True when `a` lies inside the region.
+    pub fn contains(&self, a: Addr) -> bool {
+        a >= self.base && a < self.end()
+    }
+}
+
+/// Identifies a region within a [`RegionMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RegionId(pub usize);
+
+/// A registry of non-overlapping regions, kept sorted by base address.
+#[derive(Debug, Clone, Default)]
+pub struct RegionMap {
+    regions: Vec<Region>,
+}
+
+/// Error returned when a new region would overlap an existing one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverlapError {
+    /// Name of the existing region that conflicts.
+    pub existing: String,
+}
+
+impl std::fmt::Display for OverlapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "region overlaps existing region {:?}", self.existing)
+    }
+}
+impl std::error::Error for OverlapError {}
+
+impl RegionMap {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a region; errors if it overlaps an existing one.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        base: Addr,
+        size: u64,
+    ) -> Result<RegionId, OverlapError> {
+        assert!(size > 0, "zero-sized region");
+        let new = Region {
+            name: name.into(),
+            base,
+            size,
+        };
+        for r in &self.regions {
+            let disjoint = new.end() <= r.base || new.base >= r.end();
+            if !disjoint {
+                return Err(OverlapError {
+                    existing: r.name.clone(),
+                });
+            }
+        }
+        self.regions.push(new);
+        // Keep sorted by base so lookup can binary-search. Registration is
+        // rare (once per tensor allocation), lookups are hot.
+        self.regions.sort_by_key(|r| r.base);
+        let idx = self.regions.iter().position(|r| r.base == base).unwrap();
+        Ok(RegionId(idx))
+    }
+
+    /// The region containing address `a`, if any. This is the check the CXL
+    /// home agent performs on every writeback ("checks if this cache line is
+    /// mapped in the giant cache", Fig. 8).
+    pub fn lookup(&self, a: Addr) -> Option<&Region> {
+        let idx = self.regions.partition_point(|r| r.base <= a);
+        if idx == 0 {
+            return None;
+        }
+        let r = &self.regions[idx - 1];
+        r.contains(a).then_some(r)
+    }
+
+    /// True when `a` falls in any registered region.
+    pub fn contains(&self, a: Addr) -> bool {
+        self.lookup(a).is_some()
+    }
+
+    /// All regions, sorted by base address.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Total registered bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.regions.iter().map(|r| r.size).sum()
+    }
+
+    /// Find a region by name.
+    pub fn by_name(&self, name: &str) -> Option<&Region> {
+        self.regions.iter().find(|r| r.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut m = RegionMap::new();
+        m.register("params", Addr(0x1000), 0x1000).unwrap();
+        m.register("grads", Addr(0x4000), 0x800).unwrap();
+        assert!(m.contains(Addr(0x1000)));
+        assert!(m.contains(Addr(0x1FFF)));
+        assert!(!m.contains(Addr(0x2000)));
+        assert!(!m.contains(Addr(0xFFF)));
+        assert_eq!(m.lookup(Addr(0x4123)).unwrap().name, "grads");
+        assert_eq!(m.total_bytes(), 0x1800);
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut m = RegionMap::new();
+        m.register("a", Addr(0x1000), 0x1000).unwrap();
+        let err = m.register("b", Addr(0x1800), 0x1000).unwrap_err();
+        assert_eq!(err.existing, "a");
+        // Touching at the boundary is fine (half-open intervals).
+        m.register("c", Addr(0x2000), 0x100).unwrap();
+        assert_eq!(m.regions().len(), 2);
+    }
+
+    #[test]
+    fn lookup_with_many_regions() {
+        let mut m = RegionMap::new();
+        // Register out of order; lookup must still binary-search correctly.
+        for i in (0..100u64).rev() {
+            m.register(format!("r{i}"), Addr(i * 0x1000), 0x800).unwrap();
+        }
+        for i in 0..100u64 {
+            assert_eq!(m.lookup(Addr(i * 0x1000 + 0x7FF)).unwrap().name, format!("r{i}"));
+            assert!(!m.contains(Addr(i * 0x1000 + 0x800)));
+        }
+    }
+
+    #[test]
+    fn by_name() {
+        let mut m = RegionMap::new();
+        m.register("giant_cache", Addr(0), 817 << 20).unwrap(); // Bert-large: 817 MB
+        let r = m.by_name("giant_cache").unwrap();
+        assert_eq!(r.size, 817 << 20);
+        assert!(m.by_name("nope").is_none());
+    }
+}

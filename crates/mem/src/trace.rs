@@ -1,0 +1,289 @@
+//! Memory-access traces and writeback-trace generation.
+//!
+//! The paper's methodology (§VIII-A): "we collect the timing and amount of
+//! these writebacks by generating a trace of main memory accesses during CPU
+//! simulation. The trace contains the timings and addresses of memory
+//! loads/stores." The CXL emulator then replays the trace. This module is
+//! our gem5-substitute trace producer: it drives the cache hierarchy with
+//! the access pattern of a vectorized ADAM update sweep (or arbitrary
+//! patterns) and emits timestamped writebacks to main memory.
+
+use crate::cache::Hierarchy;
+use crate::line::{Addr, LINE_BYTES};
+use teco_sim::{Bandwidth, SimRng, SimTime};
+
+/// One record in a load/store trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// When the access issues.
+    pub time: SimTime,
+    /// Byte address accessed.
+    pub addr: Addr,
+    /// Store (true) or load (false).
+    pub is_store: bool,
+}
+
+/// One main-memory writeback event — what the CXL home agent sees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Writeback {
+    /// When the line left the last-level cache.
+    pub time: SimTime,
+    /// Line address.
+    pub addr: Addr,
+}
+
+/// A timestamped writeback trace, sorted by time.
+#[derive(Debug, Clone, Default)]
+pub struct WritebackTrace {
+    /// The events, in nondecreasing time order.
+    pub events: Vec<Writeback>,
+}
+
+impl WritebackTrace {
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+    /// Total bytes written back (one line each).
+    pub fn total_bytes(&self) -> u64 {
+        (self.events.len() * LINE_BYTES) as u64
+    }
+    /// Time of the last event (ZERO when empty).
+    pub fn end_time(&self) -> SimTime {
+        self.events.last().map_or(SimTime::ZERO, |w| w.time)
+    }
+}
+
+/// Generates the access pattern of a vectorized (AVX-512 style) optimizer
+/// sweep: sequential stores over `[base, base+bytes)` at a given *update
+/// throughput* (bytes of parameters updated per second). Each 64-byte line
+/// is stored once — AVX-512 updates 16 floats per instruction, so "multiple
+/// parameters are updated at the same time, causing only one transfer of the
+/// cache line" (§IV-B).
+pub struct SweepGen {
+    /// Start of the region.
+    pub base: Addr,
+    /// Region size in bytes (will be rounded up to whole lines).
+    pub bytes: u64,
+    /// Parameter-update throughput of the CPU kernel.
+    pub update_rate: Bandwidth,
+    /// Sweep start time.
+    pub start: SimTime,
+}
+
+impl SweepGen {
+    /// Produce the store accesses of the sweep (one per line).
+    pub fn accesses(&self) -> impl Iterator<Item = MemAccess> + '_ {
+        let nlines = self.bytes.div_ceil(LINE_BYTES as u64);
+        (0..nlines).map(move |i| {
+            let t = self.start + self.update_rate.transfer_time(i * LINE_BYTES as u64);
+            MemAccess {
+                time: t,
+                addr: Addr(self.base.0 + i * LINE_BYTES as u64),
+                is_store: true,
+            }
+        })
+    }
+
+    /// Run the sweep through a cache hierarchy and collect the main-memory
+    /// writeback trace, including the end-of-iteration flush (§IV-A2: "the
+    /// flush happens only once at each training iteration").
+    pub fn writeback_trace(&self, hierarchy: &mut Hierarchy) -> WritebackTrace {
+        let mut events = Vec::new();
+        let mut last_t = self.start;
+        for acc in self.accesses() {
+            last_t = acc.time;
+            for wb in hierarchy.access(acc.addr, acc.is_store) {
+                events.push(Writeback { time: acc.time, addr: wb.addr });
+            }
+        }
+        // Final flush drains the remaining dirty lines at sweep end.
+        let flush_t = last_t + self.update_rate.transfer_time(LINE_BYTES as u64);
+        for addr in hierarchy.flush_to_memory() {
+            events.push(Writeback { time: flush_t, addr });
+        }
+        events.sort_by_key(|w| (w.time, w.addr));
+        WritebackTrace { events }
+    }
+}
+
+/// A chunk-granular writeback schedule for *large* regions where per-line
+/// traces would be too big (a 737M-parameter T5 sweep is ~46M lines). The
+/// sweep is divided into `chunks` equal pieces; each chunk's writeback burst
+/// is timestamped at the moment the optimizer finishes producing it. This is
+/// the production-rate view the TECO schedule simulator consumes.
+#[derive(Debug, Clone)]
+pub struct ChunkedSweep {
+    /// Total bytes in the region.
+    pub total_bytes: u64,
+    /// Number of chunks (≥ 1).
+    pub chunks: usize,
+    /// Producer throughput.
+    pub update_rate: Bandwidth,
+    /// Sweep start time.
+    pub start: SimTime,
+}
+
+/// One chunk of a [`ChunkedSweep`]: `bytes` become ready at `ready`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// When the producer finished writing this chunk (lines become eligible
+    /// for writeback/transfer).
+    pub ready: SimTime,
+    /// Payload bytes in the chunk.
+    pub bytes: u64,
+}
+
+impl ChunkedSweep {
+    /// The chunk schedule. Chunks are equal-sized except the last, which
+    /// absorbs the remainder.
+    pub fn chunks(&self) -> Vec<Chunk> {
+        assert!(self.chunks >= 1);
+        let per = self.total_bytes / self.chunks as u64;
+        let mut out = Vec::with_capacity(self.chunks);
+        let mut produced = 0u64;
+        for i in 0..self.chunks {
+            let bytes = if i + 1 == self.chunks {
+                self.total_bytes - produced
+            } else {
+                per
+            };
+            produced += bytes;
+            let ready = self.start + self.update_rate.transfer_time(produced);
+            out.push(Chunk { ready, bytes });
+        }
+        out
+    }
+
+    /// When the producer finishes the whole sweep.
+    pub fn end_time(&self) -> SimTime {
+        self.start + self.update_rate.transfer_time(self.total_bytes)
+    }
+}
+
+/// Shuffle the addresses of a line-granular region, for the DRAM
+/// shuffled-access experiment (§VIII-D).
+pub fn shuffled_line_addrs(base: Addr, bytes: u64, rng: &mut SimRng) -> Vec<Addr> {
+    let nlines = bytes.div_ceil(LINE_BYTES as u64);
+    let mut addrs: Vec<Addr> = (0..nlines)
+        .map(|i| Addr(base.0 + i * LINE_BYTES as u64))
+        .collect();
+    rng.shuffle(&mut addrs);
+    addrs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{Cache, CacheConfig};
+
+    #[test]
+    fn sweep_accesses_are_sequential_and_timed() {
+        let g = SweepGen {
+            base: Addr(0x1000),
+            bytes: 256,
+            update_rate: Bandwidth::from_gb_per_sec(16.0),
+            start: SimTime::from_ns(100),
+        };
+        let accs: Vec<_> = g.accesses().collect();
+        assert_eq!(accs.len(), 4);
+        assert_eq!(accs[0].addr, Addr(0x1000));
+        assert_eq!(accs[3].addr, Addr(0x10C0));
+        assert_eq!(accs[0].time, SimTime::from_ns(100));
+        // 64 B at 16 GB/s = 4 ns per line.
+        assert_eq!(accs[1].time, SimTime::from_ns(104));
+        assert!(accs.iter().all(|a| a.is_store));
+    }
+
+    #[test]
+    fn sweep_writeback_trace_covers_all_lines_once() {
+        let mut h = Hierarchy::new(vec![Cache::new(CacheConfig {
+            size_bytes: 1024,
+            assoc: 2,
+        })]);
+        let g = SweepGen {
+            base: Addr(0),
+            bytes: 100 * 64,
+            update_rate: Bandwidth::from_gb_per_sec(16.0),
+            start: SimTime::ZERO,
+        };
+        let trace = g.writeback_trace(&mut h);
+        assert_eq!(trace.len(), 100);
+        assert_eq!(trace.total_bytes(), 6400);
+        // Sorted by time.
+        for w in trace.events.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        // Every line appears exactly once.
+        let mut addrs: Vec<u64> = trace.events.iter().map(|w| w.addr.0).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 100);
+    }
+
+    #[test]
+    fn writeback_lags_production_by_cache_depth() {
+        // With a cache of 16 lines, the first writeback can only happen
+        // after the cache fills — i.e., the trace "lags" the sweep.
+        let mut h = Hierarchy::new(vec![Cache::new(CacheConfig {
+            size_bytes: 1024,
+            assoc: 2,
+        })]);
+        let g = SweepGen {
+            base: Addr(0),
+            bytes: 64 * 64,
+            update_rate: Bandwidth::from_gb_per_sec(16.0),
+            start: SimTime::ZERO,
+        };
+        let trace = g.writeback_trace(&mut h);
+        let first = trace.events.first().unwrap();
+        assert!(first.time >= SimTime::from_ns(4 * 16), "first wb at {}", first.time);
+    }
+
+    #[test]
+    fn chunked_sweep_schedule() {
+        let s = ChunkedSweep {
+            total_bytes: 1000,
+            chunks: 3,
+            update_rate: Bandwidth::from_gb_per_sec(1.0),
+            start: SimTime::ZERO,
+        };
+        let cs = s.chunks();
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs[0].bytes, 333);
+        assert_eq!(cs[1].bytes, 333);
+        assert_eq!(cs[2].bytes, 334);
+        assert_eq!(cs.iter().map(|c| c.bytes).sum::<u64>(), 1000);
+        // Ready times are the cumulative production times.
+        assert_eq!(cs[2].ready, s.end_time());
+        assert!(cs[0].ready < cs[1].ready && cs[1].ready < cs[2].ready);
+    }
+
+    #[test]
+    fn chunked_sweep_single_chunk_is_bulk() {
+        let s = ChunkedSweep {
+            total_bytes: 4096,
+            chunks: 1,
+            update_rate: Bandwidth::from_gb_per_sec(4.0),
+            start: SimTime::from_ns(7),
+        };
+        let cs = s.chunks();
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].bytes, 4096);
+        assert_eq!(cs[0].ready, s.end_time());
+    }
+
+    #[test]
+    fn shuffled_addrs_is_permutation() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let addrs = shuffled_line_addrs(Addr(0), 64 * 64, &mut rng);
+        assert_eq!(addrs.len(), 64);
+        let mut sorted: Vec<u64> = addrs.iter().map(|a| a.0).collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).map(|i| i * 64).collect::<Vec<_>>());
+    }
+}

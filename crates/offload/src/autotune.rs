@@ -1,0 +1,356 @@
+//! Bayesian optimization of `act_aft_steps` (§V-A: "`act_aft_steps` can be
+//! tuned using the Bayesian optimization" — the paper's refs 17 and 94).
+//!
+//! A small, self-contained BO stack: a Gaussian process with an RBF kernel
+//! (Cholesky-based exact inference — evaluation counts are tiny), the
+//! expected-improvement acquisition, and a sequential minimizer over a
+//! discrete candidate domain. The objective for TECO couples the two sides
+//! of Fig. 13: the accuracy cost of activating DBA early and the time cost
+//! of activating it late.
+
+use teco_sim::SimRng;
+
+/// A 1-D Gaussian process with an RBF kernel and Gaussian observation
+/// noise, fit by exact Cholesky inference.
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// RBF lengthscale.
+    pub lengthscale: f64,
+    /// Signal variance σ_f².
+    pub signal_var: f64,
+    /// Observation-noise variance σ_n².
+    pub noise_var: f64,
+    /// Cached Cholesky factor of K + σ_n² I (lower triangular, row-major).
+    chol: Vec<f64>,
+    /// Cached α = K⁻¹ (y − mean).
+    alpha: Vec<f64>,
+    y_mean: f64,
+}
+
+impl GaussianProcess {
+    /// New GP with the given hyperparameters and no data.
+    pub fn new(lengthscale: f64, signal_var: f64, noise_var: f64) -> Self {
+        assert!(lengthscale > 0.0 && signal_var > 0.0 && noise_var >= 0.0);
+        GaussianProcess {
+            xs: Vec::new(),
+            ys: Vec::new(),
+            lengthscale,
+            signal_var,
+            noise_var,
+            chol: Vec::new(),
+            alpha: Vec::new(),
+            y_mean: 0.0,
+        }
+    }
+
+    fn kernel(&self, a: f64, b: f64) -> f64 {
+        let d = (a - b) / self.lengthscale;
+        self.signal_var * (-0.5 * d * d).exp()
+    }
+
+    /// Add an observation and refit.
+    pub fn observe(&mut self, x: f64, y: f64) {
+        self.xs.push(x);
+        self.ys.push(y);
+        self.refit();
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+    /// True when no observations.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    fn refit(&mut self) {
+        let n = self.xs.len();
+        self.y_mean = self.ys.iter().sum::<f64>() / n as f64;
+        // K + σ_n² I.
+        let mut k = vec![0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                k[i * n + j] = self.kernel(self.xs[i], self.xs[j]);
+            }
+            k[i * n + i] += self.noise_var + 1e-10;
+        }
+        // Cholesky: K = L Lᵀ.
+        let mut l = vec![0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = k[i * n + j];
+                for p in 0..j {
+                    sum -= l[i * n + p] * l[j * n + p];
+                }
+                if i == j {
+                    assert!(sum > 0.0, "kernel matrix not PD (sum={sum})");
+                    l[i * n + i] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+        // α = L⁻ᵀ L⁻¹ (y − mean).
+        let mut z = vec![0f64; n];
+        for i in 0..n {
+            let mut sum = self.ys[i] - self.y_mean;
+            for p in 0..i {
+                sum -= l[i * n + p] * z[p];
+            }
+            z[i] = sum / l[i * n + i];
+        }
+        let mut alpha = vec![0f64; n];
+        for i in (0..n).rev() {
+            let mut sum = z[i];
+            for p in (i + 1)..n {
+                sum -= l[p * n + i] * alpha[p];
+            }
+            alpha[i] = sum / l[i * n + i];
+        }
+        self.chol = l;
+        self.alpha = alpha;
+    }
+
+    /// Posterior mean and variance at `x`.
+    pub fn posterior(&self, x: f64) -> (f64, f64) {
+        let n = self.xs.len();
+        if n == 0 {
+            return (0.0, self.signal_var);
+        }
+        let kx: Vec<f64> = self.xs.iter().map(|&xi| self.kernel(x, xi)).collect();
+        let mean = self.y_mean + kx.iter().zip(&self.alpha).map(|(a, b)| a * b).sum::<f64>();
+        // v = L⁻¹ kx.
+        let mut v = vec![0f64; n];
+        for i in 0..n {
+            let mut sum = kx[i];
+            for p in 0..i {
+                sum -= self.chol[i * n + p] * v[p];
+            }
+            v[i] = sum / self.chol[i * n + i];
+        }
+        let var = (self.kernel(x, x) - v.iter().map(|a| a * a).sum::<f64>()).max(1e-12);
+        (mean, var)
+    }
+}
+
+/// Standard-normal PDF.
+fn phi(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+/// Standard-normal CDF (Abramowitz-Stegun style erf approximation).
+fn big_phi(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+fn erf(x: f64) -> f64 {
+    // Numerical Recipes 6.2 approximation, |err| < 1.2e-7.
+    let t = 1.0 / (1.0 + 0.5 * x.abs());
+    let tau = t
+        * (-x * x - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
+    if x >= 0.0 {
+        1.0 - tau
+    } else {
+        tau - 1.0
+    }
+}
+
+/// Expected improvement (for minimization) at `x` given the best observed
+/// value `best`.
+pub fn expected_improvement(gp: &GaussianProcess, x: f64, best: f64) -> f64 {
+    let (mu, var) = gp.posterior(x);
+    let sigma = var.sqrt();
+    if sigma < 1e-12 {
+        return (best - mu).max(0.0);
+    }
+    let z = (best - mu) / sigma;
+    (best - mu) * big_phi(z) + sigma * phi(z)
+}
+
+/// Result of a BO run.
+#[derive(Debug, Clone)]
+pub struct BoResult {
+    /// Best input found.
+    pub best_x: f64,
+    /// Its objective value.
+    pub best_y: f64,
+    /// Every (x, y) evaluated, in order.
+    pub history: Vec<(f64, f64)>,
+}
+
+/// Minimize `f` over the discrete `domain` with `n_init` random probes and
+/// `n_iter` EI-guided evaluations.
+pub fn minimize(
+    f: &mut dyn FnMut(f64) -> f64,
+    domain: &[f64],
+    n_init: usize,
+    n_iter: usize,
+    seed: u64,
+) -> BoResult {
+    assert!(!domain.is_empty() && n_init >= 1);
+    let span = domain.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - domain.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mut gp = GaussianProcess::new((span / 4.0).max(1e-6), 1.0, 1e-4);
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut history = Vec::new();
+    let mut evaluated = vec![false; domain.len()];
+
+    // Normalize y online for GP conditioning.
+    let mut raw: Vec<f64> = Vec::new();
+    let eval_at = |idx: usize,
+                       gp: &mut GaussianProcess,
+                       raw: &mut Vec<f64>,
+                       history: &mut Vec<(f64, f64)>,
+                       evaluated: &mut Vec<bool>,
+                       f: &mut dyn FnMut(f64) -> f64| {
+        let x = domain[idx];
+        let y = f(x);
+        raw.push(y);
+        history.push((x, y));
+        evaluated[idx] = true;
+        // Refit GP on standardized observations.
+        let mean = raw.iter().sum::<f64>() / raw.len() as f64;
+        let std = (raw.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / raw.len() as f64)
+            .sqrt()
+            .max(1e-9);
+        *gp = GaussianProcess::new(gp.lengthscale, 1.0, 1e-4);
+        for (xx, yy) in history.iter() {
+            gp.observe(*xx, (yy - mean) / std);
+        }
+    };
+
+    for _ in 0..n_init.min(domain.len()) {
+        // Random unevaluated point.
+        let mut idx = rng.index(domain.len());
+        while evaluated[idx] {
+            idx = rng.index(domain.len());
+        }
+        eval_at(idx, &mut gp, &mut raw, &mut history, &mut evaluated, f);
+    }
+    for _ in 0..n_iter {
+        if evaluated.iter().all(|&e| e) {
+            break;
+        }
+        // Standardized best.
+        let mean = raw.iter().sum::<f64>() / raw.len() as f64;
+        let std = (raw.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / raw.len() as f64)
+            .sqrt()
+            .max(1e-9);
+        let best_std = history
+            .iter()
+            .map(|&(_, y)| (y - mean) / std)
+            .fold(f64::INFINITY, f64::min);
+        // Pick the unevaluated candidate with maximum EI.
+        let (idx, _) = domain
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !evaluated[*i])
+            .map(|(i, &x)| (i, expected_improvement(&gp, x, best_std)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .expect("unevaluated candidates exist");
+        eval_at(idx, &mut gp, &mut raw, &mut history, &mut evaluated, f);
+    }
+
+    let (best_x, best_y) = history
+        .iter()
+        .cloned()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .expect("nonempty history");
+    BoResult { best_x, best_y, history }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gp_interpolates_observations() {
+        let mut gp = GaussianProcess::new(1.0, 1.0, 1e-8);
+        for &(x, y) in &[(0.0, 1.0), (1.0, 2.0), (2.0, 0.5)] {
+            gp.observe(x, y);
+        }
+        for &(x, y) in &[(0.0, 1.0), (1.0, 2.0), (2.0, 0.5)] {
+            let (mu, var) = gp.posterior(x);
+            assert!((mu - y).abs() < 1e-3, "mu({x})={mu} want {y}");
+            assert!(var < 1e-3, "var({x})={var}");
+        }
+        // Far away, the posterior reverts to the mean with high variance.
+        let (mu, var) = gp.posterior(100.0);
+        let mean = (1.0 + 2.0 + 0.5) / 3.0;
+        assert!((mu - mean).abs() < 1e-6);
+        assert!(var > 0.9);
+    }
+
+    #[test]
+    fn gp_posterior_variance_shrinks_near_data() {
+        let mut gp = GaussianProcess::new(1.0, 1.0, 1e-6);
+        gp.observe(0.0, 0.0);
+        let (_, v_near) = gp.posterior(0.1);
+        let (_, v_far) = gp.posterior(3.0);
+        assert!(v_near < v_far);
+    }
+
+    #[test]
+    fn erf_matches_known_values() {
+        assert!((erf(0.0)).abs() < 1e-6); // approximation error ~1e-7
+        assert!((erf(1.0) - 0.8427).abs() < 1e-3);
+        assert!((erf(-1.0) + 0.8427).abs() < 1e-3);
+        assert!((big_phi(0.0) - 0.5).abs() < 1e-6);
+        assert!((big_phi(1.96) - 0.975).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ei_prefers_low_mean_and_high_uncertainty() {
+        let mut gp = GaussianProcess::new(0.5, 1.0, 1e-6);
+        gp.observe(0.0, 0.0);
+        gp.observe(2.0, 1.0);
+        // EI at the known minimum's neighborhood vs at the known bad point.
+        let ei_near_good = expected_improvement(&gp, 0.2, 0.0);
+        let ei_near_bad = expected_improvement(&gp, 1.9, 0.0);
+        assert!(ei_near_good > ei_near_bad);
+        // A far-away point with big uncertainty also has positive EI.
+        assert!(expected_improvement(&gp, 10.0, 0.0) > 0.0);
+    }
+
+    #[test]
+    fn bo_finds_quadratic_minimum_with_few_evals() {
+        let mut calls = 0usize;
+        let mut f = |x: f64| {
+            calls += 1;
+            (x - 7.0) * (x - 7.0)
+        };
+        let domain: Vec<f64> = (0..=20).map(|i| i as f64).collect();
+        let r = minimize(&mut f, &domain, 3, 7, 42);
+        assert!((r.best_x - 7.0).abs() <= 1.0, "best_x {}", r.best_x);
+        assert!(calls <= 10, "used {calls} evals");
+        assert_eq!(r.history.len(), calls);
+    }
+
+    #[test]
+    fn bo_handles_noisy_objective() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut f = |x: f64| (x - 3.0).powi(2) + rng.normal(0.0, 0.05);
+        let domain: Vec<f64> = (0..=10).map(|i| i as f64).collect();
+        let r = minimize(&mut f, &domain, 3, 6, 7);
+        assert!((r.best_x - 3.0).abs() <= 1.0, "best_x {}", r.best_x);
+    }
+
+    #[test]
+    fn bo_exhausts_small_domains_gracefully() {
+        let mut f = |x: f64| -x;
+        let domain = [1.0, 2.0, 3.0];
+        let r = minimize(&mut f, &domain, 1, 10, 1);
+        assert_eq!(r.best_x, 3.0);
+        assert_eq!(r.history.len(), 3);
+    }
+}

@@ -1,0 +1,118 @@
+//! Datacenter cost model (§VIII-C).
+//!
+//! "It has been reported that in an AWS data center, the AI training takes
+//! 20% of GPU cycles. Assume a data center with 256 A100 GPU and 50%
+//! utilization of GPUs. 7% of saving in training time leads to a reduction
+//! of roughly $900K in production cost in a year. (The cost estimation is
+//! based on AWS p4de.24xlarge instance)."
+
+use serde::{Deserialize, Serialize};
+
+/// Fleet and pricing assumptions.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DatacenterModel {
+    /// GPUs in the fleet.
+    pub gpus: u32,
+    /// Overall GPU utilization.
+    pub utilization: f64,
+    /// Fraction of busy cycles spent on AI *training* (vs inference etc.).
+    pub training_share: f64,
+    /// On-demand price of one 8-GPU p4de.24xlarge instance, $/hour.
+    pub instance_price_per_hour: f64,
+    /// GPUs per instance.
+    pub gpus_per_instance: u32,
+}
+
+impl DatacenterModel {
+    /// The paper's assumptions (256 A100s, 50 % utilization, 20 % of busy
+    /// cycles on training, p4de.24xlarge pricing).
+    pub fn paper() -> Self {
+        DatacenterModel {
+            gpus: 256,
+            utilization: 0.5,
+            training_share: 0.2,
+            // vantage.sh lists p4de.24xlarge around $40.97/h on demand.
+            instance_price_per_hour: 40.97,
+            gpus_per_instance: 8,
+        }
+    }
+
+    /// Dollar cost of one GPU-hour.
+    pub fn gpu_hour_cost(&self) -> f64 {
+        self.instance_price_per_hour / self.gpus_per_instance as f64
+    }
+
+    /// Annual spend attributable to AI training across the fleet.
+    pub fn annual_training_spend(&self) -> f64 {
+        let gpu_hours_per_year = self.gpus as f64 * 24.0 * 365.0 * self.utilization;
+        gpu_hours_per_year * self.training_share * self.gpu_hour_cost()
+    }
+
+    /// Annual on-demand bill for the whole provisioned fleet (instances are
+    /// paid for around the clock regardless of utilization).
+    pub fn annual_fleet_bill(&self) -> f64 {
+        let instances = self.gpus as f64 / self.gpus_per_instance as f64;
+        instances * self.instance_price_per_hour * 24.0 * 365.0
+    }
+
+    /// Conservative savings: `fraction` of the *training* share of actually
+    /// utilized GPU-hours.
+    pub fn annual_savings_training_only(&self, fraction: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&fraction));
+        self.annual_training_spend() * fraction
+    }
+
+    /// The §VIII-C headline arithmetic: applying the training-time saving
+    /// to the provisioned fleet's annual bill (capacity freed is capacity
+    /// not bought) — this is the calculation that yields "roughly $900K"
+    /// for a 7 % saving on a 256-GPU p4de fleet.
+    pub fn annual_savings(&self, fraction: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&fraction));
+        self.annual_fleet_bill() * fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_arithmetic_reproduces_900k() {
+        // §VIII-C: "7% of saving in training time leads to a reduction of
+        // roughly $900K in production cost in a year."
+        let dc = DatacenterModel::paper();
+        let savings = dc.annual_savings(0.07);
+        assert!(
+            (700_000.0..1_100_000.0).contains(&savings),
+            "7% saving = ${savings:.0}/yr (paper: ~$900K)"
+        );
+        // The conservative utilization-weighted figure is far smaller — the
+        // paper's number is the fleet-bill interpretation.
+        assert!(dc.annual_savings_training_only(0.07) < 150_000.0);
+    }
+
+    #[test]
+    fn spend_scales_linearly_in_fleet_and_utilization() {
+        let base = DatacenterModel::paper();
+        let double_fleet = DatacenterModel { gpus: 512, ..base };
+        assert!((double_fleet.annual_training_spend() / base.annual_training_spend() - 2.0).abs() < 1e-9);
+        let full_util = DatacenterModel { utilization: 1.0, ..base };
+        assert!((full_util.annual_training_spend() / base.annual_training_spend() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn teco_scale_savings() {
+        // At the reproduction's measured 30% average training-time
+        // reduction, the same fleet saves several $M/year.
+        let dc = DatacenterModel::paper();
+        let savings = dc.annual_savings(0.30);
+        assert!(savings > 3_000_000.0, "${savings:.0}");
+        assert!(savings < dc.annual_fleet_bill());
+    }
+
+    #[test]
+    fn gpu_hour_cost() {
+        let dc = DatacenterModel::paper();
+        assert!((dc.gpu_hour_cost() - 40.97 / 8.0).abs() < 1e-9);
+    }
+}

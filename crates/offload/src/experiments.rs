@@ -1,0 +1,413 @@
+//! Experiment drivers: one function per paper table/figure that the bench
+//! binaries (and integration tests) call. Each returns serializable rows
+//! carrying both the measured value and the paper's reference value so
+//! EXPERIMENTS.md can be regenerated mechanically.
+
+use crate::schedule::{simulate_step, StepResult, System};
+use crate::timing::Calibration;
+use serde::Serialize;
+use teco_dl::ModelSpec;
+
+/// Table I: exposed-communication share of ZeRO-Offload training time on
+/// Bert-large, by batch size.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Batch size.
+    pub batch: u32,
+    /// Measured exposed-communication percentage.
+    pub measured_pct: f64,
+    /// The paper's Table I value.
+    pub paper_pct: f64,
+}
+
+/// Run the Table I experiment.
+pub fn table1(cal: &Calibration) -> Vec<Table1Row> {
+    let bert = ModelSpec::bert_large();
+    let paper = [(4u32, 42.24), (8, 37.87), (16, 28.65), (20, 25.95)];
+    paper
+        .iter()
+        .map(|&(batch, paper_pct)| {
+            let r = simulate_step(cal, &bert, batch, System::ZeroOffload);
+            Table1Row {
+                batch,
+                measured_pct: 100.0 * r.comm_fraction(),
+                paper_pct,
+            }
+        })
+        .collect()
+}
+
+/// One cell of the Fig. 11 / Table IV speedup matrix.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpeedupCell {
+    /// Model name.
+    pub model: String,
+    /// Batch size (GCNII trains full-graph: reported once, batch = 1).
+    pub batch: u32,
+    /// TECO-CXL speedup over ZeRO-Offload.
+    pub teco_cxl: f64,
+    /// TECO-Reduction speedup over ZeRO-Offload.
+    pub teco_reduction: f64,
+    /// Paper's Table IV TECO-Reduction value (None where the paper has no
+    /// number, e.g. T5 at batch 16 hits OOM).
+    pub paper_reduction: Option<f64>,
+    /// Did the baseline OOM at this configuration (T5-large @ 16)?
+    pub oom: bool,
+}
+
+/// The V100's memory capacity in the paper's testbed (32 GB).
+const GPU_MEM_BYTES: u64 = 32 << 30;
+
+/// Would ZeRO-Offload OOM for this model/batch? ZeRO-Offload keeps the
+/// FP16 working parameters plus activations on the GPU (gradients and
+/// optimizer state live in CPU memory). Activation footprints per token are
+/// taken from the model zoo; T5-large fails exactly at batch 16 (§VIII-B).
+pub fn zero_offload_ooms(spec: &ModelSpec, batch: u32) -> bool {
+    let fp16_params = spec.params * 2;
+    let act = spec.act_bytes_per_token * spec.tokens_per_step(batch);
+    fp16_params + act > GPU_MEM_BYTES
+}
+
+/// Run the Fig. 11 / Table IV experiment over all Table III models.
+pub fn fig11_table4(cal: &Calibration) -> Vec<SpeedupCell> {
+    let paper: &[(&str, &[(u32, f64)])] = &[
+        ("GPT-2", &[(4, 1.82), (8, 1.52), (16, 1.32)]),
+        ("Albert-xxlarge-v1", &[(4, 1.25), (8, 1.23), (16, 1.08)]),
+        ("Bert-large-cased", &[(4, 1.6), (8, 1.62), (16, 1.41)]),
+        ("T5-large", &[(4, 1.73), (8, 1.58)]),
+    ];
+    let mut out = Vec::new();
+    for spec in ModelSpec::table3() {
+        let batches: &[u32] = if spec.name == "GCNII" { &[1] } else { &[4, 8, 16] };
+        for &batch in batches {
+            let oom = zero_offload_ooms(&spec, batch);
+            let paper_reduction = paper
+                .iter()
+                .find(|(n, _)| *n == spec.name)
+                .and_then(|(_, cells)| cells.iter().find(|(b, _)| *b == batch))
+                .map(|&(_, s)| s);
+            if oom {
+                out.push(SpeedupCell {
+                    model: spec.name.to_string(),
+                    batch,
+                    teco_cxl: f64::NAN,
+                    teco_reduction: f64::NAN,
+                    paper_reduction,
+                    oom: true,
+                });
+                continue;
+            }
+            let zero = simulate_step(cal, &spec, batch, System::ZeroOffload);
+            let cxl = simulate_step(cal, &spec, batch, System::TecoCxl);
+            let red = simulate_step(cal, &spec, batch, System::TecoReduction);
+            out.push(SpeedupCell {
+                model: spec.name.to_string(),
+                batch,
+                teco_cxl: cxl.speedup_over(&zero),
+                teco_reduction: red.speedup_over(&zero),
+                paper_reduction,
+                oom: false,
+            });
+        }
+    }
+    out
+}
+
+/// Fig. 12: the per-phase time breakdown for T5-large across systems and
+/// batch sizes.
+#[derive(Debug, Clone, Serialize)]
+pub struct BreakdownRow {
+    /// System name.
+    pub system: &'static str,
+    /// Batch size.
+    pub batch: u32,
+    /// Component milliseconds: fwd+bwd, exposed grad xfer, clip, adam,
+    /// exposed param xfer, fence.
+    pub fwd_bwd_ms: f64,
+    pub grad_xfer_ms: f64,
+    pub clip_ms: f64,
+    pub adam_ms: f64,
+    pub param_xfer_ms: f64,
+    pub fence_ms: f64,
+    pub total_ms: f64,
+}
+
+/// Run the Fig. 12 experiment.
+pub fn fig12_breakdown(cal: &Calibration) -> Vec<BreakdownRow> {
+    let t5 = ModelSpec::t5_large();
+    let mut out = Vec::new();
+    for &batch in &[2u32, 4, 8] {
+        for sys in [System::ZeroOffload, System::TecoCxl, System::TecoReduction] {
+            let r = simulate_step(cal, &t5, batch, sys);
+            let b = r.breakdown;
+            out.push(BreakdownRow {
+                system: sys.name(),
+                batch,
+                fwd_bwd_ms: b.fwd_bwd.as_millis_f64(),
+                grad_xfer_ms: b.grad_transfer_exposed.as_millis_f64(),
+                clip_ms: b.grad_clip.as_millis_f64(),
+                adam_ms: b.adam.as_millis_f64(),
+                param_xfer_ms: b.param_transfer_exposed.as_millis_f64(),
+                fence_ms: b.fence.as_millis_f64(),
+                total_ms: r.total.as_millis_f64(),
+            });
+        }
+    }
+    out
+}
+
+/// Table VI: model-size sensitivity on the GPT-2 family at batch 4.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table6Row {
+    /// Model name.
+    pub model: String,
+    /// Measured TECO-CXL speedup.
+    pub teco_cxl: f64,
+    /// Measured TECO-Reduction speedup.
+    pub teco_reduction: f64,
+    /// Paper's values (cxl, reduction).
+    pub paper: (f64, f64),
+}
+
+/// Run the Table VI experiment.
+pub fn table6(cal: &Calibration) -> Vec<Table6Row> {
+    let paper = [
+        ("GPT-2", (1.55, 1.82)),
+        ("GPT2-Medium", (1.54, 1.64)),
+        ("GPT2-Large", (1.67, 1.79)),
+        ("GPT2-11B", (1.29, 1.41)),
+    ];
+    ModelSpec::table6()
+        .into_iter()
+        .zip(paper)
+        .map(|(spec, (name, paper))| {
+            assert_eq!(spec.name, name);
+            let zero = simulate_step(cal, &spec, 4, System::ZeroOffload);
+            let cxl = simulate_step(cal, &spec, 4, System::TecoCxl);
+            let red = simulate_step(cal, &spec, 4, System::TecoReduction);
+            Table6Row {
+                model: spec.name.to_string(),
+                teco_cxl: cxl.speedup_over(&zero),
+                teco_reduction: red.speedup_over(&zero),
+                paper,
+            }
+        })
+        .collect()
+}
+
+/// §IV-A2 ablation: training-time increase of the invalidation protocol
+/// over the update protocol.
+#[derive(Debug, Clone, Serialize)]
+pub struct AblationRow {
+    /// Model name.
+    pub model: String,
+    /// Percent increase in step time (invalidation vs. update), batch 4.
+    pub penalty_pct: f64,
+}
+
+/// Run the invalidation-vs-update ablation. The paper reports +56.6 % on
+/// average, up to +99.7 % for T5-large.
+pub fn ablation_inval_vs_update(cal: &Calibration) -> Vec<AblationRow> {
+    ModelSpec::table3()
+        .into_iter()
+        .map(|spec| {
+            let batch = if spec.name == "GCNII" { 1 } else { 4 };
+            let upd = simulate_step(cal, &spec, batch, System::TecoCxl);
+            let inv = simulate_step(cal, &spec, batch, System::TecoInvalidation);
+            AblationRow {
+                model: spec.name.to_string(),
+                penalty_pct: 100.0 * (inv.total.as_secs_f64() / upd.total.as_secs_f64() - 1.0),
+            }
+        })
+        .collect()
+}
+
+/// §VIII-C: communication volume and exposed-overhead reduction.
+#[derive(Debug, Clone, Serialize)]
+pub struct VolumeRow {
+    /// Model name.
+    pub model: String,
+    /// Batch size.
+    pub batch: u32,
+    /// Parameter bytes per step, baseline.
+    pub param_bytes_zero: u64,
+    /// Parameter bytes per step with DBA.
+    pub param_bytes_red: u64,
+    /// Gradient bytes (identical in both; DBA never applies).
+    pub grad_bytes: u64,
+    /// Exposed-communication reduction, percent (the 93.7 %-average claim).
+    pub overhead_reduction_pct: f64,
+}
+
+/// Run the communication-volume experiment.
+pub fn volume_summary(cal: &Calibration) -> Vec<VolumeRow> {
+    let mut out = Vec::new();
+    for spec in ModelSpec::table3() {
+        let batches: &[u32] = if spec.name == "GCNII" { &[1] } else { &[4, 8] };
+        for &batch in batches {
+            let zero = simulate_step(cal, &spec, batch, System::ZeroOffload);
+            let red = simulate_step(cal, &spec, batch, System::TecoReduction);
+            let z = zero.breakdown.comm_exposed().as_secs_f64();
+            let r = red.breakdown.comm_exposed().as_secs_f64();
+            out.push(VolumeRow {
+                model: spec.name.to_string(),
+                batch,
+                param_bytes_zero: zero.bytes_to_device,
+                param_bytes_red: red.bytes_to_device,
+                grad_bytes: zero.bytes_to_host,
+                overhead_reduction_pct: if z > 0.0 { 100.0 * (1.0 - r / z) } else { 100.0 },
+            });
+        }
+    }
+    out
+}
+
+/// Convenience: simulate all three systems for a model/batch.
+pub fn all_systems(cal: &Calibration, spec: &ModelSpec, batch: u32) -> [StepResult; 3] {
+    [
+        simulate_step(cal, spec, batch, System::ZeroOffload),
+        simulate_step(cal, spec, batch, System::TecoCxl),
+        simulate_step(cal, spec, batch, System::TecoReduction),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cal() -> Calibration {
+        Calibration::paper()
+    }
+
+    #[test]
+    fn table1_tracks_paper_within_tolerance() {
+        for row in table1(&cal()) {
+            let err = (row.measured_pct - row.paper_pct).abs();
+            assert!(err < 6.0, "bs{}: {:.1} vs paper {:.1}", row.batch, row.measured_pct, row.paper_pct);
+        }
+    }
+
+    #[test]
+    fn table1_is_monotonically_decreasing() {
+        let rows = table1(&cal());
+        for w in rows.windows(2) {
+            assert!(w[0].measured_pct > w[1].measured_pct);
+        }
+    }
+
+    #[test]
+    fn table4_speedups_in_paper_range() {
+        // Paper: 1.08×–1.82×. Allow a modest modeling band around it.
+        for cell in fig11_table4(&cal()) {
+            if cell.oom {
+                continue;
+            }
+            assert!(
+                cell.teco_reduction > 1.05 && cell.teco_reduction < 2.0,
+                "{} b{}: {:.2}",
+                cell.model,
+                cell.batch,
+                cell.teco_reduction
+            );
+            // Reduction at least matches CXL (DBA only removes bytes).
+            assert!(cell.teco_reduction >= cell.teco_cxl - 1e-9);
+            if let Some(p) = cell.paper_reduction {
+                assert!(
+                    (cell.teco_reduction - p).abs() < 0.35,
+                    "{} b{}: {:.2} vs paper {:.2}",
+                    cell.model,
+                    cell.batch,
+                    cell.teco_reduction,
+                    p
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn t5_ooms_at_batch_16_only() {
+        // §VIII-B: "We cannot evaluate T5-large with ZeRO-Offload when the
+        // batch size is 16".
+        let t5 = ModelSpec::t5_large();
+        assert!(!zero_offload_ooms(&t5, 4));
+        assert!(!zero_offload_ooms(&t5, 8));
+        assert!(zero_offload_ooms(&t5, 16));
+        // The others fit at 16.
+        for spec in [ModelSpec::gpt2(), ModelSpec::bert_large()] {
+            assert!(!zero_offload_ooms(&spec, 16), "{}", spec.name);
+        }
+        let cells = fig11_table4(&cal());
+        let t5_16 = cells.iter().find(|c| c.model == "T5-large" && c.batch == 16).unwrap();
+        assert!(t5_16.oom);
+    }
+
+    #[test]
+    fn albert_shows_least_speedup() {
+        // §VIII-B observation 2.
+        let cells = fig11_table4(&cal());
+        for batch in [4u32, 8] {
+            let albert = cells
+                .iter()
+                .find(|c| c.model == "Albert-xxlarge-v1" && c.batch == batch)
+                .unwrap();
+            for c in cells.iter().filter(|c| c.batch == batch && !c.oom && c.model != "GCNII") {
+                assert!(albert.teco_reduction <= c.teco_reduction + 1e-9, "{}", c.model);
+            }
+        }
+    }
+
+    #[test]
+    fn fig12_param_transfer_vanishes_with_dba() {
+        let rows = fig12_breakdown(&cal());
+        for batch in [2u32, 4, 8] {
+            let zero = rows.iter().find(|r| r.system == "ZeRO-Offload" && r.batch == batch).unwrap();
+            let red = rows.iter().find(|r| r.system == "TECO-Reduction" && r.batch == batch).unwrap();
+            assert!(red.param_xfer_ms < 0.1 * zero.param_xfer_ms);
+            assert!(red.total_ms < zero.total_ms);
+            // Compute and CPU phases are system-independent.
+            assert!((red.fwd_bwd_ms - zero.fwd_bwd_ms).abs() < 1e-6);
+            assert!((red.adam_ms - zero.adam_ms).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn table6_shape_matches_paper() {
+        let rows = table6(&cal());
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.teco_reduction >= r.teco_cxl - 1e-9, "{}", r.model);
+            assert!((r.teco_reduction - r.paper.1).abs() < 0.45, "{}: {:.2} vs {:.2}", r.model, r.teco_reduction, r.paper.1);
+        }
+        // The 11B model shows the smallest gain (compute dominates).
+        let gains: Vec<f64> = rows.iter().map(|r| r.teco_reduction).collect();
+        assert!(gains[3] < gains[0] && gains[3] < gains[2]);
+    }
+
+    #[test]
+    fn ablation_penalty_shape() {
+        let rows = ablation_inval_vs_update(&cal());
+        let avg = rows.iter().map(|r| r.penalty_pct).sum::<f64>() / rows.len() as f64;
+        // Paper: +56.6 % average, up to +99.7 % (T5). Our model lands the
+        // average nearly exactly; per-model ranking differs slightly.
+        assert!(avg > 40.0 && avg < 75.0, "avg {avg}");
+        let t5 = rows.iter().find(|r| r.model == "T5-large").unwrap();
+        assert!(t5.penalty_pct >= avg, "T5 above average: {:.1} vs {:.1}", t5.penalty_pct, avg);
+        // Albert (compute-heavy) suffers least.
+        let albert = rows.iter().find(|r| r.model == "Albert-xxlarge-v1").unwrap();
+        assert!(rows.iter().all(|r| r.penalty_pct >= albert.penalty_pct - 1e-9));
+    }
+
+    #[test]
+    fn volume_claims_hold() {
+        let rows = volume_summary(&cal());
+        for r in &rows {
+            // §VIII-C: param volume −50 %, gradient volume unchanged.
+            assert_eq!(r.param_bytes_red * 2, r.param_bytes_zero, "{}", r.model);
+            assert!(r.grad_bytes > 0);
+        }
+        let avg = rows.iter().map(|r| r.overhead_reduction_pct).sum::<f64>() / rows.len() as f64;
+        // Paper: 93.7 % average reduction (up to 100 %).
+        assert!(avg > 70.0, "avg overhead reduction {avg}");
+        assert!(rows.iter().any(|r| r.overhead_reduction_pct > 90.0));
+    }
+}

@@ -1,0 +1,151 @@
+//! Memory-footprint accounting for the offload split (Figs. 1 and 3).
+//!
+//! ZeRO-Offload's placement: GPU holds the FP16 working parameters, the
+//! activations, and a small gradient buffer; CPU memory holds the FP32
+//! master parameters, both ADAM moments, and the full gradients. TECO maps
+//! the GPU-side parameter copy and gradient buffer into the giant cache
+//! (§IV-A1: "this size is the size of parameters in the accelerator plus
+//! the size of the gradient buffer"). This module derives those footprints
+//! from a [`ModelSpec`] and validates them against Table III's published
+//! giant-cache sizes.
+
+use serde::Serialize;
+use teco_dl::ModelSpec;
+
+/// Byte footprint on the accelerator.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct GpuLayout {
+    /// FP16 working parameters.
+    pub params_fp16: u64,
+    /// Activation memory at the given batch.
+    pub activations: u64,
+    /// The gradient staging buffer.
+    pub grad_buffer: u64,
+}
+
+impl GpuLayout {
+    /// Total accelerator bytes.
+    pub fn total(&self) -> u64 {
+        self.params_fp16 + self.activations + self.grad_buffer
+    }
+    /// The giant-cache slice: parameters + gradient buffer (activations
+    /// stay in conventional non-coherent memory, Fig. 3).
+    pub fn giant_cache(&self) -> u64 {
+        self.params_fp16 + self.grad_buffer
+    }
+}
+
+/// Byte footprint in CPU memory.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CpuLayout {
+    /// FP32 master parameters.
+    pub params_fp32: u64,
+    /// ADAM first+second moments (FP32 each).
+    pub optimizer_states: u64,
+    /// Full gradients (FP32 after host-side conversion).
+    pub gradients: u64,
+}
+
+impl CpuLayout {
+    /// Total CPU bytes the offload scheme consumes.
+    pub fn total(&self) -> u64 {
+        self.params_fp32 + self.optimizer_states + self.gradients
+    }
+}
+
+/// The gradient-buffer sizing rule: proportional to the model's per-layer
+/// parameter bytes (the buffer must absorb at least a layer's worth of
+/// gradients between flushes), with a floor.
+pub fn grad_buffer_bytes(spec: &ModelSpec) -> u64 {
+    let per_layer = spec.per_layer_param_bytes();
+    (4 * per_layer).max(32 << 20)
+}
+
+/// Accelerator layout for a model at a batch size.
+pub fn gpu_layout(spec: &ModelSpec, batch: u32) -> GpuLayout {
+    GpuLayout {
+        params_fp16: spec.params * 2,
+        activations: spec.act_bytes_per_token * spec.tokens_per_step(batch),
+        grad_buffer: grad_buffer_bytes(spec),
+    }
+}
+
+/// CPU layout for a model.
+pub fn cpu_layout(spec: &ModelSpec) -> CpuLayout {
+    CpuLayout {
+        params_fp32: spec.param_bytes(),
+        optimizer_states: spec.optimizer_state_bytes(),
+        gradients: spec.param_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_giant_cache_tracks_table3() {
+        // §IV-A1's sizing rule (fp16 params + gradient buffer) should land
+        // within ~35 % of every Table III giant-cache figure.
+        for spec in ModelSpec::table3() {
+            let derived = gpu_layout(&spec, 4).giant_cache() as f64;
+            let table = spec.giant_cache_bytes() as f64;
+            let ratio = derived / table;
+            assert!(
+                (0.65..1.45).contains(&ratio),
+                "{}: derived {:.0} MB vs Table III {} MB (ratio {ratio:.2})",
+                spec.name,
+                derived / (1 << 20) as f64,
+                spec.giant_cache_mb
+            );
+        }
+    }
+
+    #[test]
+    fn cpu_memory_is_4x_params_for_offload() {
+        // ZeRO-Offload's CPU footprint: fp32 params + 2 moments + grads =
+        // 16 bytes/param.
+        for spec in ModelSpec::table3() {
+            let cpu = cpu_layout(&spec);
+            assert_eq!(cpu.total(), spec.params * 16, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn cpu_memory_fits_paper_testbed() {
+        // The AD appendix testbed has 2 × 186 GB of DRAM; even GPT2-11B's
+        // CPU state (176 GB) fits.
+        let host_bytes = 2 * 186u64 * (1 << 30);
+        for spec in ModelSpec::table3().into_iter().chain([ModelSpec::gpt2_11b()]) {
+            assert!(
+                cpu_layout(&spec).total() < host_bytes,
+                "{}: CPU state exceeds testbed DRAM",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn activations_grow_with_batch() {
+        let spec = ModelSpec::bert_large();
+        let a4 = gpu_layout(&spec, 4).activations;
+        let a16 = gpu_layout(&spec, 16).activations;
+        assert_eq!(a16, 4 * a4);
+        // The giant-cache slice is batch-independent (set before training,
+        // §IV-A1).
+        assert_eq!(gpu_layout(&spec, 4).giant_cache(), gpu_layout(&spec, 16).giant_cache());
+    }
+
+    #[test]
+    fn layout_consistent_with_oom_model() {
+        // The experiment driver's OOM check and this layout agree on the
+        // §VIII-B boundary case.
+        use crate::experiments::zero_offload_ooms;
+        let t5 = ModelSpec::t5_large();
+        let gpu16 = gpu_layout(&t5, 16);
+        let gpu8 = gpu_layout(&t5, 8);
+        let vram = 32u64 << 30;
+        assert_eq!(zero_offload_ooms(&t5, 16), gpu16.params_fp16 + gpu16.activations > vram);
+        assert_eq!(zero_offload_ooms(&t5, 8), gpu8.params_fp16 + gpu8.activations > vram);
+    }
+}

@@ -1,0 +1,158 @@
+//! Multi-step training-run simulation.
+//!
+//! The per-step simulators in [`crate::schedule`] assume steady state.
+//! This module runs N consecutive steps with explicit cross-step state:
+//! the `CXLFENCE` at each phase boundary means ZeRO-Offload and the TECO
+//! systems genuinely are steady-state (each step is independent), while
+//! DPU pipelines the parameter transfer into the next step's compute and
+//! needs one step to fill. The run simulator both *verifies* the
+//! steady-state assumption and produces whole-run estimates (hours to a
+//! step budget — the Table VII currency, and the §V-A activation schedule
+//! where the first `act_aft_steps` run without DBA).
+
+use crate::baselines::simulate_zero_offload_dpu;
+use crate::convergence::DbaSchedule;
+use crate::schedule::{simulate_step, System};
+use crate::timing::Calibration;
+use serde::Serialize;
+use teco_dl::ModelSpec;
+use teco_sim::SimTime;
+
+/// Result of a multi-step run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunResult {
+    /// Per-step durations.
+    pub step_times: Vec<SimTime>,
+    /// Total wall clock.
+    pub total: SimTime,
+}
+
+impl RunResult {
+    /// Total in hours.
+    pub fn hours(&self) -> f64 {
+        self.total.as_secs_f64() / 3600.0
+    }
+    /// Mean step time.
+    pub fn mean_step(&self) -> SimTime {
+        if self.step_times.is_empty() {
+            SimTime::ZERO
+        } else {
+            SimTime::from_ps(self.total.as_ps() / self.step_times.len() as u64)
+        }
+    }
+}
+
+/// Simulate `steps` training steps of a system. For TECO systems a
+/// [`DbaSchedule`] selects when steps switch from TECO-CXL (full lines) to
+/// TECO-Reduction (aggregated payloads) — the run-level view of
+/// `check_activation`.
+pub fn simulate_run(
+    cal: &Calibration,
+    spec: &ModelSpec,
+    batch: u32,
+    system: System,
+    steps: u64,
+    dba: Option<DbaSchedule>,
+) -> RunResult {
+    let mut step_times = Vec::with_capacity(steps as usize);
+    let mut total = SimTime::ZERO;
+    // Steady-state per-step times (fences make steps independent).
+    let t_plain = simulate_step(cal, spec, batch, system).total;
+    let t_cxl = simulate_step(cal, spec, batch, System::TecoCxl).total;
+    for step in 0..steps {
+        let t = match (system, dba) {
+            (System::TecoReduction, Some(s)) if !s.active_at(step) => t_cxl,
+            _ => t_plain,
+        };
+        step_times.push(t);
+        total += t;
+    }
+    RunResult { step_times, total }
+}
+
+/// Simulate a DPU run, including the pipeline-fill first step (which has
+/// nothing to overlap with and pays the full exposed transfer).
+pub fn simulate_dpu_run(
+    cal: &Calibration,
+    spec: &ModelSpec,
+    batch: u32,
+    steps: u64,
+) -> RunResult {
+    let cold = simulate_step(cal, spec, batch, System::ZeroOffload).total;
+    let warm = simulate_zero_offload_dpu(cal, spec, batch).total;
+    let mut step_times = Vec::with_capacity(steps as usize);
+    let mut total = SimTime::ZERO;
+    for step in 0..steps {
+        let t = if step == 0 { cold } else { warm };
+        step_times.push(t);
+        total += t;
+    }
+    RunResult { step_times, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cal() -> Calibration {
+        Calibration::paper()
+    }
+
+    #[test]
+    fn steady_state_runs_are_linear() {
+        let c = cal();
+        let spec = ModelSpec::gpt2();
+        let one = simulate_step(&c, &spec, 4, System::ZeroOffload).total;
+        let run = simulate_run(&c, &spec, 4, System::ZeroOffload, 100, None);
+        assert_eq!(run.total, one * 100);
+        assert_eq!(run.mean_step(), one);
+        assert_eq!(run.step_times.len(), 100);
+    }
+
+    #[test]
+    fn dba_schedule_mixes_step_kinds() {
+        let c = cal();
+        let spec = ModelSpec::bert_large();
+        let sched = DbaSchedule { act_aft_steps: 30, dirty_bytes: 2 };
+        let run = simulate_run(&c, &spec, 4, System::TecoReduction, 100, Some(sched));
+        let cxl = simulate_step(&c, &spec, 4, System::TecoCxl).total;
+        let red = simulate_step(&c, &spec, 4, System::TecoReduction).total;
+        assert_eq!(run.step_times[0], cxl);
+        assert_eq!(run.step_times[29], cxl);
+        assert_eq!(run.step_times[30], red);
+        assert_eq!(run.total, cxl * 30 + red * 70);
+        // Later activation → slower run.
+        let later = simulate_run(
+            &c,
+            &spec,
+            4,
+            System::TecoReduction,
+            100,
+            Some(DbaSchedule { act_aft_steps: 90, dirty_bytes: 2 }),
+        );
+        assert!(later.total > run.total);
+    }
+
+    #[test]
+    fn dpu_run_has_pipeline_fill() {
+        let c = cal();
+        let spec = ModelSpec::bert_large();
+        let run = simulate_dpu_run(&c, &spec, 4, 50);
+        assert!(run.step_times[0] > run.step_times[1], "first step fills the pipeline");
+        assert!(run.step_times[1..].windows(2).all(|w| w[0] == w[1]));
+        // Amortized, the fill cost vanishes.
+        let warm = run.step_times[1];
+        let mean = run.mean_step();
+        assert!(mean >= warm && mean.as_secs_f64() < warm.as_secs_f64() * 1.05);
+    }
+
+    #[test]
+    fn run_hours_are_table7_scale() {
+        // A GLUE-scale fine-tune (tens of thousands of steps) lands in the
+        // single-digit-hours regime the paper's Table VII reports.
+        let c = cal();
+        let spec = ModelSpec::bert_large();
+        let run = simulate_run(&c, &spec, 8, System::TecoReduction, 36_800, None);
+        assert!(run.hours() > 0.5 && run.hours() < 10.0, "{:.2} h", run.hours());
+    }
+}

@@ -1,0 +1,474 @@
+//! Training-step schedule simulation for ZeRO-Offload and the TECO
+//! variants.
+//!
+//! One simulated step covers Fig. 1's five phases, measured from forward
+//! start to the point the *next* forward could start:
+//!
+//! 1. forward (GPU) — 2. backward (GPU), gradients streaming out —
+//! 3. gradient transfer GPU→CPU — 4. clip + ADAM (CPU) —
+//! 5. parameter transfer CPU→GPU.
+//!
+//! The systems differ in *when bytes move*:
+//!
+//! - **ZeRO-Offload**: gradients flush in buffer-sized bursts over raw PCIe
+//!   during backward (tail exposed); parameters move as one bulk copy after
+//!   the optimizer — largely exposed (double buffering hides buffer
+//!   *filling*, not the transfer; DPU is ineffective at the evaluated batch
+//!   sizes, §II-A/§III).
+//! - **TECO-CXL**: the update protocol pushes cache lines at writeback
+//!   time, so gradient lines stream during backward and parameter lines
+//!   stream *during* the ADAM sweep; only the drain tails plus two
+//!   `CXLFENCE` calls are exposed.
+//! - **TECO-Reduction**: TECO-CXL plus DBA — parameter payloads shrink to
+//!   `dirty_bytes`/4 of each word (gradients are never aggregated, §V).
+//! - **TECO-Invalidation** (ablation, §IV-A2): the stock MESI protocol —
+//!   writebacks send invalidations only and every consumer pays an
+//!   on-demand bulk transfer on its critical path.
+
+use crate::timing::Calibration;
+use serde::{Deserialize, Serialize};
+use teco_cxl::FENCE_CHECK_OVERHEAD;
+use teco_dl::ModelSpec;
+use teco_mem::ChunkedSweep;
+use teco_sim::{SerialServer, SimTime};
+
+/// The simulated training system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum System {
+    /// The DeepSpeed ZeRO-Offload baseline (PCIe, explicit transfers).
+    ZeroOffload,
+    /// TECO with the CXL update protocol, no DBA.
+    TecoCxl,
+    /// TECO with update protocol + dirty-byte aggregation.
+    TecoReduction,
+    /// TECO hardware but stock invalidation-based MESI (the §IV-A2
+    /// motivation ablation).
+    TecoInvalidation,
+}
+
+impl System {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            System::ZeroOffload => "ZeRO-Offload",
+            System::TecoCxl => "TECO-CXL",
+            System::TecoReduction => "TECO-Reduction",
+            System::TecoInvalidation => "TECO-Invalidation",
+        }
+    }
+}
+
+/// The Fig. 12 time breakdown of one step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// GPU forward+backward.
+    pub fwd_bwd: SimTime,
+    /// Gradient-transfer time exposed to the critical path.
+    pub grad_transfer_exposed: SimTime,
+    /// CPU gradient clipping ("gradient optimizer").
+    pub grad_clip: SimTime,
+    /// CPU ADAM ("parameter optimization").
+    pub adam: SimTime,
+    /// Parameter-transfer time exposed to the critical path.
+    pub param_transfer_exposed: SimTime,
+    /// CXLFENCE overhead (TECO systems; zero for the baseline).
+    pub fence: SimTime,
+}
+
+impl Breakdown {
+    /// Sum of all components (== step total).
+    pub fn total(&self) -> SimTime {
+        self.fwd_bwd
+            + self.grad_transfer_exposed
+            + self.grad_clip
+            + self.adam
+            + self.param_transfer_exposed
+            + self.fence
+    }
+    /// Exposed communication time (Table I's numerator).
+    pub fn comm_exposed(&self) -> SimTime {
+        self.grad_transfer_exposed + self.param_transfer_exposed
+    }
+}
+
+/// Result of simulating one steady-state training step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepResult {
+    /// Which system was simulated.
+    pub system: System,
+    /// Step wall-clock time.
+    pub total: SimTime,
+    /// Where the time went.
+    pub breakdown: Breakdown,
+    /// Payload bytes moved GPU→CPU (gradients).
+    pub bytes_to_host: u64,
+    /// Payload bytes moved CPU→GPU (parameters).
+    pub bytes_to_device: u64,
+    /// Wire (link-occupancy) time of all transfers, exposed or not.
+    pub link_busy: SimTime,
+}
+
+impl StepResult {
+    /// Exposed-communication share of the step (Table I's metric).
+    pub fn comm_fraction(&self) -> f64 {
+        self.breakdown.comm_exposed().fraction_of(self.total)
+    }
+    /// Speedup of this step relative to another result.
+    pub fn speedup_over(&self, base: &StepResult) -> f64 {
+        base.total.as_secs_f64() / self.total.as_secs_f64()
+    }
+}
+
+/// The fraction of a full line DBA with `dirty_bytes` transmits
+/// (`dirty_bytes = 4` disables truncation).
+pub fn dba_payload_fraction(dirty_bytes: u8) -> f64 {
+    assert!(dirty_bytes >= 1 && dirty_bytes <= 4, "dirty_bytes 1..=4");
+    dirty_bytes as f64 / 4.0
+}
+
+/// Simulate a TECO update-protocol step with an arbitrary `dirty_bytes`
+/// setting (1–4; 4 equals TECO-CXL). Gradients never aggregate.
+pub fn simulate_teco_dba(
+    cal: &Calibration,
+    spec: &ModelSpec,
+    batch: u32,
+    dirty_bytes: u8,
+) -> StepResult {
+    let frac = dba_payload_fraction(dirty_bytes);
+    // Reuse the standard TECO-CXL step, then replay the parameter stream
+    // with the scaled payload.
+    let base = simulate_step(cal, spec, batch, System::TecoCxl);
+    let t_clip = cal.clip_time(spec);
+    let t_adam = cal.adam_time(spec);
+    let bwd_end = cal.fwd_bwd_time(spec, batch);
+    let cpu_start = bwd_end + base.breakdown.grad_transfer_exposed + FENCE_CHECK_OVERHEAD;
+    let adam_start = cpu_start + t_clip;
+    let adam_end = adam_start + t_adam;
+    let param_bytes = spec.param_bytes();
+    let wire_bytes = ((param_bytes as f64) * frac).round() as u64;
+    let sweep = ChunkedSweep {
+        total_bytes: wire_bytes,
+        chunks: cal.chunks_for(spec),
+        update_rate: cal.adam_param_production_rate(spec).scaled(frac),
+        start: adam_start,
+    };
+    let mut link = SerialServer::new(cal.cxl_bw());
+    for c in sweep.chunks() {
+        link.submit_with_latency(c.ready, c.bytes, cal.cxl.aggregator_latency);
+    }
+    let drain = link.next_free();
+    let mut br = base.breakdown;
+    br.param_transfer_exposed = drain.saturating_sub(adam_end);
+    let total = br.total();
+    StepResult {
+        system: System::TecoReduction,
+        total,
+        breakdown: br,
+        bytes_to_host: base.bytes_to_host,
+        bytes_to_device: wire_bytes,
+        link_busy: base.link_busy, // parameter stream busy time differs; callers use totals
+    }
+}
+
+/// Simulate one steady-state training step.
+pub fn simulate_step(
+    cal: &Calibration,
+    spec: &ModelSpec,
+    batch: u32,
+    system: System,
+) -> StepResult {
+    let t_f = cal.forward_time(spec, batch);
+    let t_b = cal.backward_time(spec, batch);
+    let bwd_start = t_f;
+    let bwd_end = t_f + t_b;
+    let t_clip = cal.clip_time(spec);
+    let t_adam = cal.adam_time(spec);
+
+    let grad_bytes = spec.params * cal.grad_bytes_per_param;
+    let param_bytes = spec.param_bytes();
+    let chunks = cal.chunks_for(spec);
+
+    let mut br = Breakdown {
+        fwd_bwd: t_f + t_b,
+        grad_clip: t_clip,
+        adam: t_adam,
+        ..Breakdown::default()
+    };
+    let mut link_busy = SimTime::ZERO;
+    let mut bytes_to_device = param_bytes;
+
+    let (grad_drain, fence_after_bwd) = match system {
+        System::ZeroOffload => {
+            // Buffer-sized bursts over raw PCIe during backward. Each burst
+            // becomes eligible when backward has produced it.
+            let burst = cal.grad_buffer_bytes.min(grad_bytes).max(1);
+            let n_bursts = grad_bytes.div_ceil(burst) as usize;
+            let sweep = ChunkedSweep {
+                total_bytes: grad_bytes,
+                chunks: n_bursts,
+                update_rate: cal.grad_production_rate(spec, batch),
+                start: bwd_start,
+            };
+            let mut link = SerialServer::new(cal.pcie_bw());
+            for c in sweep.chunks() {
+                link.submit(c.ready, c.bytes);
+            }
+            link_busy += link.busy_time();
+            (link.next_free(), SimTime::ZERO)
+        }
+        System::TecoInvalidation => {
+            // Invalidation protocol: gradient lines are invalidated during
+            // backward but the *data* moves on demand when the CPU reads it
+            // for clipping — one bulk on-demand transfer, fully exposed.
+            let mut link = SerialServer::new(cal.cxl_bw());
+            let iv = link.submit(bwd_end, grad_bytes);
+            link_busy += link.busy_time();
+            (iv.end, FENCE_CHECK_OVERHEAD)
+        }
+        System::TecoCxl | System::TecoReduction => {
+            // Update protocol: gradient cache lines stream over CXL as the
+            // backward pass writes them back (no DBA for gradients, §V).
+            let sweep = ChunkedSweep {
+                total_bytes: grad_bytes,
+                chunks,
+                update_rate: cal.grad_production_rate(spec, batch),
+                start: bwd_start,
+            };
+            let mut link = SerialServer::new(cal.cxl_bw());
+            for c in sweep.chunks() {
+                link.submit_with_latency(c.ready, c.bytes, cal.cxl.disaggregator_latency);
+            }
+            link_busy += link.busy_time();
+            (link.next_free(), FENCE_CHECK_OVERHEAD)
+        }
+    };
+    br.grad_transfer_exposed = grad_drain.saturating_sub(bwd_end);
+    br.fence += fence_after_bwd;
+
+    // CPU phase: clipping needs every gradient (global norm), then ADAM.
+    let cpu_start = bwd_end + br.grad_transfer_exposed + fence_after_bwd;
+    let adam_start = cpu_start + t_clip;
+    let adam_end = adam_start + t_adam;
+
+    // Parameter transfer CPU→GPU.
+    let step_end = match system {
+        System::ZeroOffload => {
+            // Bulk copy after the optimizer finishes; double buffering does
+            // not hide the transfer itself (§II-A).
+            let mut link = SerialServer::new(cal.pcie_bw());
+            let iv = link.submit(adam_end, param_bytes);
+            link_busy += link.busy_time();
+            br.param_transfer_exposed = iv.end - adam_end;
+            iv.end
+        }
+        System::TecoInvalidation => {
+            // On-demand at the next forward's first parameter read.
+            let mut link = SerialServer::new(cal.cxl_bw());
+            let iv = link.submit(adam_end, param_bytes);
+            link_busy += link.busy_time();
+            br.param_transfer_exposed = iv.end - adam_end;
+            br.fence += FENCE_CHECK_OVERHEAD;
+            iv.end + FENCE_CHECK_OVERHEAD
+        }
+        System::TecoCxl | System::TecoReduction => {
+            // Update protocol: parameter lines stream while ADAM sweeps.
+            let payload_frac = if system == System::TecoReduction {
+                // DBA with dirty_bytes = 2: 32-byte payloads per 64-byte
+                // line; the link layer packs two payloads per slot (§V-B).
+                dba_payload_fraction(2)
+            } else {
+                1.0
+            };
+            let wire_bytes = ((param_bytes as f64) * payload_frac).round() as u64;
+            bytes_to_device = wire_bytes;
+            let sweep = ChunkedSweep {
+                total_bytes: wire_bytes,
+                chunks,
+                update_rate: cal.adam_param_production_rate(spec).scaled(
+                    // The producer emits *wire* bytes at the rate ADAM
+                    // produces the underlying parameters.
+                    wire_bytes as f64 / param_bytes as f64,
+                ),
+                start: adam_start,
+            };
+            let mut link = SerialServer::new(cal.cxl_bw());
+            let extra = cal.cxl.aggregator_latency;
+            for c in sweep.chunks() {
+                link.submit_with_latency(c.ready, c.bytes, extra);
+            }
+            link_busy += link.busy_time();
+            let drain = link.next_free();
+            br.param_transfer_exposed = drain.saturating_sub(adam_end);
+            br.fence += FENCE_CHECK_OVERHEAD;
+            drain.max(adam_end) + FENCE_CHECK_OVERHEAD
+        }
+    };
+
+    let result = StepResult {
+        system,
+        total: step_end,
+        breakdown: br,
+        bytes_to_host: grad_bytes,
+        bytes_to_device,
+        link_busy,
+    };
+    debug_assert_eq!(result.breakdown.total(), result.total, "breakdown must sum to total");
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cal() -> Calibration {
+        Calibration::paper()
+    }
+
+    #[test]
+    fn breakdown_sums_to_total_for_all_systems() {
+        let c = cal();
+        for spec in ModelSpec::table3() {
+            for batch in [1u32, 4, 8, 16] {
+                for sys in [
+                    System::ZeroOffload,
+                    System::TecoCxl,
+                    System::TecoReduction,
+                    System::TecoInvalidation,
+                ] {
+                    let r = simulate_step(&c, &spec, batch, sys);
+                    assert_eq!(r.breakdown.total(), r.total, "{} {} b{batch}", spec.name, sys.name());
+                    assert!(r.total > SimTime::ZERO);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn teco_reduction_beats_cxl_beats_zero() {
+        let c = cal();
+        for spec in [ModelSpec::gpt2(), ModelSpec::bert_large(), ModelSpec::t5_large()] {
+            for batch in [4u32, 8] {
+                let zero = simulate_step(&c, &spec, batch, System::ZeroOffload);
+                let cxl = simulate_step(&c, &spec, batch, System::TecoCxl);
+                let red = simulate_step(&c, &spec, batch, System::TecoReduction);
+                assert!(cxl.total < zero.total, "{} b{batch}: CXL not faster", spec.name);
+                assert!(red.total <= cxl.total, "{} b{batch}: DBA not faster", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn invalidation_is_slowest_teco_mode() {
+        let c = cal();
+        let spec = ModelSpec::t5_large();
+        let upd = simulate_step(&c, &spec, 4, System::TecoCxl);
+        let inv = simulate_step(&c, &spec, 4, System::TecoInvalidation);
+        assert!(inv.total > upd.total);
+        // §IV-A2: on-demand transfer costs tens of percent extra.
+        let penalty = inv.total.as_secs_f64() / upd.total.as_secs_f64();
+        assert!(penalty > 1.2, "penalty {penalty}");
+    }
+
+    #[test]
+    fn dba_halves_parameter_volume_only() {
+        let c = cal();
+        let spec = ModelSpec::bert_large();
+        let cxl = simulate_step(&c, &spec, 8, System::TecoCxl);
+        let red = simulate_step(&c, &spec, 8, System::TecoReduction);
+        assert_eq!(red.bytes_to_device * 2, cxl.bytes_to_device);
+        assert_eq!(red.bytes_to_host, cxl.bytes_to_host, "gradients never aggregated");
+    }
+
+    #[test]
+    fn comm_fraction_decreases_with_batch_for_zero_offload() {
+        // The Table I trend.
+        let c = cal();
+        let spec = ModelSpec::bert_large();
+        let fracs: Vec<f64> = [4u32, 8, 16, 20]
+            .iter()
+            .map(|&b| simulate_step(&c, &spec, b, System::ZeroOffload).comm_fraction())
+            .collect();
+        for w in fracs.windows(2) {
+            assert!(w[0] > w[1], "fractions not decreasing: {fracs:?}");
+        }
+        assert!(fracs[0] > 0.30, "bs4 fraction {}", fracs[0]);
+        assert!(fracs[3] < 0.35, "bs20 fraction {}", fracs[3]);
+    }
+
+    #[test]
+    fn teco_hides_most_parameter_transfer() {
+        // Fig. 12: with DBA the parameter transfer is (nearly) fully hidden
+        // behind the ADAM sweep.
+        let c = cal();
+        let spec = ModelSpec::t5_large();
+        let zero = simulate_step(&c, &spec, 4, System::ZeroOffload);
+        let red = simulate_step(&c, &spec, 4, System::TecoReduction);
+        assert!(
+            red.breakdown.param_transfer_exposed.as_secs_f64()
+                < 0.1 * zero.breakdown.param_transfer_exposed.as_secs_f64(),
+            "exposed {} vs {}",
+            red.breakdown.param_transfer_exposed,
+            zero.breakdown.param_transfer_exposed
+        );
+    }
+
+    #[test]
+    fn gradient_transfer_fully_hidden_at_batch_8() {
+        // §VIII-B: "the transfer time is completely hidden by TECO when the
+        // batch size is 8" — all that remains is the final-chunk drain tail
+        // (a couple of ms out of a ~90 ms gradient stream).
+        let c = cal();
+        let spec = ModelSpec::t5_large();
+        let r = simulate_step(&c, &spec, 8, System::TecoReduction);
+        let z = simulate_step(&c, &spec, 8, System::ZeroOffload);
+        assert!(
+            r.breakdown.grad_transfer_exposed < SimTime::from_ms(3),
+            "exposed {}",
+            r.breakdown.grad_transfer_exposed
+        );
+        assert!(
+            r.breakdown.grad_transfer_exposed.as_secs_f64()
+                < 0.25 * z.breakdown.grad_transfer_exposed.as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn simulate_teco_dba_matches_named_systems() {
+        let c = cal();
+        for spec in [ModelSpec::gpt2(), ModelSpec::t5_large()] {
+            for batch in [4u32, 8] {
+                let named = simulate_step(&c, &spec, batch, System::TecoReduction);
+                let param = simulate_teco_dba(&c, &spec, batch, 2);
+                assert_eq!(param.total, named.total, "{} b{batch}", spec.name);
+                assert_eq!(param.bytes_to_device, named.bytes_to_device);
+                let cxl = simulate_step(&c, &spec, batch, System::TecoCxl);
+                let full = simulate_teco_dba(&c, &spec, batch, 4);
+                assert_eq!(full.total, cxl.total);
+            }
+        }
+    }
+
+    #[test]
+    fn dirty_bytes_sweep_is_monotone() {
+        let c = cal();
+        let spec = ModelSpec::t5_large();
+        let mut prev = SimTime::MAX;
+        for n in (1..=4u8).rev() {
+            let r = simulate_teco_dba(&c, &spec, 4, n);
+            assert!(r.total <= prev, "dirty_bytes {n} slower than {}", n + 1);
+            prev = r.total;
+        }
+    }
+
+    #[test]
+    fn fence_called_twice_per_step() {
+        let c = cal();
+        let spec = ModelSpec::gpt2();
+        let r = simulate_step(&c, &spec, 4, System::TecoReduction);
+        assert_eq!(r.breakdown.fence, FENCE_CHECK_OVERHEAD * 2);
+        // §VI: fence cost is under 1 % of the step.
+        assert!(r.breakdown.fence.as_secs_f64() < 0.01 * r.total.as_secs_f64());
+        let z = simulate_step(&c, &spec, 4, System::ZeroOffload);
+        assert_eq!(z.breakdown.fence, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the offload schedule simulators.
+
+use proptest::prelude::*;
+use teco_dl::{ModelKind, ModelSpec};
+use teco_offload::{
+    dba_payload_fraction, simulate_prefetch_step, simulate_run, simulate_step, simulate_teco_dba,
+    Calibration, DbaSchedule, System,
+};
+use teco_sim::SimTime;
+
+/// A randomized-but-plausible model spec.
+fn spec_strategy() -> impl Strategy<Value = ModelSpec> {
+    (
+        50u64..2_000,      // params in millions
+        2u32..64,          // layers
+        prop::sample::select(vec![64u32, 128, 256, 512]),
+        1u32..25,          // attention intensity ×10
+    )
+        .prop_map(|(pm, layers, seq, ai)| ModelSpec {
+            name: "random",
+            kind: ModelKind::TransformerDecoder,
+            params: pm * 1_000_000,
+            layers,
+            hidden: 1024,
+            heads: 12,
+            giant_cache_mb: pm * 3,
+            seq_len: seq,
+            attention_intensity: ai as f64 / 10.0,
+            act_bytes_per_token: 1_000_000,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariants that must hold for every system on every plausible model.
+    #[test]
+    fn step_invariants(spec in spec_strategy(), batch in 1u32..24) {
+        let cal = Calibration::paper();
+        for sys in [System::ZeroOffload, System::TecoCxl, System::TecoReduction, System::TecoInvalidation] {
+            let r = simulate_step(&cal, &spec, batch, sys);
+            prop_assert_eq!(r.breakdown.total(), r.total, "{} breakdown", sys.name());
+            prop_assert!(r.total > SimTime::ZERO);
+            let f = r.comm_fraction();
+            prop_assert!((0.0..1.0).contains(&f), "{} comm fraction {f}", sys.name());
+            prop_assert!(r.bytes_to_host > 0 && r.bytes_to_device > 0);
+        }
+    }
+
+    /// Ordering: TECO-Reduction ≤ TECO-CXL ≤ Invalidation; Reduction ≤ ZeRO.
+    #[test]
+    fn system_ordering(spec in spec_strategy(), batch in 1u32..24) {
+        let cal = Calibration::paper();
+        let zero = simulate_step(&cal, &spec, batch, System::ZeroOffload);
+        let cxl = simulate_step(&cal, &spec, batch, System::TecoCxl);
+        let red = simulate_step(&cal, &spec, batch, System::TecoReduction);
+        let inv = simulate_step(&cal, &spec, batch, System::TecoInvalidation);
+        prop_assert!(red.total <= cxl.total);
+        prop_assert!(cxl.total <= inv.total);
+        prop_assert!(red.total <= zero.total + SimTime::from_ms(1),
+            "TECO-Red slower than ZeRO: {} vs {}", red.total, zero.total);
+    }
+
+    /// DBA volume scaling is exactly dirty_bytes/4 on parameters and never
+    /// touches gradients; step time is monotone in dirty_bytes.
+    #[test]
+    fn dba_scaling(spec in spec_strategy(), batch in 1u32..16) {
+        let cal = Calibration::paper();
+        let cxl = simulate_step(&cal, &spec, batch, System::TecoCxl);
+        let mut prev_total = SimTime::MAX;
+        for n in (1..=4u8).rev() {
+            let r = simulate_teco_dba(&cal, &spec, batch, n);
+            let expect = ((spec.param_bytes() as f64) * dba_payload_fraction(n)).round() as u64;
+            prop_assert_eq!(r.bytes_to_device, expect);
+            prop_assert_eq!(r.bytes_to_host, cxl.bytes_to_host);
+            prop_assert!(r.total <= prev_total, "dirty {n} not monotone");
+            prev_total = r.total;
+        }
+    }
+
+    /// Prefetching is never worse than the bulk baseline and never better
+    /// than TECO-Reduction.
+    #[test]
+    fn prefetch_bracketing(spec in spec_strategy(), batch in 1u32..16) {
+        let cal = Calibration::paper();
+        let zero = simulate_step(&cal, &spec, batch, System::ZeroOffload);
+        let pre = simulate_prefetch_step(&cal, &spec, batch);
+        let red = simulate_step(&cal, &spec, batch, System::TecoReduction);
+        prop_assert!(pre.total <= zero.total + SimTime::from_ms(1));
+        prop_assert!(red.total <= pre.total + SimTime::from_ms(1));
+    }
+
+    /// Run totals equal the sum of their parts, and the DBA schedule's
+    /// activation step partitions the run.
+    #[test]
+    fn run_additivity(
+        spec in spec_strategy(),
+        batch in 1u32..12,
+        steps in 1u64..60,
+        act in 0u64..60,
+    ) {
+        let cal = Calibration::paper();
+        let sched = DbaSchedule { act_aft_steps: act, dirty_bytes: 2 };
+        let run = simulate_run(&cal, &spec, batch, System::TecoReduction, steps, Some(sched));
+        prop_assert_eq!(run.step_times.len() as u64, steps);
+        let sum: SimTime = run.step_times.iter().copied().sum();
+        prop_assert_eq!(sum, run.total);
+        let cxl = simulate_step(&cal, &spec, batch, System::TecoCxl).total;
+        let red = simulate_step(&cal, &spec, batch, System::TecoReduction).total;
+        let n_cxl = act.min(steps);
+        prop_assert_eq!(run.total, cxl * n_cxl + red * (steps - n_cxl));
+    }
+
+    /// Exposed communication never exceeds the pure wire time of all bytes.
+    #[test]
+    fn exposure_bounded_by_wire_time(spec in spec_strategy(), batch in 1u32..16) {
+        let cal = Calibration::paper();
+        for sys in [System::ZeroOffload, System::TecoCxl, System::TecoReduction] {
+            let r = simulate_step(&cal, &spec, batch, sys);
+            let slowest = cal.cxl_bw();
+            let wire = slowest.transfer_time(r.bytes_to_device + r.bytes_to_host);
+            prop_assert!(
+                r.breakdown.comm_exposed() <= wire + SimTime::from_ms(1),
+                "{}: exposed {} > wire {}",
+                sys.name(),
+                r.breakdown.comm_exposed(),
+                wire
+            );
+        }
+    }
+}

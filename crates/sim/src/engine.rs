@@ -1,0 +1,311 @@
+//! A minimal, deterministic discrete-event simulation engine.
+//!
+//! The engine is deliberately monomorphic: a simulation is a [`Model`] with a
+//! concrete `Event` type, and the [`Engine`] owns both the model state and the
+//! pending-event heap. Events scheduled for the same timestamp are delivered
+//! in scheduling order (FIFO tie-break via a sequence number), which makes
+//! every simulation in this workspace bit-reproducible.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A simulation model: owns the world state and reacts to events.
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Handle one event at simulated time `now`, possibly scheduling more.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// Internal heap entry. Ordered by `(time, seq)` so that equal-time events
+/// pop in the order they were scheduled.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The event calendar handed to [`Model::handle`] for scheduling follow-ups.
+pub struct Scheduler<E> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    scheduled: u64,
+}
+
+impl<E> Scheduler<E> {
+    fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            scheduled: 0,
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at`. Panics if `at` is in the past —
+    /// a causality violation is always a bug in the model.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "causality violation: scheduling at {at} before now={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.scheduled += 1;
+        self.heap.push(Reverse(Entry { time: at, seq, event }));
+    }
+
+    /// Schedule `event` after a relative delay.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Number of events currently pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Total number of events ever scheduled.
+    #[inline]
+    pub fn total_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(e)| {
+            debug_assert!(e.time >= self.now);
+            self.now = e.time;
+            (e.time, e.event)
+        })
+    }
+}
+
+/// Discrete-event engine: drives a [`Model`] until quiescence or a deadline.
+pub struct Engine<M: Model> {
+    model: M,
+    sched: Scheduler<M::Event>,
+    processed: u64,
+}
+
+impl<M: Model> Engine<M> {
+    /// Create an engine around `model` with an empty calendar.
+    pub fn new(model: M) -> Self {
+        Engine {
+            model,
+            sched: Scheduler::new(),
+            processed: 0,
+        }
+    }
+
+    /// Seed an initial event at time `at` before running.
+    pub fn prime(&mut self, at: SimTime, event: M::Event) -> &mut Self {
+        self.sched.schedule_at(at, event);
+        self
+    }
+
+    /// Immutable access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+    /// Mutable access to the model (e.g. to read out statistics).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+    /// Consume the engine, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Current simulated time (time of the last processed event).
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Process a single event. Returns `false` when the calendar is empty.
+    pub fn step(&mut self) -> bool {
+        match self.sched.pop() {
+            Some((t, ev)) => {
+                self.model.handle(t, ev, &mut self.sched);
+                self.processed += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the calendar is empty; returns the final simulated time.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.now()
+    }
+
+    /// Run until the calendar is empty or the next event is strictly after
+    /// `deadline`. Events at exactly `deadline` are processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        while let Some(Reverse(head)) = self.sched.heap.peek() {
+            if head.time > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.now()
+    }
+
+    /// Run at most `max_events` events; returns how many were processed.
+    /// A guard for models suspected of livelock.
+    pub fn run_bounded(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step() {
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A model that counts event deliveries and records their order.
+    struct Recorder {
+        log: Vec<(SimTime, u32)>,
+        chain_left: u32,
+    }
+
+    enum Ev {
+        Tag(u32),
+        Chain,
+    }
+
+    impl Model for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+            match ev {
+                Ev::Tag(t) => self.log.push((now, t)),
+                Ev::Chain => {
+                    self.log.push((now, 999));
+                    if self.chain_left > 0 {
+                        self.chain_left -= 1;
+                        sched.schedule_in(SimTime::from_ns(10), Ev::Chain);
+                    }
+                }
+            }
+        }
+    }
+
+    fn recorder() -> Recorder {
+        Recorder { log: vec![], chain_left: 0 }
+    }
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut eng = Engine::new(recorder());
+        eng.prime(SimTime::from_ns(30), Ev::Tag(3));
+        eng.prime(SimTime::from_ns(10), Ev::Tag(1));
+        eng.prime(SimTime::from_ns(20), Ev::Tag(2));
+        let end = eng.run();
+        assert_eq!(end, SimTime::from_ns(30));
+        let tags: Vec<u32> = eng.model().log.iter().map(|&(_, t)| t).collect();
+        assert_eq!(tags, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_time_events_fifo() {
+        let mut eng = Engine::new(recorder());
+        for t in 0..100 {
+            eng.prime(SimTime::from_ns(5), Ev::Tag(t));
+        }
+        eng.run();
+        let tags: Vec<u32> = eng.model().log.iter().map(|&(_, t)| t).collect();
+        assert_eq!(tags, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chained_scheduling_advances_clock() {
+        let mut eng = Engine::new(Recorder { log: vec![], chain_left: 5 });
+        eng.prime(SimTime::ZERO, Ev::Chain);
+        let end = eng.run();
+        assert_eq!(end, SimTime::from_ns(50));
+        assert_eq!(eng.model().log.len(), 6);
+        assert_eq!(eng.events_processed(), 6);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_inclusive() {
+        let mut eng = Engine::new(recorder());
+        eng.prime(SimTime::from_ns(10), Ev::Tag(1));
+        eng.prime(SimTime::from_ns(20), Ev::Tag(2));
+        eng.prime(SimTime::from_ns(21), Ev::Tag(3));
+        eng.run_until(SimTime::from_ns(20));
+        assert_eq!(eng.model().log.len(), 2);
+        // The remaining event still runs afterwards.
+        eng.run();
+        assert_eq!(eng.model().log.len(), 3);
+    }
+
+    #[test]
+    fn run_bounded_limits_events() {
+        let mut eng = Engine::new(Recorder { log: vec![], chain_left: u32::MAX });
+        eng.prime(SimTime::ZERO, Ev::Chain);
+        let n = eng.run_bounded(1000);
+        assert_eq!(n, 1000);
+        assert_eq!(eng.model().log.len(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "causality violation")]
+    fn scheduling_in_the_past_panics() {
+        struct Bad;
+        impl Model for Bad {
+            type Event = ();
+            fn handle(&mut self, now: SimTime, _: (), sched: &mut Scheduler<()>) {
+                sched.schedule_at(now.saturating_sub(SimTime::from_ns(1)), ());
+            }
+        }
+        let mut eng = Engine::new(Bad);
+        eng.prime(SimTime::from_ns(10), ());
+        eng.run();
+    }
+
+    #[test]
+    fn empty_engine_is_quiescent() {
+        let mut eng = Engine::new(recorder());
+        assert!(!eng.step());
+        assert_eq!(eng.run(), SimTime::ZERO);
+        assert_eq!(eng.events_processed(), 0);
+    }
+}

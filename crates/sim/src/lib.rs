@@ -1,0 +1,32 @@
+//! # teco-sim — discrete-event simulation kernel
+//!
+//! Foundation crate for the TECO (SC'24) reproduction. Provides:
+//!
+//! - [`SimTime`] / [`Bandwidth`]: exact integer-picosecond time and link-rate
+//!   arithmetic shared by every model in the workspace;
+//! - [`Engine`] / [`Model`] / [`Scheduler`]: a deterministic typed-event
+//!   discrete-event engine (FIFO tie-breaking, causality-checked);
+//! - [`SerialServer`] / [`BoundedServer`] / [`IntervalSet`]: queueing
+//!   primitives for serial buses (CXL is a serial link), bounded pending
+//!   queues (the 128-entry CXL controller queue), and exposed-vs-overlapped
+//!   time accounting (the paper's "communication time exposed to the
+//!   critical path");
+//! - [`SimRng`]: explicitly-seeded, forkable randomness so every experiment
+//!   is reproducible;
+//! - [`stats`]: online statistics collectors.
+//!
+//! Nothing in this crate knows about CXL or deep learning; it is the generic
+//! substrate the higher crates (`teco-mem`, `teco-cxl`, `teco-offload`)
+//! build on.
+
+pub mod engine;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::{Engine, Model, Scheduler};
+pub use resource::{BoundedServer, Interval, IntervalSet, SerialServer};
+pub use rng::SimRng;
+pub use stats::{Histogram, OnlineStats, TimeWeighted};
+pub use time::{Bandwidth, SimTime};

@@ -1,0 +1,365 @@
+//! Simulation time and bandwidth arithmetic.
+//!
+//! All simulated timestamps are carried as integer **picoseconds** so that
+//! (a) event ordering is exact and reproducible (no float comparisons), and
+//! (b) sub-nanosecond hardware latencies — e.g. the 1.28 ns Aggregator and
+//! 1.126 ns Disaggregator delays from §VIII-D of the paper — are
+//! representable without rounding. A `u64` of picoseconds covers ~213 days
+//! of simulated time, far beyond any training-step simulation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in simulated time (or a duration), in picoseconds.
+///
+/// The same type is used for instants and durations; the simulation code in
+/// this workspace never needs an affine/vector distinction, and a single type
+/// keeps the arithmetic obvious.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero — the start of every simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The maximum representable time; used as an "infinitely late" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * 1_000)
+    }
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000_000)
+    }
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000_000)
+    }
+    /// Construct from seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000_000)
+    }
+    /// Construct from fractional seconds, rounding to the nearest picosecond.
+    ///
+    /// Panics if `s` is negative or too large to represent.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s >= 0.0, "negative simulated duration: {s}");
+        let ps = s * 1e12;
+        assert!(ps <= u64::MAX as f64, "simulated duration overflow: {s} s");
+        SimTime(ps.round() as u64)
+    }
+    /// Construct from fractional nanoseconds, rounding to the nearest picosecond.
+    pub fn from_ns_f64(ns: f64) -> Self {
+        Self::from_secs_f64(ns * 1e-9)
+    }
+
+    /// Raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+    /// Whole nanoseconds (truncating).
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+    /// As fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-12
+    }
+    /// As fractional milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+    /// As fractional microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 * 1e-6
+    }
+    /// As fractional nanoseconds.
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 * 1e-3
+    }
+
+    /// Saturating subtraction: `a.saturating_sub(b)` is zero when `b > a`.
+    /// Used for "exposed time = transfer end − compute end, if positive".
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition (None on overflow).
+    #[inline]
+    pub fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.max(rhs.0))
+    }
+    /// The earlier of two times.
+    #[inline]
+    pub fn min(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.min(rhs.0))
+    }
+
+    /// Multiply a duration by an integer count.
+    #[inline]
+    pub fn mul_u64(self, n: u64) -> SimTime {
+        SimTime(self.0.checked_mul(n).expect("SimTime overflow"))
+    }
+
+    /// Fraction `self / whole` as f64 (0.0 when `whole` is zero).
+    #[inline]
+    pub fn fraction_of(self, whole: SimTime) -> f64 {
+        if whole.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / whole.0 as f64
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+    }
+}
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimTime {
+        self.mul_u64(rhs)
+    }
+}
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    /// Human-readable rendering with an auto-selected unit.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps == 0 {
+            write!(f, "0s")
+        } else if ps < 1_000 {
+            write!(f, "{ps}ps")
+        } else if ps < 1_000_000 {
+            write!(f, "{:.3}ns", ps as f64 / 1e3)
+        } else if ps < 1_000_000_000 {
+            write!(f, "{:.3}us", ps as f64 / 1e6)
+        } else if ps < 1_000_000_000_000 {
+            write!(f, "{:.3}ms", ps as f64 / 1e9)
+        } else {
+            write!(f, "{:.3}s", ps as f64 / 1e12)
+        }
+    }
+}
+
+/// A link/bus transfer rate in bytes per second.
+///
+/// Encapsulates the "how long does `n` bytes take" computation so every model
+/// in the workspace rounds the same way (to the nearest picosecond, with a
+/// minimum of 1 ps for a nonzero payload so causality is never violated).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bandwidth {
+    bytes_per_sec: f64,
+}
+
+impl Bandwidth {
+    /// Construct from bytes per second. Must be finite and positive.
+    pub fn from_bytes_per_sec(bps: f64) -> Self {
+        assert!(bps.is_finite() && bps > 0.0, "invalid bandwidth: {bps}");
+        Bandwidth { bytes_per_sec: bps }
+    }
+    /// Construct from gigabytes per second (decimal GB, matching PCIe
+    /// marketing rates used in the paper: PCIe 3.0 ×16 = 16 GB/s).
+    pub fn from_gb_per_sec(gbps: f64) -> Self {
+        Self::from_bytes_per_sec(gbps * 1e9)
+    }
+
+    /// The raw rate.
+    #[inline]
+    pub fn bytes_per_sec(self) -> f64 {
+        self.bytes_per_sec
+    }
+    /// The rate in decimal GB/s.
+    #[inline]
+    pub fn gb_per_sec(self) -> f64 {
+        self.bytes_per_sec / 1e9
+    }
+
+    /// Scale the bandwidth by an efficiency factor in (0, 1], e.g. the
+    /// paper's 94.3 % CXL protocol efficiency over raw PCIe.
+    pub fn scaled(self, efficiency: f64) -> Self {
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency must be in (0,1]: {efficiency}"
+        );
+        Self::from_bytes_per_sec(self.bytes_per_sec * efficiency)
+    }
+
+    /// Time to move `bytes` at this rate. Zero bytes take zero time; any
+    /// nonzero payload takes at least one picosecond.
+    pub fn transfer_time(self, bytes: u64) -> SimTime {
+        if bytes == 0 {
+            return SimTime::ZERO;
+        }
+        let ps = (bytes as f64 / self.bytes_per_sec) * 1e12;
+        SimTime((ps.round() as u64).max(1))
+    }
+
+    /// Number of whole bytes that can be moved in `t` at this rate.
+    pub fn bytes_in(self, t: SimTime) -> u64 {
+        (self.bytes_per_sec * t.as_secs_f64()).floor() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(SimTime::from_ns(5).as_ps(), 5_000);
+        assert_eq!(SimTime::from_us(3).as_ns(), 3_000);
+        assert_eq!(SimTime::from_ms(2).as_ps(), 2_000_000_000);
+        assert_eq!(SimTime::from_secs(1).as_ps(), 1_000_000_000_000);
+        assert_eq!(SimTime::from_secs_f64(0.5).as_ps(), 500_000_000_000);
+    }
+
+    #[test]
+    fn from_ns_f64_subnanosecond() {
+        // The Aggregator latency from the paper: 1.28 ns.
+        let t = SimTime::from_ns_f64(1.28);
+        assert_eq!(t.as_ps(), 1_280);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_ns(10);
+        let b = SimTime::from_ns(4);
+        assert_eq!((a + b).as_ns(), 14);
+        assert_eq!((a - b).as_ns(), 6);
+        assert_eq!((a * 3).as_ns(), 30);
+        assert_eq!((a / 2).as_ns(), 5);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(a.saturating_sub(b).as_ns(), 6);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = SimTime::from_ns(1) - SimTime::from_ns(2);
+    }
+
+    #[test]
+    fn sum_and_fraction() {
+        let total: SimTime = [SimTime::from_ns(1), SimTime::from_ns(2), SimTime::from_ns(3)]
+            .into_iter()
+            .sum();
+        assert_eq!(total.as_ns(), 6);
+        assert!((SimTime::from_ns(3).fraction_of(total) - 0.5).abs() < 1e-12);
+        assert_eq!(SimTime::from_ns(3).fraction_of(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(SimTime::ZERO.to_string(), "0s");
+        assert_eq!(SimTime::from_ps(500).to_string(), "500ps");
+        assert_eq!(SimTime::from_ns(1).to_string(), "1.000ns");
+        assert_eq!(SimTime::from_us(2).to_string(), "2.000us");
+        assert_eq!(SimTime::from_ms(3).to_string(), "3.000ms");
+        assert_eq!(SimTime::from_secs(4).to_string(), "4.000s");
+    }
+
+    #[test]
+    fn bandwidth_transfer_time() {
+        // 16 GB/s: 16 bytes take 1 ns.
+        let bw = Bandwidth::from_gb_per_sec(16.0);
+        assert_eq!(bw.transfer_time(16).as_ps(), 1_000);
+        // A 64-byte cache line takes 4 ns — the paper's "each cache line
+        // takes around 4 ns" figure for PCIe 3.0 x16.
+        assert_eq!(bw.transfer_time(64).as_ns(), 4);
+        assert_eq!(bw.transfer_time(0), SimTime::ZERO);
+        // Tiny payloads never take zero time.
+        assert!(bw.transfer_time(1) >= SimTime::from_ps(1));
+    }
+
+    #[test]
+    fn bandwidth_cxl_efficiency() {
+        // The paper assumes CXL delivers 94.3% of PCIe bandwidth.
+        let pcie = Bandwidth::from_gb_per_sec(16.0);
+        let cxl = pcie.scaled(0.943);
+        assert!((cxl.gb_per_sec() - 15.088).abs() < 1e-9);
+        assert!(cxl.transfer_time(1 << 30) > pcie.transfer_time(1 << 30));
+    }
+
+    #[test]
+    fn bandwidth_bytes_in() {
+        let bw = Bandwidth::from_gb_per_sec(1.0);
+        assert_eq!(bw.bytes_in(SimTime::from_secs(1)), 1_000_000_000);
+        assert_eq!(bw.bytes_in(SimTime::from_ns(1)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bandwidth")]
+    fn bandwidth_rejects_zero() {
+        let _ = Bandwidth::from_bytes_per_sec(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn bandwidth_rejects_bad_efficiency() {
+        let _ = Bandwidth::from_gb_per_sec(16.0).scaled(1.5);
+    }
+}

@@ -1,0 +1,19 @@
+//! # teco — Tensor-CXL-Offload (SC'24 reproduction)
+//!
+//! Umbrella crate for the TECO workspace: re-exports every subsystem and
+//! hosts the runnable examples (`examples/`) and cross-crate integration
+//! tests (`tests/`).
+//!
+//! Start with [`core`] ([`teco_core::TecoSession`]) for the user-facing
+//! API, [`offload`] for the training-step timing simulation and the
+//! experiment drivers behind every paper table/figure, and `DESIGN.md` /
+//! `EXPERIMENTS.md` at the repository root for the full map.
+
+pub use teco_compress as compress;
+pub use teco_core as core;
+pub use teco_cxl as cxl;
+pub use teco_dl as dl;
+pub use teco_md as md;
+pub use teco_mem as mem;
+pub use teco_offload as offload;
+pub use teco_sim as sim;

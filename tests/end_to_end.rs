@@ -1,0 +1,182 @@
+//! Cross-crate integration tests: the functional TECO stack driven by real
+//! training, validating that the three independent implementations of the
+//! DBA semantics — the word-level optimizer hook, the line-level
+//! Aggregator/Disaggregator hardware model, and the session's full
+//! push-param path — agree bit-for-bit.
+
+use teco::core::{TecoConfig, TecoSession};
+use teco::dl::layers::Visitable;
+use teco::dl::{AdamConfig, OffloadedAdam, TinyGpt, TinyGptConfig};
+use teco::mem::{Addr, LineData, WORDS_PER_LINE};
+use teco::offload::convergence::dba_merge_bits;
+use teco::sim::{SimRng, SimTime};
+
+/// Train a real model; ship every parameter update through the *session's*
+/// hardware path (aggregate → link → disaggregate-merge) and check the
+/// device copy equals what the word-level hook computes.
+#[test]
+fn hardware_path_matches_optimizer_hook_on_real_training() {
+    let mut rng = SimRng::seed_from_u64(99);
+    let cfg = TinyGptConfig { vocab: 16, dim: 8, heads: 2, layers: 1, max_seq: 8 };
+    let mut model = TinyGpt::new(cfg, &mut rng);
+    let mut opt = OffloadedAdam::new(AdamConfig { lr: 1e-3, ..Default::default() });
+
+    // Mirror of the GPU copy, maintained through the session's line path.
+    let n_params = model.param_count();
+    let n_lines = (n_params * 4).div_ceil(64);
+    let mut session = TecoSession::new(
+        TecoConfig::default()
+            .with_act_aft_steps(2)
+            .with_giant_cache_bytes((n_lines as u64 + 1) * 64),
+    )
+    .unwrap();
+    let (_, base) = session.alloc_tensor("params", n_lines as u64 * 64).unwrap();
+
+    // Initialize the device copy with the initial parameters.
+    let snapshot = |m: &mut TinyGpt| {
+        let mut v = Vec::new();
+        m.visit_params(&mut |p| v.extend_from_slice(&p.value));
+        v
+    };
+    let to_lines = |vals: &[f32]| -> Vec<LineData> {
+        let mut lines = Vec::with_capacity(n_lines);
+        for chunk_idx in 0..n_lines {
+            let mut words = [0f32; WORDS_PER_LINE];
+            for w in 0..WORDS_PER_LINE {
+                let idx = chunk_idx * WORDS_PER_LINE + w;
+                if idx < vals.len() {
+                    words[w] = vals[idx];
+                }
+            }
+            lines.push(LineData::from_f32(words));
+        }
+        lines
+    };
+    let init = snapshot(&mut model);
+    for (i, line) in to_lines(&init).into_iter().enumerate() {
+        session.push_param_line(Addr(base.0 + i as u64 * 64), line, SimTime::ZERO).unwrap();
+    }
+
+    let seq = [1usize, 2, 3, 4, 5, 6];
+    let mut now = SimTime::ZERO;
+    for step in 0..4u64 {
+        model.zero_grads();
+        model.train_sequence(&seq, 1.0);
+
+        let dba = session.check_activation(step);
+        let dirty = if dba { 2u8 } else { 4 };
+        // Word-level hook applies the same merge the hardware will.
+        opt.step_with_writeback(&mut model, &mut |_, old, new| dba_merge_bits(old, new, dirty));
+
+        // Ship the *fresh master* values through the hardware path; the
+        // device copy after disaggregation must equal the hook's output
+        // (which is what `model` now holds as its GPU working copy).
+        let mut fresh_master = Vec::new();
+        model.visit_params(&mut |p| {
+            let name = p.name.clone();
+            fresh_master.extend_from_slice(opt.master(&name).unwrap());
+        });
+        for (i, line) in to_lines(&fresh_master).into_iter().enumerate() {
+            session.push_param_line(Addr(base.0 + i as u64 * 64), line, now).unwrap();
+        }
+        now = session.cxlfence_params(now);
+
+        // Compare device copy to the model's working copy.
+        let gpu = snapshot(&mut model);
+        for (li, _) in to_lines(&gpu).iter().enumerate() {
+            let device = session.device_read_line(Addr(base.0 + li as u64 * 64)).unwrap();
+            let words = device.to_f32();
+            for w in 0..WORDS_PER_LINE {
+                let idx = li * WORDS_PER_LINE + w;
+                if idx < gpu.len() {
+                    assert_eq!(
+                        words[w].to_bits(),
+                        gpu[idx].to_bits(),
+                        "step {step} param {idx} diverged (dba={dba})"
+                    );
+                }
+            }
+        }
+    }
+    assert!(session.dba_active());
+    assert!(session.stats().bytes_to_device > 0);
+}
+
+/// Mixed-precision path (§V): FP32 parameters cross the link (so DBA
+/// applies), and the GPU-side FP16 cast happens after the merge. The cast
+/// of a DBA-merged value equals the cast of the exact value whenever the
+/// change fits the low two bytes.
+#[test]
+fn mixed_precision_cast_after_dba_merge() {
+    use teco::dl::half::through_f16;
+    let mut rng = SimRng::seed_from_u64(5);
+    for _ in 0..1000 {
+        let exact = rng.normal(0.0, 0.5) as f32;
+        // A small perturbation that fits the low two bytes.
+        let stale_bits = (exact.to_bits() & 0xFFFF_0000) | (rng.next_u64() as u32 & 0xFFFF);
+        let merged = f32::from_bits(dba_merge_bits(stale_bits, exact.to_bits(), 2));
+        assert_eq!(merged.to_bits(), exact.to_bits());
+        assert_eq!(through_f16(merged).to_bits(), through_f16(exact).to_bits());
+    }
+}
+
+/// LZ4 round-trips the byte image of *real trained parameters* — and barely
+/// compresses them (the Table VIII premise).
+#[test]
+fn lz4_on_real_trained_parameters() {
+    use teco::compress::{compress, compression_ratio, decompress};
+    let mut rng = SimRng::seed_from_u64(21);
+    let cfg = TinyGptConfig { vocab: 32, dim: 16, heads: 2, layers: 2, max_seq: 12 };
+    let mut model = TinyGpt::new(cfg, &mut rng);
+    let mut opt = OffloadedAdam::new(AdamConfig::default());
+    let seq = [3usize, 1, 4, 1, 5, 9, 2, 6];
+    for _ in 0..30 {
+        model.zero_grads();
+        model.train_sequence(&seq, 1.0);
+        opt.step(&mut model);
+    }
+    let mut bytes = Vec::new();
+    model.visit_params(&mut |p| {
+        for v in &p.value {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+    });
+    let c = compress(&bytes);
+    assert_eq!(decompress(&c).unwrap(), bytes, "lossless round trip");
+    let ratio = compression_ratio(bytes.len(), c.len());
+    assert!(ratio < 0.25, "trained params should be nearly incompressible: {ratio}");
+}
+
+/// The full experiment pipeline is deterministic end to end.
+#[test]
+fn experiment_pipeline_deterministic() {
+    use teco::offload::{experiments, Calibration};
+    let cal = Calibration::paper();
+    let a = experiments::fig11_table4(&cal);
+    let b = experiments::fig11_table4(&cal);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.oom, y.oom);
+        if !x.oom {
+            assert_eq!(x.teco_reduction.to_bits(), y.teco_reduction.to_bits());
+        }
+    }
+}
+
+/// Session + model-zoo sizing: every Table III giant cache accommodates the
+/// FP16 parameter copy plus a gradient buffer, as §IV-A1 requires.
+#[test]
+fn giant_cache_sizes_fit_their_models() {
+    for spec in teco::dl::ModelSpec::table3() {
+        let mut session = TecoSession::new(
+            TecoConfig::default().with_giant_cache_bytes(spec.giant_cache_bytes()),
+        )
+        .unwrap();
+        // FP16 working parameters + a 64 MB gradient buffer.
+        session.alloc_tensor("params_fp16", spec.params * 2).unwrap_or_else(|e| {
+            panic!("{}: fp16 params don't fit the giant cache: {e}", spec.name)
+        });
+        session
+            .alloc_tensor("grad_buffer", 64 << 20)
+            .unwrap_or_else(|e| panic!("{}: grad buffer doesn't fit: {e}", spec.name));
+    }
+}
