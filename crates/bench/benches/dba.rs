@@ -58,5 +58,44 @@ fn bench_disaggregate(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_aggregate, bench_disaggregate);
+fn bench_aggregate_bulk(c: &mut Criterion) {
+    let data = lines(1024);
+    let mut g = c.benchmark_group("aggregator_bulk");
+    g.throughput(Throughput::Bytes((data.len() * LINE_BYTES) as u64));
+    for dirty in [1u8, 2, 4] {
+        g.bench_function(format!("dirty_bytes_{dirty}"), |b| {
+            let mut agg = Aggregator::new();
+            agg.set_register(DbaRegister::new(true, dirty));
+            let mut wire = Vec::new();
+            b.iter(|| agg.aggregate_lines(black_box(&data), &mut wire))
+        });
+    }
+    g.finish();
+}
+
+fn bench_disaggregate_bulk(c: &mut Criterion) {
+    let data = lines(1024);
+    let reg = DbaRegister::new(true, 2);
+    let mut agg = Aggregator::new();
+    agg.set_register(reg);
+    let mut wire = Vec::new();
+    agg.aggregate_lines(&data, &mut wire);
+    let mut g = c.benchmark_group("disaggregator_bulk");
+    g.throughput(Throughput::Bytes((data.len() * LINE_BYTES) as u64));
+    g.bench_function("merge_dirty2", |b| {
+        let mut dis = Disaggregator::new();
+        dis.set_register(reg);
+        let mut resident = lines(1024);
+        b.iter(|| dis.disaggregate_lines(black_box(&wire), &mut resident))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_aggregate,
+    bench_disaggregate,
+    bench_aggregate_bulk,
+    bench_disaggregate_bulk
+);
 criterion_main!(benches);

@@ -38,6 +38,14 @@ fn bench_engine(c: &mut Criterion) {
             eng.events_processed()
         })
     });
+    g.bench_function("batch_primed_fanout", |b| {
+        b.iter(|| {
+            let mut eng = Engine::new(Ping { left: 0 });
+            eng.prime_batch((0..n).map(|i| (SimTime::from_ns(i % 1000), ())));
+            eng.run();
+            eng.events_processed()
+        })
+    });
     g.finish();
 }
 

@@ -13,8 +13,11 @@ fn main() {
     let bert = ModelSpec::bert_large();
     header("Ablation", "CPU optimizer speed vs DBA contribution (Bert-large, batch 4)");
     row(&[
-        "CPU GB/s".into(), "adam ms".into(), "CXL exposed".into(),
-        "Red exposed".into(), "DBA gain".into(),
+        "CPU GB/s".into(),
+        "adam ms".into(),
+        "CXL exposed".into(),
+        "Red exposed".into(),
+        "DBA gain".into(),
     ]);
     let mut out = Vec::new();
     for gbps in [60.0f64, 120.0, 240.0, 480.0, 960.0] {

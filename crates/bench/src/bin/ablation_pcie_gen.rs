@@ -13,7 +13,9 @@ fn main() {
     row(&["link".into(), "GB/s".into(), "ZeRO ms".into(), "TECO-Red ms".into(), "speedup".into()]);
     let bert = ModelSpec::bert_large();
     let mut out = Vec::new();
-    for (name, gen) in [("PCIe 3.0", PcieGen::Gen3), ("PCIe 4.0", PcieGen::Gen4), ("PCIe 5.0", PcieGen::Gen5)] {
+    for (name, gen) in
+        [("PCIe 3.0", PcieGen::Gen3), ("PCIe 4.0", PcieGen::Gen4), ("PCIe 5.0", PcieGen::Gen5)]
+    {
         let mut cal = Calibration::paper();
         cal.cxl = CxlConfig { gen, ..CxlConfig::paper() };
         let zero = simulate_step(&cal, &bert, 4, System::ZeroOffload);

@@ -31,11 +31,7 @@ fn main() {
     row(&["model".into(), "giant cache MB".into(), "directory MB".into()]);
     for spec in ModelSpec::table3() {
         let dir = full_directory_bytes(spec.giant_cache_bytes());
-        row(&[
-            spec.name.into(),
-            spec.giant_cache_mb.to_string(),
-            f(dir as f64 / (1 << 20) as f64),
-        ]);
+        row(&[spec.name.into(), spec.giant_cache_mb.to_string(), f(dir as f64 / (1 << 20) as f64)]);
     }
     dump_json("api_overhead", &out);
 }

@@ -6,7 +6,7 @@
 use teco_bench::{dump_json, f, header, row};
 use teco_dl::ModelSpec;
 use teco_offload::convergence::{run, ConvergenceConfig, DbaSchedule};
-use teco_offload::{autotune, simulate_step, Calibration, System};
+use teco_offload::{autotune, simulate_step, sweep, Calibration, System};
 
 fn main() {
     let steps = 400u64;
@@ -17,8 +17,12 @@ fn main() {
 
     // Objective: perplexity + λ · normalized training time.
     let lambda = 4.0;
-    let mut evals = Vec::new();
-    let mut objective = |x: f64| -> f64 {
+    let domain: Vec<f64> = (0..=8).map(|i| (i * 50) as f64).collect();
+    // The convergence run is the expensive part and BO only ever samples
+    // domain points, so pre-evaluate the whole domain in parallel and let
+    // the (sequential, deterministic) BO loop consult the memo — its
+    // decisions and the recorded evaluations are unchanged.
+    let memo = sweep(&domain, |_, &x| {
         let act = x.round() as u64;
         let r = run(&ConvergenceConfig {
             steps,
@@ -26,14 +30,23 @@ fn main() {
             dba: Some(DbaSchedule { act_aft_steps: act, dirty_bytes: 2 }),
             ..Default::default()
         });
+        (act, r.final_metric)
+    });
+    let mut evals = Vec::new();
+    let mut objective = |x: f64| -> f64 {
+        let act = x.round() as u64;
+        let metric = memo
+            .iter()
+            .find(|(a, _)| *a == act)
+            .map(|&(_, m)| m)
+            .expect("BO samples only domain points");
         let time = act as f64 * t_cxl + (steps - act.min(steps)) as f64 * t_red;
         let norm_time = time / (steps as f64 * t_red);
-        let score = r.final_metric as f64 + lambda * norm_time;
-        evals.push((act, r.final_metric, norm_time, score));
+        let score = metric as f64 + lambda * norm_time;
+        evals.push((act, metric, norm_time, score));
         score
     };
 
-    let domain: Vec<f64> = (0..=8).map(|i| (i * 50) as f64).collect();
     let result = autotune::minimize(&mut objective, &domain, 3, 5, 2024);
 
     header("Autotune", "Bayesian optimization of act_aft_steps (GPT-2 proxy)");

@@ -14,8 +14,12 @@ fn main() {
     let bert = ModelSpec::bert_large();
     header("Baselines", "Step time (ms), Bert-large — software vs hardware hiding");
     row(&[
-        "batch".into(), "ZeRO".into(), "+DPU".into(), "prefetch".into(),
-        "TECO-CXL".into(), "TECO-Red".into(),
+        "batch".into(),
+        "ZeRO".into(),
+        "+DPU".into(),
+        "prefetch".into(),
+        "TECO-CXL".into(),
+        "TECO-Red".into(),
     ]);
     let mut out = Vec::new();
     for batch in [4u32, 8, 16, 20] {
@@ -32,12 +36,19 @@ fn main() {
             f(cxl.total.as_millis_f64()),
             f(red.total.as_millis_f64()),
         ]);
-        out.push((batch, zero.total.as_millis_f64(), dpu.total.as_millis_f64(),
-                  pre.total.as_millis_f64(), red.total.as_millis_f64()));
+        out.push((
+            batch,
+            zero.total.as_millis_f64(),
+            dpu.total.as_millis_f64(),
+            pre.total.as_millis_f64(),
+            red.total.as_millis_f64(),
+        ));
     }
-    println!("\nDPU hides {:.0}% of the parameter transfer at batch 4 but {:.0}% at batch 20",
+    println!(
+        "\nDPU hides {:.0}% of the parameter transfer at batch 4 but {:.0}% at batch 20",
         100.0 * dpu_hiding_fraction(&cal, &bert, 4),
-        100.0 * dpu_hiding_fraction(&cal, &bert, 20));
+        100.0 * dpu_hiding_fraction(&cal, &bert, 20)
+    );
     println!("(§II-A: 'requires significantly large batch sizes'); prefetching is bounded");
     println!("by per-layer transfer:compute ratios; TECO needs neither large batches nor");
     println!("convergence-affecting staleness.");

@@ -9,8 +9,10 @@ fn main() {
     let dc = DatacenterModel::paper();
     header("§VIII-C", "Datacenter cost savings (256 A100s, p4de.24xlarge pricing)");
     println!("annual fleet bill: ${:.2}M", dc.annual_fleet_bill() / 1e6);
-    println!("paper's arithmetic: 7% training-time saving → ${:.0}K/yr (paper: ~$900K)\n",
-        dc.annual_savings(0.07) / 1e3);
+    println!(
+        "paper's arithmetic: 7% training-time saving → ${:.0}K/yr (paper: ~$900K)\n",
+        dc.annual_savings(0.07) / 1e3
+    );
 
     // Re-derive from measured per-model savings.
     let cells = experiments::fig11_table4(&cal);
@@ -19,17 +21,18 @@ fn main() {
     for c in cells.iter().filter(|c| !c.oom) {
         let saving = 1.0 - 1.0 / c.teco_reduction;
         let dollars = dc.annual_savings(saving) / 1e3;
-        row(&[
-            c.model.clone(),
-            c.batch.to_string(),
-            format!("{:.1}%", 100.0 * saving),
-            f(dollars),
-        ]);
+        row(&[c.model.clone(), c.batch.to_string(), format!("{:.1}%", 100.0 * saving), f(dollars)]);
         out.push((c.model.clone(), c.batch, saving, dollars));
     }
     let avg = out.iter().map(|o| o.2).sum::<f64>() / out.len() as f64;
-    println!("\nat the measured average saving ({:.1}%), the fleet-bill interpretation", 100.0 * avg);
-    println!("yields ${:.2}M/yr; the conservative utilization-weighted figure is ${:.0}K/yr.",
-        dc.annual_savings(avg) / 1e6, dc.annual_savings_training_only(avg) / 1e3);
+    println!(
+        "\nat the measured average saving ({:.1}%), the fleet-bill interpretation",
+        100.0 * avg
+    );
+    println!(
+        "yields ${:.2}M/yr; the conservative utilization-weighted figure is ${:.0}K/yr.",
+        dc.annual_savings(avg) / 1e6,
+        dc.annual_savings_training_only(avg) / 1e3
+    );
     dump_json("cost_savings", &out);
 }

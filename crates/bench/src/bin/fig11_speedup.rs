@@ -9,7 +9,13 @@ fn main() {
     let cal = Calibration::paper();
     let cells = experiments::fig11_table4(&cal);
     header("Fig 11 / Table IV", "Speedup over ZeRO-Offload");
-    row(&["model".into(), "batch".into(), "TECO-CXL".into(), "TECO-Red".into(), "paper(Red)".into()]);
+    row(&[
+        "model".into(),
+        "batch".into(),
+        "TECO-CXL".into(),
+        "TECO-Red".into(),
+        "paper(Red)".into(),
+    ]);
     for c in &cells {
         row(&[
             c.model.clone(),
@@ -20,7 +26,8 @@ fn main() {
         ]);
     }
     let measured: Vec<f64> = cells.iter().filter(|c| !c.oom).map(|c| c.teco_reduction).collect();
-    let avg_saving = 100.0 * (1.0 - measured.iter().map(|s| 1.0 / s).sum::<f64>() / measured.len() as f64);
+    let avg_saving =
+        100.0 * (1.0 - measured.iter().map(|s| 1.0 / s).sum::<f64>() / measured.len() as f64);
     println!("\naverage training-time reduction: {avg_saving:.1}% (paper: 33.7%, up to 55.4%)");
     let max_saving = 100.0 * (1.0 - 1.0 / measured.iter().fold(0.0f64, |a, &b| a.max(b)));
     println!("maximum training-time reduction: {max_saving:.1}%");

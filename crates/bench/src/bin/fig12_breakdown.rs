@@ -9,8 +9,15 @@ fn main() {
     let rows = experiments::fig12_breakdown(&cal);
     header("Fig 12", "Time breakdown, T5-large (ms)");
     row(&[
-        "system".into(), "batch".into(), "fwd+bwd".into(), "grad xfer".into(),
-        "grad opt".into(), "adam".into(), "param xfer".into(), "fence".into(), "total".into(),
+        "system".into(),
+        "batch".into(),
+        "fwd+bwd".into(),
+        "grad xfer".into(),
+        "grad opt".into(),
+        "adam".into(),
+        "param xfer".into(),
+        "fence".into(),
+        "total".into(),
     ]);
     for r in &rows {
         row(&[

@@ -20,7 +20,13 @@ fn main() {
     };
     let r = run(&cfg);
     header("Fig 2(a)", "Value-changed bytes in PARAMETERS across consecutive steps");
-    row(&["step".into(), "last byte".into(), "last 2 bytes".into(), "other".into(), "unchanged".into()]);
+    row(&[
+        "step".into(),
+        "last byte".into(),
+        "last 2 bytes".into(),
+        "other".into(),
+        "unchanged".into(),
+    ]);
     for (i, s) in r.param_profile.iter().enumerate().step_by(10) {
         let ch = s.changed().max(1) as f64;
         row(&[
@@ -50,7 +56,9 @@ fn main() {
         "split note: our case-1 ({:.1}%) vs case-2 share differs from the paper's because",
         100.0 * agg.frac_last_byte_of_changed()
     );
-    println!("the proxy model's parameter magnitudes are smaller than Bert's (see EXPERIMENTS.md).");
+    println!(
+        "the proxy model's parameter magnitudes are smaller than Bert's (see EXPERIMENTS.md)."
+    );
 
     header("Fig 2(b)", "Value-changed bytes in GRADIENTS across consecutive steps");
     let mut gagg = teco_dl::ByteChangeStats::default();

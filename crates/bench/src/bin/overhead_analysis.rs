@@ -26,7 +26,13 @@ fn main() {
     rng.shuffle(&mut shuf);
     let gddr = DramConfig::gddr5();
 
-    row(&["access order".into(), "W-only cyc".into(), "R+W cyc".into(), "inflation".into(), "paper".into()]);
+    row(&[
+        "access order".into(),
+        "W-only cyc".into(),
+        "R+W cyc".into(),
+        "inflation".into(),
+        "paper".into(),
+    ]);
     let mut results = Vec::new();
     for (label, addrs, paper) in [("sequential", &seq, 2.48), ("shuffled", &shuf, 1.9)] {
         let w = Dram::replay(gddr, write_only_trace(addrs));

@@ -16,7 +16,8 @@ fn main() {
         ("GCNII node-cls proxy", Task::Gcn, 300, 5e-3),
         ("GCNII link-pred proxy", Task::LinkPrediction, 300, 5e-3),
     ] {
-        let base = run(&ConvergenceConfig { task, steps, lr, pretrain_steps: 60, ..Default::default() });
+        let base =
+            run(&ConvergenceConfig { task, steps, lr, pretrain_steps: 60, ..Default::default() });
         let teco = run(&ConvergenceConfig {
             task,
             steps,

@@ -9,13 +9,7 @@ fn main() {
     header("Table VI", "Model-size sensitivity (batch 4, speedup over ZeRO-Offload)");
     row(&["model".into(), "TECO-CXL".into(), "paper".into(), "TECO-Red".into(), "paper".into()]);
     for r in &rows {
-        row(&[
-            r.model.clone(),
-            f(r.teco_cxl),
-            f(r.paper.0),
-            f(r.teco_reduction),
-            f(r.paper.1),
-        ]);
+        row(&[r.model.clone(), f(r.teco_cxl), f(r.paper.0), f(r.teco_reduction), f(r.paper.1)]);
     }
     dump_json("table6_model_size", &rows);
 }

@@ -15,11 +15,7 @@ use teco_sim::SimRng;
 fn param_stream(zero_frac: f64, n_params: usize, rng: &mut SimRng) -> Vec<u8> {
     let mut bytes = Vec::with_capacity(n_params * 4);
     for _ in 0..n_params {
-        let v = if rng.bernoulli(zero_frac) {
-            0f32
-        } else {
-            rng.normal(0.0, 0.02) as f32
-        };
+        let v = if rng.bernoulli(zero_frac) { 0f32 } else { rng.normal(0.0, 0.02) as f32 };
         bytes.extend_from_slice(&v.to_le_bytes());
     }
     bytes
@@ -38,8 +34,11 @@ fn main() {
     ];
     header("Table VIII", "Lossless LZ4 on parameter transfers");
     row(&[
-        "model".into(), "ratio".into(), "paper ratio".into(),
-        "norm time".into(), "paper".into(),
+        "model".into(),
+        "ratio".into(),
+        "paper ratio".into(),
+        "norm time".into(),
+        "paper".into(),
     ]);
     let mut out = Vec::new();
     for (name, spec, zero_frac, paper_ratio, paper_norm) in cases {
@@ -51,22 +50,13 @@ fn main() {
         // transfer goes through compress→link→decompress, vs TECO-Reduction.
         let zero = simulate_step(&cal, &spec, 4, System::ZeroOffload);
         let red = simulate_step(&cal, &spec, 4, System::TecoReduction);
-        let pipeline = codec.pipeline_seconds(
-            spec.param_bytes(),
-            ratio,
-            cal.pcie_bw().bytes_per_sec(),
-        );
+        let pipeline =
+            codec.pipeline_seconds(spec.param_bytes(), ratio, cal.pcie_bw().bytes_per_sec());
         let lz4_total = zero.total.as_secs_f64()
             - zero.breakdown.param_transfer_exposed.as_secs_f64()
             + pipeline;
         let norm = lz4_total / red.total.as_secs_f64();
-        row(&[
-            name.into(),
-            pct(100.0 * ratio),
-            pct(100.0 * paper_ratio),
-            f(norm),
-            f(paper_norm),
-        ]);
+        row(&[name.into(), pct(100.0 * ratio), pct(100.0 * paper_ratio), f(norm), f(paper_norm)]);
         out.push((name, ratio, norm));
     }
     println!("\npaper conclusion: 'compression and decompression incur large performance");

@@ -17,7 +17,13 @@ fn main() {
     let cal = Calibration::paper();
     let cfg = CxlConfig::paper();
     header("Validation", "Per-line trace replay vs chunked fast path");
-    row(&["region MB".into(), "lines".into(), "trace drain ms".into(), "chunk drain ms".into(), "err %".into()]);
+    row(&[
+        "region MB".into(),
+        "lines".into(),
+        "trace drain ms".into(),
+        "chunk drain ms".into(),
+        "err %".into(),
+    ]);
     let mut out = Vec::new();
     for mb in [8u64, 32, 128, 256] {
         let bytes = mb << 20;
@@ -25,12 +31,7 @@ fn main() {
         // trace → DES controller.
         let mut h = Hierarchy::gem5();
         let rate = cal.cpu_mem_bw.scaled(4.0 / cal_adam_bytes(&cal));
-        let sweep = SweepGen {
-            base: Addr(0),
-            bytes,
-            update_rate: rate,
-            start: SimTime::ZERO,
-        };
+        let sweep = SweepGen { base: Addr(0), bytes, update_rate: rate, start: SimTime::ZERO };
         let trace = sweep.writeback_trace(&mut h);
         let reqs: Vec<LineRequest> = trace
             .events

@@ -10,8 +10,12 @@ fn main() {
     let rows = experiments::volume_summary(&cal);
     header("§VIII-C", "Communication volume & exposed-overhead reduction");
     row(&[
-        "model".into(), "batch".into(), "param MB (zero)".into(),
-        "param MB (red)".into(), "grad MB".into(), "overhead cut".into(),
+        "model".into(),
+        "batch".into(),
+        "param MB (zero)".into(),
+        "param MB (red)".into(),
+        "grad MB".into(),
+        "overhead cut".into(),
     ]);
     for r in &rows {
         row(&[

@@ -13,4 +13,6 @@ pub mod lz4;
 pub mod quant;
 
 pub use lz4::{compress, compression_ratio, decompress, Lz4Error};
-pub use quant::{dequantize, quantize, quantized_bytes, Lz4Throughput, QuantizedBlock, ZeroQuantCost};
+pub use quant::{
+    dequantize, quantize, quantized_bytes, Lz4Throughput, QuantizedBlock, ZeroQuantCost,
+};

@@ -34,12 +34,10 @@ pub fn compress(src: &[u8]) -> Vec<u8> {
     let mut anchor = 0usize; // start of pending literals
     let mut pos = 0usize;
 
-    let hash = |word: u32| -> usize {
-        ((word.wrapping_mul(2654435761)) >> (32 - HASH_BITS)) as usize
-    };
-    let read_u32 = |s: &[u8], i: usize| -> u32 {
-        u32::from_le_bytes([s[i], s[i + 1], s[i + 2], s[i + 3]])
-    };
+    let hash =
+        |word: u32| -> usize { ((word.wrapping_mul(2654435761)) >> (32 - HASH_BITS)) as usize };
+    let read_u32 =
+        |s: &[u8], i: usize| -> u32 { u32::from_le_bytes([s[i], s[i + 1], s[i + 2], s[i + 3]]) };
 
     let match_limit = n.saturating_sub(MFLIMIT);
     while pos < match_limit {

@@ -66,11 +66,7 @@ pub struct ZeroQuantCost {
 
 impl Default for ZeroQuantCost {
     fn default() -> Self {
-        ZeroQuantCost {
-            teacher_forward_frac: 0.45,
-            distill_frac: 0.10,
-            quant_kernel_frac: 0.12,
-        }
+        ZeroQuantCost { teacher_forward_frac: 0.45, distill_frac: 0.10, quant_kernel_frac: 0.12 }
     }
 }
 
@@ -95,10 +91,7 @@ impl Default for Lz4Throughput {
     fn default() -> Self {
         // Multi-threaded LZ4 on a two-socket Xeon reaches several GB/s;
         // nvCOMP decompression on a V100 is far faster still.
-        Lz4Throughput {
-            compress_bps: 6.0e9,
-            decompress_bps: 20.0e9,
-        }
+        Lz4Throughput { compress_bps: 6.0e9, decompress_bps: 20.0e9 }
     }
 }
 
@@ -109,9 +102,7 @@ impl Lz4Throughput {
     pub fn pipeline_seconds(&self, bytes: u64, ratio: f64, link_bps: f64) -> f64 {
         assert!((0.0..1.0).contains(&ratio));
         let compressed = bytes as f64 * (1.0 - ratio);
-        bytes as f64 / self.compress_bps
-            + compressed / link_bps
-            + compressed / self.decompress_bps
+        bytes as f64 / self.compress_bps + compressed / link_bps + compressed / self.decompress_bps
     }
 }
 

@@ -101,11 +101,9 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_values() {
-        let mut c = TecoConfig::default();
-        c.dirty_bytes = 5;
+        let c = TecoConfig { dirty_bytes: 5, ..TecoConfig::default() };
         assert!(c.validate().is_err());
-        let mut c = TecoConfig::default();
-        c.giant_cache_bytes = 0;
+        let c = TecoConfig { giant_cache_bytes: 0, ..TecoConfig::default() };
         assert!(c.validate().is_err());
     }
 

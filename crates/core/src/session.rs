@@ -13,7 +13,7 @@
 use crate::config::TecoConfig;
 use teco_cxl::{
     Agent, Aggregator, CoherenceEngine, CxlFence, CxlLink, DbaRegister, Direction, GiantCache,
-    GiantCacheError, Opcode, ProtocolMode,
+    GiantCacheError, ProtocolMode,
 };
 use teco_mem::{Addr, LineData, RegionId, LINE_BYTES};
 use teco_sim::{Interval, SimTime};
@@ -50,6 +50,9 @@ pub struct TecoSession {
     fence: CxlFence,
     dba_active: bool,
     stats: SessionStats,
+    /// Reused wire buffer for the bulk aggregation path; retains its
+    /// capacity across pushes so the steady state allocates nothing.
+    wire_buf: Vec<u8>,
 }
 
 impl TecoSession {
@@ -65,6 +68,7 @@ impl TecoSession {
             fence: CxlFence::new(),
             dba_active: false,
             stats: SessionStats::default(),
+            wire_buf: Vec::new(),
             cfg,
         })
     }
@@ -141,28 +145,51 @@ impl TecoSession {
         fresh: LineData,
         now: SimTime,
     ) -> Result<Interval, GiantCacheError> {
-        if !self.giant_cache.is_mapped(addr) {
-            return Err(GiantCacheError::NotMapped(addr));
+        self.push_param_lines(addr, std::slice::from_ref(&fresh), now)
+    }
+
+    /// Push a run of consecutive *parameter* lines CPU→device through the
+    /// bulk TECO path: one Aggregator pass packs every payload into a
+    /// reused wire buffer, the coherence transactions run on the
+    /// allocation-free accounting path, the link is charged per line
+    /// (timing identical to N calls of [`TecoSession::push_param_line`]),
+    /// and the device merges all lines in a single Disaggregator pass.
+    ///
+    /// `lines[i]` maps to line address `base + 64·i`. Returns the union of
+    /// the per-line wire intervals.
+    pub fn push_param_lines(
+        &mut self,
+        base: Addr,
+        lines: &[LineData],
+        now: SimTime,
+    ) -> Result<Interval, GiantCacheError> {
+        let n = lines.len();
+        if n == 0 {
+            return Ok(Interval::new(now, now));
         }
-        let payload = self.aggregator.aggregate(&fresh);
-        let aggregated = payload.len() < LINE_BYTES;
-        let pkts = self
-            .coherence
-            .write(Agent::Cpu, addr, &payload, aggregated);
-        debug_assert!(pkts.iter().any(|p| p.opcode == Opcode::FlushData)
-            || self.cfg.protocol == ProtocolMode::Invalidation);
-        let latency = if aggregated {
-            self.cfg.cxl.aggregator_latency
-        } else {
-            SimTime::ZERO
-        };
-        let iv = self
-            .link
-            .transfer(Direction::ToDevice, now, payload.len() as u64, latency);
-        // Device side: merge (DBA) or overwrite (full line).
-        self.giant_cache.apply_dba_payload(addr, &payload)?;
-        self.stats.param_lines += 1;
-        self.stats.bytes_to_device += payload.len() as u64;
+        let addr_of = |i: usize| Addr(base.0 + (i * LINE_BYTES) as u64);
+        for i in 0..n {
+            if !self.giant_cache.is_mapped(addr_of(i)) {
+                return Err(GiantCacheError::NotMapped(addr_of(i)));
+            }
+        }
+        let mut payload = std::mem::take(&mut self.wire_buf);
+        let total = self.aggregator.aggregate_lines(lines, &mut payload);
+        let per = total / n;
+        let aggregated = per < LINE_BYTES;
+        let latency = if aggregated { self.cfg.cxl.aggregator_latency } else { SimTime::ZERO };
+        let mut iv = Interval::new(now, now);
+        for i in 0..n {
+            let pushed = self.coherence.write_accounted(Agent::Cpu, addr_of(i), per);
+            debug_assert!(pushed || self.cfg.protocol == ProtocolMode::Invalidation);
+            let t = self.link.transfer(Direction::ToDevice, now, per as u64, latency);
+            iv = if i == 0 { t } else { Interval::new(iv.start.min(t.start), iv.end.max(t.end)) };
+        }
+        // Device side: merge (DBA) or overwrite (full lines), one pass.
+        self.giant_cache.apply_dba_payloads(base, n, &payload)?;
+        self.stats.param_lines += n as u64;
+        self.stats.bytes_to_device += total as u64;
+        self.wire_buf = payload;
         Ok(iv)
     }
 
@@ -170,12 +197,8 @@ impl TecoSession {
     /// (§V: "The gradients transfers from the accelerator to CPU cannot
     /// apply DBA").
     pub fn push_grad_line(&mut self, addr: Addr, line: LineData, now: SimTime) -> Interval {
-        let _ = self
-            .coherence
-            .write(Agent::Device, addr, line.bytes(), false);
-        let iv = self
-            .link
-            .transfer(Direction::ToHost, now, LINE_BYTES as u64, SimTime::ZERO);
+        let _ = self.coherence.write(Agent::Device, addr, line.bytes(), false);
+        let iv = self.link.transfer(Direction::ToHost, now, LINE_BYTES as u64, SimTime::ZERO);
         self.stats.grad_lines += 1;
         self.stats.bytes_to_host += LINE_BYTES as u64;
         iv
@@ -292,6 +315,56 @@ mod tests {
     }
 
     #[test]
+    fn bulk_push_matches_per_line_loop() {
+        // One push_param_lines call must be observationally identical to a
+        // loop of push_param_line: device contents, stats, coherence
+        // traffic, link volume, and wire interval.
+        for activate in [false, true] {
+            let mut a = session();
+            let mut b = session();
+            let (_, base_a) = a.alloc_tensor("params", 4096).unwrap();
+            let (_, base_b) = b.alloc_tensor("params", 4096).unwrap();
+            if activate {
+                a.check_activation(500);
+                b.check_activation(500);
+            }
+            let lines: Vec<LineData> = (0..8).map(|i| line_with(0x4200_0000 + i)).collect();
+            let mut iv_a: Option<Interval> = None;
+            for (i, &l) in lines.iter().enumerate() {
+                let iv =
+                    a.push_param_line(Addr(base_a.0 + i as u64 * 64), l, SimTime::ZERO).unwrap();
+                iv_a = Some(match iv_a {
+                    None => iv,
+                    Some(p) => Interval::new(p.start.min(iv.start), p.end.max(iv.end)),
+                });
+            }
+            let iv_b = b.push_param_lines(base_b, &lines, SimTime::ZERO).unwrap();
+            assert_eq!(iv_a.unwrap(), iv_b);
+            assert_eq!(a.stats().param_lines, b.stats().param_lines);
+            assert_eq!(a.stats().bytes_to_device, b.stats().bytes_to_device);
+            assert_eq!(a.coherence().to_device, b.coherence().to_device);
+            assert_eq!(a.coherence().to_host, b.coherence().to_host);
+            assert_eq!(a.link().volume(Direction::ToDevice), b.link().volume(Direction::ToDevice));
+            for i in 0..8u64 {
+                assert_eq!(
+                    a.device_read_line(Addr(base_a.0 + i * 64)).unwrap(),
+                    b.device_read_line(Addr(base_b.0 + i * 64)).unwrap(),
+                    "line {i} (dba={activate})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_push_rejects_unmapped_run() {
+        let mut s = session();
+        let (_, base) = s.alloc_tensor("params", 128).unwrap(); // two lines
+        let lines = vec![line_with(1); 3];
+        assert!(s.push_param_lines(base, &lines, SimTime::ZERO).is_err());
+        assert_eq!(s.stats().param_lines, 0, "failed push leaves stats untouched");
+    }
+
+    #[test]
     fn fence_drains_link() {
         let mut s = session();
         let (_, base) = s.alloc_tensor("params", 1 << 16).unwrap();
@@ -342,8 +415,7 @@ mod tests {
             s.check_activation(step);
             // optimizer.step(): param pushes, then CXLFENCE.
             for i in 0..8u64 {
-                s.push_param_line(Addr(pbase.0 + i * 64), line_with(100 + i as u32), now)
-                    .unwrap();
+                s.push_param_line(Addr(pbase.0 + i * 64), line_with(100 + i as u32), now).unwrap();
             }
             now = s.cxlfence_params(now);
         }

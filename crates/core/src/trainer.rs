@@ -137,9 +137,8 @@ mod tests {
     use teco_sim::SimRng;
 
     fn trainer(act_after: u64) -> TecoTrainer {
-        let cfg = TecoConfig::default()
-            .with_act_aft_steps(act_after)
-            .with_giant_cache_bytes(1 << 20);
+        let cfg =
+            TecoConfig::default().with_act_aft_steps(act_after).with_giant_cache_bytes(1 << 20);
         TecoTrainer::new(cfg, OffloadedAdam::new(AdamConfig { lr: 2e-3, ..Default::default() }))
             .unwrap()
     }

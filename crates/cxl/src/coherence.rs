@@ -173,20 +173,25 @@ impl CoherenceEngine {
         self.lines.entry(addr.line_index()).or_insert(init)
     }
 
-    fn emit(&mut self, to: Agent, pkt: CxlPacket) -> CxlPacket {
-        *self.msg_counts.entry(pkt.opcode).or_insert(0) += 1;
+    /// Account one message (opcode counts + per-direction traffic) without
+    /// materializing a packet. `payload_len` is 0 for control messages.
+    fn account(&mut self, to: Agent, opcode: Opcode, payload_len: usize) {
+        *self.msg_counts.entry(opcode).or_insert(0) += 1;
         let stats = match to {
             Agent::Device => &mut self.to_device,
             Agent::Cpu => &mut self.to_host,
         };
         stats.packets += 1;
-        let wire = pkt.wire_bytes() as u64;
-        if pkt.opcode.carries_data() {
-            stats.data_bytes += pkt.payload.len() as u64;
-            stats.control_bytes += wire - pkt.payload.len() as u64;
+        if opcode.carries_data() {
+            stats.data_bytes += payload_len as u64;
+            stats.control_bytes += crate::packet::HEADER_BYTES as u64;
         } else {
-            stats.control_bytes += wire;
+            stats.control_bytes += (crate::packet::HEADER_BYTES + payload_len) as u64;
         }
+    }
+
+    fn emit(&mut self, to: Agent, pkt: CxlPacket) -> CxlPacket {
+        self.account(to, pkt.opcode, pkt.payload.len());
         pkt
     }
 
@@ -195,7 +200,13 @@ impl CoherenceEngine {
     /// protocol; pass the full line for unaggregated operation.
     ///
     /// Returns the packets placed on the link, in order.
-    pub fn write(&mut self, writer: Agent, addr: Addr, payload: &[u8], aggregated: bool) -> Vec<CxlPacket> {
+    pub fn write(
+        &mut self,
+        writer: Agent,
+        addr: Addr,
+        payload: &[u8],
+        aggregated: bool,
+    ) -> Vec<CxlPacket> {
         let mut out = Vec::new();
         let reader = writer.peer();
         let st = *self.state_mut(addr);
@@ -243,6 +254,50 @@ impl CoherenceEngine {
             }
         }
         out
+    }
+
+    /// Allocation-free variant of [`CoherenceEngine::write`] for the bulk
+    /// data path: identical state transitions and opcode/traffic
+    /// accounting, but no `CxlPacket`s are materialized (and therefore no
+    /// payload copy). `payload_len` is the FlushData payload size the
+    /// update protocol would push. Returns `true` when a `FlushData` push
+    /// was emitted (always, in update mode).
+    pub fn write_accounted(&mut self, writer: Agent, addr: Addr, payload_len: usize) -> bool {
+        let reader = writer.peer();
+        let st = *self.state_mut(addr);
+
+        // Acquire ownership if we don't have it (Fig. 5 step ①).
+        let my = st.get(writer);
+        if my == MesiState::I || my == MesiState::S {
+            self.account(reader, Opcode::ReadOwn, 0);
+            match self.mode {
+                ProtocolMode::Invalidation => {
+                    if st.get(reader) != MesiState::I {
+                        self.account(reader, Opcode::Invalidate, 0);
+                        self.state_mut(addr).set(reader, MesiState::I);
+                    }
+                    self.snoop.set_exclusive(addr, writer);
+                }
+                ProtocolMode::Update => {}
+            }
+            self.state_mut(addr).set(writer, MesiState::E);
+        }
+
+        // Perform the store: E→M (no traffic).
+        self.state_mut(addr).set(writer, MesiState::M);
+
+        match self.mode {
+            ProtocolMode::Update => {
+                // Fig. 5 step ②: GoFlush + FlushData, both ends → S.
+                self.account(writer, Opcode::GoFlush, 0);
+                self.account(reader, Opcode::FlushData, payload_len);
+                let ls = self.state_mut(addr);
+                ls.set(writer, MesiState::S);
+                ls.set(reader, MesiState::S);
+                true
+            }
+            ProtocolMode::Invalidation => false,
+        }
     }
 
     /// A load by `reader` of a giant-cache-domain line. In the update
@@ -479,6 +534,37 @@ mod tests {
         assert!(flush.dba_aggregated);
         assert_eq!(flush.payload.len(), 32);
         assert_eq!(eng.to_device.data_bytes, 32);
+    }
+
+    #[test]
+    fn write_accounted_matches_write() {
+        // The zero-allocation path must be observationally identical to the
+        // packet-returning one: same states, opcode counts, and traffic.
+        for mode in [ProtocolMode::Update, ProtocolMode::Invalidation] {
+            let mut a = CoherenceEngine::new(mode);
+            let mut b = CoherenceEngine::new(mode);
+            let line = LineData::zeroed();
+            let script: &[(Agent, u64, usize)] = &[
+                (Agent::Cpu, 0x40, 64),
+                (Agent::Cpu, 0x40, 64), // repeat write (S→M upgrade)
+                (Agent::Device, 0x80, 64),
+                (Agent::Cpu, 0xC0, 32), // aggregated payload size
+                (Agent::Cpu, 0x80, 64), // cross-direction conflict
+            ];
+            for &(agent, addr, len) in script {
+                let payload = &line.bytes()[..len];
+                let pkts = a.write(agent, Addr(addr), payload, len < LINE_BYTES);
+                let pushed = b.write_accounted(agent, Addr(addr), len);
+                assert_eq!(pushed, pkts.iter().any(|p| p.opcode == Opcode::FlushData));
+                assert_eq!(a.line_state(Addr(addr)), b.line_state(Addr(addr)));
+            }
+            assert_eq!(a.to_device, b.to_device);
+            assert_eq!(a.to_host, b.to_host);
+            for op in [Opcode::ReadOwn, Opcode::GoFlush, Opcode::FlushData, Opcode::Invalidate] {
+                assert_eq!(a.msg_count(op), b.msg_count(op), "{mode:?} {op:?}");
+            }
+            assert_eq!(a.snoop_filter().entries(), b.snoop_filter().entries());
+        }
     }
 
     #[test]

@@ -107,23 +107,64 @@ impl Aggregator {
 
     /// Process one outbound 64-byte line. Returns the on-wire payload: the
     /// aggregated dirty bytes when active, or the full line when bypassed.
+    ///
+    /// Thin allocating wrapper over [`Aggregator::aggregate_into`]; hot
+    /// paths should use the streaming APIs instead.
     pub fn aggregate(&mut self, line: &LineData) -> Vec<u8> {
+        let mut payload = vec![0u8; self.reg.payload_bytes()];
+        let written = self.aggregate_into(line, &mut payload);
+        debug_assert_eq!(written, payload.len());
+        payload
+    }
+
+    /// Allocation-free variant: write one line's payload into the front of
+    /// `out` and return the number of bytes written (`reg.payload_bytes()`).
+    ///
+    /// Panics if `out` is shorter than the payload for the current register.
+    pub fn aggregate_into(&mut self, line: &LineData, out: &mut [u8]) -> usize {
         let n = self.reg.dirty_bytes() as usize;
         if !self.reg.active() || n == 4 {
+            out[..LINE_BYTES].copy_from_slice(line.bytes());
             self.lines_bypassed += 1;
             self.payload_bytes_out += LINE_BYTES as u64;
-            return line.bytes().to_vec();
+            return LINE_BYTES;
+        }
+        let per = WORDS_PER_LINE * n;
+        if n > 0 {
+            pack_line(line, n, &mut out[..per]);
         }
         self.lines_aggregated += 1;
-        let mut payload = Vec::with_capacity(WORDS_PER_LINE * n);
-        for w in 0..WORDS_PER_LINE {
-            // Little-endian words: the least-significant N bytes are the
-            // first N bytes of the word in memory.
-            let base = w * WORD_BYTES;
-            payload.extend_from_slice(&line.bytes()[base..base + n]);
+        self.payload_bytes_out += per as u64;
+        per
+    }
+
+    /// Bulk streaming entry point: aggregate a contiguous run of lines into
+    /// a reusable wire buffer. `out` is cleared and filled with the
+    /// concatenated payloads (all lines share the one DBA register, so each
+    /// occupies exactly `reg.payload_bytes()` bytes). Returns the total
+    /// bytes written. Counters advance exactly as if [`Self::aggregate`]
+    /// had been called per line.
+    pub fn aggregate_lines(&mut self, lines: &[LineData], out: &mut Vec<u8>) -> usize {
+        let per = self.reg.payload_bytes();
+        let total = per * lines.len();
+        out.clear();
+        out.resize(total, 0);
+        let n = self.reg.dirty_bytes() as usize;
+        if !self.reg.active() || n == 4 {
+            for (line, dst) in lines.iter().zip(out.chunks_exact_mut(LINE_BYTES)) {
+                dst.copy_from_slice(line.bytes());
+            }
+            self.lines_bypassed += lines.len() as u64;
+        } else {
+            if n > 0 {
+                for (line, dst) in lines.iter().zip(out.chunks_exact_mut(per)) {
+                    pack_line(line, n, dst);
+                }
+            }
+            self.lines_aggregated += lines.len() as u64;
         }
-        self.payload_bytes_out += payload.len() as u64;
-        payload
+        self.payload_bytes_out += total as u64;
+        total
     }
 
     /// Lines that went through aggregation.
@@ -176,28 +217,44 @@ impl Disaggregator {
             self.lines_merged += 1;
             return;
         }
-        assert_eq!(
-            payload.len(),
-            WORDS_PER_LINE * n,
-            "payload size mismatch for dirty_bytes={n}"
-        );
+        assert_eq!(payload.len(), WORDS_PER_LINE * n, "payload size mismatch for dirty_bytes={n}");
         // One extra DRAM read per update: the resident line must be fetched
         // to merge (§V-C); counted for the §VIII-D overhead study.
         self.extra_reads += 1;
-        for w in 0..WORDS_PER_LINE {
-            // (1) reset the low N bytes of the word,
-            let mut word = resident.word(w);
-            let keep_mask: u32 = if n == 0 { !0 } else { !0u32 << (8 * n) };
-            word &= keep_mask;
-            // (2) shift the payload fragment into the low bytes,
-            let mut frag: u32 = 0;
-            for b in 0..n {
-                frag |= (payload[w * n + b] as u32) << (8 * b);
-            }
-            // (3) OR it in.
-            resident.set_word(w, word | frag);
+        if n > 0 {
+            unpack_merge_line(payload, n, resident);
         }
         self.lines_merged += 1;
+    }
+
+    /// Bulk streaming counterpart of [`Aggregator::aggregate_lines`]: merge
+    /// a concatenated payload buffer into a contiguous run of resident
+    /// lines. `payload.len()` must equal
+    /// `residents.len() * reg.payload_bytes()`. Counters advance exactly as
+    /// if [`Self::merge`] had been called per line.
+    pub fn disaggregate_lines(&mut self, payload: &[u8], residents: &mut [LineData]) {
+        let per = self.reg.payload_bytes();
+        assert_eq!(
+            payload.len(),
+            per * residents.len(),
+            "bulk payload size mismatch: {} bytes for {} lines of {per}",
+            payload.len(),
+            residents.len()
+        );
+        let n = self.reg.dirty_bytes() as usize;
+        if !self.reg.active() || n == 4 {
+            for (src, resident) in payload.chunks_exact(LINE_BYTES).zip(residents.iter_mut()) {
+                resident.bytes_mut().copy_from_slice(src);
+            }
+        } else {
+            if n > 0 {
+                for (src, resident) in payload.chunks_exact(per).zip(residents.iter_mut()) {
+                    unpack_merge_line(src, n, resident);
+                }
+            }
+            self.extra_reads += residents.len() as u64;
+        }
+        self.lines_merged += residents.len() as u64;
     }
 
     /// Lines merged so far.
@@ -207,6 +264,96 @@ impl Disaggregator {
     /// Extra resident-line reads incurred by merging.
     pub fn extra_reads(&self) -> u64 {
         self.extra_reads
+    }
+}
+
+/// Pack the low `n` (1..=3) bytes of each FP32 word into a dense payload
+/// using whole-`u32` loads and shift/OR combining — four payload bytes are
+/// produced per store instead of one.
+#[inline]
+fn pack_line(line: &LineData, n: usize, out: &mut [u8]) {
+    debug_assert!((1..=3).contains(&n));
+    debug_assert_eq!(out.len(), WORDS_PER_LINE * n);
+    match n {
+        1 => {
+            // 4 words -> 1 output u32 (one LSB each).
+            for (j, dst) in out.chunks_exact_mut(WORD_BYTES).enumerate() {
+                let w = j * 4;
+                let v = (line.word(w) & 0xFF)
+                    | ((line.word(w + 1) & 0xFF) << 8)
+                    | ((line.word(w + 2) & 0xFF) << 16)
+                    | (line.word(w + 3) << 24);
+                dst.copy_from_slice(&v.to_le_bytes());
+            }
+        }
+        2 => {
+            // 2 words -> 1 output u32 (low half-word each).
+            for (j, dst) in out.chunks_exact_mut(WORD_BYTES).enumerate() {
+                let w = j * 2;
+                let v = (line.word(w) & 0xFFFF) | (line.word(w + 1) << 16);
+                dst.copy_from_slice(&v.to_le_bytes());
+            }
+        }
+        _ => {
+            // 4 words -> 3 output u32s (low 3 bytes each, densely packed).
+            for (j, dst) in out.chunks_exact_mut(3 * WORD_BYTES).enumerate() {
+                let w = j * 4;
+                let (w0, w1, w2, w3) =
+                    (line.word(w), line.word(w + 1), line.word(w + 2), line.word(w + 3));
+                let v0 = (w0 & 0x00FF_FFFF) | (w1 << 24);
+                let v1 = ((w1 >> 8) & 0xFFFF) | (w2 << 16);
+                let v2 = ((w2 >> 16) & 0xFF) | (w3 << 8);
+                dst[0..4].copy_from_slice(&v0.to_le_bytes());
+                dst[4..8].copy_from_slice(&v1.to_le_bytes());
+                dst[8..12].copy_from_slice(&v2.to_le_bytes());
+            }
+        }
+    }
+}
+
+/// Reset-shift-OR merge of one packed payload into a resident line, the
+/// word-level inverse of [`pack_line`].
+#[inline]
+fn unpack_merge_line(payload: &[u8], n: usize, resident: &mut LineData) {
+    debug_assert!((1..=3).contains(&n));
+    debug_assert_eq!(payload.len(), WORDS_PER_LINE * n);
+    let load = |chunk: &[u8]| u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+    match n {
+        1 => {
+            for (j, src) in payload.chunks_exact(WORD_BYTES).enumerate() {
+                let v = load(src);
+                let w = j * 4;
+                for b in 0..4 {
+                    let word = resident.word(w + b) & !0xFF;
+                    resident.set_word(w + b, word | ((v >> (8 * b)) & 0xFF));
+                }
+            }
+        }
+        2 => {
+            for (j, src) in payload.chunks_exact(WORD_BYTES).enumerate() {
+                let v = load(src);
+                let w = j * 2;
+                resident.set_word(w, (resident.word(w) & !0xFFFF) | (v & 0xFFFF));
+                resident.set_word(w + 1, (resident.word(w + 1) & !0xFFFF) | (v >> 16));
+            }
+        }
+        _ => {
+            for (j, src) in payload.chunks_exact(3 * WORD_BYTES).enumerate() {
+                let (v0, v1, v2) = (load(&src[0..4]), load(&src[4..8]), load(&src[8..12]));
+                let w = j * 4;
+                let keep = 0xFF00_0000u32;
+                resident.set_word(w, (resident.word(w) & keep) | (v0 & 0x00FF_FFFF));
+                resident.set_word(
+                    w + 1,
+                    (resident.word(w + 1) & keep) | (v0 >> 24) | ((v1 & 0xFFFF) << 8),
+                );
+                resident.set_word(
+                    w + 2,
+                    (resident.word(w + 2) & keep) | (v1 >> 16) | ((v2 & 0xFF) << 16),
+                );
+                resident.set_word(w + 3, (resident.word(w + 3) & keep) | (v2 >> 8));
+            }
+        }
     }
 }
 
@@ -381,6 +528,85 @@ mod tests {
         dis.set_register(DbaRegister::new(true, 2));
         let mut resident = LineData::zeroed();
         dis.merge(&[0u8; 16], &mut resident);
+    }
+
+    #[test]
+    fn bulk_aggregate_matches_per_line_for_all_lengths() {
+        let lines: Vec<LineData> = (0..7)
+            .map(|i| line_of_words(|w| (i as u32 * 0x0DDB_1A5E) ^ (w as u32 * 0x0101_0011)))
+            .collect();
+        for active in [false, true] {
+            for n in 0..=4u8 {
+                let reg = DbaRegister::new(active, n);
+                let mut bulk = Aggregator::new();
+                let mut legacy = Aggregator::new();
+                bulk.set_register(reg);
+                legacy.set_register(reg);
+
+                let mut wire = Vec::new();
+                let total = bulk.aggregate_lines(&lines, &mut wire);
+                assert_eq!(total, wire.len());
+                assert_eq!(total, reg.payload_bytes() * lines.len());
+
+                let per_line: Vec<u8> = lines.iter().flat_map(|l| legacy.aggregate(l)).collect();
+                assert_eq!(wire, per_line, "active={active} n={n}");
+                assert_eq!(bulk.lines_aggregated(), legacy.lines_aggregated());
+                assert_eq!(bulk.lines_bypassed(), legacy.lines_bypassed());
+                assert_eq!(bulk.payload_bytes_out(), legacy.payload_bytes_out());
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_roundtrip_matches_reference_and_counters() {
+        let stale: Vec<LineData> = (0..5)
+            .map(|i| line_of_words(|w| 0x90AB_CDEF ^ ((i * 16 + w) as u32 * 0x0101_0101)))
+            .collect();
+        let fresh: Vec<LineData> = (0..5)
+            .map(|i| {
+                line_of_words(|w| 0x1234_5678 ^ ((i * 16 + w) as u32).wrapping_mul(0x1111_1111))
+            })
+            .collect();
+        for n in 0..=4u8 {
+            let reg = DbaRegister::new(true, n);
+            let mut agg = Aggregator::new();
+            let mut bulk_dis = Disaggregator::new();
+            let mut legacy_dis = Disaggregator::new();
+            agg.set_register(reg);
+            bulk_dis.set_register(reg);
+            legacy_dis.set_register(reg);
+
+            let mut wire = Vec::new();
+            agg.aggregate_lines(&fresh, &mut wire);
+
+            let mut bulk_res = stale.clone();
+            bulk_dis.disaggregate_lines(&wire, &mut bulk_res);
+
+            let per = reg.payload_bytes();
+            let mut legacy_res = stale.clone();
+            for (i, r) in legacy_res.iter_mut().enumerate() {
+                legacy_dis.merge(&wire[i * per..(i + 1) * per], r);
+            }
+
+            for (i, (b, l)) in bulk_res.iter().zip(&legacy_res).enumerate() {
+                assert_eq!(b, l, "n={n} line={i}");
+                assert_eq!(*b, merged_reference(&stale[i], &fresh[i], n), "n={n} line={i}");
+            }
+            assert_eq!(bulk_dis.lines_merged(), legacy_dis.lines_merged());
+            assert_eq!(bulk_dis.extra_reads(), legacy_dis.extra_reads());
+        }
+    }
+
+    #[test]
+    fn aggregate_into_writes_prefix_only() {
+        let line = line_of_words(|w| 0xCAFE_0000 | w as u32);
+        let mut agg = Aggregator::new();
+        agg.set_register(DbaRegister::new(true, 2));
+        let mut buf = [0xEEu8; LINE_BYTES];
+        let written = agg.aggregate_into(&line, &mut buf);
+        assert_eq!(written, 32);
+        assert_eq!(&buf[..32], agg.aggregate(&line).as_slice());
+        assert!(buf[32..].iter().all(|&b| b == 0xEE), "suffix must be untouched");
     }
 
     #[test]

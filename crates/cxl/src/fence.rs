@@ -52,10 +52,8 @@ impl CxlFence {
 
     /// Fence both directions (used at step boundaries).
     pub fn fence_all(&mut self, link: &CxlLink, now: SimTime) -> SimTime {
-        let drained = link
-            .drained_at(Direction::ToDevice)
-            .max(link.drained_at(Direction::ToHost))
-            .max(now);
+        let drained =
+            link.drained_at(Direction::ToDevice).max(link.drained_at(Direction::ToHost)).max(now);
         let done = drained + FENCE_CHECK_OVERHEAD;
         self.stats.calls += 1;
         self.stats.total_wait += done - now;

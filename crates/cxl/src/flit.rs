@@ -55,9 +55,7 @@ pub struct Flit {
 
 impl Flit {
     fn empty() -> Self {
-        Flit {
-            slots: [Slot::Empty, Slot::Empty, Slot::Empty, Slot::Empty],
-        }
+        Flit { slots: [Slot::Empty, Slot::Empty, Slot::Empty, Slot::Empty] }
     }
 
     /// Number of non-empty slots.
@@ -185,8 +183,7 @@ pub fn unpack(flits: &[Flit]) -> Result<Vec<CxlPacket>, FlitError> {
                         let take = (*want - buf.len()).min(SLOT_BYTES);
                         buf.extend_from_slice(&bytes[..take]);
                         if buf.len() == *want {
-                            let (op, addr, agg, _, buf) =
-                                pending.take().expect("pending exists");
+                            let (op, addr, agg, _, buf) = pending.take().expect("pending exists");
                             out.push(CxlPacket::data(op, Addr(addr), buf, agg));
                         }
                     }
@@ -315,22 +312,12 @@ mod tests {
                 Slot::Empty,
             ],
         };
-        assert!(matches!(
-            unpack(&[flit]),
-            Err(FlitError::HeaderWhilePayloadPending { flit: 0 })
-        ));
+        assert!(matches!(unpack(&[flit]), Err(FlitError::HeaderWhilePayloadPending { flit: 0 })));
     }
 
     #[test]
     fn orphan_data_detected() {
-        let flit = Flit {
-            slots: [
-                Slot::Data([0; 16]),
-                Slot::Empty,
-                Slot::Empty,
-                Slot::Empty,
-            ],
-        };
+        let flit = Flit { slots: [Slot::Data([0; 16]), Slot::Empty, Slot::Empty, Slot::Empty] };
         assert!(matches!(unpack(&[flit]), Err(FlitError::OrphanData { flit: 0 })));
     }
 

@@ -8,8 +8,8 @@
 //! back-pressure behavior the 128-entry pending queue exhibits at the
 //! transaction layer, one level down.
 
-use teco_sim::SimTime;
 use std::collections::VecDeque;
+use teco_sim::SimTime;
 
 /// Credit-loop configuration.
 #[derive(Debug, Clone, Copy)]
@@ -59,12 +59,7 @@ impl CreditLoop {
     /// New loop with a full credit pool.
     pub fn new(cfg: FlowConfig) -> Self {
         assert!(cfg.credits > 0);
-        CreditLoop {
-            cfg,
-            returns: VecDeque::new(),
-            wire_free: SimTime::ZERO,
-            stall: SimTime::ZERO,
-        }
+        CreditLoop { cfg, returns: VecDeque::new(), wire_free: SimTime::ZERO, stall: SimTime::ZERO }
     }
 
     /// Submit one flit ready at `ready`; returns (departure, arrival).
@@ -86,8 +81,7 @@ impl CreditLoop {
         self.wire_free = depart + self.cfg.flit_time;
         let arrive = depart + self.cfg.flit_time;
         // Credit returns after receiver processing + return latency.
-        self.returns
-            .push_back(arrive + self.cfg.rx_process + self.cfg.credit_return);
+        self.returns.push_back(arrive + self.cfg.rx_process + self.cfg.credit_return);
         (depart, arrive)
     }
 

@@ -55,6 +55,8 @@ pub struct GiantCache {
     /// Device-side CXL module's disaggregator.
     pub disaggregator: Disaggregator,
     next_base: u64,
+    /// Reused resident-line staging buffer for the bulk merge path.
+    merge_scratch: Vec<LineData>,
 }
 
 impl GiantCache {
@@ -68,6 +70,7 @@ impl GiantCache {
             data: HashMap::new(),
             disaggregator: Disaggregator::new(),
             next_base: 0,
+            merge_scratch: Vec::new(),
         }
     }
 
@@ -99,10 +102,7 @@ impl GiantCache {
             });
         }
         let base = Addr(self.next_base);
-        let id = self
-            .regions
-            .register(name, base, rounded)
-            .expect("bump allocator cannot overlap");
+        let id = self.regions.register(name, base, rounded).expect("bump allocator cannot overlap");
         self.next_base += rounded;
         self.allocated += rounded;
         Ok((id, base))
@@ -120,11 +120,7 @@ impl GiantCache {
         if !self.is_mapped(a) {
             return Err(GiantCacheError::NotMapped(a));
         }
-        Ok(self
-            .data
-            .get(&a.line_base().line_index())
-            .copied()
-            .unwrap_or_default())
+        Ok(self.data.get(&a.line_base().line_index()).copied().unwrap_or_default())
     }
 
     /// Store a full line (unaggregated FlushData path).
@@ -151,6 +147,38 @@ impl GiantCache {
         self.disaggregator.merge(payload, &mut line);
         self.data.insert(key, line);
         Ok(line)
+    }
+
+    /// Bulk variant of [`GiantCache::apply_dba_payload`]:
+    /// merge `n_lines` consecutive lines starting at `base` from
+    /// one packed payload (as produced by `Aggregator::aggregate_lines`)
+    /// in a single Disaggregator pass. Resident lines are staged in a
+    /// reused internal buffer, so the steady state allocates nothing.
+    pub fn apply_dba_payloads(
+        &mut self,
+        base: Addr,
+        n_lines: usize,
+        payload: &[u8],
+    ) -> Result<(), GiantCacheError> {
+        let base = base.line_base();
+        let addr_of = |i: usize| Addr(base.0 + (i * LINE_BYTES) as u64);
+        for i in 0..n_lines {
+            if !self.is_mapped(addr_of(i)) {
+                return Err(GiantCacheError::NotMapped(addr_of(i)));
+            }
+        }
+        let mut scratch = std::mem::take(&mut self.merge_scratch);
+        scratch.clear();
+        scratch.extend(
+            (0..n_lines)
+                .map(|i| self.data.get(&addr_of(i).line_index()).copied().unwrap_or_default()),
+        );
+        self.disaggregator.disaggregate_lines(payload, &mut scratch);
+        for (i, line) in scratch.iter().enumerate() {
+            self.data.insert(addr_of(i).line_index(), *line);
+        }
+        self.merge_scratch = scratch;
+        Ok(())
     }
 
     /// Number of lines holding explicit data.
@@ -236,6 +264,57 @@ mod tests {
         assert_eq!(merged, fresh);
         assert_eq!(gc.read_line(Addr(0)).unwrap(), fresh);
         assert_eq!(gc.disaggregator.extra_reads(), 1);
+    }
+
+    #[test]
+    fn bulk_payload_merge_matches_per_line() {
+        let reg = DbaRegister::new(true, 2);
+        let mut agg = Aggregator::new();
+        agg.set_register(reg);
+
+        let mut per = GiantCache::new(4096);
+        per.alloc_region("params", 4096).unwrap();
+        per.disaggregator.set_register(reg);
+        let mut bulk = per.clone();
+
+        // Establish distinct resident lines, then DBA-update all of them.
+        let n = 8usize;
+        let mut fresh = Vec::new();
+        for i in 0..n {
+            let mut stale = LineData::zeroed();
+            let mut f = LineData::zeroed();
+            for w in 0..16 {
+                stale.set_word(w, 0x4000_0000 + (i * 16 + w) as u32);
+                f.set_word(w, (stale.word(w) & 0xFFFF_0000) | (0x1000 + i as u32));
+            }
+            let a = Addr((i * LINE_BYTES) as u64);
+            per.write_line(a, stale).unwrap();
+            bulk.write_line(a, stale).unwrap();
+            fresh.push(f);
+        }
+
+        let mut packed = Vec::new();
+        agg.aggregate_lines(&fresh, &mut packed);
+        bulk.apply_dba_payloads(Addr(0), n, &packed).unwrap();
+
+        let per_line = agg.register().payload_bytes();
+        for (i, chunk) in packed.chunks(per_line).enumerate() {
+            per.apply_dba_payload(Addr((i * LINE_BYTES) as u64), chunk).unwrap();
+        }
+        for (i, want) in fresh.iter().enumerate() {
+            let a = Addr((i * LINE_BYTES) as u64);
+            assert_eq!(bulk.read_line(a).unwrap(), per.read_line(a).unwrap(), "line {i}");
+            assert_eq!(bulk.read_line(a).unwrap(), *want);
+        }
+        assert_eq!(bulk.disaggregator.extra_reads(), per.disaggregator.extra_reads());
+    }
+
+    #[test]
+    fn bulk_payload_merge_rejects_unmapped_tail() {
+        let mut gc = GiantCache::new(4096);
+        gc.alloc_region("t", 128).unwrap(); // two lines mapped
+        let err = gc.apply_dba_payloads(Addr(0), 3, &[0u8; 192]).unwrap_err();
+        assert!(matches!(err, GiantCacheError::NotMapped(a) if a == Addr(128)));
     }
 
     #[test]

@@ -16,11 +16,11 @@
 //!   memory with the device-side merge path;
 //! - [`link`]: the full-duplex serial link with per-direction volume and
 //!   busy-interval accounting;
-//! - [`fence`]: `CXLFENCE()`.
+//! - [`fence`] — `CXLFENCE()`.
 
 pub mod coherence;
-pub mod controller;
 pub mod config;
+pub mod controller;
 pub mod dba;
 pub mod fence;
 pub mod flit;
@@ -31,11 +31,14 @@ pub mod packet;
 pub mod snoop;
 
 pub use coherence::{Agent, CoherenceEngine, LineState, MesiState, ProtocolMode, TrafficStats};
-pub use controller::{run_controller, ControllerResult, LineCompletion, LineRequest};
 pub use config::{CxlConfig, PcieGen};
+pub use controller::{run_controller, ControllerResult, LineCompletion, LineRequest};
 pub use dba::{merged_reference, Aggregator, DbaRegister, Disaggregator};
 pub use fence::{CxlFence, FenceStats, FENCE_CHECK_OVERHEAD};
-pub use flit::{unpack, wire_bytes_for_packets, Flit, FlitError, FlitPacker, Slot, FLIT_BYTES, SLOTS_PER_FLIT, SLOT_BYTES};
+pub use flit::{
+    unpack, wire_bytes_for_packets, Flit, FlitError, FlitPacker, Slot, FLIT_BYTES, SLOTS_PER_FLIT,
+    SLOT_BYTES,
+};
 pub use flow::{CreditLoop, FlowConfig};
 pub use giant_cache::{GiantCache, GiantCacheError};
 pub use link::{CxlLink, Direction};

@@ -46,11 +46,7 @@ pub struct CxlLink {
 impl CxlLink {
     /// Build from a configuration.
     pub fn new(cfg: CxlConfig) -> Self {
-        CxlLink {
-            to_device: Channel::new(&cfg),
-            to_host: Channel::new(&cfg),
-            cfg,
-        }
+        CxlLink { to_device: Channel::new(&cfg), to_host: Channel::new(&cfg), cfg }
     }
 
     /// The configuration.
@@ -162,12 +158,7 @@ mod tests {
     fn aggregator_latency_applies() {
         let cfg = CxlConfig::paper();
         let mut link = CxlLink::new(cfg);
-        let iv = link.transfer(
-            Direction::ToDevice,
-            SimTime::ZERO,
-            64,
-            cfg.aggregator_latency,
-        );
+        let iv = link.transfer(Direction::ToDevice, SimTime::ZERO, 64, cfg.aggregator_latency);
         assert_eq!(iv.start, SimTime::from_ns(1));
     }
 

@@ -136,7 +136,14 @@ mod tests {
     fn opcode_payload_classification() {
         assert!(Opcode::FlushData.carries_data());
         assert!(Opcode::Data.carries_data());
-        for op in [Opcode::ReadOwn, Opcode::ReadShared, Opcode::GoFlush, Opcode::Invalidate, Opcode::Evict, Opcode::DbaConfig] {
+        for op in [
+            Opcode::ReadOwn,
+            Opcode::ReadShared,
+            Opcode::GoFlush,
+            Opcode::Invalidate,
+            Opcode::Evict,
+            Opcode::DbaConfig,
+        ] {
             assert!(!op.carries_data());
         }
     }

@@ -65,9 +65,7 @@ impl SnoopFilter {
 
     /// Is `a` recorded as sharing the line?
     pub fn is_sharer(&self, addr: Addr, a: Agent) -> bool {
-        self.entries
-            .get(&addr.line_index())
-            .is_some_and(|e| e & Self::bit(a) != 0)
+        self.entries.get(&addr.line_index()).is_some_and(|e| e & Self::bit(a) != 0)
     }
 
     /// Sharers of the line, as (cpu, device) booleans.

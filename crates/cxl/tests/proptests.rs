@@ -28,8 +28,8 @@ proptest! {
     ) {
         let n = 2u8;
         let mut fresh = stale;
-        for w in 0..WORDS_PER_LINE {
-            fresh.set_word(w, (stale.word(w) & 0xFFFF_0000) | low[w] as u32);
+        for (w, &lo) in low.iter().enumerate().take(WORDS_PER_LINE) {
+            fresh.set_word(w, (stale.word(w) & 0xFFFF_0000) | lo as u32);
         }
         let reg = DbaRegister::new(true, n);
         let mut agg = Aggregator::new();
@@ -90,6 +90,73 @@ proptest! {
         agg.set_register(reg);
         let p = agg.aggregate(&line);
         prop_assert_eq!(p.len(), reg.payload_bytes());
+    }
+
+    /// Bulk path equivalence: for every `dirty_bytes` setting and random
+    /// line runs, `aggregate_lines` matches the legacy per-line `Vec` API
+    /// byte-for-byte — including the aggregator's volume counters.
+    #[test]
+    fn bulk_aggregate_equals_legacy(
+        lines in prop::collection::vec(line_strategy(), 0..24),
+        n in 0u8..=4,
+        active in any::<bool>(),
+    ) {
+        let reg = DbaRegister::new(active, n);
+        let mut bulk = Aggregator::new();
+        let mut legacy = Aggregator::new();
+        bulk.set_register(reg);
+        legacy.set_register(reg);
+
+        let mut wire = Vec::new();
+        let total = bulk.aggregate_lines(&lines, &mut wire);
+        prop_assert_eq!(total, wire.len());
+        prop_assert_eq!(total, reg.payload_bytes() * lines.len());
+
+        let per_line: Vec<u8> = lines.iter().flat_map(|l| legacy.aggregate(l)).collect();
+        prop_assert_eq!(&wire, &per_line);
+        prop_assert_eq!(bulk.lines_aggregated(), legacy.lines_aggregated());
+        prop_assert_eq!(bulk.lines_bypassed(), legacy.lines_bypassed());
+        prop_assert_eq!(bulk.payload_bytes_out(), legacy.payload_bytes_out());
+    }
+
+    /// Bulk round trip: `aggregate_lines` → `disaggregate_lines` merges
+    /// bit-exactly like the legacy per-line `merge`, and the disaggregator
+    /// volume counters agree.
+    #[test]
+    fn bulk_roundtrip_equals_legacy(
+        stale in prop::collection::vec(line_strategy(), 1..16),
+        fresh_seed in prop::collection::vec(line_strategy(), 1..16),
+        n in 0u8..=4,
+    ) {
+        let len = stale.len().min(fresh_seed.len());
+        let stale = &stale[..len];
+        let fresh = &fresh_seed[..len];
+        let reg = DbaRegister::new(true, n);
+        let mut agg = Aggregator::new();
+        let mut bulk_dis = Disaggregator::new();
+        let mut legacy_dis = Disaggregator::new();
+        agg.set_register(reg);
+        bulk_dis.set_register(reg);
+        legacy_dis.set_register(reg);
+
+        let mut wire = Vec::new();
+        agg.aggregate_lines(fresh, &mut wire);
+
+        let mut bulk_res = stale.to_vec();
+        bulk_dis.disaggregate_lines(&wire, &mut bulk_res);
+
+        let per = reg.payload_bytes();
+        let mut legacy_res = stale.to_vec();
+        for (i, r) in legacy_res.iter_mut().enumerate() {
+            legacy_dis.merge(&wire[i * per..(i + 1) * per], r);
+        }
+
+        for i in 0..len {
+            prop_assert_eq!(bulk_res[i], legacy_res[i]);
+            prop_assert_eq!(bulk_res[i], merged_reference(&stale[i], &fresh[i], n));
+        }
+        prop_assert_eq!(bulk_dis.lines_merged(), legacy_dis.lines_merged());
+        prop_assert_eq!(bulk_dis.extra_reads(), legacy_dis.extra_reads());
     }
 
     /// Coherence safety invariant: never two M copies; an M copy implies the

@@ -11,14 +11,7 @@ use teco_mem::Addr;
 
 fn line_pkts(n: u64, payload: usize) -> Vec<CxlPacket> {
     (0..n)
-        .map(|i| {
-            CxlPacket::data(
-                Opcode::FlushData,
-                Addr(i * 64),
-                vec![0u8; payload],
-                payload < 64,
-            )
-        })
+        .map(|i| CxlPacket::data(Opcode::FlushData, Addr(i * 64), vec![0u8; payload], payload < 64))
         .collect()
 }
 

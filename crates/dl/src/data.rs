@@ -90,23 +90,18 @@ pub fn gaussian_clusters(
 ) -> Classification {
     assert!(classes >= 2 && dim >= 1);
     // Random unit-ish centers.
-    let centers: Vec<Vec<f64>> = (0..classes)
-        .map(|_| (0..dim).map(|_| rng.normal(0.0, 1.0)).collect())
-        .collect();
+    let centers: Vec<Vec<f64>> =
+        (0..classes).map(|_| (0..dim).map(|_| rng.normal(0.0, 1.0)).collect()).collect();
     let mut feats = Vec::with_capacity(n * dim);
     let mut labels = Vec::with_capacity(n);
     for i in 0..n {
         let c = i % classes;
         labels.push(c);
-        for d in 0..dim {
-            feats.push((centers[c][d] + rng.normal(0.0, noise)) as f32);
+        for &center in &centers[c] {
+            feats.push((center + rng.normal(0.0, noise)) as f32);
         }
     }
-    Classification {
-        features: Tensor::from_vec(&[n, dim], feats),
-        labels,
-        classes,
-    }
+    Classification { features: Tensor::from_vec(&[n, dim], feats), labels, classes }
 }
 
 /// A stochastic-block-model community graph for the GCNII workload.
@@ -152,12 +147,7 @@ pub fn community_graph(
             feats.push((base + rng.normal(0.0, 0.3)) as f32);
         }
     }
-    CommunityGraph {
-        n,
-        edges,
-        features: Tensor::from_vec(&[n, feat_dim], feats),
-        labels,
-    }
+    CommunityGraph { n, edges, features: Tensor::from_vec(&[n, feat_dim], feats), labels }
 }
 
 #[cfg(test)]
@@ -200,8 +190,8 @@ mod tests {
         for i in 0..100 {
             let c = data.labels[i];
             counts[c] += 1;
-            for d in 0..6 {
-                centroids[c][d] += data.features.at(i, d);
+            for (d, cd) in centroids[c].iter_mut().enumerate() {
+                *cd += data.features.at(i, d);
             }
         }
         for (c, cent) in centroids.iter_mut().enumerate() {

@@ -36,11 +36,8 @@ pub fn f32_to_f16_bits(x: f32) -> u16 {
         // Round to nearest even.
         let rem = m & ((1u32 << shift) - 1);
         let halfway = 1u32 << (shift - 1);
-        let rounded = if rem > halfway || (rem == halfway && half & 1 == 1) {
-            half + 1
-        } else {
-            half
-        };
+        let rounded =
+            if rem > halfway || (rem == halfway && half & 1 == 1) { half + 1 } else { half };
         return sign | rounded as u16;
     }
 

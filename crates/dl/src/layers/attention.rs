@@ -36,7 +36,7 @@ struct AttnCache {
 impl CausalSelfAttention {
     /// New attention block. `dim` must be divisible by `heads`.
     pub fn new(name: &str, dim: usize, heads: usize, causal: bool, rng: &mut SimRng) -> Self {
-        assert!(dim % heads == 0, "dim {dim} not divisible by heads {heads}");
+        assert!(dim.is_multiple_of(heads), "dim {dim} not divisible by heads {heads}");
         let std = 0.02;
         CausalSelfAttention {
             wqkv: Linear::new(&format!("{name}.wqkv"), dim, 3 * dim, std, rng),
@@ -280,7 +280,8 @@ mod tests {
     fn backward_matches_finite_differences() {
         let mut a = attn(6, 2, true, 11);
         let t = 3;
-        let x = Tensor::from_vec(&[t, 6], (0..18).map(|i| ((i as f32) * 0.37).cos() * 0.5).collect());
+        let x =
+            Tensor::from_vec(&[t, 6], (0..18).map(|i| ((i as f32) * 0.37).cos() * 0.5).collect());
         a.zero_grads();
         a.forward(&x);
         let dy = Tensor::full(&[t, 6], 1.0);
@@ -295,10 +296,7 @@ mod tests {
             xm.data_mut()[idx] -= h;
             let num = (loss(&mut a, &xp) - loss(&mut a, &xm)) / (2.0 * h);
             let ana = dx.data()[idx];
-            assert!(
-                (num - ana).abs() < 3e-2 * (1.0 + ana.abs()),
-                "dx[{idx}]: {ana} vs {num}"
-            );
+            assert!((num - ana).abs() < 3e-2 * (1.0 + ana.abs()), "dx[{idx}]: {ana} vs {num}");
         }
         // Spot-check a weight gradient too (re-run fwd/bwd to refresh grads).
         a.zero_grads();

@@ -91,10 +91,7 @@ mod tests {
         assert!((mean - 1.0).abs() < 0.02, "E[y]={mean}");
         // Survivors are scaled by exactly 1/keep.
         let keep_scale = 1.0 / 0.7;
-        assert!(y
-            .data()
-            .iter()
-            .all(|&v| v == 0.0 || (v - keep_scale).abs() < 1e-6));
+        assert!(y.data().iter().all(|&v| v == 0.0 || (v - keep_scale).abs() < 1e-6));
     }
 
     #[test]

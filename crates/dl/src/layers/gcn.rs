@@ -41,11 +41,7 @@ impl NormAdj {
         let rows = adj
             .iter()
             .enumerate()
-            .map(|(i, l)| {
-                l.iter()
-                    .map(|&j| (j, 1.0 / (deg[i] * deg[j]).sqrt()))
-                    .collect()
-            })
+            .map(|(i, l)| l.iter().map(|&j| (j, 1.0 / (deg[i] * deg[j]).sqrt())).collect())
             .collect();
         NormAdj { n, rows }
     }
@@ -95,7 +91,14 @@ pub struct GcnIILayer {
 impl GcnIILayer {
     /// New layer at depth `layer_index` (1-based) with decay constant
     /// `lambda` (GCNII uses λ ≈ 0.5–1.5).
-    pub fn new(name: &str, dim: usize, alpha: f32, lambda: f32, layer_index: usize, rng: &mut SimRng) -> Self {
+    pub fn new(
+        name: &str,
+        dim: usize,
+        alpha: f32,
+        lambda: f32,
+        layer_index: usize,
+        rng: &mut SimRng,
+    ) -> Self {
         let beta = (lambda / layer_index as f32 + 1.0).ln();
         GcnIILayer {
             w: Param::randn(format!("{name}.w"), dim * dim, (1.0 / dim as f32).sqrt(), rng),

@@ -38,14 +38,14 @@ impl LayerNorm {
         let mut xhat = Tensor::zeros(&[n, d]);
         let mut inv_std = vec![0f32; n];
         let mut y = Tensor::zeros(&[n, d]);
-        for r in 0..n {
+        for (r, istd_slot) in inv_std.iter_mut().enumerate() {
             let row = x.row(r);
             let mean = row.iter().sum::<f32>() / d as f32;
             let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
             let istd = 1.0 / (var + self.eps).sqrt();
-            inv_std[r] = istd;
-            for c in 0..d {
-                let xh = (row[c] - mean) * istd;
+            *istd_slot = istd;
+            for (c, &xv) in row.iter().enumerate() {
+                let xh = (xv - mean) * istd;
                 xhat.set(r, c, xh);
                 y.set(r, c, self.gamma.value[c] * xh + self.beta.value[c]);
             }
@@ -60,7 +60,7 @@ impl LayerNorm {
         let n = dy.rows();
         let d = self.dim;
         let mut dx = Tensor::zeros(&[n, d]);
-        for r in 0..n {
+        for (r, &istd) in inv_std.iter().enumerate().take(n) {
             let dyr = dy.row(r);
             let xhr = xhat.row(r);
             // dγ, dβ.
@@ -77,7 +77,7 @@ impl LayerNorm {
             let mean_g = g.iter().sum::<f32>() / d as f32;
             let mean_gx = g.iter().zip(xhr).map(|(a, b)| a * b).sum::<f32>() / d as f32;
             for c in 0..d {
-                dx.set(r, c, (g[c] - mean_g - xhr[c] * mean_gx) * inv_std[r]);
+                dx.set(r, c, (g[c] - mean_g - xhr[c] * mean_gx) * istd);
             }
         }
         dx

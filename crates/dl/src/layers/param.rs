@@ -24,11 +24,7 @@ pub struct Param {
 impl Param {
     /// Zero-initialized parameter.
     pub fn zeros(name: impl Into<String>, len: usize) -> Self {
-        Param {
-            name: name.into(),
-            value: vec![0.0; len],
-            grad: vec![0.0; len],
-        }
+        Param { name: name.into(), value: vec![0.0; len], grad: vec![0.0; len] }
     }
 
     /// Gaussian initialization with the given std — the usual transformer

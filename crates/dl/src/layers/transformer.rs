@@ -94,7 +94,12 @@ mod tests {
         let y = b.forward(&x);
         assert_eq!(y.shape(), &[5, d]);
         // ln1: 2d; attn: d·3d+3d + d·d+d; ln2: 2d; fc1: d·4d+4d; fc2: 4d·d+d.
-        let expect = 2 * d + (d * 3 * d + 3 * d) + (d * d + d) + 2 * d + (d * 4 * d + 4 * d) + (4 * d * d + d);
+        let expect = 2 * d
+            + (d * 3 * d + 3 * d)
+            + (d * d + d)
+            + 2 * d
+            + (d * 4 * d + 4 * d)
+            + (4 * d * d + d);
         assert_eq!(b.param_count(), expect);
     }
 
@@ -104,7 +109,10 @@ mod tests {
         let d = 6;
         let t = 3;
         let mut b = TransformerBlock::new("b0", d, 2, true, &mut rng);
-        let x = Tensor::from_vec(&[t, d], (0..t * d).map(|i| ((i as f32) * 0.29).cos() * 0.3).collect());
+        let x = Tensor::from_vec(
+            &[t, d],
+            (0..t * d).map(|i| ((i as f32) * 0.29).cos() * 0.3).collect(),
+        );
         b.zero_grads();
         b.forward(&x);
         let dy = Tensor::full(&[t, d], 1.0);
@@ -118,10 +126,7 @@ mod tests {
             xm.data_mut()[idx] -= h;
             let num = (b.forward(&xp).sum() - b.forward(&xm).sum()) / (2.0 * h);
             let ana = dx.data()[idx];
-            assert!(
-                (num - ana).abs() < 5e-2 * (1.0 + ana.abs()),
-                "dx[{idx}]: {ana} vs {num}"
-            );
+            assert!((num - ana).abs() < 5e-2 * (1.0 + ana.abs()), "dx[{idx}]: {ana} vs {num}");
         }
     }
 

@@ -38,8 +38,9 @@ pub mod tensor;
 pub use layers::{Param, Visitable};
 pub use model::{GcnConfig, GcnIIModel, TinyGpt, TinyGptConfig};
 pub use modelzoo::{ModelKind, ModelSpec};
+pub use ops::num_cores;
 pub use optim::{AdamConfig, OffloadedAdam, Sgd};
+pub use profile::{flatten_grads, flatten_params, ByteChangeStats, SnapshotProfiler};
 pub use schedule::LrSchedule;
 pub use seq2seq::{CrossAttention, DecoderBlock, TinyT5, TinyT5Config};
-pub use profile::{flatten_grads, flatten_params, ByteChangeStats, SnapshotProfiler};
 pub use tensor::Tensor;

@@ -65,11 +65,7 @@ pub fn bce_with_logits(logits: &[f32], targets: &[f32]) -> (f32, Vec<f32>) {
 /// Fraction of correct binary predictions at threshold 0 on the logits.
 pub fn binary_accuracy(logits: &[f32], targets: &[f32]) -> f32 {
     assert_eq!(logits.len(), targets.len());
-    let correct = logits
-        .iter()
-        .zip(targets)
-        .filter(|(&z, &y)| (z > 0.0) == (y > 0.5))
-        .count();
+    let correct = logits.iter().zip(targets).filter(|(&z, &y)| (z > 0.0) == (y > 0.5)).count();
     correct as f32 / logits.len() as f32
 }
 
@@ -182,7 +178,8 @@ mod tests {
             lp[i] += h;
             let mut lm = logits;
             lm[i] -= h;
-            let num = (bce_with_logits(&lp, &targets).0 - bce_with_logits(&lm, &targets).0) / (2.0 * h);
+            let num =
+                (bce_with_logits(&lp, &targets).0 - bce_with_logits(&lm, &targets).0) / (2.0 * h);
             assert!((num - grad[i]).abs() < 1e-3, "i={i}");
         }
     }

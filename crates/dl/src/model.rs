@@ -193,7 +193,9 @@ impl GcnIIModel {
         GcnIIModel {
             input: Linear::new("gcn.in", cfg.in_dim, cfg.hidden, std, rng),
             layers: (1..=cfg.layers)
-                .map(|l| GcnIILayer::new(&format!("gcn.l{l}"), cfg.hidden, cfg.alpha, cfg.lambda, l, rng))
+                .map(|l| {
+                    GcnIILayer::new(&format!("gcn.l{l}"), cfg.hidden, cfg.alpha, cfg.lambda, l, rng)
+                })
                 .collect(),
             output: Linear::new("gcn.out", cfg.hidden, cfg.classes, std, rng),
             cfg,
@@ -222,7 +224,7 @@ impl GcnIIModel {
             dh0_acc.add_assign(&dh0);
         }
         dh0_acc.add_assign(&dh); // layer-1 input is h0 itself
-        // Through the input ReLU.
+                                 // Through the input ReLU.
         let h0 = self.cache_h0.take().expect("backward before forward");
         for (d, &v) in dh0_acc.data_mut().iter_mut().zip(h0.data()) {
             if v <= 0.0 {
@@ -451,7 +453,8 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(13);
         let g = community_graph(40, 4, 0.5, 0.02, 8, &mut rng);
         let adj = NormAdj::from_edges(g.n, &g.edges);
-        let cfg = GcnConfig { in_dim: 8, hidden: 16, layers: 3, classes: 4, alpha: 0.1, lambda: 0.5 };
+        let cfg =
+            GcnConfig { in_dim: 8, hidden: 16, layers: 3, classes: 4, alpha: 0.1, lambda: 0.5 };
         let mut m = GcnIIModel::new(cfg, &mut rng);
         let mut opt = OffloadedAdam::new(AdamConfig { lr: 5e-3, ..Default::default() });
         let mut accs = Vec::new();
@@ -472,7 +475,8 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(41);
         let g = community_graph(40, 4, 0.5, 0.03, 8, &mut rng);
         let adj = NormAdj::from_edges(g.n, &g.edges);
-        let cfg = GcnConfig { in_dim: 8, hidden: 16, layers: 2, classes: 4, alpha: 0.1, lambda: 0.5 };
+        let cfg =
+            GcnConfig { in_dim: 8, hidden: 16, layers: 2, classes: 4, alpha: 0.1, lambda: 0.5 };
         let mut m = GcnIIModel::new(cfg, &mut rng);
         let mut opt = OffloadedAdam::new(AdamConfig { lr: 5e-3, ..Default::default() });
         // Positive pairs = real edges; negatives = random non-edges.

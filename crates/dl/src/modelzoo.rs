@@ -223,10 +223,7 @@ impl ModelSpec {
 
     /// Find a spec by name.
     pub fn by_name(name: &str) -> Option<ModelSpec> {
-        Self::table3()
-            .into_iter()
-            .chain(Self::table6())
-            .find(|m| m.name.eq_ignore_ascii_case(name))
+        Self::table3().into_iter().chain(Self::table6()).find(|m| m.name.eq_ignore_ascii_case(name))
     }
 }
 
@@ -253,7 +250,10 @@ mod tests {
         let gpt2 = ModelSpec::gpt2();
         assert_eq!(gpt2.param_bytes(), 488_000_000);
         assert_eq!(gpt2.optimizer_state_bytes(), 976_000_000);
-        assert_eq!(gpt2.per_layer_param_bytes() * gpt2.layers as u64, gpt2.param_bytes() - gpt2.param_bytes() % gpt2.layers as u64);
+        assert_eq!(
+            gpt2.per_layer_param_bytes() * gpt2.layers as u64,
+            gpt2.param_bytes() - gpt2.param_bytes() % gpt2.layers as u64
+        );
     }
 
     #[test]

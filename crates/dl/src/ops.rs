@@ -1,11 +1,20 @@
 //! Dense math kernels: blocked matmul (with optional multi-threading via
-//! crossbeam scoped threads), softmax, and elementwise helpers. These are
+//! std scoped threads), softmax, and elementwise helpers. These are
 //! the compute kernels behind the layers in [`crate::layers`].
 
 use crate::tensor::Tensor;
+use std::sync::OnceLock;
 
 /// Threshold (in output elements) above which matmul spawns worker threads.
 const PAR_THRESHOLD: usize = 64 * 64;
+
+/// Cached core count: `available_parallelism` can issue a syscall, so look it
+/// up once instead of on every call. Shared by the matmul fan-out here and
+/// the experiment sweep runner in `teco_offload`.
+pub fn num_cores() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1))
+}
 
 /// `C = A · B` for 2-D tensors `[m,k]·[k,n] → [m,n]`.
 ///
@@ -19,25 +28,29 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let a_d = a.data();
     let b_d = b.data();
 
-    if m * n >= PAR_THRESHOLD && m >= 4 {
-        let nthreads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(m)
-            .min(8);
+    // Capping threads at `m` means every chunk below is non-empty, and a
+    // single-chunk split degenerates to the serial loop without a spawn.
+    let nthreads = num_cores().min(m).min(8);
+    if m * n >= PAR_THRESHOLD && nthreads > 1 {
         let rows_per = m.div_ceil(nthreads);
-        crossbeam::thread::scope(|s| {
-            for (ci, chunk) in c.data_mut().chunks_mut(rows_per * n).enumerate() {
+        std::thread::scope(|s| {
+            let mut chunks = c.data_mut().chunks_mut(rows_per * n).enumerate();
+            // Run the first chunk on the calling thread instead of parking it
+            // behind joins; spawn only for the rest.
+            let (_, first) = chunks.next().expect("m >= 1 guarantees a chunk");
+            for (ci, chunk) in chunks {
                 let start = ci * rows_per;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for (li, c_row) in chunk.chunks_mut(n).enumerate() {
                         let i = start + li;
                         matmul_row(&a_d[i * k..(i + 1) * k], b_d, n, c_row);
                     }
                 });
             }
-        })
-        .expect("matmul worker panicked");
+            for (li, c_row) in first.chunks_mut(n).enumerate() {
+                matmul_row(&a_d[li * k..(li + 1) * k], b_d, n, c_row);
+            }
+        });
     } else {
         for i in 0..m {
             let c_start = i * n;
@@ -266,7 +279,7 @@ mod tests {
         assert_eq!(gelu(0.0), 0.0);
         assert!(gelu(3.0) > 2.9); // ≈ identity for large positive x
         assert!(gelu(-5.0).abs() < 1e-3); // ≈ 0 for large negative x
-        // Numeric derivative check.
+                                          // Numeric derivative check.
         for &x in &[-2.0f32, -0.5, 0.0, 0.7, 2.3] {
             let h = 1e-3;
             let num = (gelu(x + h) - gelu(x - h)) / (2.0 * h);

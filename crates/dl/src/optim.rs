@@ -72,12 +72,7 @@ pub type Writeback<'a> = dyn FnMut(&str, u32, u32) -> u32 + 'a;
 impl OffloadedAdam {
     /// New optimizer.
     pub fn new(cfg: AdamConfig) -> Self {
-        OffloadedAdam {
-            cfg,
-            t: 0,
-            states: HashMap::new(),
-            last_writeback_bytes: 0,
-        }
+        OffloadedAdam { cfg, t: 0, states: HashMap::new(), last_writeback_bytes: 0 }
     }
 
     /// The configuration.
@@ -205,11 +200,8 @@ mod tests {
     #[test]
     fn adam_converges_on_quadratic() {
         let mut m = One(Param::zeros("w", 4));
-        let mut opt = OffloadedAdam::new(AdamConfig {
-            lr: 0.1,
-            clip_norm: None,
-            ..Default::default()
-        });
+        let mut opt =
+            OffloadedAdam::new(AdamConfig { lr: 0.1, clip_norm: None, ..Default::default() });
         for _ in 0..300 {
             m.0.grad = quadratic_grad(&m.0);
             opt.step(&mut m);
@@ -237,18 +229,16 @@ mod tests {
     fn clipping_bounds_effective_gradient() {
         let mut m = One(Param::zeros("w", 2));
         m.0.grad = vec![30.0, 40.0]; // norm 50
-        let mut opt = OffloadedAdam::new(AdamConfig {
-            lr: 1.0,
-            clip_norm: Some(5.0),
-            ..Default::default()
-        });
+        let mut opt =
+            OffloadedAdam::new(AdamConfig { lr: 1.0, clip_norm: Some(5.0), ..Default::default() });
         // With clipping the first-step effective gradient is g·(5/50), so
         // m̂ direction magnitudes stay proportional — the first Adam step is
         // lr·g/|g| elementwise-ish; just verify the update is finite and
         // much smaller than without clipping.
         let mut unclipped = One(Param::zeros("w", 2));
         unclipped.0.grad = vec![30.0, 40.0];
-        let mut opt2 = OffloadedAdam::new(AdamConfig { lr: 1.0, clip_norm: None, ..Default::default() });
+        let mut opt2 =
+            OffloadedAdam::new(AdamConfig { lr: 1.0, clip_norm: None, ..Default::default() });
         opt.step(&mut m);
         opt2.step(&mut unclipped);
         // ADAM normalizes per-element, so first-step sizes match; the
@@ -262,7 +252,8 @@ mod tests {
         let mut m = One(Param::zeros("w", 3));
         m.0.value = vec![1.0, 2.0, 3.0];
         m.0.grad = vec![1.0, 1.0, 1.0];
-        let mut opt = OffloadedAdam::new(AdamConfig { lr: 0.5, clip_norm: None, ..Default::default() });
+        let mut opt =
+            OffloadedAdam::new(AdamConfig { lr: 0.5, clip_norm: None, ..Default::default() });
         let mut seen = Vec::new();
         opt.step_with_writeback(&mut m, &mut |name, old, new| {
             seen.push((name.to_string(), old, new));
@@ -284,7 +275,8 @@ mod tests {
         let mut m = One(Param::zeros("w", 1));
         m.0.value = vec![1.0];
         m.0.grad = vec![1.0];
-        let mut opt = OffloadedAdam::new(AdamConfig { lr: 0.5, clip_norm: None, ..Default::default() });
+        let mut opt =
+            OffloadedAdam::new(AdamConfig { lr: 0.5, clip_norm: None, ..Default::default() });
         opt.step_with_writeback(&mut m, &mut |_, old, _| old);
         assert_eq!(m.0.value[0], 1.0, "GPU copy unchanged");
         assert!(opt.master("w").unwrap()[0] < 1.0, "master updated");

@@ -41,7 +41,7 @@ struct XAttnCache {
 impl CrossAttention {
     /// New cross-attention of width `dim` with `heads` heads.
     pub fn new(name: &str, dim: usize, heads: usize, rng: &mut SimRng) -> Self {
-        assert!(dim % heads == 0);
+        assert!(dim.is_multiple_of(heads));
         let std = 0.02;
         CrossAttention {
             wq: Linear::new(&format!("{name}.wq"), dim, dim, std, rng),

@@ -41,12 +41,8 @@ impl LjSystem {
         let n = 4 * cells * cells * cells;
         let box_len = (n as f32 / density).powf(1.0 / 3.0);
         let a = box_len / cells as f32;
-        let basis: [[f32; 3]; 4] = [
-            [0.0, 0.0, 0.0],
-            [0.5, 0.5, 0.0],
-            [0.5, 0.0, 0.5],
-            [0.0, 0.5, 0.5],
-        ];
+        let basis: [[f32; 3]; 4] =
+            [[0.0, 0.0, 0.0], [0.5, 0.5, 0.0], [0.5, 0.0, 0.5], [0.0, 0.5, 0.5]];
         let mut pos = Vec::with_capacity(n);
         for ix in 0..cells {
             for iy in 0..cells {
@@ -82,14 +78,7 @@ impl LjSystem {
                 v[d] -= com[d] / n as f32;
             }
         }
-        let mut sys = LjSystem {
-            box_len,
-            pos,
-            vel,
-            force: vec![[0.0; 3]; n],
-            potential: 0.0,
-            dt,
-        };
+        let mut sys = LjSystem { box_len, pos, vel, force: vec![[0.0; 3]; n], potential: 0.0, dt };
         sys.compute_forces();
         sys
     }
@@ -177,9 +166,9 @@ impl LjSystem {
                                 let inv_r6 = inv_r2 * inv_r2 * inv_r2;
                                 // F = 24ε(2(σ/r)¹² − (σ/r)⁶)/r² · r⃗
                                 let fmag = 24.0 * inv_r2 * inv_r6 * (2.0 * inv_r6 - 1.0);
-                                for k in 0..3 {
-                                    self.force[i][k] -= fmag * d[k];
-                                    self.force[j][k] += fmag * d[k];
+                                for (k, &dk) in d.iter().enumerate() {
+                                    self.force[i][k] -= fmag * dk;
+                                    self.force[j][k] += fmag * dk;
                                 }
                                 self.potential += 4.0 * (inv_r6 as f64) * ((inv_r6 as f64) - 1.0);
                             }
@@ -216,7 +205,11 @@ impl LjSystem {
     pub fn kinetic(&self) -> f64 {
         self.vel
             .iter()
-            .map(|v| 0.5 * (v[0] as f64 * v[0] as f64 + v[1] as f64 * v[1] as f64 + v[2] as f64 * v[2] as f64))
+            .map(|v| {
+                0.5 * (v[0] as f64 * v[0] as f64
+                    + v[1] as f64 * v[1] as f64
+                    + v[2] as f64 * v[2] as f64)
+            })
             .sum()
     }
 
@@ -259,8 +252,8 @@ mod tests {
         assert!((sys.n() as f64 / v - 0.8442).abs() < 1e-3);
         // All positions in the box.
         for p in &sys.pos {
-            for k in 0..3 {
-                assert!(p[k] >= 0.0 && p[k] < sys.box_len);
+            for &pk in p {
+                assert!(pk >= 0.0 && pk < sys.box_len);
             }
         }
     }
@@ -281,8 +274,8 @@ mod tests {
                 p[k] += v[k] as f64;
             }
         }
-        for k in 0..3 {
-            assert!(p[k].abs() < 1e-3, "momentum {k}: {}", p[k]);
+        for (k, pk) in p.iter().enumerate() {
+            assert!(pk.abs() < 1e-3, "momentum {k}: {pk}");
         }
     }
 
@@ -297,8 +290,8 @@ mod tests {
                 f[k] += fi[k] as f64;
             }
         }
-        for k in 0..3 {
-            assert!(f[k].abs() < 1e-2, "net force {k}: {}", f[k]);
+        for (k, fk) in f.iter().enumerate() {
+            assert!(fk.abs() < 1e-2, "net force {k}: {fk}");
         }
     }
 

@@ -135,8 +135,7 @@ pub fn simulate_md_step(t: &MdTiming, n_atoms: usize, system: MdSystem) -> MdSte
 
             // Positions stream as the integrator produces them.
             let int_start = t_force + up_exposed;
-            let down_rate =
-                Bandwidth::from_bytes_per_sec(down_bytes as f64 / t_int.as_secs_f64());
+            let down_rate = Bandwidth::from_bytes_per_sec(down_bytes as f64 / t_int.as_secs_f64());
             let sweep_down = ChunkedSweep {
                 total_bytes: down_bytes,
                 chunks: t.chunks,
@@ -149,8 +148,7 @@ pub fn simulate_md_step(t: &MdTiming, n_atoms: usize, system: MdSystem) -> MdSte
                 link_down.submit_with_latency(c.ready, c.bytes, lat);
             }
             let int_end = int_start + t_int;
-            let down_exposed =
-                link_down.next_free().saturating_sub(int_end) + FENCE_CHECK_OVERHEAD;
+            let down_exposed = link_down.next_free().saturating_sub(int_end) + FENCE_CHECK_OVERHEAD;
             MdStep {
                 system,
                 total: int_end + down_exposed,
@@ -189,8 +187,7 @@ pub fn sec7_experiment(t: &MdTiming, n_atoms: usize) -> Sec7Result {
     Sec7Result {
         baseline_transfer_pct: 100.0 * base.transfer_fraction(),
         improvement_pct: improvement,
-        volume_reduction_pct: 100.0
-            * (1.0 - red.bytes_moved as f64 / base.bytes_moved as f64),
+        volume_reduction_pct: 100.0 * (1.0 - red.bytes_moved as f64 / base.bytes_moved as f64),
         cxl_contribution_pct: 100.0 * cxl_gain / total_gain,
         dba_contribution_pct: 100.0 * dba_gain / total_gain,
     }
@@ -242,11 +239,7 @@ mod tests {
     fn sec7_headline_numbers() {
         let r = sec7_experiment(&MdTiming::paper(), N);
         // Paper: 21.5 % improvement.
-        assert!(
-            (r.improvement_pct - 21.5).abs() < 8.0,
-            "improvement {:.1}%",
-            r.improvement_pct
-        );
+        assert!((r.improvement_pct - 21.5).abs() < 8.0, "improvement {:.1}%", r.improvement_pct);
         // Paper: 17 % volume cut.
         assert!(
             (r.volume_reduction_pct - 17.0).abs() < 6.0,
@@ -255,11 +248,7 @@ mod tests {
         );
         // Paper: CXL 78 % / DBA 22 % split.
         assert!(r.cxl_contribution_pct > r.dba_contribution_pct);
-        assert!(
-            (r.cxl_contribution_pct - 78.0).abs() < 20.0,
-            "cxl {:.0}%",
-            r.cxl_contribution_pct
-        );
+        assert!((r.cxl_contribution_pct - 78.0).abs() < 20.0, "cxl {:.0}%", r.cxl_contribution_pct);
         let sum = r.cxl_contribution_pct + r.dba_contribution_pct;
         assert!((sum - 100.0).abs() < 1e-6);
     }

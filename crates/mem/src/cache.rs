@@ -41,7 +41,7 @@ impl CacheConfig {
     /// Number of sets implied by the geometry.
     pub fn num_sets(&self) -> usize {
         let lines = self.size_bytes as usize / LINE_BYTES;
-        assert!(lines % self.assoc == 0, "size/assoc mismatch");
+        assert!(lines.is_multiple_of(self.assoc), "size/assoc mismatch");
         lines / self.assoc
     }
 }
@@ -102,13 +102,7 @@ impl Cache {
         let nsets = cfg.num_sets();
         Cache {
             cfg,
-            sets: vec![
-                vec![
-                    Way { tag: 0, valid: false, dirty: false, lru: 0 };
-                    cfg.assoc
-                ];
-                nsets
-            ],
+            sets: vec![vec![Way { tag: 0, valid: false, dirty: false, lru: 0 }; cfg.assoc]; nsets],
             clock: 0,
             stats: CacheStats::default(),
         }
@@ -152,11 +146,8 @@ impl Cache {
         let victim_idx = match set.iter().position(|w| !w.valid) {
             Some(i) => i,
             None => {
-                let (i, _) = set
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, w)| w.lru)
-                    .expect("nonempty set");
+                let (i, _) =
+                    set.iter().enumerate().min_by_key(|(_, w)| w.lru).expect("nonempty set");
                 i
             }
         };
@@ -205,18 +196,12 @@ impl Cache {
 
     /// Number of valid lines currently resident.
     pub fn resident_lines(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.iter().filter(|w| w.valid).count())
-            .sum()
+        self.sets.iter().map(|s| s.iter().filter(|w| w.valid).count()).sum()
     }
 
     /// Number of dirty lines currently resident.
     pub fn dirty_lines(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.iter().filter(|w| w.valid && w.dirty).count())
-            .sum()
+        self.sets.iter().map(|s| s.iter().filter(|w| w.valid && w.dirty).count()).sum()
     }
 }
 

@@ -206,10 +206,7 @@ impl Dram {
 /// Build the *write-only* trace of a line-granular update stream (the
 /// baseline: CXL writes merged lines directly).
 pub fn write_only_trace(addrs: &[Addr]) -> Vec<DramAccess> {
-    addrs
-        .iter()
-        .map(|&addr| DramAccess { addr, dir: Dir::Write })
-        .collect()
+    addrs.iter().map(|&addr| DramAccess { addr, dir: Dir::Write }).collect()
 }
 
 /// Build the *read-modify-write* trace the Disaggregator produces: for each
@@ -263,10 +260,7 @@ mod tests {
         let w = Dram::replay(cfg, write_only_trace(&addrs));
         let rmw = Dram::replay(cfg, read_modify_write_trace(&addrs));
         let inflation = rmw.cycles as f64 / w.cycles as f64;
-        assert!(
-            inflation > 2.0 && inflation < 3.5,
-            "sequential inflation {inflation}"
-        );
+        assert!(inflation > 2.0 && inflation < 3.5, "sequential inflation {inflation}");
     }
 
     #[test]

@@ -32,7 +32,7 @@ impl Addr {
     /// True when line-aligned.
     #[inline]
     pub const fn is_line_aligned(self) -> bool {
-        self.0 % LINE_BYTES as u64 == 0
+        self.0.is_multiple_of(LINE_BYTES as u64)
     }
     /// Line index (address / 64).
     #[inline]
@@ -109,6 +109,7 @@ impl LineData {
     }
 
     /// Read word `w` (0..16) as raw little-endian u32.
+    #[inline]
     pub fn word(&self, w: usize) -> u32 {
         assert!(w < WORDS_PER_LINE);
         let mut b = [0u8; 4];
@@ -117,16 +118,19 @@ impl LineData {
     }
 
     /// Write word `w` (0..16) as raw little-endian u32.
+    #[inline]
     pub fn set_word(&mut self, w: usize, v: u32) {
         assert!(w < WORDS_PER_LINE);
         self.0[w * 4..w * 4 + 4].copy_from_slice(&v.to_le_bytes());
     }
 
     /// Bytes of the line.
+    #[inline]
     pub fn bytes(&self) -> &[u8; LINE_BYTES] {
         &self.0
     }
     /// Mutable bytes of the line.
+    #[inline]
     pub fn bytes_mut(&mut self) -> &mut [u8; LINE_BYTES] {
         &mut self.0
     }

@@ -70,17 +70,11 @@ impl RegionMap {
         size: u64,
     ) -> Result<RegionId, OverlapError> {
         assert!(size > 0, "zero-sized region");
-        let new = Region {
-            name: name.into(),
-            base,
-            size,
-        };
+        let new = Region { name: name.into(), base, size };
         for r in &self.regions {
             let disjoint = new.end() <= r.base || new.base >= r.end();
             if !disjoint {
-                return Err(OverlapError {
-                    existing: r.name.clone(),
-                });
+                return Err(OverlapError { existing: r.name.clone() });
             }
         }
         self.regions.push(new);

@@ -81,11 +81,7 @@ impl SweepGen {
         let nlines = self.bytes.div_ceil(LINE_BYTES as u64);
         (0..nlines).map(move |i| {
             let t = self.start + self.update_rate.transfer_time(i * LINE_BYTES as u64);
-            MemAccess {
-                time: t,
-                addr: Addr(self.base.0 + i * LINE_BYTES as u64),
-                is_store: true,
-            }
+            MemAccess { time: t, addr: Addr(self.base.0 + i * LINE_BYTES as u64), is_store: true }
         })
     }
 
@@ -147,11 +143,7 @@ impl ChunkedSweep {
         let mut out = Vec::with_capacity(self.chunks);
         let mut produced = 0u64;
         for i in 0..self.chunks {
-            let bytes = if i + 1 == self.chunks {
-                self.total_bytes - produced
-            } else {
-                per
-            };
+            let bytes = if i + 1 == self.chunks { self.total_bytes - produced } else { per };
             produced += bytes;
             let ready = self.start + self.update_rate.transfer_time(produced);
             out.push(Chunk { ready, bytes });
@@ -169,9 +161,7 @@ impl ChunkedSweep {
 /// shuffled-access experiment (§VIII-D).
 pub fn shuffled_line_addrs(base: Addr, bytes: u64, rng: &mut SimRng) -> Vec<Addr> {
     let nlines = bytes.div_ceil(LINE_BYTES as u64);
-    let mut addrs: Vec<Addr> = (0..nlines)
-        .map(|i| Addr(base.0 + i * LINE_BYTES as u64))
-        .collect();
+    let mut addrs: Vec<Addr> = (0..nlines).map(|i| Addr(base.0 + i * LINE_BYTES as u64)).collect();
     rng.shuffle(&mut addrs);
     addrs
 }
@@ -201,10 +191,7 @@ mod tests {
 
     #[test]
     fn sweep_writeback_trace_covers_all_lines_once() {
-        let mut h = Hierarchy::new(vec![Cache::new(CacheConfig {
-            size_bytes: 1024,
-            assoc: 2,
-        })]);
+        let mut h = Hierarchy::new(vec![Cache::new(CacheConfig { size_bytes: 1024, assoc: 2 })]);
         let g = SweepGen {
             base: Addr(0),
             bytes: 100 * 64,
@@ -229,10 +216,7 @@ mod tests {
     fn writeback_lags_production_by_cache_depth() {
         // With a cache of 16 lines, the first writeback can only happen
         // after the cache fills — i.e., the trace "lags" the sweep.
-        let mut h = Hierarchy::new(vec![Cache::new(CacheConfig {
-            size_bytes: 1024,
-            assoc: 2,
-        })]);
+        let mut h = Hierarchy::new(vec![Cache::new(CacheConfig { size_bytes: 1024, assoc: 2 })]);
         let g = SweepGen {
             base: Addr(0),
             bytes: 64 * 64,

@@ -126,8 +126,8 @@ impl GaussianProcess {
         let mut v = vec![0f64; n];
         for i in 0..n {
             let mut sum = kx[i];
-            for p in 0..i {
-                sum -= self.chol[i * n + p] * v[p];
+            for (p, vp) in v.iter().enumerate().take(i) {
+                sum -= self.chol[i * n + p] * vp;
             }
             v[i] = sum / self.chol[i * n + i];
         }
@@ -155,8 +155,7 @@ fn erf(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
             .exp();
     if x >= 0.0 {
         1.0 - tau
@@ -208,11 +207,11 @@ pub fn minimize(
     // Normalize y online for GP conditioning.
     let mut raw: Vec<f64> = Vec::new();
     let eval_at = |idx: usize,
-                       gp: &mut GaussianProcess,
-                       raw: &mut Vec<f64>,
-                       history: &mut Vec<(f64, f64)>,
-                       evaluated: &mut Vec<bool>,
-                       f: &mut dyn FnMut(f64) -> f64| {
+                   gp: &mut GaussianProcess,
+                   raw: &mut Vec<f64>,
+                   history: &mut Vec<(f64, f64)>,
+                   evaluated: &mut Vec<bool>,
+                   f: &mut dyn FnMut(f64) -> f64| {
         let x = domain[idx];
         let y = f(x);
         raw.push(y);
@@ -246,10 +245,7 @@ pub fn minimize(
         let std = (raw.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / raw.len() as f64)
             .sqrt()
             .max(1e-9);
-        let best_std = history
-            .iter()
-            .map(|&(_, y)| (y - mean) / std)
-            .fold(f64::INFINITY, f64::min);
+        let best_std = history.iter().map(|&(_, y)| (y - mean) / std).fold(f64::INFINITY, f64::min);
         // Pick the unevaluated candidate with maximum EI.
         let (idx, _) = domain
             .iter()

@@ -98,11 +98,7 @@ pub fn simulate_zero_offload_dpu(cal: &Calibration, spec: &ModelSpec, batch: u32
     let hidden = t_param - exposed;
     let mut br = base.breakdown;
     br.param_transfer_exposed = exposed;
-    StepResult {
-        total: base.total - hidden,
-        breakdown: br,
-        ..base
-    }
+    StepResult { total: base.total - hidden, breakdown: br, ..base }
 }
 
 /// The DPU-effectiveness curve: fraction of the parameter transfer DPU

@@ -242,9 +242,8 @@ fn run_seq2seq(cfg: &ConvergenceConfig) -> ConvergenceResult {
             loss += model.train_pair(&src, &tgt, 1.0 / cfg.batch as f32);
         }
         losses.push(loss / cfg.batch as f32);
-        let profile = cfg.profile_every > 0
-            && step >= cfg.profile_after
-            && step % cfg.profile_every == 0;
+        let profile =
+            cfg.profile_every > 0 && step >= cfg.profile_after && step % cfg.profile_every == 0;
         if profile {
             grad_prof.record(&flatten_grads(&mut model));
         }
@@ -277,7 +276,8 @@ fn run_link_prediction(cfg: &ConvergenceConfig) -> ConvergenceResult {
     let mut rng = SimRng::seed_from_u64(cfg.seed);
     let g = community_graph(40, 4, 0.5, 0.03, 8, &mut rng);
     let adj = NormAdj::from_edges(g.n, &g.edges);
-    let gcn_cfg = GcnConfig { in_dim: 8, hidden: 16, layers: 2, classes: 4, alpha: 0.1, lambda: 0.5 };
+    let gcn_cfg =
+        GcnConfig { in_dim: 8, hidden: 16, layers: 2, classes: 4, alpha: 0.1, lambda: 0.5 };
     let mut model = GcnIIModel::new(gcn_cfg, &mut rng);
     let mut opt = OffloadedAdam::new(AdamConfig { lr: cfg.lr, ..Default::default() });
     // Candidate set: real edges plus an equal number of sampled non-edges.
@@ -308,9 +308,8 @@ fn run_link_prediction(cfg: &ConvergenceConfig) -> ConvergenceResult {
         let (loss, acc) = model.link_prediction_step(&adj, &g.features, &pairs, &labels);
         losses.push(loss);
         final_acc = acc;
-        let profile = cfg.profile_every > 0
-            && step >= cfg.profile_after
-            && step % cfg.profile_every == 0;
+        let profile =
+            cfg.profile_every > 0 && step >= cfg.profile_after && step % cfg.profile_every == 0;
         if profile {
             grad_prof.record(&flatten_grads(&mut model));
         }
@@ -334,13 +333,8 @@ fn run_link_prediction(cfg: &ConvergenceConfig) -> ConvergenceResult {
 fn run_lm(cfg: &ConvergenceConfig) -> ConvergenceResult {
     let mut rng = SimRng::seed_from_u64(cfg.seed);
     let gen = MarkovTextGen::new(32, 2, &mut rng);
-    let model_cfg = TinyGptConfig {
-        vocab: 32,
-        dim: 24,
-        heads: 4,
-        layers: 2,
-        max_seq: cfg.seq.max(8),
-    };
+    let model_cfg =
+        TinyGptConfig { vocab: 32, dim: 24, heads: 4, layers: 2, max_seq: cfg.seq.max(8) };
     let mut model = TinyGpt::new(model_cfg, &mut rng);
     let mut data_rng = rng.fork("data");
     let mut opt = OffloadedAdam::new(AdamConfig { lr: cfg.lr, ..Default::default() });
@@ -368,9 +362,8 @@ fn run_lm(cfg: &ConvergenceConfig) -> ConvergenceResult {
             loss += model.train_sequence(&seq, 1.0 / cfg.batch as f32);
         }
         losses.push(loss / cfg.batch as f32);
-        let profile = cfg.profile_every > 0
-            && step >= cfg.profile_after
-            && step % cfg.profile_every == 0;
+        let profile =
+            cfg.profile_every > 0 && step >= cfg.profile_after && step % cfg.profile_every == 0;
         if profile {
             grad_prof.record(&flatten_grads(&mut model));
         }
@@ -407,9 +400,11 @@ fn run_classifier(cfg: &ConvergenceConfig) -> ConvergenceResult {
     let all = gaussian_clusters(320, 8, 4, 0.75, &mut rng);
     let dim = 8usize;
     let split = 160usize;
-    let train_x = teco_dl::Tensor::from_vec(&[split, dim], all.features.data()[..split * dim].to_vec());
+    let train_x =
+        teco_dl::Tensor::from_vec(&[split, dim], all.features.data()[..split * dim].to_vec());
     let train_y = all.labels[..split].to_vec();
-    let eval_x = teco_dl::Tensor::from_vec(&[split, dim], all.features.data()[split * dim..].to_vec());
+    let eval_x =
+        teco_dl::Tensor::from_vec(&[split, dim], all.features.data()[split * dim..].to_vec());
     let eval_y = all.labels[split..].to_vec();
     let mut model = MlpClassifier::new(8, 24, 4, &mut rng);
     let mut opt = OffloadedAdam::new(AdamConfig { lr: cfg.lr, ..Default::default() });
@@ -429,9 +424,8 @@ fn run_classifier(cfg: &ConvergenceConfig) -> ConvergenceResult {
         model.zero_grads();
         let (loss, _) = model.train_step(&train_x, &train_y);
         losses.push(loss);
-        let profile = cfg.profile_every > 0
-            && step >= cfg.profile_after
-            && step % cfg.profile_every == 0;
+        let profile =
+            cfg.profile_every > 0 && step >= cfg.profile_after && step % cfg.profile_every == 0;
         if profile {
             grad_prof.record(&flatten_grads(&mut model));
         }
@@ -457,14 +451,8 @@ fn run_gcn(cfg: &ConvergenceConfig) -> ConvergenceResult {
     let mut rng = SimRng::seed_from_u64(cfg.seed);
     let g = community_graph(48, 4, 0.28, 0.08, 8, &mut rng);
     let adj = NormAdj::from_edges(g.n, &g.edges);
-    let gcn_cfg = GcnConfig {
-        in_dim: 8,
-        hidden: 16,
-        layers: 4,
-        classes: 4,
-        alpha: 0.1,
-        lambda: 0.5,
-    };
+    let gcn_cfg =
+        GcnConfig { in_dim: 8, hidden: 16, layers: 4, classes: 4, alpha: 0.1, lambda: 0.5 };
     let mut model = GcnIIModel::new(gcn_cfg, &mut rng);
     let mut opt = OffloadedAdam::new(AdamConfig { lr: cfg.lr, ..Default::default() });
     let mut param_prof = SnapshotProfiler::new();
@@ -485,9 +473,8 @@ fn run_gcn(cfg: &ConvergenceConfig) -> ConvergenceResult {
         let (loss, acc) = model.train_step(&adj, &g.features, &g.labels);
         losses.push(loss);
         final_acc = acc;
-        let profile = cfg.profile_every > 0
-            && step >= cfg.profile_after
-            && step % cfg.profile_every == 0;
+        let profile =
+            cfg.profile_every > 0 && step >= cfg.profile_after && step % cfg.profile_every == 0;
         if profile {
             grad_prof.record(&flatten_grads(&mut model));
         }
@@ -604,18 +591,18 @@ mod tests {
             ..Default::default()
         });
         // Perplexity: lower is better; early activation ≥ late ≥ ~baseline.
-        assert!(early.final_metric >= late.final_metric * 0.98,
-            "early {} late {}", early.final_metric, late.final_metric);
+        assert!(
+            early.final_metric >= late.final_metric * 0.98,
+            "early {} late {}",
+            early.final_metric,
+            late.final_metric
+        );
         assert!(late.final_metric <= base.final_metric * 1.4);
     }
 
     #[test]
     fn profiling_produces_fig2_series() {
-        let cfg = ConvergenceConfig {
-            steps: 60,
-            profile_every: 5,
-            ..Default::default()
-        };
+        let cfg = ConvergenceConfig { steps: 60, profile_every: 5, ..Default::default() };
         let r = run(&cfg);
         assert!(!r.param_profile.is_empty());
         assert!(!r.grad_profile.is_empty());
@@ -672,12 +659,8 @@ mod tests {
         });
         assert_eq!(c.metric_name, "accuracy");
         assert!(c.final_metric > 0.5, "acc {}", c.final_metric);
-        let g = run(&ConvergenceConfig {
-            task: Task::Gcn,
-            steps: 60,
-            lr: 5e-3,
-            ..Default::default()
-        });
+        let g =
+            run(&ConvergenceConfig { task: Task::Gcn, steps: 60, lr: 5e-3, ..Default::default() });
         assert!(g.final_metric > 0.4, "acc {}", g.final_metric);
     }
 

@@ -95,9 +95,14 @@ mod tests {
     fn spend_scales_linearly_in_fleet_and_utilization() {
         let base = DatacenterModel::paper();
         let double_fleet = DatacenterModel { gpus: 512, ..base };
-        assert!((double_fleet.annual_training_spend() / base.annual_training_spend() - 2.0).abs() < 1e-9);
+        assert!(
+            (double_fleet.annual_training_spend() / base.annual_training_spend() - 2.0).abs()
+                < 1e-9
+        );
         let full_util = DatacenterModel { utilization: 1.0, ..base };
-        assert!((full_util.annual_training_spend() / base.annual_training_spend() - 2.0).abs() < 1e-9);
+        assert!(
+            (full_util.annual_training_spend() / base.annual_training_spend() - 2.0).abs() < 1e-9
+        );
     }
 
     #[test]

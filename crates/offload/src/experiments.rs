@@ -4,6 +4,7 @@
 //! EXPERIMENTS.md can be regenerated mechanically.
 
 use crate::schedule::{simulate_step, StepResult, System};
+use crate::sweep::sweep;
 use crate::timing::Calibration;
 use serde::Serialize;
 use teco_dl::ModelSpec;
@@ -28,11 +29,7 @@ pub fn table1(cal: &Calibration) -> Vec<Table1Row> {
         .iter()
         .map(|&(batch, paper_pct)| {
             let r = simulate_step(cal, &bert, batch, System::ZeroOffload);
-            Table1Row {
-                batch,
-                measured_pct: 100.0 * r.comm_fraction(),
-                paper_pct,
-            }
+            Table1Row { batch, measured_pct: 100.0 * r.comm_fraction(), paper_pct }
         })
         .collect()
 }
@@ -76,41 +73,46 @@ pub fn fig11_table4(cal: &Calibration) -> Vec<SpeedupCell> {
         ("Bert-large-cased", &[(4, 1.6), (8, 1.62), (16, 1.41)]),
         ("T5-large", &[(4, 1.73), (8, 1.58)]),
     ];
-    let mut out = Vec::new();
+    // Materialize the (model, batch) sweep points, then fan the independent
+    // simulations across cores; results come back in point order, so the
+    // rows are identical to the old serial double loop.
+    let mut points = Vec::new();
     for spec in ModelSpec::table3() {
         let batches: &[u32] = if spec.name == "GCNII" { &[1] } else { &[4, 8, 16] };
         for &batch in batches {
-            let oom = zero_offload_ooms(&spec, batch);
-            let paper_reduction = paper
-                .iter()
-                .find(|(n, _)| *n == spec.name)
-                .and_then(|(_, cells)| cells.iter().find(|(b, _)| *b == batch))
-                .map(|&(_, s)| s);
-            if oom {
-                out.push(SpeedupCell {
-                    model: spec.name.to_string(),
-                    batch,
-                    teco_cxl: f64::NAN,
-                    teco_reduction: f64::NAN,
-                    paper_reduction,
-                    oom: true,
-                });
-                continue;
-            }
-            let zero = simulate_step(cal, &spec, batch, System::ZeroOffload);
-            let cxl = simulate_step(cal, &spec, batch, System::TecoCxl);
-            let red = simulate_step(cal, &spec, batch, System::TecoReduction);
-            out.push(SpeedupCell {
-                model: spec.name.to_string(),
-                batch,
-                teco_cxl: cxl.speedup_over(&zero),
-                teco_reduction: red.speedup_over(&zero),
-                paper_reduction,
-                oom: false,
-            });
+            points.push((spec.clone(), batch));
         }
     }
-    out
+    sweep(&points, |_, (spec, batch)| {
+        let batch = *batch;
+        let oom = zero_offload_ooms(spec, batch);
+        let paper_reduction = paper
+            .iter()
+            .find(|(n, _)| *n == spec.name)
+            .and_then(|(_, cells)| cells.iter().find(|(b, _)| *b == batch))
+            .map(|&(_, s)| s);
+        if oom {
+            return SpeedupCell {
+                model: spec.name.to_string(),
+                batch,
+                teco_cxl: f64::NAN,
+                teco_reduction: f64::NAN,
+                paper_reduction,
+                oom: true,
+            };
+        }
+        let zero = simulate_step(cal, spec, batch, System::ZeroOffload);
+        let cxl = simulate_step(cal, spec, batch, System::TecoCxl);
+        let red = simulate_step(cal, spec, batch, System::TecoReduction);
+        SpeedupCell {
+            model: spec.name.to_string(),
+            batch,
+            teco_cxl: cxl.speedup_over(&zero),
+            teco_reduction: red.speedup_over(&zero),
+            paper_reduction,
+            oom: false,
+        }
+    })
 }
 
 /// Fig. 12: the per-phase time breakdown for T5-large across systems and
@@ -177,22 +179,19 @@ pub fn table6(cal: &Calibration) -> Vec<Table6Row> {
         ("GPT2-Large", (1.67, 1.79)),
         ("GPT2-11B", (1.29, 1.41)),
     ];
-    ModelSpec::table6()
-        .into_iter()
-        .zip(paper)
-        .map(|(spec, (name, paper))| {
-            assert_eq!(spec.name, name);
-            let zero = simulate_step(cal, &spec, 4, System::ZeroOffload);
-            let cxl = simulate_step(cal, &spec, 4, System::TecoCxl);
-            let red = simulate_step(cal, &spec, 4, System::TecoReduction);
-            Table6Row {
-                model: spec.name.to_string(),
-                teco_cxl: cxl.speedup_over(&zero),
-                teco_reduction: red.speedup_over(&zero),
-                paper,
-            }
-        })
-        .collect()
+    let points: Vec<_> = ModelSpec::table6().into_iter().zip(paper).collect();
+    sweep(&points, |_, (spec, (name, paper))| {
+        assert_eq!(spec.name, *name);
+        let zero = simulate_step(cal, spec, 4, System::ZeroOffload);
+        let cxl = simulate_step(cal, spec, 4, System::TecoCxl);
+        let red = simulate_step(cal, spec, 4, System::TecoReduction);
+        Table6Row {
+            model: spec.name.to_string(),
+            teco_cxl: cxl.speedup_over(&zero),
+            teco_reduction: red.speedup_over(&zero),
+            paper: *paper,
+        }
+    })
 }
 
 /// §IV-A2 ablation: training-time increase of the invalidation protocol
@@ -241,25 +240,27 @@ pub struct VolumeRow {
 
 /// Run the communication-volume experiment.
 pub fn volume_summary(cal: &Calibration) -> Vec<VolumeRow> {
-    let mut out = Vec::new();
+    let mut points = Vec::new();
     for spec in ModelSpec::table3() {
         let batches: &[u32] = if spec.name == "GCNII" { &[1] } else { &[4, 8] };
         for &batch in batches {
-            let zero = simulate_step(cal, &spec, batch, System::ZeroOffload);
-            let red = simulate_step(cal, &spec, batch, System::TecoReduction);
-            let z = zero.breakdown.comm_exposed().as_secs_f64();
-            let r = red.breakdown.comm_exposed().as_secs_f64();
-            out.push(VolumeRow {
-                model: spec.name.to_string(),
-                batch,
-                param_bytes_zero: zero.bytes_to_device,
-                param_bytes_red: red.bytes_to_device,
-                grad_bytes: zero.bytes_to_host,
-                overhead_reduction_pct: if z > 0.0 { 100.0 * (1.0 - r / z) } else { 100.0 },
-            });
+            points.push((spec.clone(), batch));
         }
     }
-    out
+    sweep(&points, |_, (spec, batch)| {
+        let zero = simulate_step(cal, spec, *batch, System::ZeroOffload);
+        let red = simulate_step(cal, spec, *batch, System::TecoReduction);
+        let z = zero.breakdown.comm_exposed().as_secs_f64();
+        let r = red.breakdown.comm_exposed().as_secs_f64();
+        VolumeRow {
+            model: spec.name.to_string(),
+            batch: *batch,
+            param_bytes_zero: zero.bytes_to_device,
+            param_bytes_red: red.bytes_to_device,
+            grad_bytes: zero.bytes_to_host,
+            overhead_reduction_pct: if z > 0.0 { 100.0 * (1.0 - r / z) } else { 100.0 },
+        }
+    })
 }
 
 /// Convenience: simulate all three systems for a model/batch.
@@ -283,7 +284,13 @@ mod tests {
     fn table1_tracks_paper_within_tolerance() {
         for row in table1(&cal()) {
             let err = (row.measured_pct - row.paper_pct).abs();
-            assert!(err < 6.0, "bs{}: {:.1} vs paper {:.1}", row.batch, row.measured_pct, row.paper_pct);
+            assert!(
+                err < 6.0,
+                "bs{}: {:.1} vs paper {:.1}",
+                row.batch,
+                row.measured_pct,
+                row.paper_pct
+            );
         }
     }
 
@@ -346,10 +353,8 @@ mod tests {
         // §VIII-B observation 2.
         let cells = fig11_table4(&cal());
         for batch in [4u32, 8] {
-            let albert = cells
-                .iter()
-                .find(|c| c.model == "Albert-xxlarge-v1" && c.batch == batch)
-                .unwrap();
+            let albert =
+                cells.iter().find(|c| c.model == "Albert-xxlarge-v1" && c.batch == batch).unwrap();
             for c in cells.iter().filter(|c| c.batch == batch && !c.oom && c.model != "GCNII") {
                 assert!(albert.teco_reduction <= c.teco_reduction + 1e-9, "{}", c.model);
             }
@@ -360,8 +365,10 @@ mod tests {
     fn fig12_param_transfer_vanishes_with_dba() {
         let rows = fig12_breakdown(&cal());
         for batch in [2u32, 4, 8] {
-            let zero = rows.iter().find(|r| r.system == "ZeRO-Offload" && r.batch == batch).unwrap();
-            let red = rows.iter().find(|r| r.system == "TECO-Reduction" && r.batch == batch).unwrap();
+            let zero =
+                rows.iter().find(|r| r.system == "ZeRO-Offload" && r.batch == batch).unwrap();
+            let red =
+                rows.iter().find(|r| r.system == "TECO-Reduction" && r.batch == batch).unwrap();
             assert!(red.param_xfer_ms < 0.1 * zero.param_xfer_ms);
             assert!(red.total_ms < zero.total_ms);
             // Compute and CPU phases are system-independent.
@@ -376,7 +383,13 @@ mod tests {
         assert_eq!(rows.len(), 4);
         for r in &rows {
             assert!(r.teco_reduction >= r.teco_cxl - 1e-9, "{}", r.model);
-            assert!((r.teco_reduction - r.paper.1).abs() < 0.45, "{}: {:.2} vs {:.2}", r.model, r.teco_reduction, r.paper.1);
+            assert!(
+                (r.teco_reduction - r.paper.1).abs() < 0.45,
+                "{}: {:.2} vs {:.2}",
+                r.model,
+                r.teco_reduction,
+                r.paper.1
+            );
         }
         // The 11B model shows the smallest gain (compute dominates).
         let gains: Vec<f64> = rows.iter().map(|r| r.teco_reduction).collect();

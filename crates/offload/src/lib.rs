@@ -17,6 +17,7 @@ pub mod memory;
 pub mod multistep;
 pub mod report;
 pub mod schedule;
+pub mod sweep;
 pub mod timing;
 
 pub use autotune::{expected_improvement, minimize, BoResult, GaussianProcess};
@@ -27,5 +28,8 @@ pub use doublebuffer::{double_buffer, DoubleBufferResult};
 pub use memory::{cpu_layout, gpu_layout, CpuLayout, GpuLayout};
 pub use multistep::{simulate_dpu_run, simulate_run, RunResult};
 pub use report::{md_table, timing_report};
-pub use schedule::{dba_payload_fraction, simulate_step, simulate_teco_dba, Breakdown, StepResult, System};
+pub use schedule::{
+    dba_payload_fraction, simulate_step, simulate_teco_dba, Breakdown, StepResult, System,
+};
+pub use sweep::sweep;
 pub use timing::Calibration;

@@ -72,12 +72,7 @@ pub fn simulate_run(
 
 /// Simulate a DPU run, including the pipeline-fill first step (which has
 /// nothing to overlap with and pays the full exposed transfer).
-pub fn simulate_dpu_run(
-    cal: &Calibration,
-    spec: &ModelSpec,
-    batch: u32,
-    steps: u64,
-) -> RunResult {
+pub fn simulate_dpu_run(cal: &Calibration, spec: &ModelSpec, batch: u32, steps: u64) -> RunResult {
     let cold = simulate_step(cal, spec, batch, System::ZeroOffload).total;
     let warm = simulate_zero_offload_dpu(cal, spec, batch).total;
     let mut step_times = Vec::with_capacity(steps as usize);

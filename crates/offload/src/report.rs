@@ -96,10 +96,8 @@ pub fn timing_report(cal: &Calibration) -> String {
     let _ = writeln!(out, "\n## §IV-A2 — invalidation vs update protocol\n");
     let ab = experiments::ablation_inval_vs_update(cal);
     let avg = ab.iter().map(|r| r.penalty_pct).sum::<f64>() / ab.len() as f64;
-    let rows: Vec<Vec<String>> = ab
-        .iter()
-        .map(|r| vec![r.model.clone(), format!("+{:.1}%", r.penalty_pct)])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        ab.iter().map(|r| vec![r.model.clone(), format!("+{:.1}%", r.penalty_pct)]).collect();
     out += &md_table(&["model", "penalty"], &rows);
     let _ = writeln!(out, "\naverage: +{avg:.1}% (paper: +56.6%)");
 
@@ -119,10 +117,8 @@ pub fn timing_report(cal: &Calibration) -> String {
             ]
         })
         .collect();
-    out += &md_table(
-        &["model", "batch", "param MB (zero)", "param MB (red)", "overhead cut"],
-        &rows,
-    );
+    out +=
+        &md_table(&["model", "batch", "param MB (zero)", "param MB (red)", "overhead cut"], &rows);
     let _ = writeln!(out, "\naverage exposed-overhead reduction: {avg:.1}% (paper: 93.7%)");
     out
 }
@@ -133,10 +129,8 @@ mod tests {
 
     #[test]
     fn md_table_shapes() {
-        let t = md_table(
-            &["a", "b"],
-            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
-        );
+        let t =
+            md_table(&["a", "b"], &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]]);
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
         assert_eq!(lines[0], "| a | b |");

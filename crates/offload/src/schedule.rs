@@ -122,7 +122,7 @@ impl StepResult {
 /// The fraction of a full line DBA with `dirty_bytes` transmits
 /// (`dirty_bytes = 4` disables truncation).
 pub fn dba_payload_fraction(dirty_bytes: u8) -> f64 {
-    assert!(dirty_bytes >= 1 && dirty_bytes <= 4, "dirty_bytes 1..=4");
+    assert!((1..=4).contains(&dirty_bytes), "dirty_bytes 1..=4");
     dirty_bytes as f64 / 4.0
 }
 
@@ -188,12 +188,8 @@ pub fn simulate_step(
     let param_bytes = spec.param_bytes();
     let chunks = cal.chunks_for(spec);
 
-    let mut br = Breakdown {
-        fwd_bwd: t_f + t_b,
-        grad_clip: t_clip,
-        adam: t_adam,
-        ..Breakdown::default()
-    };
+    let mut br =
+        Breakdown { fwd_bwd: t_f + t_b, grad_clip: t_clip, adam: t_adam, ..Breakdown::default() };
     let mut link_busy = SimTime::ZERO;
     let mut bytes_to_device = param_bytes;
 
@@ -336,7 +332,13 @@ mod tests {
                     System::TecoInvalidation,
                 ] {
                     let r = simulate_step(&c, &spec, batch, sys);
-                    assert_eq!(r.breakdown.total(), r.total, "{} {} b{batch}", spec.name, sys.name());
+                    assert_eq!(
+                        r.breakdown.total(),
+                        r.total,
+                        "{} {} b{batch}",
+                        spec.name,
+                        sys.name()
+                    );
                     assert!(r.total > SimTime::ZERO);
                 }
             }

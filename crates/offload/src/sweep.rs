@@ -1,0 +1,103 @@
+//! Parallel experiment-sweep runner.
+//!
+//! Every paper table/figure is a sweep over independent points
+//! (model × batch × config), each of which runs a deterministic simulation.
+//! This module fans those points across cores with scoped threads while
+//! keeping the output *bit-identical* to a serial run: workers claim
+//! indices from a shared atomic counter, and results are scattered back
+//! into index order, so neither thread count nor scheduling affects the
+//! returned `Vec`. Each point's computation is itself deterministic (seeded
+//! RNGs, no shared state), which makes the whole sweep reproducible.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Map `f` over `items` in parallel, returning results in item order.
+///
+/// `f` receives `(index, &item)` and must be safe to call concurrently
+/// from multiple threads (it only gets `&self` access to captured state).
+/// Falls back to a plain serial loop when the machine has one core or the
+/// sweep has at most one point.
+pub fn sweep<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = teco_dl::num_cores().min(n);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    // Dynamic dispatch: uneven point costs (11B models next
+                    // to GCNII) would starve a static partition.
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("sweep worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots.into_iter().map(|r| r.expect("every index claimed exactly once")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order() {
+        let items: Vec<u64> = (0..100).collect();
+        // Uneven per-item cost scrambles completion order on purpose.
+        let out = sweep(&items, |i, &x| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_serial_run() {
+        let items: Vec<u64> = (0..64).map(|i| i * 31 + 7).collect();
+        let work = |_: usize, &x: &u64| -> u64 {
+            // A small deterministic computation with float involvement,
+            // mirroring the simulate_step call shape.
+            (0..x % 97).fold(x, |a, b| a.wrapping_mul(6364136223846793005).wrapping_add(b))
+        };
+        let serial: Vec<u64> = items.iter().enumerate().map(|(i, x)| work(i, x)).collect();
+        assert_eq!(sweep(&items, work), serial);
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(sweep(&empty, |_, &x| x).is_empty());
+        assert_eq!(sweep(&[41u32], |i, &x| x + i as u32 + 1), vec![42]);
+    }
+
+    #[test]
+    fn indices_are_correct() {
+        let items = vec!["a", "b", "c", "d"];
+        let out = sweep(&items, |i, s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c", "3:d"]);
+    }
+}

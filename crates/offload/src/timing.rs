@@ -100,14 +100,12 @@ impl Calibration {
     /// CPU gradient-clipping time (Fig. 1 phase 4, "gradient optimizer" in
     /// the Fig. 12 breakdown).
     pub fn clip_time(&self, spec: &ModelSpec) -> SimTime {
-        self.cpu_mem_bw
-            .transfer_time(spec.params * self.clip_bytes_per_param)
+        self.cpu_mem_bw.transfer_time(spec.params * self.clip_bytes_per_param)
     }
 
     /// CPU ADAM time (Fig. 12 "parameter optimization").
     pub fn adam_time(&self, spec: &ModelSpec) -> SimTime {
-        self.cpu_mem_bw
-            .transfer_time(spec.params * self.adam_bytes_per_param)
+        self.cpu_mem_bw.transfer_time(spec.params * self.adam_bytes_per_param)
     }
 
     /// The rate at which the CPU optimizer *produces* updated parameter

@@ -11,10 +11,10 @@ use teco_sim::SimTime;
 /// A randomized-but-plausible model spec.
 fn spec_strategy() -> impl Strategy<Value = ModelSpec> {
     (
-        50u64..2_000,      // params in millions
-        2u32..64,          // layers
+        50u64..2_000, // params in millions
+        2u32..64,     // layers
         prop::sample::select(vec![64u32, 128, 256, 512]),
-        1u32..25,          // attention intensity ×10
+        1u32..25, // attention intensity ×10
     )
         .prop_map(|(pm, layers, seq, ai)| ModelSpec {
             name: "random",

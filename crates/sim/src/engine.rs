@@ -2,13 +2,33 @@
 //!
 //! The engine is deliberately monomorphic: a simulation is a [`Model`] with a
 //! concrete `Event` type, and the [`Engine`] owns both the model state and the
-//! pending-event heap. Events scheduled for the same timestamp are delivered
-//! in scheduling order (FIFO tie-break via a sequence number), which makes
-//! every simulation in this workspace bit-reproducible.
+//! pending-event calendar. Events scheduled for the same timestamp are
+//! delivered in scheduling order (FIFO tie-break via a sequence number), which
+//! makes every simulation in this workspace bit-reproducible.
+//!
+//! # Calendar structure
+//!
+//! The [`Scheduler`] is a hybrid calendar/bucket queue rather than a single
+//! comparison-based heap. Near-future events land in fixed-width time buckets
+//! (O(1) insert); events beyond the bucket window spill into an overflow heap.
+//! Buckets are promoted one at a time into a small "current" heap as the clock
+//! reaches them, which restores the exact `(time, seq)` total order — the
+//! observable event sequence is identical to the old global-heap
+//! implementation, bit for bit. When the whole window drains, it is rebased
+//! onto the earliest overflow event. The win is that heap operations now act
+//! on one bucket's worth of events (typically a handful) instead of the whole
+//! calendar.
 
 use crate::time::SimTime;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// log2 of the bucket width: 4096 ps ≈ 4 ns per bucket, a good match for the
+/// line-transfer and DRAM timescales this workspace simulates.
+const BUCKET_WIDTH_LOG2: u32 = 12;
+const BUCKET_WIDTH_PS: u64 = 1 << BUCKET_WIDTH_LOG2;
+/// Buckets in the near-future window (~1 µs of simulated time).
+const NUM_BUCKETS: usize = 256;
 
 /// A simulation model: owns the world state and reacts to events.
 pub trait Model {
@@ -45,11 +65,32 @@ impl<E> Ord for Entry<E> {
 }
 
 /// The event calendar handed to [`Model::handle`] for scheduling follow-ups.
+///
+/// See the module docs for the hybrid calendar/bucket-queue layout. The
+/// invariants tying the three containers together:
+///
+/// - `current` holds every pending event with `time < promoted_end`;
+/// - `buckets[i]` holds events in `[window_start + i·W, window_start + (i+1)·W)`
+///   for `i >= cursor` (earlier buckets have been promoted and are empty);
+/// - `overflow` holds events at or beyond `window_start + NUM_BUCKETS·W`.
+///
+/// Causality (`schedule_at` asserts `at >= now`) guarantees nothing is ever
+/// inserted below an already-promoted region, so `current`'s minimum is
+/// always the global minimum.
 pub struct Scheduler<E> {
     now: SimTime,
     seq: u64,
-    heap: BinaryHeap<Reverse<Entry<E>>>,
     scheduled: u64,
+    pending: usize,
+    /// Start of the bucket window (ps, multiple of the bucket width).
+    window_start: u64,
+    /// Next bucket index to promote.
+    cursor: usize,
+    /// Absolute time (ps) below which events go straight to `current`.
+    promoted_end: u64,
+    buckets: Vec<Vec<Entry<E>>>,
+    current: BinaryHeap<Reverse<Entry<E>>>,
+    overflow: BinaryHeap<Reverse<Entry<E>>>,
 }
 
 impl<E> Scheduler<E> {
@@ -57,8 +98,14 @@ impl<E> Scheduler<E> {
         Scheduler {
             now: SimTime::ZERO,
             seq: 0,
-            heap: BinaryHeap::new(),
             scheduled: 0,
+            pending: 0,
+            window_start: 0,
+            cursor: 0,
+            promoted_end: 0,
+            buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            current: BinaryHeap::new(),
+            overflow: BinaryHeap::new(),
         }
     }
 
@@ -68,18 +115,30 @@ impl<E> Scheduler<E> {
         self.now
     }
 
+    #[inline]
+    fn window_end(&self) -> u64 {
+        self.window_start + (NUM_BUCKETS as u64) * BUCKET_WIDTH_PS
+    }
+
     /// Schedule `event` at absolute time `at`. Panics if `at` is in the past —
     /// a causality violation is always a bug in the model.
+    #[inline]
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        assert!(
-            at >= self.now,
-            "causality violation: scheduling at {at} before now={}",
-            self.now
-        );
+        assert!(at >= self.now, "causality violation: scheduling at {at} before now={}", self.now);
         let seq = self.seq;
         self.seq += 1;
         self.scheduled += 1;
-        self.heap.push(Reverse(Entry { time: at, seq, event }));
+        self.pending += 1;
+        let entry = Entry { time: at, seq, event };
+        let t = at.0;
+        if t < self.promoted_end {
+            self.current.push(Reverse(entry));
+        } else if t < self.window_end() {
+            let idx = ((t - self.window_start) >> BUCKET_WIDTH_LOG2) as usize;
+            self.buckets[idx].push(entry);
+        } else {
+            self.overflow.push(Reverse(entry));
+        }
     }
 
     /// Schedule `event` after a relative delay.
@@ -88,10 +147,21 @@ impl<E> Scheduler<E> {
         self.schedule_at(self.now + delay, event);
     }
 
+    /// Enqueue a burst of events in one call. Sequence numbers are assigned
+    /// in iteration order, so equal-time events within the batch keep their
+    /// relative order — exactly as if `schedule_at` had been called per
+    /// event. Bucket routing makes each insert O(1); no heap is touched for
+    /// near-future times.
+    pub fn schedule_batch(&mut self, events: impl IntoIterator<Item = (SimTime, E)>) {
+        for (at, event) in events {
+            self.schedule_at(at, event);
+        }
+    }
+
     /// Number of events currently pending.
     #[inline]
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.pending
     }
 
     /// Total number of events ever scheduled.
@@ -100,10 +170,66 @@ impl<E> Scheduler<E> {
         self.scheduled
     }
 
+    /// Promote buckets (and, when the window drains, rebase it onto the
+    /// overflow heap) until `current` holds the global minimum or the
+    /// calendar is proven empty.
+    #[cold]
+    fn ensure_current(&mut self) {
+        while self.current.is_empty() {
+            // Skip empty buckets cheaply; promote the first non-empty one.
+            while self.cursor < NUM_BUCKETS && self.buckets[self.cursor].is_empty() {
+                self.cursor += 1;
+            }
+            if self.cursor < NUM_BUCKETS {
+                let bucket = &mut self.buckets[self.cursor];
+                self.cursor += 1;
+                self.promoted_end = self.window_start + (self.cursor as u64) * BUCKET_WIDTH_PS;
+                // Rebuild rather than push one-by-one: heapify is O(n), and
+                // reusing the heap's backing Vec keeps this allocation-free
+                // in steady state.
+                let mut backing = std::mem::take(&mut self.current).into_vec();
+                backing.extend(bucket.drain(..).map(Reverse));
+                self.current = BinaryHeap::from(backing);
+                return;
+            }
+            // Window exhausted: rebase onto the earliest far-future event.
+            let Some(Reverse(head)) = self.overflow.peek() else {
+                return; // truly empty
+            };
+            self.window_start = (head.time.0 >> BUCKET_WIDTH_LOG2) << BUCKET_WIDTH_LOG2;
+            self.cursor = 0;
+            self.promoted_end = self.window_start;
+            let window_end = self.window_end();
+            while let Some(Reverse(head)) = self.overflow.peek() {
+                if head.time.0 >= window_end {
+                    break;
+                }
+                let Reverse(entry) = self.overflow.pop().expect("peeked entry");
+                let idx = ((entry.time.0 - self.window_start) >> BUCKET_WIDTH_LOG2) as usize;
+                self.buckets[idx].push(entry);
+            }
+        }
+    }
+
+    /// Earliest pending event time, if any. Promotes internally but does not
+    /// consume — `pop` afterwards returns exactly this event.
+    #[inline]
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        if self.current.is_empty() {
+            self.ensure_current();
+        }
+        self.current.peek().map(|Reverse(e)| e.time)
+    }
+
+    #[inline]
     fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|Reverse(e)| {
+        if self.current.is_empty() {
+            self.ensure_current();
+        }
+        self.current.pop().map(|Reverse(e)| {
             debug_assert!(e.time >= self.now);
             self.now = e.time;
+            self.pending -= 1;
             (e.time, e.event)
         })
     }
@@ -119,16 +245,22 @@ pub struct Engine<M: Model> {
 impl<M: Model> Engine<M> {
     /// Create an engine around `model` with an empty calendar.
     pub fn new(model: M) -> Self {
-        Engine {
-            model,
-            sched: Scheduler::new(),
-            processed: 0,
-        }
+        Engine { model, sched: Scheduler::new(), processed: 0 }
     }
 
     /// Seed an initial event at time `at` before running.
     pub fn prime(&mut self, at: SimTime, event: M::Event) -> &mut Self {
         self.sched.schedule_at(at, event);
+        self
+    }
+
+    /// Seed a burst of initial events before running (see
+    /// [`Scheduler::schedule_batch`]).
+    pub fn prime_batch(
+        &mut self,
+        events: impl IntoIterator<Item = (SimTime, M::Event)>,
+    ) -> &mut Self {
+        self.sched.schedule_batch(events);
         self
     }
 
@@ -176,8 +308,8 @@ impl<M: Model> Engine<M> {
     /// Run until the calendar is empty or the next event is strictly after
     /// `deadline`. Events at exactly `deadline` are processed.
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
-        while let Some(Reverse(head)) = self.sched.heap.peek() {
-            if head.time > deadline {
+        while let Some(head) = self.sched.peek_time() {
+            if head > deadline {
                 break;
             }
             self.step();
@@ -299,6 +431,52 @@ mod tests {
         let mut eng = Engine::new(Bad);
         eng.prime(SimTime::from_ns(10), ());
         eng.run();
+    }
+
+    #[test]
+    fn far_future_events_cross_window_rebase() {
+        // Events far beyond the ~1 µs bucket window land in the overflow
+        // heap and must still come out in exact (time, seq) order across
+        // several window rebases.
+        let mut eng = Engine::new(recorder());
+        let times_ns = [5u64, 3_000, 2_999, 40_000, 39_999, 1_000_000, 999_999, 7];
+        for (i, &t) in times_ns.iter().enumerate() {
+            eng.prime(SimTime::from_ns(t), Ev::Tag(i as u32));
+        }
+        eng.run();
+        let got: Vec<(u64, u32)> =
+            eng.model().log.iter().map(|&(t, tag)| (t.as_ns(), tag)).collect();
+        let mut want: Vec<(u64, u32)> =
+            times_ns.iter().enumerate().map(|(i, &t)| (t, i as u32)).collect();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn batch_scheduling_preserves_fifo_order() {
+        let mut eng = Engine::new(recorder());
+        // Two batches at the same timestamp plus an interleaved single event:
+        // delivery must follow global scheduling order.
+        eng.prime_batch((0..50).map(|i| (SimTime::from_ns(5), Ev::Tag(i))));
+        eng.prime(SimTime::from_ns(5), Ev::Tag(50));
+        eng.prime_batch((51..100).map(|i| (SimTime::from_ns(5), Ev::Tag(i))));
+        eng.run();
+        let tags: Vec<u32> = eng.model().log.iter().map(|&(_, t)| t).collect();
+        assert_eq!(tags, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn same_bucket_reschedule_during_drain() {
+        // A chain with a 10 ns period repeatedly schedules into the bucket
+        // currently being drained and its successors; order must hold.
+        let mut eng = Engine::new(Recorder { log: vec![], chain_left: 1000 });
+        eng.prime(SimTime::ZERO, Ev::Chain);
+        let end = eng.run();
+        assert_eq!(end, SimTime::from_ns(10_000));
+        assert_eq!(eng.events_processed(), 1001);
+        for (i, &(t, _)) in eng.model().log.iter().enumerate() {
+            assert_eq!(t, SimTime::from_ns(10 * i as u64));
+        }
     }
 
     #[test]

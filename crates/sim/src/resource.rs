@@ -76,7 +76,12 @@ impl SerialServer {
     /// pipeline `latency` before its bytes start flowing. Because service is
     /// FIFO and pipelined, the latency delays only this job's start, not the
     /// server's availability for subsequent bytes.
-    pub fn submit_with_latency(&mut self, ready: SimTime, bytes: u64, latency: SimTime) -> Interval {
+    pub fn submit_with_latency(
+        &mut self,
+        ready: SimTime,
+        bytes: u64,
+        latency: SimTime,
+    ) -> Interval {
         assert!(
             ready >= self.last_ready,
             "SerialServer requires nondecreasing ready times ({ready} < {})",

@@ -4,22 +4,31 @@
 //! explicitly, so experiments are reproducible run-to-run and the bench
 //! harness can report stable numbers. Streams can be forked per component so
 //! adding draws in one module does not perturb another.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (public-domain algorithm by
+//! Blackman & Vigna) seeded through SplitMix64, so the workspace carries no
+//! external RNG dependency and the stream is stable across toolchains.
 
 /// A small, fast, explicitly-seeded RNG for simulation use.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Seed from a 64-bit value.
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng {
-            inner: SmallRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        SimRng { state: std::array::from_fn(|_| splitmix64(&mut sm)) }
     }
 
     /// Derive an independent child stream for a named component. The label
@@ -31,13 +40,13 @@ impl SimRng {
             h ^= b as u64;
             h = h.wrapping_mul(0x1000_0000_01b3);
         }
-        let salt: u64 = self.inner.gen();
+        let salt = self.next_u64();
         SimRng::seed_from_u64(h ^ salt)
     }
 
-    /// Uniform in `[0, 1)`.
+    /// Uniform in `[0, 1)` with 53 bits of precision.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform in `[lo, hi)`.
@@ -46,10 +55,10 @@ impl SimRng {
         lo + (hi - lo) * self.uniform()
     }
 
-    /// Uniform integer in `[0, n)`.
+    /// Uniform integer in `[0, n)` (Lemire widening-multiply reduction).
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0);
-        self.inner.gen_range(0..n)
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// A standard normal draw (Box–Muller).
@@ -77,22 +86,26 @@ impl SimRng {
         -(1.0 - self.uniform()).ln() / rate
     }
 
-    /// A raw u64.
+    /// A raw u64 (xoshiro256++ output function).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.index(i + 1);
             xs.swap(i, j);
         }
-    }
-
-    /// Access the underlying `rand` RNG for API interop.
-    pub fn raw(&mut self) -> &mut SmallRng {
-        &mut self.inner
     }
 }
 
@@ -138,6 +151,16 @@ mod tests {
             let y = r.uniform_range(5.0, 6.0);
             assert!((5.0..6.0).contains(&y));
         }
+    }
+
+    #[test]
+    fn index_covers_domain() {
+        let mut r = SimRng::seed_from_u64(17);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.index(8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]

@@ -19,13 +19,7 @@ pub struct OnlineStats {
 impl OnlineStats {
     /// Empty accumulator.
     pub fn new() -> Self {
-        OnlineStats {
-            n: 0,
-            mean: 0.0,
-            m2: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-        }
+        OnlineStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
     }
 
     /// Record one observation.
@@ -105,14 +99,7 @@ impl Histogram {
     /// `nbins` equal-width bins over `[lo, hi)`.
     pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
         assert!(hi > lo && nbins > 0, "bad histogram spec");
-        Histogram {
-            lo,
-            hi,
-            bins: vec![0; nbins],
-            underflow: 0,
-            overflow: 0,
-            count: 0,
-        }
+        Histogram { lo, hi, bins: vec![0; nbins], underflow: 0, overflow: 0, count: 0 }
     }
 
     /// Record one observation.
@@ -189,12 +176,7 @@ impl Default for TimeWeighted {
 impl TimeWeighted {
     /// New tracker; the value is undefined until the first `set`.
     pub fn new() -> Self {
-        TimeWeighted {
-            last_t: SimTime::ZERO,
-            last_v: 0.0,
-            weighted_sum: 0.0,
-            started: false,
-        }
+        TimeWeighted { last_t: SimTime::ZERO, last_v: 0.0, weighted_sum: 0.0, started: false }
     }
 
     /// Set the value at time `t` (must be nondecreasing).
@@ -304,7 +286,7 @@ mod tests {
         tw.set(SimTime::ZERO, 0.0);
         tw.set(SimTime::from_secs(1), 10.0); // value 0 for 1 s
         tw.set(SimTime::from_secs(3), 0.0); // value 10 for 2 s
-        // Over [0, 4]: (0·1 + 10·2 + 0·1) / 4 = 5
+                                            // Over [0, 4]: (0·1 + 10·2 + 0·1) / 4 = 5
         let avg = tw.average_until(SimTime::from_secs(4));
         assert!((avg - 5.0).abs() < 1e-9);
     }

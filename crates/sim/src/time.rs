@@ -17,7 +17,9 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// The same type is used for instants and durations; the simulation code in
 /// this workspace never needs an affine/vector distinction, and a single type
 /// keeps the arithmetic obvious.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(pub u64);
 
 impl SimTime {
@@ -239,10 +241,7 @@ impl Bandwidth {
     /// Scale the bandwidth by an efficiency factor in (0, 1], e.g. the
     /// paper's 94.3 % CXL protocol efficiency over raw PCIe.
     pub fn scaled(self, efficiency: f64) -> Self {
-        assert!(
-            efficiency > 0.0 && efficiency <= 1.0,
-            "efficiency must be in (0,1]: {efficiency}"
-        );
+        assert!(efficiency > 0.0 && efficiency <= 1.0, "efficiency must be in (0,1]: {efficiency}");
         Self::from_bytes_per_sec(self.bytes_per_sec * efficiency)
     }
 
@@ -304,9 +303,8 @@ mod tests {
 
     #[test]
     fn sum_and_fraction() {
-        let total: SimTime = [SimTime::from_ns(1), SimTime::from_ns(2), SimTime::from_ns(3)]
-            .into_iter()
-            .sum();
+        let total: SimTime =
+            [SimTime::from_ns(1), SimTime::from_ns(2), SimTime::from_ns(3)].into_iter().sum();
         assert_eq!(total.as_ns(), 6);
         assert!((SimTime::from_ns(3).fraction_of(total) - 0.5).abs() < 1e-12);
         assert_eq!(SimTime::from_ns(3).fraction_of(SimTime::ZERO), 0.0);

@@ -36,7 +36,10 @@ fn main() {
     let cal = Calibration::paper();
     let bert = ModelSpec::bert_large();
     println!("\nBert-large-cased step time (calibrated simulator):");
-    println!("{:>8} {:>14} {:>14} {:>14} {:>9}", "batch", "ZeRO-Offload", "TECO-CXL", "TECO-Red", "speedup");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>9}",
+        "batch", "ZeRO-Offload", "TECO-CXL", "TECO-Red", "speedup"
+    );
     for batch in [4u32, 8, 16] {
         let zero = simulate_step(&cal, &bert, batch, System::ZeroOffload);
         let cxl = simulate_step(&cal, &bert, batch, System::TecoCxl);

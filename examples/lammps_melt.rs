@@ -11,7 +11,12 @@ use teco::sim::SimRng;
 fn main() {
     let mut rng = SimRng::seed_from_u64(2024);
     let mut sys = LjSystem::fcc_melt(5, 0.8442, 1.44, 0.002, &mut rng);
-    println!("3D Lennard-Jones melt: {} atoms, box {:.2} sigma, dt {}", sys.n(), sys.box_len, sys.dt);
+    println!(
+        "3D Lennard-Jones melt: {} atoms, box {:.2} sigma, dt {}",
+        sys.n(),
+        sys.box_len,
+        sys.dt
+    );
     println!("{:>6} {:>10} {:>12} {:>12} {:>12}", "step", "T*", "KE", "PE", "E_total");
     let e0 = sys.total_energy();
     for step in 0..=100 {
@@ -41,5 +46,8 @@ fn main() {
     println!("  transfer share of step:  {:>5.1}%  (27%)", r.baseline_transfer_pct);
     println!("  TECO improvement:        {:>5.1}%  (21.5%)", r.improvement_pct);
     println!("  DBA volume reduction:    {:>5.1}%  (17%)", r.volume_reduction_pct);
-    println!("  CXL : DBA contribution:  {:>4.0}% : {:.0}%  (78% : 22%)", r.cxl_contribution_pct, r.dba_contribution_pct);
+    println!(
+        "  CXL : DBA contribution:  {:>4.0}% : {:.0}%  (78% : 22%)",
+        r.cxl_contribution_pct, r.dba_contribution_pct
+    );
 }

@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --release --example protocol_trace`
 
-use teco::cxl::{
-    unpack, Agent, CoherenceEngine, FlitPacker, MesiState, ProtocolMode,
-};
+use teco::cxl::{unpack, Agent, CoherenceEngine, FlitPacker, MesiState, ProtocolMode};
 use teco::mem::{Addr, LineData, LINE_BYTES};
 
 fn state(s: MesiState) -> &'static str {
@@ -27,29 +25,46 @@ fn trace(mode: ProtocolMode) {
         line.set_word(w, 0x4000_0000 + w as u32);
     }
     let st = eng.line_state(addr);
-    println!("start:            Cs={} Gs={}  (giant cache holds the initial copy)", state(st.cs), state(st.gs));
+    println!(
+        "start:            Cs={} Gs={}  (giant cache holds the initial copy)",
+        state(st.cs),
+        state(st.gs)
+    );
 
     let mut all_packets = Vec::new();
     let pkts = eng.write(Agent::Cpu, addr, line.bytes(), false);
     let st = eng.line_state(addr);
-    println!("CPU updates line: Cs={} Gs={}  messages: {:?}",
-        state(st.cs), state(st.gs),
-        pkts.iter().map(|p| p.opcode).collect::<Vec<_>>());
+    println!(
+        "CPU updates line: Cs={} Gs={}  messages: {:?}",
+        state(st.cs),
+        state(st.gs),
+        pkts.iter().map(|p| p.opcode).collect::<Vec<_>>()
+    );
     all_packets.extend(pkts);
 
     let pkts = eng.read(Agent::Device, addr, LINE_BYTES);
     let st = eng.line_state(addr);
-    println!("GPU reads line:   Cs={} Gs={}  messages: {:?}{}",
-        state(st.cs), state(st.gs),
+    println!(
+        "GPU reads line:   Cs={} Gs={}  messages: {:?}{}",
+        state(st.cs),
+        state(st.gs),
         pkts.iter().map(|p| p.opcode).collect::<Vec<_>>(),
-        if pkts.is_empty() { "  ← hit, zero traffic" } else { "  ← ON-DEMAND transfer on the critical path" });
+        if pkts.is_empty() {
+            "  ← hit, zero traffic"
+        } else {
+            "  ← ON-DEMAND transfer on the critical path"
+        }
+    );
     all_packets.extend(pkts);
 
     let pkts = eng.flush(Agent::Cpu, &[addr], LINE_BYTES);
     let st = eng.line_state(addr);
-    println!("CPU flushes:      Cs={} Gs={}  messages: {:?}",
-        state(st.cs), state(st.gs),
-        pkts.iter().map(|p| p.opcode).collect::<Vec<_>>());
+    println!(
+        "CPU flushes:      Cs={} Gs={}  messages: {:?}",
+        state(st.cs),
+        state(st.gs),
+        pkts.iter().map(|p| p.opcode).collect::<Vec<_>>()
+    );
     all_packets.extend(pkts);
 
     // Wire image.
@@ -61,9 +76,13 @@ fn trace(mode: ProtocolMode) {
     let flits = packer.finish();
     let back = unpack(&flits).expect("wire image reparses");
     assert_eq!(back.len(), all_packets.len());
-    println!("wire image: {} packets → {} flits ({} bytes); data moved: {} B",
-        all_packets.len(), flits.len(), wire,
-        eng.to_device.data_bytes + eng.to_host.data_bytes);
+    println!(
+        "wire image: {} packets → {} flits ({} bytes); data moved: {} B",
+        all_packets.len(),
+        flits.len(),
+        wire,
+        eng.to_device.data_bytes + eng.to_host.data_bytes
+    );
 }
 
 fn main() {

@@ -16,9 +16,7 @@ use teco::sim::SimTime;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // act_aft_steps = 2 so the demo shows both modes quickly.
-    let cfg = TecoConfig::default()
-        .with_act_aft_steps(2)
-        .with_giant_cache_bytes(1 << 20);
+    let cfg = TecoConfig::default().with_act_aft_steps(2).with_giant_cache_bytes(1 << 20);
     let mut session = TecoSession::new(cfg)?;
 
     // Tensor mapping is done once, at allocation time (§VI: hidden from
@@ -43,19 +41,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // The ONE user-visible TECO call (Listing 1, line 6).
         let dba = session.check_activation(step);
 
-        // optimizer.step(): the CPU sweeps parameters; each updated line is
-        // pushed at writeback time. We perturb only the low two bytes, the
-        // §III common case, so DBA reconstructs exactly.
-        for i in 0..n_lines {
-            let addr = Addr(params.0 + i * 64);
-            let stale = session.device_read_line(addr)?;
-            let mut fresh = stale;
-            for w in 0..16 {
-                fresh.set_word(w, (stale.word(w) & 0xFFFF_0000) | (0x1000 + step as u32 * 64 + i as u32));
-            }
-            session.push_param_line(addr, fresh, now)?;
-            // The GPU copy is bit-exact after the merge.
-            assert_eq!(session.device_read_line(addr)?, fresh);
+        // optimizer.step(): the CPU sweeps parameters and ships the whole
+        // updated run through the bulk path (one Aggregator pass, one
+        // device-side merge). We perturb only the low two bytes, the §III
+        // common case, so DBA reconstructs exactly.
+        let fresh_lines: Vec<LineData> = (0..n_lines)
+            .map(|i| {
+                let stale = session.device_read_line(Addr(params.0 + i * 64)).unwrap();
+                let mut fresh = stale;
+                for w in 0..16 {
+                    fresh.set_word(
+                        w,
+                        (stale.word(w) & 0xFFFF_0000) | (0x1000 + step as u32 * 64 + i as u32),
+                    );
+                }
+                fresh
+            })
+            .collect();
+        session.push_param_lines(params, &fresh_lines, now)?;
+        // The GPU copy is bit-exact after the merge.
+        for (i, fresh) in fresh_lines.iter().enumerate() {
+            assert_eq!(session.device_read_line(Addr(params.0 + i as u64 * 64))?, *fresh);
         }
         now = session.cxlfence_params(now);
 
@@ -66,8 +72,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let s = session.stats();
-    println!("\nparameter lines pushed: {} ({} payload bytes to device)", s.param_lines, s.bytes_to_device);
-    println!("gradient  lines pushed: {} ({} payload bytes to host)", s.grad_lines, s.bytes_to_host);
+    println!(
+        "\nparameter lines pushed: {} ({} payload bytes to device)",
+        s.param_lines, s.bytes_to_device
+    );
+    println!(
+        "gradient  lines pushed: {} ({} payload bytes to host)",
+        s.grad_lines, s.bytes_to_host
+    );
     println!("CXLFENCE calls: {} (two per step, §VI)", session.fence_stats().calls);
     println!(
         "link volume: {} B down, {} B up",

@@ -83,10 +83,8 @@ fn timing_experiments_are_reproducible() {
     let go = || {
         let t1: Vec<f64> = experiments::table1(&cal).iter().map(|r| r.measured_pct).collect();
         let t6: Vec<f64> = experiments::table6(&cal).iter().map(|r| r.teco_reduction).collect();
-        let ab: Vec<f64> = experiments::ablation_inval_vs_update(&cal)
-            .iter()
-            .map(|r| r.penalty_pct)
-            .collect();
+        let ab: Vec<f64> =
+            experiments::ablation_inval_vs_update(&cal).iter().map(|r| r.penalty_pct).collect();
         (t1, t6, ab)
     };
     let a = go();

@@ -42,10 +42,10 @@ fn hardware_path_matches_optimizer_hook_on_real_training() {
         let mut lines = Vec::with_capacity(n_lines);
         for chunk_idx in 0..n_lines {
             let mut words = [0f32; WORDS_PER_LINE];
-            for w in 0..WORDS_PER_LINE {
+            for (w, slot) in words.iter_mut().enumerate() {
                 let idx = chunk_idx * WORDS_PER_LINE + w;
                 if idx < vals.len() {
-                    words[w] = vals[idx];
+                    *slot = vals[idx];
                 }
             }
             lines.push(LineData::from_f32(words));
@@ -53,9 +53,7 @@ fn hardware_path_matches_optimizer_hook_on_real_training() {
         lines
     };
     let init = snapshot(&mut model);
-    for (i, line) in to_lines(&init).into_iter().enumerate() {
-        session.push_param_line(Addr(base.0 + i as u64 * 64), line, SimTime::ZERO).unwrap();
-    }
+    session.push_param_lines(base, &to_lines(&init), SimTime::ZERO).unwrap();
 
     let seq = [1usize, 2, 3, 4, 5, 6];
     let mut now = SimTime::ZERO;
@@ -76,9 +74,7 @@ fn hardware_path_matches_optimizer_hook_on_real_training() {
             let name = p.name.clone();
             fresh_master.extend_from_slice(opt.master(&name).unwrap());
         });
-        for (i, line) in to_lines(&fresh_master).into_iter().enumerate() {
-            session.push_param_line(Addr(base.0 + i as u64 * 64), line, now).unwrap();
-        }
+        session.push_param_lines(base, &to_lines(&fresh_master), now).unwrap();
         now = session.cxlfence_params(now);
 
         // Compare device copy to the model's working copy.
@@ -86,11 +82,11 @@ fn hardware_path_matches_optimizer_hook_on_real_training() {
         for (li, _) in to_lines(&gpu).iter().enumerate() {
             let device = session.device_read_line(Addr(base.0 + li as u64 * 64)).unwrap();
             let words = device.to_f32();
-            for w in 0..WORDS_PER_LINE {
+            for (w, word) in words.iter().enumerate() {
                 let idx = li * WORDS_PER_LINE + w;
                 if idx < gpu.len() {
                     assert_eq!(
-                        words[w].to_bits(),
+                        word.to_bits(),
                         gpu[idx].to_bits(),
                         "step {step} param {idx} diverged (dba={dba})"
                     );

@@ -15,11 +15,8 @@ fn cal() -> Calibration {
 #[test]
 fn claim_average_training_time_reduction() {
     let cells = experiments::fig11_table4(&cal());
-    let savings: Vec<f64> = cells
-        .iter()
-        .filter(|c| !c.oom)
-        .map(|c| 100.0 * (1.0 - 1.0 / c.teco_reduction))
-        .collect();
+    let savings: Vec<f64> =
+        cells.iter().filter(|c| !c.oom).map(|c| 100.0 * (1.0 - 1.0 / c.teco_reduction)).collect();
     let avg = savings.iter().sum::<f64>() / savings.len() as f64;
     let max = savings.iter().fold(0.0f64, |a, &b| a.max(b));
     assert!(avg > 22.0 && avg < 45.0, "average saving {avg:.1}% (paper 33.7%)");
@@ -107,10 +104,7 @@ fn claim_model_size_sensitivity() {
 #[test]
 fn claim_fig12_hiding() {
     let rows = experiments::fig12_breakdown(&cal());
-    let red8 = rows
-        .iter()
-        .find(|r| r.system == "TECO-Reduction" && r.batch == 8)
-        .unwrap();
+    let red8 = rows.iter().find(|r| r.system == "TECO-Reduction" && r.batch == 8).unwrap();
     assert!(red8.grad_xfer_ms < 3.0, "grad exposure {:.1} ms", red8.grad_xfer_ms);
     for r in rows.iter().filter(|r| r.system == "TECO-Reduction") {
         assert!(r.param_xfer_ms < 5.0, "param exposure {:.1} ms", r.param_xfer_ms);

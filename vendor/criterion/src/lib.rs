@@ -1,0 +1,259 @@
+//! Offline vendored stand-in for `criterion` with real measurements.
+//!
+//! Implements the subset of the criterion API the workspace benches use
+//! (`benchmark_group`, `throughput`, `bench_function`, `iter`, `black_box`,
+//! `criterion_group!`/`criterion_main!`). Measurement model: warm up the
+//! routine, pick an iteration count targeting ~20 ms per sample, take 15
+//! samples, and report the median per-iteration time.
+//!
+//! Besides the console report, every run merges its medians into
+//! `bench_results/criterion_medians.json` (`"group/name"` →
+//! `{median_ns, throughput}`), which `generate_report` consumes to build
+//! `bench_results/perf_summary.json`.
+
+use serde::Value;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(150);
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+const SAMPLES: usize = 15;
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Clone, Debug)]
+struct RecordedBench {
+    group: String,
+    name: String,
+    median_ns: f64,
+    throughput: Option<Throughput>,
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<RecordedBench>,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        record(self, String::new(), id.to_string(), None, f);
+        self
+    }
+
+    /// Print the final table and persist medians for report tooling.
+    pub fn final_summary(&self) {
+        if self.results.is_empty() {
+            return;
+        }
+        println!();
+        println!("{:<44} {:>14} {:>18}", "benchmark", "median", "throughput");
+        for r in &self.results {
+            println!(
+                "{:<44} {:>14} {:>18}",
+                full_name(r),
+                format_time(r.median_ns),
+                format_throughput(r.median_ns, r.throughput),
+            );
+        }
+        if let Err(e) = persist(&self.results) {
+            eprintln!("criterion (vendored): could not persist medians: {e}");
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        record(self.criterion, self.name.clone(), id.to_string(), self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    median_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup: run until the budget elapses, estimating cost per iter.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        let iters_per_sample = ((SAMPLE_TARGET.as_nanos() as f64 / est_ns.max(1.0)) as u64).max(1);
+
+        let mut samples = [0.0f64; SAMPLES];
+        for s in samples.iter_mut() {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            *s = t0.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[SAMPLES / 2];
+    }
+}
+
+fn record<F: FnMut(&mut Bencher)>(
+    criterion: &mut Criterion,
+    group: String,
+    name: String,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher { median_ns: 0.0 };
+    f(&mut b);
+    let rec = RecordedBench { group, name, median_ns: b.median_ns, throughput };
+    println!(
+        "{:<44} {:>14} {:>18}",
+        full_name(&rec),
+        format_time(rec.median_ns),
+        format_throughput(rec.median_ns, rec.throughput),
+    );
+    criterion.results.push(rec);
+}
+
+fn full_name(r: &RecordedBench) -> String {
+    if r.group.is_empty() {
+        r.name.clone()
+    } else {
+        format!("{}/{}", r.group, r.name)
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn format_throughput(ns: f64, t: Option<Throughput>) -> String {
+    match t {
+        None => String::new(),
+        Some(Throughput::Bytes(b)) => {
+            let gib_s = b as f64 / ns; // bytes/ns == GB/s
+            if gib_s >= 1.0 {
+                format!("{gib_s:.2} GB/s")
+            } else {
+                format!("{:.1} MB/s", gib_s * 1_000.0)
+            }
+        }
+        Some(Throughput::Elements(e)) => {
+            let melem_s = e as f64 / ns * 1_000.0;
+            format!("{melem_s:.2} Melem/s")
+        }
+    }
+}
+
+/// The workspace root: the outermost ancestor of the current directory that
+/// holds a `Cargo.toml`. `cargo bench` runs bench binaries from the crate
+/// directory, but report tooling runs from the workspace root — both must
+/// agree on where `bench_results/` lives.
+fn workspace_root() -> std::path::PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let mut root = cwd.clone();
+    for dir in cwd.ancestors() {
+        if dir.join("Cargo.toml").is_file() {
+            root = dir.to_path_buf();
+        }
+    }
+    root
+}
+
+/// Merge this run's medians into `bench_results/criterion_medians.json`
+/// under the workspace root, preserving entries from other bench binaries.
+fn persist(results: &[RecordedBench]) -> std::io::Result<()> {
+    let dir = workspace_root().join("bench_results");
+    let path = dir.join("criterion_medians.json");
+    let mut entries: Vec<(String, Value)> = match std::fs::read_to_string(&path) {
+        Ok(text) => match serde_json::from_str::<Value>(&text) {
+            Ok(Value::Object(fields)) => fields,
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    for r in results {
+        let key = full_name(r);
+        let mut obj = vec![("median_ns".to_string(), Value::Float(r.median_ns))];
+        match r.throughput {
+            Some(Throughput::Bytes(b)) => {
+                obj.push(("bytes_per_iter".to_string(), Value::UInt(b)));
+                obj.push(("gigabytes_per_sec".to_string(), Value::Float(b as f64 / r.median_ns)));
+            }
+            Some(Throughput::Elements(e)) => {
+                obj.push(("elements_per_iter".to_string(), Value::UInt(e)));
+                obj.push((
+                    "melements_per_sec".to_string(),
+                    Value::Float(e as f64 / r.median_ns * 1_000.0),
+                ));
+            }
+            None => {}
+        }
+        let val = Value::Object(obj);
+        if let Some(slot) = entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = val;
+        } else {
+            entries.push((key, val));
+        }
+    }
+    std::fs::create_dir_all(&dir)?;
+    let rendered = serde_json::to_string_pretty(&Value::Object(entries))
+        .expect("serializing medians cannot fail");
+    std::fs::write(&path, rendered)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}

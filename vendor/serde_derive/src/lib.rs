@@ -1,0 +1,396 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored value-model serde. No syn/quote: the item is parsed directly from
+//! the `proc_macro::TokenStream` and the impl is generated as a string.
+//!
+//! Supported shapes (everything the workspace derives on):
+//! - structs with named fields, tuple structs (incl. newtypes), unit structs
+//! - enums with unit, tuple, and struct variants (externally tagged, like
+//!   real serde's default representation)
+//!
+//! Not supported (and not needed here): generics, serde field attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+/// Skip outer attributes (`#[...]`, incl. expanded doc comments) and
+/// visibility modifiers (`pub`, `pub(crate)`, ...). Returns the next index.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // attribute: '#' followed by a bracket group
+                i += 1;
+                if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Split a field-list token sequence on commas at angle-bracket depth zero.
+/// (Groups are single tokens, so only `<`/`>` need explicit tracking.)
+fn split_top_level_commas(toks: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle: i32 = 0;
+    for t in toks {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extract named-field names from the tokens inside a brace group.
+fn parse_named_fields(inner: &[TokenTree]) -> Vec<String> {
+    split_top_level_commas(inner)
+        .into_iter()
+        .filter_map(|chunk| {
+            let i = skip_attrs_and_vis(&chunk, 0);
+            match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Shape {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic types are not supported");
+    }
+
+    match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::NamedStruct { name, fields: parse_named_fields(&inner) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let arity = split_top_level_commas(&inner).len();
+                Shape::TupleStruct { name, arity }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => {
+            let g = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("serde_derive: expected enum body, got {other:?}"),
+            };
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let variants = split_top_level_commas(&inner)
+                .into_iter()
+                .filter_map(|chunk| {
+                    let j = skip_attrs_and_vis(&chunk, 0);
+                    let vname = match chunk.get(j) {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        _ => return None,
+                    };
+                    let kind = match chunk.get(j + 1) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            let vi: Vec<TokenTree> = g.stream().into_iter().collect();
+                            VariantKind::Struct(parse_named_fields(&vi))
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            let vi: Vec<TokenTree> = g.stream().into_iter().collect();
+                            VariantKind::Tuple(split_top_level_commas(&vi).len())
+                        }
+                        _ => VariantKind::Unit,
+                    };
+                    Some(Variant { name: vname, kind })
+                })
+                .collect();
+            Shape::Enum { name, variants }
+        }
+        other => panic!("serde_derive: unsupported item kind `{other}`"),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    let code = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                // Newtype structs serialize transparently, like real serde.
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|i| format!("__f{i}")).collect();
+                            let payload = if *arity == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!(
+                                    "::serde::Value::Array(vec![{}])",
+                                    items.join(", ")
+                                )
+                            };
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {payload})]),",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    let code = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let lets: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "let {f} = ::serde::Deserialize::from_value(\n\
+                             __v.get(\"{f}\").ok_or_else(|| ::serde::Error::custom(\"missing field `{f}` in {name}\"))?\n\
+                         )?;"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {}\n\
+                         Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                lets.join("\n"),
+                fields.join(", ")
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_value(__items.get({i}).ok_or_else(|| ::serde::Error::custom(\"tuple struct too short\"))?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "match __v {{\n\
+                         ::serde::Value::Array(__items) => Ok({name}({})),\n\
+                         _ => Err(::serde::Error::custom(\"expected array for {name}\")),\n\
+                     }}",
+                    items.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(_v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ Ok({name}) }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = Vec::new();
+            let mut tagged_arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push(format!("\"{vn}\" => Ok({name}::{vn}),"));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let body = if *arity == 1 {
+                            format!(
+                                "Ok({name}::{vn}(::serde::Deserialize::from_value(__payload)?))"
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(__items.get({i}).ok_or_else(|| ::serde::Error::custom(\"variant tuple too short\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "match __payload {{\n\
+                                     ::serde::Value::Array(__items) => Ok({name}::{vn}({})),\n\
+                                     _ => Err(::serde::Error::custom(\"expected array payload for {name}::{vn}\")),\n\
+                                 }}",
+                                items.join(", ")
+                            )
+                        };
+                        tagged_arms.push(format!("\"{vn}\" => {{ {body} }}"));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let lets: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "let {f} = ::serde::Deserialize::from_value(__payload.get(\"{f}\").ok_or_else(|| ::serde::Error::custom(\"missing field `{f}` in {name}::{vn}\"))?)?;"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push(format!(
+                            "\"{vn}\" => {{ {} Ok({name}::{vn} {{ {} }}) }}",
+                            lets.join(" "),
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {}\n\
+                                 __other => Err(::serde::Error::custom(format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                                 let (__tag, __payload) = &__fields[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {}\n\
+                                     __other => Err(::serde::Error::custom(format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(::serde::Error::custom(\"expected string or single-key object for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated Deserialize impl failed to parse")
+}
