@@ -5,7 +5,11 @@
 //! (the dba / event_engine / coherence numbers future PRs diff against).
 
 use serde::Value;
-use teco_offload::{timing_report, Calibration};
+use teco_core::{TecoConfig, TecoSession};
+use teco_cxl::FaultConfig;
+use teco_mem::LineData;
+use teco_offload::{fault_report_md, timing_report, Calibration};
+use teco_sim::SimTime;
 
 /// Which `criterion_medians.json` groups feed each perf-summary section.
 const SECTIONS: &[(&str, &[&str])] = &[
@@ -42,8 +46,46 @@ fn perf_summary() -> Option<Value> {
     Some(Value::Object(sections))
 }
 
+/// A small fixed-seed faulty run so the report always carries a populated
+/// fault/recovery section (deterministic: same counters every invocation).
+fn fault_section() -> String {
+    let fault = FaultConfig {
+        crc_error_rate: 0.05,
+        stall_rate: 0.05,
+        stall_ns: 100,
+        poison_rate: 0.01,
+        dba_checksum_error_rate: 0.05,
+        retry_limit: 8,
+        seed: 7,
+        ..FaultConfig::off()
+    };
+    let cfg = TecoConfig::default()
+        .with_giant_cache_bytes(1 << 20)
+        .with_act_aft_steps(1)
+        .with_fault(fault);
+    let mut s = TecoSession::new(cfg).expect("valid config");
+    let (_, base) = s.alloc_tensor("params", 256 * 64).expect("alloc params");
+    let mut now = SimTime::ZERO;
+    for step in 0..3u64 {
+        s.check_activation(step);
+        let lines: Vec<LineData> = (0..256u64)
+            .map(|i| {
+                let mut l = LineData::zeroed();
+                for w in 0..16usize {
+                    // High halves fixed across steps (the DBA premise).
+                    l.set_word(w, ((i as u32) << 16) | (0x100 + step as u32 * 3 + w as u32));
+                }
+                l
+            })
+            .collect();
+        s.push_param_lines(base, &lines, now).expect("param push");
+        now = s.cxlfence_params(now);
+    }
+    fault_report_md(&s.fault_report(), s.degraded_regions())
+}
+
 fn main() {
-    let report = timing_report(&Calibration::paper());
+    let report = format!("{}\n{}", timing_report(&Calibration::paper()), fault_section());
     std::fs::create_dir_all("bench_results").expect("create bench_results/");
     let path = "bench_results/REPORT.md";
     std::fs::write(path, &report).expect("write report");

@@ -39,7 +39,13 @@ fn main() {
             .enumerate()
             .map(|(id, w)| LineRequest { id, ready: w.time, bytes: LINE_BYTES as u64 })
             .collect();
-        let des = run_controller(&cfg, reqs, SimTime::ZERO);
+        let des = match run_controller(&cfg, reqs, SimTime::ZERO) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("controller replay failed for {mb} MB region: {e}");
+                std::process::exit(1);
+            }
+        };
 
         // Chunked fast path at the same production rate.
         let chunked = ChunkedSweep {

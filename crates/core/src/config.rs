@@ -71,6 +71,11 @@ impl TecoConfig {
         self.protocol = p;
         self
     }
+    /// Builder-style: configure the link fault model (off by default).
+    pub fn with_fault(mut self, fault: teco_cxl::FaultConfig) -> Self {
+        self.cxl = self.cxl.with_fault(fault);
+        self
+    }
 }
 
 #[cfg(test)]

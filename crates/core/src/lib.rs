@@ -15,7 +15,11 @@
 //!   used by examples and integration tests — byte-exact aggregation and
 //!   device-side merge included;
 //! - the two per-step fences ([`TecoSession::cxlfence_params`],
-//!   [`TecoSession::cxlfence_grads`]).
+//!   [`TecoSession::cxlfence_grads`]) and their timeout-aware variants
+//!   ([`TecoSession::try_cxlfence_params`],
+//!   [`TecoSession::try_cxlfence_grads`]);
+//! - the fault/recovery report ([`TecoSession::fault_report`],
+//!   [`TecoSession::degraded_regions`]) when the link fault model is on.
 //!
 //! For whole-training-run *timing* simulation use `teco-offload`; for live
 //! convergence-with-DBA training use `teco_offload::convergence`.
@@ -25,5 +29,5 @@ pub mod session;
 pub mod trainer;
 
 pub use config::TecoConfig;
-pub use session::{SessionStats, TecoSession};
+pub use session::{SessionError, SessionStats, TecoSession};
 pub use trainer::{TecoTrainer, TrainStepReport};

@@ -16,7 +16,7 @@
 //! training metrics and simulated transfer timing come out of one loop.
 
 use crate::config::TecoConfig;
-use crate::session::TecoSession;
+use crate::session::{SessionError, TecoSession};
 use teco_cxl::ProtocolMode;
 use teco_dl::{OffloadedAdam, Visitable};
 use teco_offload::dba_merge_bits;
@@ -48,7 +48,7 @@ pub struct TecoTrainer {
 
 impl TecoTrainer {
     /// Build a trainer from a config and an optimizer.
-    pub fn new(cfg: TecoConfig, optimizer: OffloadedAdam) -> Result<Self, String> {
+    pub fn new(cfg: TecoConfig, optimizer: OffloadedAdam) -> Result<Self, SessionError> {
         Ok(TecoTrainer {
             session: TecoSession::new(cfg)?,
             optimizer,

@@ -117,6 +117,9 @@ pub struct CoherenceEngine {
     /// need it (§IV-A2: clear producer/consumer makes sharer tracking
     /// unnecessary) and leaves it empty.
     snoop: SnoopFilter,
+    /// Inbound data packets refused admission because their poison bit was
+    /// set (CXL poison containment: the receiver must not consume them).
+    poisoned_rejects: u64,
 }
 
 impl CoherenceEngine {
@@ -131,6 +134,7 @@ impl CoherenceEngine {
             to_device: TrafficStats::default(),
             to_host: TrafficStats::default(),
             snoop: SnoopFilter::new(),
+            poisoned_rejects: 0,
         }
     }
 
@@ -166,6 +170,23 @@ impl CoherenceEngine {
     /// The snoop filter (populated only in invalidation mode).
     pub fn snoop_filter(&self) -> &SnoopFilter {
         &self.snoop
+    }
+
+    /// Home-agent admission check for an inbound data packet: a payload
+    /// whose poison bit is set must *not* be consumed — the receiver
+    /// quarantines the target line instead (CXL poison containment).
+    /// Returns `true` when the packet is clean and may be merged.
+    pub fn admit_data(&mut self, pkt: &CxlPacket) -> bool {
+        if pkt.poisoned {
+            self.poisoned_rejects += 1;
+            return false;
+        }
+        true
+    }
+
+    /// Inbound data packets rejected for carrying the poison bit.
+    pub fn poisoned_rejects(&self) -> u64 {
+        self.poisoned_rejects
     }
 
     fn state_mut(&mut self, addr: Addr) -> &mut LineState {
@@ -565,6 +586,21 @@ mod tests {
             }
             assert_eq!(a.snoop_filter().entries(), b.snoop_filter().entries());
         }
+    }
+
+    #[test]
+    fn poisoned_data_is_refused_admission() {
+        let mut eng = CoherenceEngine::new(ProtocolMode::Update);
+        let clean = CxlPacket::data(Opcode::FlushData, A, vec![0u8; 64], false);
+        let bad = clean.clone().with_poison(true);
+        assert!(eng.admit_data(&clean));
+        assert!(!eng.admit_data(&bad));
+        assert!(!eng.admit_data(&bad));
+        assert_eq!(eng.poisoned_rejects(), 2);
+        // Admission checks never perturb coherence state or traffic.
+        assert_eq!(eng.tracked_lines(), 0);
+        assert_eq!(eng.to_device, TrafficStats::default());
+        assert_eq!(eng.to_host, TrafficStats::default());
     }
 
     #[test]

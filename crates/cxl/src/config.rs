@@ -6,6 +6,7 @@
 //! communications over CXL are controlled by a CXL controller with a pending
 //! queue of 128 entries."
 
+use crate::fault::FaultConfig;
 use serde::{Deserialize, Serialize};
 use teco_sim::{Bandwidth, SimTime};
 
@@ -49,6 +50,8 @@ pub struct CxlConfig {
     /// Disaggregator pipeline latency per line (1.126 ns synthesized,
     /// 1 ns modeled).
     pub disaggregator_latency: SimTime,
+    /// Link-level fault injection (off by default: all rates zero).
+    pub fault: FaultConfig,
 }
 
 impl Default for CxlConfig {
@@ -67,7 +70,14 @@ impl CxlConfig {
             pending_queue_entries: 128,
             aggregator_latency: SimTime::from_ns(1),
             disaggregator_latency: SimTime::from_ns(1),
+            fault: FaultConfig::off(),
         }
+    }
+
+    /// Builder-style: enable a fault model.
+    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = fault;
+        self
     }
 
     /// Raw PCIe bandwidth of the physical link.

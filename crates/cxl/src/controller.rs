@@ -45,6 +45,53 @@ enum Ev {
     LinkDone,
 }
 
+/// Internal inconsistencies the controller model can detect. These replace
+/// the panics the model used to raise, so a corrupted event schedule (e.g.
+/// under fault injection) surfaces as a typed error the caller can report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControllerError {
+    /// The request stream was not sorted by ready time (first bad index).
+    UnsortedRequests {
+        /// Index of the first out-of-order request.
+        index: usize,
+    },
+    /// A link-done event fired while the transmission queue was empty.
+    SpuriousLinkDone {
+        /// Simulation time of the spurious event.
+        at: SimTime,
+    },
+    /// A queued request id had no admission record.
+    MissingAdmission {
+        /// The offending request id.
+        id: usize,
+    },
+    /// A request was never completed by the time the engine drained.
+    Incomplete {
+        /// The request id left without a completion.
+        id: usize,
+    },
+}
+
+impl std::fmt::Display for ControllerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControllerError::UnsortedRequests { index } => {
+                write!(f, "request stream unsorted at index {index}")
+            }
+            ControllerError::SpuriousLinkDone { at } => {
+                write!(f, "link-done event at {at} with empty transmission queue")
+            }
+            ControllerError::MissingAdmission { id } => {
+                write!(f, "request {id} served without an admission record")
+            }
+            ControllerError::Incomplete { id } => {
+                write!(f, "request {id} never completed")
+            }
+        }
+    }
+}
+impl std::error::Error for ControllerError {}
+
 /// The DES model state.
 struct ControllerModel {
     requests: Vec<LineRequest>,
@@ -58,6 +105,8 @@ struct ControllerModel {
     rate: Bandwidth,
     latency: SimTime,
     max_occupancy: usize,
+    /// First inconsistency detected; once set, further events are ignored.
+    error: Option<ControllerError>,
 }
 
 impl ControllerModel {
@@ -83,6 +132,9 @@ impl ControllerModel {
 impl Model for ControllerModel {
     type Event = Ev;
     fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        if self.error.is_some() {
+            return;
+        }
         match ev {
             Ev::Arrive(id) => {
                 if self.queue.len() >= self.queue_capacity {
@@ -94,8 +146,14 @@ impl Model for ControllerModel {
                 }
             }
             Ev::LinkDone => {
-                let id = self.queue.pop_front().expect("link served someone");
-                let c = self.completions[id].as_mut().expect("admitted");
+                let Some(id) = self.queue.pop_front() else {
+                    self.error = Some(ControllerError::SpuriousLinkDone { at: now });
+                    return;
+                };
+                let Some(c) = self.completions[id].as_mut() else {
+                    self.error = Some(ControllerError::MissingAdmission { id });
+                    return;
+                };
                 c.done = now;
                 self.link_busy = false;
                 // A slot freed: unblock the oldest stalled writeback.
@@ -123,14 +181,18 @@ pub struct ControllerResult {
 
 /// Run the event-driven controller over a request stream (must be sorted
 /// by ready time). `dba_latency` is the Aggregator's per-line pipeline
-/// delay when DBA is active.
+/// delay when DBA is active. Model inconsistencies (unsorted input, a
+/// request left incomplete) surface as a typed [`ControllerError`] rather
+/// than a panic.
 pub fn run_controller(
     cfg: &CxlConfig,
     requests: Vec<LineRequest>,
     dba_latency: SimTime,
-) -> ControllerResult {
+) -> Result<ControllerResult, ControllerError> {
     let n = requests.len();
-    debug_assert!(requests.windows(2).all(|w| w[0].ready <= w[1].ready));
+    if let Some(i) = requests.windows(2).position(|w| w[0].ready > w[1].ready) {
+        return Err(ControllerError::UnsortedRequests { index: i + 1 });
+    }
     let model = ControllerModel {
         completions: vec![None; n],
         queue: VecDeque::new(),
@@ -140,6 +202,7 @@ pub fn run_controller(
         rate: cfg.cxl_bandwidth(),
         latency: dba_latency,
         max_occupancy: 0,
+        error: None,
         requests,
     };
     let mut eng = Engine::new(model);
@@ -150,12 +213,17 @@ pub fn run_controller(
     let drain = eng.run();
     let events = eng.events_processed();
     let m = eng.into_model();
-    ControllerResult {
-        completions: m.completions.into_iter().map(|c| c.expect("all requests complete")).collect(),
-        drain,
-        max_occupancy: m.max_occupancy,
-        events,
+    if let Some(err) = m.error {
+        return Err(err);
     }
+    let mut completions = Vec::with_capacity(n);
+    for (id, c) in m.completions.into_iter().enumerate() {
+        match c {
+            Some(c) if c.done != SimTime::MAX => completions.push(c),
+            _ => return Err(ControllerError::Incomplete { id }),
+        }
+    }
+    Ok(ControllerResult { completions, drain, max_occupancy: m.max_occupancy, events })
 }
 
 #[cfg(test)]
@@ -173,7 +241,7 @@ mod tests {
     #[test]
     fn single_line_timing() {
         let cfg = CxlConfig::paper();
-        let r = run_controller(&cfg, reqs(&[(100, 64)]), SimTime::ZERO);
+        let r = run_controller(&cfg, reqs(&[(100, 64)]), SimTime::ZERO).unwrap();
         assert_eq!(r.completions[0].admitted, SimTime::from_ns(100));
         let service = cfg.cxl_bandwidth().transfer_time(64);
         assert_eq!(r.completions[0].done, SimTime::from_ns(100) + service);
@@ -183,7 +251,7 @@ mod tests {
     #[test]
     fn fifo_order_preserved() {
         let cfg = CxlConfig::paper();
-        let r = run_controller(&cfg, reqs(&[(0, 64), (0, 64), (0, 64)]), SimTime::ZERO);
+        let r = run_controller(&cfg, reqs(&[(0, 64), (0, 64), (0, 64)]), SimTime::ZERO).unwrap();
         assert!(r.completions[0].done < r.completions[1].done);
         assert!(r.completions[1].done < r.completions[2].done);
         assert!(r.max_occupancy <= 3);
@@ -193,7 +261,8 @@ mod tests {
     fn queue_capacity_blocks_producer() {
         let mut cfg = CxlConfig::paper();
         cfg.pending_queue_entries = 2;
-        let r = run_controller(&cfg, reqs(&[(0, 64), (0, 64), (0, 64), (0, 64)]), SimTime::ZERO);
+        let r = run_controller(&cfg, reqs(&[(0, 64), (0, 64), (0, 64), (0, 64)]), SimTime::ZERO)
+            .unwrap();
         // Third/fourth arrivals are blocked until slots free.
         assert!(r.completions[2].admitted > SimTime::ZERO);
         assert!(r.completions[3].admitted > r.completions[2].admitted);
@@ -203,8 +272,8 @@ mod tests {
     #[test]
     fn dba_latency_delays_each_line() {
         let cfg = CxlConfig::paper();
-        let plain = run_controller(&cfg, reqs(&[(0, 32)]), SimTime::ZERO);
-        let dba = run_controller(&cfg, reqs(&[(0, 32)]), SimTime::from_ns(1));
+        let plain = run_controller(&cfg, reqs(&[(0, 32)]), SimTime::ZERO).unwrap();
+        let dba = run_controller(&cfg, reqs(&[(0, 32)]), SimTime::from_ns(1)).unwrap();
         assert_eq!(dba.completions[0].done, plain.completions[0].done + SimTime::from_ns(1));
     }
 
@@ -227,7 +296,7 @@ mod tests {
                     (t, bytes)
                 })
                 .collect();
-            let des = run_controller(&cfg, reqs(&spec), SimTime::ZERO);
+            let des = run_controller(&cfg, reqs(&spec), SimTime::ZERO).unwrap();
 
             let mut srv = BoundedServer::new(cfg.cxl_bandwidth(), cfg.pending_queue_entries);
             for (i, &(ns, bytes)) in spec.iter().enumerate() {
@@ -252,8 +321,39 @@ mod tests {
         // and small relative to capacity.
         let cfg = CxlConfig::paper();
         let spec: Vec<(u64, u64)> = (0..2000).map(|i| (i * 4, 64)).collect();
-        let r = run_controller(&cfg, reqs(&spec), SimTime::ZERO);
+        let r = run_controller(&cfg, reqs(&spec), SimTime::ZERO).unwrap();
         assert!(r.max_occupancy <= 128);
         assert!(r.max_occupancy > 1, "some queueing expected (producer > link rate)");
+    }
+
+    #[test]
+    fn unsorted_requests_yield_typed_error() {
+        let cfg = CxlConfig::paper();
+        let mut rs = reqs(&[(100, 64), (50, 64), (200, 64)]);
+        rs[1].id = 1; // ids stay dense; only ready times are out of order
+        let err = run_controller(&cfg, rs, SimTime::ZERO).unwrap_err();
+        assert_eq!(err, ControllerError::UnsortedRequests { index: 1 });
+        assert!(err.to_string().contains("unsorted"));
+    }
+
+    #[test]
+    fn empty_request_stream_is_fine() {
+        let cfg = CxlConfig::paper();
+        let r = run_controller(&cfg, Vec::new(), SimTime::ZERO).unwrap();
+        assert!(r.completions.is_empty());
+        assert_eq!(r.drain, SimTime::ZERO);
+    }
+
+    #[test]
+    fn controller_error_displays() {
+        // Smoke-test Display for each variant the model can raise.
+        let msgs = [
+            ControllerError::SpuriousLinkDone { at: SimTime::from_ns(7) }.to_string(),
+            ControllerError::MissingAdmission { id: 3 }.to_string(),
+            ControllerError::Incomplete { id: 9 }.to_string(),
+        ];
+        assert!(msgs[0].contains("empty transmission queue"));
+        assert!(msgs[1].contains("request 3"));
+        assert!(msgs[2].contains("never completed"));
     }
 }

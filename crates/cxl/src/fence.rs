@@ -25,7 +25,40 @@ pub struct FenceStats {
     pub calls: u64,
     /// Total time spent blocked in fences (drain wait + check overhead).
     pub total_wait: SimTime,
+    /// Calls that gave up at the configured timeout.
+    pub timeouts: u64,
 }
+
+/// A fence did not complete within its timeout. The caller decides policy
+/// (retry later, degrade, abort); the fence itself only reports when the
+/// drain *would* have completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FenceTimeout {
+    /// The direction fenced (`None` for `fence_all`).
+    pub direction: Option<Direction>,
+    /// The timeout window that elapsed.
+    pub waited: SimTime,
+    /// When the fence would actually have completed.
+    pub completes_at: SimTime,
+}
+
+impl std::fmt::Display for FenceTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.direction {
+            Some(d) => write!(
+                f,
+                "CXLFENCE({d:?}) timed out after {} (drain completes at {})",
+                self.waited, self.completes_at
+            ),
+            None => write!(
+                f,
+                "CXLFENCE(all) timed out after {} (drain completes at {})",
+                self.waited, self.completes_at
+            ),
+        }
+    }
+}
+impl std::error::Error for FenceTimeout {}
 
 /// The fence primitive: tracks invocations against a link.
 #[derive(Debug, Clone, Default)]
@@ -58,6 +91,53 @@ impl CxlFence {
         self.stats.calls += 1;
         self.stats.total_wait += done - now;
         done
+    }
+
+    /// Shared timeout bookkeeping for the `try_*` variants: `done` is when
+    /// the drain + check would finish.
+    fn check_timeout(
+        &mut self,
+        direction: Option<Direction>,
+        now: SimTime,
+        done: SimTime,
+        timeout: SimTime,
+    ) -> Result<SimTime, FenceTimeout> {
+        self.stats.calls += 1;
+        if done.saturating_sub(now) > timeout {
+            // The caller still burned the whole timeout window waiting.
+            self.stats.timeouts += 1;
+            self.stats.total_wait += timeout;
+            return Err(FenceTimeout { direction, waited: timeout, completes_at: done });
+        }
+        self.stats.total_wait += done - now;
+        Ok(done)
+    }
+
+    /// [`CxlFence::fence`] with a timeout: if the drain (plus check
+    /// overhead) would exceed `timeout`, the call gives up after the
+    /// window and surfaces a typed [`FenceTimeout`] instead of blocking
+    /// unboundedly.
+    pub fn try_fence(
+        &mut self,
+        link: &CxlLink,
+        d: Direction,
+        now: SimTime,
+        timeout: SimTime,
+    ) -> Result<SimTime, FenceTimeout> {
+        let done = link.drained_at(d).max(now) + FENCE_CHECK_OVERHEAD;
+        self.check_timeout(Some(d), now, done, timeout)
+    }
+
+    /// [`CxlFence::fence_all`] with a timeout.
+    pub fn try_fence_all(
+        &mut self,
+        link: &CxlLink,
+        now: SimTime,
+        timeout: SimTime,
+    ) -> Result<SimTime, FenceTimeout> {
+        let drained =
+            link.drained_at(Direction::ToDevice).max(link.drained_at(Direction::ToHost)).max(now);
+        self.check_timeout(None, now, drained + FENCE_CHECK_OVERHEAD, timeout)
     }
 
     /// Accumulated statistics.
@@ -109,6 +189,81 @@ mod tests {
         let mut fence = CxlFence::new();
         let done = fence.fence_all(&link, SimTime::ZERO);
         assert_eq!(done, up.end + FENCE_CHECK_OVERHEAD);
+    }
+
+    #[test]
+    fn fence_all_with_inflight_traffic_both_directions() {
+        // Simultaneous in-flight traffic on both channels: fence_all must
+        // wait for whichever direction drains last, regardless of which
+        // one that is.
+        for (down_bytes, up_bytes) in [(1u64 << 22, 1u64 << 12), (1 << 12, 1 << 22)] {
+            let mut link = CxlLink::new(CxlConfig::paper());
+            let down = link.transfer_simple(Direction::ToDevice, SimTime::ZERO, down_bytes);
+            let up = link.transfer_simple(Direction::ToHost, SimTime::ZERO, up_bytes);
+            let mut fence = CxlFence::new();
+            let done = fence.fence_all(&link, SimTime::ZERO);
+            assert_eq!(done, down.end.max(up.end) + FENCE_CHECK_OVERHEAD);
+            assert!(done > down.end.min(up.end), "must outlast the faster direction too");
+        }
+    }
+
+    #[test]
+    fn try_fence_succeeds_within_timeout() {
+        let mut link = CxlLink::new(CxlConfig::paper());
+        let iv = link.transfer_simple(Direction::ToDevice, SimTime::ZERO, 4096);
+        let mut fence = CxlFence::new();
+        let done = fence
+            .try_fence(&link, Direction::ToDevice, SimTime::ZERO, SimTime::from_ms(10))
+            .unwrap();
+        assert_eq!(done, iv.end + FENCE_CHECK_OVERHEAD);
+        assert_eq!(fence.stats().timeouts, 0);
+        assert_eq!(fence.stats().calls, 1);
+    }
+
+    #[test]
+    fn try_fence_times_out_on_slow_drain() {
+        let mut link = CxlLink::new(CxlConfig::paper());
+        // ~70 ms of traffic at 15 GB/s.
+        let iv = link.transfer_simple(Direction::ToDevice, SimTime::ZERO, 1 << 30);
+        let mut fence = CxlFence::new();
+        let timeout = SimTime::from_ms(1);
+        let err = fence.try_fence(&link, Direction::ToDevice, SimTime::ZERO, timeout).unwrap_err();
+        assert_eq!(err.direction, Some(Direction::ToDevice));
+        assert_eq!(err.waited, timeout);
+        assert_eq!(err.completes_at, iv.end + FENCE_CHECK_OVERHEAD);
+        assert_eq!(fence.stats().timeouts, 1);
+        // The timed-out call still cost the timeout window.
+        assert_eq!(fence.stats().total_wait, timeout);
+    }
+
+    #[test]
+    fn try_fence_all_times_out_on_slower_direction_only() {
+        let mut link = CxlLink::new(CxlConfig::paper());
+        // Fast down-direction, slow up-direction, both in flight.
+        let down = link.transfer_simple(Direction::ToDevice, SimTime::ZERO, 4096);
+        let up = link.transfer_simple(Direction::ToHost, SimTime::ZERO, 1 << 30);
+        let mut fence = CxlFence::new();
+        let timeout = SimTime::from_ms(1);
+        assert!(down.end + FENCE_CHECK_OVERHEAD < timeout, "down alone would pass");
+        let err = fence.try_fence_all(&link, SimTime::ZERO, timeout).unwrap_err();
+        assert_eq!(err.direction, None);
+        assert_eq!(err.completes_at, up.end + FENCE_CHECK_OVERHEAD);
+        // The per-direction fence on the fast channel still succeeds.
+        assert!(fence.try_fence(&link, Direction::ToDevice, SimTime::ZERO, timeout).is_ok());
+        assert_eq!(fence.stats().calls, 2);
+        assert_eq!(fence.stats().timeouts, 1);
+    }
+
+    #[test]
+    fn unbounded_try_fence_matches_fence() {
+        let mut link = CxlLink::new(CxlConfig::paper());
+        link.transfer_simple(Direction::ToHost, SimTime::ZERO, 1 << 20);
+        let mut a = CxlFence::new();
+        let mut b = CxlFence::new();
+        let via_fence = a.fence(&link, Direction::ToHost, SimTime::ZERO);
+        let via_try = b.try_fence(&link, Direction::ToHost, SimTime::ZERO, SimTime::MAX).unwrap();
+        assert_eq!(via_fence, via_try);
+        assert_eq!(a.stats().total_wait, b.stats().total_wait);
     }
 
     #[test]

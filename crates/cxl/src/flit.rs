@@ -37,6 +37,8 @@ pub enum Slot {
         addr: u64,
         /// The reserved "DBA-aggregated payload" bit.
         dba_aggregated: bool,
+        /// The CXL poison bit: payload known corrupt, contain on receipt.
+        poisoned: bool,
         /// Payload bytes that follow in subsequent data slots.
         payload_len: u16,
     },
@@ -95,6 +97,7 @@ impl FlitPacker {
             opcode: pkt.opcode,
             addr: pkt.addr.0,
             dba_aggregated: pkt.dba_aggregated,
+            poisoned: pkt.poisoned,
             payload_len: pkt.payload.len() as u16,
         });
         for chunk in pkt.payload.chunks(SLOT_BYTES) {
@@ -115,13 +118,17 @@ impl FlitPacker {
     }
 }
 
-/// Errors from unpacking a flit stream.
+/// Errors from unpacking a flit stream. Each variant pinpoints the fault
+/// to an exact flit index and slot position (0–3) so link-level diagnostics
+/// can name the wire location of a corruption.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FlitError {
     /// A data slot appeared without a preceding header expecting data.
     OrphanData {
         /// Flit index where it happened.
         flit: usize,
+        /// Slot position (0..4) within that flit.
+        slot: usize,
     },
     /// The stream ended while a packet still expected payload slots.
     TruncatedPayload {
@@ -129,24 +136,34 @@ pub enum FlitError {
         addr: u64,
         /// Bytes still missing.
         missing: usize,
+        /// Flit index of the incomplete packet's header.
+        header_flit: usize,
+        /// Slot position of that header within its flit.
+        header_slot: usize,
     },
     /// A new header arrived while a previous packet's payload was still
     /// incomplete.
     HeaderWhilePayloadPending {
         /// Flit index where it happened.
         flit: usize,
+        /// Slot position (0..4) of the interrupting header.
+        slot: usize,
     },
 }
 
 impl std::fmt::Display for FlitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            FlitError::OrphanData { flit } => write!(f, "orphan data slot in flit {flit}"),
-            FlitError::TruncatedPayload { addr, missing } => {
-                write!(f, "packet at {addr:#x} truncated ({missing} bytes missing)")
+            FlitError::OrphanData { flit, slot } => {
+                write!(f, "orphan data slot in flit {flit} slot {slot}")
             }
-            FlitError::HeaderWhilePayloadPending { flit } => {
-                write!(f, "header interrupts pending payload in flit {flit}")
+            FlitError::TruncatedPayload { addr, missing, header_flit, header_slot } => write!(
+                f,
+                "packet at {addr:#x} (header in flit {header_flit} slot {header_slot}) \
+                 truncated ({missing} bytes missing)"
+            ),
+            FlitError::HeaderWhilePayloadPending { flit, slot } => {
+                write!(f, "header interrupts pending payload in flit {flit} slot {slot}")
             }
         }
     }
@@ -157,44 +174,68 @@ impl std::error::Error for FlitError {}
 /// anywhere a header would be (padding); data must follow its header
 /// contiguously (across flit boundaries).
 pub fn unpack(flits: &[Flit]) -> Result<Vec<CxlPacket>, FlitError> {
+    /// A data-carrying packet whose payload slots are still arriving.
+    struct Pending {
+        opcode: Opcode,
+        addr: u64,
+        dba_aggregated: bool,
+        poisoned: bool,
+        want: usize,
+        buf: Vec<u8>,
+        /// Where the header slot sat on the wire (for truncation reports).
+        header_flit: usize,
+        header_slot: usize,
+    }
+
     let mut out = Vec::new();
-    let mut pending: Option<(Opcode, u64, bool, usize, Vec<u8>)> = None;
+    let mut pending: Option<Pending> = None;
     for (fi, flit) in flits.iter().enumerate() {
-        for slot in &flit.slots {
+        for (si, slot) in flit.slots.iter().enumerate() {
             match slot {
-                Slot::Header { opcode, addr, dba_aggregated, payload_len } => {
+                Slot::Header { opcode, addr, dba_aggregated, poisoned, payload_len } => {
                     if pending.is_some() {
-                        return Err(FlitError::HeaderWhilePayloadPending { flit: fi });
+                        return Err(FlitError::HeaderWhilePayloadPending { flit: fi, slot: si });
                     }
                     if *payload_len == 0 {
                         out.push(CxlPacket::control(*opcode, Addr(*addr)));
                     } else {
-                        pending = Some((
-                            *opcode,
-                            *addr,
-                            *dba_aggregated,
-                            *payload_len as usize,
-                            Vec::with_capacity(*payload_len as usize),
-                        ));
+                        pending = Some(Pending {
+                            opcode: *opcode,
+                            addr: *addr,
+                            dba_aggregated: *dba_aggregated,
+                            poisoned: *poisoned,
+                            want: *payload_len as usize,
+                            buf: Vec::with_capacity(*payload_len as usize),
+                            header_flit: fi,
+                            header_slot: si,
+                        });
                     }
                 }
                 Slot::Data(bytes) => match &mut pending {
-                    Some((_, _, _, want, buf)) => {
-                        let take = (*want - buf.len()).min(SLOT_BYTES);
-                        buf.extend_from_slice(&bytes[..take]);
-                        if buf.len() == *want {
-                            let (op, addr, agg, _, buf) = pending.take().expect("pending exists");
-                            out.push(CxlPacket::data(op, Addr(addr), buf, agg));
+                    Some(p) => {
+                        let take = (p.want - p.buf.len()).min(SLOT_BYTES);
+                        p.buf.extend_from_slice(&bytes[..take]);
+                        if p.buf.len() == p.want {
+                            let p = pending.take().expect("pending exists");
+                            out.push(
+                                CxlPacket::data(p.opcode, Addr(p.addr), p.buf, p.dba_aggregated)
+                                    .with_poison(p.poisoned),
+                            );
                         }
                     }
-                    None => return Err(FlitError::OrphanData { flit: fi }),
+                    None => return Err(FlitError::OrphanData { flit: fi, slot: si }),
                 },
                 Slot::Empty => {}
             }
         }
     }
-    if let Some((_, addr, _, want, buf)) = pending {
-        return Err(FlitError::TruncatedPayload { addr, missing: want - buf.len() });
+    if let Some(p) = pending {
+        return Err(FlitError::TruncatedPayload {
+            addr: p.addr,
+            missing: p.want - p.buf.len(),
+            header_flit: p.header_flit,
+            header_slot: p.header_slot,
+        });
     }
     Ok(out)
 }
@@ -287,7 +328,24 @@ mod tests {
         let mut flits = p.finish();
         flits.pop(); // drop the last flit (with the final data slot)
         let err = unpack(&flits).unwrap_err();
-        assert!(matches!(err, FlitError::TruncatedPayload { addr: 0x40, .. }));
+        assert!(matches!(
+            err,
+            FlitError::TruncatedPayload { addr: 0x40, missing: 16, header_flit: 0, header_slot: 0 }
+        ));
+    }
+
+    #[test]
+    fn poison_bit_survives_roundtrip() {
+        let clean = dba_pkt(0x40);
+        let bad = full_line_pkt(0x80).with_poison(true);
+        let mut p = FlitPacker::new();
+        p.push_packet(&clean);
+        p.push_packet(&bad);
+        let back = unpack(&p.finish()).unwrap();
+        assert_eq!(back.len(), 2);
+        assert!(!back[0].poisoned);
+        assert!(back[1].poisoned);
+        assert_eq!(back[1].payload, bad.payload, "poison marks, never mutates, the data");
     }
 
     #[test]
@@ -300,6 +358,7 @@ mod tests {
                     opcode: Opcode::FlushData,
                     addr: 0x40,
                     dba_aggregated: false,
+                    poisoned: false,
                     payload_len: 32,
                 },
                 Slot::Data([0; 16]),
@@ -307,18 +366,25 @@ mod tests {
                     opcode: Opcode::ReadOwn,
                     addr: 0x80,
                     dba_aggregated: false,
+                    poisoned: false,
                     payload_len: 0,
                 },
                 Slot::Empty,
             ],
         };
-        assert!(matches!(unpack(&[flit]), Err(FlitError::HeaderWhilePayloadPending { flit: 0 })));
+        assert!(matches!(
+            unpack(&[flit]),
+            Err(FlitError::HeaderWhilePayloadPending { flit: 0, slot: 2 })
+        ));
     }
 
     #[test]
     fn orphan_data_detected() {
         let flit = Flit { slots: [Slot::Data([0; 16]), Slot::Empty, Slot::Empty, Slot::Empty] };
-        assert!(matches!(unpack(&[flit]), Err(FlitError::OrphanData { flit: 0 })));
+        assert!(matches!(unpack(&[flit]), Err(FlitError::OrphanData { flit: 0, slot: 0 })));
+        // An orphan deeper in the flit reports its exact slot position.
+        let padded = Flit { slots: [Slot::Empty, Slot::Empty, Slot::Data([0; 16]), Slot::Empty] };
+        assert!(matches!(unpack(&[padded]), Err(FlitError::OrphanData { flit: 0, slot: 2 })));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! allocation time and thereafter treats residency as guaranteed.
 
 use crate::dba::Disaggregator;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use teco_mem::{Addr, LineData, RegionId, RegionMap, LINE_BYTES};
 
 /// Errors from giant-cache configuration and use.
@@ -25,6 +25,9 @@ pub enum GiantCacheError {
     },
     /// Address not inside any giant-cache region.
     NotMapped(Addr),
+    /// The line is quarantined: a poisoned payload reached it and no clean
+    /// full-line write has healed it yet.
+    Poisoned(Addr),
 }
 
 impl std::fmt::Display for GiantCacheError {
@@ -35,6 +38,9 @@ impl std::fmt::Display for GiantCacheError {
                 "giant cache capacity exceeded: requested {requested} B, {available} B available"
             ),
             GiantCacheError::NotMapped(a) => write!(f, "address {a} not mapped in giant cache"),
+            GiantCacheError::Poisoned(a) => {
+                write!(f, "line {a} is quarantined (poisoned payload received)")
+            }
         }
     }
 }
@@ -52,6 +58,11 @@ pub struct GiantCache {
     /// timing-only simulations never touch this map, so memory stays
     /// proportional to the lines actually written.
     data: HashMap<u64, LineData>,
+    /// Line indices whose resident copy is untrusted: a poisoned payload
+    /// targeted them. CXL poison containment (§8.2.4 of the spec) requires
+    /// the receiver to *not* consume the data; quarantined lines reject
+    /// reads and merges until a clean full-line write heals them.
+    quarantined: HashSet<u64>,
     /// Device-side CXL module's disaggregator.
     pub disaggregator: Disaggregator,
     next_base: u64,
@@ -68,6 +79,7 @@ impl GiantCache {
             allocated: 0,
             regions: RegionMap::new(),
             data: HashMap::new(),
+            quarantined: HashSet::new(),
             disaggregator: Disaggregator::new(),
             next_base: 0,
             merge_scratch: Vec::new(),
@@ -114,26 +126,55 @@ impl GiantCache {
         self.regions.contains(a)
     }
 
+    /// Quarantine the line containing `a`: an inbound payload for it was
+    /// poisoned. Its resident copy stays untouched but becomes unreadable
+    /// and unmergeable until a clean [`GiantCache::write_line`] heals it.
+    pub fn quarantine_line(&mut self, a: Addr) -> Result<(), GiantCacheError> {
+        if !self.is_mapped(a) {
+            return Err(GiantCacheError::NotMapped(a));
+        }
+        self.quarantined.insert(a.line_base().line_index());
+        Ok(())
+    }
+
+    /// Is the line containing `a` quarantined?
+    pub fn is_quarantined(&self, a: Addr) -> bool {
+        self.quarantined.contains(&a.line_base().line_index())
+    }
+
+    /// Number of lines currently quarantined.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.len()
+    }
+
     /// Read a resident line (zero-filled if never written — the model's
     /// stand-in for the initial tensor copy).
     pub fn read_line(&self, a: Addr) -> Result<LineData, GiantCacheError> {
         if !self.is_mapped(a) {
             return Err(GiantCacheError::NotMapped(a));
         }
+        if self.is_quarantined(a) {
+            return Err(GiantCacheError::Poisoned(a.line_base()));
+        }
         Ok(self.data.get(&a.line_base().line_index()).copied().unwrap_or_default())
     }
 
-    /// Store a full line (unaggregated FlushData path).
+    /// Store a full line (unaggregated FlushData path). A clean full-line
+    /// write overwrites the whole line, so it heals any quarantine on it.
     pub fn write_line(&mut self, a: Addr, line: LineData) -> Result<(), GiantCacheError> {
         if !self.is_mapped(a) {
             return Err(GiantCacheError::NotMapped(a));
         }
-        self.data.insert(a.line_base().line_index(), line);
+        let key = a.line_base().line_index();
+        self.quarantined.remove(&key);
+        self.data.insert(key, line);
         Ok(())
     }
 
     /// Apply an inbound aggregated payload: read the stale resident line,
     /// merge via the Disaggregator, write it back. Returns the merged line.
+    /// A quarantined line rejects the merge — partial payloads read the
+    /// resident copy, which is exactly what poison containment forbids.
     pub fn apply_dba_payload(
         &mut self,
         a: Addr,
@@ -141,6 +182,9 @@ impl GiantCache {
     ) -> Result<LineData, GiantCacheError> {
         if !self.is_mapped(a) {
             return Err(GiantCacheError::NotMapped(a));
+        }
+        if self.is_quarantined(a) {
+            return Err(GiantCacheError::Poisoned(a.line_base()));
         }
         let key = a.line_base().line_index();
         let mut line = self.data.get(&key).copied().unwrap_or_default();
@@ -165,6 +209,9 @@ impl GiantCache {
         for i in 0..n_lines {
             if !self.is_mapped(addr_of(i)) {
                 return Err(GiantCacheError::NotMapped(addr_of(i)));
+            }
+            if self.is_quarantined(addr_of(i)) {
+                return Err(GiantCacheError::Poisoned(addr_of(i)));
             }
         }
         let mut scratch = std::mem::take(&mut self.merge_scratch);
@@ -315,6 +362,74 @@ mod tests {
         gc.alloc_region("t", 128).unwrap(); // two lines mapped
         let err = gc.apply_dba_payloads(Addr(0), 3, &[0u8; 192]).unwrap_err();
         assert!(matches!(err, GiantCacheError::NotMapped(a) if a == Addr(128)));
+    }
+
+    #[test]
+    fn quarantine_contains_poison_without_touching_neighbors() {
+        let mut gc = GiantCache::new(4096);
+        gc.alloc_region("params", 4096).unwrap();
+        let reg = DbaRegister::new(true, 2);
+        gc.disaggregator.set_register(reg);
+
+        let mut left = LineData::zeroed();
+        let mut mid = LineData::zeroed();
+        let mut right = LineData::zeroed();
+        for w in 0..16 {
+            left.set_word(w, 0x1111_0000 + w as u32);
+            mid.set_word(w, 0x2222_0000 + w as u32);
+            right.set_word(w, 0x3333_0000 + w as u32);
+        }
+        gc.write_line(Addr(0), left).unwrap();
+        gc.write_line(Addr(64), mid).unwrap();
+        gc.write_line(Addr(128), right).unwrap();
+
+        // A poisoned payload targeted the middle line.
+        gc.quarantine_line(Addr(64)).unwrap();
+        assert!(gc.is_quarantined(Addr(64)));
+        assert!(gc.is_quarantined(Addr(64 + 13)), "any byte of the line is quarantined");
+        assert_eq!(gc.quarantined_count(), 1);
+
+        // The quarantined line neither reads nor merges.
+        assert_eq!(gc.read_line(Addr(64)), Err(GiantCacheError::Poisoned(Addr(64))));
+        let payload = vec![0xAA; reg.payload_bytes()];
+        assert_eq!(
+            gc.apply_dba_payload(Addr(64), &payload),
+            Err(GiantCacheError::Poisoned(Addr(64)))
+        );
+
+        // Neighbors are untouched and fully usable.
+        assert_eq!(gc.read_line(Addr(0)).unwrap(), left);
+        assert_eq!(gc.read_line(Addr(128)).unwrap(), right);
+        gc.apply_dba_payload(Addr(0), &payload).unwrap();
+
+        // A clean full-line write heals the quarantine.
+        let mut fresh = LineData::zeroed();
+        fresh.set_word(0, 0xFEED_FACE);
+        gc.write_line(Addr(64), fresh).unwrap();
+        assert!(!gc.is_quarantined(Addr(64)));
+        assert_eq!(gc.read_line(Addr(64)).unwrap(), fresh);
+        assert_eq!(gc.quarantined_count(), 0);
+    }
+
+    #[test]
+    fn bulk_merge_rejects_quarantined_line_in_range() {
+        let mut gc = GiantCache::new(4096);
+        gc.alloc_region("t", 256).unwrap();
+        let reg = DbaRegister::new(true, 2);
+        gc.disaggregator.set_register(reg);
+        gc.quarantine_line(Addr(128)).unwrap();
+        let payload = vec![0u8; 4 * reg.payload_bytes()];
+        let err = gc.apply_dba_payloads(Addr(0), 4, &payload).unwrap_err();
+        assert_eq!(err, GiantCacheError::Poisoned(Addr(128)));
+        // The rejection is atomic: no earlier lines were merged either.
+        assert_eq!(gc.read_line(Addr(0)).unwrap(), LineData::zeroed());
+    }
+
+    #[test]
+    fn quarantine_unmapped_address_errors() {
+        let mut gc = GiantCache::new(4096);
+        gc.alloc_region("t", 64).unwrap();
+        assert!(matches!(gc.quarantine_line(Addr(9999)), Err(GiantCacheError::NotMapped(_))));
     }
 
     #[test]

@@ -16,12 +16,15 @@
 //!   memory with the device-side merge path;
 //! - [`link`]: the full-duplex serial link with per-direction volume and
 //!   busy-interval accounting;
-//! - [`fence`] — `CXLFENCE()`.
+//! - [`fence`] — `CXLFENCE()` (with an optional timeout);
+//! - [`fault`]: deterministic link-level fault injection (CRC/replay,
+//!   transient stalls, poison) and the recovery statistics.
 
 pub mod coherence;
 pub mod config;
 pub mod controller;
 pub mod dba;
+pub mod fault;
 pub mod fence;
 pub mod flit;
 pub mod flow;
@@ -32,15 +35,18 @@ pub mod snoop;
 
 pub use coherence::{Agent, CoherenceEngine, LineState, MesiState, ProtocolMode, TrafficStats};
 pub use config::{CxlConfig, PcieGen};
-pub use controller::{run_controller, ControllerResult, LineCompletion, LineRequest};
+pub use controller::{
+    run_controller, ControllerError, ControllerResult, LineCompletion, LineRequest,
+};
 pub use dba::{merged_reference, Aggregator, DbaRegister, Disaggregator};
-pub use fence::{CxlFence, FenceStats, FENCE_CHECK_OVERHEAD};
+pub use fault::{line_checksum, FaultConfig, FaultInjector, FaultStats, TransferFault};
+pub use fence::{CxlFence, FenceStats, FenceTimeout, FENCE_CHECK_OVERHEAD};
 pub use flit::{
     unpack, wire_bytes_for_packets, Flit, FlitError, FlitPacker, Slot, FLIT_BYTES, SLOTS_PER_FLIT,
     SLOT_BYTES,
 };
 pub use flow::{CreditLoop, FlowConfig};
 pub use giant_cache::{GiantCache, GiantCacheError};
-pub use link::{CxlLink, Direction};
+pub use link::{CxlLink, Direction, LinkError, TransferOutcome};
 pub use packet::{wire_bytes_for_lines, CxlPacket, Opcode, HEADER_BYTES, MAX_PAYLOAD_BYTES};
 pub use snoop::{full_directory_bytes, SnoopFilter, BYTES_PER_ENTRY};

@@ -6,6 +6,7 @@
 //! manner" (§VIII-A).
 
 use crate::config::CxlConfig;
+use crate::fault::{FaultInjector, FaultStats};
 use teco_sim::{BoundedServer, Interval, IntervalSet, SimTime};
 
 /// Transfer direction.
@@ -23,6 +24,9 @@ struct Channel {
     server: BoundedServer,
     busy: IntervalSet,
     payload_bytes: u64,
+    /// Wire bytes consumed by ack/nak replays — kept out of
+    /// `payload_bytes` so fault-free traffic accounting is untouched.
+    replay_bytes: u64,
 }
 
 impl Channel {
@@ -31,8 +35,43 @@ impl Channel {
             server: BoundedServer::new(cfg.cxl_bandwidth(), cfg.pending_queue_entries),
             busy: IntervalSet::new(),
             payload_bytes: 0,
+            replay_bytes: 0,
         }
     }
+}
+
+/// A transfer failed at the link layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkError {
+    /// The replay buffer gave up: `attempts` replays all took CRC errors.
+    RetryExhausted {
+        /// Direction of the failed transfer.
+        direction: Direction,
+        /// Replay attempts consumed.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkError::RetryExhausted { direction, attempts } => {
+                write!(f, "link retry exhausted after {attempts} replays ({direction:?})")
+            }
+        }
+    }
+}
+impl std::error::Error for LinkError {}
+
+/// Outcome of a fault-aware transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferOutcome {
+    /// Service interval of the (final, successful) transfer on the wire.
+    pub interval: Interval,
+    /// Replay attempts the transfer needed before succeeding.
+    pub retries: u32,
+    /// The payload arrived poisoned (delivered, but flagged corrupt).
+    pub poisoned: bool,
 }
 
 /// The full-duplex CXL link with per-direction accounting.
@@ -41,12 +80,23 @@ pub struct CxlLink {
     cfg: CxlConfig,
     to_device: Channel,
     to_host: Channel,
+    /// Present only when `cfg.fault.enabled()` — a disabled fault model
+    /// takes the exact legacy code path (no RNG draws, no extra state).
+    injector: Option<FaultInjector>,
+    fstats: FaultStats,
 }
 
 impl CxlLink {
     /// Build from a configuration.
     pub fn new(cfg: CxlConfig) -> Self {
-        CxlLink { to_device: Channel::new(&cfg), to_host: Channel::new(&cfg), cfg }
+        let injector = cfg.fault.enabled().then(|| FaultInjector::new(cfg.fault));
+        CxlLink {
+            to_device: Channel::new(&cfg),
+            to_host: Channel::new(&cfg),
+            injector,
+            fstats: FaultStats::default(),
+            cfg,
+        }
     }
 
     /// The configuration.
@@ -77,16 +127,101 @@ impl CxlLink {
         bytes: u64,
         latency: SimTime,
     ) -> Interval {
-        let ch = self.channel_mut(d);
-        let (_admitted, iv) = ch.server.submit_with_latency(ready, bytes, latency);
-        ch.busy.add(iv);
-        ch.payload_bytes += bytes;
-        iv
+        self.submit(d, ready, bytes, latency, true)
     }
 
     /// Convenience: transfer with no extra latency.
     pub fn transfer_simple(&mut self, d: Direction, ready: SimTime, bytes: u64) -> Interval {
         self.transfer(d, ready, bytes, SimTime::ZERO)
+    }
+
+    /// Put one service on the wire. `payload` distinguishes real traffic
+    /// (counted in `volume`) from ack/nak replays (counted separately so
+    /// fault-free accounting stays identical to the legacy path).
+    fn submit(
+        &mut self,
+        d: Direction,
+        ready: SimTime,
+        bytes: u64,
+        latency: SimTime,
+        payload: bool,
+    ) -> Interval {
+        let ch = self.channel_mut(d);
+        let (_admitted, iv) = ch.server.submit_with_latency(ready, bytes, latency);
+        ch.busy.add(iv);
+        if payload {
+            ch.payload_bytes += bytes;
+        } else {
+            ch.replay_bytes += bytes;
+        }
+        iv
+    }
+
+    /// Fault-aware transfer: the link-retry state machine. With the fault
+    /// model off this is exactly [`CxlLink::transfer`]. With it on, a CRC
+    /// error naks the transfer and the replay buffer re-sends it (each
+    /// attempt occupies the wire and pays the ack/nak round trip); a
+    /// transient stall adds latency; exhausting `retry_limit` abandons the
+    /// transfer with [`LinkError::RetryExhausted`]. A delivered payload may
+    /// arrive `poisoned` — flagged for the receiver to contain.
+    pub fn transfer_checked(
+        &mut self,
+        d: Direction,
+        ready: SimTime,
+        bytes: u64,
+        latency: SimTime,
+    ) -> Result<TransferOutcome, LinkError> {
+        if self.injector.is_none() {
+            let interval = self.submit(d, ready, bytes, latency, true);
+            return Ok(TransferOutcome { interval, retries: 0, poisoned: false });
+        }
+        let fault =
+            self.injector.as_mut().expect("checked above").transfer_fault(d == Direction::ToDevice);
+        let retry_latency = SimTime::from_ns(self.cfg.fault.retry_latency_ns);
+        if fault.retries > 0 {
+            self.fstats.crc_errors += 1;
+            self.fstats.retries += fault.retries as u64;
+        }
+        // Each nak'd attempt is replayed from the link-layer buffer: it
+        // occupies the wire like the real transfer, plus the ack/nak round
+        // trip before the next attempt starts.
+        for _ in 0..fault.retries {
+            let iv = self.submit(d, ready, bytes, retry_latency, false);
+            self.fstats.replay_ns += iv.len().as_ns() + self.cfg.fault.retry_latency_ns;
+        }
+        if fault.exhausted {
+            self.fstats.replay_exhausted += 1;
+            return Err(LinkError::RetryExhausted { direction: d, attempts: fault.retries });
+        }
+        if fault.stall > SimTime::ZERO {
+            self.fstats.stalls += 1;
+            self.fstats.stall_ns += fault.stall.as_ns();
+        }
+        let interval = self.submit(d, ready, bytes, latency + fault.stall, true);
+        if fault.poisoned {
+            self.fstats.poisoned_lines += 1;
+        }
+        Ok(TransferOutcome { interval, retries: fault.retries, poisoned: fault.poisoned })
+    }
+
+    /// Is the fault model active on this link?
+    pub fn faults_enabled(&self) -> bool {
+        self.injector.is_some()
+    }
+
+    /// Link-side fault counters (all zero with the model off).
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fstats
+    }
+
+    /// Possibly corrupt a DBA payload in place (the aggregation-pipeline
+    /// fault class, detected by the per-line checksum). No-op with the
+    /// fault model off.
+    pub fn corrupt_payload(&mut self, payload: &mut [u8]) -> bool {
+        match &mut self.injector {
+            Some(inj) => inj.corrupt_payload(payload),
+            None => false,
+        }
     }
 
     /// When the direction's wire drains completely — the `CXLFENCE`
@@ -95,9 +230,14 @@ impl CxlLink {
         self.channel(d).server.server().next_free()
     }
 
-    /// Total payload bytes moved in a direction.
+    /// Total payload bytes moved in a direction (replays excluded).
     pub fn volume(&self, d: Direction) -> u64 {
         self.channel(d).payload_bytes
+    }
+
+    /// Wire bytes burned on ack/nak replays in a direction.
+    pub fn replay_volume(&self, d: Direction) -> u64 {
+        self.channel(d).replay_bytes
     }
 
     /// Busy intervals of a direction (for exposed-time accounting against
@@ -169,6 +309,105 @@ mod tests {
         let iv = link.transfer_simple(Direction::ToHost, SimTime::from_us(5), 4096);
         assert_eq!(link.drained_at(Direction::ToHost), iv.end);
         assert_eq!(link.drained_at(Direction::ToDevice), SimTime::ZERO);
+    }
+
+    #[test]
+    fn checked_transfer_without_faults_is_legacy_transfer() {
+        let mut a = CxlLink::new(CxlConfig::paper());
+        let mut b = CxlLink::new(CxlConfig::paper());
+        for i in 0..50u64 {
+            let iv = a.transfer(Direction::ToDevice, SimTime::ZERO, 64, SimTime::ZERO);
+            let out = b.transfer_checked(Direction::ToDevice, SimTime::ZERO, 64, SimTime::ZERO);
+            let out = out.unwrap();
+            assert_eq!(out.interval, iv, "transfer {i}");
+            assert_eq!(out.retries, 0);
+            assert!(!out.poisoned);
+        }
+        assert!(!b.faults_enabled());
+        assert!(!b.fault_stats().any());
+        assert_eq!(a.volume(Direction::ToDevice), b.volume(Direction::ToDevice));
+        assert_eq!(b.replay_volume(Direction::ToDevice), 0);
+        assert_eq!(a.drained_at(Direction::ToDevice), b.drained_at(Direction::ToDevice));
+    }
+
+    #[test]
+    fn crc_errors_cost_replay_time_not_volume() {
+        let cfg = CxlConfig::paper().with_fault(crate::fault::FaultConfig {
+            crc_error_rate: 1.0,
+            retry_limit: 2,
+            retry_latency_ns: 100,
+            seed: 3,
+            ..crate::fault::FaultConfig::off()
+        });
+        let mut link = CxlLink::new(cfg);
+        assert!(link.faults_enabled());
+        // With rate 1.0 every transfer hits the limit and fails.
+        let err = link.transfer_checked(Direction::ToDevice, SimTime::ZERO, 64, SimTime::ZERO);
+        assert_eq!(
+            err.unwrap_err(),
+            LinkError::RetryExhausted { direction: Direction::ToDevice, attempts: 2 }
+        );
+        assert_eq!(link.fault_stats().replay_exhausted, 1);
+        assert_eq!(link.fault_stats().retries, 2);
+        // Replays occupied the wire but moved no accounted payload.
+        assert_eq!(link.volume(Direction::ToDevice), 0);
+        assert_eq!(link.replay_volume(Direction::ToDevice), 2 * 64);
+        assert!(link.drained_at(Direction::ToDevice) > SimTime::ZERO);
+    }
+
+    #[test]
+    fn transient_stall_delays_the_transfer() {
+        let cfg = CxlConfig::paper().with_fault(crate::fault::FaultConfig {
+            stall_rate: 1.0,
+            stall_ns: 500,
+            seed: 4,
+            ..crate::fault::FaultConfig::off()
+        });
+        let mut faulty = CxlLink::new(cfg);
+        let mut clean = CxlLink::new(CxlConfig::paper());
+        let f = faulty.transfer_checked(Direction::ToHost, SimTime::ZERO, 64, SimTime::ZERO);
+        let c = clean.transfer_checked(Direction::ToHost, SimTime::ZERO, 64, SimTime::ZERO);
+        let (f, c) = (f.unwrap(), c.unwrap());
+        assert_eq!(f.interval.start, c.interval.start + SimTime::from_ns(500));
+        assert_eq!(faulty.fault_stats().stalls, 1);
+        assert_eq!(faulty.fault_stats().stall_ns, 500);
+        // Stalls do not change accounted volume.
+        assert_eq!(faulty.volume(Direction::ToHost), clean.volume(Direction::ToHost));
+    }
+
+    #[test]
+    fn poison_is_flagged_and_counted() {
+        let cfg = CxlConfig::paper().with_fault(crate::fault::FaultConfig {
+            poison_rate: 1.0,
+            seed: 5,
+            ..crate::fault::FaultConfig::off()
+        });
+        let mut link = CxlLink::new(cfg);
+        let out =
+            link.transfer_checked(Direction::ToDevice, SimTime::ZERO, 64, SimTime::ZERO).unwrap();
+        assert!(out.poisoned);
+        assert_eq!(link.fault_stats().poisoned_lines, 1);
+    }
+
+    #[test]
+    fn fault_schedule_reproducible_across_links() {
+        let cfg = CxlConfig::paper().with_fault(crate::fault::FaultConfig {
+            crc_error_rate: 0.2,
+            stall_rate: 0.1,
+            stall_ns: 40,
+            poison_rate: 0.05,
+            seed: 1234,
+            ..crate::fault::FaultConfig::off()
+        });
+        let mut a = CxlLink::new(cfg);
+        let mut b = CxlLink::new(cfg);
+        for i in 0..300u64 {
+            let d = if i % 3 == 0 { Direction::ToHost } else { Direction::ToDevice };
+            let ra = a.transfer_checked(d, SimTime::ZERO, 64, SimTime::ZERO);
+            let rb = b.transfer_checked(d, SimTime::ZERO, 64, SimTime::ZERO);
+            assert_eq!(ra, rb, "transfer {i}");
+        }
+        assert_eq!(a.fault_stats(), b.fault_stats());
     }
 
     #[test]

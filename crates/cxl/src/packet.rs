@@ -61,6 +61,9 @@ pub struct CxlPacket {
     /// The header's reserved "aggregated payload" bit: set when the payload
     /// is a DBA-compacted fragment rather than a full line.
     pub dba_aggregated: bool,
+    /// The CXL poison bit: the payload is known corrupt and must be
+    /// contained by the receiver, not consumed.
+    pub poisoned: bool,
     /// Data payload (empty for control messages).
     pub payload: Vec<u8>,
 }
@@ -69,7 +72,7 @@ impl CxlPacket {
     /// A header-only control packet.
     pub fn control(opcode: Opcode, addr: Addr) -> Self {
         assert!(!opcode.carries_data(), "{opcode:?} requires a payload");
-        CxlPacket { opcode, addr, dba_aggregated: false, payload: Vec::new() }
+        CxlPacket { opcode, addr, dba_aggregated: false, poisoned: false, payload: Vec::new() }
     }
 
     /// A data-carrying packet. `dba_aggregated` must reflect whether
@@ -78,7 +81,13 @@ impl CxlPacket {
     pub fn data(opcode: Opcode, addr: Addr, payload: Vec<u8>, dba_aggregated: bool) -> Self {
         assert!(opcode.carries_data(), "{opcode:?} cannot carry a payload");
         assert!(!payload.is_empty() && payload.len() <= MAX_PAYLOAD_BYTES);
-        CxlPacket { opcode, addr, dba_aggregated, payload }
+        CxlPacket { opcode, addr, dba_aggregated, poisoned: false, payload }
+    }
+
+    /// Mark the packet's payload as poisoned (builder-style).
+    pub fn with_poison(mut self, poisoned: bool) -> Self {
+        self.poisoned = poisoned;
+        self
     }
 
     /// Bytes this packet occupies on the wire.
@@ -130,6 +139,16 @@ mod tests {
     #[should_panic]
     fn data_rejects_oversized_payload() {
         CxlPacket::data(Opcode::Data, Addr(0), vec![0u8; 65], false);
+    }
+
+    #[test]
+    fn poison_bit_defaults_off_and_sets() {
+        let p = CxlPacket::data(Opcode::FlushData, Addr(0x40), vec![1u8; 64], false);
+        assert!(!p.poisoned);
+        let q = p.clone().with_poison(true);
+        assert!(q.poisoned);
+        assert_eq!(q.payload, p.payload, "poison does not alter the payload bytes");
+        assert!(!CxlPacket::control(Opcode::ReadOwn, Addr(0)).poisoned);
     }
 
     #[test]

@@ -3,17 +3,34 @@
 //! on corrupted or truncated wire images (errors are acceptable, UB isn't).
 
 use proptest::prelude::*;
-use teco_cxl::{unpack, CreditLoop, CxlPacket, Flit, FlitPacker, FlowConfig, Opcode, Slot};
+use teco_cxl::{
+    unpack, CreditLoop, CxlPacket, Flit, FlitError, FlitPacker, FlowConfig, Opcode, Slot,
+    SLOTS_PER_FLIT,
+};
 use teco_mem::Addr;
 use teco_sim::SimTime;
 
 fn packet_strategy() -> impl Strategy<Value = CxlPacket> {
     let control = (0u64..1 << 20).prop_map(|a| CxlPacket::control(Opcode::ReadOwn, Addr(a * 64)));
     let goflush = (0u64..1 << 20).prop_map(|a| CxlPacket::control(Opcode::GoFlush, Addr(a * 64)));
-    let data = (0u64..1 << 20, prop::collection::vec(any::<u8>(), 1..=64), any::<bool>()).prop_map(
-        |(a, payload, agg)| CxlPacket::data(Opcode::FlushData, Addr(a * 64), payload, agg),
-    );
+    let data =
+        (0u64..1 << 20, prop::collection::vec(any::<u8>(), 1..=64), any::<bool>(), any::<bool>())
+            .prop_map(|(a, payload, agg, poison)| {
+                CxlPacket::data(Opcode::FlushData, Addr(a * 64), payload, agg).with_poison(poison)
+            });
     prop_oneof![control, goflush, data]
+}
+
+/// Every `FlitError` must name a wire location that exists in the stream
+/// it was reported against.
+fn assert_error_location_valid(err: &FlitError, flits: &[Flit]) {
+    let (fi, si) = match *err {
+        FlitError::OrphanData { flit, slot } => (flit, slot),
+        FlitError::HeaderWhilePayloadPending { flit, slot } => (flit, slot),
+        FlitError::TruncatedPayload { header_flit, header_slot, .. } => (header_flit, header_slot),
+    };
+    assert!(fi < flits.len(), "flit index {fi} out of range ({} flits)", flits.len());
+    assert!(si < SLOTS_PER_FLIT, "slot index {si} out of range");
 }
 
 proptest! {
@@ -43,12 +60,49 @@ proptest! {
         let mut flits = p.finish();
         let keep = cut.min(flits.len());
         flits.truncate(keep);
-        // An Err means the unpacker detected the truncation — that's fine.
-        if let Ok(prefix) = unpack(&flits) {
-            prop_assert!(prefix.len() <= pkts.len());
-            for (a, b) in prefix.iter().zip(&pkts) {
-                prop_assert_eq!(a, b);
+        // An Err means the unpacker detected the truncation — that's fine,
+        // as long as it names a wire location inside the stream.
+        match unpack(&flits) {
+            Ok(prefix) => {
+                prop_assert!(prefix.len() <= pkts.len());
+                for (a, b) in prefix.iter().zip(&pkts) {
+                    prop_assert_eq!(a, b);
+                }
             }
+            Err(err) => assert_error_location_valid(&err, &flits),
+        }
+    }
+
+    /// Corrupting one slot of a valid wire image (overwriting it with an
+    /// arbitrary other slot kind) never panics the unpacker, and any error
+    /// points at a real flit/slot position.
+    #[test]
+    fn corrupted_slot_never_panics(
+        pkts in prop::collection::vec(packet_strategy(), 1..20),
+        victim in 0usize..10_000,
+        kind in 0u8..3,
+        lens in 1u16..=64,
+    ) {
+        let mut p = FlitPacker::new();
+        for pkt in &pkts {
+            p.push_packet(pkt);
+        }
+        let mut flits = p.finish();
+        let n_slots = flits.len() * SLOTS_PER_FLIT;
+        let pos = victim % n_slots;
+        flits[pos / SLOTS_PER_FLIT].slots[pos % SLOTS_PER_FLIT] = match kind {
+            0 => Slot::Empty,
+            1 => Slot::Data([0xEE; 16]),
+            _ => Slot::Header {
+                opcode: Opcode::Data,
+                addr: 0x1000,
+                dba_aggregated: false,
+                poisoned: true,
+                payload_len: lens,
+            },
+        };
+        if let Err(err) = unpack(&flits) {
+            assert_error_location_valid(&err, &flits);
         }
     }
 
@@ -75,11 +129,18 @@ proptest! {
             .map(|(i, &k)| match k {
                 0 => Slot::Empty,
                 1 => Slot::Data(data),
-                2 => Slot::Header { opcode: Opcode::Evict, addr: 64, dba_aggregated: false, payload_len: 0 },
+                2 => Slot::Header {
+                    opcode: Opcode::Evict,
+                    addr: 64,
+                    dba_aggregated: false,
+                    poisoned: false,
+                    payload_len: 0,
+                },
                 _ => Slot::Header {
                     opcode: Opcode::Data,
                     addr: 128,
                     dba_aggregated: true,
+                    poisoned: i % 7 == 0,
                     payload_len: lens[i % lens.len()].clamp(1, 64),
                 },
             })
@@ -94,7 +155,10 @@ proptest! {
                 Flit { slots: f }
             })
             .collect();
-        let _ = unpack(&flits); // must not panic
+        // Must not panic; any error must carry an in-range wire location.
+        if let Err(err) = unpack(&flits) {
+            assert_error_location_valid(&err, &flits);
+        }
     }
 
     /// The credit loop conserves work: n sends always complete, in order,

@@ -27,7 +27,7 @@ pub use cost::DatacenterModel;
 pub use doublebuffer::{double_buffer, DoubleBufferResult};
 pub use memory::{cpu_layout, gpu_layout, CpuLayout, GpuLayout};
 pub use multistep::{simulate_dpu_run, simulate_run, RunResult};
-pub use report::{md_table, timing_report};
+pub use report::{fault_report_md, md_table, timing_report};
 pub use schedule::{
     dba_payload_fraction, simulate_step, simulate_teco_dba, Breakdown, StepResult, System,
 };

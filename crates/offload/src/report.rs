@@ -6,6 +6,7 @@
 use crate::experiments;
 use crate::timing::Calibration;
 use std::fmt::Write as _;
+use teco_cxl::FaultStats;
 
 /// Render a markdown table from a header and rows.
 pub fn md_table(header: &[&str], rows: &[Vec<String>]) -> String {
@@ -123,6 +124,40 @@ pub fn timing_report(cal: &Calibration) -> String {
     out
 }
 
+/// Render a merged fault/recovery report (link-side error counters plus
+/// session-side recovery counters) as one markdown section. The shape is
+/// fixed — every counter always appears, zero or not — so reports from
+/// different runs diff cleanly line-by-line.
+pub fn fault_report_md(stats: &FaultStats, degraded: &[String]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Link fault & recovery report\n");
+    if !stats.any() && degraded.is_empty() {
+        let _ = writeln!(out, "No faults injected or observed (fault model off or clean run).\n");
+    }
+    let rows: Vec<Vec<String>> = [
+        ("CRC errors (link)", stats.crc_errors),
+        ("link retries", stats.retries),
+        ("replay exhaustions", stats.replay_exhausted),
+        ("transient stalls", stats.stalls),
+        ("stall time (ns)", stats.stall_ns),
+        ("replay time (ns)", stats.replay_ns),
+        ("poisoned deliveries", stats.poisoned_lines),
+        ("lines quarantined", stats.quarantined_lines),
+        ("DBA checksum mismatches", stats.checksum_mismatches),
+        ("full-line retries", stats.full_line_retries),
+        ("regions degraded to baseline", stats.degraded_regions),
+        ("fence timeouts", stats.fence_timeouts),
+    ]
+    .iter()
+    .map(|(name, v)| vec![(*name).to_string(), v.to_string()])
+    .collect();
+    out += &md_table(&["counter", "count"], &rows);
+    if !degraded.is_empty() {
+        let _ = writeln!(out, "\ndegraded regions (in order): {}", degraded.join(", "));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,5 +205,21 @@ mod tests {
     fn report_is_deterministic() {
         let cal = Calibration::paper();
         assert_eq!(timing_report(&cal), timing_report(&cal));
+    }
+
+    #[test]
+    fn fault_report_fixed_shape() {
+        // Zero and nonzero reports render the same table rows, so run
+        // outputs diff cleanly; degraded regions append when present.
+        let clean = fault_report_md(&FaultStats::default(), &[]);
+        assert!(clean.contains("No faults injected"));
+        let mut s = FaultStats { crc_errors: 3, retries: 7, ..FaultStats::default() };
+        s.quarantined_lines = 1;
+        let dirty = fault_report_md(&s, &["params".into(), "grads".into()]);
+        assert!(!dirty.contains("No faults injected"));
+        assert!(dirty.contains("| CRC errors (link) | 3 |"));
+        assert!(dirty.contains("degraded regions (in order): params, grads"));
+        let count = |r: &str| r.lines().filter(|l| l.starts_with('|')).count();
+        assert_eq!(count(&clean), count(&dirty), "same table shape");
     }
 }

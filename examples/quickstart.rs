@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             for w in 0..16 {
                 line.set_word(w, (step as u32) << 16 | (i as u32 * 16 + w as u32));
             }
-            session.push_grad_line(Addr(grads.0 + i * 64), line, now);
+            session.push_grad_line(Addr(grads.0 + i * 64), line, now)?;
         }
         now = session.cxlfence_grads(now);
 
