@@ -1,0 +1,58 @@
+//! Per-event coherence cost: the dense-arena engine against the retained
+//! hash-map reference (`teco_cxl::refmaps`), measured in the same run so
+//! the speedup claim never compares across machines or builds.
+//!
+//! The workload is the session's steady state: a region registered at
+//! allocation time, then repeated `write_accounted` + `read` rounds over
+//! its lines. The dense engine resolves each address with O(1) span
+//! arithmetic; the reference hashes every access.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use teco_cxl::{Agent, CoherenceEngine, HashCoherenceEngine, ProtocolMode};
+use teco_mem::{Addr, LINE_BYTES};
+
+const LINES: u64 = 4096;
+
+fn bench_events(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coherence_event");
+    // write_accounted + read per line per iteration.
+    g.throughput(Throughput::Elements(2 * LINES));
+
+    for (name, mode) in
+        [("dense_update", ProtocolMode::Update), ("dense_invalidation", ProtocolMode::Invalidation)]
+    {
+        g.bench_function(name, |b| {
+            let mut eng = CoherenceEngine::new(mode);
+            eng.register_region(Addr(0), LINES * LINE_BYTES as u64);
+            b.iter(|| {
+                for i in 0..LINES {
+                    let a = Addr(i * LINE_BYTES as u64);
+                    eng.write_accounted(Agent::Cpu, black_box(a), 32);
+                    eng.read(Agent::Device, a, LINE_BYTES);
+                }
+                eng.to_device.data_bytes
+            })
+        });
+    }
+
+    for (name, mode) in [
+        ("hashref_update", ProtocolMode::Update),
+        ("hashref_invalidation", ProtocolMode::Invalidation),
+    ] {
+        g.bench_function(name, |b| {
+            let mut eng = HashCoherenceEngine::new(mode);
+            b.iter(|| {
+                for i in 0..LINES {
+                    let a = Addr(i * LINE_BYTES as u64);
+                    eng.write_accounted(Agent::Cpu, black_box(a), 32);
+                    eng.read(Agent::Device, a, LINE_BYTES);
+                }
+                eng.to_device.data_bytes
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_events);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Giant-cache bulk-merge cost: the arena-backed cache (in-place slab
+//! merge) against the retained hash-map reference, which round-trips every
+//! line through a lookup + scratch copy + insert. Same run, same inputs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use teco_cxl::{DbaRegister, GiantCache, HashGiantCache};
+use teco_mem::{LineData, LINE_BYTES};
+
+const LINES: usize = 4096;
+
+fn payload_for(per: usize) -> Vec<u8> {
+    (0..per * LINES).map(|i| (i % 251) as u8).collect()
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("giant_cache_merge");
+    g.throughput(Throughput::Elements(LINES as u64));
+    let reg = DbaRegister::new(true, 2);
+    let region_bytes = (LINES * LINE_BYTES) as u64;
+
+    g.bench_function("dense_bulk_dba", |b| {
+        let mut gc = GiantCache::new(region_bytes);
+        let (_, base) = gc.alloc_region("params", region_bytes).unwrap();
+        // Establish resident lines, then switch to 32-byte DBA merges.
+        for i in 0..LINES {
+            let a = teco_mem::Addr(base.0 + (i * LINE_BYTES) as u64);
+            gc.write_line(a, LineData([0x11; LINE_BYTES])).unwrap();
+        }
+        gc.disaggregator.set_register(reg);
+        let payload = payload_for(reg.payload_bytes());
+        b.iter(|| {
+            gc.apply_dba_payloads(base, LINES, black_box(&payload)).unwrap();
+            gc.lines_written()
+        })
+    });
+
+    g.bench_function("hashref_bulk_dba", |b| {
+        let mut gc = HashGiantCache::new(region_bytes);
+        let (_, base) = gc.alloc_region("params", region_bytes).unwrap();
+        for i in 0..LINES {
+            let a = teco_mem::Addr(base.0 + (i * LINE_BYTES) as u64);
+            gc.write_line(a, LineData([0x11; LINE_BYTES])).unwrap();
+        }
+        gc.disaggregator.set_register(reg);
+        let payload = payload_for(reg.payload_bytes());
+        b.iter(|| {
+            gc.apply_dba_payloads(base, LINES, black_box(&payload)).unwrap();
+            gc.lines_written()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

@@ -16,6 +16,9 @@ const SECTIONS: &[(&str, &[&str])] = &[
     ("dba", &["aggregator", "disaggregator", "aggregator_bulk", "disaggregator_bulk"]),
     ("event_engine", &["event_engine"]),
     ("coherence", &["coherence"]),
+    ("coherence_event", &["coherence_event"]),
+    ("giant_cache_merge", &["giant_cache_merge"]),
+    ("step_throughput", &["step_throughput"]),
 ];
 
 /// Build `perf_summary.json` from the medians `cargo bench` left behind.
@@ -84,8 +87,47 @@ fn fault_section() -> String {
     fault_report_md(&s.fault_report(), s.degraded_regions())
 }
 
+/// A deterministic invalidation-mode run that populates the snoop filter,
+/// reported so the directory's occupancy (and where its entries live —
+/// dense arena vs spillover) is visible next to the fault section.
+fn snoop_section() -> String {
+    let cfg = TecoConfig::default()
+        .with_giant_cache_bytes(1 << 20)
+        .with_protocol(teco_cxl::ProtocolMode::Invalidation);
+    let mut s = TecoSession::new(cfg).expect("valid config");
+    let (_, base) = s.alloc_tensor("params", 512 * 64).expect("alloc params");
+    let lines: Vec<LineData> = (0..512u64)
+        .map(|i| {
+            let mut l = LineData::zeroed();
+            for w in 0..16usize {
+                l.set_word(w, ((i as u32) << 8) | w as u32);
+            }
+            l
+        })
+        .collect();
+    s.push_param_lines(base, &lines, SimTime::ZERO).expect("param push");
+    let st = s.coherence().snoop_filter().stats();
+    format!(
+        "\n## Snoop-filter occupancy (invalidation mode, 512-line push)\n\n\
+         | metric | value |\n|---|---|\n\
+         | tracked lines | {} |\n\
+         | dense-arena entries | {} |\n\
+         | spillover entries | {} |\n\
+         | dense slots available | {} |\n\
+         | peak tracked lines | {} |\n\
+         | peak directory bytes | {} |\n",
+        st.entries,
+        st.dense_entries,
+        st.spill_entries,
+        st.dense_slots,
+        st.peak_entries,
+        st.peak_bytes
+    )
+}
+
 fn main() {
-    let report = format!("{}\n{}", timing_report(&Calibration::paper()), fault_section());
+    let report =
+        format!("{}\n{}{}", timing_report(&Calibration::paper()), fault_section(), snoop_section());
     std::fs::create_dir_all("bench_results").expect("create bench_results/");
     let path = "bench_results/REPORT.md";
     std::fs::write(path, &report).expect("write report");

@@ -1,0 +1,127 @@
+//! Perf regression smoke gate.
+//!
+//! Compares the Criterion medians of the current run
+//! (`bench_results/criterion_medians.json`, written by `cargo bench`)
+//! against the committed PR-3 baseline (`bench_results/BENCH_pr3.json`)
+//! and fails on a >25 % regression of any tracked key. It also re-checks
+//! the arena speedup claims *within the current run* — dense vs the
+//! hash-map reference measured on the same machine moments apart — so the
+//! ≥2× bound never depends on cross-machine comparisons.
+//!
+//! Usage:
+//!   perf_smoke            # gate: compare current medians vs BENCH_pr3.json
+//!   perf_smoke --record   # (re)write BENCH_pr3.json from current medians
+
+use serde::Value;
+
+const MEDIANS: &str = "bench_results/criterion_medians.json";
+const BASELINE: &str = "bench_results/BENCH_pr3.json";
+
+/// Keys gated against the committed baseline (median_ns, lower is better).
+const TRACKED: &[&str] = &[
+    "coherence_event/dense_update",
+    "coherence_event/dense_invalidation",
+    "giant_cache_merge/dense_bulk_dba",
+    "step_throughput/push_fence_dba",
+    "step_throughput/push_fence_full",
+];
+
+/// (fast, slow, minimum required slow/fast ratio) asserted on the current
+/// run's medians.
+const SPEEDUPS: &[(&str, &str, f64)] = &[
+    ("coherence_event/dense_update", "coherence_event/hashref_update", 2.0),
+    ("coherence_event/dense_invalidation", "coherence_event/hashref_invalidation", 2.0),
+    ("giant_cache_merge/dense_bulk_dba", "giant_cache_merge/hashref_bulk_dba", 2.0),
+];
+
+/// Regression threshold: fail when current > baseline × 1.25.
+const MAX_REGRESSION: f64 = 1.25;
+
+fn median_ns(doc: &Value, key: &str) -> Option<f64> {
+    doc.get(key)?.get("median_ns")?.as_f64()
+}
+
+fn load(path: &str) -> Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e} — run `cargo bench` first"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+}
+
+fn record(current: &Value) {
+    let mut fields = Vec::new();
+    let mut keys: Vec<&str> = TRACKED.to_vec();
+    for &(fast, slow, _) in SPEEDUPS {
+        for k in [fast, slow] {
+            if !keys.contains(&k) {
+                keys.push(k);
+            }
+        }
+    }
+    for key in keys {
+        let ns = median_ns(current, key)
+            .unwrap_or_else(|| panic!("{MEDIANS} is missing {key} — run the benches first"));
+        fields.push((
+            key.to_string(),
+            Value::Object(vec![("median_ns".to_string(), Value::Float(ns))]),
+        ));
+    }
+    let doc = Value::Object(fields);
+    std::fs::write(BASELINE, serde_json::to_string_pretty(&doc).expect("serialize baseline"))
+        .unwrap_or_else(|e| panic!("cannot write {BASELINE}: {e}"));
+    println!("recorded {} keys to {BASELINE}", TRACKED.len());
+}
+
+fn main() {
+    let current = load(MEDIANS);
+    if std::env::args().any(|a| a == "--record") {
+        record(&current);
+        return;
+    }
+
+    let baseline = load(BASELINE);
+    let mut failures = Vec::new();
+
+    for &key in TRACKED {
+        let now = median_ns(&current, key);
+        let then = median_ns(&baseline, key);
+        match (now, then) {
+            (Some(now), Some(then)) => {
+                let ratio = now / then;
+                let verdict = if ratio > MAX_REGRESSION { "REGRESSED" } else { "ok" };
+                println!("{key}: {now:.0} ns vs baseline {then:.0} ns ({ratio:.2}x) {verdict}");
+                if ratio > MAX_REGRESSION {
+                    failures.push(format!("{key} regressed {ratio:.2}x (> {MAX_REGRESSION}x)"));
+                }
+            }
+            (None, _) => failures.push(format!("{key} missing from {MEDIANS}")),
+            (_, None) => failures.push(format!("{key} missing from {BASELINE}")),
+        }
+    }
+
+    for &(fast, slow, min_ratio) in SPEEDUPS {
+        match (median_ns(&current, fast), median_ns(&current, slow)) {
+            (Some(f), Some(s)) => {
+                let ratio = s / f;
+                let verdict = if ratio < min_ratio { "TOO SLOW" } else { "ok" };
+                println!(
+                    "{fast} is {ratio:.2}x faster than {slow} (need {min_ratio:.1}x) {verdict}"
+                );
+                if ratio < min_ratio {
+                    failures.push(format!(
+                        "{fast} only {ratio:.2}x faster than {slow} (need {min_ratio:.1}x)"
+                    ));
+                }
+            }
+            _ => failures.push(format!("{fast} / {slow} missing from {MEDIANS}")),
+        }
+    }
+
+    if failures.is_empty() {
+        println!("perf smoke: all checks passed");
+    } else {
+        for f in &failures {
+            eprintln!("perf smoke FAILURE: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -17,7 +17,7 @@ use teco_cxl::{
     Direction, FaultStats, FenceTimeout, GiantCache, GiantCacheError, LinkError, Opcode,
     ProtocolMode,
 };
-use teco_mem::{Addr, LineData, RegionId, LINE_BYTES};
+use teco_mem::{Addr, LineData, LineSlot, RegionId, LINE_BYTES};
 use teco_sim::{Interval, SimTime};
 
 /// Statistics a session accumulates.
@@ -167,7 +167,13 @@ impl TecoSession {
         name: impl Into<String>,
         bytes: u64,
     ) -> Result<(RegionId, Addr), GiantCacheError> {
-        self.giant_cache.alloc_region(name, bytes)
+        let (id, base) = self.giant_cache.alloc_region(name, bytes)?;
+        // Register the line-rounded span with the coherence engine so its
+        // per-line state (and the snoop directory behind it) lives in the
+        // dense arena instead of the spillover map.
+        let rounded = bytes.div_ceil(LINE_BYTES as u64) * LINE_BYTES as u64;
+        self.coherence.register_region(base, rounded);
+        Ok((id, base))
     }
 
     /// Listing 1's `check_activation(i)`: called once per training step
@@ -251,8 +257,17 @@ impl TecoSession {
         let aggregated = per < LINE_BYTES;
         let latency = if aggregated { self.cfg.cxl.aggregator_latency } else { SimTime::ZERO };
         let mut iv = Interval::new(now, now);
+        // One span lookup covers the whole run when the region is
+        // registered; each line then hits the coherence engine through its
+        // dense slot with no per-line address math or hashing.
+        let run = self.coherence.resolve_run(base, n);
         for i in 0..n {
-            let pushed = self.coherence.write_accounted(Agent::Cpu, addr_of(i), per);
+            let pushed = match run {
+                Some(start) => {
+                    self.coherence.write_accounted_at(Agent::Cpu, LineSlot::Dense(start + i), per)
+                }
+                None => self.coherence.write_accounted(Agent::Cpu, addr_of(i), per),
+            };
             debug_assert!(pushed || self.cfg.protocol == ProtocolMode::Invalidation);
             let t = self.link.transfer(Direction::ToDevice, now, per as u64, latency);
             iv = if i == 0 { t } else { Interval::new(iv.start.min(t.start), iv.end.max(t.end)) };
@@ -286,15 +301,14 @@ impl TecoSession {
             return self.push_baseline_line(addr, line, now);
         }
         let mut buf = [0u8; LINE_BYTES];
-        let per = self.aggregator.aggregate_into(line, &mut buf);
+        // Sender-side checksum, computed in the same pass that packs the
+        // payload; the receiver recomputes after the wire (and the
+        // aggregation pipeline) had their chance to corrupt it.
+        let (per, expect) = self.aggregator.aggregate_into_checksummed(line, &mut buf);
         let clean = buf;
         let payload = &mut buf[..per];
         let aggregated = per < LINE_BYTES;
         let latency = if aggregated { self.cfg.cxl.aggregator_latency } else { SimTime::ZERO };
-        // Sender-side checksum over the clean payload; the receiver
-        // recomputes after the wire (and the aggregation pipeline) had
-        // their chance to corrupt it.
-        let expect = line_checksum(payload);
         self.link.corrupt_payload(payload);
         let pushed = self.coherence.write_accounted(Agent::Cpu, addr, per);
         debug_assert!(pushed || self.cfg.protocol == ProtocolMode::Invalidation);

@@ -13,12 +13,18 @@
 //! The engine is *functional*: each operation returns the packets emitted,
 //! which the caller prices on a [`crate::link::CxlLink`]. It also keeps the
 //! per-opcode message counts and data volumes used by §VIII-C.
+//!
+//! Per-line state for registered regions lives in a dense, lazily chunked
+//! slab indexed by [`LineSlot::Dense`] arithmetic (one array access per
+//! event instead of a hash + probe); lines outside every region fall back
+//! to a hash-map spillover. [`CoherenceEngine::resolve`] exposes the
+//! address→slot mapping so bulk callers pay the lookup once per run.
 
 use crate::packet::{CxlPacket, Opcode};
 use crate::snoop::SnoopFilter;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use teco_mem::{Addr, LineData, LINE_BYTES};
+use teco_mem::{Addr, LineBitmap, LineData, LineIndexer, LineSlab, LineSlot, LINE_BYTES};
 
 /// MESI line states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -72,13 +78,13 @@ pub struct LineState {
 }
 
 impl LineState {
-    fn get(&self, a: Agent) -> MesiState {
+    pub(crate) fn get(&self, a: Agent) -> MesiState {
         match a {
             Agent::Cpu => self.cs,
             Agent::Device => self.gs,
         }
     }
-    fn set(&mut self, a: Agent, s: MesiState) {
+    pub(crate) fn set(&mut self, a: Agent, s: MesiState) {
         match a {
             Agent::Cpu => self.cs = s,
             Agent::Device => self.gs = s,
@@ -102,20 +108,32 @@ pub struct TrafficStats {
 #[derive(Debug, Clone)]
 pub struct CoherenceEngine {
     mode: ProtocolMode,
-    /// Per-line states; lines not present use `initial`.
-    lines: HashMap<u64, LineState>,
+    /// Address→slot mapping for registered regions.
+    indexer: LineIndexer,
+    /// Dense per-line states for registered regions.
+    dense: LineSlab<LineState>,
+    /// Dense lines that have been touched (hold explicit state). Untouched
+    /// slots report `initial`, so late `with_initial`-style overrides and
+    /// `tracked_lines` behave exactly like the old map.
+    touched: LineBitmap,
+    /// Per-line states for lines outside every registered region.
+    spill: HashMap<u64, LineState>,
     /// State assumed for untouched lines. At training start "the giant
     /// cache has a copy of the parameters": `Cs = I`, `Gs = E`.
     initial: LineState,
-    /// Message counts per opcode.
-    msg_counts: HashMap<Opcode, u64>,
+    /// Message counts per opcode, indexed by [`Opcode::index`] — bumped on
+    /// every message, so a hash map here would put SipHash on the per-event
+    /// path.
+    msg_counts: [u64; crate::packet::OPCODE_COUNT],
     /// Traffic toward the device (CPU→GPU direction).
     pub to_device: TrafficStats,
     /// Traffic toward the host (GPU→CPU direction).
     pub to_host: TrafficStats,
     /// Snoop filter used in invalidation mode. The update mode does not
     /// need it (§IV-A2: clear producer/consumer makes sharer tracking
-    /// unnecessary) and leaves it empty.
+    /// unnecessary) and leaves it empty. Regions registered on the engine
+    /// are forwarded here in the same order, so a [`LineSlot`] resolved by
+    /// the engine is valid for the filter's slot-based calls too.
     snoop: SnoopFilter,
     /// Inbound data packets refused admission because their poison bit was
     /// set (CXL poison containment: the receiver must not consume them).
@@ -126,11 +144,15 @@ impl CoherenceEngine {
     /// New engine in the given mode, with untouched lines starting as
     /// `Cs = I, Gs = E` (device holds the initial copy).
     pub fn new(mode: ProtocolMode) -> Self {
+        let initial = LineState { cs: MesiState::I, gs: MesiState::E };
         CoherenceEngine {
             mode,
-            lines: HashMap::new(),
-            initial: LineState { cs: MesiState::I, gs: MesiState::E },
-            msg_counts: HashMap::new(),
+            indexer: LineIndexer::new(),
+            dense: LineSlab::new(1, initial),
+            touched: LineBitmap::new(),
+            spill: HashMap::new(),
+            initial,
+            msg_counts: [0; crate::packet::OPCODE_COUNT],
             to_device: TrafficStats::default(),
             to_host: TrafficStats::default(),
             snoop: SnoopFilter::new(),
@@ -157,14 +179,47 @@ impl CoherenceEngine {
         self.mode = mode;
     }
 
+    /// Register an address region so its lines use the dense slab; the
+    /// snoop filter is registered with the same span so slot numbering
+    /// matches. Overlapping or duplicate registrations are ignored.
+    pub fn register_region(&mut self, base: Addr, bytes: u64) {
+        if self.indexer.add_span(base, bytes) {
+            self.dense.grow_lines(self.indexer.slots());
+            self.touched.grow(self.indexer.slots());
+        }
+        self.snoop.register_region(base, bytes);
+    }
+
+    /// Resolve the line containing `addr` to its storage slot.
+    #[inline]
+    pub fn resolve(&self, addr: Addr) -> LineSlot {
+        self.indexer.resolve(addr)
+    }
+
+    /// Dense starting slot for an aligned run of `n` lines beginning at
+    /// `base`, when the whole run falls inside one registered region.
+    #[inline]
+    pub fn resolve_run(&self, base: Addr, n: usize) -> Option<usize> {
+        self.indexer.resolve_run(base, n)
+    }
+
     /// State of a line.
     pub fn line_state(&self, addr: Addr) -> LineState {
-        *self.lines.get(&addr.line_index()).unwrap_or(&self.initial)
+        match self.resolve(addr) {
+            LineSlot::Dense(i) => {
+                if self.touched.get(i) {
+                    self.dense.get(i)
+                } else {
+                    self.initial
+                }
+            }
+            LineSlot::Spill(line) => *self.spill.get(&line).unwrap_or(&self.initial),
+        }
     }
 
     /// Messages sent so far for an opcode.
     pub fn msg_count(&self, op: Opcode) -> u64 {
-        self.msg_counts.get(&op).copied().unwrap_or(0)
+        self.msg_counts[op.index()]
     }
 
     /// The snoop filter (populated only in invalidation mode).
@@ -189,15 +244,27 @@ impl CoherenceEngine {
         self.poisoned_rejects
     }
 
-    fn state_mut(&mut self, addr: Addr) -> &mut LineState {
-        let init = self.initial;
-        self.lines.entry(addr.line_index()).or_insert(init)
+    /// Mutable state at a pre-resolved slot; first touch installs the
+    /// current `initial` (matching the old map's `entry().or_insert`).
+    fn state_mut_at(&mut self, slot: LineSlot) -> &mut LineState {
+        match slot {
+            LineSlot::Dense(i) => {
+                if !self.touched.set(i) {
+                    *self.dense.get_mut(i) = self.initial;
+                }
+                self.dense.get_mut(i)
+            }
+            LineSlot::Spill(line) => {
+                let init = self.initial;
+                self.spill.entry(line).or_insert(init)
+            }
+        }
     }
 
     /// Account one message (opcode counts + per-direction traffic) without
     /// materializing a packet. `payload_len` is 0 for control messages.
     fn account(&mut self, to: Agent, opcode: Opcode, payload_len: usize) {
-        *self.msg_counts.entry(opcode).or_insert(0) += 1;
+        self.msg_counts[opcode.index()] += 1;
         let stats = match to {
             Agent::Device => &mut self.to_device,
             Agent::Cpu => &mut self.to_host,
@@ -229,8 +296,9 @@ impl CoherenceEngine {
         aggregated: bool,
     ) -> Vec<CxlPacket> {
         let mut out = Vec::new();
+        let slot = self.resolve(addr);
         let reader = writer.peer();
-        let st = *self.state_mut(addr);
+        let st = *self.state_mut_at(slot);
 
         // Acquire ownership if we don't have it (Fig. 5 step ①).
         let my = st.get(writer);
@@ -241,20 +309,20 @@ impl CoherenceEngine {
                     // ReadOwn invalidates the peer copy.
                     if st.get(reader) != MesiState::I {
                         out.push(self.emit(reader, CxlPacket::control(Opcode::Invalidate, addr)));
-                        self.state_mut(addr).set(reader, MesiState::I);
+                        self.state_mut_at(slot).set(reader, MesiState::I);
                     }
-                    self.snoop.set_exclusive(addr, writer);
+                    self.snoop.set_exclusive_at(slot, writer);
                 }
                 ProtocolMode::Update => {
                     // The update extension leaves the peer copy in place; it
                     // is about to receive fresh data anyway.
                 }
             }
-            self.state_mut(addr).set(writer, MesiState::E);
+            self.state_mut_at(slot).set(writer, MesiState::E);
         }
 
         // Perform the store: E→M (no traffic).
-        self.state_mut(addr).set(writer, MesiState::M);
+        self.state_mut_at(slot).set(writer, MesiState::M);
 
         match self.mode {
             ProtocolMode::Update => {
@@ -266,7 +334,7 @@ impl CoherenceEngine {
                     reader,
                     CxlPacket::data(Opcode::FlushData, addr, payload.to_vec(), aggregated),
                 ));
-                let ls = self.state_mut(addr);
+                let ls = self.state_mut_at(slot);
                 ls.set(writer, MesiState::S);
                 ls.set(reader, MesiState::S);
             }
@@ -284,8 +352,21 @@ impl CoherenceEngine {
     /// update protocol would push. Returns `true` when a `FlushData` push
     /// was emitted (always, in update mode).
     pub fn write_accounted(&mut self, writer: Agent, addr: Addr, payload_len: usize) -> bool {
+        let slot = self.resolve(addr);
+        self.write_accounted_at(writer, slot, payload_len)
+    }
+
+    /// [`CoherenceEngine::write_accounted`] against a pre-resolved slot —
+    /// the per-event hot path for bulk pushes, where the caller resolved
+    /// the whole run once via [`CoherenceEngine::resolve_run`].
+    pub fn write_accounted_at(
+        &mut self,
+        writer: Agent,
+        slot: LineSlot,
+        payload_len: usize,
+    ) -> bool {
         let reader = writer.peer();
-        let st = *self.state_mut(addr);
+        let st = *self.state_mut_at(slot);
 
         // Acquire ownership if we don't have it (Fig. 5 step ①).
         let my = st.get(writer);
@@ -295,24 +376,24 @@ impl CoherenceEngine {
                 ProtocolMode::Invalidation => {
                     if st.get(reader) != MesiState::I {
                         self.account(reader, Opcode::Invalidate, 0);
-                        self.state_mut(addr).set(reader, MesiState::I);
+                        self.state_mut_at(slot).set(reader, MesiState::I);
                     }
-                    self.snoop.set_exclusive(addr, writer);
+                    self.snoop.set_exclusive_at(slot, writer);
                 }
                 ProtocolMode::Update => {}
             }
-            self.state_mut(addr).set(writer, MesiState::E);
+            self.state_mut_at(slot).set(writer, MesiState::E);
         }
 
         // Perform the store: E→M (no traffic).
-        self.state_mut(addr).set(writer, MesiState::M);
+        self.state_mut_at(slot).set(writer, MesiState::M);
 
         match self.mode {
             ProtocolMode::Update => {
                 // Fig. 5 step ②: GoFlush + FlushData, both ends → S.
                 self.account(writer, Opcode::GoFlush, 0);
                 self.account(reader, Opcode::FlushData, payload_len);
-                let ls = self.state_mut(addr);
+                let ls = self.state_mut_at(slot);
                 ls.set(writer, MesiState::S);
                 ls.set(reader, MesiState::S);
                 true
@@ -328,8 +409,9 @@ impl CoherenceEngine {
     /// motivates the extension.
     pub fn read(&mut self, reader: Agent, addr: Addr, line_bytes: usize) -> Vec<CxlPacket> {
         let mut out = Vec::new();
+        let slot = self.resolve(addr);
         let writer = reader.peer();
-        let st = *self.state_mut(addr);
+        let st = *self.state_mut_at(slot);
         match st.get(reader) {
             MesiState::M | MesiState::E | MesiState::S => {
                 // Hit: no traffic.
@@ -340,15 +422,15 @@ impl CoherenceEngine {
                     reader,
                     CxlPacket::data(Opcode::Data, addr, vec![0u8; line_bytes], false),
                 ));
-                let ls = self.state_mut(addr);
+                let ls = self.state_mut_at(slot);
                 ls.set(reader, MesiState::S);
                 // The former owner downgrades M/E → S.
                 if matches!(ls.get(writer), MesiState::M | MesiState::E) {
                     ls.set(writer, MesiState::S);
                 }
                 if self.mode == ProtocolMode::Invalidation {
-                    self.snoop.add_sharer(addr, reader);
-                    self.snoop.add_sharer(addr, writer);
+                    self.snoop.add_sharer_at(slot, reader);
+                    self.snoop.add_sharer_at(slot, writer);
                 }
             }
         }
@@ -364,10 +446,11 @@ impl CoherenceEngine {
         let mut out = Vec::new();
         let peer = flusher.peer();
         for &addr in addrs {
-            let st = *self.state_mut(addr);
+            let slot = self.resolve(addr);
+            let st = *self.state_mut_at(slot);
             match st.get(flusher) {
                 MesiState::S => {
-                    let ls = self.state_mut(addr);
+                    let ls = self.state_mut_at(slot);
                     ls.set(flusher, MesiState::I);
                     if ls.get(peer) == MesiState::S {
                         ls.set(peer, MesiState::E);
@@ -378,12 +461,12 @@ impl CoherenceEngine {
                         peer,
                         CxlPacket::data(Opcode::FlushData, addr, vec![0u8; line_bytes], false),
                     ));
-                    let ls = self.state_mut(addr);
+                    let ls = self.state_mut_at(slot);
                     ls.set(flusher, MesiState::I);
                     ls.set(peer, MesiState::E);
                 }
                 MesiState::E => {
-                    let ls = self.state_mut(addr);
+                    let ls = self.state_mut_at(slot);
                     ls.set(flusher, MesiState::I);
                     if ls.get(peer) == MesiState::I {
                         ls.set(peer, MesiState::E);
@@ -397,7 +480,7 @@ impl CoherenceEngine {
 
     /// Number of lines with non-initial tracked state.
     pub fn tracked_lines(&self) -> usize {
-        self.lines.len()
+        self.touched.count() + self.spill.len()
     }
 }
 
@@ -586,6 +669,61 @@ mod tests {
             }
             assert_eq!(a.snoop_filter().entries(), b.snoop_filter().entries());
         }
+    }
+
+    #[test]
+    fn registered_region_behaves_like_unregistered() {
+        // The dense slab is a pure storage change: an engine with a
+        // registered region must emit the same packets and reach the same
+        // states as one resolving every address through the spillover.
+        for mode in [ProtocolMode::Update, ProtocolMode::Invalidation] {
+            let mut dense = CoherenceEngine::new(mode);
+            dense.register_region(Addr(0), 64 * LINE_BYTES as u64);
+            let mut spill = CoherenceEngine::new(mode);
+            let line = LineData::zeroed();
+            for i in 0..64u64 {
+                let a = Addr(i * 64);
+                let pd = dense.write(Agent::Cpu, a, line.bytes(), false);
+                let ps = spill.write(Agent::Cpu, a, line.bytes(), false);
+                assert_eq!(pd, ps);
+                assert_eq!(
+                    dense.read(Agent::Device, a, LINE_BYTES).len(),
+                    spill.read(Agent::Device, a, LINE_BYTES).len()
+                );
+            }
+            let addrs: Vec<Addr> = (0..64u64).map(|i| Addr(i * 64)).collect();
+            assert_eq!(
+                dense.flush(Agent::Cpu, &addrs, LINE_BYTES).len(),
+                spill.flush(Agent::Cpu, &addrs, LINE_BYTES).len()
+            );
+            for &a in &addrs {
+                assert_eq!(dense.line_state(a), spill.line_state(a), "{mode:?} {a:?}");
+            }
+            assert_eq!(dense.tracked_lines(), spill.tracked_lines());
+            assert_eq!(dense.to_device, spill.to_device);
+            assert_eq!(dense.to_host, spill.to_host);
+            assert_eq!(dense.snoop_filter().entries(), spill.snoop_filter().entries());
+            assert_eq!(dense.snoop_filter().peak_entries(), spill.snoop_filter().peak_entries());
+        }
+    }
+
+    #[test]
+    fn slot_path_matches_addr_path() {
+        let mut a = CoherenceEngine::new(ProtocolMode::Update);
+        a.register_region(Addr(0), 16 * LINE_BYTES as u64);
+        let mut b = a.clone();
+        let base = a.resolve_run(Addr(0), 16).expect("run inside region");
+        for i in 0..16usize {
+            let addr = Addr(i as u64 * 64);
+            let pa = a.write_accounted(Agent::Cpu, addr, 32);
+            let pb = b.write_accounted_at(Agent::Cpu, LineSlot::Dense(base + i), 32);
+            assert_eq!(pa, pb);
+        }
+        for i in 0..16u64 {
+            assert_eq!(a.line_state(Addr(i * 64)), b.line_state(Addr(i * 64)));
+        }
+        assert_eq!(a.to_device, b.to_device);
+        assert_eq!(a.tracked_lines(), b.tracked_lines());
     }
 
     #[test]

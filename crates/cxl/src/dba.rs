@@ -138,6 +138,21 @@ impl Aggregator {
         per
     }
 
+    /// [`Aggregator::aggregate_into`] fused with the Fletcher-16 payload
+    /// checksum: the checksum is folded over the packed bytes while they
+    /// are still hot in cache, so the guarded fault path needs no second
+    /// traversal. Returns `(bytes_written, checksum)`; the checksum equals
+    /// `crate::fault::line_checksum` over the written payload.
+    pub fn aggregate_into_checksummed(&mut self, line: &LineData, out: &mut [u8]) -> (usize, u16) {
+        let per = self.aggregate_into(line, out);
+        let (mut a, mut b) = (0u32, 0u32);
+        for &x in &out[..per] {
+            a = (a + x as u32) % 255;
+            b = (b + a) % 255;
+        }
+        (per, ((b << 8) | a) as u16)
+    }
+
     /// Bulk streaming entry point: aggregate a contiguous run of lines into
     /// a reusable wire buffer. `out` is cleared and filled with the
     /// concatenated payloads (all lines share the one DBA register, so each
@@ -257,6 +272,38 @@ impl Disaggregator {
         self.lines_merged += residents.len() as u64;
     }
 
+    /// Arena counterpart of [`Disaggregator::disaggregate_lines`]: merge a
+    /// concatenated payload buffer directly into raw line bytes (a
+    /// contiguous `n × 64 B` slice of the giant cache's data slab), with
+    /// no staging copies. `slab.len()` must be a whole number of lines and
+    /// `payload.len()` must equal `lines × reg.payload_bytes()`. Counters
+    /// advance exactly as if [`Self::merge`] had been called per line.
+    pub fn disaggregate_slab(&mut self, payload: &[u8], slab: &mut [u8]) {
+        assert_eq!(slab.len() % LINE_BYTES, 0, "slab must be whole lines");
+        let lines = slab.len() / LINE_BYTES;
+        let per = self.reg.payload_bytes();
+        assert_eq!(
+            payload.len(),
+            per * lines,
+            "bulk payload size mismatch: {} bytes for {lines} lines of {per}",
+            payload.len(),
+        );
+        let n = self.reg.dirty_bytes() as usize;
+        if !self.reg.active() || n == 4 {
+            slab.copy_from_slice(payload);
+        } else {
+            if n > 0 {
+                for (src, resident) in
+                    payload.chunks_exact(per).zip(slab.chunks_exact_mut(LINE_BYTES))
+                {
+                    unpack_merge_bytes(src, n, resident);
+                }
+            }
+            self.extra_reads += lines as u64;
+        }
+        self.lines_merged += lines as u64;
+    }
+
     /// Lines merged so far.
     pub fn lines_merged(&self) -> u64 {
         self.lines_merged
@@ -315,17 +362,30 @@ fn pack_line(line: &LineData, n: usize, out: &mut [u8]) {
 /// word-level inverse of [`pack_line`].
 #[inline]
 fn unpack_merge_line(payload: &[u8], n: usize, resident: &mut LineData) {
+    unpack_merge_bytes(payload, n, resident.bytes_mut());
+}
+
+/// Byte-slice core of [`unpack_merge_line`], so the merge can target raw
+/// arena memory (a 64-byte stride of the giant-cache data slab) without a
+/// `LineData` round trip.
+#[inline]
+fn unpack_merge_bytes(payload: &[u8], n: usize, resident: &mut [u8]) {
     debug_assert!((1..=3).contains(&n));
     debug_assert_eq!(payload.len(), WORDS_PER_LINE * n);
+    debug_assert_eq!(resident.len(), LINE_BYTES);
     let load = |chunk: &[u8]| u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+    let word = |res: &[u8], w: usize| load(&res[w * WORD_BYTES..(w + 1) * WORD_BYTES]);
+    let set = |res: &mut [u8], w: usize, v: u32| {
+        res[w * WORD_BYTES..(w + 1) * WORD_BYTES].copy_from_slice(&v.to_le_bytes())
+    };
     match n {
         1 => {
             for (j, src) in payload.chunks_exact(WORD_BYTES).enumerate() {
                 let v = load(src);
                 let w = j * 4;
                 for b in 0..4 {
-                    let word = resident.word(w + b) & !0xFF;
-                    resident.set_word(w + b, word | ((v >> (8 * b)) & 0xFF));
+                    let old = word(resident, w + b) & !0xFF;
+                    set(resident, w + b, old | ((v >> (8 * b)) & 0xFF));
                 }
             }
         }
@@ -333,8 +393,8 @@ fn unpack_merge_line(payload: &[u8], n: usize, resident: &mut LineData) {
             for (j, src) in payload.chunks_exact(WORD_BYTES).enumerate() {
                 let v = load(src);
                 let w = j * 2;
-                resident.set_word(w, (resident.word(w) & !0xFFFF) | (v & 0xFFFF));
-                resident.set_word(w + 1, (resident.word(w + 1) & !0xFFFF) | (v >> 16));
+                set(resident, w, (word(resident, w) & !0xFFFF) | (v & 0xFFFF));
+                set(resident, w + 1, (word(resident, w + 1) & !0xFFFF) | (v >> 16));
             }
         }
         _ => {
@@ -342,16 +402,18 @@ fn unpack_merge_line(payload: &[u8], n: usize, resident: &mut LineData) {
                 let (v0, v1, v2) = (load(&src[0..4]), load(&src[4..8]), load(&src[8..12]));
                 let w = j * 4;
                 let keep = 0xFF00_0000u32;
-                resident.set_word(w, (resident.word(w) & keep) | (v0 & 0x00FF_FFFF));
-                resident.set_word(
+                set(resident, w, (word(resident, w) & keep) | (v0 & 0x00FF_FFFF));
+                set(
+                    resident,
                     w + 1,
-                    (resident.word(w + 1) & keep) | (v0 >> 24) | ((v1 & 0xFFFF) << 8),
+                    (word(resident, w + 1) & keep) | (v0 >> 24) | ((v1 & 0xFFFF) << 8),
                 );
-                resident.set_word(
+                set(
+                    resident,
                     w + 2,
-                    (resident.word(w + 2) & keep) | (v1 >> 16) | ((v2 & 0xFF) << 16),
+                    (word(resident, w + 2) & keep) | (v1 >> 16) | ((v2 & 0xFF) << 16),
                 );
-                resident.set_word(w + 3, (resident.word(w + 3) & keep) | (v2 >> 8));
+                set(resident, w + 3, (word(resident, w + 3) & keep) | (v2 >> 8));
             }
         }
     }
@@ -607,6 +669,65 @@ mod tests {
         assert_eq!(written, 32);
         assert_eq!(&buf[..32], agg.aggregate(&line).as_slice());
         assert!(buf[32..].iter().all(|&b| b == 0xEE), "suffix must be untouched");
+    }
+
+    #[test]
+    fn slab_merge_matches_line_merge_and_counters() {
+        let stale: Vec<LineData> = (0..5)
+            .map(|i| line_of_words(|w| 0x5EED_BEEF ^ ((i * 16 + w) as u32 * 0x0101_0101)))
+            .collect();
+        let fresh: Vec<LineData> = (0..5)
+            .map(|i| line_of_words(|w| ((i * 16 + w) as u32).wrapping_mul(0x2222_1111)))
+            .collect();
+        for active in [false, true] {
+            for n in 0..=4u8 {
+                let reg = DbaRegister::new(active, n);
+                let mut agg = Aggregator::new();
+                let mut slab_dis = Disaggregator::new();
+                let mut line_dis = Disaggregator::new();
+                agg.set_register(reg);
+                slab_dis.set_register(reg);
+                line_dis.set_register(reg);
+
+                let mut wire = Vec::new();
+                agg.aggregate_lines(&fresh, &mut wire);
+
+                let mut slab: Vec<u8> = stale.iter().flat_map(|l| l.bytes().to_vec()).collect();
+                slab_dis.disaggregate_slab(&wire, &mut slab);
+
+                let mut lines = stale.clone();
+                line_dis.disaggregate_lines(&wire, &mut lines);
+
+                let want: Vec<u8> = lines.iter().flat_map(|l| l.bytes().to_vec()).collect();
+                assert_eq!(slab, want, "active={active} n={n}");
+                assert_eq!(slab_dis.lines_merged(), line_dis.lines_merged());
+                assert_eq!(slab_dis.extra_reads(), line_dis.extra_reads());
+            }
+        }
+    }
+
+    #[test]
+    fn checksummed_aggregation_matches_separate_passes() {
+        let line = line_of_words(|w| 0xFACE_0000 | (w as u32 * 31));
+        for active in [false, true] {
+            for n in 0..=4u8 {
+                let reg = DbaRegister::new(active, n);
+                let mut fused = Aggregator::new();
+                let mut plain = Aggregator::new();
+                fused.set_register(reg);
+                plain.set_register(reg);
+                let mut a = [0u8; LINE_BYTES];
+                let mut b = [0u8; LINE_BYTES];
+                let (wa, ck) = fused.aggregate_into_checksummed(&line, &mut a);
+                let wb = plain.aggregate_into(&line, &mut b);
+                assert_eq!(wa, wb);
+                assert_eq!(a[..wa], b[..wb]);
+                assert_eq!(ck, crate::fault::line_checksum(&a[..wa]), "active={active} n={n}");
+                assert_eq!(fused.payload_bytes_out(), plain.payload_bytes_out());
+                assert_eq!(fused.lines_aggregated(), plain.lines_aggregated());
+                assert_eq!(fused.lines_bypassed(), plain.lines_bypassed());
+            }
+        }
     }
 
     #[test]

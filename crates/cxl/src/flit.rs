@@ -112,6 +112,20 @@ impl FlitPacker {
         self.flits
     }
 
+    /// The flits packed so far, without consuming the packer. Pairs with
+    /// [`FlitPacker::clear`] so one packer (and its flit buffer) serves a
+    /// whole link's lifetime.
+    pub fn flits(&self) -> &[Flit] {
+        &self.flits
+    }
+
+    /// Reset for the next burst, retaining the flit buffer's capacity:
+    /// after the first burst sized it, packing allocates nothing.
+    pub fn clear(&mut self) {
+        self.flits.clear();
+        self.cursor = SLOTS_PER_FLIT;
+    }
+
     /// Wire bytes so far (whole flits).
     pub fn wire_bytes(&self) -> usize {
         self.flits.len() * FLIT_BYTES
@@ -170,24 +184,50 @@ impl std::fmt::Display for FlitError {
 }
 impl std::error::Error for FlitError {}
 
-/// Unpack a flit stream back into packets. Empty slots are permitted
+/// A borrowed view of one unpacked packet, valid only for the duration of
+/// the [`unpack_with`] callback. `payload` aliases the caller's scratch
+/// buffer — copy it out if it must outlive the call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketView<'a> {
+    /// Message opcode.
+    pub opcode: Opcode,
+    /// Target line address.
+    pub addr: Addr,
+    /// The reserved "DBA-aggregated payload" header bit.
+    pub dba_aggregated: bool,
+    /// The CXL poison bit.
+    pub poisoned: bool,
+    /// Reassembled payload (empty for control packets).
+    pub payload: &'a [u8],
+}
+
+/// Unpack a flit stream, delivering each packet to `sink` as a borrowed
+/// [`PacketView`] assembled in `scratch`. Empty slots are permitted
 /// anywhere a header would be (padding); data must follow its header
-/// contiguously (across flit boundaries).
-pub fn unpack(flits: &[Flit]) -> Result<Vec<CxlPacket>, FlitError> {
-    /// A data-carrying packet whose payload slots are still arriving.
+/// contiguously (across flit boundaries). Returns the packet count.
+///
+/// The scratch buffer retains its capacity across calls, so a link that
+/// keeps one per direction unpacks its steady-state traffic without
+/// touching the allocator.
+pub fn unpack_with(
+    flits: &[Flit],
+    scratch: &mut Vec<u8>,
+    mut sink: impl FnMut(PacketView<'_>),
+) -> Result<usize, FlitError> {
+    /// A data-carrying packet whose payload slots are still arriving in
+    /// `scratch`.
     struct Pending {
         opcode: Opcode,
         addr: u64,
         dba_aggregated: bool,
         poisoned: bool,
         want: usize,
-        buf: Vec<u8>,
         /// Where the header slot sat on the wire (for truncation reports).
         header_flit: usize,
         header_slot: usize,
     }
 
-    let mut out = Vec::new();
+    let mut count = 0usize;
     let mut pending: Option<Pending> = None;
     for (fi, flit) in flits.iter().enumerate() {
         for (si, slot) in flit.slots.iter().enumerate() {
@@ -197,30 +237,41 @@ pub fn unpack(flits: &[Flit]) -> Result<Vec<CxlPacket>, FlitError> {
                         return Err(FlitError::HeaderWhilePayloadPending { flit: fi, slot: si });
                     }
                     if *payload_len == 0 {
-                        out.push(CxlPacket::control(*opcode, Addr(*addr)));
+                        sink(PacketView {
+                            opcode: *opcode,
+                            addr: Addr(*addr),
+                            dba_aggregated: *dba_aggregated,
+                            poisoned: *poisoned,
+                            payload: &[],
+                        });
+                        count += 1;
                     } else {
+                        scratch.clear();
                         pending = Some(Pending {
                             opcode: *opcode,
                             addr: *addr,
                             dba_aggregated: *dba_aggregated,
                             poisoned: *poisoned,
                             want: *payload_len as usize,
-                            buf: Vec::with_capacity(*payload_len as usize),
                             header_flit: fi,
                             header_slot: si,
                         });
                     }
                 }
-                Slot::Data(bytes) => match &mut pending {
+                Slot::Data(bytes) => match &pending {
                     Some(p) => {
-                        let take = (p.want - p.buf.len()).min(SLOT_BYTES);
-                        p.buf.extend_from_slice(&bytes[..take]);
-                        if p.buf.len() == p.want {
+                        let take = (p.want - scratch.len()).min(SLOT_BYTES);
+                        scratch.extend_from_slice(&bytes[..take]);
+                        if scratch.len() == p.want {
                             let p = pending.take().expect("pending exists");
-                            out.push(
-                                CxlPacket::data(p.opcode, Addr(p.addr), p.buf, p.dba_aggregated)
-                                    .with_poison(p.poisoned),
-                            );
+                            sink(PacketView {
+                                opcode: p.opcode,
+                                addr: Addr(p.addr),
+                                dba_aggregated: p.dba_aggregated,
+                                poisoned: p.poisoned,
+                                payload: &scratch[..],
+                            });
+                            count += 1;
                         }
                     }
                     None => return Err(FlitError::OrphanData { flit: fi, slot: si }),
@@ -232,11 +283,27 @@ pub fn unpack(flits: &[Flit]) -> Result<Vec<CxlPacket>, FlitError> {
     if let Some(p) = pending {
         return Err(FlitError::TruncatedPayload {
             addr: p.addr,
-            missing: p.want - p.buf.len(),
+            missing: p.want - scratch.len(),
             header_flit: p.header_flit,
             header_slot: p.header_slot,
         });
     }
+    Ok(count)
+}
+
+/// Unpack a flit stream back into owned packets — the allocating
+/// convenience wrapper over [`unpack_with`].
+pub fn unpack(flits: &[Flit]) -> Result<Vec<CxlPacket>, FlitError> {
+    let mut out = Vec::new();
+    let mut scratch = Vec::new();
+    unpack_with(flits, &mut scratch, |v| {
+        out.push(if v.payload.is_empty() {
+            CxlPacket::control(v.opcode, v.addr)
+        } else {
+            CxlPacket::data(v.opcode, v.addr, v.payload.to_vec(), v.dba_aggregated)
+                .with_poison(v.poisoned)
+        });
+    })?;
     Ok(out)
 }
 
@@ -385,6 +452,56 @@ mod tests {
         // An orphan deeper in the flit reports its exact slot position.
         let padded = Flit { slots: [Slot::Empty, Slot::Empty, Slot::Data([0; 16]), Slot::Empty] };
         assert!(matches!(unpack(&[padded]), Err(FlitError::OrphanData { flit: 0, slot: 2 })));
+    }
+
+    #[test]
+    fn cleared_packer_and_unpack_with_match_owned_path() {
+        let pkts = vec![
+            CxlPacket::control(Opcode::ReadOwn, Addr(0x100)),
+            dba_pkt(0x140),
+            full_line_pkt(0x180),
+            full_line_pkt(0x1C0).with_poison(true),
+        ];
+        let mut p = FlitPacker::new();
+        // Prime the packer with other traffic, then clear: reuse must not
+        // leak slots or flits from the previous burst.
+        p.push_packet(&full_line_pkt(0xE00));
+        p.clear();
+        assert_eq!(p.flits(), &[] as &[Flit]);
+        for pkt in &pkts {
+            p.push_packet(pkt);
+        }
+        let mut scratch = Vec::new();
+        let mut back = Vec::new();
+        let n = unpack_with(p.flits(), &mut scratch, |v| {
+            back.push(if v.payload.is_empty() {
+                CxlPacket::control(v.opcode, v.addr)
+            } else {
+                CxlPacket::data(v.opcode, v.addr, v.payload.to_vec(), v.dba_aggregated)
+                    .with_poison(v.poisoned)
+            });
+        })
+        .unwrap();
+        assert_eq!(n, pkts.len());
+        assert_eq!(back, pkts);
+        assert_eq!(back, unpack(p.flits()).unwrap());
+    }
+
+    #[test]
+    fn unpack_with_reports_same_errors_as_unpack() {
+        let mut p = FlitPacker::new();
+        p.push_packet(&full_line_pkt(0x40));
+        let mut flits = p.finish();
+        flits.pop();
+        let mut scratch = Vec::new();
+        let via_with = unpack_with(&flits, &mut scratch, |_| {}).unwrap_err();
+        assert_eq!(via_with, unpack(&flits).unwrap_err());
+        let orphan = Flit { slots: [Slot::Data([0; 16]), Slot::Empty, Slot::Empty, Slot::Empty] };
+        scratch.clear();
+        assert_eq!(
+            unpack_with(std::slice::from_ref(&orphan), &mut scratch, |_| {}).unwrap_err(),
+            unpack(&[orphan]).unwrap_err()
+        );
     }
 
     #[test]

@@ -8,10 +8,17 @@
 //! accelerator and CPU, and there is no cache capacity (or conflict) miss
 //! during accelerator computation" — so the model enforces capacity at
 //! allocation time and thereafter treats residency as guaranteed.
+//!
+//! Storage layout: the bump allocator packs regions contiguously from
+//! address 0, so a line's dense slot is simply its line index — no
+//! per-access hashing or span search. Line payloads live in one lazily
+//! chunked byte arena with 64-byte strides ([`LineSlab`]); written and
+//! quarantined lines are tracked in [`LineBitmap`]s with incremental
+//! popcounts. Large timing-only regions stay cheap: untouched chunks are
+//! never materialized.
 
 use crate::dba::Disaggregator;
-use std::collections::{HashMap, HashSet};
-use teco_mem::{Addr, LineData, RegionId, RegionMap, LINE_BYTES};
+use teco_mem::{Addr, LineBitmap, LineData, LineSlab, RegionId, RegionMap, LINE_BYTES};
 
 /// Errors from giant-cache configuration and use.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,20 +61,20 @@ pub struct GiantCache {
     capacity: u64,
     allocated: u64,
     regions: RegionMap,
-    /// Line payloads for data-carrying (functional) simulations. Large
-    /// timing-only simulations never touch this map, so memory stays
-    /// proportional to the lines actually written.
-    data: HashMap<u64, LineData>,
-    /// Line indices whose resident copy is untrusted: a poisoned payload
-    /// targeted them. CXL poison containment (§8.2.4 of the spec) requires
-    /// the receiver to *not* consume the data; quarantined lines reject
-    /// reads and merges until a clean full-line write heals them.
-    quarantined: HashSet<u64>,
+    /// Line payload arena, 64 bytes per line, slot = line index (the bump
+    /// allocator packs regions from address 0). Chunks materialize on first
+    /// write, so large timing-only simulations cost no payload memory.
+    data: LineSlab<u8>,
+    /// Lines holding explicit data (the old map's key set).
+    written: LineBitmap,
+    /// Lines whose resident copy is untrusted: a poisoned payload targeted
+    /// them. CXL poison containment (§8.2.4 of the spec) requires the
+    /// receiver to *not* consume the data; quarantined lines reject reads
+    /// and merges until a clean full-line write heals them.
+    quarantined: LineBitmap,
     /// Device-side CXL module's disaggregator.
     pub disaggregator: Disaggregator,
     next_base: u64,
-    /// Reused resident-line staging buffer for the bulk merge path.
-    merge_scratch: Vec<LineData>,
 }
 
 impl GiantCache {
@@ -78,11 +85,11 @@ impl GiantCache {
             capacity,
             allocated: 0,
             regions: RegionMap::new(),
-            data: HashMap::new(),
-            quarantined: HashSet::new(),
+            data: LineSlab::new(LINE_BYTES, 0),
+            written: LineBitmap::new(),
+            quarantined: LineBitmap::new(),
             disaggregator: Disaggregator::new(),
             next_base: 0,
-            merge_scratch: Vec::new(),
         }
     }
 
@@ -117,13 +124,26 @@ impl GiantCache {
         let id = self.regions.register(name, base, rounded).expect("bump allocator cannot overlap");
         self.next_base += rounded;
         self.allocated += rounded;
+        let lines = (self.next_base / LINE_BYTES as u64) as usize;
+        self.data.grow_lines(lines);
+        self.written.grow(lines);
+        self.quarantined.grow(lines);
         Ok((id, base))
     }
 
+    /// Dense slot (== line index) of the line containing `a`.
+    #[inline]
+    fn slot(a: Addr) -> usize {
+        a.line_index() as usize
+    }
+
     /// Is the line containing `a` mapped into the giant-cache domain? This
-    /// is the home agent's Fig. 8 check on every CPU writeback.
+    /// is the home agent's Fig. 8 check on every CPU writeback. The bump
+    /// allocator keeps the mapped range contiguous from 0, so this is one
+    /// bound compare.
+    #[inline]
     pub fn is_mapped(&self, a: Addr) -> bool {
-        self.regions.contains(a)
+        a.0 < self.next_base
     }
 
     /// Quarantine the line containing `a`: an inbound payload for it was
@@ -133,18 +153,18 @@ impl GiantCache {
         if !self.is_mapped(a) {
             return Err(GiantCacheError::NotMapped(a));
         }
-        self.quarantined.insert(a.line_base().line_index());
+        self.quarantined.set(Self::slot(a));
         Ok(())
     }
 
     /// Is the line containing `a` quarantined?
     pub fn is_quarantined(&self, a: Addr) -> bool {
-        self.quarantined.contains(&a.line_base().line_index())
+        self.is_mapped(a) && self.quarantined.get(Self::slot(a))
     }
 
     /// Number of lines currently quarantined.
     pub fn quarantined_count(&self) -> usize {
-        self.quarantined.len()
+        self.quarantined.count()
     }
 
     /// Read a resident line (zero-filled if never written — the model's
@@ -156,7 +176,9 @@ impl GiantCache {
         if self.is_quarantined(a) {
             return Err(GiantCacheError::Poisoned(a.line_base()));
         }
-        Ok(self.data.get(&a.line_base().line_index()).copied().unwrap_or_default())
+        let mut out = LineData::zeroed();
+        self.data.copy_to(Self::slot(a) * LINE_BYTES, out.bytes_mut());
+        Ok(out)
     }
 
     /// Store a full line (unaggregated FlushData path). A clean full-line
@@ -165,16 +187,19 @@ impl GiantCache {
         if !self.is_mapped(a) {
             return Err(GiantCacheError::NotMapped(a));
         }
-        let key = a.line_base().line_index();
-        self.quarantined.remove(&key);
-        self.data.insert(key, line);
+        let slot = Self::slot(a);
+        self.quarantined.clear(slot);
+        self.written.set(slot);
+        self.data.for_segments_mut(slot * LINE_BYTES, LINE_BYTES, |_, seg| {
+            seg.copy_from_slice(line.bytes());
+        });
         Ok(())
     }
 
-    /// Apply an inbound aggregated payload: read the stale resident line,
-    /// merge via the Disaggregator, write it back. Returns the merged line.
-    /// A quarantined line rejects the merge — partial payloads read the
-    /// resident copy, which is exactly what poison containment forbids.
+    /// Apply an inbound aggregated payload: merge it into the stale
+    /// resident line in place via the Disaggregator. Returns the merged
+    /// line. A quarantined line rejects the merge — partial payloads read
+    /// the resident copy, which is exactly what poison containment forbids.
     pub fn apply_dba_payload(
         &mut self,
         a: Addr,
@@ -186,18 +211,24 @@ impl GiantCache {
         if self.is_quarantined(a) {
             return Err(GiantCacheError::Poisoned(a.line_base()));
         }
-        let key = a.line_base().line_index();
-        let mut line = self.data.get(&key).copied().unwrap_or_default();
-        self.disaggregator.merge(payload, &mut line);
-        self.data.insert(key, line);
-        Ok(line)
+        let slot = Self::slot(a);
+        self.written.set(slot);
+        let dis = &mut self.disaggregator;
+        let mut out = LineData::zeroed();
+        // One line never crosses a chunk boundary (chunks hold whole
+        // lines), so exactly one segment is visited.
+        self.data.for_segments_mut(slot * LINE_BYTES, LINE_BYTES, |_, seg| {
+            dis.disaggregate_slab(payload, seg);
+            out.bytes_mut().copy_from_slice(seg);
+        });
+        Ok(out)
     }
 
     /// Bulk variant of [`GiantCache::apply_dba_payload`]:
     /// merge `n_lines` consecutive lines starting at `base` from
     /// one packed payload (as produced by `Aggregator::aggregate_lines`)
-    /// in a single Disaggregator pass. Resident lines are staged in a
-    /// reused internal buffer, so the steady state allocates nothing.
+    /// directly into the data arena — one validation scan, then one merge
+    /// pass per resident chunk segment, no staging copies at all.
     pub fn apply_dba_payloads(
         &mut self,
         base: Addr,
@@ -205,32 +236,45 @@ impl GiantCache {
         payload: &[u8],
     ) -> Result<(), GiantCacheError> {
         let base = base.line_base();
-        let addr_of = |i: usize| Addr(base.0 + (i * LINE_BYTES) as u64);
-        for i in 0..n_lines {
-            if !self.is_mapped(addr_of(i)) {
-                return Err(GiantCacheError::NotMapped(addr_of(i)));
-            }
-            if self.is_quarantined(addr_of(i)) {
-                return Err(GiantCacheError::Poisoned(addr_of(i)));
+        let start = Self::slot(base);
+        // Validate the whole run before mutating anything (atomic reject).
+        // The mapped range is contiguous from 0, so unmapped lines form a
+        // suffix; a quarantined line inside the mapped prefix faults first
+        // when it precedes the mapping edge, matching the old per-line
+        // check order.
+        let mapped = (self.next_base / LINE_BYTES as u64) as usize;
+        let checkable = n_lines.min(mapped.saturating_sub(start));
+        if checkable > 0 {
+            if let Some(q) = self.quarantined.first_set_in(start, checkable) {
+                return Err(GiantCacheError::Poisoned(Addr((q * LINE_BYTES) as u64)));
             }
         }
-        let mut scratch = std::mem::take(&mut self.merge_scratch);
-        scratch.clear();
-        scratch.extend(
-            (0..n_lines)
-                .map(|i| self.data.get(&addr_of(i).line_index()).copied().unwrap_or_default()),
+        if checkable < n_lines {
+            let first_bad = start + checkable;
+            return Err(GiantCacheError::NotMapped(Addr((first_bad * LINE_BYTES) as u64)));
+        }
+        let per = self.disaggregator.register().payload_bytes();
+        assert_eq!(
+            payload.len(),
+            per * n_lines,
+            "bulk payload size mismatch: {} bytes for {n_lines} lines of {per}",
+            payload.len(),
         );
-        self.disaggregator.disaggregate_lines(payload, &mut scratch);
-        for (i, line) in scratch.iter().enumerate() {
-            self.data.insert(addr_of(i).line_index(), *line);
-        }
-        self.merge_scratch = scratch;
+        self.written.set_range(start, n_lines);
+        let dis = &mut self.disaggregator;
+        self.data.for_segments_mut(start * LINE_BYTES, n_lines * LINE_BYTES, |off, seg| {
+            // `off` and segment lengths are whole lines (chunk boundaries
+            // are line-aligned), so the payload window is exact.
+            let lo = off / LINE_BYTES * per;
+            let hi = lo + seg.len() / LINE_BYTES * per;
+            dis.disaggregate_slab(&payload[lo..hi], seg);
+        });
         Ok(())
     }
 
     /// Number of lines holding explicit data.
     pub fn lines_written(&self) -> usize {
-        self.data.len()
+        self.written.count()
     }
 }
 
@@ -282,6 +326,17 @@ mod tests {
         gc.alloc_region("t", 64).unwrap();
         assert!(matches!(gc.read_line(Addr(9999)), Err(GiantCacheError::NotMapped(_))));
         assert!(gc.write_line(Addr(9999), LineData::zeroed()).is_err());
+    }
+
+    #[test]
+    fn mapped_region_stays_lazily_materialized() {
+        // A big region costs no payload memory until lines are written.
+        let mut gc = GiantCache::new(1 << 30);
+        gc.alloc_region("params", 1 << 30).unwrap();
+        assert_eq!(gc.lines_written(), 0);
+        assert_eq!(gc.read_line(Addr(512 << 20)).unwrap(), LineData::zeroed());
+        gc.write_line(Addr(512 << 20), LineData::zeroed()).unwrap();
+        assert_eq!(gc.lines_written(), 1);
     }
 
     #[test]
@@ -423,6 +478,21 @@ mod tests {
         assert_eq!(err, GiantCacheError::Poisoned(Addr(128)));
         // The rejection is atomic: no earlier lines were merged either.
         assert_eq!(gc.read_line(Addr(0)).unwrap(), LineData::zeroed());
+    }
+
+    #[test]
+    fn bulk_merge_quarantine_beats_unmapped_tail_when_earlier() {
+        // Line 1 quarantined, run extends past the mapped range: the
+        // quarantined line is hit first in address order, as a per-line
+        // scan would report.
+        let mut gc = GiantCache::new(4096);
+        gc.alloc_region("t", 192).unwrap(); // three lines mapped
+        let reg = DbaRegister::new(true, 2);
+        gc.disaggregator.set_register(reg);
+        gc.quarantine_line(Addr(64)).unwrap();
+        let payload = vec![0u8; 5 * reg.payload_bytes()];
+        let err = gc.apply_dba_payloads(Addr(0), 5, &payload).unwrap_err();
+        assert_eq!(err, GiantCacheError::Poisoned(Addr(64)));
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod flow;
 pub mod giant_cache;
 pub mod link;
 pub mod packet;
+pub mod refmaps;
 pub mod snoop;
 
 pub use coherence::{Agent, CoherenceEngine, LineState, MesiState, ProtocolMode, TrafficStats};
@@ -42,11 +43,12 @@ pub use dba::{merged_reference, Aggregator, DbaRegister, Disaggregator};
 pub use fault::{line_checksum, FaultConfig, FaultInjector, FaultStats, TransferFault};
 pub use fence::{CxlFence, FenceStats, FenceTimeout, FENCE_CHECK_OVERHEAD};
 pub use flit::{
-    unpack, wire_bytes_for_packets, Flit, FlitError, FlitPacker, Slot, FLIT_BYTES, SLOTS_PER_FLIT,
-    SLOT_BYTES,
+    unpack, unpack_with, wire_bytes_for_packets, Flit, FlitError, FlitPacker, PacketView, Slot,
+    FLIT_BYTES, SLOTS_PER_FLIT, SLOT_BYTES,
 };
 pub use flow::{CreditLoop, FlowConfig};
 pub use giant_cache::{GiantCache, GiantCacheError};
 pub use link::{CxlLink, Direction, LinkError, TransferOutcome};
 pub use packet::{wire_bytes_for_lines, CxlPacket, Opcode, HEADER_BYTES, MAX_PAYLOAD_BYTES};
-pub use snoop::{full_directory_bytes, SnoopFilter, BYTES_PER_ENTRY};
+pub use refmaps::{HashCoherenceEngine, HashGiantCache, HashSnoopFilter};
+pub use snoop::{full_directory_bytes, SnoopFilter, SnoopStats, BYTES_PER_ENTRY};

@@ -37,10 +37,19 @@ pub enum Opcode {
     DbaConfig,
 }
 
+/// Number of distinct opcodes — sizes dense per-opcode tables.
+pub const OPCODE_COUNT: usize = 8;
+
 impl Opcode {
     /// Does this message carry a data payload (vs. header-only control)?
     pub fn carries_data(self) -> bool {
         matches!(self, Opcode::FlushData | Opcode::Data)
+    }
+
+    /// Dense table index, `0..OPCODE_COUNT`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
     }
 }
 

@@ -1,0 +1,455 @@
+//! Hash-map reference implementations of the coherence/cache hot paths.
+//!
+//! These are the pre-arena `HashMap`-backed versions of
+//! [`crate::snoop::SnoopFilter`], [`crate::coherence::CoherenceEngine`], and
+//! [`crate::giant_cache::GiantCache`], kept verbatim as oracles: the
+//! property tests drive random line streams (including poison/quarantine
+//! interleavings) through both implementations and demand identical
+//! observable behavior, and the `coherence_event` / `giant_cache_merge`
+//! benches measure the dense arenas against them in the same run.
+//!
+//! Nothing in the product path uses this module.
+
+use crate::coherence::{Agent, LineState, MesiState, ProtocolMode, TrafficStats};
+use crate::dba::Disaggregator;
+use crate::giant_cache::GiantCacheError;
+use crate::packet::{CxlPacket, Opcode};
+use std::collections::{HashMap, HashSet};
+use teco_mem::{Addr, LineData, RegionId, RegionMap, LINE_BYTES};
+
+const CPU_BIT: u8 = 0b01;
+const DEV_BIT: u8 = 0b10;
+
+/// The old `HashMap<u64, u8>`-backed sharer directory.
+#[derive(Debug, Clone, Default)]
+pub struct HashSnoopFilter {
+    entries: HashMap<u64, u8>,
+    peak_entries: usize,
+}
+
+impl HashSnoopFilter {
+    /// Empty filter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bit(a: Agent) -> u8 {
+        match a {
+            Agent::Cpu => CPU_BIT,
+            Agent::Device => DEV_BIT,
+        }
+    }
+
+    /// Record `a` as a sharer of the line.
+    pub fn add_sharer(&mut self, addr: Addr, a: Agent) {
+        *self.entries.entry(addr.line_index()).or_insert(0) |= Self::bit(a);
+        self.peak_entries = self.peak_entries.max(self.entries.len());
+    }
+
+    /// Record `a` as the sole owner (others dropped).
+    pub fn set_exclusive(&mut self, addr: Addr, a: Agent) {
+        self.entries.insert(addr.line_index(), Self::bit(a));
+        self.peak_entries = self.peak_entries.max(self.entries.len());
+    }
+
+    /// Remove `a` from the sharers; drops the entry when none remain.
+    pub fn remove_sharer(&mut self, addr: Addr, a: Agent) {
+        if let Some(e) = self.entries.get_mut(&addr.line_index()) {
+            *e &= !Self::bit(a);
+            if *e == 0 {
+                self.entries.remove(&addr.line_index());
+            }
+        }
+    }
+
+    /// Sharers of the line, as (cpu, device) booleans.
+    pub fn sharers(&self, addr: Addr) -> (bool, bool) {
+        let e = self.entries.get(&addr.line_index()).copied().unwrap_or(0);
+        (e & CPU_BIT != 0, e & DEV_BIT != 0)
+    }
+
+    /// Number of tracked lines right now.
+    pub fn entries(&self) -> usize {
+        self.entries.len()
+    }
+    /// High-water mark of tracked lines.
+    pub fn peak_entries(&self) -> usize {
+        self.peak_entries
+    }
+}
+
+/// The old `HashMap<u64, LineState>`-backed coherence engine.
+#[derive(Debug, Clone)]
+pub struct HashCoherenceEngine {
+    mode: ProtocolMode,
+    lines: HashMap<u64, LineState>,
+    initial: LineState,
+    msg_counts: HashMap<Opcode, u64>,
+    /// Traffic toward the device (CPU→GPU direction).
+    pub to_device: TrafficStats,
+    /// Traffic toward the host (GPU→CPU direction).
+    pub to_host: TrafficStats,
+    snoop: HashSnoopFilter,
+}
+
+impl HashCoherenceEngine {
+    /// New engine in the given mode (`Cs = I, Gs = E` initially).
+    pub fn new(mode: ProtocolMode) -> Self {
+        HashCoherenceEngine {
+            mode,
+            lines: HashMap::new(),
+            initial: LineState { cs: MesiState::I, gs: MesiState::E },
+            msg_counts: HashMap::new(),
+            to_device: TrafficStats::default(),
+            to_host: TrafficStats::default(),
+            snoop: HashSnoopFilter::new(),
+        }
+    }
+
+    /// Override the initial (untouched-line) state.
+    pub fn with_initial(mut self, cs: MesiState, gs: MesiState) -> Self {
+        self.initial = LineState { cs, gs };
+        self
+    }
+
+    /// State of a line.
+    pub fn line_state(&self, addr: Addr) -> LineState {
+        *self.lines.get(&addr.line_index()).unwrap_or(&self.initial)
+    }
+
+    /// Messages sent so far for an opcode.
+    pub fn msg_count(&self, op: Opcode) -> u64 {
+        self.msg_counts.get(&op).copied().unwrap_or(0)
+    }
+
+    /// The reference snoop filter.
+    pub fn snoop_filter(&self) -> &HashSnoopFilter {
+        &self.snoop
+    }
+
+    fn state_mut(&mut self, addr: Addr) -> &mut LineState {
+        let init = self.initial;
+        self.lines.entry(addr.line_index()).or_insert(init)
+    }
+
+    fn account(&mut self, to: Agent, opcode: Opcode, payload_len: usize) {
+        *self.msg_counts.entry(opcode).or_insert(0) += 1;
+        let stats = match to {
+            Agent::Device => &mut self.to_device,
+            Agent::Cpu => &mut self.to_host,
+        };
+        stats.packets += 1;
+        if opcode.carries_data() {
+            stats.data_bytes += payload_len as u64;
+            stats.control_bytes += crate::packet::HEADER_BYTES as u64;
+        } else {
+            stats.control_bytes += (crate::packet::HEADER_BYTES + payload_len) as u64;
+        }
+    }
+
+    fn emit(&mut self, to: Agent, pkt: CxlPacket) -> CxlPacket {
+        self.account(to, pkt.opcode, pkt.payload.len());
+        pkt
+    }
+
+    /// A store by `writer` (packet-returning path).
+    pub fn write(
+        &mut self,
+        writer: Agent,
+        addr: Addr,
+        payload: &[u8],
+        aggregated: bool,
+    ) -> Vec<CxlPacket> {
+        let mut out = Vec::new();
+        let reader = writer.peer();
+        let st = *self.state_mut(addr);
+
+        let my = st.get(writer);
+        if my == MesiState::I || my == MesiState::S {
+            out.push(self.emit(reader, CxlPacket::control(Opcode::ReadOwn, addr)));
+            match self.mode {
+                ProtocolMode::Invalidation => {
+                    if st.get(reader) != MesiState::I {
+                        out.push(self.emit(reader, CxlPacket::control(Opcode::Invalidate, addr)));
+                        self.state_mut(addr).set(reader, MesiState::I);
+                    }
+                    self.snoop.set_exclusive(addr, writer);
+                }
+                ProtocolMode::Update => {}
+            }
+            self.state_mut(addr).set(writer, MesiState::E);
+        }
+
+        self.state_mut(addr).set(writer, MesiState::M);
+
+        match self.mode {
+            ProtocolMode::Update => {
+                out.push(self.emit(writer, CxlPacket::control(Opcode::GoFlush, addr)));
+                out.push(self.emit(
+                    reader,
+                    CxlPacket::data(Opcode::FlushData, addr, payload.to_vec(), aggregated),
+                ));
+                let ls = self.state_mut(addr);
+                ls.set(writer, MesiState::S);
+                ls.set(reader, MesiState::S);
+            }
+            ProtocolMode::Invalidation => {}
+        }
+        out
+    }
+
+    /// Allocation-free store twin (accounting only).
+    pub fn write_accounted(&mut self, writer: Agent, addr: Addr, payload_len: usize) -> bool {
+        let reader = writer.peer();
+        let st = *self.state_mut(addr);
+
+        let my = st.get(writer);
+        if my == MesiState::I || my == MesiState::S {
+            self.account(reader, Opcode::ReadOwn, 0);
+            match self.mode {
+                ProtocolMode::Invalidation => {
+                    if st.get(reader) != MesiState::I {
+                        self.account(reader, Opcode::Invalidate, 0);
+                        self.state_mut(addr).set(reader, MesiState::I);
+                    }
+                    self.snoop.set_exclusive(addr, writer);
+                }
+                ProtocolMode::Update => {}
+            }
+            self.state_mut(addr).set(writer, MesiState::E);
+        }
+
+        self.state_mut(addr).set(writer, MesiState::M);
+
+        match self.mode {
+            ProtocolMode::Update => {
+                self.account(writer, Opcode::GoFlush, 0);
+                self.account(reader, Opcode::FlushData, payload_len);
+                let ls = self.state_mut(addr);
+                ls.set(writer, MesiState::S);
+                ls.set(reader, MesiState::S);
+                true
+            }
+            ProtocolMode::Invalidation => false,
+        }
+    }
+
+    /// A load by `reader`.
+    pub fn read(&mut self, reader: Agent, addr: Addr, line_bytes: usize) -> Vec<CxlPacket> {
+        let mut out = Vec::new();
+        let writer = reader.peer();
+        let st = *self.state_mut(addr);
+        match st.get(reader) {
+            MesiState::M | MesiState::E | MesiState::S => {}
+            MesiState::I => {
+                out.push(self.emit(writer, CxlPacket::control(Opcode::ReadShared, addr)));
+                out.push(self.emit(
+                    reader,
+                    CxlPacket::data(Opcode::Data, addr, vec![0u8; line_bytes], false),
+                ));
+                let ls = self.state_mut(addr);
+                ls.set(reader, MesiState::S);
+                if matches!(ls.get(writer), MesiState::M | MesiState::E) {
+                    ls.set(writer, MesiState::S);
+                }
+                if self.mode == ProtocolMode::Invalidation {
+                    self.snoop.add_sharer(addr, reader);
+                    self.snoop.add_sharer(addr, writer);
+                }
+            }
+        }
+        out
+    }
+
+    /// End-of-iteration flush by `flusher`.
+    pub fn flush(&mut self, flusher: Agent, addrs: &[Addr], line_bytes: usize) -> Vec<CxlPacket> {
+        let mut out = Vec::new();
+        let peer = flusher.peer();
+        for &addr in addrs {
+            let st = *self.state_mut(addr);
+            match st.get(flusher) {
+                MesiState::S => {
+                    let ls = self.state_mut(addr);
+                    ls.set(flusher, MesiState::I);
+                    if ls.get(peer) == MesiState::S {
+                        ls.set(peer, MesiState::E);
+                    }
+                }
+                MesiState::M => {
+                    out.push(self.emit(
+                        peer,
+                        CxlPacket::data(Opcode::FlushData, addr, vec![0u8; line_bytes], false),
+                    ));
+                    let ls = self.state_mut(addr);
+                    ls.set(flusher, MesiState::I);
+                    ls.set(peer, MesiState::E);
+                }
+                MesiState::E => {
+                    let ls = self.state_mut(addr);
+                    ls.set(flusher, MesiState::I);
+                    if ls.get(peer) == MesiState::I {
+                        ls.set(peer, MesiState::E);
+                    }
+                }
+                MesiState::I => {}
+            }
+        }
+        out
+    }
+
+    /// Number of lines with tracked state.
+    pub fn tracked_lines(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+/// The old `HashMap<u64, LineData>`-backed giant cache.
+#[derive(Debug, Clone)]
+pub struct HashGiantCache {
+    capacity: u64,
+    allocated: u64,
+    regions: RegionMap,
+    data: HashMap<u64, LineData>,
+    quarantined: HashSet<u64>,
+    /// Device-side disaggregator.
+    pub disaggregator: Disaggregator,
+    next_base: u64,
+    merge_scratch: Vec<LineData>,
+}
+
+impl HashGiantCache {
+    /// Configure a giant cache of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        HashGiantCache {
+            capacity,
+            allocated: 0,
+            regions: RegionMap::new(),
+            data: HashMap::new(),
+            quarantined: HashSet::new(),
+            disaggregator: Disaggregator::new(),
+            next_base: 0,
+            merge_scratch: Vec::new(),
+        }
+    }
+
+    /// Allocate a named tensor region; returns its base address.
+    pub fn alloc_region(
+        &mut self,
+        name: impl Into<String>,
+        bytes: u64,
+    ) -> Result<(RegionId, Addr), GiantCacheError> {
+        let rounded = bytes.div_ceil(LINE_BYTES as u64) * LINE_BYTES as u64;
+        if self.allocated + rounded > self.capacity {
+            return Err(GiantCacheError::CapacityExceeded {
+                requested: rounded,
+                available: self.capacity - self.allocated,
+            });
+        }
+        let base = Addr(self.next_base);
+        let id = self.regions.register(name, base, rounded).expect("bump allocator cannot overlap");
+        self.next_base += rounded;
+        self.allocated += rounded;
+        Ok((id, base))
+    }
+
+    /// Is the line containing `a` mapped?
+    pub fn is_mapped(&self, a: Addr) -> bool {
+        self.regions.contains(a)
+    }
+
+    /// Quarantine the line containing `a`.
+    pub fn quarantine_line(&mut self, a: Addr) -> Result<(), GiantCacheError> {
+        if !self.is_mapped(a) {
+            return Err(GiantCacheError::NotMapped(a));
+        }
+        self.quarantined.insert(a.line_base().line_index());
+        Ok(())
+    }
+
+    /// Is the line containing `a` quarantined?
+    pub fn is_quarantined(&self, a: Addr) -> bool {
+        self.quarantined.contains(&a.line_base().line_index())
+    }
+
+    /// Number of lines currently quarantined.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.len()
+    }
+
+    /// Read a resident line (zero-filled if never written).
+    pub fn read_line(&self, a: Addr) -> Result<LineData, GiantCacheError> {
+        if !self.is_mapped(a) {
+            return Err(GiantCacheError::NotMapped(a));
+        }
+        if self.is_quarantined(a) {
+            return Err(GiantCacheError::Poisoned(a.line_base()));
+        }
+        Ok(self.data.get(&a.line_base().line_index()).copied().unwrap_or_default())
+    }
+
+    /// Store a full line; heals any quarantine on it.
+    pub fn write_line(&mut self, a: Addr, line: LineData) -> Result<(), GiantCacheError> {
+        if !self.is_mapped(a) {
+            return Err(GiantCacheError::NotMapped(a));
+        }
+        let key = a.line_base().line_index();
+        self.quarantined.remove(&key);
+        self.data.insert(key, line);
+        Ok(())
+    }
+
+    /// Merge one aggregated payload into the resident line.
+    pub fn apply_dba_payload(
+        &mut self,
+        a: Addr,
+        payload: &[u8],
+    ) -> Result<LineData, GiantCacheError> {
+        if !self.is_mapped(a) {
+            return Err(GiantCacheError::NotMapped(a));
+        }
+        if self.is_quarantined(a) {
+            return Err(GiantCacheError::Poisoned(a.line_base()));
+        }
+        let key = a.line_base().line_index();
+        let mut line = self.data.get(&key).copied().unwrap_or_default();
+        self.disaggregator.merge(payload, &mut line);
+        self.data.insert(key, line);
+        Ok(line)
+    }
+
+    /// Bulk merge of `n_lines` consecutive payloads, staged per call.
+    pub fn apply_dba_payloads(
+        &mut self,
+        base: Addr,
+        n_lines: usize,
+        payload: &[u8],
+    ) -> Result<(), GiantCacheError> {
+        let base = base.line_base();
+        let addr_of = |i: usize| Addr(base.0 + (i * LINE_BYTES) as u64);
+        for i in 0..n_lines {
+            if !self.is_mapped(addr_of(i)) {
+                return Err(GiantCacheError::NotMapped(addr_of(i)));
+            }
+            if self.is_quarantined(addr_of(i)) {
+                return Err(GiantCacheError::Poisoned(addr_of(i)));
+            }
+        }
+        let mut scratch = std::mem::take(&mut self.merge_scratch);
+        scratch.clear();
+        scratch.extend(
+            (0..n_lines)
+                .map(|i| self.data.get(&addr_of(i).line_index()).copied().unwrap_or_default()),
+        );
+        self.disaggregator.disaggregate_lines(payload, &mut scratch);
+        for (i, line) in scratch.iter().enumerate() {
+            self.data.insert(addr_of(i).line_index(), *line);
+        }
+        self.merge_scratch = scratch;
+        Ok(())
+    }
+
+    /// Number of lines holding explicit data.
+    pub fn lines_written(&self) -> usize {
+        self.data.len()
+    }
+}

@@ -7,10 +7,15 @@
 //! producer-consumer relationship makes sharer tracking unnecessary. This
 //! module provides the directory the invalidation fallback needs, plus the
 //! memory-overhead accounting that quantifies what update mode saves.
+//!
+//! Sharer bytes for lines inside registered regions live in a dense,
+//! lazily chunked slab addressed by [`LineSlot::Dense`] arithmetic; lines
+//! outside every region (standalone uses with arbitrary addresses) fall
+//! back to a hash-map spillover.
 
 use crate::coherence::Agent;
 use std::collections::HashMap;
-use teco_mem::Addr;
+use teco_mem::{Addr, LineBitmap, LineIndexer, LineSlab, LineSlot};
 
 /// Bit flags for the two possible sharers.
 const CPU_BIT: u8 = 0b01;
@@ -20,17 +25,68 @@ const DEV_BIT: u8 = 0b10;
 /// state ≈ 8 bytes per tracked line.
 pub const BYTES_PER_ENTRY: u64 = 8;
 
-/// A sharer directory keyed by line index.
-#[derive(Debug, Clone, Default)]
+/// Occupancy snapshot of a [`SnoopFilter`] — the §IV-A2 directory-cost
+/// accounting, split by storage class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnoopStats {
+    /// Lines currently tracked (dense + spillover).
+    pub entries: usize,
+    /// Tracked lines held in the dense region slab.
+    pub dense_entries: usize,
+    /// Tracked lines held in the hash-map spillover.
+    pub spill_entries: usize,
+    /// Dense slots available (lines covered by registered regions).
+    pub dense_slots: usize,
+    /// High-water mark of tracked lines.
+    pub peak_entries: usize,
+    /// Directory storage at the peak, in bytes.
+    pub peak_bytes: u64,
+}
+
+/// A sharer directory: dense slab over registered regions plus a keyed
+/// spillover for everything else.
+#[derive(Debug, Clone)]
 pub struct SnoopFilter {
-    entries: HashMap<u64, u8>,
+    indexer: LineIndexer,
+    dense: LineSlab<u8>,
+    /// Dense lines with a nonzero sharer byte (maintains the occupancy
+    /// count the hash map used to give us via `len()`).
+    dense_occupied: LineBitmap,
+    spill: HashMap<u64, u8>,
     peak_entries: usize,
+}
+
+impl Default for SnoopFilter {
+    fn default() -> Self {
+        SnoopFilter {
+            indexer: LineIndexer::new(),
+            dense: LineSlab::new(1, 0),
+            dense_occupied: LineBitmap::new(),
+            spill: HashMap::new(),
+            peak_entries: 0,
+        }
+    }
 }
 
 impl SnoopFilter {
     /// Empty filter.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Register a region so its lines use the dense slab. Overlapping or
+    /// duplicate registrations are ignored (those lines keep spilling).
+    pub fn register_region(&mut self, base: Addr, bytes: u64) {
+        if self.indexer.add_span(base, bytes) {
+            self.dense.grow_lines(self.indexer.slots());
+            self.dense_occupied.grow(self.indexer.slots());
+        }
+    }
+
+    /// Resolve the line containing `addr` to its storage slot.
+    #[inline]
+    pub fn slot_of(&self, addr: Addr) -> LineSlot {
+        self.indexer.resolve(addr)
     }
 
     fn bit(a: Agent) -> u8 {
@@ -40,43 +96,104 @@ impl SnoopFilter {
         }
     }
 
-    /// Record `a` as a sharer of the line.
-    pub fn add_sharer(&mut self, addr: Addr, a: Agent) {
-        let e = self.entries.entry(addr.line_index()).or_insert(0);
-        *e |= Self::bit(a);
-        self.peak_entries = self.peak_entries.max(self.entries.len());
+    #[inline]
+    fn bump_peak(&mut self) {
+        self.peak_entries = self.peak_entries.max(self.entries());
+    }
+
+    /// Record `a` as a sharer of the line at a pre-resolved slot.
+    pub fn add_sharer_at(&mut self, slot: LineSlot, a: Agent) {
+        match slot {
+            LineSlot::Dense(i) => {
+                let e = self.dense.get_mut(i);
+                *e |= Self::bit(a);
+                self.dense_occupied.set(i);
+            }
+            LineSlot::Spill(line) => {
+                *self.spill.entry(line).or_insert(0) |= Self::bit(a);
+            }
+        }
+        self.bump_peak();
     }
 
     /// Record `a` as the sole owner (others dropped) — a ReadOwn result.
-    pub fn set_exclusive(&mut self, addr: Addr, a: Agent) {
-        self.entries.insert(addr.line_index(), Self::bit(a));
-        self.peak_entries = self.peak_entries.max(self.entries.len());
+    pub fn set_exclusive_at(&mut self, slot: LineSlot, a: Agent) {
+        match slot {
+            LineSlot::Dense(i) => {
+                *self.dense.get_mut(i) = Self::bit(a);
+                self.dense_occupied.set(i);
+            }
+            LineSlot::Spill(line) => {
+                self.spill.insert(line, Self::bit(a));
+            }
+        }
+        self.bump_peak();
     }
 
     /// Remove `a` from the sharers; drops the entry when no sharers remain.
-    pub fn remove_sharer(&mut self, addr: Addr, a: Agent) {
-        if let Some(e) = self.entries.get_mut(&addr.line_index()) {
-            *e &= !Self::bit(a);
-            if *e == 0 {
-                self.entries.remove(&addr.line_index());
+    pub fn remove_sharer_at(&mut self, slot: LineSlot, a: Agent) {
+        match slot {
+            LineSlot::Dense(i) => {
+                if self.dense_occupied.get(i) {
+                    let e = self.dense.get_mut(i);
+                    *e &= !Self::bit(a);
+                    if *e == 0 {
+                        self.dense_occupied.clear(i);
+                    }
+                }
+            }
+            LineSlot::Spill(line) => {
+                if let Some(e) = self.spill.get_mut(&line) {
+                    *e &= !Self::bit(a);
+                    if *e == 0 {
+                        self.spill.remove(&line);
+                    }
+                }
             }
         }
     }
 
+    /// Sharers at a pre-resolved slot, as (cpu, device) booleans.
+    pub fn sharers_at(&self, slot: LineSlot) -> (bool, bool) {
+        let e = match slot {
+            LineSlot::Dense(i) => self.dense.get(i),
+            LineSlot::Spill(line) => self.spill.get(&line).copied().unwrap_or(0),
+        };
+        (e & CPU_BIT != 0, e & DEV_BIT != 0)
+    }
+
+    /// Record `a` as a sharer of the line.
+    pub fn add_sharer(&mut self, addr: Addr, a: Agent) {
+        self.add_sharer_at(self.slot_of(addr), a);
+    }
+
+    /// Record `a` as the sole owner (others dropped) — a ReadOwn result.
+    pub fn set_exclusive(&mut self, addr: Addr, a: Agent) {
+        self.set_exclusive_at(self.slot_of(addr), a);
+    }
+
+    /// Remove `a` from the sharers; drops the entry when no sharers remain.
+    pub fn remove_sharer(&mut self, addr: Addr, a: Agent) {
+        self.remove_sharer_at(self.slot_of(addr), a);
+    }
+
     /// Is `a` recorded as sharing the line?
     pub fn is_sharer(&self, addr: Addr, a: Agent) -> bool {
-        self.entries.get(&addr.line_index()).is_some_and(|e| e & Self::bit(a) != 0)
+        let (cpu, dev) = self.sharers_at(self.slot_of(addr));
+        match a {
+            Agent::Cpu => cpu,
+            Agent::Device => dev,
+        }
     }
 
     /// Sharers of the line, as (cpu, device) booleans.
     pub fn sharers(&self, addr: Addr) -> (bool, bool) {
-        let e = self.entries.get(&addr.line_index()).copied().unwrap_or(0);
-        (e & CPU_BIT != 0, e & DEV_BIT != 0)
+        self.sharers_at(self.slot_of(addr))
     }
 
     /// Number of tracked lines right now.
     pub fn entries(&self) -> usize {
-        self.entries.len()
+        self.dense_occupied.count() + self.spill.len()
     }
     /// High-water mark of tracked lines.
     pub fn peak_entries(&self) -> usize {
@@ -87,6 +204,18 @@ impl SnoopFilter {
     /// the cost update mode avoids.
     pub fn peak_bytes(&self) -> u64 {
         self.peak_entries as u64 * BYTES_PER_ENTRY
+    }
+
+    /// Occupancy/stats snapshot (dense vs spillover split included).
+    pub fn stats(&self) -> SnoopStats {
+        SnoopStats {
+            entries: self.entries(),
+            dense_entries: self.dense_occupied.count(),
+            spill_entries: self.spill.len(),
+            dense_slots: self.dense.len(),
+            peak_entries: self.peak_entries,
+            peak_bytes: self.peak_bytes(),
+        }
     }
 }
 
@@ -145,6 +274,52 @@ mod tests {
         assert_eq!(f.entries(), 0);
         assert_eq!(f.peak_entries(), 1000);
         assert_eq!(f.peak_bytes(), 8000);
+    }
+
+    #[test]
+    fn dense_and_spill_behave_identically() {
+        // Same operation sequence against a region-registered filter (dense
+        // path) and a bare one (spill path): observable state must agree.
+        let mut dense = SnoopFilter::new();
+        dense.register_region(Addr(0), 64 * 64);
+        let mut spill = SnoopFilter::new();
+        for i in 0..64u64 {
+            let a = Addr(i * 64);
+            dense.add_sharer(a, Agent::Cpu);
+            spill.add_sharer(a, Agent::Cpu);
+            if i % 3 == 0 {
+                dense.set_exclusive(a, Agent::Device);
+                spill.set_exclusive(a, Agent::Device);
+            }
+            if i % 5 == 0 {
+                dense.remove_sharer(a, Agent::Device);
+                spill.remove_sharer(a, Agent::Device);
+            }
+        }
+        for i in 0..64u64 {
+            let a = Addr(i * 64);
+            assert_eq!(dense.sharers(a), spill.sharers(a), "line {i}");
+        }
+        assert_eq!(dense.entries(), spill.entries());
+        assert_eq!(dense.peak_entries(), spill.peak_entries());
+        // The registered filter kept everything dense; the bare one spilled.
+        assert_eq!(dense.stats().spill_entries, 0);
+        assert_eq!(spill.stats().dense_entries, 0);
+    }
+
+    #[test]
+    fn stats_snapshot() {
+        let mut f = SnoopFilter::new();
+        f.register_region(Addr(0), 4 * 64);
+        f.add_sharer(Addr(0), Agent::Cpu); // dense
+        f.add_sharer(Addr(0x4000), Agent::Cpu); // outside the region → spill
+        let st = f.stats();
+        assert_eq!(st.entries, 2);
+        assert_eq!(st.dense_entries, 1);
+        assert_eq!(st.spill_entries, 1);
+        assert_eq!(st.dense_slots, 4);
+        assert_eq!(st.peak_entries, 2);
+        assert_eq!(st.peak_bytes, 16);
     }
 
     #[test]

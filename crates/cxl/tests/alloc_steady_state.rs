@@ -1,0 +1,128 @@
+//! Steady-state allocation audit for the hot wire paths.
+//!
+//! A counting global allocator wraps the system allocator; after a warm-up
+//! pass has sized every reused buffer (flit vector, unpack scratch, wire
+//! buffer, arena chunks, coherence message-count entries), the flit
+//! pack/unpack loop and the bulk DBA path must not touch the allocator at
+//! all.
+//!
+//! Everything lives in ONE `#[test]` because the counter is global and the
+//! default harness runs tests on multiple threads — a second test's
+//! allocations would pollute the window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use teco_cxl::{
+    unpack_with, Agent, Aggregator, CoherenceEngine, CxlPacket, DbaRegister, FlitPacker,
+    GiantCache, Opcode, ProtocolMode,
+};
+use teco_mem::{Addr, LineData, LineSlot, LINE_BYTES};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocator calls (alloc/realloc/alloc_zeroed) made while `f` ran.
+fn allocations(f: impl FnOnce()) -> u64 {
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    f();
+    ALLOC_CALLS.load(Ordering::Relaxed) - before
+}
+
+const LINES: usize = 256;
+
+fn line_with(v: u32) -> LineData {
+    let mut l = LineData::zeroed();
+    for w in 0..16 {
+        l.set_word(w, v.wrapping_add(w as u32));
+    }
+    l
+}
+
+#[test]
+fn hot_paths_allocate_nothing_in_steady_state() {
+    // --- Flit pack/unpack with a reused packer and scratch buffer. ---
+    let pkts: Vec<CxlPacket> = (0..64)
+        .map(|i| CxlPacket::data(Opcode::FlushData, Addr(0x1000 + i * 64), vec![0xCD; 32], true))
+        .collect();
+    let mut packer = FlitPacker::new();
+    let mut scratch = Vec::new();
+    let mut seen = 0usize;
+    let burst = |packer: &mut FlitPacker, scratch: &mut Vec<u8>| {
+        packer.clear();
+        for p in &pkts {
+            packer.push_packet(p);
+        }
+        unpack_with(packer.flits(), scratch, |v| {
+            assert_eq!(v.payload.len(), 32);
+            assert!(v.dba_aggregated);
+        })
+        .unwrap()
+    };
+    // Warm-up sizes the flit vector and the scratch buffer.
+    seen += burst(&mut packer, &mut scratch);
+    let flit_allocs = allocations(|| {
+        for _ in 0..10 {
+            seen += burst(&mut packer, &mut scratch);
+        }
+    });
+    assert_eq!(seen, 11 * pkts.len());
+    assert_eq!(flit_allocs, 0, "flit pack/unpack steady state must not allocate");
+
+    // --- The bulk DBA path: aggregate → coherence accounting → merge. ---
+    let reg = DbaRegister::new(true, 2);
+    let mut agg = Aggregator::new();
+    agg.set_register(reg);
+    let mut gc = GiantCache::new(1 << 20);
+    gc.disaggregator.set_register(reg);
+    let region_bytes = (LINES * LINE_BYTES) as u64;
+    let (_, base) = gc.alloc_region("params", region_bytes).unwrap();
+    let mut eng = CoherenceEngine::new(ProtocolMode::Update);
+    eng.register_region(base, region_bytes);
+    let lines: Vec<LineData> = (0..LINES).map(|i| line_with(0x5100_0000 + i as u32)).collect();
+    let mut wire = Vec::new();
+    let step = |agg: &mut Aggregator,
+                eng: &mut CoherenceEngine,
+                gc: &mut GiantCache,
+                wire: &mut Vec<u8>| {
+        let total = agg.aggregate_lines(&lines, wire);
+        let per = total / LINES;
+        let start = eng.resolve_run(base, LINES).expect("registered run");
+        for i in 0..LINES {
+            let pushed = eng.write_accounted_at(Agent::Cpu, LineSlot::Dense(start + i), per);
+            assert!(pushed);
+        }
+        gc.apply_dba_payloads(base, LINES, wire).unwrap();
+    };
+    // Warm-up materializes the arena chunks the region's lines live in,
+    // sizes the wire buffer, and seeds the opcode counters.
+    step(&mut agg, &mut eng, &mut gc, &mut wire);
+    let dba_allocs = allocations(|| {
+        for _ in 0..10 {
+            step(&mut agg, &mut eng, &mut gc, &mut wire);
+        }
+    });
+    assert_eq!(dba_allocs, 0, "bulk DBA steady state must not allocate");
+}

@@ -1,0 +1,144 @@
+//! Property-based equivalence of the dense-arena hot paths against the
+//! retained hash-map reference implementations (`teco_cxl::refmaps`).
+//!
+//! Random operation streams — including addresses that fall outside any
+//! registered region (spillover) and poison/quarantine interleavings —
+//! must produce identical observable behavior from both: packets, line
+//! states, traffic accounting, snoop directory contents, errors, and
+//! merge counters.
+
+use proptest::prelude::*;
+use teco_cxl::{
+    Agent, CoherenceEngine, DbaRegister, GiantCache, HashCoherenceEngine, HashGiantCache, Opcode,
+    ProtocolMode,
+};
+use teco_mem::{Addr, LineData, LINE_BYTES};
+
+/// Lines covered by the registered region (dense slots).
+const REGION_LINES: u64 = 64;
+/// Address space the streams draw from; the upper half is unregistered,
+/// so those lines exercise the spillover map.
+const ADDR_LINES: u64 = 128;
+
+proptest! {
+    /// The dense coherence engine (region registered over the lower half
+    /// of the address space) behaves exactly like the hash-map engine for
+    /// arbitrary write/write_accounted/read/flush streams, in both
+    /// protocol modes — packets, states, traffic, opcode counts, and the
+    /// snoop directory all agree.
+    #[test]
+    fn dense_coherence_matches_hash_reference(
+        ops in prop::collection::vec((0u8..4, 0u64..ADDR_LINES, any::<bool>()), 1..300),
+        update_mode in any::<bool>(),
+    ) {
+        let mode = if update_mode { ProtocolMode::Update } else { ProtocolMode::Invalidation };
+        let mut dense = CoherenceEngine::new(mode);
+        dense.register_region(Addr(0), REGION_LINES * LINE_BYTES as u64);
+        let mut hash = HashCoherenceEngine::new(mode);
+        let payload = [0xA5u8; LINE_BYTES];
+        for &(op, l, cpu) in &ops {
+            let addr = Addr(l * LINE_BYTES as u64);
+            let agent = if cpu { Agent::Cpu } else { Agent::Device };
+            match op {
+                0 => prop_assert_eq!(
+                    dense.write(agent, addr, &payload, false),
+                    hash.write(agent, addr, &payload, false)
+                ),
+                1 => prop_assert_eq!(
+                    dense.write_accounted(agent, addr, 32),
+                    hash.write_accounted(agent, addr, 32)
+                ),
+                2 => prop_assert_eq!(
+                    dense.read(agent, addr, LINE_BYTES),
+                    hash.read(agent, addr, LINE_BYTES)
+                ),
+                _ => prop_assert_eq!(
+                    dense.flush(agent, &[addr], LINE_BYTES),
+                    hash.flush(agent, &[addr], LINE_BYTES)
+                ),
+            }
+            prop_assert_eq!(dense.line_state(addr), hash.line_state(addr));
+        }
+        prop_assert_eq!(dense.to_device, hash.to_device);
+        prop_assert_eq!(dense.to_host, hash.to_host);
+        prop_assert_eq!(dense.tracked_lines(), hash.tracked_lines());
+        for op in [
+            Opcode::ReadOwn,
+            Opcode::ReadShared,
+            Opcode::Invalidate,
+            Opcode::GoFlush,
+            Opcode::FlushData,
+            Opcode::Data,
+        ] {
+            prop_assert_eq!(dense.msg_count(op), hash.msg_count(op));
+        }
+        for l in 0..ADDR_LINES {
+            let a = Addr(l * LINE_BYTES as u64);
+            prop_assert_eq!(dense.line_state(a), hash.line_state(a));
+            prop_assert_eq!(dense.snoop_filter().sharers(a), hash.snoop_filter().sharers(a));
+        }
+        prop_assert_eq!(dense.snoop_filter().entries(), hash.snoop_filter().entries());
+        prop_assert_eq!(dense.snoop_filter().peak_entries(), hash.snoop_filter().peak_entries());
+    }
+
+    /// The arena giant cache behaves exactly like the hash-map cache for
+    /// random write/read/merge/quarantine interleavings — including the
+    /// error each op reports against unmapped and poisoned lines, the
+    /// device-visible bytes of every line, and the disaggregator's merge
+    /// counters. A trailing bulk merge covers the batched path against
+    /// whatever quarantine pattern the stream left behind.
+    #[test]
+    fn dense_giant_cache_matches_hash_reference(
+        ops in prop::collection::vec((0u8..5, 0u64..ADDR_LINES, any::<u8>()), 1..200),
+        n_dirty in 0u8..=4,
+        active in any::<bool>(),
+        bulk_start in 0u64..ADDR_LINES,
+        bulk_len in 1usize..24,
+    ) {
+        let reg = DbaRegister::new(active, n_dirty);
+        let mut dense = GiantCache::new(1 << 20);
+        let mut hash = HashGiantCache::new(1 << 20);
+        dense.disaggregator.set_register(reg);
+        hash.disaggregator.set_register(reg);
+        // Two regions covering the lower 64 lines; 64..128 stay unmapped.
+        for (name, lines) in [("a", 24u64), ("b", 40u64)] {
+            let d = dense.alloc_region(name, lines * LINE_BYTES as u64).unwrap();
+            let h = hash.alloc_region(name, lines * LINE_BYTES as u64).unwrap();
+            prop_assert_eq!(d, h);
+        }
+        let per = reg.payload_bytes();
+        for &(op, l, v) in &ops {
+            let a = Addr(l * LINE_BYTES as u64);
+            match op {
+                0 => {
+                    let line = LineData([v; LINE_BYTES]);
+                    prop_assert_eq!(dense.write_line(a, line), hash.write_line(a, line));
+                }
+                1 => prop_assert_eq!(dense.read_line(a), hash.read_line(a)),
+                2 => {
+                    let payload: Vec<u8> = (0..per).map(|i| v.wrapping_add(i as u8)).collect();
+                    prop_assert_eq!(
+                        dense.apply_dba_payload(a, &payload),
+                        hash.apply_dba_payload(a, &payload)
+                    );
+                }
+                3 => prop_assert_eq!(dense.quarantine_line(a), hash.quarantine_line(a)),
+                _ => prop_assert_eq!(dense.is_quarantined(a), hash.is_quarantined(a)),
+            }
+        }
+        let bulk: Vec<u8> = (0..per * bulk_len).map(|i| i as u8).collect();
+        let base = Addr(bulk_start * LINE_BYTES as u64);
+        prop_assert_eq!(
+            dense.apply_dba_payloads(base, bulk_len, &bulk),
+            hash.apply_dba_payloads(base, bulk_len, &bulk)
+        );
+        prop_assert_eq!(dense.lines_written(), hash.lines_written());
+        prop_assert_eq!(dense.quarantined_count(), hash.quarantined_count());
+        prop_assert_eq!(dense.disaggregator.lines_merged(), hash.disaggregator.lines_merged());
+        prop_assert_eq!(dense.disaggregator.extra_reads(), hash.disaggregator.extra_reads());
+        for l in 0..ADDR_LINES {
+            let a = Addr(l * LINE_BYTES as u64);
+            prop_assert_eq!(dense.read_line(a), hash.read_line(a), "line {}", l);
+        }
+    }
+}

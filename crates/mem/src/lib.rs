@@ -16,12 +16,14 @@
 //! - [`dram`]: a bank/row-state DRAM model (Ramulator substitute) for the
 //!   §VIII-D Disaggregator read-modify-write overhead study.
 
+pub mod arena;
 pub mod cache;
 pub mod dram;
 pub mod line;
 pub mod region;
 pub mod trace;
 
+pub use arena::{LineBitmap, LineIndexer, LineSlab, LineSlot, CHUNK_LINES};
 pub use cache::{AccessResult, Cache, CacheConfig, CacheStats, Hierarchy, MemWriteback};
 pub use dram::{Dir, Dram, DramAccess, DramConfig, DramResult};
 pub use line::{
