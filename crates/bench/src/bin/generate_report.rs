@@ -5,7 +5,10 @@
 //! (the dba / event_engine / coherence numbers future PRs diff against).
 
 use serde::Value;
-use teco_core::{TecoConfig, TecoSession};
+use teco_core::{
+    run_resumed, run_uninterrupted, KillPoint, ResumeWorkload, StepBoundary, TecoConfig,
+    TecoSession,
+};
 use teco_cxl::FaultConfig;
 use teco_mem::LineData;
 use teco_offload::{fault_report_md, timing_report, Calibration};
@@ -125,9 +128,55 @@ fn snoop_section() -> String {
     )
 }
 
+/// A fixed-seed kill+resume exercise so the report always carries the
+/// crash-consistency counters: snapshots taken, restores performed,
+/// snapshot image size, byte-identity of the resumed run, and the paranoid
+/// auditor's final verdict. Deterministic: same numbers every invocation.
+fn resume_section() -> String {
+    let mut w = ResumeWorkload::small(7);
+    w.cfg = w.cfg.clone().with_audit(true);
+    let baseline = run_uninterrupted(&w).expect("uninterrupted run completes");
+    let kill = KillPoint { step: w.steps / 2, boundary: StepBoundary::AfterActivation };
+    let resumed = run_resumed(&w, kill).expect("resumed run completes");
+    let identical = serde_json::to_string(&resumed.report).expect("serialize resumed")
+        == serde_json::to_string(&baseline.report).expect("serialize baseline");
+    let audit = |e: &Option<String>| match e {
+        None => "clean".to_string(),
+        Some(msg) => format!("FAILED: {msg}"),
+    };
+    format!(
+        "\n## Crash-consistent snapshot/resume (audited, kill at step {} {})\n\n\
+         | metric | uninterrupted | killed+resumed |\n|---|---|---|\n\
+         | snapshots taken | {} | {} |\n\
+         | restores performed | {} | {} |\n\
+         | snapshot image bytes | {} | {} |\n\
+         | device checksum | {:#018x} | {:#018x} |\n\
+         | last audit walk | {} | {} |\n\
+         | report byte-identical to uninterrupted | — | {} |\n",
+        kill.step,
+        "after-activation",
+        baseline.snapshots_taken,
+        resumed.snapshots_taken,
+        baseline.restores,
+        resumed.restores,
+        baseline.snapshot_bytes,
+        resumed.snapshot_bytes,
+        baseline.report.device_checksum,
+        resumed.report.device_checksum,
+        audit(&baseline.last_audit_error),
+        audit(&resumed.last_audit_error),
+        identical,
+    )
+}
+
 fn main() {
-    let report =
-        format!("{}\n{}{}", timing_report(&Calibration::paper()), fault_section(), snoop_section());
+    let report = format!(
+        "{}\n{}{}{}",
+        timing_report(&Calibration::paper()),
+        fault_section(),
+        snoop_section(),
+        resume_section()
+    );
     std::fs::create_dir_all("bench_results").expect("create bench_results/");
     let path = "bench_results/REPORT.md";
     std::fs::write(path, &report).expect("write report");

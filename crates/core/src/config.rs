@@ -24,6 +24,12 @@ pub struct TecoConfig {
     /// Giant-cache capacity in bytes (the resizable-BAR setting, fixed
     /// before training starts — §IV-A1).
     pub giant_cache_bytes: u64,
+    /// Enable the paranoid invariant auditor: the session keeps a shadow
+    /// copy of every giant-cache line it writes and cross-checks the whole
+    /// stack (coherence, cache accounting, link volumes, resident data) at
+    /// every fence. Off by default — the legacy path then pays nothing: no
+    /// shadow allocations, no extra RNG draws, no audit walks.
+    pub audit: bool,
 }
 
 impl Default for TecoConfig {
@@ -34,6 +40,7 @@ impl Default for TecoConfig {
             protocol: ProtocolMode::Update,
             cxl: CxlConfig::paper(),
             giant_cache_bytes: 1 << 30,
+            audit: false,
         }
     }
 }
@@ -74,6 +81,11 @@ impl TecoConfig {
     /// Builder-style: configure the link fault model (off by default).
     pub fn with_fault(mut self, fault: teco_cxl::FaultConfig) -> Self {
         self.cxl = self.cxl.with_fault(fault);
+        self
+    }
+    /// Builder-style: enable the paranoid invariant auditor.
+    pub fn with_audit(mut self, on: bool) -> Self {
+        self.audit = on;
         self
     }
 }

@@ -25,9 +25,14 @@
 //! convergence-with-DBA training use `teco_offload::convergence`.
 
 pub mod config;
+pub mod resume;
 pub mod session;
 pub mod trainer;
 
 pub use config::TecoConfig;
-pub use session::{SessionError, SessionStats, TecoSession};
-pub use trainer::{TecoTrainer, TrainStepReport};
+pub use resume::{
+    run_resumed, run_uninterrupted, KillPoint, ResumeReport, ResumeWorkload, RunOutcome,
+    StepBoundary, WorkloadSnapshot,
+};
+pub use session::{SessionError, SessionSnapshot, SessionStats, TecoSession};
+pub use trainer::{TecoTrainer, TrainStepReport, TrainerSnapshot};

@@ -11,17 +11,19 @@
 //! integration tests.
 
 use crate::config::TecoConfig;
-use std::collections::HashSet;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
 use teco_cxl::{
-    line_checksum, Agent, Aggregator, CoherenceEngine, CxlFence, CxlLink, CxlPacket, DbaRegister,
-    Direction, FaultStats, FenceTimeout, GiantCache, GiantCacheError, LinkError, Opcode,
-    ProtocolMode,
+    audit_all, line_checksum, merged_reference, Agent, Aggregator, AggregatorSnapshot, AuditError,
+    CoherenceEngine, CoherenceSnapshot, CxlFence, CxlLink, CxlLinkSnapshot, CxlPacket, DbaRegister,
+    Direction, FaultStats, FenceStats, FenceTimeout, GiantCache, GiantCacheError,
+    GiantCacheSnapshot, LinkError, Opcode, ProtocolMode,
 };
 use teco_mem::{Addr, LineData, LineSlot, RegionId, LINE_BYTES};
 use teco_sim::{Interval, SimTime};
 
 /// Statistics a session accumulates.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SessionStats {
     /// Parameter lines pushed CPU→device.
     pub param_lines: u64,
@@ -48,6 +50,8 @@ pub enum SessionError {
     Link(LinkError),
     /// A `CXLFENCE` did not complete within its configured timeout.
     Fence(FenceTimeout),
+    /// The paranoid auditor found a cross-module invariant violation.
+    Audit(AuditError),
 }
 
 impl std::fmt::Display for SessionError {
@@ -57,6 +61,7 @@ impl std::fmt::Display for SessionError {
             SessionError::GiantCache(e) => write!(f, "giant cache: {e}"),
             SessionError::Link(e) => write!(f, "link: {e}"),
             SessionError::Fence(e) => write!(f, "fence: {e}"),
+            SessionError::Audit(e) => write!(f, "audit: {e}"),
         }
     }
 }
@@ -107,6 +112,12 @@ pub struct TecoSession {
     degraded: HashSet<u64>,
     /// Names of the degraded regions, in degradation order.
     degraded_names: Vec<String>,
+    /// The paranoid auditor's shadow: an independently maintained copy of
+    /// every giant-cache line this session wrote, evolved CPU-side by the
+    /// same DBA-merge semantics the device applies. `None` when auditing is
+    /// off — the legacy path then never touches it (no allocations, no
+    /// hashing, no walks).
+    shadow: Option<HashMap<u64, LineData>>,
 }
 
 impl TecoSession {
@@ -126,6 +137,7 @@ impl TecoSession {
             fstats: FaultStats::default(),
             degraded: HashSet::new(),
             degraded_names: Vec::new(),
+            shadow: if cfg.audit { Some(HashMap::new()) } else { None },
             cfg,
         })
     }
@@ -274,6 +286,12 @@ impl TecoSession {
         }
         // Device side: merge (DBA) or overwrite (full lines), one pass.
         self.giant_cache.apply_dba_payloads(base, n, &payload)?;
+        if self.shadow.is_some() {
+            let dirty = if aggregated { self.aggregator.register().dirty_bytes() } else { 4 };
+            for (i, line) in lines.iter().enumerate() {
+                self.shadow_merge(addr_of(i), line, dirty);
+            }
+        }
         self.stats.param_lines += n as u64;
         self.stats.bytes_to_device += total as u64;
         self.wire_buf = payload;
@@ -346,6 +364,10 @@ impl TecoSession {
             return self.retry_full_line(addr, &effective, now);
         }
         self.giant_cache.apply_dba_payload(addr, payload)?;
+        if self.shadow.is_some() {
+            let dirty = if aggregated { self.aggregator.register().dirty_bytes() } else { 4 };
+            self.shadow_merge(addr, line, dirty);
+        }
         self.stats.param_lines += 1;
         Ok(out.interval)
     }
@@ -384,6 +406,9 @@ impl TecoSession {
         // A clean full-line write both delivers the data and heals any
         // quarantine left by step 1.
         self.giant_cache.write_line(addr, *line)?;
+        if let Some(shadow) = &mut self.shadow {
+            shadow.insert(addr.0, *line);
+        }
         self.stats.param_lines += 1;
         Ok(out.interval)
     }
@@ -399,6 +424,9 @@ impl TecoSession {
     ) -> Result<Interval, SessionError> {
         let iv = self.link.transfer(Direction::ToDevice, now, LINE_BYTES as u64, SimTime::ZERO);
         self.giant_cache.write_line(addr, *line)?;
+        if let Some(shadow) = &mut self.shadow {
+            shadow.insert(addr.0, *line);
+        }
         self.stats.param_lines += 1;
         self.stats.bytes_to_device += LINE_BYTES as u64;
         Ok(iv)
@@ -478,16 +506,53 @@ impl TecoSession {
         }
     }
 
+    /// Evolve the shadow copy of `addr` by the device's merge semantics.
+    fn shadow_merge(&mut self, addr: Addr, fresh: &LineData, dirty: u8) {
+        let shadow = self.shadow.as_mut().expect("caller checked shadow is on");
+        let prev = shadow.get(&addr.0).copied().unwrap_or_else(LineData::zeroed);
+        shadow.insert(addr.0, merged_reference(&prev, fresh, dirty));
+    }
+
+    /// Is the paranoid auditor enabled?
+    pub fn audit_enabled(&self) -> bool {
+        self.shadow.is_some()
+    }
+
+    /// Run the paranoid auditor now. A no-op returning `Ok` when auditing
+    /// is off; otherwise walks every cross-module invariant (see
+    /// [`teco_cxl::audit`]) including the shadow-data comparison.
+    pub fn run_audit(&self) -> Result<(), SessionError> {
+        match &self.shadow {
+            None => Ok(()),
+            Some(shadow) => audit_all(&self.coherence, &self.giant_cache, &self.link, shadow)
+                .map_err(SessionError::Audit),
+        }
+    }
+
+    /// The fence-point audit: paranoid mode is fail-stop, so an enabled
+    /// auditor that finds a violation panics with the typed error rather
+    /// than letting the run continue on corrupt state. (The `try_*` fence
+    /// variants surface it as `Err` instead.)
+    fn audit_at_fence(&self) {
+        if let Err(e) = self.run_audit() {
+            panic!("TECO audit failed at fence: {e}");
+        }
+    }
+
     /// `CXLFENCE()` for the CPU→device direction (end of parameter
     /// updates, called inside `optimizer.step()` per Listing 1).
     pub fn cxlfence_params(&mut self, now: SimTime) -> SimTime {
-        self.fence.fence(&self.link, Direction::ToDevice, now)
+        let t = self.fence.fence(&self.link, Direction::ToDevice, now);
+        self.audit_at_fence();
+        t
     }
 
     /// `CXLFENCE()` for the device→CPU direction (end of the gradient
     /// flush, called inside `loss.backward()`).
     pub fn cxlfence_grads(&mut self, now: SimTime) -> SimTime {
-        self.fence.fence(&self.link, Direction::ToHost, now)
+        let t = self.fence.fence(&self.link, Direction::ToHost, now);
+        self.audit_at_fence();
+        t
     }
 
     /// The fence timeout from the fault config (`0` means unbounded).
@@ -503,19 +568,24 @@ impl TecoSession {
     /// blocking unboundedly.
     pub fn try_cxlfence_params(&mut self, now: SimTime) -> Result<SimTime, SessionError> {
         let timeout = self.fence_timeout();
-        self.fence.try_fence(&self.link, Direction::ToDevice, now, timeout).map_err(|e| {
-            self.fstats.fence_timeouts += 1;
-            SessionError::Fence(e)
-        })
+        let t =
+            self.fence.try_fence(&self.link, Direction::ToDevice, now, timeout).map_err(|e| {
+                self.fstats.fence_timeouts += 1;
+                SessionError::Fence(e)
+            })?;
+        self.run_audit()?;
+        Ok(t)
     }
 
     /// [`TecoSession::cxlfence_grads`] with the configured timeout.
     pub fn try_cxlfence_grads(&mut self, now: SimTime) -> Result<SimTime, SessionError> {
         let timeout = self.fence_timeout();
-        self.fence.try_fence(&self.link, Direction::ToHost, now, timeout).map_err(|e| {
+        let t = self.fence.try_fence(&self.link, Direction::ToHost, now, timeout).map_err(|e| {
             self.fstats.fence_timeouts += 1;
             SessionError::Fence(e)
-        })
+        })?;
+        self.run_audit()?;
+        Ok(t)
     }
 
     /// Read a line from the device's giant cache (what the GPU kernels
@@ -544,6 +614,104 @@ impl TecoSession {
     pub fn degraded_regions(&self) -> &[String] {
         &self.degraded_names
     }
+
+    /// Capture the complete session state: every component's checkpoint
+    /// image plus the session-level bookkeeping. `HashMap`/`HashSet`-backed
+    /// state is sorted before capture so the serialized form is
+    /// deterministic; the reused wire buffer is capacity-only scratch and
+    /// is deliberately not captured (a restored session re-grows it on the
+    /// first bulk push with no behavioral difference).
+    pub fn snapshot(&self) -> SessionSnapshot {
+        let mut degraded: Vec<u64> = self.degraded.iter().copied().collect();
+        degraded.sort_unstable();
+        let shadow = self.shadow.as_ref().map(|shadow| {
+            let mut lines: Vec<(u64, Vec<u8>)> =
+                shadow.iter().map(|(&a, l)| (a, l.bytes().to_vec())).collect();
+            lines.sort_unstable_by_key(|(a, _)| *a);
+            lines
+        });
+        SessionSnapshot {
+            cfg: self.cfg.clone(),
+            aggregator: self.aggregator.snapshot(),
+            giant_cache: self.giant_cache.snapshot(),
+            coherence: self.coherence.snapshot(),
+            link: self.link.snapshot(),
+            fence: self.fence.stats(),
+            dba_active: self.dba_active,
+            stats: self.stats,
+            fstats: self.fstats,
+            degraded,
+            degraded_names: self.degraded_names.clone(),
+            shadow,
+        }
+    }
+
+    /// Rebuild a session from a captured state. The restored session is
+    /// observationally identical to the original at the capture point:
+    /// every subsequent push, fence, fault draw, and audit walk produces
+    /// bit-identical results.
+    pub fn from_snapshot(s: &SessionSnapshot) -> Result<Self, SessionError> {
+        s.cfg.validate().map_err(SessionError::Config)?;
+        let shadow = s.shadow.as_ref().map(|lines| {
+            lines
+                .iter()
+                .map(|(a, bytes)| {
+                    let mut l = LineData::zeroed();
+                    l.bytes_mut().copy_from_slice(bytes);
+                    (*a, l)
+                })
+                .collect::<HashMap<u64, LineData>>()
+        });
+        Ok(TecoSession {
+            cfg: s.cfg.clone(),
+            aggregator: Aggregator::restore(&s.aggregator),
+            giant_cache: GiantCache::restore(&s.giant_cache),
+            coherence: CoherenceEngine::restore(&s.coherence),
+            link: CxlLink::restore(&s.link),
+            fence: CxlFence::from_stats(s.fence),
+            dba_active: s.dba_active,
+            stats: s.stats,
+            wire_buf: Vec::new(),
+            fstats: s.fstats,
+            degraded: s.degraded.iter().copied().collect(),
+            degraded_names: s.degraded_names.clone(),
+            shadow,
+        })
+    }
+}
+
+/// Serialized form of a [`TecoSession`] — the per-crate checkpoint images
+/// plus session-level bookkeeping, all in deterministic order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionSnapshot {
+    /// The configuration the session was built with.
+    pub cfg: TecoConfig,
+    /// CPU-side CXL module (DBA register + counters).
+    pub aggregator: AggregatorSnapshot,
+    /// Device memory: resident lines, written/quarantined bitmaps, regions,
+    /// and the Disaggregator.
+    pub giant_cache: GiantCacheSnapshot,
+    /// Coherence engine: per-line MESI states, snoop filter, traffic.
+    pub coherence: CoherenceSnapshot,
+    /// The link: per-channel server/busy-interval state and the fault
+    /// injector's RNG streams (mid-retry kills resume the identical fault
+    /// schedule).
+    pub link: CxlLinkSnapshot,
+    /// Fence counters.
+    pub fence: FenceStats,
+    /// Has DBA activated?
+    pub dba_active: bool,
+    /// Session statistics.
+    pub stats: SessionStats,
+    /// Session-side recovery counters.
+    pub fstats: FaultStats,
+    /// Degraded region bases, sorted.
+    pub degraded: Vec<u64>,
+    /// Degraded region names, in degradation order.
+    pub degraded_names: Vec<String>,
+    /// The auditor's shadow lines, sorted by address; `None` when auditing
+    /// is off.
+    pub shadow: Option<Vec<(u64, Vec<u8>)>>,
 }
 
 #[cfg(test)]

@@ -16,14 +16,15 @@
 //! training metrics and simulated transfer timing come out of one loop.
 
 use crate::config::TecoConfig;
-use crate::session::{SessionError, TecoSession};
+use crate::session::{SessionError, SessionSnapshot, TecoSession};
+use serde::{Deserialize, Serialize};
 use teco_cxl::ProtocolMode;
-use teco_dl::{OffloadedAdam, Visitable};
+use teco_dl::{AdamSnapshot, OffloadedAdam, Visitable};
 use teco_offload::dba_merge_bits;
 use teco_sim::SimTime;
 
 /// Per-step record emitted by the trainer.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TrainStepReport {
     /// 0-based step index.
     pub step: u64,
@@ -127,6 +128,48 @@ impl TecoTrainer {
     pub fn total_param_bytes(&self) -> u64 {
         self.reports.iter().map(|r| r.param_bytes).sum()
     }
+
+    /// Capture the trainer's complete state: the session's checkpoint
+    /// image, the CPU-side optimizer (master weights + moments), the step
+    /// counter, the simulated clock, and every per-step report. The model
+    /// itself is not owned by the trainer — capture it separately with
+    /// [`teco_dl::capture_params`].
+    pub fn snapshot(&self) -> TrainerSnapshot {
+        TrainerSnapshot {
+            session: self.session.snapshot(),
+            optimizer: self.optimizer.snapshot(),
+            step: self.step,
+            now: self.now,
+            reports: self.reports.clone(),
+        }
+    }
+
+    /// Rebuild a trainer from a captured state.
+    pub fn from_snapshot(s: &TrainerSnapshot) -> Result<Self, SessionError> {
+        Ok(TecoTrainer {
+            session: TecoSession::from_snapshot(&s.session)?,
+            optimizer: OffloadedAdam::restore(&s.optimizer),
+            step: s.step,
+            now: s.now,
+            reports: s.reports.clone(),
+        })
+    }
+}
+
+/// Serialized form of a [`TecoTrainer`] (model parameters travel
+/// separately — see [`TecoTrainer::snapshot`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainerSnapshot {
+    /// The runtime session.
+    pub session: SessionSnapshot,
+    /// The CPU-resident ADAM state.
+    pub optimizer: AdamSnapshot,
+    /// Steps taken.
+    pub step: u64,
+    /// Simulated clock.
+    pub now: SimTime,
+    /// Per-step records so far.
+    pub reports: Vec<TrainStepReport>,
 }
 
 #[cfg(test)]
@@ -140,7 +183,7 @@ mod tests {
         let cfg =
             TecoConfig::default().with_act_aft_steps(act_after).with_giant_cache_bytes(1 << 20);
         TecoTrainer::new(cfg, OffloadedAdam::new(AdamConfig { lr: 2e-3, ..Default::default() }))
-            .unwrap()
+            .expect("default TecoConfig with a 1 MiB giant cache must validate")
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Zero-cost-when-off audit for the session's hot path.
+//!
+//! A counting global allocator wraps the system allocator. After a warm-up
+//! pass has sized the session's reused wire buffer, the bulk
+//! parameter-push-and-fence loop must not allocate at all with auditing
+//! off — the paranoid auditor's shadow machinery may cost nothing on the
+//! legacy path. The same loop with auditing ON is then allowed (and
+//! expected) to allocate for the shadow map, which doubles as proof the
+//! counter actually observes this code path.
+//!
+//! One `#[test]` only: the counter is global and the default harness runs
+//! tests on multiple threads.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use teco_core::{TecoConfig, TecoSession};
+use teco_mem::{Addr, LineData, LINE_BYTES};
+use teco_sim::SimTime;
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations(f: impl FnOnce()) -> u64 {
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    f();
+    ALLOC_CALLS.load(Ordering::Relaxed) - before
+}
+
+/// The counter is process-global, so an unrelated runtime thread (test
+/// harness I/O capture) can leak a stray count into one measurement. A
+/// real per-iteration allocation shows up in *every* attempt; background
+/// noise cannot fake a zero. Take the minimum over a few attempts.
+fn min_allocations(attempts: u32, mut f: impl FnMut()) -> u64 {
+    (0..attempts).map(|_| allocations(&mut f)).min().expect("at least one attempt")
+}
+
+const LINES: usize = 128;
+
+fn line_with(v: u32) -> LineData {
+    let mut l = LineData::zeroed();
+    for w in 0..16 {
+        l.set_word(w, v.wrapping_add(w as u32));
+    }
+    l
+}
+
+// The zero-alloc contract covers the bulk parameter path and the fences
+// (the gradient path builds per-packet payloads and has always allocated;
+// it is outside this guarantee).
+fn push_loop(s: &mut TecoSession, base: Addr, lines: &[LineData]) {
+    s.push_param_lines(base, lines, SimTime::ZERO).expect("mapped run must push");
+    s.cxlfence_grads(SimTime::ZERO);
+    s.cxlfence_params(SimTime::ZERO);
+}
+
+#[test]
+fn session_steady_state_allocates_nothing_with_audit_off() {
+    let cfg = TecoConfig::default().with_act_aft_steps(0).with_giant_cache_bytes(1 << 20);
+    assert!(!cfg.audit, "audit must default off");
+    let mut s = TecoSession::new(cfg).expect("default config validates");
+    let (_, base) = s.alloc_tensor("params", (LINES * LINE_BYTES) as u64).expect("fits");
+    s.check_activation(0);
+    let lines: Vec<LineData> = (0..LINES).map(|i| line_with(0x6100_0000 + i as u32)).collect();
+    // Warm-up sizes the wire buffer and the arena chunks.
+    push_loop(&mut s, base, &lines);
+    let off_allocs = min_allocations(5, || {
+        for _ in 0..10 {
+            push_loop(&mut s, base, &lines);
+        }
+    });
+    assert_eq!(off_allocs, 0, "audit-off session steady state must not allocate");
+
+    // Control: the same loop with the auditor ON does allocate (the shadow
+    // map exists and every fence walks it) — proving the counter watches
+    // this path and the zero above is meaningful.
+    let cfg = TecoConfig::default()
+        .with_act_aft_steps(0)
+        .with_giant_cache_bytes(1 << 20)
+        .with_audit(true);
+    let mut audited = TecoSession::new(cfg).expect("audited config validates");
+    let (_, abase) = audited.alloc_tensor("params", (LINES * LINE_BYTES) as u64).expect("fits");
+    audited.check_activation(0);
+    let on_allocs = allocations(|| {
+        push_loop(&mut audited, abase, &lines);
+    });
+    assert!(on_allocs > 0, "audited first pass must populate the shadow");
+    audited.run_audit().expect("shadow must match the device");
+}

@@ -1,0 +1,331 @@
+//! The paranoid invariant auditor.
+//!
+//! A set of cross-module consistency checks walked at fence points when a
+//! session opts in (`TecoConfig::audit`). Each check returns a typed
+//! [`AuditError`] naming exactly which invariant broke and where, so a
+//! corrupted restore or a bookkeeping regression fails loudly at the next
+//! fence instead of silently skewing results thousands of events later.
+//!
+//! The auditor is read-only and allocation-free: it iterates existing
+//! structures without collecting, draws nothing from any RNG, and mutates
+//! nothing — so an audit pass can be inserted between any two events
+//! without perturbing determinism. When auditing is off the session never
+//! calls in here at all (zero cost on the legacy path, enforced by the
+//! steady-state allocation tests).
+//!
+//! Invariants checked:
+//!
+//! 1. **Update mode needs no snoop filter** (§IV-A2): an engine in
+//!    [`ProtocolMode::Update`] must have an empty sharer directory.
+//! 2. **Giant-cache accounting**: allocated bytes ≡ Σ region sizes ≡ the
+//!    bump-allocator frontier, and every per-line bitmap covers exactly
+//!    the mapped lines.
+//! 3. **Written lines are indexed**: every giant-cache line holding data
+//!    resolves `Dense` in the coherence engine's indexer (the session
+//!    registers identical spans on both when a tensor is allocated).
+//! 4. **Link service accounting**: per direction, the wire's served bytes
+//!    equal accounted payload bytes plus replay bytes.
+//! 5. **Shadow line data**: an independently maintained map of expected
+//!    line contents matches the resident giant-cache data byte for byte
+//!    (quarantined lines are skipped — their resident copy is untrusted
+//!    by design).
+
+use crate::coherence::{CoherenceEngine, ProtocolMode};
+use crate::fault::line_checksum;
+use crate::giant_cache::GiantCache;
+use crate::link::{CxlLink, Direction};
+use std::collections::HashMap;
+use teco_mem::{Addr, LineData, LineSlot, LINE_BYTES};
+
+/// A cross-module invariant violation found by the auditor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditError {
+    /// Invariant 1: update mode with a non-empty snoop filter.
+    UpdateModeSnoopNonEmpty {
+        /// Sharer-directory entries found.
+        entries: usize,
+    },
+    /// Invariant 2: allocated bytes, Σ region sizes, and the bump frontier
+    /// disagree.
+    CacheAccounting {
+        /// `GiantCache::allocated()`.
+        allocated: u64,
+        /// Sum of registered region sizes.
+        region_bytes: u64,
+        /// Bump-allocator frontier in bytes.
+        frontier: u64,
+    },
+    /// Invariant 2: a per-line bitmap does not cover the mapped lines.
+    BitmapLength {
+        /// Which bitmap (`"written"` or `"quarantined"`).
+        kind: &'static str,
+        /// Lines the bitmap covers.
+        lines: usize,
+        /// Lines the allocator has mapped.
+        mapped: usize,
+    },
+    /// Invariant 3: a written giant-cache line does not resolve `Dense` in
+    /// the coherence indexer.
+    WrittenLineNotDense {
+        /// Global line index of the offender.
+        line: u64,
+    },
+    /// Invariant 4: wire served bytes ≠ payload + replay bytes.
+    LinkVolume {
+        /// The direction that disagrees.
+        direction: Direction,
+        /// Bytes the serial server actually served.
+        served: u64,
+        /// Payload + replay bytes the link accounted.
+        accounted: u64,
+    },
+    /// Invariant 5: resident line data differs from the shadow copy.
+    ShadowMismatch {
+        /// Base address of the mismatching line.
+        addr: Addr,
+        /// Fletcher-16 of the shadow (expected) line.
+        expected_checksum: u16,
+        /// Fletcher-16 of the resident line.
+        actual_checksum: u16,
+    },
+    /// Invariant 5: a shadowed line is no longer readable (and is not
+    /// quarantined — quarantined lines are legitimately unreadable).
+    ShadowUnreadable {
+        /// Base address of the unreadable line.
+        addr: Addr,
+    },
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuditError::UpdateModeSnoopNonEmpty { entries } => {
+                write!(f, "update mode with {entries} snoop-filter entries (must be 0)")
+            }
+            AuditError::CacheAccounting { allocated, region_bytes, frontier } => write!(
+                f,
+                "giant-cache accounting skew: allocated {allocated} B, regions {region_bytes} B, \
+                 frontier {frontier} B"
+            ),
+            AuditError::BitmapLength { kind, lines, mapped } => {
+                write!(f, "{kind} bitmap covers {lines} lines but {mapped} are mapped")
+            }
+            AuditError::WrittenLineNotDense { line } => {
+                write!(f, "written giant-cache line {line} not dense in the coherence indexer")
+            }
+            AuditError::LinkVolume { direction, served, accounted } => write!(
+                f,
+                "link {direction:?} served {served} B but accounted {accounted} B \
+                 (payload + replay)"
+            ),
+            AuditError::ShadowMismatch { addr, expected_checksum, actual_checksum } => write!(
+                f,
+                "line {addr} diverged from shadow: expected checksum {expected_checksum:#06x}, \
+                 resident {actual_checksum:#06x}"
+            ),
+            AuditError::ShadowUnreadable { addr } => {
+                write!(f, "shadowed line {addr} is unreadable but not quarantined")
+            }
+        }
+    }
+}
+impl std::error::Error for AuditError {}
+
+/// Invariant 1: update mode keeps the snoop filter empty.
+pub fn audit_coherence(eng: &CoherenceEngine) -> Result<(), AuditError> {
+    if eng.mode() == ProtocolMode::Update {
+        let entries = eng.snoop_filter().entries();
+        if entries != 0 {
+            return Err(AuditError::UpdateModeSnoopNonEmpty { entries });
+        }
+    }
+    Ok(())
+}
+
+/// Invariant 2: giant-cache allocation accounting and bitmap coverage.
+pub fn audit_cache(gc: &GiantCache) -> Result<(), AuditError> {
+    let region_bytes = gc.regions().total_bytes();
+    let frontier = gc.mapped_lines() as u64 * LINE_BYTES as u64;
+    if gc.allocated() != region_bytes || gc.allocated() != frontier {
+        return Err(AuditError::CacheAccounting {
+            allocated: gc.allocated(),
+            region_bytes,
+            frontier,
+        });
+    }
+    Ok(())
+}
+
+/// Invariant 3: every written giant-cache line resolves `Dense` in the
+/// coherence indexer.
+pub fn audit_cache_coherence(gc: &GiantCache, eng: &CoherenceEngine) -> Result<(), AuditError> {
+    for line in gc.written_line_indices() {
+        let addr = Addr(line as u64 * LINE_BYTES as u64);
+        if !matches!(eng.resolve(addr), LineSlot::Dense(_)) {
+            return Err(AuditError::WrittenLineNotDense { line: line as u64 });
+        }
+    }
+    Ok(())
+}
+
+/// Invariant 4: per-direction wire service equals accounted traffic.
+pub fn audit_link(link: &CxlLink) -> Result<(), AuditError> {
+    for direction in [Direction::ToDevice, Direction::ToHost] {
+        let served = link.bytes_served(direction);
+        let accounted = link.volume(direction) + link.replay_volume(direction);
+        if served != accounted {
+            return Err(AuditError::LinkVolume { direction, served, accounted });
+        }
+    }
+    Ok(())
+}
+
+/// Invariant 5: resident giant-cache data matches the shadow copy, line by
+/// line. Quarantined lines are skipped: their resident bytes are untrusted
+/// until a clean full-line write heals them.
+pub fn audit_shadow(gc: &GiantCache, shadow: &HashMap<u64, LineData>) -> Result<(), AuditError> {
+    for (&base, expected) in shadow {
+        let addr = Addr(base);
+        if gc.is_quarantined(addr) {
+            continue;
+        }
+        match gc.read_line(addr) {
+            Ok(resident) => {
+                if resident != *expected {
+                    return Err(AuditError::ShadowMismatch {
+                        addr,
+                        expected_checksum: line_checksum(expected.bytes()),
+                        actual_checksum: line_checksum(resident.bytes()),
+                    });
+                }
+            }
+            Err(_) => return Err(AuditError::ShadowUnreadable { addr }),
+        }
+    }
+    Ok(())
+}
+
+/// Run every invariant against a full stack at a fence point. The first
+/// violation (in invariant order) is returned.
+pub fn audit_all(
+    eng: &CoherenceEngine,
+    gc: &GiantCache,
+    link: &CxlLink,
+    shadow: &HashMap<u64, LineData>,
+) -> Result<(), AuditError> {
+    audit_coherence(eng)?;
+    audit_cache(gc)?;
+    audit_cache_coherence(gc, eng)?;
+    audit_link(link)?;
+    audit_shadow(gc, shadow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coherence::Agent;
+    use crate::config::CxlConfig;
+    use teco_sim::SimTime;
+
+    fn fresh_stack() -> (CoherenceEngine, GiantCache, CxlLink) {
+        let mut eng = CoherenceEngine::new(ProtocolMode::Update);
+        let mut gc = GiantCache::new(1 << 16);
+        let (_, base) = gc.alloc_region("params", 4096).unwrap();
+        eng.register_region(base, 4096);
+        (eng, gc, CxlLink::new(CxlConfig::paper()))
+    }
+
+    #[test]
+    fn clean_stack_passes_all_invariants() {
+        let (mut eng, mut gc, mut link) = fresh_stack();
+        let mut shadow = HashMap::new();
+        let mut line = LineData::zeroed();
+        line.set_word(0, 0xFEED_F00D);
+        for i in 0..16u64 {
+            let a = Addr(i * 64);
+            gc.write_line(a, line).unwrap();
+            eng.write_accounted(Agent::Cpu, a, 64);
+            link.transfer_simple(Direction::ToDevice, SimTime::ZERO, 64);
+            shadow.insert(a.0, line);
+        }
+        audit_all(&eng, &gc, &link, &shadow).unwrap();
+    }
+
+    #[test]
+    fn invalidation_mode_tolerates_snoop_entries() {
+        let mut eng = CoherenceEngine::new(ProtocolMode::Invalidation);
+        eng.write_accounted(Agent::Cpu, Addr(0), 64);
+        assert!(eng.snoop_filter().entries() > 0);
+        audit_coherence(&eng).unwrap();
+    }
+
+    #[test]
+    fn update_mode_with_snoop_entries_is_flagged() {
+        // Force the illegal combination: populate the filter in
+        // invalidation mode, then flip to update without clearing.
+        let mut eng = CoherenceEngine::new(ProtocolMode::Invalidation);
+        eng.write_accounted(Agent::Cpu, Addr(0), 64);
+        eng.set_mode(ProtocolMode::Update);
+        let err = audit_coherence(&eng).unwrap_err();
+        assert!(matches!(err, AuditError::UpdateModeSnoopNonEmpty { entries } if entries > 0));
+    }
+
+    #[test]
+    fn written_line_outside_indexer_is_flagged() {
+        let mut eng = CoherenceEngine::new(ProtocolMode::Update);
+        let mut gc = GiantCache::new(1 << 16);
+        gc.alloc_region("params", 4096).unwrap();
+        // Deliberately do NOT register the region on the engine.
+        gc.write_line(Addr(128), LineData::zeroed()).unwrap();
+        let err = audit_cache_coherence(&gc, &eng).unwrap_err();
+        assert_eq!(err, AuditError::WrittenLineNotDense { line: 2 });
+        // Registering the span repairs the invariant.
+        eng.register_region(Addr(0), 4096);
+        audit_cache_coherence(&gc, &eng).unwrap();
+    }
+
+    #[test]
+    fn link_volume_accounting_holds_under_replays() {
+        let cfg = CxlConfig::paper().with_fault(crate::fault::FaultConfig {
+            crc_error_rate: 0.4,
+            seed: 11,
+            ..crate::fault::FaultConfig::off()
+        });
+        let mut link = CxlLink::new(cfg);
+        for _ in 0..200 {
+            let _ = link.transfer_checked(Direction::ToDevice, SimTime::ZERO, 64, SimTime::ZERO);
+            let _ = link.transfer_checked(Direction::ToHost, SimTime::ZERO, 64, SimTime::ZERO);
+        }
+        assert!(link.fault_stats().retries > 0, "seed must produce replays");
+        audit_link(&link).unwrap();
+    }
+
+    #[test]
+    fn shadow_divergence_and_quarantine_skip() {
+        let (_, mut gc, _) = fresh_stack();
+        let mut line = LineData::zeroed();
+        line.set_word(3, 0xAB);
+        gc.write_line(Addr(0), line).unwrap();
+        let mut shadow = HashMap::new();
+        shadow.insert(0u64, line);
+        audit_shadow(&gc, &shadow).unwrap();
+
+        // Diverge the resident copy behind the shadow's back.
+        let mut other = line;
+        other.set_word(3, 0xCD);
+        gc.write_line(Addr(0), other).unwrap();
+        let err = audit_shadow(&gc, &shadow).unwrap_err();
+        assert!(matches!(err, AuditError::ShadowMismatch { addr, .. } if addr == Addr(0)));
+
+        // Quarantining the line suspends the check (resident is untrusted).
+        gc.quarantine_line(Addr(0)).unwrap();
+        audit_shadow(&gc, &shadow).unwrap();
+    }
+
+    #[test]
+    fn errors_display_their_evidence() {
+        let e = AuditError::LinkVolume { direction: Direction::ToHost, served: 10, accounted: 9 };
+        let msg = e.to_string();
+        assert!(msg.contains("10") && msg.contains('9') && msg.contains("ToHost"));
+    }
+}

@@ -69,7 +69,7 @@ impl Agent {
 }
 
 /// Coherence state of one line in both peers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LineState {
     /// CPU cache state (Cs in Fig. 5).
     pub cs: MesiState,
@@ -482,6 +482,85 @@ impl CoherenceEngine {
     pub fn tracked_lines(&self) -> usize {
         self.touched.count() + self.spill.len()
     }
+
+    /// Checkpoint image of the whole engine: mode, indexer spans, resident
+    /// dense state chunks, touched bitmap, spillover (sorted), the initial
+    /// state, per-opcode counts, traffic, the snoop filter, and the
+    /// poison-containment counter.
+    pub fn snapshot(&self) -> CoherenceSnapshot {
+        let mut spill: Vec<(u64, LineState)> = self.spill.iter().map(|(&k, &v)| (k, v)).collect();
+        spill.sort_unstable_by_key(|&(k, _)| k);
+        CoherenceSnapshot {
+            mode: self.mode,
+            spans: self.indexer.span_parts(),
+            dense_len: self.dense.len() as u64,
+            dense_chunks: self.dense.resident_parts(),
+            touched_lines: self.touched.len() as u64,
+            touched_words: self.touched.word_parts(),
+            spill,
+            initial: self.initial,
+            msg_counts: self.msg_counts.to_vec(),
+            to_device: self.to_device,
+            to_host: self.to_host,
+            snoop: self.snoop.snapshot(),
+            poisoned_rejects: self.poisoned_rejects,
+        }
+    }
+
+    /// Rebuild an engine from a snapshot.
+    pub fn restore(s: &CoherenceSnapshot) -> Self {
+        assert_eq!(
+            s.msg_counts.len(),
+            crate::packet::OPCODE_COUNT,
+            "opcode count mismatch in snapshot"
+        );
+        let mut msg_counts = [0u64; crate::packet::OPCODE_COUNT];
+        msg_counts.copy_from_slice(&s.msg_counts);
+        CoherenceEngine {
+            mode: s.mode,
+            indexer: LineIndexer::from_span_parts(&s.spans),
+            dense: LineSlab::from_parts(1, s.initial, s.dense_len as usize, &s.dense_chunks),
+            touched: LineBitmap::from_parts(s.touched_lines as usize, &s.touched_words),
+            spill: s.spill.iter().copied().collect(),
+            initial: s.initial,
+            msg_counts,
+            to_device: s.to_device,
+            to_host: s.to_host,
+            snoop: SnoopFilter::restore(&s.snoop),
+            poisoned_rejects: s.poisoned_rejects,
+        }
+    }
+}
+
+/// Serializable image of a [`CoherenceEngine`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoherenceSnapshot {
+    /// Protocol mode.
+    pub mode: ProtocolMode,
+    /// Registered spans as `(first_line, n_lines, slot_base)` triples.
+    pub spans: Vec<(u64, u64, u64)>,
+    /// Dense slab entry count.
+    pub dense_len: u64,
+    /// Resident dense chunks as `(chunk_index, states)`.
+    pub dense_chunks: Vec<(u64, Vec<LineState>)>,
+    /// Lines covered by the touched bitmap.
+    pub touched_lines: u64,
+    /// Raw touched-bitmap words.
+    pub touched_words: Vec<u64>,
+    /// Spillover entries, sorted by line index.
+    pub spill: Vec<(u64, LineState)>,
+    /// State assumed for untouched lines.
+    pub initial: LineState,
+    /// Per-opcode message counts, indexed by `Opcode::index`.
+    pub msg_counts: Vec<u64>,
+    /// Traffic toward the device.
+    pub to_device: TrafficStats,
+    /// Traffic toward the host.
+    pub to_host: TrafficStats,
+    /// The snoop filter.
+    pub snoop: crate::snoop::SnoopFilterSnapshot,
+    /// Inbound data packets rejected for carrying the poison bit.
+    pub poisoned_rejects: u64,
 }
 
 /// A scripted replay of Fig. 5's canonical parameter-update flow, used by

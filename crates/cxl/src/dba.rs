@@ -194,6 +194,39 @@ impl Aggregator {
     pub fn payload_bytes_out(&self) -> u64 {
         self.payload_bytes_out
     }
+
+    /// Checkpoint image (register + counters; the logic is stateless).
+    pub fn snapshot(&self) -> AggregatorSnapshot {
+        AggregatorSnapshot {
+            reg: self.reg,
+            lines_aggregated: self.lines_aggregated,
+            lines_bypassed: self.lines_bypassed,
+            payload_bytes_out: self.payload_bytes_out,
+        }
+    }
+
+    /// Rebuild from a snapshot.
+    pub fn restore(s: &AggregatorSnapshot) -> Self {
+        Aggregator {
+            reg: s.reg,
+            lines_aggregated: s.lines_aggregated,
+            lines_bypassed: s.lines_bypassed,
+            payload_bytes_out: s.payload_bytes_out,
+        }
+    }
+}
+
+/// Serializable image of an [`Aggregator`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregatorSnapshot {
+    /// The DBA register.
+    pub reg: DbaRegister,
+    /// Lines that went through aggregation.
+    pub lines_aggregated: u64,
+    /// Lines that bypassed aggregation.
+    pub lines_bypassed: u64,
+    /// Total payload bytes emitted.
+    pub payload_bytes_out: u64,
 }
 
 /// The accelerator-side Disaggregator (§V-C). Holds the mirrored DBA
@@ -312,6 +345,31 @@ impl Disaggregator {
     pub fn extra_reads(&self) -> u64 {
         self.extra_reads
     }
+
+    /// Checkpoint image (register + counters).
+    pub fn snapshot(&self) -> DisaggregatorSnapshot {
+        DisaggregatorSnapshot {
+            reg: self.reg,
+            lines_merged: self.lines_merged,
+            extra_reads: self.extra_reads,
+        }
+    }
+
+    /// Rebuild from a snapshot.
+    pub fn restore(s: &DisaggregatorSnapshot) -> Self {
+        Disaggregator { reg: s.reg, lines_merged: s.lines_merged, extra_reads: s.extra_reads }
+    }
+}
+
+/// Serializable image of a [`Disaggregator`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DisaggregatorSnapshot {
+    /// The mirrored DBA register.
+    pub reg: DbaRegister,
+    /// Lines merged so far.
+    pub lines_merged: u64,
+    /// Extra resident-line reads incurred by merging.
+    pub extra_reads: u64,
 }
 
 /// Pack the low `n` (1..=3) bytes of each FP32 word into a dense payload

@@ -168,6 +168,41 @@ impl FaultInjector {
         payload[idx] ^= 0x5A;
         true
     }
+
+    /// Checkpoint image: the config plus the raw state of every forked
+    /// stream. Restoring resumes each fault schedule mid-stream, so a run
+    /// killed between two CRC retries replays the remaining faults exactly.
+    pub fn snapshot(&self) -> FaultInjectorSnapshot {
+        FaultInjectorSnapshot {
+            cfg: self.cfg,
+            to_device: self.to_device.state(),
+            to_host: self.to_host.state(),
+            payload: self.payload.state(),
+        }
+    }
+
+    /// Rebuild an injector from a snapshot (streams resume, not restart).
+    pub fn restore(s: &FaultInjectorSnapshot) -> Self {
+        FaultInjector {
+            cfg: s.cfg,
+            to_device: SimRng::from_state(s.to_device),
+            to_host: SimRng::from_state(s.to_host),
+            payload: SimRng::from_state(s.payload),
+        }
+    }
+}
+
+/// Serializable image of a [`FaultInjector`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultInjectorSnapshot {
+    /// The fault configuration.
+    pub cfg: FaultConfig,
+    /// xoshiro256++ state of the host→device stream.
+    pub to_device: [u64; 4],
+    /// xoshiro256++ state of the device→host stream.
+    pub to_host: [u64; 4],
+    /// xoshiro256++ state of the DBA-payload stream.
+    pub payload: [u64; 4],
 }
 
 /// Fletcher-16 over a payload — the per-line DBA checksum carried beside

@@ -12,6 +12,7 @@
 //! overhead, which §VI measures at "less than 1 % of training time".
 
 use crate::link::{CxlLink, Direction};
+use serde::{Deserialize, Serialize};
 use teco_sim::SimTime;
 
 /// Fixed software cost of one fence call (driver round trip, comparable to
@@ -19,7 +20,7 @@ use teco_sim::SimTime;
 pub const FENCE_CHECK_OVERHEAD: SimTime = SimTime::from_us(5);
 
 /// Fence statistics across a run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FenceStats {
     /// Number of CXLFENCE invocations.
     pub calls: u64,
@@ -70,6 +71,12 @@ impl CxlFence {
     /// New fence tracker.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Rebuild a tracker from checkpointed statistics (the fence holds no
+    /// other state).
+    pub fn from_stats(stats: FenceStats) -> Self {
+        CxlFence { stats }
     }
 
     /// Issue a fence at time `now` for traffic in direction `d`; returns

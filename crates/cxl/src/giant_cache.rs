@@ -17,8 +17,9 @@
 //! popcounts. Large timing-only regions stay cheap: untouched chunks are
 //! never materialized.
 
-use crate::dba::Disaggregator;
-use teco_mem::{Addr, LineBitmap, LineData, LineSlab, RegionId, RegionMap, LINE_BYTES};
+use crate::dba::{Disaggregator, DisaggregatorSnapshot};
+use serde::{Deserialize, Serialize};
+use teco_mem::{Addr, LineBitmap, LineData, LineSlab, Region, RegionId, RegionMap, LINE_BYTES};
 
 /// Errors from giant-cache configuration and use.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -276,6 +277,79 @@ impl GiantCache {
     pub fn lines_written(&self) -> usize {
         self.written.count()
     }
+
+    /// Total lines mapped by the bump allocator (the length of the
+    /// written/quarantined bitmaps) — used by the invariant auditor.
+    pub fn mapped_lines(&self) -> usize {
+        (self.next_base / LINE_BYTES as u64) as usize
+    }
+
+    /// Iterate the line indices holding explicit data, ascending — the
+    /// auditor walks these to cross-check resident payloads.
+    pub fn written_line_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.written.iter_ones()
+    }
+
+    /// Checkpoint image of the cache: capacity/allocation accounting, the
+    /// region registry, resident data chunks, written/quarantined bitmaps
+    /// (quarantine state survives a restore: a line poisoned before the
+    /// kill is still quarantined after resume), and the disaggregator.
+    pub fn snapshot(&self) -> GiantCacheSnapshot {
+        GiantCacheSnapshot {
+            capacity: self.capacity,
+            allocated: self.allocated,
+            regions: self.regions.regions().to_vec(),
+            data_len: self.data.len() as u64,
+            data_chunks: self.data.resident_parts(),
+            written_lines: self.written.len() as u64,
+            written_words: self.written.word_parts(),
+            quarantined_lines: self.quarantined.len() as u64,
+            quarantined_words: self.quarantined.word_parts(),
+            disaggregator: self.disaggregator.snapshot(),
+            next_base: self.next_base,
+        }
+    }
+
+    /// Rebuild a cache from a snapshot.
+    pub fn restore(s: &GiantCacheSnapshot) -> Self {
+        GiantCache {
+            capacity: s.capacity,
+            allocated: s.allocated,
+            regions: RegionMap::from_regions(s.regions.clone()),
+            data: LineSlab::from_parts(LINE_BYTES, 0, s.data_len as usize, &s.data_chunks),
+            written: LineBitmap::from_parts(s.written_lines as usize, &s.written_words),
+            quarantined: LineBitmap::from_parts(s.quarantined_lines as usize, &s.quarantined_words),
+            disaggregator: Disaggregator::restore(&s.disaggregator),
+            next_base: s.next_base,
+        }
+    }
+}
+
+/// Serializable image of a [`GiantCache`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GiantCacheSnapshot {
+    /// BAR-configured capacity.
+    pub capacity: u64,
+    /// Bytes allocated so far.
+    pub allocated: u64,
+    /// Registered tensor regions.
+    pub regions: Vec<Region>,
+    /// Data-arena entry count (bytes).
+    pub data_len: u64,
+    /// Resident data chunks as `(chunk_index, bytes)`.
+    pub data_chunks: Vec<(u64, Vec<u8>)>,
+    /// Lines covered by the written bitmap.
+    pub written_lines: u64,
+    /// Raw written-bitmap words.
+    pub written_words: Vec<u64>,
+    /// Lines covered by the quarantine bitmap.
+    pub quarantined_lines: u64,
+    /// Raw quarantine-bitmap words.
+    pub quarantined_words: Vec<u64>,
+    /// The device-side disaggregator.
+    pub disaggregator: DisaggregatorSnapshot,
+    /// Bump-allocator frontier.
+    pub next_base: u64,
 }
 
 #[cfg(test)]

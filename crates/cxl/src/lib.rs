@@ -18,8 +18,11 @@
 //!   busy-interval accounting;
 //! - [`fence`] — `CXLFENCE()` (with an optional timeout);
 //! - [`fault`]: deterministic link-level fault injection (CRC/replay,
-//!   transient stalls, poison) and the recovery statistics.
+//!   transient stalls, poison) and the recovery statistics;
+//! - [`audit`]: the paranoid invariant auditor — cross-module consistency
+//!   checks walked at fence points when a session opts in.
 
+pub mod audit;
 pub mod coherence;
 pub mod config;
 pub mod controller;
@@ -34,21 +37,34 @@ pub mod packet;
 pub mod refmaps;
 pub mod snoop;
 
-pub use coherence::{Agent, CoherenceEngine, LineState, MesiState, ProtocolMode, TrafficStats};
+pub use audit::{
+    audit_all, audit_cache, audit_cache_coherence, audit_coherence, audit_link, audit_shadow,
+    AuditError,
+};
+pub use coherence::{
+    Agent, CoherenceEngine, CoherenceSnapshot, LineState, MesiState, ProtocolMode, TrafficStats,
+};
 pub use config::{CxlConfig, PcieGen};
 pub use controller::{
     run_controller, ControllerError, ControllerResult, LineCompletion, LineRequest,
 };
-pub use dba::{merged_reference, Aggregator, DbaRegister, Disaggregator};
-pub use fault::{line_checksum, FaultConfig, FaultInjector, FaultStats, TransferFault};
+pub use dba::{
+    merged_reference, Aggregator, AggregatorSnapshot, DbaRegister, Disaggregator,
+    DisaggregatorSnapshot,
+};
+pub use fault::{
+    line_checksum, FaultConfig, FaultInjector, FaultInjectorSnapshot, FaultStats, TransferFault,
+};
 pub use fence::{CxlFence, FenceStats, FenceTimeout, FENCE_CHECK_OVERHEAD};
 pub use flit::{
     unpack, unpack_with, wire_bytes_for_packets, Flit, FlitError, FlitPacker, PacketView, Slot,
     FLIT_BYTES, SLOTS_PER_FLIT, SLOT_BYTES,
 };
 pub use flow::{CreditLoop, FlowConfig};
-pub use giant_cache::{GiantCache, GiantCacheError};
-pub use link::{CxlLink, Direction, LinkError, TransferOutcome};
+pub use giant_cache::{GiantCache, GiantCacheError, GiantCacheSnapshot};
+pub use link::{CxlLink, CxlLinkSnapshot, Direction, LinkError, TransferOutcome};
 pub use packet::{wire_bytes_for_lines, CxlPacket, Opcode, HEADER_BYTES, MAX_PAYLOAD_BYTES};
 pub use refmaps::{HashCoherenceEngine, HashGiantCache, HashSnoopFilter};
-pub use snoop::{full_directory_bytes, SnoopFilter, SnoopStats, BYTES_PER_ENTRY};
+pub use snoop::{
+    full_directory_bytes, SnoopFilter, SnoopFilterSnapshot, SnoopStats, BYTES_PER_ENTRY,
+};

@@ -6,8 +6,11 @@
 //! manner" (§VIII-A).
 
 use crate::config::CxlConfig;
-use crate::fault::{FaultInjector, FaultStats};
-use teco_sim::{BoundedServer, Interval, IntervalSet, SimTime};
+use crate::fault::{FaultInjector, FaultInjectorSnapshot, FaultStats};
+use serde::{Deserialize, Serialize};
+use teco_sim::{
+    BoundedServer, BoundedServerSnapshot, Interval, IntervalSet, IntervalSetSnapshot, SimTime,
+};
 
 /// Transfer direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +41,37 @@ impl Channel {
             replay_bytes: 0,
         }
     }
+
+    fn snapshot(&self) -> ChannelSnapshot {
+        ChannelSnapshot {
+            server: self.server.snapshot(),
+            busy: self.busy.snapshot(),
+            payload_bytes: self.payload_bytes,
+            replay_bytes: self.replay_bytes,
+        }
+    }
+
+    fn restore(s: &ChannelSnapshot) -> Self {
+        Channel {
+            server: BoundedServer::restore(&s.server),
+            busy: IntervalSet::restore(&s.busy),
+            payload_bytes: s.payload_bytes,
+            replay_bytes: s.replay_bytes,
+        }
+    }
+}
+
+/// Serializable image of one link direction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelSnapshot {
+    /// The bounded serial server (wire occupancy + pending queue).
+    pub server: BoundedServerSnapshot,
+    /// Busy intervals accumulated on the wire.
+    pub busy: IntervalSetSnapshot,
+    /// Payload bytes moved (replays excluded).
+    pub payload_bytes: u64,
+    /// Wire bytes burned on ack/nak replays.
+    pub replay_bytes: u64,
 }
 
 /// A transfer failed at the link layer.
@@ -255,6 +289,52 @@ impl CxlLink {
     pub fn max_queue_occupancy(&self, d: Direction) -> usize {
         self.channel(d).server.max_occupancy()
     }
+
+    /// Total bytes the wire actually served in a direction — payloads plus
+    /// replays. The invariant auditor checks this against
+    /// `volume(d) + replay_volume(d)`.
+    pub fn bytes_served(&self, d: Direction) -> u64 {
+        self.channel(d).server.server().bytes_served()
+    }
+
+    /// Checkpoint image of the whole link: both channels, the fault
+    /// injector mid-stream (if enabled), and the fault counters. A link
+    /// restored mid-retry continues the same fault schedule.
+    pub fn snapshot(&self) -> CxlLinkSnapshot {
+        CxlLinkSnapshot {
+            cfg: self.cfg,
+            to_device: self.to_device.snapshot(),
+            to_host: self.to_host.snapshot(),
+            injector: self.injector.as_ref().map(FaultInjector::snapshot),
+            fstats: self.fstats,
+        }
+    }
+
+    /// Rebuild a link from a snapshot.
+    pub fn restore(s: &CxlLinkSnapshot) -> Self {
+        CxlLink {
+            cfg: s.cfg,
+            to_device: Channel::restore(&s.to_device),
+            to_host: Channel::restore(&s.to_host),
+            injector: s.injector.as_ref().map(FaultInjector::restore),
+            fstats: s.fstats,
+        }
+    }
+}
+
+/// Serializable image of a [`CxlLink`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CxlLinkSnapshot {
+    /// The interconnect configuration.
+    pub cfg: CxlConfig,
+    /// Host→device channel.
+    pub to_device: ChannelSnapshot,
+    /// Device→host channel.
+    pub to_host: ChannelSnapshot,
+    /// Fault injector state (`None` when the fault model is off).
+    pub injector: Option<FaultInjectorSnapshot>,
+    /// Link-side fault counters.
+    pub fstats: FaultStats,
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 //! back to a hash-map spillover.
 
 use crate::coherence::Agent;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use teco_mem::{Addr, LineBitmap, LineIndexer, LineSlab, LineSlot};
 
@@ -217,6 +218,53 @@ impl SnoopFilter {
             peak_bytes: self.peak_bytes(),
         }
     }
+
+    /// Checkpoint image of the directory: registered spans, resident dense
+    /// chunks, occupancy bitmap, spillover (sorted for deterministic
+    /// serialization), and the high-water mark.
+    pub fn snapshot(&self) -> SnoopFilterSnapshot {
+        let mut spill: Vec<(u64, u8)> = self.spill.iter().map(|(&k, &v)| (k, v)).collect();
+        spill.sort_unstable();
+        SnoopFilterSnapshot {
+            spans: self.indexer.span_parts(),
+            dense_len: self.dense.len() as u64,
+            dense_chunks: self.dense.resident_parts(),
+            occupied_lines: self.dense_occupied.len() as u64,
+            occupied_words: self.dense_occupied.word_parts(),
+            spill,
+            peak_entries: self.peak_entries as u64,
+        }
+    }
+
+    /// Rebuild a directory from a snapshot.
+    pub fn restore(s: &SnoopFilterSnapshot) -> Self {
+        SnoopFilter {
+            indexer: LineIndexer::from_span_parts(&s.spans),
+            dense: LineSlab::from_parts(1, 0, s.dense_len as usize, &s.dense_chunks),
+            dense_occupied: LineBitmap::from_parts(s.occupied_lines as usize, &s.occupied_words),
+            spill: s.spill.iter().copied().collect(),
+            peak_entries: s.peak_entries as usize,
+        }
+    }
+}
+
+/// Serializable image of a [`SnoopFilter`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnoopFilterSnapshot {
+    /// Registered spans as `(first_line, n_lines, slot_base)` triples.
+    pub spans: Vec<(u64, u64, u64)>,
+    /// Dense slab entry count.
+    pub dense_len: u64,
+    /// Resident dense chunks as `(chunk_index, sharer bytes)`.
+    pub dense_chunks: Vec<(u64, Vec<u8>)>,
+    /// Lines covered by the occupancy bitmap.
+    pub occupied_lines: u64,
+    /// Raw occupancy-bitmap words.
+    pub occupied_words: Vec<u64>,
+    /// Spillover entries, sorted by line index.
+    pub spill: Vec<(u64, u8)>,
+    /// High-water mark of tracked lines.
+    pub peak_entries: u64,
 }
 
 /// Directory size needed to track every line of a giant cache of

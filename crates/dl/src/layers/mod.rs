@@ -17,5 +17,5 @@ pub use embedding::Embedding;
 pub use gcn::{GcnIILayer, NormAdj};
 pub use layernorm::LayerNorm;
 pub use linear::Linear;
-pub use param::{Param, Visitable};
+pub use param::{capture_params, restore_params, Param, ParamSnapshot, Visitable};
 pub use transformer::TransformerBlock;

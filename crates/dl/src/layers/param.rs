@@ -7,6 +7,7 @@
 //! profiler, and the DBA truncation coupling reach every weight without the
 //! layers knowing about any of them.
 
+use serde::{Deserialize, Serialize};
 use teco_sim::SimRng;
 
 /// One named trainable tensor, stored flat.
@@ -50,6 +51,70 @@ impl Param {
     pub fn zero_grad(&mut self) {
         self.grad.iter_mut().for_each(|g| *g = 0.0);
     }
+}
+
+/// Serialized form of a [`Param`]. FP32 buffers are captured as raw IEEE-754
+/// bit patterns, not as floats: the snapshot payload travels through JSON,
+/// and round-tripping `u32` is bit-exact by construction for every value —
+/// including NaN payloads and subnormals — which a float text path cannot
+/// promise. Bit-identical resume depends on this.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamSnapshot {
+    /// The parameter's diagnostic name (restore is matched by name).
+    pub name: String,
+    /// `value` as IEEE-754 bit patterns.
+    pub value_bits: Vec<u32>,
+    /// `grad` as IEEE-754 bit patterns.
+    pub grad_bits: Vec<u32>,
+}
+
+impl ParamSnapshot {
+    /// Capture one parameter.
+    pub fn of(p: &Param) -> Self {
+        ParamSnapshot {
+            name: p.name.clone(),
+            value_bits: p.value.iter().map(|v| v.to_bits()).collect(),
+            grad_bits: p.grad.iter().map(|g| g.to_bits()).collect(),
+        }
+    }
+
+    /// Write the captured bits back into `p`. Panics if the snapshot was
+    /// taken from a differently named or shaped parameter — that means the
+    /// restored model was built from a different config, which no amount of
+    /// bit-copying can paper over.
+    pub fn apply_to(&self, p: &mut Param) {
+        assert_eq!(self.name, p.name, "snapshot/param name mismatch");
+        assert_eq!(self.value_bits.len(), p.value.len(), "param {} resized", p.name);
+        assert_eq!(self.grad_bits.len(), p.grad.len(), "param {} grad resized", p.name);
+        for (dst, &bits) in p.value.iter_mut().zip(&self.value_bits) {
+            *dst = f32::from_bits(bits);
+        }
+        for (dst, &bits) in p.grad.iter_mut().zip(&self.grad_bits) {
+            *dst = f32::from_bits(bits);
+        }
+    }
+}
+
+/// Capture every parameter of a model, in visit order.
+pub fn capture_params(model: &mut dyn Visitable) -> Vec<ParamSnapshot> {
+    let mut snaps = Vec::new();
+    model.visit_params(&mut |p| snaps.push(ParamSnapshot::of(p)));
+    snaps
+}
+
+/// Restore every parameter of a model from `snaps`, in visit order. The
+/// model must have been built from the same config (same layers, names,
+/// and shapes); any mismatch panics with the offending parameter.
+pub fn restore_params(model: &mut dyn Visitable, snaps: &[ParamSnapshot]) {
+    let mut idx = 0usize;
+    model.visit_params(&mut |p| {
+        let snap = snaps.get(idx).unwrap_or_else(|| {
+            panic!("model has more params than the snapshot ({} captured)", snaps.len())
+        });
+        snap.apply_to(p);
+        idx += 1;
+    });
+    assert_eq!(idx, snaps.len(), "snapshot has more params than the model");
 }
 
 /// Implemented by every layer and model: walk all trainable parameters.

@@ -35,11 +35,11 @@ pub mod schedule;
 pub mod seq2seq;
 pub mod tensor;
 
-pub use layers::{Param, Visitable};
+pub use layers::{capture_params, restore_params, Param, ParamSnapshot, Visitable};
 pub use model::{GcnConfig, GcnIIModel, TinyGpt, TinyGptConfig};
 pub use modelzoo::{ModelKind, ModelSpec};
 pub use ops::num_cores;
-pub use optim::{AdamConfig, OffloadedAdam, Sgd};
+pub use optim::{AdamConfig, AdamParamSnapshot, AdamSnapshot, OffloadedAdam, Sgd};
 pub use profile::{flatten_grads, flatten_params, ByteChangeStats, SnapshotProfiler};
 pub use schedule::LrSchedule;
 pub use seq2seq::{CrossAttention, DecoderBlock, TinyT5, TinyT5Config};

@@ -8,11 +8,12 @@
 //! on the GPU).
 
 use crate::layers::param::Visitable;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// ADAM hyperparameters (+ global-norm gradient clipping, which
 /// ZeRO-Offload applies on CPU before the optimizer — Fig. 1 phase 4).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AdamConfig {
     /// Learning rate.
     pub lr: f32,
@@ -155,6 +156,80 @@ impl OffloadedAdam {
     pub fn master(&self, name: &str) -> Option<&[f32]> {
         self.states.get(name).map(|s| s.master.as_slice())
     }
+
+    /// Capture the full CPU-side optimizer state. Entries are sorted by
+    /// parameter name so the serialized form is deterministic regardless of
+    /// `HashMap` iteration order; buffers are captured as IEEE-754 bit
+    /// patterns (see [`crate::layers::param::ParamSnapshot`] for why).
+    pub fn snapshot(&self) -> AdamSnapshot {
+        let mut states: Vec<AdamParamSnapshot> = self
+            .states
+            .iter()
+            .map(|(name, st)| AdamParamSnapshot {
+                name: name.clone(),
+                master_bits: st.master.iter().map(|v| v.to_bits()).collect(),
+                m_bits: st.m.iter().map(|v| v.to_bits()).collect(),
+                v_bits: st.v.iter().map(|v| v.to_bits()).collect(),
+            })
+            .collect();
+        states.sort_by(|a, b| a.name.cmp(&b.name));
+        AdamSnapshot {
+            cfg: self.cfg,
+            t: self.t,
+            states,
+            last_writeback_bytes: self.last_writeback_bytes,
+        }
+    }
+
+    /// Rebuild the optimizer from a captured state.
+    pub fn restore(s: &AdamSnapshot) -> Self {
+        let states = s
+            .states
+            .iter()
+            .map(|ps| {
+                assert_eq!(ps.master_bits.len(), ps.m_bits.len(), "param {} skewed", ps.name);
+                assert_eq!(ps.master_bits.len(), ps.v_bits.len(), "param {} skewed", ps.name);
+                let bits_to_f32 =
+                    |bits: &[u32]| bits.iter().map(|&b| f32::from_bits(b)).collect::<Vec<f32>>();
+                (
+                    ps.name.clone(),
+                    ParamState {
+                        master: bits_to_f32(&ps.master_bits),
+                        m: bits_to_f32(&ps.m_bits),
+                        v: bits_to_f32(&ps.v_bits),
+                    },
+                )
+            })
+            .collect();
+        OffloadedAdam { cfg: s.cfg, t: s.t, states, last_writeback_bytes: s.last_writeback_bytes }
+    }
+}
+
+/// One parameter's CPU-side optimizer state, bit-exact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdamParamSnapshot {
+    /// Parameter name (the optimizer's state-map key).
+    pub name: String,
+    /// FP32 master weights as IEEE-754 bit patterns.
+    pub master_bits: Vec<u32>,
+    /// First moment as bit patterns.
+    pub m_bits: Vec<u32>,
+    /// Second moment as bit patterns.
+    pub v_bits: Vec<u32>,
+}
+
+/// Serialized form of [`OffloadedAdam`]: config, step counter, and every
+/// parameter's master/moment buffers, sorted by name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdamSnapshot {
+    /// Hyperparameters (including any learning-rate schedule position).
+    pub cfg: AdamConfig,
+    /// Steps taken.
+    pub t: u64,
+    /// Per-parameter state, sorted by `name`.
+    pub states: Vec<AdamParamSnapshot>,
+    /// Volume accounting carried across the snapshot boundary.
+    pub last_writeback_bytes: u64,
 }
 
 /// Plain SGD (used by the GCNII workload and a few tests).
@@ -300,6 +375,59 @@ mod tests {
         // Pure decay: w ← w·(1 − lr·wd)^10 = 0.99^10 ≈ 0.904.
         assert!((m.0.value[0] - 0.99f32.powi(10)).abs() < 1e-4, "{}", m.0.value[0]);
         assert!((m.0.value[1] + 0.99f32.powi(10)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        // Two optimizers: one runs 20 steps straight; the other runs 10,
+        // round-trips through serialized JSON, and runs 10 more. Every
+        // master/moment/GPU bit must agree.
+        let mut rng = teco_sim::SimRng::seed_from_u64(9);
+        let mut m_a = One(Param::randn("w", 32, 0.5, &mut rng));
+        let mut m_b = One(m_a.0.clone());
+        let cfg = AdamConfig { lr: 0.05, weight_decay: 0.01, ..Default::default() };
+        let mut opt_a = OffloadedAdam::new(cfg);
+        let mut opt_b = OffloadedAdam::new(cfg);
+        let drive = |m: &mut One, opt: &mut OffloadedAdam| {
+            m.0.grad = quadratic_grad(&m.0);
+            opt.step(m);
+        };
+        for _ in 0..10 {
+            drive(&mut m_a, &mut opt_a);
+            drive(&mut m_b, &mut opt_b);
+        }
+        // Serialize → drop → rebuild B from the wire form.
+        let wire = serde_json::to_string(&opt_b.snapshot()).unwrap();
+        drop(opt_b);
+        let snap: AdamSnapshot = serde_json::from_str(&wire).unwrap();
+        assert_eq!(snap, opt_a.snapshot(), "round-trip must be lossless");
+        let mut opt_b = OffloadedAdam::restore(&snap);
+        for _ in 0..10 {
+            drive(&mut m_a, &mut opt_a);
+            drive(&mut m_b, &mut opt_b);
+        }
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+        assert_eq!(bits(&m_a.0.value), bits(&m_b.0.value));
+        assert_eq!(bits(opt_a.master("w").unwrap()), bits(opt_b.master("w").unwrap()));
+        assert_eq!(opt_a.steps(), opt_b.steps());
+    }
+
+    #[test]
+    fn param_snapshot_roundtrips_awkward_floats() {
+        use crate::layers::param::ParamSnapshot;
+        let mut p = Param::zeros("odd", 4);
+        p.value = vec![f32::NAN, -0.0, f32::MIN_POSITIVE / 2.0, 1.0e-42];
+        p.grad = vec![f32::INFINITY, f32::NEG_INFINITY, 3.5, -0.0];
+        let snap = ParamSnapshot::of(&p);
+        let wire = serde_json::to_string(&snap).unwrap();
+        let back: ParamSnapshot = serde_json::from_str(&wire).unwrap();
+        assert_eq!(back, snap);
+        let mut q = Param::zeros("odd", 4);
+        back.apply_to(&mut q);
+        assert_eq!(
+            p.value.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            q.value.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
     }
 
     #[test]

@@ -123,6 +123,29 @@ impl LineIndexer {
         let off = line - s.first_line;
         (off + n as u64 <= s.n_lines as u64).then(|| s.slot_base + off as usize)
     }
+
+    /// The registered spans as plain `(first_line, n_lines, slot_base)`
+    /// triples, sorted by first line — the checkpoint image of the indexer.
+    pub fn span_parts(&self) -> Vec<(u64, u64, u64)> {
+        self.spans.iter().map(|s| (s.first_line, s.n_lines as u64, s.slot_base as u64)).collect()
+    }
+
+    /// Rebuild an indexer from [`LineIndexer::span_parts`] output. Slot
+    /// assignments are restored verbatim, so dense slots handed out before
+    /// the checkpoint stay valid after it.
+    pub fn from_span_parts(parts: &[(u64, u64, u64)]) -> Self {
+        let mut spans: Vec<Span> = parts
+            .iter()
+            .map(|&(first_line, n_lines, slot_base)| Span {
+                first_line,
+                n_lines: n_lines as usize,
+                slot_base: slot_base as usize,
+            })
+            .collect();
+        spans.sort_by_key(|s| s.first_line);
+        let slots = parts.iter().map(|&(_, n, base)| (base + n) as usize).max().unwrap_or(0);
+        LineIndexer { spans, slots }
+    }
 }
 
 /// Lines per [`LineSlab`] chunk. 8192 lines = 512 KB of line data: big
@@ -220,6 +243,35 @@ impl<T: Copy> LineSlab<T> {
             }
             done += take;
         }
+    }
+
+    /// The materialized chunks as `(chunk_index, contents)` pairs, in
+    /// index order — together with `len()` and the construction-time
+    /// `(stride, fill)`, the complete checkpoint image of the slab.
+    /// Unmaterialized chunks are omitted; restoring through
+    /// [`LineSlab::from_parts`] leaves them unmaterialized again, so a
+    /// restore does not inflate memory over the original.
+    pub fn resident_parts(&self) -> Vec<(u64, Vec<T>)> {
+        self.chunks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.as_ref().map(|c| (i as u64, c.to_vec())))
+            .collect()
+    }
+
+    /// Rebuild a slab from its construction parameters, total entry count,
+    /// and [`LineSlab::resident_parts`] output.
+    pub fn from_parts(stride: usize, fill: T, len: usize, parts: &[(u64, Vec<T>)]) -> Self {
+        let mut slab = LineSlab::new(stride, fill);
+        slab.len = len;
+        slab.chunks.resize_with(len.div_ceil(slab.chunk_len()), || None);
+        for (idx, contents) in parts {
+            let idx = *idx as usize;
+            assert!(idx < slab.chunks.len(), "chunk {idx} out of range");
+            assert_eq!(contents.len(), slab.chunk_len(), "chunk {idx} has wrong length");
+            slab.chunks[idx] = Some(contents.clone().into_boxed_slice());
+        }
+        slab
     }
 
     /// Visit each materialized contiguous segment of entries
@@ -343,6 +395,28 @@ impl LineBitmap {
         for i in start..start + len {
             self.set(i);
         }
+    }
+
+    /// The raw bit words, for a checkpoint. Paired with `len()`, this is
+    /// the full image (the popcount is derivable).
+    pub fn word_parts(&self) -> Vec<u64> {
+        self.words.clone()
+    }
+
+    /// Rebuild a bitmap from `lines` and [`LineBitmap::word_parts`] output;
+    /// the popcount is recomputed.
+    pub fn from_parts(lines: usize, words: &[u64]) -> Self {
+        assert_eq!(words.len(), lines.div_ceil(64), "word count does not match line count");
+        let ones = words.iter().map(|w| w.count_ones() as usize).sum();
+        LineBitmap { words: words.to_vec(), lines, ones }
+    }
+
+    /// Iterate the indices of all set bits, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(w, &word)| {
+            let base = w * 64;
+            (0..64).filter(move |b| word & (1u64 << b) != 0).map(move |b| base + b)
+        })
     }
 }
 

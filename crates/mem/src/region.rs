@@ -116,6 +116,23 @@ impl RegionMap {
     pub fn by_name(&self, name: &str) -> Option<&Region> {
         self.regions.iter().find(|r| r.name == name)
     }
+
+    /// Rebuild a map from a checkpointed region list. The list must be
+    /// non-overlapping (it came from `regions()`, which guarantees that);
+    /// sorting is re-established here, so the order of `regions` is free.
+    pub fn from_regions(regions: Vec<Region>) -> Self {
+        let mut m = RegionMap { regions };
+        m.regions.sort_by_key(|r| r.base);
+        for pair in m.regions.windows(2) {
+            assert!(
+                pair[0].end() <= pair[1].base,
+                "checkpointed regions {:?} and {:?} overlap",
+                pair[0].name,
+                pair[1].name
+            );
+        }
+        m
+    }
 }
 
 #[cfg(test)]

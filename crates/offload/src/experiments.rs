@@ -344,7 +344,10 @@ mod tests {
             assert!(!zero_offload_ooms(&spec, 16), "{}", spec.name);
         }
         let cells = fig11_table4(&cal());
-        let t5_16 = cells.iter().find(|c| c.model == "T5-large" && c.batch == 16).unwrap();
+        let t5_16 = cells
+            .iter()
+            .find(|c| c.model == "T5-large" && c.batch == 16)
+            .expect("fig11_table4 must emit a T5-large cell at batch 16");
         assert!(t5_16.oom);
     }
 
@@ -353,8 +356,12 @@ mod tests {
         // §VIII-B observation 2.
         let cells = fig11_table4(&cal());
         for batch in [4u32, 8] {
-            let albert =
-                cells.iter().find(|c| c.model == "Albert-xxlarge-v1" && c.batch == batch).unwrap();
+            let albert = cells
+                .iter()
+                .find(|c| c.model == "Albert-xxlarge-v1" && c.batch == batch)
+                .unwrap_or_else(|| {
+                    panic!("fig11_table4 must emit an Albert-xxlarge-v1 cell at batch {batch}")
+                });
             for c in cells.iter().filter(|c| c.batch == batch && !c.oom && c.model != "GCNII") {
                 assert!(albert.teco_reduction <= c.teco_reduction + 1e-9, "{}", c.model);
             }
@@ -365,10 +372,18 @@ mod tests {
     fn fig12_param_transfer_vanishes_with_dba() {
         let rows = fig12_breakdown(&cal());
         for batch in [2u32, 4, 8] {
-            let zero =
-                rows.iter().find(|r| r.system == "ZeRO-Offload" && r.batch == batch).unwrap();
-            let red =
-                rows.iter().find(|r| r.system == "TECO-Reduction" && r.batch == batch).unwrap();
+            let zero = rows
+                .iter()
+                .find(|r| r.system == "ZeRO-Offload" && r.batch == batch)
+                .unwrap_or_else(|| {
+                    panic!("fig12_breakdown must emit a ZeRO-Offload row at batch {batch}")
+                });
+            let red = rows
+                .iter()
+                .find(|r| r.system == "TECO-Reduction" && r.batch == batch)
+                .unwrap_or_else(|| {
+                    panic!("fig12_breakdown must emit a TECO-Reduction row at batch {batch}")
+                });
             assert!(red.param_xfer_ms < 0.1 * zero.param_xfer_ms);
             assert!(red.total_ms < zero.total_ms);
             // Compute and CPU phases are system-independent.
@@ -403,10 +418,16 @@ mod tests {
         // Paper: +56.6 % average, up to +99.7 % (T5). Our model lands the
         // average nearly exactly; per-model ranking differs slightly.
         assert!(avg > 40.0 && avg < 75.0, "avg {avg}");
-        let t5 = rows.iter().find(|r| r.model == "T5-large").unwrap();
+        let t5 = rows
+            .iter()
+            .find(|r| r.model == "T5-large")
+            .expect("ablation_inval_vs_update must emit a T5-large row");
         assert!(t5.penalty_pct >= avg, "T5 above average: {:.1} vs {:.1}", t5.penalty_pct, avg);
         // Albert (compute-heavy) suffers least.
-        let albert = rows.iter().find(|r| r.model == "Albert-xxlarge-v1").unwrap();
+        let albert = rows
+            .iter()
+            .find(|r| r.model == "Albert-xxlarge-v1")
+            .expect("ablation_inval_vs_update must emit an Albert-xxlarge-v1 row");
         assert!(rows.iter().all(|r| r.penalty_pct >= albert.penalty_pct - 1e-9));
     }
 

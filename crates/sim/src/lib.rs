@@ -22,11 +22,19 @@
 pub mod engine;
 pub mod resource;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 pub mod time;
 
-pub use engine::{Engine, Model, Scheduler};
-pub use resource::{BoundedServer, Interval, IntervalSet, SerialServer};
+pub use engine::{Engine, EngineState, Model, Scheduler, SchedulerState};
+pub use resource::{
+    BoundedServer, BoundedServerSnapshot, Interval, IntervalSet, IntervalSetSnapshot, SerialServer,
+    SerialServerSnapshot,
+};
 pub use rng::SimRng;
+pub use snapshot::{
+    decode_snapshot, encode_snapshot, snapshot_checksum, SnapshotError, SNAPSHOT_HEADER_BYTES,
+    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
 pub use stats::{Histogram, OnlineStats, TimeWeighted};
 pub use time::{Bandwidth, SimTime};

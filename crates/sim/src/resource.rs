@@ -5,6 +5,7 @@
 //! exposed-vs-overlapped time accounting.
 
 use crate::time::{Bandwidth, SimTime};
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// A half-open busy interval `[start, end)`.
@@ -118,6 +119,48 @@ impl SerialServer {
     pub fn utilization(&self, horizon: SimTime) -> f64 {
         self.busy.fraction_of(horizon)
     }
+
+    /// Capture the full server state for a checkpoint.
+    pub fn snapshot(&self) -> SerialServerSnapshot {
+        SerialServerSnapshot {
+            rate: self.rate,
+            next_free: self.next_free,
+            busy: self.busy,
+            bytes_served: self.bytes_served,
+            jobs: self.jobs,
+            last_ready: self.last_ready,
+        }
+    }
+
+    /// Rebuild a server from a snapshot; subsequent submissions behave
+    /// exactly as they would have on the original.
+    pub fn restore(s: &SerialServerSnapshot) -> Self {
+        SerialServer {
+            rate: s.rate,
+            next_free: s.next_free,
+            busy: s.busy,
+            bytes_served: s.bytes_served,
+            jobs: s.jobs,
+            last_ready: s.last_ready,
+        }
+    }
+}
+
+/// Serializable image of a [`SerialServer`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SerialServerSnapshot {
+    /// Configured drain rate.
+    pub rate: Bandwidth,
+    /// Earliest start time for the next job.
+    pub next_free: SimTime,
+    /// Cumulative busy time.
+    pub busy: SimTime,
+    /// Total bytes served.
+    pub bytes_served: u64,
+    /// Total jobs served.
+    pub jobs: u64,
+    /// Ready time of the most recent submission (monotonicity guard).
+    pub last_ready: SimTime,
 }
 
 /// A bounded FIFO admission queue in front of a serial server, modeling the
@@ -207,6 +250,45 @@ impl BoundedServer {
     pub fn server(&self) -> &SerialServer {
         &self.server
     }
+
+    /// Capture the queue state (including in-flight completion times) for a
+    /// checkpoint.
+    pub fn snapshot(&self) -> BoundedServerSnapshot {
+        BoundedServerSnapshot {
+            server: self.server.snapshot(),
+            capacity: self.capacity as u64,
+            completions: self.completions.iter().copied().collect(),
+            stall: self.stall,
+            max_occupancy: self.max_occupancy as u64,
+        }
+    }
+
+    /// Rebuild a bounded server from a snapshot.
+    pub fn restore(s: &BoundedServerSnapshot) -> Self {
+        assert!(s.capacity > 0, "queue capacity must be positive");
+        BoundedServer {
+            server: SerialServer::restore(&s.server),
+            capacity: s.capacity as usize,
+            completions: s.completions.iter().copied().collect(),
+            stall: s.stall,
+            max_occupancy: s.max_occupancy as usize,
+        }
+    }
+}
+
+/// Serializable image of a [`BoundedServer`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoundedServerSnapshot {
+    /// The fronted serial server.
+    pub server: SerialServerSnapshot,
+    /// Queue capacity.
+    pub capacity: u64,
+    /// FIFO completion times of admitted-but-possibly-unfinished entries.
+    pub completions: Vec<SimTime>,
+    /// Accumulated producer stall time.
+    pub stall: SimTime,
+    /// Occupancy high-water mark.
+    pub max_occupancy: u64,
 }
 
 /// A set of busy intervals with union/intersection measures. Used to compute
@@ -299,6 +381,24 @@ impl IntervalSet {
     pub fn span_end(&self) -> SimTime {
         self.ivs.last().map_or(SimTime::ZERO, |iv| iv.end)
     }
+
+    /// Capture the disjoint interval list for a checkpoint.
+    pub fn snapshot(&self) -> IntervalSetSnapshot {
+        IntervalSetSnapshot { ivs: self.ivs.iter().map(|iv| (iv.start, iv.end)).collect() }
+    }
+
+    /// Rebuild a set from a snapshot. The captured list is already disjoint
+    /// and sorted, so this is a straight reload.
+    pub fn restore(s: &IntervalSetSnapshot) -> Self {
+        IntervalSet { ivs: s.ivs.iter().map(|&(start, end)| Interval::new(start, end)).collect() }
+    }
+}
+
+/// Serializable image of an [`IntervalSet`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntervalSetSnapshot {
+    /// Disjoint `(start, end)` pairs, sorted by start.
+    pub ivs: Vec<(SimTime, SimTime)>,
 }
 
 #[cfg(test)]

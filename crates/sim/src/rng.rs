@@ -31,6 +31,19 @@ impl SimRng {
         SimRng { state: std::array::from_fn(|_| splitmix64(&mut sm)) }
     }
 
+    /// The raw xoshiro256++ state, for checkpoint/restore. Restoring via
+    /// [`SimRng::from_state`] resumes the stream exactly where it was,
+    /// including the fork lineage (forks consume one `next_u64` draw, so
+    /// the captured state encodes how many children were forked).
+    pub fn state(&self) -> [u64; 4] {
+        self.state
+    }
+
+    /// Rebuild a generator from a state captured with [`SimRng::state`].
+    pub fn from_state(state: [u64; 4]) -> Self {
+        SimRng { state }
+    }
+
     /// Derive an independent child stream for a named component. The label
     /// is hashed (FNV-1a) into the child seed, so streams with different
     /// labels are decorrelated while remaining reproducible.
