@@ -3,92 +3,16 @@
 //! workload (gradient stream out, DBA-conformant parameter updates back,
 //! two fences per step) and records simulated time, recovery counters, and
 //! whether the giant-cache end state stayed bit-identical to a fault-free
-//! run — the PR's recoverability criterion, measured rather than assumed.
+//! run — the recoverability criterion, measured rather than assumed.
 //!
+//! The row computation lives in [`teco_bench::sweeps`], where the
+//! determinism test matrix pins serial against parallel execution.
 //! Everything is seeded: running this binary twice produces byte-identical
 //! `bench_results/fault_sweep.json` (the CI fault-smoke job diffs exactly
 //! that).
 
-use serde::Serialize;
+use teco_bench::sweeps::fault_rows;
 use teco_bench::{dump_json, f, header, row};
-use teco_core::{TecoConfig, TecoSession};
-use teco_cxl::FaultConfig;
-use teco_mem::{Addr, LineData};
-use teco_sim::SimTime;
-
-const LINES: u64 = 512;
-const ROUNDS: u64 = 4;
-const SEED: u64 = 42;
-
-#[derive(Serialize)]
-struct SweepRow {
-    fault_rate: f64,
-    dirty_bytes: u8,
-    sim_time_ns: u64,
-    slowdown_vs_clean: f64,
-    bytes_to_device: u64,
-    crc_errors: u64,
-    link_retries: u64,
-    stalls: u64,
-    checksum_mismatches: u64,
-    quarantined_lines: u64,
-    full_line_retries: u64,
-    degraded_regions: u64,
-    state_matches_clean: bool,
-}
-
-/// Parameter line for (step, i): the high halves of every word are fixed
-/// across steps (the §III DBA premise), only the low two bytes change.
-fn param_line(step: u64, i: u64) -> LineData {
-    let mut l = LineData::zeroed();
-    for w in 0..16usize {
-        let hi = ((i as u32) << 16) ^ ((w as u32) << 26);
-        let lo = (0x1000u32.wrapping_add(step as u32 * 257).wrapping_add(w as u32)) & 0xFFFF;
-        l.set_word(w, (hi & 0xFFFF_0000) | lo);
-    }
-    l
-}
-
-fn grad_line(step: u64, i: u64) -> LineData {
-    let mut l = LineData::zeroed();
-    for w in 0..16usize {
-        l.set_word(w, (step as u32) << 24 ^ (i as u32) << 8 ^ w as u32);
-    }
-    l
-}
-
-/// Run the fixed workload; returns the session, the end-of-run simulated
-/// time, and the parameter region base.
-fn run_workload(dirty_bytes: u8, fault: FaultConfig) -> (TecoSession, SimTime, Addr) {
-    let cfg = TecoConfig::default()
-        .with_giant_cache_bytes(1 << 22)
-        .with_dirty_bytes(dirty_bytes)
-        .with_act_aft_steps(1) // step 0 establishes resident copies
-        .with_fault(fault);
-    let mut s = TecoSession::new(cfg).expect("valid config");
-    let (_, pbase) = s.alloc_tensor("params", LINES * 64).expect("alloc params");
-    let (_, gbase) = s.alloc_tensor("grads", LINES * 64).expect("alloc grads");
-    let mut now = SimTime::ZERO;
-    for step in 0..ROUNDS {
-        for i in 0..LINES {
-            // A gradient line lost to retry exhaustion is recorded in the
-            // fault stats; the sweep keeps going.
-            let _ = s.push_grad_line(Addr(gbase.0 + i * 64), grad_line(step, i), now);
-        }
-        now = s.cxlfence_grads(now);
-        s.check_activation(step);
-        let lines: Vec<LineData> = (0..LINES).map(|i| param_line(step, i)).collect();
-        s.push_param_lines(pbase, &lines, now).expect("param push");
-        now = s.cxlfence_params(now);
-    }
-    (s, now, pbase)
-}
-
-fn state_matches(a: &TecoSession, ab: Addr, b: &TecoSession, bb: Addr) -> bool {
-    (0..LINES).all(|i| {
-        a.device_read_line(Addr(ab.0 + i * 64)).ok() == b.device_read_line(Addr(bb.0 + i * 64)).ok()
-    })
-}
 
 fn main() {
     header("Fault sweep", "recovery cost across fault rates × dirty_bytes");
@@ -103,51 +27,19 @@ fn main() {
         "degraded".into(),
         "state ok".into(),
     ]);
-    let mut out = Vec::new();
-    for &dirty in &[2u8, 4] {
-        let (clean_s, clean_t, clean_b) = run_workload(dirty, FaultConfig::off());
-        for &rate in &[0.0f64, 0.001, 0.01, 0.05] {
-            let fault = FaultConfig {
-                crc_error_rate: rate,
-                stall_rate: rate,
-                stall_ns: 100,
-                poison_rate: rate / 4.0,
-                dba_checksum_error_rate: rate,
-                retry_limit: 8,
-                seed: SEED,
-                ..FaultConfig::off()
-            };
-            let (s, t, b) = run_workload(dirty, fault);
-            let r = s.fault_report();
-            let matches = state_matches(&s, b, &clean_s, clean_b);
-            let slowdown = t.as_ns() as f64 / clean_t.as_ns() as f64;
-            row(&[
-                format!("{rate}"),
-                dirty.to_string(),
-                f(t.as_ns() as f64 / 1e6),
-                f(slowdown),
-                r.retries.to_string(),
-                r.checksum_mismatches.to_string(),
-                r.quarantined_lines.to_string(),
-                r.degraded_regions.to_string(),
-                matches.to_string(),
-            ]);
-            out.push(SweepRow {
-                fault_rate: rate,
-                dirty_bytes: dirty,
-                sim_time_ns: t.as_ns(),
-                slowdown_vs_clean: slowdown,
-                bytes_to_device: s.stats().bytes_to_device,
-                crc_errors: r.crc_errors,
-                link_retries: r.retries,
-                stalls: r.stalls,
-                checksum_mismatches: r.checksum_mismatches,
-                quarantined_lines: r.quarantined_lines,
-                full_line_retries: r.full_line_retries,
-                degraded_regions: r.degraded_regions,
-                state_matches_clean: matches,
-            });
-        }
+    let out = fault_rows();
+    for r in &out {
+        row(&[
+            format!("{}", r.fault_rate),
+            r.dirty_bytes.to_string(),
+            f(r.sim_time_ns as f64 / 1e6),
+            f(r.slowdown_vs_clean),
+            r.link_retries.to_string(),
+            r.checksum_mismatches.to_string(),
+            r.quarantined_lines.to_string(),
+            r.degraded_regions.to_string(),
+            r.state_matches_clean.to_string(),
+        ]);
     }
     println!("\nrate 0 rows are byte-identical to the fault-model-off baseline; nonzero");
     println!("rates pay recovery time (retries, stalls, full-line resends) but the");

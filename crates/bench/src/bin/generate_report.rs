@@ -5,14 +5,8 @@
 //! (the dba / event_engine / coherence numbers future PRs diff against).
 
 use serde::Value;
-use teco_core::{
-    run_resumed, run_uninterrupted, KillPoint, ResumeWorkload, StepBoundary, TecoConfig,
-    TecoSession,
-};
-use teco_cxl::FaultConfig;
-use teco_mem::LineData;
-use teco_offload::{fault_report_md, timing_report, Calibration};
-use teco_sim::SimTime;
+use teco_bench::report::{fault_section, resume_section, scaling_section, snoop_section};
+use teco_offload::{timing_report, Calibration};
 
 /// Which `criterion_medians.json` groups feed each perf-summary section.
 const SECTIONS: &[(&str, &[&str])] = &[
@@ -52,130 +46,14 @@ fn perf_summary() -> Option<Value> {
     Some(Value::Object(sections))
 }
 
-/// A small fixed-seed faulty run so the report always carries a populated
-/// fault/recovery section (deterministic: same counters every invocation).
-fn fault_section() -> String {
-    let fault = FaultConfig {
-        crc_error_rate: 0.05,
-        stall_rate: 0.05,
-        stall_ns: 100,
-        poison_rate: 0.01,
-        dba_checksum_error_rate: 0.05,
-        retry_limit: 8,
-        seed: 7,
-        ..FaultConfig::off()
-    };
-    let cfg = TecoConfig::default()
-        .with_giant_cache_bytes(1 << 20)
-        .with_act_aft_steps(1)
-        .with_fault(fault);
-    let mut s = TecoSession::new(cfg).expect("valid config");
-    let (_, base) = s.alloc_tensor("params", 256 * 64).expect("alloc params");
-    let mut now = SimTime::ZERO;
-    for step in 0..3u64 {
-        s.check_activation(step);
-        let lines: Vec<LineData> = (0..256u64)
-            .map(|i| {
-                let mut l = LineData::zeroed();
-                for w in 0..16usize {
-                    // High halves fixed across steps (the DBA premise).
-                    l.set_word(w, ((i as u32) << 16) | (0x100 + step as u32 * 3 + w as u32));
-                }
-                l
-            })
-            .collect();
-        s.push_param_lines(base, &lines, now).expect("param push");
-        now = s.cxlfence_params(now);
-    }
-    fault_report_md(&s.fault_report(), s.degraded_regions())
-}
-
-/// A deterministic invalidation-mode run that populates the snoop filter,
-/// reported so the directory's occupancy (and where its entries live —
-/// dense arena vs spillover) is visible next to the fault section.
-fn snoop_section() -> String {
-    let cfg = TecoConfig::default()
-        .with_giant_cache_bytes(1 << 20)
-        .with_protocol(teco_cxl::ProtocolMode::Invalidation);
-    let mut s = TecoSession::new(cfg).expect("valid config");
-    let (_, base) = s.alloc_tensor("params", 512 * 64).expect("alloc params");
-    let lines: Vec<LineData> = (0..512u64)
-        .map(|i| {
-            let mut l = LineData::zeroed();
-            for w in 0..16usize {
-                l.set_word(w, ((i as u32) << 8) | w as u32);
-            }
-            l
-        })
-        .collect();
-    s.push_param_lines(base, &lines, SimTime::ZERO).expect("param push");
-    let st = s.coherence().snoop_filter().stats();
-    format!(
-        "\n## Snoop-filter occupancy (invalidation mode, 512-line push)\n\n\
-         | metric | value |\n|---|---|\n\
-         | tracked lines | {} |\n\
-         | dense-arena entries | {} |\n\
-         | spillover entries | {} |\n\
-         | dense slots available | {} |\n\
-         | peak tracked lines | {} |\n\
-         | peak directory bytes | {} |\n",
-        st.entries,
-        st.dense_entries,
-        st.spill_entries,
-        st.dense_slots,
-        st.peak_entries,
-        st.peak_bytes
-    )
-}
-
-/// A fixed-seed kill+resume exercise so the report always carries the
-/// crash-consistency counters: snapshots taken, restores performed,
-/// snapshot image size, byte-identity of the resumed run, and the paranoid
-/// auditor's final verdict. Deterministic: same numbers every invocation.
-fn resume_section() -> String {
-    let mut w = ResumeWorkload::small(7);
-    w.cfg = w.cfg.clone().with_audit(true);
-    let baseline = run_uninterrupted(&w).expect("uninterrupted run completes");
-    let kill = KillPoint { step: w.steps / 2, boundary: StepBoundary::AfterActivation };
-    let resumed = run_resumed(&w, kill).expect("resumed run completes");
-    let identical = serde_json::to_string(&resumed.report).expect("serialize resumed")
-        == serde_json::to_string(&baseline.report).expect("serialize baseline");
-    let audit = |e: &Option<String>| match e {
-        None => "clean".to_string(),
-        Some(msg) => format!("FAILED: {msg}"),
-    };
-    format!(
-        "\n## Crash-consistent snapshot/resume (audited, kill at step {} {})\n\n\
-         | metric | uninterrupted | killed+resumed |\n|---|---|---|\n\
-         | snapshots taken | {} | {} |\n\
-         | restores performed | {} | {} |\n\
-         | snapshot image bytes | {} | {} |\n\
-         | device checksum | {:#018x} | {:#018x} |\n\
-         | last audit walk | {} | {} |\n\
-         | report byte-identical to uninterrupted | — | {} |\n",
-        kill.step,
-        "after-activation",
-        baseline.snapshots_taken,
-        resumed.snapshots_taken,
-        baseline.restores,
-        resumed.restores,
-        baseline.snapshot_bytes,
-        resumed.snapshot_bytes,
-        baseline.report.device_checksum,
-        resumed.report.device_checksum,
-        audit(&baseline.last_audit_error),
-        audit(&resumed.last_audit_error),
-        identical,
-    )
-}
-
 fn main() {
     let report = format!(
-        "{}\n{}{}{}",
+        "{}\n{}{}{}{}",
         timing_report(&Calibration::paper()),
         fault_section(),
         snoop_section(),
-        resume_section()
+        resume_section(),
+        scaling_section()
     );
     std::fs::create_dir_all("bench_results").expect("create bench_results/");
     let path = "bench_results/REPORT.md";

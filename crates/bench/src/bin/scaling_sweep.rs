@@ -1,0 +1,52 @@
+//! Scaling sweep: N accelerators data-parallel over a shared CXL pool,
+//! N ∈ {1, 2, 4, 8} × per-device batch ∈ {4, 8, 16}.
+//!
+//! Each cell runs the fixed-seed cluster workload — per step: per-device
+//! gradient shards flush and fence, the shards reduce into the pooled CPU
+//! optimizer through the round-robin host-budget arbiter, and the updated
+//! parameters broadcast back through update-mode coherence (one host read
+//! fanned out to every giant cache). Speedup counts shards processed per
+//! unit time versus the cell's own one-device baseline; efficiency decay
+//! is host-DRAM contention, which starts once aggregate link bandwidth
+//! (N × 15.088 GB/s) exceeds the 38.4 GB/s pool budget.
+//!
+//! The row computation lives in [`teco_bench::sweeps`], where the
+//! determinism test matrix pins serial against parallel execution.
+//! Everything is seeded: running this binary twice produces byte-identical
+//! `bench_results/scaling_sweep.json` (the CI scaling-smoke job diffs
+//! exactly that). There is no paper baseline for these numbers — the paper
+//! evaluates one accelerator per coherence domain; this sweep is the
+//! model's prediction for the multi-device regime (see EXPERIMENTS.md).
+
+use teco_bench::sweeps::scaling_rows;
+use teco_bench::{dump_json, f, header, pct, row};
+
+fn main() {
+    header("Scaling sweep", "N devices over a shared CXL pool × batch size");
+    row(&[
+        "devices".into(),
+        "batch".into(),
+        "cluster ms".into(),
+        "speedup".into(),
+        "efficiency".into(),
+        "host wait ms".into(),
+        "saved MB".into(),
+    ]);
+    let out = scaling_rows();
+    for r in &out {
+        row(&[
+            r.devices.to_string(),
+            r.batch.to_string(),
+            f(r.cluster_time_ns as f64 / 1e6),
+            f(r.speedup_vs_one),
+            pct(r.efficiency_pct),
+            f(r.host_wait_ns as f64 / 1e6),
+            f(r.fanout_saved_bytes as f64 / 1e6),
+        ]);
+    }
+    println!("\nspeedup is throughput (shards/time) versus the one-device run at the");
+    println!("same batch; efficiency loss is shared host-DRAM contention. Fan-out");
+    println!("savings are the pool reads the update-mode broadcast avoided (one host");
+    println!("read serves every device's giant cache).");
+    dump_json("scaling_sweep", &out);
+}

@@ -5,6 +5,9 @@
 //! helpers: aligned-table printing and JSON result dumps into
 //! `bench_results/`.
 
+pub mod report;
+pub mod sweeps;
+
 use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;

@@ -1,0 +1,365 @@
+//! Sweep-row computation shared between the bench binaries and the test
+//! suite.
+//!
+//! The fault and scaling sweeps used to live inline in their binaries;
+//! they are library functions so the determinism matrix
+//! (`tests/determinism.rs`) can run the *same* row computation under both
+//! serial and parallel [`teco_offload::sweep_with_workers`] execution and
+//! require byte-identical JSON. Every cell is computed independently —
+//! including its own clean/one-device baseline — so cells can run on any
+//! worker in any order without sharing state.
+
+use serde::{Deserialize, Serialize};
+use teco_core::{
+    run_cluster_uninterrupted, ClusterConfig, ClusterReport, ClusterWorkload, TecoConfig,
+    TecoSession,
+};
+use teco_cxl::FaultConfig;
+use teco_mem::{Addr, LineData};
+use teco_offload::{sweep_with_workers, ScalingPoint};
+use teco_sim::SimTime;
+
+// ---------------------------------------------------------------------------
+// Fault sweep
+// ---------------------------------------------------------------------------
+
+/// Lines per region in the fault workload.
+pub const FAULT_LINES: u64 = 512;
+/// Training steps in the fault workload.
+pub const FAULT_ROUNDS: u64 = 4;
+/// The fault injector's fixed seed.
+pub const FAULT_SEED: u64 = 42;
+
+/// One cell of the fault sweep's grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultCell {
+    /// DBA dirty-byte setting.
+    pub dirty_bytes: u8,
+    /// The rate fed to every fault class.
+    pub fault_rate: f64,
+}
+
+/// The grid: dirty ∈ {2, 4} × rate ∈ {0, 0.001, 0.01, 0.05}, in the
+/// order the sweep's JSON has always carried.
+pub fn fault_grid() -> Vec<FaultCell> {
+    let mut cells = Vec::new();
+    for &dirty_bytes in &[2u8, 4] {
+        for &fault_rate in &[0.0f64, 0.001, 0.01, 0.05] {
+            cells.push(FaultCell { dirty_bytes, fault_rate });
+        }
+    }
+    cells
+}
+
+/// One row of `bench_results/fault_sweep.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSweepRow {
+    /// The rate fed to every fault class.
+    pub fault_rate: f64,
+    /// DBA dirty-byte setting.
+    pub dirty_bytes: u8,
+    /// End-of-run simulated time.
+    pub sim_time_ns: u64,
+    /// Simulated-time ratio versus the fault-model-off run.
+    pub slowdown_vs_clean: f64,
+    /// Payload bytes CPU→device.
+    pub bytes_to_device: u64,
+    /// Link CRC errors.
+    pub crc_errors: u64,
+    /// Link retries.
+    pub link_retries: u64,
+    /// Transient stalls.
+    pub stalls: u64,
+    /// DBA checksum mismatches caught receiver-side.
+    pub checksum_mismatches: u64,
+    /// Lines quarantined by poison containment.
+    pub quarantined_lines: u64,
+    /// Full-line retries (ladder step 2).
+    pub full_line_retries: u64,
+    /// Regions degraded to the software baseline (ladder step 3).
+    pub degraded_regions: u64,
+    /// Did the giant-cache end state stay bit-identical to the clean run?
+    pub state_matches_clean: bool,
+}
+
+/// Parameter line for (step, i): the high halves of every word are fixed
+/// across steps (the §III DBA premise), only the low two bytes change.
+fn param_line(step: u64, i: u64) -> LineData {
+    let mut l = LineData::zeroed();
+    for w in 0..16usize {
+        let hi = ((i as u32) << 16) ^ ((w as u32) << 26);
+        let lo = (0x1000u32.wrapping_add(step as u32 * 257).wrapping_add(w as u32)) & 0xFFFF;
+        l.set_word(w, (hi & 0xFFFF_0000) | lo);
+    }
+    l
+}
+
+fn grad_line(step: u64, i: u64) -> LineData {
+    let mut l = LineData::zeroed();
+    for w in 0..16usize {
+        l.set_word(w, (step as u32) << 24 ^ (i as u32) << 8 ^ w as u32);
+    }
+    l
+}
+
+/// Run the fixed fault workload; returns the session, the end-of-run
+/// simulated time, and the parameter region base.
+pub fn run_fault_workload(dirty_bytes: u8, fault: FaultConfig) -> (TecoSession, SimTime, Addr) {
+    let cfg = TecoConfig::default()
+        .with_giant_cache_bytes(1 << 22)
+        .with_dirty_bytes(dirty_bytes)
+        .with_act_aft_steps(1) // step 0 establishes resident copies
+        .with_fault(fault);
+    let mut s = TecoSession::new(cfg).expect("valid config");
+    let (_, pbase) = s.alloc_tensor("params", FAULT_LINES * 64).expect("alloc params");
+    let (_, gbase) = s.alloc_tensor("grads", FAULT_LINES * 64).expect("alloc grads");
+    let mut now = SimTime::ZERO;
+    for step in 0..FAULT_ROUNDS {
+        for i in 0..FAULT_LINES {
+            // A gradient line lost to retry exhaustion is recorded in the
+            // fault stats; the sweep keeps going.
+            let _ = s.push_grad_line(Addr(gbase.0 + i * 64), grad_line(step, i), now);
+        }
+        now = s.cxlfence_grads(now);
+        s.check_activation(step);
+        let lines: Vec<LineData> = (0..FAULT_LINES).map(|i| param_line(step, i)).collect();
+        s.push_param_lines(pbase, &lines, now).expect("param push");
+        now = s.cxlfence_params(now);
+    }
+    (s, now, pbase)
+}
+
+fn state_matches(a: &TecoSession, ab: Addr, b: &TecoSession, bb: Addr) -> bool {
+    (0..FAULT_LINES).all(|i| {
+        a.device_read_line(Addr(ab.0 + i * 64)).ok() == b.device_read_line(Addr(bb.0 + i * 64)).ok()
+    })
+}
+
+/// Compute one fault-sweep row. Self-contained: the cell runs its own
+/// clean baseline, so rows are identical whether computed serially or on
+/// any parallel worker.
+pub fn fault_row(cell: &FaultCell) -> FaultSweepRow {
+    let (clean_s, clean_t, clean_b) = run_fault_workload(cell.dirty_bytes, FaultConfig::off());
+    let fault = FaultConfig {
+        crc_error_rate: cell.fault_rate,
+        stall_rate: cell.fault_rate,
+        stall_ns: 100,
+        poison_rate: cell.fault_rate / 4.0,
+        dba_checksum_error_rate: cell.fault_rate,
+        retry_limit: 8,
+        seed: FAULT_SEED,
+        ..FaultConfig::off()
+    };
+    let (s, t, b) = run_fault_workload(cell.dirty_bytes, fault);
+    let r = s.fault_report();
+    FaultSweepRow {
+        fault_rate: cell.fault_rate,
+        dirty_bytes: cell.dirty_bytes,
+        sim_time_ns: t.as_ns(),
+        slowdown_vs_clean: t.as_ns() as f64 / clean_t.as_ns() as f64,
+        bytes_to_device: s.stats().bytes_to_device,
+        crc_errors: r.crc_errors,
+        link_retries: r.retries,
+        stalls: r.stalls,
+        checksum_mismatches: r.checksum_mismatches,
+        quarantined_lines: r.quarantined_lines,
+        full_line_retries: r.full_line_retries,
+        degraded_regions: r.degraded_regions,
+        state_matches_clean: state_matches(&s, b, &clean_s, clean_b),
+    }
+}
+
+/// The full fault sweep at an explicit worker count.
+pub fn fault_rows_with_workers(workers: usize) -> Vec<FaultSweepRow> {
+    let grid = fault_grid();
+    sweep_with_workers(&grid, workers, |_, cell| fault_row(cell))
+}
+
+/// The full fault sweep across all cores.
+pub fn fault_rows() -> Vec<FaultSweepRow> {
+    fault_rows_with_workers(teco_dl::num_cores())
+}
+
+// ---------------------------------------------------------------------------
+// Scaling sweep
+// ---------------------------------------------------------------------------
+
+/// Device counts the scaling sweep covers.
+pub const SCALING_DEVICES: [usize; 4] = [1, 2, 4, 8];
+/// Per-device batch sizes the scaling sweep covers.
+pub const SCALING_BATCHES: [u64; 3] = [4, 8, 16];
+/// Steps per scaling run.
+pub const SCALING_STEPS: u64 = 6;
+/// Model size, in parameter cache lines (gradients match).
+pub const SCALING_LINES: u64 = 512;
+/// The content-stream seed.
+pub const SCALING_SEED: u64 = 42;
+/// Simulated compute per sample (forward+backward), in nanoseconds;
+/// multiplied by the batch size. Kept small so the wire time is a visible
+/// fraction of the step: per-device host waits then grow superlinearly
+/// with N (round-robin serialization inside each gradient round) and
+/// efficiency at N=8 recovers as the batch grows — compute hiding the
+/// same contention — which is the weak-scaling trend the sweep exists to
+/// show.
+pub const SCALING_COMPUTE_NS_PER_SAMPLE: u64 = 500;
+
+/// One cell of the scaling sweep's grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScalingCell {
+    /// Devices sharing the pool.
+    pub devices: usize,
+    /// Per-device batch size.
+    pub batch: u64,
+}
+
+/// The grid: N ∈ {1, 2, 4, 8} × batch ∈ {4, 8, 16}, devices-major.
+pub fn scaling_grid() -> Vec<ScalingCell> {
+    let mut cells = Vec::new();
+    for &devices in &SCALING_DEVICES {
+        for &batch in &SCALING_BATCHES {
+            cells.push(ScalingCell { devices, batch });
+        }
+    }
+    cells
+}
+
+/// The fixed-seed cluster workload for one cell.
+pub fn scaling_workload(devices: usize, batch: u64) -> ClusterWorkload {
+    ClusterWorkload {
+        cfg: ClusterConfig::new(
+            TecoConfig::default().with_act_aft_steps(1).with_giant_cache_bytes(1 << 22),
+            devices,
+        ),
+        steps: SCALING_STEPS,
+        param_lines: SCALING_LINES,
+        grad_lines: SCALING_LINES,
+        compute_ns_per_step: batch * SCALING_COMPUTE_NS_PER_SAMPLE,
+        seed: SCALING_SEED,
+    }
+}
+
+/// One row of `bench_results/scaling_sweep.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingRow {
+    /// Devices sharing the pool.
+    pub devices: u64,
+    /// Per-device batch size.
+    pub batch: u64,
+    /// Steps simulated.
+    pub steps: u64,
+    /// Model size in cache lines.
+    pub model_lines: u64,
+    /// End-to-end cluster time.
+    pub cluster_time_ns: u64,
+    /// The same workload on one device (each cell computes its own
+    /// baseline, so rows are worker-independent).
+    pub one_device_time_ns: u64,
+    /// Throughput speedup versus one device: `N · t₁ / t_N`.
+    pub speedup_vs_one: f64,
+    /// Parallel efficiency: `speedup / N × 100`.
+    pub efficiency_pct: f64,
+    /// Total time devices waited on the shared host budget.
+    pub host_wait_ns: u64,
+    /// When the shared host budget drained.
+    pub host_drained_ns: u64,
+    /// Gradient bytes the devices pushed through the budget.
+    pub host_bytes: u64,
+    /// Bytes read from the pool for parameter broadcasts.
+    pub broadcast_bytes: u64,
+    /// Bytes the update-mode fan-out avoided reading.
+    pub fanout_saved_bytes: u64,
+    /// Device 0's end-state checksum (identical on every replica).
+    pub device_checksum: u64,
+    /// The pooled optimizer's end-state checksum.
+    pub pool_checksum: u64,
+}
+
+fn cluster_report(devices: usize, batch: u64) -> ClusterReport {
+    run_cluster_uninterrupted(&scaling_workload(devices, batch))
+        .expect("scaling workload completes")
+        .report
+}
+
+/// Compute one scaling row, including its own one-device baseline.
+pub fn scaling_row(cell: &ScalingCell) -> ScalingRow {
+    let r = cluster_report(cell.devices, cell.batch);
+    let one = if cell.devices == 1 { r.clone() } else { cluster_report(1, cell.batch) };
+    let t1 = one.cluster_time_ns as f64;
+    let tn = r.cluster_time_ns as f64;
+    let speedup = cell.devices as f64 * t1 / tn;
+    ScalingRow {
+        devices: r.n_devices,
+        batch: cell.batch,
+        steps: r.steps,
+        model_lines: SCALING_LINES,
+        cluster_time_ns: r.cluster_time_ns,
+        one_device_time_ns: one.cluster_time_ns,
+        speedup_vs_one: speedup,
+        efficiency_pct: speedup / cell.devices as f64 * 100.0,
+        host_wait_ns: r.host.total_wait_ns,
+        host_drained_ns: r.host.drained_ns,
+        host_bytes: r.host.per_device.iter().map(|a| a.bytes).sum(),
+        broadcast_bytes: r.host.broadcast_bytes,
+        fanout_saved_bytes: r.host.fanout_saved_bytes,
+        device_checksum: r.devices[0].device_checksum,
+        pool_checksum: r.pool_checksum,
+    }
+}
+
+/// The full scaling sweep at an explicit worker count.
+pub fn scaling_rows_with_workers(workers: usize) -> Vec<ScalingRow> {
+    let grid = scaling_grid();
+    sweep_with_workers(&grid, workers, |_, cell| scaling_row(cell))
+}
+
+/// The full scaling sweep across all cores.
+pub fn scaling_rows() -> Vec<ScalingRow> {
+    scaling_rows_with_workers(teco_dl::num_cores())
+}
+
+/// Reduce scaling rows to the report renderer's plain points.
+pub fn scaling_points(rows: &[ScalingRow]) -> Vec<ScalingPoint> {
+    rows.iter()
+        .map(|r| ScalingPoint {
+            devices: r.devices,
+            batch: r.batch,
+            cluster_time_ns: r.cluster_time_ns,
+            speedup_vs_one: r.speedup_vs_one,
+            efficiency_pct: r.efficiency_pct,
+            host_wait_ns: r.host_wait_ns,
+            host_drained_ns: r.host_drained_ns,
+            fanout_saved_bytes: r.fanout_saved_bytes,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_have_expected_shape() {
+        assert_eq!(fault_grid().len(), 8);
+        assert_eq!(scaling_grid().len(), 12);
+        // Devices-major order, the order the JSON has always carried.
+        assert_eq!(scaling_grid()[0], ScalingCell { devices: 1, batch: 4 });
+        assert_eq!(scaling_grid()[3], ScalingCell { devices: 2, batch: 4 });
+    }
+
+    #[test]
+    fn one_device_cell_is_its_own_baseline() {
+        let row = scaling_row(&ScalingCell { devices: 1, batch: 4 });
+        assert_eq!(row.cluster_time_ns, row.one_device_time_ns);
+        assert_eq!(row.speedup_vs_one, 1.0);
+        assert_eq!(row.efficiency_pct, 100.0);
+        assert_eq!(row.host_wait_ns, 0);
+    }
+
+    #[test]
+    fn zero_rate_fault_cell_matches_clean() {
+        let row = fault_row(&FaultCell { dirty_bytes: 2, fault_rate: 0.0 });
+        assert!(row.state_matches_clean);
+        assert_eq!(row.slowdown_vs_clean, 1.0);
+        assert_eq!(row.crc_errors, 0);
+    }
+}

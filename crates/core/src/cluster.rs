@@ -1,0 +1,962 @@
+//! Multi-device data-parallel TECO over a shared CXL memory pool.
+//!
+//! The paper evaluates one accelerator per coherence domain; this module
+//! models the obvious next step toward a production deployment: N
+//! accelerators, each with its **own** giant cache, CXL link, and
+//! coherence engine, all sharing one CPU-side memory pool and one host
+//! DRAM bandwidth budget. The data-parallel step is ZeRO-style:
+//!
+//! 1. every device trains a replica on its own shard and flushes its
+//!    gradient lines device→CPU (full lines — gradients never use DBA,
+//!    §V) followed by a `CXLFENCE`;
+//! 2. the gradient shards **reduce** into the pooled CPU optimizer
+//!    ([`CpuPool`]), contending for the shared host budget through the
+//!    round-robin [`teco_cxl::HostLinkArbiter`];
+//! 3. the pooled optimizer produces one updated parameter set, which
+//!    **broadcasts** back through update-mode coherence: every device's
+//!    giant cache receives the same writeback, but the pool is read from
+//!    host DRAM only once ([`HostLinkArbiter::charge_broadcast`]) — the
+//!    fan-out saving the update protocol buys at N > 1.
+//!
+//! The correctness anchor is structural: each device's physics runs
+//! through an unmodified [`TecoSession`], and its report through the same
+//! `device_report` function the single-device resume harness uses, so an
+//! N=1 cluster produces a device report **byte-identical** to the plain
+//! [`crate::resume`] path (enforced by `tests/cluster_equivalence.rs`).
+//! The arbiter observes per-device wire volumes without feeding back into
+//! device clocks; host contention surfaces in the cluster-level clock
+//! ([`ClusterReport::cluster_time_ns`]) and the per-device wait accounts.
+//!
+//! The whole cluster snapshots and resumes through the same versioned
+//! envelope as a single session: [`run_cluster_resumed`] kills the run at
+//! any [`StepBoundary`], restores from nothing but the serialized bytes,
+//! and must reproduce [`run_cluster_uninterrupted`]'s report bit-for-bit.
+
+use crate::config::TecoConfig;
+use crate::resume::{audit_status, device_report, KillPoint, ResumeReport, StepBoundary};
+use crate::session::{SessionError, SessionSnapshot, TecoSession};
+use serde::{Deserialize, Serialize};
+use teco_cxl::{HostAccount, HostLinkArbiter, HostLinkArbiterSnapshot};
+use teco_mem::{Addr, LineData, LINE_BYTES};
+use teco_sim::{decode_snapshot, encode_snapshot, Bandwidth, SimRng, SimTime, SnapshotError};
+
+/// Configuration for an N-accelerator cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// The per-device TECO configuration, replicated across devices.
+    pub base: TecoConfig,
+    /// Number of accelerators sharing the pool.
+    pub devices: usize,
+    /// The shared host DRAM bandwidth budget in GB/s. The default (38.4,
+    /// two DDR4-2400 channels) sits between two and three paper links
+    /// (15.088 GB/s each), so contention appears from N=3 up.
+    pub host_dram_gb_per_sec: f64,
+}
+
+impl ClusterConfig {
+    /// A cluster of `devices` replicas of `base`.
+    pub fn new(base: TecoConfig, devices: usize) -> Self {
+        ClusterConfig { base, devices, host_dram_gb_per_sec: 38.4 }
+    }
+
+    /// Builder-style: set the shared host DRAM budget.
+    pub fn with_host_dram_gb_per_sec(mut self, gb: f64) -> Self {
+        self.host_dram_gb_per_sec = gb;
+        self
+    }
+
+    /// Validate the configuration; returns a human-readable error.
+    pub fn validate(&self) -> Result<(), String> {
+        self.base.validate()?;
+        if self.devices == 0 {
+            return Err("cluster needs at least one device".into());
+        }
+        // NaN must fail too, so compare on the accepting side only.
+        if self.host_dram_gb_per_sec.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err("host DRAM bandwidth must be positive".into());
+        }
+        Ok(())
+    }
+
+    fn host_bandwidth(&self) -> Bandwidth {
+        Bandwidth::from_gb_per_sec(self.host_dram_gb_per_sec)
+    }
+}
+
+/// The pooled CPU-side optimizer state: one master parameter copy and one
+/// gradient accumulator every device's shard reduces into.
+#[derive(Debug, Clone)]
+pub struct CpuPool {
+    params: Vec<LineData>,
+    grads: Vec<LineData>,
+    reduced_lines: u64,
+    updates: u64,
+}
+
+impl CpuPool {
+    fn new() -> Self {
+        CpuPool { params: Vec::new(), grads: Vec::new(), reduced_lines: 0, updates: 0 }
+    }
+
+    /// Reduce one gradient line into the accumulator (per-word wrapping
+    /// add — the integer stand-in for the optimizer's sum-reduce).
+    fn reduce(&mut self, i: usize, line: &LineData) {
+        let acc = &mut self.grads[i];
+        for w in 0..(LINE_BYTES / 4) {
+            let sum = acc.word(w).wrapping_add(line.word(w));
+            acc.set_word(w, sum);
+        }
+        self.reduced_lines += 1;
+    }
+
+    /// Store the optimizer's updated master parameters.
+    fn store_params(&mut self, lines: &[LineData]) {
+        debug_assert_eq!(lines.len(), self.params.len());
+        self.params.copy_from_slice(lines);
+        self.updates += 1;
+    }
+
+    /// Gradient lines reduced so far (shards × lines).
+    pub fn reduced_lines(&self) -> u64 {
+        self.reduced_lines
+    }
+    /// Optimizer updates (parameter broadcasts) so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// FNV-1a-64 over the master parameters then the gradient accumulator
+    /// — the pooled CPU end state, compressed to one word.
+    pub fn checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for line in self.params.iter().chain(self.grads.iter()) {
+            for &b in line.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+        h
+    }
+
+    fn snapshot(&self) -> CpuPoolSnapshot {
+        CpuPoolSnapshot {
+            params: self.params.iter().map(|l| l.bytes().to_vec()).collect(),
+            grads: self.grads.iter().map(|l| l.bytes().to_vec()).collect(),
+            reduced_lines: self.reduced_lines,
+            updates: self.updates,
+        }
+    }
+
+    fn restore(s: &CpuPoolSnapshot) -> Self {
+        let revive = |bytes: &Vec<u8>| {
+            let mut l = LineData::zeroed();
+            l.bytes_mut().copy_from_slice(bytes);
+            l
+        };
+        CpuPool {
+            params: s.params.iter().map(revive).collect(),
+            grads: s.grads.iter().map(revive).collect(),
+            reduced_lines: s.reduced_lines,
+            updates: s.updates,
+        }
+    }
+}
+
+/// Serialized image of a [`CpuPool`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CpuPoolSnapshot {
+    /// Master parameter lines, in address order.
+    pub params: Vec<Vec<u8>>,
+    /// Gradient-accumulator lines, in address order.
+    pub grads: Vec<Vec<u8>>,
+    /// Lines reduced so far.
+    pub reduced_lines: u64,
+    /// Optimizer updates so far.
+    pub updates: u64,
+}
+
+/// An N-accelerator data-parallel cluster sharing one CPU memory pool.
+///
+/// # Example
+///
+/// One ZeRO-style step across two devices: shard gradients in, fence and
+/// arbitrate, then broadcast the pooled update to every giant cache.
+///
+/// ```
+/// use teco_core::{ClusterConfig, ClusterSession, TecoConfig};
+/// use teco_mem::LineData;
+///
+/// let base = TecoConfig::default().with_act_aft_steps(0).with_giant_cache_bytes(1 << 20);
+/// let mut cluster = ClusterSession::new(ClusterConfig::new(base, 2))?;
+/// cluster.alloc_params(4)?;
+/// cluster.alloc_grads(2)?;
+/// for dev in 0..2 {
+///     for i in 0..2 {
+///         cluster.push_grad_shard(dev, i, LineData::zeroed())?;
+///     }
+/// }
+/// cluster.fence_grads_all();
+/// cluster.check_activation_all();
+/// cluster.broadcast_params(&vec![LineData::zeroed(); 4])?;
+/// let report = cluster.report();
+/// assert_eq!(report.steps, 1);
+/// assert_eq!(report.reduced_lines, 4); // 2 devices × 2-line shards
+/// assert_eq!(report.devices.len(), 2);
+/// # Ok::<(), teco_core::SessionError>(())
+/// ```
+#[derive(Debug)]
+pub struct ClusterSession {
+    cfg: ClusterConfig,
+    devices: Vec<TecoSession>,
+    /// Per-device simulated clock (each device's link drains on its own
+    /// time axis, exactly as a lone session's would).
+    now: Vec<SimTime>,
+    arbiter: HostLinkArbiter,
+    pool: CpuPool,
+    step: u64,
+    param_base: Addr,
+    grad_base: Addr,
+    /// Per-device `bytes_to_host` watermark: the delta since the previous
+    /// gradient round is what contends for the host budget this round.
+    host_seen: Vec<u64>,
+    /// Device 0's `bytes_to_device` watermark: the broadcast's wire cost
+    /// (identical on every device) read off one representative.
+    bcast_seen: u64,
+    /// Scratch for arbitration rounds; reused so the steady state
+    /// allocates nothing.
+    ready_buf: Vec<SimTime>,
+    req_buf: Vec<u64>,
+}
+
+impl ClusterSession {
+    /// Create a cluster of `cfg.devices` identical sessions.
+    pub fn new(cfg: ClusterConfig) -> Result<Self, SessionError> {
+        cfg.validate().map_err(SessionError::Config)?;
+        let n = cfg.devices;
+        let devices =
+            (0..n).map(|_| TecoSession::new(cfg.base.clone())).collect::<Result<Vec<_>, _>>()?;
+        Ok(ClusterSession {
+            arbiter: HostLinkArbiter::new(cfg.host_bandwidth(), n),
+            devices,
+            now: vec![SimTime::ZERO; n],
+            pool: CpuPool::new(),
+            step: 0,
+            param_base: Addr(0),
+            grad_base: Addr(0),
+            host_seen: vec![0; n],
+            bcast_seen: 0,
+            ready_buf: vec![SimTime::ZERO; n],
+            req_buf: vec![0; n],
+            cfg,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+    /// The per-device sessions (read access for assertions/tests).
+    pub fn devices(&self) -> &[TecoSession] {
+        &self.devices
+    }
+    /// Per-device clocks.
+    pub fn device_clocks(&self) -> &[SimTime] {
+        &self.now
+    }
+    /// The shared-budget arbiter.
+    pub fn arbiter(&self) -> &HostLinkArbiter {
+        &self.arbiter
+    }
+    /// The pooled CPU optimizer state.
+    pub fn pool(&self) -> &CpuPool {
+        &self.pool
+    }
+    /// Completed training steps.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+    /// Parameter region base (identical on every device).
+    pub fn param_base(&self) -> Addr {
+        self.param_base
+    }
+    /// Gradient region base (identical on every device).
+    pub fn grad_base(&self) -> Addr {
+        self.grad_base
+    }
+
+    /// The cluster-level clock: the slowest device clock or the shared
+    /// host budget's drain, whichever is later.
+    pub fn cluster_time(&self) -> SimTime {
+        let dev = self.now.iter().copied().max().unwrap_or(SimTime::ZERO);
+        dev.max(self.arbiter.drained_at())
+    }
+
+    /// Map the replicated parameter tensor on every device and size the
+    /// pool's master copy. Bases are identical across devices because
+    /// every giant cache allocates from the same empty state.
+    pub fn alloc_params(&mut self, lines: u64) -> Result<Addr, SessionError> {
+        let base = self.alloc_replicated("params", lines)?;
+        self.param_base = base;
+        self.pool.params = vec![LineData::zeroed(); lines as usize];
+        Ok(base)
+    }
+
+    /// Map the replicated gradient tensor and size the pool accumulator.
+    pub fn alloc_grads(&mut self, lines: u64) -> Result<Addr, SessionError> {
+        let base = self.alloc_replicated("grads", lines)?;
+        self.grad_base = base;
+        self.pool.grads = vec![LineData::zeroed(); lines as usize];
+        Ok(base)
+    }
+
+    fn alloc_replicated(&mut self, name: &str, lines: u64) -> Result<Addr, SessionError> {
+        let bytes = lines * LINE_BYTES as u64;
+        let mut base = None;
+        for dev in &mut self.devices {
+            let (_, b) = dev.alloc_tensor(name, bytes)?;
+            match base {
+                None => base = Some(b),
+                Some(prev) => assert_eq!(prev, b, "replicated regions must share a base"),
+            }
+        }
+        Ok(base.expect("cluster has at least one device"))
+    }
+
+    /// Advance every device's clock by the same compute interval (the
+    /// per-step forward+backward the simulation abstracts away).
+    pub fn advance_compute(&mut self, dt: SimTime) {
+        for t in &mut self.now {
+            *t += dt;
+        }
+    }
+
+    /// Push gradient line `i` of device `dev`'s shard device→CPU and
+    /// reduce it into the pool accumulator.
+    pub fn push_grad_shard(
+        &mut self,
+        dev: usize,
+        i: u64,
+        line: LineData,
+    ) -> Result<(), SessionError> {
+        let addr = Addr(self.grad_base.0 + i * LINE_BYTES as u64);
+        self.devices[dev].push_grad_line(addr, line, self.now[dev])?;
+        self.pool.reduce(i as usize, &line);
+        Ok(())
+    }
+
+    /// Fence every device's gradient flush, then arbitrate the shards'
+    /// landing in the pooled memory on the shared host budget (one
+    /// round-robin round; each device's request is its wire volume since
+    /// the previous round, ready when its own fence completed).
+    pub fn fence_grads_all(&mut self) {
+        let n = self.devices.len();
+        for d in 0..n {
+            self.now[d] = self.devices[d].cxlfence_grads(self.now[d]);
+        }
+        for d in 0..n {
+            let b = self.devices[d].stats().bytes_to_host;
+            self.req_buf[d] = b - self.host_seen[d];
+            self.host_seen[d] = b;
+            self.ready_buf[d] = self.now[d];
+        }
+        self.arbiter.arbitrate_round(&self.ready_buf, &self.req_buf);
+    }
+
+    /// Listing 1's `check_activation` on every device at the current step.
+    pub fn check_activation_all(&mut self) -> bool {
+        let step = self.step;
+        let mut active = true;
+        for dev in &mut self.devices {
+            active &= dev.check_activation(step);
+        }
+        active
+    }
+
+    /// Broadcast the pooled optimizer's updated parameters: store the
+    /// master copy, push the same lines through every device's update-mode
+    /// coherence path (each on its own clock), fence each device, and
+    /// charge the host budget **once** for the pool read — the fan-out is
+    /// the coherence fabric's, not the DRAM's. Completes the step.
+    pub fn broadcast_params(&mut self, lines: &[LineData]) -> Result<(), SessionError> {
+        self.pool.store_params(lines);
+        let n = self.devices.len();
+        for d in 0..n {
+            self.devices[d].push_param_lines(self.param_base, lines, self.now[d])?;
+            self.now[d] = self.devices[d].cxlfence_params(self.now[d]);
+        }
+        let b0 = self.devices[0].stats().bytes_to_device;
+        let wire = b0 - self.bcast_seen;
+        self.bcast_seen = b0;
+        // The pool read queues on the host budget right after the gradient
+        // round it depends on.
+        let ready = self.arbiter.drained_at();
+        self.arbiter.charge_broadcast(ready, wire, n);
+        self.step += 1;
+        Ok(())
+    }
+
+    /// Per-device reports (shared `device_report` path) plus the
+    /// cluster-level accounting.
+    pub fn report(&self) -> ClusterReport {
+        let devices: Vec<ResumeReport> = self
+            .devices
+            .iter()
+            .zip(&self.now)
+            .map(|(dev, &now)| device_report(dev, self.step, now))
+            .collect();
+        let total_wait_ns = self.arbiter.accounts().iter().map(|a| a.wait_ns).sum();
+        ClusterReport {
+            n_devices: self.devices.len() as u64,
+            steps: self.step,
+            cluster_time_ns: self.cluster_time().as_ns(),
+            host: HostLinkReport {
+                host_gb_per_sec: self.cfg.host_dram_gb_per_sec,
+                rounds: self.arbiter.rounds(),
+                drained_ns: self.arbiter.drained_at().as_ns(),
+                total_wait_ns,
+                per_device: self.arbiter.accounts().to_vec(),
+                broadcast_grants: self.arbiter.broadcast_grants(),
+                broadcast_bytes: self.arbiter.broadcast_bytes(),
+                fanout_deliveries: self.arbiter.fanout_deliveries(),
+                fanout_saved_bytes: self.arbiter.fanout_saved_bytes(),
+            },
+            reduced_lines: self.pool.reduced_lines(),
+            pool_updates: self.pool.updates(),
+            pool_checksum: self.pool.checksum(),
+            devices,
+        }
+    }
+
+    /// Capture the complete cluster state: every device's checkpoint image
+    /// plus the arbiter, pool, clocks, and watermarks.
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        ClusterSnapshot {
+            cfg: self.cfg.clone(),
+            devices: self.devices.iter().map(|d| d.snapshot()).collect(),
+            now_ps: self.now.iter().map(|t| t.as_ps()).collect(),
+            arbiter: self.arbiter.snapshot(),
+            pool: self.pool.snapshot(),
+            step: self.step,
+            param_base: self.param_base.0,
+            grad_base: self.grad_base.0,
+            host_seen: self.host_seen.clone(),
+            bcast_seen: self.bcast_seen,
+        }
+    }
+
+    /// Rebuild a cluster from a captured state; every subsequent push,
+    /// fence, arbitration round, and report is bit-identical to the
+    /// original's.
+    pub fn from_snapshot(s: &ClusterSnapshot) -> Result<Self, SessionError> {
+        s.cfg.validate().map_err(SessionError::Config)?;
+        let n = s.devices.len();
+        assert_eq!(n, s.cfg.devices, "snapshot device count must match its config");
+        let devices =
+            s.devices.iter().map(TecoSession::from_snapshot).collect::<Result<Vec<_>, _>>()?;
+        Ok(ClusterSession {
+            cfg: s.cfg.clone(),
+            devices,
+            now: s.now_ps.iter().map(|&ps| SimTime::from_ps(ps)).collect(),
+            arbiter: HostLinkArbiter::restore(&s.arbiter),
+            pool: CpuPool::restore(&s.pool),
+            step: s.step,
+            param_base: Addr(s.param_base),
+            grad_base: Addr(s.grad_base),
+            host_seen: s.host_seen.clone(),
+            bcast_seen: s.bcast_seen,
+            ready_buf: vec![SimTime::ZERO; n],
+            req_buf: vec![0; n],
+        })
+    }
+
+    /// The first failing device audit, if any (walks devices in order).
+    pub fn audit_status(&self) -> Option<String> {
+        self.devices.iter().find_map(audit_status)
+    }
+}
+
+/// Serialized image of a [`ClusterSession`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterSnapshot {
+    /// The cluster configuration.
+    pub cfg: ClusterConfig,
+    /// Per-device checkpoint images, in device order.
+    pub devices: Vec<SessionSnapshot>,
+    /// Per-device clocks in picoseconds (native precision).
+    pub now_ps: Vec<u64>,
+    /// The shared-budget arbiter.
+    pub arbiter: HostLinkArbiterSnapshot,
+    /// The pooled optimizer state.
+    pub pool: CpuPoolSnapshot,
+    /// Completed steps.
+    pub step: u64,
+    /// Parameter region base.
+    pub param_base: u64,
+    /// Gradient region base.
+    pub grad_base: u64,
+    /// Per-device `bytes_to_host` watermarks.
+    pub host_seen: Vec<u64>,
+    /// Broadcast wire watermark (device 0's `bytes_to_device`).
+    pub bcast_seen: u64,
+}
+
+/// Host-side accounting in a [`ClusterReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostLinkReport {
+    /// The shared budget in GB/s.
+    pub host_gb_per_sec: f64,
+    /// Arbitration rounds (one per gradient reduction).
+    pub rounds: u64,
+    /// When the budget drained, in nanoseconds.
+    pub drained_ns: u64,
+    /// Total time devices spent waiting on the shared budget.
+    pub total_wait_ns: u64,
+    /// Per-device accounts.
+    pub per_device: Vec<HostAccount>,
+    /// Broadcast (pool-read) grants.
+    pub broadcast_grants: u64,
+    /// Bytes read from the pool for broadcasts.
+    pub broadcast_bytes: u64,
+    /// Device deliveries fanned out from those reads.
+    pub fanout_deliveries: u64,
+    /// Bytes the update-mode fan-out avoided reading versus one host read
+    /// per device.
+    pub fanout_saved_bytes: u64,
+}
+
+/// The cluster run's observable result. Serializing this to JSON is the
+/// byte-identity oracle for cluster snapshot/resume, and `devices[0]` of
+/// an N=1 cluster is the single-device [`ResumeReport`] verbatim.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Devices in the cluster.
+    pub n_devices: u64,
+    /// Steps completed.
+    pub steps: u64,
+    /// The cluster clock: slowest device or host-budget drain.
+    pub cluster_time_ns: u64,
+    /// Shared host-budget accounting.
+    pub host: HostLinkReport,
+    /// Gradient lines reduced into the pool (shards × lines).
+    pub reduced_lines: u64,
+    /// Pooled optimizer updates.
+    pub pool_updates: u64,
+    /// FNV-1a-64 over the pool's end state.
+    pub pool_checksum: u64,
+    /// Per-device reports, built by the same function as the
+    /// single-device resume harness's.
+    pub devices: Vec<ResumeReport>,
+}
+
+/// A fixed-seed cluster workload the harness can run, kill, and resume.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterWorkload {
+    /// Cluster configuration.
+    pub cfg: ClusterConfig,
+    /// Training steps to simulate.
+    pub steps: u64,
+    /// Parameter lines broadcast per step.
+    pub param_lines: u64,
+    /// Gradient lines per device shard per step.
+    pub grad_lines: u64,
+    /// Simulated compute time per step (forward+backward) in nanoseconds;
+    /// 0 makes an N=1 run line up exactly with [`crate::resume`]'s shape.
+    pub compute_ns_per_step: u64,
+    /// Seed for the synthetic line-content streams. Device 0's stream is
+    /// seeded exactly like the single-device harness's (it doubles as the
+    /// pooled optimizer's parameter stream); devices 1.. fork off it by
+    /// label.
+    pub seed: u64,
+}
+
+impl ClusterWorkload {
+    /// A small default workload mirroring [`crate::resume::ResumeWorkload::small`]
+    /// across `devices` accelerators.
+    pub fn small(devices: usize, seed: u64) -> Self {
+        ClusterWorkload {
+            cfg: ClusterConfig::new(
+                TecoConfig::default().with_act_aft_steps(4).with_giant_cache_bytes(1 << 20),
+                devices,
+            ),
+            steps: 12,
+            param_lines: 32,
+            grad_lines: 8,
+            compute_ns_per_step: 0,
+            seed,
+        }
+    }
+
+    /// The equivalent single-device workload — meaningful when
+    /// `cfg.devices == 1` and `compute_ns_per_step == 0`, where the
+    /// cluster's device report must be byte-identical to this workload's
+    /// [`crate::resume::run_uninterrupted`] report.
+    pub fn to_single(&self) -> crate::resume::ResumeWorkload {
+        crate::resume::ResumeWorkload {
+            cfg: self.cfg.base.clone(),
+            steps: self.steps,
+            param_lines: self.param_lines,
+            grad_lines: self.grad_lines,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Everything the cluster driver holds between steps, captured whole.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterWorkloadSnapshot {
+    /// The cluster's checkpoint image.
+    pub cluster: ClusterSnapshot,
+    /// Per-device content-stream RNG states.
+    pub rngs: Vec<[u64; 4]>,
+    /// Compute time per step, in nanoseconds.
+    pub compute_ns_per_step: u64,
+}
+
+/// Live driver state for a [`ClusterWorkload`] (what a kill destroys).
+/// Public so integration tests (steady-state allocation, equivalence) can
+/// drive steps directly.
+#[derive(Debug)]
+pub struct ClusterDriver {
+    cluster: ClusterSession,
+    rngs: Vec<SimRng>,
+    compute_ns_per_step: u64,
+    /// Reused parameter-broadcast buffer; retains capacity across steps so
+    /// the steady state allocates nothing.
+    param_buf: Vec<LineData>,
+}
+
+impl ClusterDriver {
+    /// Build the cluster, map the replicated tensors, and seed the
+    /// per-device content streams.
+    pub fn new(w: &ClusterWorkload) -> Result<Self, SessionError> {
+        let mut cluster = ClusterSession::new(w.cfg.clone())?;
+        cluster.alloc_params(w.param_lines)?;
+        cluster.alloc_grads(w.grad_lines)?;
+        let rngs = (0..w.cfg.devices)
+            .map(|d| {
+                if d == 0 {
+                    // Identical to the single-device harness's stream.
+                    SimRng::seed_from_u64(w.seed)
+                } else {
+                    SimRng::seed_from_u64(w.seed).fork(&format!("cluster-dev-{d}"))
+                }
+            })
+            .collect();
+        Ok(ClusterDriver {
+            cluster,
+            rngs,
+            compute_ns_per_step: w.compute_ns_per_step,
+            param_buf: Vec::new(),
+        })
+    }
+
+    /// The cluster under the driver.
+    pub fn cluster(&self) -> &ClusterSession {
+        &self.cluster
+    }
+
+    /// Completed steps.
+    pub fn step(&self) -> u64 {
+        self.cluster.step()
+    }
+
+    /// Capture the driver whole.
+    pub fn capture(&self) -> ClusterWorkloadSnapshot {
+        ClusterWorkloadSnapshot {
+            cluster: self.cluster.snapshot(),
+            rngs: self.rngs.iter().map(|r| r.state()).collect(),
+            compute_ns_per_step: self.compute_ns_per_step,
+        }
+    }
+
+    /// Rebuild a driver from a captured state.
+    pub fn restore(s: &ClusterWorkloadSnapshot) -> Result<Self, SessionError> {
+        Ok(ClusterDriver {
+            cluster: ClusterSession::from_snapshot(&s.cluster)?,
+            rngs: s.rngs.iter().map(|&st| SimRng::from_state(st)).collect(),
+            compute_ns_per_step: s.compute_ns_per_step,
+            param_buf: Vec::new(),
+        })
+    }
+
+    fn random_line(rng: &mut SimRng) -> LineData {
+        let mut l = LineData::zeroed();
+        for w in 0..(LINE_BYTES / 4) {
+            l.set_word(w, rng.next_u64() as u32);
+        }
+        l
+    }
+
+    /// Per-step line counts, recovered from device 0's region registry so
+    /// a restored driver needs nothing beyond the snapshot.
+    fn grad_lines(&self) -> u64 {
+        let dev = &self.cluster.devices()[0];
+        (dev.giant_cache().regions().lookup(self.cluster.grad_base()))
+            .map(|r| r.size / LINE_BYTES as u64)
+            .expect("grad region was allocated at driver construction")
+    }
+
+    fn param_lines(&self) -> u64 {
+        let dev = &self.cluster.devices()[0];
+        (dev.giant_cache().regions().lookup(self.cluster.param_base()))
+            .map(|r| r.size / LINE_BYTES as u64)
+            .expect("param region was allocated at driver construction")
+    }
+
+    /// Run the current step from its start up to (and including) `until`.
+    pub fn run_step_until(&mut self, until: StepBoundary) -> Result<(), SessionError> {
+        if self.compute_ns_per_step > 0 {
+            self.cluster.advance_compute(SimTime::from_ns(self.compute_ns_per_step));
+        }
+        // Per-device gradient shards flush + fence, then the shards
+        // arbitrate for the pool (inside loss.backward()).
+        let gl = self.grad_lines();
+        for d in 0..self.rngs.len() {
+            for i in 0..gl {
+                let line = Self::random_line(&mut self.rngs[d]);
+                self.cluster.push_grad_shard(d, i, line)?;
+            }
+        }
+        self.cluster.fence_grads_all();
+        if until == StepBoundary::AfterGradFence {
+            return Ok(());
+        }
+        // Listing 1's one TECO line, on every device.
+        self.cluster.check_activation_all();
+        if until == StepBoundary::AfterActivation {
+            return Ok(());
+        }
+        self.broadcast_from_pool()?;
+        Ok(())
+    }
+
+    /// Finish the current step from `after` (exclusive) to its end.
+    pub fn finish_step_from(&mut self, after: StepBoundary) -> Result<(), SessionError> {
+        match after {
+            StepBoundary::AfterParamFence => Ok(()), // step completed pre-kill
+            StepBoundary::AfterGradFence => {
+                self.cluster.check_activation_all();
+                self.broadcast_from_pool()
+            }
+            StepBoundary::AfterActivation => self.broadcast_from_pool(),
+        }
+    }
+
+    /// Run one full step.
+    pub fn run_step(&mut self) -> Result<(), SessionError> {
+        self.run_step_until(StepBoundary::AfterParamFence)
+    }
+
+    /// The pooled optimizer's update: fresh parameters from device 0's
+    /// stream (the pool stream), broadcast to every giant cache.
+    fn broadcast_from_pool(&mut self) -> Result<(), SessionError> {
+        let n = self.param_lines() as usize;
+        self.param_buf.clear();
+        for _ in 0..n {
+            let line = Self::random_line(&mut self.rngs[0]);
+            self.param_buf.push(line);
+        }
+        let lines = std::mem::take(&mut self.param_buf);
+        let r = self.cluster.broadcast_params(&lines);
+        self.param_buf = lines;
+        r
+    }
+
+    /// The cluster report at the current step.
+    pub fn report(&self) -> ClusterReport {
+        self.cluster.report()
+    }
+}
+
+/// A cluster report plus the harness-side bookkeeping that must stay
+/// *out* of it (mirrors [`crate::resume::RunOutcome`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterRunOutcome {
+    /// The byte-identity-comparable report.
+    pub report: ClusterReport,
+    /// Snapshots the harness took (0 for an uninterrupted run).
+    pub snapshots_taken: u64,
+    /// Restores the harness performed (0 for an uninterrupted run).
+    pub restores: u64,
+    /// Serialized snapshot size in bytes (0 for an uninterrupted run).
+    pub snapshot_bytes: u64,
+    /// The first failing device audit; `None` when auditing is off or
+    /// every device's walk passed.
+    pub last_audit_error: Option<String>,
+}
+
+/// Run the cluster workload start to finish with no interruption.
+pub fn run_cluster_uninterrupted(w: &ClusterWorkload) -> Result<ClusterRunOutcome, SessionError> {
+    let mut d = ClusterDriver::new(w)?;
+    for _ in 0..w.steps {
+        d.run_step()?;
+    }
+    let last_audit_error = d.cluster.audit_status();
+    Ok(ClusterRunOutcome {
+        report: d.report(),
+        snapshots_taken: 0,
+        restores: 0,
+        snapshot_bytes: 0,
+        last_audit_error,
+    })
+}
+
+/// Run the cluster workload, kill it at `kill`, restore the whole cluster
+/// from serialized bytes, and finish. The returned outcome's `report`
+/// must serialize byte-identical to [`run_cluster_uninterrupted`]'s.
+pub fn run_cluster_resumed(
+    w: &ClusterWorkload,
+    kill: KillPoint,
+) -> Result<ClusterRunOutcome, SessionError> {
+    assert!(kill.step < w.steps, "kill step {} out of range {}", kill.step, w.steps);
+    let mut d = ClusterDriver::new(w)?;
+    for _ in 0..kill.step {
+        d.run_step()?;
+    }
+    d.run_step_until(kill.boundary)?;
+
+    // The kill: serialize, destroy every piece of live state, restore from
+    // nothing but the bytes.
+    let bytes = encode_snapshot(&d.capture());
+    let snapshot_bytes = bytes.len() as u64;
+    drop(d);
+    let snap: ClusterWorkloadSnapshot =
+        decode_snapshot(&bytes).map_err(|e: SnapshotError| SessionError::Config(e.to_string()))?;
+    let mut d = ClusterDriver::restore(&snap)?;
+
+    d.finish_step_from(kill.boundary)?;
+    while d.step() < w.steps {
+        d.run_step()?;
+    }
+    let last_audit_error = d.cluster.audit_status();
+    Ok(ClusterRunOutcome {
+        report: d.report(),
+        snapshots_taken: 1,
+        restores: 1,
+        snapshot_bytes,
+        last_audit_error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resume::run_uninterrupted;
+
+    #[test]
+    fn config_validates() {
+        assert!(ClusterConfig::new(TecoConfig::default(), 0).validate().is_err());
+        assert!(ClusterConfig::new(TecoConfig::default(), 2)
+            .with_host_dram_gb_per_sec(0.0)
+            .validate()
+            .is_err());
+        assert!(ClusterConfig::new(TecoConfig::default(), 4).validate().is_ok());
+    }
+
+    #[test]
+    fn n1_device_report_matches_single_device_path() {
+        let w = ClusterWorkload::small(1, 42);
+        let cluster = run_cluster_uninterrupted(&w).unwrap();
+        let single = run_uninterrupted(&w.to_single()).unwrap();
+        assert_eq!(
+            serde_json::to_string(&cluster.report.devices[0]).unwrap(),
+            serde_json::to_string(&single.report).unwrap(),
+        );
+    }
+
+    #[test]
+    fn replicas_evolve_identical_device_state() {
+        // Same broadcast on every device: device memories end identical
+        // even though gradient shards differ per device.
+        let w = ClusterWorkload::small(4, 9);
+        let out = run_cluster_uninterrupted(&w).unwrap();
+        let d0 = out.report.devices[0].device_checksum;
+        for (i, dev) in out.report.devices.iter().enumerate() {
+            assert_eq!(dev.device_checksum, d0, "device {i} memory diverged");
+            assert_eq!(dev.stats.param_lines, w.steps * w.param_lines);
+            assert_eq!(dev.stats.grad_lines, w.steps * w.grad_lines);
+        }
+        assert_eq!(out.report.reduced_lines, 4 * w.steps * w.grad_lines);
+        assert_eq!(out.report.pool_updates, w.steps);
+    }
+
+    #[test]
+    fn gradient_shards_differ_across_devices() {
+        // Each device forks its own content stream; the pool must see
+        // genuinely different shards (otherwise "data parallel" is a lie).
+        let w = ClusterWorkload::small(2, 5);
+        let mut d = ClusterDriver::new(&w).unwrap();
+        let a = ClusterDriver::random_line(&mut d.rngs[0]);
+        let b = ClusterDriver::random_line(&mut d.rngs[1]);
+        assert_ne!(a.bytes(), b.bytes());
+    }
+
+    #[test]
+    fn fanout_accounting_scales_with_devices() {
+        let w1 = ClusterWorkload::small(1, 7);
+        let w4 = ClusterWorkload::small(4, 7);
+        let r1 = run_cluster_uninterrupted(&w1).unwrap().report;
+        let r4 = run_cluster_uninterrupted(&w4).unwrap().report;
+        // Same broadcast bytes regardless of N; savings only at N > 1.
+        assert_eq!(r1.host.broadcast_bytes, r4.host.broadcast_bytes);
+        assert_eq!(r1.host.fanout_saved_bytes, 0);
+        assert_eq!(r4.host.fanout_saved_bytes, 3 * r4.host.broadcast_bytes);
+        assert_eq!(r4.host.fanout_deliveries, 4 * r4.host.broadcast_grants);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let w = ClusterWorkload::small(4, 11);
+        let a = run_cluster_uninterrupted(&w).unwrap();
+        let b = run_cluster_uninterrupted(&w).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a.report).unwrap(),
+            serde_json::to_string(&b.report).unwrap(),
+        );
+    }
+
+    #[test]
+    fn contention_appears_beyond_the_budget() {
+        // 4 links × 15.088 GB/s into a 38.4 GB/s pool: gradient rounds
+        // must queue; with one device they never do.
+        let w1 = ClusterWorkload::small(1, 3);
+        let w4 = ClusterWorkload::small(4, 3);
+        let r1 = run_cluster_uninterrupted(&w1).unwrap().report;
+        let r4 = run_cluster_uninterrupted(&w4).unwrap().report;
+        assert_eq!(r1.host.total_wait_ns, 0, "one device never contends");
+        assert!(r4.host.total_wait_ns > 0, "four devices must contend");
+    }
+
+    #[test]
+    fn snapshot_resume_is_byte_identical_at_every_boundary() {
+        for devices in [1usize, 2, 4] {
+            let w = ClusterWorkload::small(devices, 23);
+            let base = run_cluster_uninterrupted(&w).unwrap();
+            let base_json = serde_json::to_string(&base.report).unwrap();
+            for step in [0, w.steps / 2, w.steps - 1] {
+                for boundary in [
+                    StepBoundary::AfterGradFence,
+                    StepBoundary::AfterActivation,
+                    StepBoundary::AfterParamFence,
+                ] {
+                    let kill = KillPoint { step, boundary };
+                    let resumed = run_cluster_resumed(&w, kill).unwrap();
+                    assert_eq!(resumed.snapshots_taken, 1);
+                    assert!(resumed.snapshot_bytes > 0);
+                    let json = serde_json::to_string(&resumed.report).unwrap();
+                    assert_eq!(json, base_json, "N={devices} kill at {kill:?} diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compute_time_shifts_device_clocks_not_physics() {
+        let mut w = ClusterWorkload::small(2, 13);
+        let fast = run_cluster_uninterrupted(&w).unwrap().report;
+        w.compute_ns_per_step = 10_000;
+        let slow = run_cluster_uninterrupted(&w).unwrap().report;
+        assert!(slow.cluster_time_ns > fast.cluster_time_ns);
+        assert_eq!(slow.devices[0].device_checksum, fast.devices[0].device_checksum);
+        assert_eq!(slow.pool_checksum, fast.pool_checksum);
+    }
+}

@@ -24,11 +24,17 @@
 //! For whole-training-run *timing* simulation use `teco-offload`; for live
 //! convergence-with-DBA training use `teco_offload::convergence`.
 
+pub mod cluster;
 pub mod config;
 pub mod resume;
 pub mod session;
 pub mod trainer;
 
+pub use cluster::{
+    run_cluster_resumed, run_cluster_uninterrupted, ClusterConfig, ClusterDriver, ClusterReport,
+    ClusterRunOutcome, ClusterSession, ClusterSnapshot, ClusterWorkload, ClusterWorkloadSnapshot,
+    CpuPool, CpuPoolSnapshot, HostLinkReport,
+};
 pub use config::TecoConfig;
 pub use resume::{
     run_resumed, run_uninterrupted, KillPoint, ResumeReport, ResumeWorkload, RunOutcome,

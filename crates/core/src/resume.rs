@@ -256,29 +256,37 @@ impl Driver {
     }
 
     fn report(&self, steps: u64) -> ResumeReport {
-        // FNV-1a-64 over written lines, in address order; quarantined lines
-        // (unreadable by design) hash as a zero line.
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let gc = self.session.giant_cache();
-        for idx in gc.written_line_indices() {
-            let line = gc
-                .read_line(Addr(idx as u64 * LINE_BYTES as u64))
-                .map(|l| *l.bytes())
-                .unwrap_or([0u8; LINE_BYTES]);
-            for b in line {
-                h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
-            }
+        device_report(&self.session, steps, self.now)
+    }
+}
+
+/// Build the per-device [`ResumeReport`] for a session at `now`. Shared
+/// between this harness and the cluster layer so an N=1 cluster's device
+/// report is byte-identical to the single-device path *by construction* —
+/// both run through this exact function.
+pub(crate) fn device_report(session: &TecoSession, steps: u64, now: SimTime) -> ResumeReport {
+    // FNV-1a-64 over written lines, in address order; quarantined lines
+    // (unreadable by design) hash as a zero line.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let gc = session.giant_cache();
+    for idx in gc.written_line_indices() {
+        let line = gc
+            .read_line(Addr(idx as u64 * LINE_BYTES as u64))
+            .map(|l| *l.bytes())
+            .unwrap_or([0u8; LINE_BYTES]);
+        for b in line {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
         }
-        ResumeReport {
-            steps,
-            stats: self.session.stats(),
-            fault: self.session.fault_report(),
-            fence: self.session.fence_stats(),
-            sim_time_ns: self.now.as_ns(),
-            degraded: self.session.degraded_regions().to_vec(),
-            device_checksum: h,
-            audit_enabled: self.session.audit_enabled(),
-        }
+    }
+    ResumeReport {
+        steps,
+        stats: session.stats(),
+        fault: session.fault_report(),
+        fence: session.fence_stats(),
+        sim_time_ns: now.as_ns(),
+        degraded: session.degraded_regions().to_vec(),
+        device_checksum: h,
+        audit_enabled: session.audit_enabled(),
     }
 }
 
@@ -334,7 +342,7 @@ pub fn run_resumed(w: &ResumeWorkload, kill: KillPoint) -> Result<RunOutcome, Se
 
 /// The final audit walk's status: `None` when auditing is off or the walk
 /// passed; the violation message otherwise.
-fn audit_status(session: &TecoSession) -> Option<String> {
+pub(crate) fn audit_status(session: &TecoSession) -> Option<String> {
     session.run_audit().err().map(|e| e.to_string())
 }
 

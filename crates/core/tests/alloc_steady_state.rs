@@ -1,61 +1,23 @@
 //! Zero-cost-when-off audit for the session's hot path.
 //!
-//! A counting global allocator wraps the system allocator. After a warm-up
-//! pass has sized the session's reused wire buffer, the bulk
-//! parameter-push-and-fence loop must not allocate at all with auditing
-//! off — the paranoid auditor's shadow machinery may cost nothing on the
-//! legacy path. The same loop with auditing ON is then allowed (and
-//! expected) to allocate for the shadow map, which doubles as proof the
-//! counter actually observes this code path.
+//! The shared counting allocator from `teco-testsupport` wraps the system
+//! allocator. After a warm-up pass has sized the session's reused wire
+//! buffer, the bulk parameter-push-and-fence loop must not allocate at all
+//! with auditing off — the paranoid auditor's shadow machinery may cost
+//! nothing on the legacy path. The same loop with auditing ON is then
+//! allowed (and expected) to allocate for the shadow map, which doubles as
+//! proof the counter actually observes this code path.
 //!
 //! One `#[test]` only: the counter is global and the default harness runs
 //! tests on multiple threads.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
-
 use teco_core::{TecoConfig, TecoSession};
 use teco_mem::{Addr, LineData, LINE_BYTES};
 use teco_sim::SimTime;
-
-struct CountingAlloc;
-
-static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        System.alloc_zeroed(layout)
-    }
-}
+use teco_testsupport::{allocations, min_allocations, CountingAlloc};
 
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
-
-fn allocations(f: impl FnOnce()) -> u64 {
-    let before = ALLOC_CALLS.load(Ordering::Relaxed);
-    f();
-    ALLOC_CALLS.load(Ordering::Relaxed) - before
-}
-
-/// The counter is process-global, so an unrelated runtime thread (test
-/// harness I/O capture) can leak a stray count into one measurement. A
-/// real per-iteration allocation shows up in *every* attempt; background
-/// noise cannot fake a zero. Take the minimum over a few attempts.
-fn min_allocations(attempts: u32, mut f: impl FnMut()) -> u64 {
-    (0..attempts).map(|_| allocations(&mut f)).min().expect("at least one attempt")
-}
 
 const LINES: usize = 128;
 

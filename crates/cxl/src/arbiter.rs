@@ -1,0 +1,326 @@
+//! Shared host-link arbiter for multi-device clusters.
+//!
+//! When N accelerators share one CPU-side memory pool, the per-device CXL
+//! links stop being the only bottleneck: every gradient shard written into
+//! the pool and every parameter writeback read out of it consumes the same
+//! host DRAM bandwidth budget. [`HostLinkArbiter`] models that budget as a
+//! single serial resource with **fair round-robin** grant ordering and
+//! per-device accounting, plus a broadcast path for update-mode fan-out:
+//! one CPU writeback read is charged *once* no matter how many giant
+//! caches the coherence fabric replicates it into — the bandwidth the
+//! update protocol saves over N independent `memcpy`s.
+//!
+//! The arbiter deliberately sits *beside* the per-device sessions, not
+//! inside them: it never perturbs a device's own link/coherence timing, so
+//! a one-device cluster stays bit-identical to the plain single-session
+//! path (the correctness anchor of the cluster layer), while the shared
+//! budget becomes the binding constraint as N grows.
+
+use serde::{Deserialize, Serialize};
+use teco_sim::{Bandwidth, Interval, SimTime};
+
+/// Per-device host-link accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostAccount {
+    /// Bytes this device moved through the host budget.
+    pub bytes: u64,
+    /// Grants this device received.
+    pub grants: u64,
+    /// Time the device's requests waited on the shared budget (start minus
+    /// ready), i.e. contention visible only at N > 1.
+    pub wait_ns: u64,
+    /// Time the host budget spent serving this device.
+    pub busy_ns: u64,
+}
+
+/// The shared host DRAM budget, arbitrated round-robin across devices.
+#[derive(Debug, Clone)]
+pub struct HostLinkArbiter {
+    bw: Bandwidth,
+    n: usize,
+    /// Earliest time the budget can start the next grant.
+    next_free: SimTime,
+    /// Round-robin pointer: the device granted first in the next round.
+    rr: usize,
+    accounts: Vec<HostAccount>,
+    /// Rounds arbitrated (one per cluster-step direction).
+    rounds: u64,
+    /// Broadcast (fan-out) charges: one host read serving every device.
+    broadcast_grants: u64,
+    /// Bytes read from the pool for broadcasts (charged once per round).
+    broadcast_bytes: u64,
+    /// Bytes the update-mode fan-out avoided reading, versus one
+    /// independent host read per device.
+    fanout_saved_bytes: u64,
+    /// Device deliveries fanned out from broadcast reads.
+    fanout_deliveries: u64,
+}
+
+impl HostLinkArbiter {
+    /// An arbiter over `n` devices sharing `bw` of host DRAM bandwidth.
+    pub fn new(bw: Bandwidth, n: usize) -> Self {
+        assert!(n > 0, "arbiter needs at least one device");
+        HostLinkArbiter {
+            bw,
+            n,
+            next_free: SimTime::ZERO,
+            rr: 0,
+            accounts: vec![HostAccount::default(); n],
+            rounds: 0,
+            broadcast_grants: 0,
+            broadcast_bytes: 0,
+            fanout_saved_bytes: 0,
+            fanout_deliveries: 0,
+        }
+    }
+
+    /// Number of devices sharing the budget.
+    pub fn devices(&self) -> usize {
+        self.n
+    }
+    /// The shared bandwidth.
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.bw
+    }
+    /// Per-device accounts.
+    pub fn accounts(&self) -> &[HostAccount] {
+        &self.accounts
+    }
+    /// When the budget drains completely.
+    pub fn drained_at(&self) -> SimTime {
+        self.next_free
+    }
+    /// Rounds arbitrated so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+    /// Broadcast charges so far.
+    pub fn broadcast_grants(&self) -> u64 {
+        self.broadcast_grants
+    }
+    /// Bytes the pool served to broadcasts.
+    pub fn broadcast_bytes(&self) -> u64 {
+        self.broadcast_bytes
+    }
+    /// Bytes fan-out saved versus per-device host reads.
+    pub fn fanout_saved_bytes(&self) -> u64 {
+        self.fanout_saved_bytes
+    }
+    /// Device deliveries produced by broadcast reads.
+    pub fn fanout_deliveries(&self) -> u64 {
+        self.fanout_deliveries
+    }
+
+    /// Serve one grant on the shared budget. Unlike the per-device links,
+    /// ready times across devices are not globally ordered, so the budget
+    /// keeps its own `next_free` horizon instead of a monotonic server.
+    fn grant(&mut self, dev: usize, ready: SimTime, bytes: u64) -> Interval {
+        let start = ready.max(self.next_free);
+        let end = start + self.bw.transfer_time(bytes);
+        self.next_free = end;
+        let acct = &mut self.accounts[dev];
+        acct.bytes += bytes;
+        acct.grants += 1;
+        acct.wait_ns += (start - ready).as_ns();
+        acct.busy_ns += (end - start).as_ns();
+        Interval::new(start, end)
+    }
+
+    /// Arbitrate one round: every device submits its pending host-bound
+    /// bytes (`requests[d]`, zero meaning no request) with its own ready
+    /// time. Grants are issued in round-robin order starting at the
+    /// rotating pointer, so no device can starve the others over repeated
+    /// rounds. Returns the time the round's last grant completes
+    /// (`drained_at` if the round was empty); callers needing per-device
+    /// completion read it back from [`HostLinkArbiter::accounts`].
+    ///
+    /// Allocation-free: the round walks device indices in place.
+    pub fn arbitrate_round(&mut self, ready: &[SimTime], requests: &[u64]) -> SimTime {
+        assert_eq!(ready.len(), self.n, "one ready time per device");
+        assert_eq!(requests.len(), self.n, "one request per device");
+        self.rounds += 1;
+        let first = self.rr;
+        self.rr = (self.rr + 1) % self.n;
+        let mut end = self.next_free;
+        for k in 0..self.n {
+            let dev = (first + k) % self.n;
+            if requests[dev] == 0 {
+                continue;
+            }
+            let iv = self.grant(dev, ready[dev], requests[dev]);
+            end = end.max(iv.end);
+        }
+        end
+    }
+
+    /// Charge a broadcast: the pooled CPU writeback is read from host DRAM
+    /// **once** and the update-mode coherence fabric fans it out to
+    /// `fanout` giant caches. Accounts the single read against the budget
+    /// and records the bytes saved versus `fanout` independent reads.
+    pub fn charge_broadcast(&mut self, ready: SimTime, bytes: u64, fanout: usize) -> Interval {
+        assert!(fanout >= 1 && fanout <= self.n, "fanout must cover 1..=n devices");
+        let start = ready.max(self.next_free);
+        let end = start + self.bw.transfer_time(bytes);
+        self.next_free = end;
+        self.broadcast_grants += 1;
+        self.broadcast_bytes += bytes;
+        self.fanout_deliveries += fanout as u64;
+        self.fanout_saved_bytes += bytes * (fanout as u64 - 1);
+        Interval::new(start, end)
+    }
+
+    /// Checkpoint image of the arbiter.
+    pub fn snapshot(&self) -> HostLinkArbiterSnapshot {
+        HostLinkArbiterSnapshot {
+            bw: self.bw,
+            n: self.n as u64,
+            next_free: self.next_free,
+            rr: self.rr as u64,
+            accounts: self.accounts.clone(),
+            rounds: self.rounds,
+            broadcast_grants: self.broadcast_grants,
+            broadcast_bytes: self.broadcast_bytes,
+            fanout_saved_bytes: self.fanout_saved_bytes,
+            fanout_deliveries: self.fanout_deliveries,
+        }
+    }
+
+    /// Rebuild an arbiter from a snapshot; subsequent rounds grant
+    /// identically to the original.
+    pub fn restore(s: &HostLinkArbiterSnapshot) -> Self {
+        assert!(s.n > 0, "arbiter needs at least one device");
+        HostLinkArbiter {
+            bw: s.bw,
+            n: s.n as usize,
+            next_free: s.next_free,
+            rr: s.rr as usize,
+            accounts: s.accounts.clone(),
+            rounds: s.rounds,
+            broadcast_grants: s.broadcast_grants,
+            broadcast_bytes: s.broadcast_bytes,
+            fanout_saved_bytes: s.fanout_saved_bytes,
+            fanout_deliveries: s.fanout_deliveries,
+        }
+    }
+}
+
+/// Serializable image of a [`HostLinkArbiter`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostLinkArbiterSnapshot {
+    /// Shared bandwidth.
+    pub bw: Bandwidth,
+    /// Device count.
+    pub n: u64,
+    /// Earliest start for the next grant.
+    pub next_free: SimTime,
+    /// Round-robin pointer.
+    pub rr: u64,
+    /// Per-device accounts.
+    pub accounts: Vec<HostAccount>,
+    /// Rounds arbitrated.
+    pub rounds: u64,
+    /// Broadcast charges.
+    pub broadcast_grants: u64,
+    /// Broadcast bytes served.
+    pub broadcast_bytes: u64,
+    /// Bytes fan-out saved.
+    pub fanout_saved_bytes: u64,
+    /// Fan-out deliveries.
+    pub fanout_deliveries: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arb(n: usize) -> HostLinkArbiter {
+        // 64 GB/s → a 64-byte line takes 1 ns; clean numbers below.
+        HostLinkArbiter::new(Bandwidth::from_gb_per_sec(64.0), n)
+    }
+
+    #[test]
+    fn single_device_round_serves_at_ready() {
+        let mut a = arb(1);
+        let end = a.arbitrate_round(&[SimTime::from_ns(10)], &[64]);
+        assert_eq!(end, SimTime::from_ns(11));
+        assert_eq!(a.accounts()[0].wait_ns, 0);
+        assert_eq!(a.accounts()[0].bytes, 64);
+    }
+
+    #[test]
+    fn contending_round_serializes_and_charges_wait() {
+        let mut a = arb(2);
+        let ready = [SimTime::ZERO, SimTime::ZERO];
+        let end = a.arbitrate_round(&ready, &[64, 64]);
+        // First round starts at device 0: it waits nothing, device 1 waits
+        // behind it.
+        assert_eq!(end, SimTime::from_ns(2));
+        assert_eq!(a.accounts()[0].wait_ns, 0);
+        assert_eq!(a.accounts()[1].wait_ns, 1);
+    }
+
+    #[test]
+    fn round_robin_rotates_first_grant() {
+        let mut a = arb(2);
+        a.arbitrate_round(&[SimTime::ZERO; 2], &[64, 64]);
+        let w0_round1 = a.accounts()[0].wait_ns;
+        // Second round starts at device 1; with both ready at the drained
+        // horizon, device 0 now waits.
+        let t = a.drained_at();
+        a.arbitrate_round(&[t, t], &[64, 64]);
+        assert_eq!(w0_round1, 0);
+        assert_eq!(a.accounts()[0].wait_ns, 1, "device 0 waits in round 2");
+        assert_eq!(a.accounts()[1].wait_ns, 1, "device 1 waited only in round 1");
+        assert_eq!(a.rounds(), 2);
+    }
+
+    #[test]
+    fn zero_byte_requests_are_skipped() {
+        let mut a = arb(3);
+        let end = a.arbitrate_round(&[SimTime::ZERO; 3], &[0, 64, 0]);
+        assert_eq!(end, SimTime::from_ns(1));
+        assert_eq!(a.accounts()[0].grants, 0);
+        assert_eq!(a.accounts()[1].grants, 1);
+        assert_eq!(a.accounts()[2].grants, 0);
+    }
+
+    #[test]
+    fn broadcast_charges_once_and_records_savings() {
+        let mut a = arb(4);
+        let iv = a.charge_broadcast(SimTime::ZERO, 128, 4);
+        assert_eq!(iv.end, SimTime::from_ns(2));
+        assert_eq!(a.broadcast_bytes(), 128);
+        assert_eq!(a.fanout_deliveries(), 4);
+        assert_eq!(a.fanout_saved_bytes(), 128 * 3);
+        // Per-device accounts untouched: the read is the pool's, not any
+        // one device's.
+        assert!(a.accounts().iter().all(|acct| acct.bytes == 0));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_continues_identically() {
+        let mut a = arb(3);
+        a.arbitrate_round(&[SimTime::ZERO; 3], &[64, 128, 64]);
+        a.charge_broadcast(a.drained_at(), 256, 3);
+        let snap = a.snapshot();
+        let mut b = HostLinkArbiter::restore(&snap);
+        let t = a.drained_at();
+        let ea = a.arbitrate_round(&[t, t, t], &[32, 32, 32]);
+        let eb = b.arbitrate_round(&[t, t, t], &[32, 32, 32]);
+        assert_eq!(ea, eb);
+        assert_eq!(a.accounts(), b.accounts());
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn unused_devices_never_starve_active_ones() {
+        // A device that never requests must not delay grants.
+        let mut a = arb(4);
+        for r in 0..8u64 {
+            let t = a.drained_at();
+            a.arbitrate_round(&[t; 4], &[64, 0, 0, 0]);
+            assert_eq!(a.accounts()[0].grants, r + 1);
+            assert_eq!(a.accounts()[0].wait_ns, 0);
+        }
+    }
+}

@@ -20,8 +20,12 @@
 //! - [`fault`]: deterministic link-level fault injection (CRC/replay,
 //!   transient stalls, poison) and the recovery statistics;
 //! - [`audit`]: the paranoid invariant auditor — cross-module consistency
-//!   checks walked at fence points when a session opts in.
+//!   checks walked at fence points when a session opts in;
+//! - [`arbiter`]: the shared host-DRAM budget arbitrated round-robin across
+//!   the devices of a multi-accelerator cluster, with update-mode broadcast
+//!   fan-out accounting.
 
+pub mod arbiter;
 pub mod audit;
 pub mod coherence;
 pub mod config;
@@ -37,6 +41,7 @@ pub mod packet;
 pub mod refmaps;
 pub mod snoop;
 
+pub use arbiter::{HostAccount, HostLinkArbiter, HostLinkArbiterSnapshot};
 pub use audit::{
     audit_all, audit_cache, audit_cache_coherence, audit_coherence, audit_link, audit_shadow,
     AuditError,

@@ -1,17 +1,14 @@
 //! Steady-state allocation audit for the hot wire paths.
 //!
-//! A counting global allocator wraps the system allocator; after a warm-up
-//! pass has sized every reused buffer (flit vector, unpack scratch, wire
-//! buffer, arena chunks, coherence message-count entries), the flit
-//! pack/unpack loop and the bulk DBA path must not touch the allocator at
-//! all.
+//! The shared counting allocator from `teco-testsupport` wraps the system
+//! allocator; after a warm-up pass has sized every reused buffer (flit
+//! vector, unpack scratch, wire buffer, arena chunks, coherence
+//! message-count entries), the flit pack/unpack loop and the bulk DBA path
+//! must not touch the allocator at all.
 //!
 //! Everything lives in ONE `#[test]` because the counter is global and the
 //! default harness runs tests on multiple threads — a second test's
 //! allocations would pollute the window.
-
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use std::collections::HashMap;
 
@@ -21,46 +18,10 @@ use teco_cxl::{
 };
 use teco_mem::{Addr, LineData, LineSlot, LINE_BYTES};
 use teco_sim::SimTime;
-
-struct CountingAlloc;
-
-static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        System.alloc_zeroed(layout)
-    }
-}
+use teco_testsupport::{min_allocations, CountingAlloc};
 
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
-
-/// Allocator calls (alloc/realloc/alloc_zeroed) made while `f` ran.
-fn allocations(f: impl FnOnce()) -> u64 {
-    let before = ALLOC_CALLS.load(Ordering::Relaxed);
-    f();
-    ALLOC_CALLS.load(Ordering::Relaxed) - before
-}
-
-/// The counter is process-global, so an unrelated runtime thread (test
-/// harness I/O capture) can leak a stray count into one measurement. A
-/// real per-iteration allocation shows up in *every* attempt; background
-/// noise cannot fake a zero. Take the minimum over a few attempts.
-fn min_allocations(attempts: u32, mut f: impl FnMut()) -> u64 {
-    (0..attempts).map(|_| allocations(&mut f)).min().expect("at least one attempt")
-}
 
 const LINES: usize = 256;
 

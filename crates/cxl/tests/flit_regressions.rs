@@ -1,0 +1,97 @@
+//! Named deterministic regressions for the flit unpacker.
+//!
+//! `flit_fuzz.proptest-regressions` stores shrunk counterexamples as
+//! opaque seeds; this file promotes each one to a named test that
+//! reconstructs the failing wire image by hand, so the regression is
+//! readable, runs on every `cargo test` without the proptest machinery,
+//! and survives even if the seed file is ever pruned.
+
+use teco_cxl::{unpack, Flit, FlitError, Opcode, Slot, SLOTS_PER_FLIT};
+
+fn flit_of(slots: &[Slot]) -> Flit {
+    assert!(slots.len() <= SLOTS_PER_FLIT);
+    let mut f = [Slot::Empty, Slot::Empty, Slot::Empty, Slot::Empty];
+    for (i, s) in slots.iter().enumerate() {
+        f[i] = s.clone();
+    }
+    Flit { slots: f }
+}
+
+fn data_header(payload_len: u16, poisoned: bool) -> Slot {
+    Slot::Header { opcode: Opcode::Data, addr: 128, dba_aggregated: true, poisoned, payload_len }
+}
+
+fn control_header() -> Slot {
+    Slot::Header {
+        opcode: Opcode::Evict,
+        addr: 64,
+        dba_aggregated: false,
+        poisoned: false,
+        payload_len: 0,
+    }
+}
+
+/// The shrunk counterexample from `flit_fuzz.proptest-regressions`
+/// (`garbage_slots_never_panic`, seed `8af4764f…`): `raw = [3, 2]` — a
+/// data header promising a one-byte payload, immediately followed by a
+/// control header instead of the promised data slot. The unpacker must
+/// report `HeaderWhilePayloadPending` at flit 0 slot 1, not panic or
+/// mis-locate the error.
+#[test]
+fn data_header_followed_by_control_header_reports_pending_payload() {
+    let flits = vec![flit_of(&[data_header(1, true), control_header()])];
+    match unpack(&flits) {
+        Err(FlitError::HeaderWhilePayloadPending { flit, slot }) => {
+            assert_eq!((flit, slot), (0, 1));
+        }
+        other => panic!("expected HeaderWhilePayloadPending at (0, 1), got {other:?}"),
+    }
+}
+
+/// A data header whose promised payload runs off the end of the wire
+/// image must be reported as truncated, locating the *header* that made
+/// the promise.
+#[test]
+fn payload_running_off_the_wire_reports_truncation_at_the_header() {
+    let flits = vec![flit_of(&[data_header(64, false)])];
+    match unpack(&flits) {
+        Err(FlitError::TruncatedPayload { header_flit, header_slot, .. }) => {
+            assert_eq!((header_flit, header_slot), (0, 0));
+        }
+        other => panic!("expected TruncatedPayload at header (0, 0), got {other:?}"),
+    }
+}
+
+/// A data slot with no preceding header is an orphan, located exactly.
+#[test]
+fn leading_data_slot_reports_orphan() {
+    let flits = vec![flit_of(&[Slot::Data([0xAB; 16])])];
+    match unpack(&flits) {
+        Err(FlitError::OrphanData { flit, slot }) => assert_eq!((flit, slot), (0, 0)),
+        other => panic!("expected OrphanData at (0, 0), got {other:?}"),
+    }
+}
+
+/// Empty wire images and all-empty flits decode to zero packets.
+#[test]
+fn empty_and_all_empty_wire_images_decode_to_nothing() {
+    assert_eq!(unpack(&[]).unwrap(), vec![]);
+    let flits = vec![flit_of(&[]), flit_of(&[])];
+    assert_eq!(unpack(&flits).unwrap(), vec![]);
+}
+
+/// A payload may span a flit boundary: a 32-byte promise fills the last
+/// two slots of one flit from the first two of the next. The poisoned
+/// bit on the header must survive the crossing.
+#[test]
+fn payload_spanning_a_flit_boundary_round_trips() {
+    let flits = vec![
+        flit_of(&[Slot::Empty, Slot::Empty, data_header(32, true), Slot::Data([0x11; 16])]),
+        flit_of(&[Slot::Data([0x22; 16])]),
+    ];
+    let pkts = unpack(&flits).unwrap();
+    assert_eq!(pkts.len(), 1);
+    assert_eq!(pkts[0].payload.len(), 32);
+    assert!(pkts[0].poisoned, "poison bit must survive the flit boundary");
+    assert!(pkts[0].dba_aggregated);
+}

@@ -23,8 +23,21 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    sweep_with_workers(items, teco_dl::num_cores(), f)
+}
+
+/// [`sweep`] with an explicit worker count. `workers <= 1` runs the plain
+/// serial loop; any count must return bit-identical results (the
+/// determinism matrix in `tests/determinism.rs` pins serial against
+/// parallel for the shipped sweeps).
+pub fn sweep_with_workers<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let n = items.len();
-    let workers = teco_dl::num_cores().min(n);
+    let workers = workers.min(n);
     if workers <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
@@ -99,5 +112,15 @@ mod tests {
         let items = vec!["a", "b", "c", "d"];
         let out = sweep(&items, |i, s| format!("{i}:{s}"));
         assert_eq!(out, vec!["0:a", "1:b", "2:c", "3:d"]);
+    }
+
+    #[test]
+    fn worker_count_never_changes_results() {
+        let items: Vec<u64> = (0..40).map(|i| i * 13 + 5).collect();
+        let work = |i: usize, &x: &u64| -> u64 { x.wrapping_mul(i as u64 + 1) ^ (x >> 3) };
+        let serial = sweep_with_workers(&items, 1, work);
+        for workers in [2, 3, 8, 64] {
+            assert_eq!(sweep_with_workers(&items, workers, work), serial, "{workers} workers");
+        }
     }
 }

@@ -1,0 +1,125 @@
+//! # teco-testsupport — shared test-only harnesses
+//!
+//! The counting global allocator used by the steady-state allocation
+//! audits in `crates/cxl/tests/alloc_steady_state.rs`,
+//! `crates/core/tests/alloc_steady_state.rs`, and
+//! `crates/core/tests/cluster_alloc_steady_state.rs`. It used to be
+//! copy-pasted into each test binary; the *type* and the measurement
+//! helpers now live here, while each test binary still declares its own
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static GLOBAL: teco_testsupport::CountingAlloc = teco_testsupport::CountingAlloc;
+//! ```
+//!
+//! because a `#[global_allocator]` attribute binds per final binary, not
+//! per library. The counter behind it is a single process-global atomic in
+//! this crate, so the helpers observe whichever binary installed the
+//! allocator.
+//!
+//! Keep each audit in ONE `#[test]` per binary: the counter is global and
+//! the default harness runs tests on multiple threads — a second test's
+//! allocations would pollute the window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A pass-through allocator that counts every allocating call
+/// (`alloc`/`realloc`/`alloc_zeroed`; `dealloc` is free and uncounted).
+pub struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+/// Allocator calls (alloc/realloc/alloc_zeroed) made while `f` ran.
+pub fn allocations(f: impl FnOnce()) -> u64 {
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    f();
+    ALLOC_CALLS.load(Ordering::Relaxed) - before
+}
+
+/// The counter is process-global, so an unrelated runtime thread (test
+/// harness I/O capture) can leak a stray count into one measurement. A
+/// real per-iteration allocation shows up in *every* attempt; background
+/// noise cannot fake a zero. Take the minimum over a few attempts.
+pub fn min_allocations(attempts: u32, mut f: impl FnMut()) -> u64 {
+    (0..attempts).map(|_| allocations(&mut f)).min().expect("at least one attempt")
+}
+
+pub mod golden {
+    //! Byte-for-byte golden-file assertions for the markdown renderers.
+    //!
+    //! Fixtures are checked in next to the tests that use them; set
+    //! `TECO_BLESS=1` to (re)write every fixture from the current output
+    //! instead of comparing, then inspect the diff before committing.
+
+    use std::fs;
+    use std::path::Path;
+
+    /// Compare `actual` byte-for-byte against the fixture at `path`,
+    /// or rewrite the fixture when `TECO_BLESS` is set.
+    pub fn assert_golden(path: impl AsRef<Path>, actual: &str) {
+        let path = path.as_ref();
+        if std::env::var_os("TECO_BLESS").is_some() {
+            if let Some(dir) = path.parent() {
+                fs::create_dir_all(dir).expect("create fixture directory");
+            }
+            fs::write(path, actual).expect("write blessed fixture");
+            return;
+        }
+        let expected = fs::read_to_string(path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden fixture {} ({e}); run with TECO_BLESS=1 to create it",
+                path.display()
+            )
+        });
+        if expected == actual {
+            return;
+        }
+        let diverge = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(e, a)| e != a)
+            .unwrap_or_else(|| expected.lines().count().min(actual.lines().count()));
+        let want = expected.lines().nth(diverge).unwrap_or("<end of fixture>");
+        let got = actual.lines().nth(diverge).unwrap_or("<end of output>");
+        panic!(
+            "output diverges from golden fixture {} at line {}:\n  fixture: {want}\n  actual:  {got}\n\
+             (TECO_BLESS=1 rewrites the fixture if the change is intended)",
+            path.display(),
+            diverge + 1,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // No #[global_allocator] in this library's own test binary — the
+    // helpers must degrade gracefully (count zero) when the counting
+    // allocator is not installed, and count when it is. Only the
+    // no-install path is testable here.
+    #[test]
+    fn helpers_work_without_installed_allocator() {
+        assert_eq!(allocations(|| ()), 0);
+        assert_eq!(min_allocations(3, || ()), 0);
+    }
+}

@@ -12,7 +12,8 @@ BINS=(
   sec7_lammps overhead_analysis api_overhead
   ablation_dirty_bytes ablation_granularity ablation_pcie_gen
   ablation_cpu_speed baselines_comparison autotune_act_steps
-  trace_replay_validation cost_savings generate_report
+  trace_replay_validation cost_savings fault_sweep scaling_sweep
+  generate_report
 )
 
 cargo build --release -p teco-bench >/dev/null

@@ -92,6 +92,30 @@ fn timing_experiments_are_reproducible() {
     assert_eq!(format!("{a:?}"), format!("{b:?}"));
 }
 
+/// The sweep matrix behind `bench_results/*.json`: run-to-run JSON must be
+/// byte-identical, and the worker count must never leak into the output —
+/// serial (workers = 1) and parallel (the core count `cargo bench` and CI
+/// would use) executions of the same grid must serialize identically.
+/// This is the property that lets the CI smoke jobs `cmp` two runs.
+#[test]
+fn sweep_json_is_byte_identical_across_runs_and_worker_counts() {
+    let parallel = teco::dl::num_cores().max(2);
+    let fault = |workers| {
+        serde_json::to_string(&teco_bench::sweeps::fault_rows_with_workers(workers)).unwrap()
+    };
+    let scaling = |workers| {
+        serde_json::to_string(&teco_bench::sweeps::scaling_rows_with_workers(workers)).unwrap()
+    };
+
+    let fault_serial = fault(1);
+    assert_eq!(fault_serial, fault(1), "fault sweep diverged run to run");
+    assert_eq!(fault_serial, fault(parallel), "fault sweep leaked its worker count");
+
+    let scaling_serial = scaling(1);
+    assert_eq!(scaling_serial, scaling(1), "scaling sweep diverged run to run");
+    assert_eq!(scaling_serial, scaling(parallel), "scaling sweep leaked its worker count");
+}
+
 #[test]
 fn bayesian_optimizer_is_reproducible() {
     let run_bo = || {
