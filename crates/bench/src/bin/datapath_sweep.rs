@@ -1,0 +1,57 @@
+//! Datapath sweep: the sharded-coherence determinism contract, measured.
+//! Each cell runs the same fixed-seed workload (bulk parameter runs long
+//! enough to cross the fabric's thread-spawn threshold, a gradient
+//! stream back, two fences per round) at coherence workers ∈ {1, 2, 4},
+//! with the fault model off and on, under both protocol modes — and
+//! records the end state down to an FNV-1a digest of the serialized
+//! session snapshot.
+//!
+//! Rows differing only in `workers` must be byte-identical everywhere
+//! else; this binary exits nonzero if they are not. Everything is seeded,
+//! so two invocations produce byte-identical
+//! `bench_results/datapath_sweep.json` — the CI datapath-smoke job diffs
+//! exactly that, run-to-run and sharded-vs-serial.
+
+use teco_bench::sweeps::{datapath_divergences, datapath_rows};
+use teco_bench::{dump_json, header, row};
+
+fn main() {
+    header("Datapath sweep", "sharded coherence vs serial across faults × protocol");
+    row(&[
+        "workers".into(),
+        "faulty".into(),
+        "inval".into(),
+        "sim ms".into(),
+        "to-dev MB".into(),
+        "retries".into(),
+        "mismatch".into(),
+        "snoop peak".into(),
+        "digest".into(),
+    ]);
+    let out = datapath_rows();
+    for r in &out {
+        row(&[
+            r.workers.to_string(),
+            r.faulty.to_string(),
+            r.invalidation.to_string(),
+            format!("{:.3}", r.sim_time_ns as f64 / 1e6),
+            format!("{:.2}", r.bytes_to_device as f64 / 1e6),
+            r.link_retries.to_string(),
+            r.checksum_mismatches.to_string(),
+            r.snoop_peak.to_string(),
+            r.snapshot_digest.clone(),
+        ]);
+    }
+    let bad = datapath_divergences(&out);
+    if bad.is_empty() {
+        println!("\nevery worker count reproduced the serial end state bit-for-bit");
+    } else {
+        for b in &bad {
+            eprintln!("datapath sweep DIVERGENCE: {b}");
+        }
+    }
+    dump_json("datapath_sweep", &out);
+    if !bad.is_empty() {
+        std::process::exit(1);
+    }
+}

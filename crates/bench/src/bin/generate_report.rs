@@ -5,7 +5,9 @@
 //! (the dba / event_engine / coherence numbers future PRs diff against).
 
 use serde::Value;
-use teco_bench::report::{fault_section, resume_section, scaling_section, snoop_section};
+use teco_bench::report::{
+    datapath_section, fault_section, resume_section, scaling_section, snoop_section,
+};
 use teco_offload::{timing_report, Calibration};
 
 /// Which `criterion_medians.json` groups feed each perf-summary section.
@@ -16,6 +18,7 @@ const SECTIONS: &[(&str, &[&str])] = &[
     ("coherence_event", &["coherence_event"]),
     ("giant_cache_merge", &["giant_cache_merge"]),
     ("step_throughput", &["step_throughput"]),
+    ("datapath", &["datapath", "datapath_sharded"]),
 ];
 
 /// Build `perf_summary.json` from the medians `cargo bench` left behind.
@@ -48,12 +51,13 @@ fn perf_summary() -> Option<Value> {
 
 fn main() {
     let report = format!(
-        "{}\n{}{}{}{}",
+        "{}\n{}{}{}{}{}",
         timing_report(&Calibration::paper()),
         fault_section(),
         snoop_section(),
         resume_section(),
-        scaling_section()
+        scaling_section(),
+        datapath_section()
     );
     std::fs::create_dir_all("bench_results").expect("create bench_results/");
     let path = "bench_results/REPORT.md";

@@ -2,22 +2,30 @@
 //!
 //! Compares the Criterion medians of the current run
 //! (`bench_results/criterion_medians.json`, written by `cargo bench`)
-//! against the committed PR-3 baseline (`bench_results/BENCH_pr3.json`)
-//! and fails on a >25 % regression of any tracked key. It also re-checks
-//! the arena speedup claims *within the current run* — dense vs the
-//! hash-map reference measured on the same machine moments apart — so the
-//! ≥2× bound never depends on cross-machine comparisons.
+//! against the committed baselines (`bench_results/BENCH_pr3.json` for
+//! the arena rewrites, `bench_results/BENCH_pr6.json` for the datapath
+//! kernels) and fails on a >25 % regression of any tracked key. It also
+//! re-checks the speedup claims *within the current run* — fast path vs
+//! the retained reference measured on the same machine moments apart —
+//! so the ≥2× bounds never depend on cross-machine comparisons. Finally
+//! it holds the bulk aggregator to the modeled link bandwidth: the wire
+//! feeding a PCIe-3.0×16-class CXL link is ~15 GB/s, and a datapath that
+//! can't outrun the link it feeds is the bottleneck the datapath PR
+//! exists to remove.
 //!
 //! Usage:
-//!   perf_smoke            # gate: compare current medians vs BENCH_pr3.json
-//!   perf_smoke --record   # (re)write BENCH_pr3.json from current medians
+//!   perf_smoke               # gate current medians vs both baselines
+//!   perf_smoke --record      # (re)write BENCH_pr3.json from current medians
+//!   perf_smoke --record-pr6  # (re)write BENCH_pr6.json from current medians
 
 use serde::Value;
 
 const MEDIANS: &str = "bench_results/criterion_medians.json";
 const BASELINE: &str = "bench_results/BENCH_pr3.json";
+const BASELINE_PR6: &str = "bench_results/BENCH_pr6.json";
 
-/// Keys gated against the committed baseline (median_ns, lower is better).
+/// Keys gated against the committed PR-3 baseline (median_ns, lower is
+/// better).
 const TRACKED: &[&str] = &[
     "coherence_event/dense_update",
     "coherence_event/dense_invalidation",
@@ -26,12 +34,33 @@ const TRACKED: &[&str] = &[
     "step_throughput/push_fence_full",
 ];
 
+/// Keys gated against the committed PR-6 datapath baseline.
+const TRACKED_PR6: &[&str] = &[
+    "aggregator_bulk/dirty_bytes_2",
+    "disaggregator_bulk/merge_dirty2",
+    "datapath/checksummed_kernel_2",
+    "datapath_sharded/write_run_w1",
+];
+
 /// (fast, slow, minimum required slow/fast ratio) asserted on the current
 /// run's medians.
 const SPEEDUPS: &[(&str, &str, f64)] = &[
     ("coherence_event/dense_update", "coherence_event/hashref_update", 2.0),
     ("coherence_event/dense_invalidation", "coherence_event/hashref_invalidation", 2.0),
     ("giant_cache_merge/dense_bulk_dba", "giant_cache_merge/hashref_bulk_dba", 2.0),
+    // Fused chunk-wise pack+Fletcher vs the pre-fusion scalar pack plus
+    // per-byte checksum second pass (both measured this run; measured
+    // headroom ~6× and ~5×).
+    ("datapath/checksummed_kernel_2", "datapath/checksummed_scalar_2", 2.0),
+    ("datapath/checksummed_kernel_3", "datapath/checksummed_scalar_3", 2.0),
+];
+
+/// (key, bytes processed per iteration, minimum GB/s) asserted on the
+/// current run's medians: `bytes / median_ns` is exactly GB/s.
+const BANDWIDTH: &[(&str, u64, f64)] = &[
+    // 1024 whole lines through the bulk aggregator at dirty_bytes=2 must
+    // saturate the modeled PCIe-3.0×16 link (~15 GB/s).
+    ("aggregator_bulk/dirty_bytes_2", 1024 * 64, 15.0),
 ];
 
 /// Regression threshold: fail when current > baseline × 1.25.
@@ -47,13 +76,15 @@ fn load(path: &str) -> Value {
     serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
 }
 
-fn record(current: &Value) {
+fn record(current: &Value, path: &str, tracked: &[&str], extra_pairs: bool) {
     let mut fields = Vec::new();
-    let mut keys: Vec<&str> = TRACKED.to_vec();
-    for &(fast, slow, _) in SPEEDUPS {
-        for k in [fast, slow] {
-            if !keys.contains(&k) {
-                keys.push(k);
+    let mut keys: Vec<&str> = tracked.to_vec();
+    if extra_pairs {
+        for &(fast, slow, _) in SPEEDUPS {
+            for k in [fast, slow] {
+                if !keys.contains(&k) {
+                    keys.push(k);
+                }
             }
         }
     }
@@ -66,24 +97,22 @@ fn record(current: &Value) {
         ));
     }
     let doc = Value::Object(fields);
-    std::fs::write(BASELINE, serde_json::to_string_pretty(&doc).expect("serialize baseline"))
-        .unwrap_or_else(|e| panic!("cannot write {BASELINE}: {e}"));
-    println!("recorded {} keys to {BASELINE}", TRACKED.len());
+    std::fs::write(path, serde_json::to_string_pretty(&doc).expect("serialize baseline"))
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("recorded {} keys to {path}", tracked.len());
 }
 
-fn main() {
-    let current = load(MEDIANS);
-    if std::env::args().any(|a| a == "--record") {
-        record(&current);
-        return;
-    }
-
-    let baseline = load(BASELINE);
-    let mut failures = Vec::new();
-
-    for &key in TRACKED {
-        let now = median_ns(&current, key);
-        let then = median_ns(&baseline, key);
+/// Gate `tracked` keys of the current run against a committed baseline.
+fn gate_regressions(
+    current: &Value,
+    baseline: &Value,
+    baseline_path: &str,
+    tracked: &[&str],
+    failures: &mut Vec<String>,
+) {
+    for &key in tracked {
+        let now = median_ns(current, key);
+        let then = median_ns(baseline, key);
         match (now, then) {
             (Some(now), Some(then)) => {
                 let ratio = now / then;
@@ -94,9 +123,25 @@ fn main() {
                 }
             }
             (None, _) => failures.push(format!("{key} missing from {MEDIANS}")),
-            (_, None) => failures.push(format!("{key} missing from {BASELINE}")),
+            (_, None) => failures.push(format!("{key} missing from {baseline_path}")),
         }
     }
+}
+
+fn main() {
+    let current = load(MEDIANS);
+    if std::env::args().any(|a| a == "--record") {
+        record(&current, BASELINE, TRACKED, true);
+        return;
+    }
+    if std::env::args().any(|a| a == "--record-pr6") {
+        record(&current, BASELINE_PR6, TRACKED_PR6, false);
+        return;
+    }
+
+    let mut failures = Vec::new();
+    gate_regressions(&current, &load(BASELINE), BASELINE, TRACKED, &mut failures);
+    gate_regressions(&current, &load(BASELINE_PR6), BASELINE_PR6, TRACKED_PR6, &mut failures);
 
     for &(fast, slow, min_ratio) in SPEEDUPS {
         match (median_ns(&current, fast), median_ns(&current, slow)) {
@@ -113,6 +158,22 @@ fn main() {
                 }
             }
             _ => failures.push(format!("{fast} / {slow} missing from {MEDIANS}")),
+        }
+    }
+
+    for &(key, bytes, min_gbps) in BANDWIDTH {
+        match median_ns(&current, key) {
+            Some(ns) if ns > 0.0 => {
+                let gbps = bytes as f64 / ns;
+                let verdict = if gbps < min_gbps { "BELOW LINK RATE" } else { "ok" };
+                println!("{key}: {gbps:.2} GB/s (need {min_gbps:.1} GB/s) {verdict}");
+                if gbps < min_gbps {
+                    failures.push(format!(
+                        "{key} sustains only {gbps:.2} GB/s (need {min_gbps:.1} GB/s)"
+                    ));
+                }
+            }
+            _ => failures.push(format!("{key} missing from {MEDIANS}")),
         }
     }
 

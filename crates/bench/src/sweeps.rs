@@ -333,6 +333,186 @@ pub fn scaling_points(rows: &[ScalingRow]) -> Vec<ScalingPoint> {
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Datapath sweep
+// ---------------------------------------------------------------------------
+
+/// Lines in the datapath sweep's parameter region — above
+/// [`teco_cxl::PARALLEL_BATCH_LINES`], so sharded cells cross the
+/// thread-spawn threshold and exercise the scatter → parallel drain →
+/// seq-sorted merge pipeline, not just the serial fallback.
+pub const DATAPATH_LINES: u64 = 5000;
+/// Gradient lines per round (device→CPU direction).
+pub const DATAPATH_GRAD_LINES: u64 = 256;
+/// Training rounds per cell.
+pub const DATAPATH_ROUNDS: u64 = 2;
+/// The fault injector's fixed seed.
+pub const DATAPATH_SEED: u64 = 1234;
+
+/// One cell of the datapath sweep's grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatapathCell {
+    /// Coherence worker shards (1 = the serial engine).
+    pub workers: usize,
+    /// Fault model on?
+    pub faulty: bool,
+    /// Invalidation mode instead of the update protocol?
+    pub invalidation: bool,
+}
+
+/// The grid: protocol-major, then fault, then workers ∈ {1, 2, 4} — so
+/// each group of three adjacent rows must be identical up to `workers`.
+pub fn datapath_grid() -> Vec<DatapathCell> {
+    let mut cells = Vec::new();
+    for &invalidation in &[false, true] {
+        for &faulty in &[false, true] {
+            for &workers in &[1usize, 2, 4] {
+                cells.push(DatapathCell { workers, faulty, invalidation });
+            }
+        }
+    }
+    cells
+}
+
+/// One row of `bench_results/datapath_sweep.json`. Everything except
+/// `workers` must be byte-identical across the worker counts of a
+/// (protocol, fault) group — that is the determinism contract the
+/// sharded fabric ships under, and the CI datapath-smoke job diffs it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatapathRow {
+    /// Coherence worker shards.
+    pub workers: usize,
+    /// Fault model on?
+    pub faulty: bool,
+    /// Invalidation mode?
+    pub invalidation: bool,
+    /// End-of-run simulated time.
+    pub sim_time_ns: u64,
+    /// Payload bytes CPU→device.
+    pub bytes_to_device: u64,
+    /// Payload bytes device→CPU.
+    pub bytes_to_host: u64,
+    /// Coherence control bytes CPU→device.
+    pub coherence_control_bytes: u64,
+    /// Snoop-filter occupancy at end of run.
+    pub snoop_entries: usize,
+    /// Snoop-filter high-water mark.
+    pub snoop_peak: usize,
+    /// Link retries (0 when the fault model is off).
+    pub link_retries: u64,
+    /// DBA checksum mismatches caught receiver-side.
+    pub checksum_mismatches: u64,
+    /// FNV-1a 64 over the serialized session snapshot — the byte-identity
+    /// witness, cheap enough to commit in JSON.
+    pub snapshot_digest: String,
+}
+
+/// FNV-1a 64 in hex over arbitrary bytes.
+pub fn fnv1a_hex(bytes: &[u8]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    format!("{h:016x}")
+}
+
+/// Run the fixed datapath workload at a worker count and serialize the
+/// end state.
+pub fn datapath_row(cell: &DatapathCell) -> DatapathRow {
+    let fault = if cell.faulty {
+        FaultConfig {
+            crc_error_rate: 0.01,
+            stall_rate: 0.005,
+            stall_ns: 60,
+            poison_rate: 0.002,
+            dba_checksum_error_rate: 0.01,
+            retry_limit: 16,
+            seed: DATAPATH_SEED,
+            ..FaultConfig::off()
+        }
+    } else {
+        FaultConfig::off()
+    };
+    let mut cfg = TecoConfig::default()
+        .with_giant_cache_bytes(1 << 22)
+        .with_dirty_bytes(2)
+        .with_act_aft_steps(1)
+        .with_fault(fault);
+    if cell.invalidation {
+        cfg = cfg.with_protocol(teco_cxl::ProtocolMode::Invalidation);
+    }
+    let mut s = TecoSession::new(cfg).expect("valid config");
+    s.set_coherence_workers(cell.workers);
+    let (_, pbase) = s.alloc_tensor("params", DATAPATH_LINES * 64).expect("alloc params");
+    let (_, gbase) = s.alloc_tensor("grads", DATAPATH_GRAD_LINES * 64).expect("alloc grads");
+    let mut now = SimTime::ZERO;
+    for step in 0..DATAPATH_ROUNDS {
+        for i in 0..DATAPATH_GRAD_LINES {
+            let _ = s.push_grad_line(Addr(gbase.0 + i * 64), grad_line(step, i), now);
+        }
+        now = s.cxlfence_grads(now);
+        s.check_activation(step);
+        let lines: Vec<LineData> = (0..DATAPATH_LINES).map(|i| param_line(step, i)).collect();
+        s.push_param_lines(pbase, &lines, now).expect("param push");
+        now = s.cxlfence_params(now);
+    }
+    let snap_json = serde_json::to_string(&s.snapshot()).expect("serialize snapshot");
+    let r = s.fault_report();
+    let snoop = s.coherence().snoop_stats();
+    DatapathRow {
+        workers: cell.workers,
+        faulty: cell.faulty,
+        invalidation: cell.invalidation,
+        sim_time_ns: now.as_ns(),
+        bytes_to_device: s.stats().bytes_to_device,
+        bytes_to_host: s.stats().bytes_to_host,
+        coherence_control_bytes: s.coherence().to_device().control_bytes,
+        snoop_entries: snoop.entries,
+        snoop_peak: snoop.peak_entries,
+        link_retries: r.retries,
+        checksum_mismatches: r.checksum_mismatches,
+        snapshot_digest: fnv1a_hex(snap_json.as_bytes()),
+    }
+}
+
+/// The full datapath sweep at an explicit worker count (sweep workers,
+/// not coherence shards — each cell pins its own shard count).
+pub fn datapath_rows_with_workers(workers: usize) -> Vec<DatapathRow> {
+    let grid = datapath_grid();
+    sweep_with_workers(&grid, workers, |_, cell| datapath_row(cell))
+}
+
+/// The full datapath sweep across all cores.
+pub fn datapath_rows() -> Vec<DatapathRow> {
+    datapath_rows_with_workers(teco_dl::num_cores())
+}
+
+/// Worker-invariance check: rows that differ only in `workers` must agree
+/// on every other field, snapshot digest included. Returns the offending
+/// descriptions (empty = the determinism contract holds).
+pub fn datapath_divergences(rows: &[DatapathRow]) -> Vec<String> {
+    let mut bad = Vec::new();
+    for r in rows {
+        let Some(serial) = rows
+            .iter()
+            .find(|s| s.workers == 1 && s.faulty == r.faulty && s.invalidation == r.invalidation)
+        else {
+            bad.push(format!("no serial row for faulty={} inval={}", r.faulty, r.invalidation));
+            continue;
+        };
+        let mut want = serial.clone();
+        want.workers = r.workers;
+        if *r != want {
+            bad.push(format!(
+                "workers={} faulty={} inval={} diverges from serial (digest {} vs {})",
+                r.workers, r.faulty, r.invalidation, r.snapshot_digest, serial.snapshot_digest
+            ));
+        }
+    }
+    bad
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,6 +533,29 @@ mod tests {
         assert_eq!(row.speedup_vs_one, 1.0);
         assert_eq!(row.efficiency_pct, 100.0);
         assert_eq!(row.host_wait_ns, 0);
+    }
+
+    #[test]
+    fn datapath_grid_is_worker_adjacent() {
+        let grid = datapath_grid();
+        assert_eq!(grid.len(), 12);
+        assert_eq!(grid[0], DatapathCell { workers: 1, faulty: false, invalidation: false });
+        assert_eq!(grid[1], DatapathCell { workers: 2, faulty: false, invalidation: false });
+        assert_eq!(grid[2], DatapathCell { workers: 4, faulty: false, invalidation: false });
+    }
+
+    #[test]
+    fn datapath_rows_are_worker_invariant_in_miniature() {
+        // One (faulty, invalidation) group end to end — the full grid runs
+        // in the datapath_sweep binary and the CI datapath-smoke job.
+        let rows: Vec<DatapathRow> = [1usize, 2, 4]
+            .iter()
+            .map(|&workers| {
+                datapath_row(&DatapathCell { workers, faulty: true, invalidation: false })
+            })
+            .collect();
+        assert_eq!(datapath_divergences(&rows), Vec::<String>::new());
+        assert!(rows[0].link_retries > 0, "fault model should have fired");
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Session-level golden equivalence for the sharded coherence fabric:
+//! a full TECO session driven with `set_coherence_workers(N)` must
+//! produce byte-identical snapshots, stats, and fault reports to the
+//! serial default — over fault-free *and* fault-injected configs, both
+//! protocol modes, with bulk pushes, recovery-ladder pushes, gradient
+//! pushes, fences, and audits all in the mix.
+
+use teco_core::{TecoConfig, TecoSession};
+use teco_cxl::{FaultConfig, ProtocolMode};
+use teco_mem::{Addr, LineData, LINE_BYTES};
+use teco_sim::SimTime;
+
+const REGION_LINES: u64 = 3000;
+
+fn line_with(seed: u32) -> LineData {
+    let mut l = LineData::zeroed();
+    for w in 0..16 {
+        l.set_word(
+            w,
+            seed.wrapping_mul(0x9E37_79B9).wrapping_add((w as u32).wrapping_mul(0x85EB_CA6B)),
+        );
+    }
+    l
+}
+
+/// Drive a deterministic multi-step workload and return the serialized
+/// session snapshot plus the headline live stats.
+fn run_workload(cfg: TecoConfig, workers: usize) -> (String, String) {
+    let mut s = TecoSession::new(cfg).expect("session");
+    s.set_coherence_workers(workers);
+    assert_eq!(s.coherence_workers(), workers.max(1));
+    let (_id, base) = s.alloc_tensor("params", REGION_LINES * LINE_BYTES as u64).expect("alloc");
+    let mut now = SimTime::ZERO;
+    for step in 0..4u64 {
+        s.check_activation(step);
+        // Bulk run covering most of the region (faults force the guarded
+        // per-line ladder instead — both paths route through the fabric).
+        let lines: Vec<LineData> =
+            (0..2000).map(|i| line_with((step as u32) << 16 | i as u32)).collect();
+        s.push_param_lines(base, &lines, now).expect("bulk push");
+        // Single-line pushes on the region tail.
+        for i in 0..32u64 {
+            let a = Addr(base.0 + (2000 + i) * LINE_BYTES as u64);
+            s.push_param_line(a, line_with(0xDEAD_0000 | i as u32), now).expect("single push");
+        }
+        // Gradients flow device→CPU through the fabric's packet path.
+        for i in 0..16u64 {
+            let a = Addr(base.0 + i * LINE_BYTES as u64);
+            s.push_grad_line(a, line_with(0xBEEF_0000 | i as u32), now).expect("grad push");
+        }
+        now = s.cxlfence_params(now);
+        now = s.cxlfence_grads(now);
+    }
+    let snap_json = serde_json::to_string(&s.snapshot()).expect("serialize snapshot");
+    let stats = format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{}|{:?}",
+        s.stats(),
+        s.coherence().to_device(),
+        s.coherence().to_host(),
+        s.coherence().snoop_stats(),
+        s.fault_report(),
+        s.coherence().tracked_lines(),
+        s.fence_stats(),
+    );
+    (snap_json, stats)
+}
+
+fn faulty(cfg: TecoConfig) -> TecoConfig {
+    cfg.with_fault(FaultConfig {
+        crc_error_rate: 0.2,
+        stall_rate: 0.1,
+        stall_ns: 40,
+        dba_checksum_error_rate: 0.15,
+        poison_rate: 0.05,
+        retry_limit: 64,
+        seed: 77,
+        ..FaultConfig::off()
+    })
+}
+
+fn assert_workers_golden(cfg: TecoConfig) {
+    let (want_snap, want_stats) = run_workload(cfg.clone(), 1);
+    for workers in [2usize, 3, 4] {
+        let (snap, stats) = run_workload(cfg.clone(), workers);
+        assert_eq!(stats, want_stats, "live stats diverged at workers={workers}");
+        assert_eq!(snap, want_snap, "snapshot bytes diverged at workers={workers}");
+    }
+}
+
+fn base_cfg() -> TecoConfig {
+    TecoConfig::default().with_giant_cache_bytes(1 << 22).with_act_aft_steps(1)
+}
+
+#[test]
+fn fault_free_update_mode_sessions_are_worker_invariant() {
+    assert_workers_golden(base_cfg());
+}
+
+#[test]
+fn fault_free_invalidation_mode_sessions_are_worker_invariant() {
+    assert_workers_golden(base_cfg().with_protocol(ProtocolMode::Invalidation));
+}
+
+#[test]
+fn faulty_update_mode_sessions_are_worker_invariant() {
+    assert_workers_golden(faulty(base_cfg()));
+}
+
+#[test]
+fn faulty_invalidation_mode_sessions_are_worker_invariant() {
+    assert_workers_golden(faulty(base_cfg().with_protocol(ProtocolMode::Invalidation)));
+}
+
+#[test]
+fn audited_sharded_session_passes_fence_audits() {
+    // The paranoid auditor walks the serial-equivalent engine view; a
+    // sharded session must satisfy every cross-module invariant at each
+    // fence, and its audited snapshot must match the serial one.
+    let cfg = base_cfg().with_audit(true);
+    assert_workers_golden(cfg);
+}
+
+#[test]
+fn sharded_snapshot_restores_into_serial_session() {
+    // Checkpoint under 4 workers, restore (always serial), continue, and
+    // compare against a never-sharded run of the same schedule.
+    let run_tail = |mut s: TecoSession, mut now: SimTime| {
+        let base = Addr(0);
+        for i in 0..64u64 {
+            let a = Addr(base.0 + i * LINE_BYTES as u64);
+            s.push_param_line(a, line_with(0xAB00 | i as u32), now).unwrap();
+        }
+        now = s.cxlfence_params(now);
+        let _ = now;
+        serde_json::to_string(&s.snapshot()).unwrap()
+    };
+
+    let mk = |workers: usize| {
+        let mut s = TecoSession::new(base_cfg()).unwrap();
+        s.set_coherence_workers(workers);
+        let (_id, base) = s.alloc_tensor("params", REGION_LINES * LINE_BYTES as u64).unwrap();
+        s.check_activation(5);
+        let lines: Vec<LineData> = (0..1500).map(|i| line_with(i as u32)).collect();
+        s.push_param_lines(base, &lines, SimTime::ZERO).unwrap();
+        s
+    };
+
+    let sharded = mk(4);
+    let restored = TecoSession::from_snapshot(&sharded.snapshot()).unwrap();
+    assert_eq!(restored.coherence_workers(), 1, "restore is always serial");
+    let serial = mk(1);
+    assert_eq!(run_tail(restored, SimTime::ZERO), run_tail(serial, SimTime::ZERO));
+}

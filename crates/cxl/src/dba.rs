@@ -14,7 +14,7 @@
 //! (0–4). `dirty_bytes = 2` with activation on is `0b1010`.
 
 use serde::{Deserialize, Serialize};
-use teco_mem::line::{LineData, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};
+use teco_mem::line::{lines_as_bytes, lines_as_bytes_mut, LineData, LINE_BYTES, WORDS_PER_LINE};
 
 /// The 4-bit DBA configuration register in the CPU CXL module.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -131,7 +131,7 @@ impl Aggregator {
         }
         let per = WORDS_PER_LINE * n;
         if n > 0 {
-            pack_line(line, n, &mut out[..per]);
+            kernels::pack_run(line.bytes(), n, &mut out[..per]);
         }
         self.lines_aggregated += 1;
         self.payload_bytes_out += per as u64;
@@ -145,12 +145,10 @@ impl Aggregator {
     /// `crate::fault::line_checksum` over the written payload.
     pub fn aggregate_into_checksummed(&mut self, line: &LineData, out: &mut [u8]) -> (usize, u16) {
         let per = self.aggregate_into(line, out);
-        let (mut a, mut b) = (0u32, 0u32);
-        for &x in &out[..per] {
-            a = (a + x as u32) % 255;
-            b = (b + a) % 255;
-        }
-        (per, ((b << 8) | a) as u16)
+        // The shared overflow-deferred Fletcher-16 folds over the payload
+        // while it is still hot in L1 — one implementation for the
+        // Aggregator, the link's verification, and the auditor alike.
+        (per, crate::fault::line_checksum(&out[..per]))
     }
 
     /// Bulk streaming entry point: aggregate a contiguous run of lines into
@@ -162,22 +160,35 @@ impl Aggregator {
     pub fn aggregate_lines(&mut self, lines: &[LineData], out: &mut Vec<u8>) -> usize {
         let per = self.reg.payload_bytes();
         let total = per * lines.len();
-        out.clear();
-        out.resize(total, 0);
         let n = self.reg.dirty_bytes() as usize;
-        if !self.reg.active() || n == 4 {
-            for (line, dst) in lines.iter().zip(out.chunks_exact_mut(LINE_BYTES)) {
-                dst.copy_from_slice(line.bytes());
-            }
-            self.lines_bypassed += lines.len() as u64;
-        } else {
-            if n > 0 {
-                for (line, dst) in lines.iter().zip(out.chunks_exact_mut(per)) {
-                    pack_line(line, n, dst);
+        out.clear();
+        out.reserve(total);
+        {
+            // Pack straight into the vector's spare capacity: the bypass
+            // arm copies whole lines and the kernel arm writes `per` bytes
+            // per line, so every byte of `dst` is written before `set_len`
+            // exposes it (when `n == 0`, `total` is 0 and `dst` is empty).
+            // Skipping the `resize(total, 0)` zero-fill keeps the bulk
+            // path a single pass over the wire buffer.
+            let spare = &mut out.spare_capacity_mut()[..total];
+            // SAFETY: `MaybeUninit<u8>` and `u8` have identical layout;
+            // creating a `&mut [u8]` over uninitialized bytes is sound
+            // here because `u8` has no invalid bit patterns and nothing
+            // reads `dst` before the writes below fill it.
+            let dst = unsafe { &mut *(spare as *mut [std::mem::MaybeUninit<u8>] as *mut [u8]) };
+            let src = lines_as_bytes(lines);
+            if !self.reg.active() || n == 4 {
+                dst.copy_from_slice(src);
+                self.lines_bypassed += lines.len() as u64;
+            } else {
+                if n > 0 {
+                    kernels::pack_run(src, n, dst);
                 }
+                self.lines_aggregated += lines.len() as u64;
             }
-            self.lines_aggregated += lines.len() as u64;
         }
+        // SAFETY: all `total` bytes were initialized above.
+        unsafe { out.set_len(total) };
         self.payload_bytes_out += total as u64;
         total
     }
@@ -290,15 +301,12 @@ impl Disaggregator {
             residents.len()
         );
         let n = self.reg.dirty_bytes() as usize;
+        let slab = lines_as_bytes_mut(residents);
         if !self.reg.active() || n == 4 {
-            for (src, resident) in payload.chunks_exact(LINE_BYTES).zip(residents.iter_mut()) {
-                resident.bytes_mut().copy_from_slice(src);
-            }
+            slab.copy_from_slice(payload);
         } else {
             if n > 0 {
-                for (src, resident) in payload.chunks_exact(per).zip(residents.iter_mut()) {
-                    unpack_merge_line(src, n, resident);
-                }
+                kernels::merge_run(payload, n, slab);
             }
             self.extra_reads += residents.len() as u64;
         }
@@ -326,11 +334,7 @@ impl Disaggregator {
             slab.copy_from_slice(payload);
         } else {
             if n > 0 {
-                for (src, resident) in
-                    payload.chunks_exact(per).zip(slab.chunks_exact_mut(LINE_BYTES))
-                {
-                    unpack_merge_bytes(src, n, resident);
-                }
+                kernels::merge_run(payload, n, slab);
             }
             self.extra_reads += lines as u64;
         }
@@ -372,107 +376,368 @@ pub struct DisaggregatorSnapshot {
     pub extra_reads: u64,
 }
 
-/// Pack the low `n` (1..=3) bytes of each FP32 word into a dense payload
-/// using whole-`u32` loads and shift/OR combining — four payload bytes are
-/// produced per store instead of one.
+/// Reset-shift-OR merge of one packed payload into a resident line, the
+/// word-level inverse of the pack kernel.
 #[inline]
-fn pack_line(line: &LineData, n: usize, out: &mut [u8]) {
-    debug_assert!((1..=3).contains(&n));
-    debug_assert_eq!(out.len(), WORDS_PER_LINE * n);
-    match n {
-        1 => {
-            // 4 words -> 1 output u32 (one LSB each).
-            for (j, dst) in out.chunks_exact_mut(WORD_BYTES).enumerate() {
-                let w = j * 4;
-                let v = (line.word(w) & 0xFF)
-                    | ((line.word(w + 1) & 0xFF) << 8)
-                    | ((line.word(w + 2) & 0xFF) << 16)
-                    | (line.word(w + 3) << 24);
-                dst.copy_from_slice(&v.to_le_bytes());
+fn unpack_merge_line(payload: &[u8], n: usize, resident: &mut LineData) {
+    kernels::merge_run(payload, n, resident.bytes_mut());
+}
+
+/// The 64-byte-chunked pack/merge kernels.
+///
+/// Each kernel consumes and produces whole `u64` lanes: a 64-byte line is
+/// eight `u64` loads, and every output `u64` is assembled with shift/OR
+/// swizzles from those lanes. The loop bodies are branch-free with
+/// independent lanes, which LLVM autovectorizes on any SSE2+/NEON target
+/// (an optional lane-explicit `std::simd` layout of the same swizzles
+/// lives in [`super::simd`] behind the nightly-only `portable-simd`
+/// feature). The pre-vectorization word-at-a-time kernels are kept
+/// verbatim in [`super::scalar`] as the proptest oracle, exactly as
+/// `refmaps` keeps the hash-map arenas.
+///
+/// All loads/stores go through `u64::{from,to}_le_bytes` on byte slices,
+/// so neither the payload nor the resident region needs any alignment —
+/// wire buffers slice at arbitrary offsets.
+pub mod kernels {
+    use teco_mem::line::{LINE_BYTES, WORDS_PER_LINE};
+
+    #[inline(always)]
+    fn ld(b: &[u8]) -> u64 {
+        u64::from_le_bytes(b.try_into().expect("8-byte chunk"))
+    }
+    #[inline(always)]
+    fn st(b: &mut [u8], v: u64) {
+        b.copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Pack the low `n` (1..=3) bytes of each FP32 word of a run of whole
+    /// lines into a dense payload. `src.len()` must be a multiple of 64
+    /// and `dst.len()` exactly `lines * 16 * n`.
+    pub fn pack_run(src: &[u8], n: usize, dst: &mut [u8]) {
+        assert!((1..=3).contains(&n), "pack kernel handles n in 1..=3, got {n}");
+        assert_eq!(src.len() % LINE_BYTES, 0, "source must be whole lines");
+        let per = WORDS_PER_LINE * n;
+        assert_eq!(dst.len(), (src.len() / LINE_BYTES) * per, "payload size mismatch");
+        match n {
+            1 => {
+                for (s, d) in src.chunks_exact(LINE_BYTES).zip(dst.chunks_exact_mut(per)) {
+                    pack1(s, d);
+                }
+            }
+            2 => {
+                for (s, d) in src.chunks_exact(LINE_BYTES).zip(dst.chunks_exact_mut(per)) {
+                    pack2(s, d);
+                }
+            }
+            _ => {
+                for (s, d) in src.chunks_exact(LINE_BYTES).zip(dst.chunks_exact_mut(per)) {
+                    pack3(s, d);
+                }
             }
         }
-        2 => {
-            // 2 words -> 1 output u32 (low half-word each).
-            for (j, dst) in out.chunks_exact_mut(WORD_BYTES).enumerate() {
-                let w = j * 2;
-                let v = (line.word(w) & 0xFFFF) | (line.word(w + 1) << 16);
-                dst.copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reset-shift-OR merge of a packed payload into a run of whole
+    /// resident lines (§V-C), the exact inverse placement of
+    /// [`pack_run`]. `resident.len()` must be a multiple of 64 and
+    /// `payload.len()` exactly `lines * 16 * n`.
+    pub fn merge_run(payload: &[u8], n: usize, resident: &mut [u8]) {
+        assert!((1..=3).contains(&n), "merge kernel handles n in 1..=3, got {n}");
+        assert_eq!(resident.len() % LINE_BYTES, 0, "resident must be whole lines");
+        let per = WORDS_PER_LINE * n;
+        assert_eq!(payload.len(), (resident.len() / LINE_BYTES) * per, "payload size mismatch");
+        match n {
+            1 => {
+                for (p, r) in payload.chunks_exact(per).zip(resident.chunks_exact_mut(LINE_BYTES)) {
+                    merge1(p, r);
+                }
+            }
+            2 => {
+                for (p, r) in payload.chunks_exact(per).zip(resident.chunks_exact_mut(LINE_BYTES)) {
+                    merge2(p, r);
+                }
+            }
+            _ => {
+                for (p, r) in payload.chunks_exact(per).zip(resident.chunks_exact_mut(LINE_BYTES)) {
+                    merge3(p, r);
+                }
             }
         }
-        _ => {
-            // 4 words -> 3 output u32s (low 3 bytes each, densely packed).
-            for (j, dst) in out.chunks_exact_mut(3 * WORD_BYTES).enumerate() {
-                let w = j * 4;
-                let (w0, w1, w2, w3) =
-                    (line.word(w), line.word(w + 1), line.word(w + 2), line.word(w + 3));
-                let v0 = (w0 & 0x00FF_FFFF) | (w1 << 24);
-                let v1 = ((w1 >> 8) & 0xFFFF) | (w2 << 16);
-                let v2 = ((w2 >> 16) & 0xFF) | (w3 << 8);
-                dst[0..4].copy_from_slice(&v0.to_le_bytes());
-                dst[4..8].copy_from_slice(&v1.to_le_bytes());
-                dst[8..12].copy_from_slice(&v2.to_le_bytes());
+    }
+
+    // Each source u64 holds two adjacent FP32 words (2j, 2j+1); the lane
+    // helpers below gather the low 1/2/3 bytes of both words into the low
+    // bits of one u64, and the per-line kernels concatenate those lanes.
+
+    /// One line, n = 1: 64 B → 16 B (two output u64s of sixteen LSBs).
+    #[inline(always)]
+    fn pack1(line: &[u8], out: &mut [u8]) {
+        let lsb2 = |j: usize| {
+            let x = ld(&line[8 * j..8 * j + 8]);
+            (x & 0xFF) | ((x >> 24) & 0xFF00)
+        };
+        st(&mut out[..8], lsb2(0) | (lsb2(1) << 16) | (lsb2(2) << 32) | (lsb2(3) << 48));
+        st(&mut out[8..], lsb2(4) | (lsb2(5) << 16) | (lsb2(6) << 32) | (lsb2(7) << 48));
+    }
+
+    /// One line, n = 2: 64 B → 32 B (four output u64s of low half-words).
+    #[inline(always)]
+    fn pack2(line: &[u8], out: &mut [u8]) {
+        let half2 = |j: usize| {
+            let x = ld(&line[8 * j..8 * j + 8]);
+            (x & 0xFFFF) | ((x >> 16) & 0xFFFF_0000)
+        };
+        for j in 0..4 {
+            st(&mut out[8 * j..8 * j + 8], half2(2 * j) | (half2(2 * j + 1) << 32));
+        }
+    }
+
+    /// One line, n = 3: 64 B → 48 B. Each source u64 yields one 48-bit
+    /// lane (low 3 bytes of both words); four lanes pack into three
+    /// output u64s, done twice per line.
+    #[inline(always)]
+    fn pack3(line: &[u8], out: &mut [u8]) {
+        let t = |j: usize| {
+            let x = ld(&line[8 * j..8 * j + 8]);
+            (x & 0x00FF_FFFF) | ((x >> 8) & 0x0000_FFFF_FF00_0000)
+        };
+        for h in 0..2 {
+            let (t0, t1, t2, t3) = (t(4 * h), t(4 * h + 1), t(4 * h + 2), t(4 * h + 3));
+            let base = 24 * h;
+            st(&mut out[base..base + 8], t0 | (t1 << 48));
+            st(&mut out[base + 8..base + 16], (t1 >> 16) | (t2 << 32));
+            st(&mut out[base + 16..base + 24], (t2 >> 32) | (t3 << 16));
+        }
+    }
+
+    /// One line, n = 1: keep the high 3 bytes of every resident word, OR
+    /// in one payload byte per word.
+    #[inline(always)]
+    fn merge1(payload: &[u8], resident: &mut [u8]) {
+        const KEEP: u64 = 0xFFFF_FF00_FFFF_FF00;
+        for h in 0..2 {
+            let p = ld(&payload[8 * h..8 * h + 8]);
+            for i in 0..4 {
+                let ins = ((p >> (16 * i)) & 0xFF) | (((p >> (16 * i + 8)) & 0xFF) << 32);
+                let off = 32 * h + 8 * i;
+                let r = ld(&resident[off..off + 8]);
+                st(&mut resident[off..off + 8], (r & KEEP) | ins);
+            }
+        }
+    }
+
+    /// One line, n = 2: keep the high half of every resident word, OR in
+    /// one payload half-word per word.
+    #[inline(always)]
+    fn merge2(payload: &[u8], resident: &mut [u8]) {
+        const KEEP: u64 = 0xFFFF_0000_FFFF_0000;
+        for j in 0..4 {
+            let p = ld(&payload[8 * j..8 * j + 8]);
+            let lo = (p & 0xFFFF) | ((p & 0xFFFF_0000) << 16);
+            let hi = ((p >> 32) & 0xFFFF) | ((p >> 16) & 0x0000_FFFF_0000_0000);
+            let off = 16 * j;
+            let r0 = ld(&resident[off..off + 8]);
+            let r1 = ld(&resident[off + 8..off + 16]);
+            st(&mut resident[off..off + 8], (r0 & KEEP) | lo);
+            st(&mut resident[off + 8..off + 16], (r1 & KEEP) | hi);
+        }
+    }
+
+    /// One line, n = 3: reassemble the four 48-bit lanes of each
+    /// payload-u64 triple, keep the top byte of every resident word, OR
+    /// in the low 3 bytes.
+    #[inline(always)]
+    fn merge3(payload: &[u8], resident: &mut [u8]) {
+        const KEEP: u64 = 0xFF00_0000_FF00_0000;
+        const M48: u64 = 0xFFFF_FFFF_FFFF;
+        for h in 0..2 {
+            let base = 24 * h;
+            let o0 = ld(&payload[base..base + 8]);
+            let o1 = ld(&payload[base + 8..base + 16]);
+            let o2 = ld(&payload[base + 16..base + 24]);
+            let lanes = [
+                o0 & M48,
+                ((o0 >> 48) | (o1 << 16)) & M48,
+                ((o1 >> 32) | (o2 << 32)) & M48,
+                o2 >> 16,
+            ];
+            for (j, t) in lanes.into_iter().enumerate() {
+                let ins = (t & 0xFF_FFFF) | ((t >> 24) << 32);
+                let off = 32 * h + 8 * j;
+                let r = ld(&resident[off..off + 8]);
+                st(&mut resident[off..off + 8], (r & KEEP) | ins);
             }
         }
     }
 }
 
-/// Reset-shift-OR merge of one packed payload into a resident line, the
-/// word-level inverse of [`pack_line`].
-#[inline]
-fn unpack_merge_line(payload: &[u8], n: usize, resident: &mut LineData) {
-    unpack_merge_bytes(payload, n, resident.bytes_mut());
-}
+/// The pre-vectorization scalar kernels, kept **verbatim** as the oracle
+/// the proptest equivalence suite (and the same-run perf_smoke speedup
+/// gate) measures [`kernels`] against — the same pattern [`crate::refmaps`]
+/// uses for the arena rewrites. Nothing in the product path calls these.
+pub mod scalar {
+    use teco_mem::line::{LineData, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};
 
-/// Byte-slice core of [`unpack_merge_line`], so the merge can target raw
-/// arena memory (a 64-byte stride of the giant-cache data slab) without a
-/// `LineData` round trip.
-#[inline]
-fn unpack_merge_bytes(payload: &[u8], n: usize, resident: &mut [u8]) {
-    debug_assert!((1..=3).contains(&n));
-    debug_assert_eq!(payload.len(), WORDS_PER_LINE * n);
-    debug_assert_eq!(resident.len(), LINE_BYTES);
-    let load = |chunk: &[u8]| u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
-    let word = |res: &[u8], w: usize| load(&res[w * WORD_BYTES..(w + 1) * WORD_BYTES]);
-    let set = |res: &mut [u8], w: usize, v: u32| {
-        res[w * WORD_BYTES..(w + 1) * WORD_BYTES].copy_from_slice(&v.to_le_bytes())
-    };
-    match n {
-        1 => {
-            for (j, src) in payload.chunks_exact(WORD_BYTES).enumerate() {
-                let v = load(src);
-                let w = j * 4;
-                for b in 0..4 {
-                    let old = word(resident, w + b) & !0xFF;
-                    set(resident, w + b, old | ((v >> (8 * b)) & 0xFF));
+    /// Pack the low `n` (1..=3) bytes of each FP32 word into a dense payload
+    /// using whole-`u32` loads and shift/OR combining — four payload bytes are
+    /// produced per store instead of one.
+    #[inline]
+    pub fn pack_line(line: &LineData, n: usize, out: &mut [u8]) {
+        debug_assert!((1..=3).contains(&n));
+        debug_assert_eq!(out.len(), WORDS_PER_LINE * n);
+        match n {
+            1 => {
+                // 4 words -> 1 output u32 (one LSB each).
+                for (j, dst) in out.chunks_exact_mut(WORD_BYTES).enumerate() {
+                    let w = j * 4;
+                    let v = (line.word(w) & 0xFF)
+                        | ((line.word(w + 1) & 0xFF) << 8)
+                        | ((line.word(w + 2) & 0xFF) << 16)
+                        | (line.word(w + 3) << 24);
+                    dst.copy_from_slice(&v.to_le_bytes());
+                }
+            }
+            2 => {
+                // 2 words -> 1 output u32 (low half-word each).
+                for (j, dst) in out.chunks_exact_mut(WORD_BYTES).enumerate() {
+                    let w = j * 2;
+                    let v = (line.word(w) & 0xFFFF) | (line.word(w + 1) << 16);
+                    dst.copy_from_slice(&v.to_le_bytes());
+                }
+            }
+            _ => {
+                // 4 words -> 3 output u32s (low 3 bytes each, densely packed).
+                for (j, dst) in out.chunks_exact_mut(3 * WORD_BYTES).enumerate() {
+                    let w = j * 4;
+                    let (w0, w1, w2, w3) =
+                        (line.word(w), line.word(w + 1), line.word(w + 2), line.word(w + 3));
+                    let v0 = (w0 & 0x00FF_FFFF) | (w1 << 24);
+                    let v1 = ((w1 >> 8) & 0xFFFF) | (w2 << 16);
+                    let v2 = ((w2 >> 16) & 0xFF) | (w3 << 8);
+                    dst[0..4].copy_from_slice(&v0.to_le_bytes());
+                    dst[4..8].copy_from_slice(&v1.to_le_bytes());
+                    dst[8..12].copy_from_slice(&v2.to_le_bytes());
                 }
             }
         }
-        2 => {
-            for (j, src) in payload.chunks_exact(WORD_BYTES).enumerate() {
-                let v = load(src);
-                let w = j * 2;
-                set(resident, w, (word(resident, w) & !0xFFFF) | (v & 0xFFFF));
-                set(resident, w + 1, (word(resident, w + 1) & !0xFFFF) | (v >> 16));
+    }
+
+    /// The pre-fusion Fletcher-16: the second-pass byte loop that
+    /// [`super::Aggregator::aggregate_into_checksummed`] used to run over
+    /// the packed payload, with both `% 255` folds paid on every byte.
+    /// [`crate::fault::line_checksum`] defers the folds across 4 KiB
+    /// blocks; this oracle pins the reference semantics the fused path
+    /// must match.
+    pub fn line_checksum_bytewise(payload: &[u8]) -> u16 {
+        let (mut a, mut b) = (0u16, 0u16);
+        for &x in payload {
+            a = (a + x as u16) % 255;
+            b = (b + a) % 255;
+        }
+        (b << 8) | a
+    }
+
+    /// Byte-slice reset-shift-OR merge, so the merge can target raw
+    /// arena memory (a 64-byte stride of the giant-cache data slab) without a
+    /// `LineData` round trip.
+    #[inline]
+    pub fn unpack_merge_bytes(payload: &[u8], n: usize, resident: &mut [u8]) {
+        debug_assert!((1..=3).contains(&n));
+        debug_assert_eq!(payload.len(), WORDS_PER_LINE * n);
+        debug_assert_eq!(resident.len(), LINE_BYTES);
+        let load = |chunk: &[u8]| u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        let word = |res: &[u8], w: usize| load(&res[w * WORD_BYTES..(w + 1) * WORD_BYTES]);
+        let set = |res: &mut [u8], w: usize, v: u32| {
+            res[w * WORD_BYTES..(w + 1) * WORD_BYTES].copy_from_slice(&v.to_le_bytes())
+        };
+        match n {
+            1 => {
+                for (j, src) in payload.chunks_exact(WORD_BYTES).enumerate() {
+                    let v = load(src);
+                    let w = j * 4;
+                    for b in 0..4 {
+                        let old = word(resident, w + b) & !0xFF;
+                        set(resident, w + b, old | ((v >> (8 * b)) & 0xFF));
+                    }
+                }
+            }
+            2 => {
+                for (j, src) in payload.chunks_exact(WORD_BYTES).enumerate() {
+                    let v = load(src);
+                    let w = j * 2;
+                    set(resident, w, (word(resident, w) & !0xFFFF) | (v & 0xFFFF));
+                    set(resident, w + 1, (word(resident, w + 1) & !0xFFFF) | (v >> 16));
+                }
+            }
+            _ => {
+                for (j, src) in payload.chunks_exact(3 * WORD_BYTES).enumerate() {
+                    let (v0, v1, v2) = (load(&src[0..4]), load(&src[4..8]), load(&src[8..12]));
+                    let w = j * 4;
+                    let keep = 0xFF00_0000u32;
+                    set(resident, w, (word(resident, w) & keep) | (v0 & 0x00FF_FFFF));
+                    set(
+                        resident,
+                        w + 1,
+                        (word(resident, w + 1) & keep) | (v0 >> 24) | ((v1 & 0xFFFF) << 8),
+                    );
+                    set(
+                        resident,
+                        w + 2,
+                        (word(resident, w + 2) & keep) | (v1 >> 16) | ((v2 & 0xFF) << 16),
+                    );
+                    set(resident, w + 3, (word(resident, w + 3) & keep) | (v2 >> 8));
+                }
             }
         }
-        _ => {
-            for (j, src) in payload.chunks_exact(3 * WORD_BYTES).enumerate() {
-                let (v0, v1, v2) = (load(&src[0..4]), load(&src[4..8]), load(&src[8..12]));
-                let w = j * 4;
-                let keep = 0xFF00_0000u32;
-                set(resident, w, (word(resident, w) & keep) | (v0 & 0x00FF_FFFF));
-                set(
-                    resident,
-                    w + 1,
-                    (word(resident, w + 1) & keep) | (v0 >> 24) | ((v1 & 0xFFFF) << 8),
-                );
-                set(
-                    resident,
-                    w + 2,
-                    (word(resident, w + 2) & keep) | (v1 >> 16) | ((v2 & 0xFF) << 16),
-                );
-                set(resident, w + 3, (word(resident, w + 3) & keep) | (v2 >> 8));
+    }
+}
+
+/// Lane-explicit `std::simd` layout of the pack/merge swizzles.
+///
+/// Nightly-only (`--features portable-simd`); the shipped path is
+/// [`kernels`], whose scalar-`u64` swizzles LLVM already autovectorizes.
+/// This module exists to pin the intended lane layout explicitly for
+/// targets where autovectorization misfires.
+#[cfg(feature = "portable-simd")]
+pub mod simd {
+    use std::simd::{num::SimdUint, u64x4};
+    use teco_mem::line::{LINE_BYTES, WORDS_PER_LINE};
+
+    /// [`super::kernels::pack_run`] for `n = 2` with explicit 4×u64 lanes:
+    /// each vector lane gathers the low half-words of two adjacent FP32
+    /// words, and two gathered vectors interleave into one output vector.
+    pub fn pack_run_2(src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len() % LINE_BYTES, 0, "source must be whole lines");
+        let per = WORDS_PER_LINE * 2;
+        assert_eq!(dst.len(), (src.len() / LINE_BYTES) * per, "payload size mismatch");
+        for (s, d) in src.chunks_exact(LINE_BYTES).zip(dst.chunks_exact_mut(per)) {
+            let load = |o: usize| {
+                u64x4::from_array([
+                    u64::from_le_bytes(s[o..o + 8].try_into().unwrap()),
+                    u64::from_le_bytes(s[o + 16..o + 24].try_into().unwrap()),
+                    u64::from_le_bytes(s[o + 32..o + 40].try_into().unwrap()),
+                    u64::from_le_bytes(s[o + 48..o + 56].try_into().unwrap()),
+                ])
+            };
+            let half2 =
+                |x: u64x4| (x & u64x4::splat(0xFFFF)) | ((x >> 16) & u64x4::splat(0xFFFF_0000));
+            let v = half2(load(0)) | (half2(load(8)) << 32);
+            for (lane, chunk) in v.to_array().into_iter().zip(d.chunks_exact_mut(8)) {
+                chunk.copy_from_slice(&lane.to_le_bytes());
             }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn matches_autovectorized_kernel() {
+            let src: Vec<u8> = (0..4 * 64).map(|i| (i * 37 + 11) as u8).collect();
+            let mut a = vec![0u8; 4 * 32];
+            let mut b = vec![0u8; 4 * 32];
+            super::pack_run_2(&src, &mut a);
+            super::super::kernels::pack_run(&src, 2, &mut b);
+            assert_eq!(a, b);
         }
     }
 }
@@ -784,6 +1049,77 @@ mod tests {
                 assert_eq!(fused.payload_bytes_out(), plain.payload_bytes_out());
                 assert_eq!(fused.lines_aggregated(), plain.lines_aggregated());
                 assert_eq!(fused.lines_bypassed(), plain.lines_bypassed());
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_aggregate_n0_pins_empty_output() {
+        // With the register active and dirty_bytes == 0 the per-line
+        // payload is zero bytes: the wire buffer must come back empty
+        // (cleared), the lines still count as aggregated, and a dirty
+        // prior buffer must not leak through.
+        let lines: Vec<LineData> = (0..4).map(|i| line_of_words(|w| (i * 16 + w) as u32)).collect();
+        let mut agg = Aggregator::new();
+        agg.set_register(DbaRegister::new(true, 0));
+        let mut wire = vec![0xAB; 99];
+        let total = agg.aggregate_lines(&lines, &mut wire);
+        assert_eq!(total, 0);
+        assert!(wire.is_empty());
+        assert_eq!(agg.lines_aggregated(), 4);
+        assert_eq!(agg.lines_bypassed(), 0);
+        assert_eq!(agg.payload_bytes_out(), 0);
+    }
+
+    #[test]
+    fn bulk_aggregate_reuses_dirty_buffers_without_zero_fill_artifacts() {
+        // The bulk path writes into spare capacity instead of zero-filling;
+        // a previously larger, non-zero buffer must still come back holding
+        // exactly the packed payload.
+        let lines: Vec<LineData> =
+            (0..3).map(|i| line_of_words(|w| 0xA5A5_0000 | (i * 16 + w) as u32)).collect();
+        for n in 0..=4u8 {
+            let reg = DbaRegister::new(true, n);
+            let mut agg = Aggregator::new();
+            let mut clean = Aggregator::new();
+            agg.set_register(reg);
+            clean.set_register(reg);
+            let mut dirty = vec![0xEE; 1024];
+            agg.aggregate_lines(&lines, &mut dirty);
+            let mut fresh = Vec::new();
+            clean.aggregate_lines(&lines, &mut fresh);
+            assert_eq!(dirty, fresh, "n={n}");
+        }
+    }
+
+    #[test]
+    fn chunked_kernels_match_scalar_oracle_on_fixed_vectors() {
+        // Spot-check the u64 kernels against the verbatim scalar oracle on
+        // a handful of adversarial byte patterns; the proptest equivalence
+        // suite (tests/dba_kernel_equivalence.rs) covers the random space.
+        let patterns: Vec<LineData> = vec![
+            line_of_words(|_| 0),
+            line_of_words(|_| u32::MAX),
+            line_of_words(|w| 1u32 << (w % 32)),
+            line_of_words(|w| 0x8040_2010u32.rotate_left(w as u32)),
+            line_of_words(|w| (w as u32).wrapping_mul(0x9E37_79B9)),
+        ];
+        for line in &patterns {
+            for n in 1..=3usize {
+                let per = WORDS_PER_LINE * n;
+                let mut fast = vec![0u8; per];
+                let mut slow = vec![0u8; per];
+                kernels::pack_run(line.bytes(), n, &mut fast);
+                scalar::pack_line(line, n, &mut slow);
+                assert_eq!(fast, slow, "pack n={n} line={line:?}");
+
+                for stale in &patterns {
+                    let mut fast_res = *stale.bytes();
+                    let mut slow_res = *stale.bytes();
+                    kernels::merge_run(&fast, n, &mut fast_res);
+                    scalar::unpack_merge_bytes(&slow, n, &mut slow_res);
+                    assert_eq!(fast_res, slow_res, "merge n={n}");
+                }
             }
         }
     }

@@ -208,11 +208,24 @@ pub struct FaultInjectorSnapshot {
 /// Fletcher-16 over a payload — the per-line DBA checksum carried beside
 /// each aggregated payload. Detects all single-byte corruptions (which is
 /// exactly what [`FaultInjector::corrupt_payload`] injects).
+///
+/// This is the one shared implementation: the Aggregator's fused
+/// checksum path (`Aggregator::aggregate_into_checksummed`) and the link's
+/// verification both call it. The `% 255` folds are deferred across a
+/// block instead of paid twice per byte: with both sums entering a block
+/// below 255, after `m` bytes `a ≤ 254 + 255·m` and
+/// `b ≤ 254 + 254·m + 255·m·(m+1)/2`, which stays under `u32::MAX` for
+/// `m = 4096`.
 pub fn line_checksum(payload: &[u8]) -> u16 {
+    const BLOCK: usize = 4096;
     let (mut a, mut b) = (0u32, 0u32);
-    for &x in payload {
-        a = (a + x as u32) % 255;
-        b = (b + a) % 255;
+    for block in payload.chunks(BLOCK) {
+        for &x in block {
+            a += x as u32;
+            b += a;
+        }
+        a %= 255;
+        b %= 255;
     }
     ((b << 8) | a) as u16
 }
@@ -364,6 +377,33 @@ mod tests {
         // Classic test vector: "abcde" → 0xC8F0.
         assert_eq!(line_checksum(b"abcde"), 0xC8F0);
         assert_eq!(line_checksum(&[]), 0);
+    }
+
+    #[test]
+    fn fletcher16_deferred_fold_matches_per_byte_reference() {
+        // The shipped implementation defers `% 255` across 4096-byte
+        // blocks; it must agree with the textbook per-byte form at every
+        // length around the block boundary (and well past it).
+        let naive = |p: &[u8]| -> u16 {
+            let (mut a, mut b) = (0u32, 0u32);
+            for &x in p {
+                a = (a + x as u32) % 255;
+                b = (b + a) % 255;
+            }
+            ((b << 8) | a) as u16
+        };
+        let mut buf = Vec::new();
+        let mut state = 0x243F_6A88u32;
+        for _ in 0..3 * 4096 + 7 {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            buf.push((state >> 24) as u8);
+        }
+        for len in [0usize, 1, 5, 32, 64, 4095, 4096, 4097, 8192, buf.len()] {
+            assert_eq!(line_checksum(&buf[..len]), naive(&buf[..len]), "len {len}");
+        }
+        // Worst-case bytes (all 0xFF) cannot overflow the deferred sums.
+        let ff = vec![0xFFu8; 2 * 4096 + 1];
+        assert_eq!(line_checksum(&ff), naive(&ff));
     }
 
     #[test]

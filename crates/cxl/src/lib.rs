@@ -1,3 +1,4 @@
+#![cfg_attr(feature = "portable-simd", feature(portable_simd))]
 //! # teco-cxl — the CXL interconnect with TECO's extensions
 //!
 //! This crate implements the hardware side of the paper's contribution:
@@ -23,7 +24,11 @@
 //!   checks walked at fence points when a session opts in;
 //! - [`arbiter`]: the shared host-DRAM budget arbitrated round-robin across
 //!   the devices of a multi-accelerator cluster, with update-mode broadcast
-//!   fan-out accounting.
+//!   fan-out accounting;
+//! - [`shard`]: the region-sharded coherence fabric — the engine + snoop
+//!   filter split block-cyclically across worker shards with a
+//!   deterministic `(time, seq)` merge, snapshot-byte-identical to the
+//!   serial engine.
 
 pub mod arbiter;
 pub mod audit;
@@ -39,6 +44,7 @@ pub mod giant_cache;
 pub mod link;
 pub mod packet;
 pub mod refmaps;
+pub mod shard;
 pub mod snoop;
 
 pub use arbiter::{HostAccount, HostLinkArbiter, HostLinkArbiterSnapshot};
@@ -70,6 +76,7 @@ pub use giant_cache::{GiantCache, GiantCacheError, GiantCacheSnapshot};
 pub use link::{CxlLink, CxlLinkSnapshot, Direction, LinkError, TransferOutcome};
 pub use packet::{wire_bytes_for_lines, CxlPacket, Opcode, HEADER_BYTES, MAX_PAYLOAD_BYTES};
 pub use refmaps::{HashCoherenceEngine, HashGiantCache, HashSnoopFilter};
+pub use shard::{CoherenceFabric, ShardedCoherence, PARALLEL_BATCH_LINES, SHARD_BLOCK_LINES};
 pub use snoop::{
     full_directory_bytes, SnoopFilter, SnoopFilterSnapshot, SnoopStats, BYTES_PER_ENTRY,
 };

@@ -1,0 +1,910 @@
+//! Region-sharded coherence: the [`CoherenceEngine`] + [`SnoopFilter`]
+//! pair split across worker shards with a deterministic `(time, seq)`
+//! merge, behind the [`CoherenceFabric`] front that sessions hold.
+//!
+//! ## Sharding scheme
+//!
+//! Slot space (the dense arena index of registered regions, and the raw
+//! line index for spillover addresses) is block-cyclic over
+//! [`SHARD_BLOCK_LINES`]-line blocks: block `b` belongs to shard
+//! `b % workers`. Every shard registers *all* regions, so all shards share
+//! one slot numbering and any [`LineSlot`] resolved against one shard is
+//! valid on every other. Each coherence event is applied on the owner
+//! shard of its line, in the line's program order — per-line MESI
+//! transitions depend only on that line's own event history, so ownership
+//! routing reproduces the serial engine state bit-exactly.
+//!
+//! ## The deterministic `(time, seq)` merge
+//!
+//! Bulk runs ([`ShardedCoherence::write_run_accounted`]) tag every
+//! per-line event with a global sequence number before scattering the
+//! events into per-shard queues. Workers drain their queues independently
+//! (in ascending `seq`, since the scatter preserves it) and record a log
+//! of `(seq, snoop-entry delta)` outcomes; the merge step sorts the
+//! concatenated logs by `seq` and replays them, reconstructing the exact
+//! serial trajectory of the global snoop occupancy and its high-water
+//! mark. All remaining cross-line state is associative (per-opcode counts
+//! and per-direction traffic sum; touched bitmaps union over disjoint
+//! owner sets), so the merged observable state — including the serialized
+//! [`CoherenceSnapshot`] — is byte-identical to the serial engine's. The
+//! golden suite in `tests/sharded_coherence_golden.rs` enforces this for
+//! worker counts {1, 2, 4} over fault-free and fault-injected sessions.
+//!
+//! ## Snapshots
+//!
+//! [`ShardedCoherence::snapshot`] merges the per-shard snapshots back into
+//! the *serial* layout, and [`ShardedCoherence::from_snapshot`] splits a
+//! serial snapshot into per-shard views (chunks masked to owned blocks,
+//! counters on shard 0). Session checkpoints therefore never depend on the
+//! worker count: a sharded session snapshots to the same bytes as a serial
+//! one, and either can restore the other.
+
+use crate::coherence::{
+    Agent, CoherenceEngine, CoherenceSnapshot, LineState, ProtocolMode, TrafficStats,
+};
+use crate::packet::{CxlPacket, Opcode};
+use crate::snoop::{SnoopFilterSnapshot, SnoopStats, BYTES_PER_ENTRY};
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use teco_mem::{Addr, LineSlot, CHUNK_LINES};
+
+/// Lines per ownership block. Must divide [`CHUNK_LINES`] and be a
+/// multiple of 64 (one bitmap word) so chunk and bitmap-word masking stay
+/// block-aligned.
+pub const SHARD_BLOCK_LINES: usize = 1024;
+
+/// Minimum run length before [`ShardedCoherence::write_run_accounted`]
+/// spawns worker threads; shorter runs drain the same per-shard queues
+/// serially (identical results by construction, no thread overhead).
+pub const PARALLEL_BATCH_LINES: usize = 4096;
+
+const _: () = assert!(CHUNK_LINES.is_multiple_of(SHARD_BLOCK_LINES));
+const _: () = assert!(SHARD_BLOCK_LINES.is_multiple_of(64));
+
+#[inline]
+fn owner_of_index(i: usize, workers: usize) -> usize {
+    (i / SHARD_BLOCK_LINES) % workers
+}
+
+#[inline]
+fn owner_of_line(line: u64, workers: usize) -> usize {
+    ((line / SHARD_BLOCK_LINES as u64) % workers as u64) as usize
+}
+
+/// Mask one dense chunk to shard `si`: owned blocks keep their values,
+/// foreign blocks become `fill`.
+fn mask_chunk<T: Copy>(chunk_index: u64, vals: &[T], fill: T, si: usize, workers: usize) -> Vec<T> {
+    let base = chunk_index as usize * CHUNK_LINES;
+    let mut out = vec![fill; vals.len()];
+    let mut i = 0;
+    while i < vals.len() {
+        let take = (SHARD_BLOCK_LINES - (base + i) % SHARD_BLOCK_LINES).min(vals.len() - i);
+        if owner_of_index(base + i, workers) == si {
+            out[i..i + take].copy_from_slice(&vals[i..i + take]);
+        }
+        i += take;
+    }
+    out
+}
+
+/// Copy shard `si`'s owned blocks of a chunk into the merged chunk.
+fn copy_owned_blocks<T: Copy>(
+    chunk_index: u64,
+    vals: &[T],
+    dst: &mut [T],
+    si: usize,
+    workers: usize,
+) {
+    let base = chunk_index as usize * CHUNK_LINES;
+    let mut i = 0;
+    while i < vals.len() {
+        let take = (SHARD_BLOCK_LINES - (base + i) % SHARD_BLOCK_LINES).min(vals.len() - i);
+        if owner_of_index(base + i, workers) == si {
+            dst[i..i + take].copy_from_slice(&vals[i..i + take]);
+        }
+        i += take;
+    }
+}
+
+/// Mask bitmap words to shard `si`. One word covers 64 lines and
+/// `SHARD_BLOCK_LINES` is a multiple of 64, so each word has one owner.
+fn mask_words(words: &[u64], si: usize, workers: usize) -> Vec<u64> {
+    words
+        .iter()
+        .enumerate()
+        .map(|(w, &v)| if owner_of_index(w * 64, workers) == si { v } else { 0 })
+        .collect()
+}
+
+fn add_traffic(a: TrafficStats, b: TrafficStats) -> TrafficStats {
+    TrafficStats {
+        control_bytes: a.control_bytes + b.control_bytes,
+        data_bytes: a.data_bytes + b.data_bytes,
+        packets: a.packets + b.packets,
+    }
+}
+
+/// The per-shard view of a serial snapshot: chunks and bitmaps masked to
+/// the shard's owned blocks, global counters (traffic, opcode counts) on
+/// shard 0 only so sums reproduce the serial totals.
+fn shard_view(s: &CoherenceSnapshot, si: usize, workers: usize) -> CoherenceSnapshot {
+    CoherenceSnapshot {
+        mode: s.mode,
+        spans: s.spans.clone(),
+        dense_len: s.dense_len,
+        dense_chunks: s
+            .dense_chunks
+            .iter()
+            .map(|(c, v)| (*c, mask_chunk(*c, v, s.initial, si, workers)))
+            .collect(),
+        touched_lines: s.touched_lines,
+        touched_words: mask_words(&s.touched_words, si, workers),
+        spill: s.spill.iter().filter(|&&(l, _)| owner_of_line(l, workers) == si).copied().collect(),
+        initial: s.initial,
+        msg_counts: if si == 0 { s.msg_counts.clone() } else { vec![0; s.msg_counts.len()] },
+        to_device: if si == 0 { s.to_device } else { TrafficStats::default() },
+        to_host: if si == 0 { s.to_host } else { TrafficStats::default() },
+        snoop: SnoopFilterSnapshot {
+            spans: s.snoop.spans.clone(),
+            dense_len: s.snoop.dense_len,
+            dense_chunks: s
+                .snoop
+                .dense_chunks
+                .iter()
+                .map(|(c, v)| (*c, mask_chunk(*c, v, 0u8, si, workers)))
+                .collect(),
+            occupied_lines: s.snoop.occupied_lines,
+            occupied_words: mask_words(&s.snoop.occupied_words, si, workers),
+            spill: s
+                .snoop
+                .spill
+                .iter()
+                .filter(|&&(l, _)| owner_of_line(l, workers) == si)
+                .copied()
+                .collect(),
+            // Peaks are tracked globally by the fabric; per-shard peaks are
+            // never observed.
+            peak_entries: 0,
+        },
+        // Poison rejections are counted at the fabric, not per shard.
+        poisoned_rejects: 0,
+    }
+}
+
+/// A [`CoherenceEngine`] sharded block-cyclically across workers. See the
+/// module docs for the ownership scheme and the determinism argument.
+#[derive(Debug, Clone)]
+pub struct ShardedCoherence {
+    shards: Vec<CoherenceEngine>,
+    workers: usize,
+    /// Global event sequence: the `seq` half of the `(time, seq)` merge
+    /// tag. Bulk runs reserve `n` consecutive values, one per line.
+    seq: u64,
+    /// Global snoop occupancy, maintained in serial event order.
+    snoop_entries: usize,
+    /// Global snoop high-water mark (the serial engine's `peak_entries`).
+    snoop_peak: usize,
+    /// Poison-containment counter (fabric-global, never per shard).
+    poisoned_rejects: u64,
+    /// The slab fill of the serial engine being emulated: what an
+    /// untouched slot of a freshly materialized chunk holds. Mirrors
+    /// `CoherenceEngine::restore`, which fills with the snapshot's
+    /// `initial`.
+    fill: LineState,
+}
+
+impl ShardedCoherence {
+    /// Split a serial snapshot into `workers` shards. `workers == 1` is
+    /// legal (one shard, all routing trivial) and used by the golden tests
+    /// as the degenerate case.
+    pub fn from_snapshot(s: &CoherenceSnapshot, workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one shard");
+        let shards: Vec<CoherenceEngine> =
+            (0..workers).map(|si| CoherenceEngine::restore(&shard_view(s, si, workers))).collect();
+        let snoop_entries = shards.iter().map(|e| e.snoop_filter().entries()).sum();
+        ShardedCoherence {
+            workers,
+            seq: 0,
+            snoop_entries,
+            snoop_peak: (s.snoop.peak_entries as usize).max(snoop_entries),
+            poisoned_rejects: s.poisoned_rejects,
+            fill: s.initial,
+            shards,
+        }
+    }
+
+    /// Fresh sharded engine in `mode` (equivalent to sharding a fresh
+    /// serial engine's snapshot).
+    pub fn new(mode: ProtocolMode, workers: usize) -> Self {
+        Self::from_snapshot(&CoherenceEngine::new(mode).snapshot(), workers)
+    }
+
+    /// Number of shards.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Current protocol mode (identical across shards).
+    pub fn mode(&self) -> ProtocolMode {
+        self.shards[0].mode()
+    }
+
+    /// Switch modes on every shard.
+    pub fn set_mode(&mut self, mode: ProtocolMode) {
+        for s in &mut self.shards {
+            s.set_mode(mode);
+        }
+    }
+
+    /// Register a region on every shard, keeping slot numbering identical
+    /// across the fabric.
+    pub fn register_region(&mut self, base: Addr, bytes: u64) {
+        for s in &mut self.shards {
+            s.register_region(base, bytes);
+        }
+    }
+
+    /// Resolve the line containing `addr` to its (fabric-wide) slot.
+    #[inline]
+    pub fn resolve(&self, addr: Addr) -> LineSlot {
+        self.shards[0].resolve(addr)
+    }
+
+    /// Dense starting slot for an aligned `n`-line run inside one region.
+    #[inline]
+    pub fn resolve_run(&self, base: Addr, n: usize) -> Option<usize> {
+        self.shards[0].resolve_run(base, n)
+    }
+
+    #[inline]
+    fn owner_of(&self, slot: LineSlot) -> usize {
+        match slot {
+            LineSlot::Dense(i) => owner_of_index(i, self.workers),
+            LineSlot::Spill(line) => owner_of_line(line, self.workers),
+        }
+    }
+
+    /// Book one routed event: fold the owner shard's snoop-occupancy delta
+    /// into the global trajectory and advance the sequence counter.
+    fn book_event(&mut self, si: usize, entries_before: usize) {
+        let after = self.shards[si].snoop_filter().entries();
+        debug_assert!(after >= entries_before, "engine ops never drop snoop entries");
+        self.snoop_entries += after - entries_before;
+        self.snoop_peak = self.snoop_peak.max(self.snoop_entries);
+        self.seq += 1;
+    }
+
+    /// [`CoherenceEngine::write`], routed to the owner shard.
+    pub fn write(
+        &mut self,
+        writer: Agent,
+        addr: Addr,
+        payload: &[u8],
+        aggregated: bool,
+    ) -> Vec<CxlPacket> {
+        let si = self.owner_of(self.resolve(addr));
+        let before = self.shards[si].snoop_filter().entries();
+        let out = self.shards[si].write(writer, addr, payload, aggregated);
+        self.book_event(si, before);
+        out
+    }
+
+    /// [`CoherenceEngine::write_accounted`], routed to the owner shard.
+    pub fn write_accounted(&mut self, writer: Agent, addr: Addr, payload_len: usize) -> bool {
+        self.write_accounted_at(writer, self.resolve(addr), payload_len)
+    }
+
+    /// [`CoherenceEngine::write_accounted_at`], routed to the owner shard.
+    pub fn write_accounted_at(
+        &mut self,
+        writer: Agent,
+        slot: LineSlot,
+        payload_len: usize,
+    ) -> bool {
+        let si = self.owner_of(slot);
+        let before = self.shards[si].snoop_filter().entries();
+        let pushed = self.shards[si].write_accounted_at(writer, slot, payload_len);
+        self.book_event(si, before);
+        pushed
+    }
+
+    /// The bulk path: one coherence write per line of an aligned dense run
+    /// `[dense_start, dense_start + n)`, executed on per-shard event
+    /// queues and merged back in `(time, seq)` order. Returns whether
+    /// every line pushed a `FlushData` (always, in update mode).
+    pub fn write_run_accounted(
+        &mut self,
+        writer: Agent,
+        dense_start: usize,
+        n: usize,
+        payload_len: usize,
+    ) -> bool {
+        fn drain(
+            eng: &mut CoherenceEngine,
+            queue: &[(u64, usize)],
+            writer: Agent,
+            payload_len: usize,
+        ) -> (Vec<(u64, usize)>, bool) {
+            let mut log = Vec::new();
+            let mut all = true;
+            for &(seq, slot) in queue {
+                let before = eng.snoop_filter().entries();
+                all &= eng.write_accounted_at(writer, LineSlot::Dense(slot), payload_len);
+                let after = eng.snoop_filter().entries();
+                if after != before {
+                    log.push((seq, after - before));
+                }
+            }
+            (log, all)
+        }
+
+        if n == 0 {
+            return true;
+        }
+        let w = self.workers;
+        let seq0 = self.seq;
+        self.seq += n as u64;
+        // Scatter: event k (write of slot dense_start + k) is tagged with
+        // global sequence seq0 + k and queued on its owner shard. Queues
+        // come out seq-ascending because the scatter walks in run order.
+        let mut queues: Vec<Vec<(u64, usize)>> = vec![Vec::new(); w];
+        for k in 0..n {
+            let slot = dense_start + k;
+            queues[owner_of_index(slot, w)].push((seq0 + k as u64, slot));
+        }
+        let results: Vec<(Vec<(u64, usize)>, bool)> = if w > 1 && n >= PARALLEL_BATCH_LINES {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .zip(queues.iter())
+                    .map(|(eng, q)| scope.spawn(move || drain(eng, q, writer, payload_len)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+            })
+        } else {
+            self.shards
+                .iter_mut()
+                .zip(queues.iter())
+                .map(|(eng, q)| drain(eng, q, writer, payload_len))
+                .collect()
+        };
+        // Merge: replay the per-shard delta logs in global (time, seq)
+        // order, reconstructing the serial snoop-occupancy trajectory and
+        // its high-water mark exactly.
+        let mut merged: Vec<(u64, usize)> =
+            results.iter().flat_map(|(log, _)| log.iter().copied()).collect();
+        merged.sort_unstable_by_key(|&(seq, _)| seq);
+        for (_seq, delta) in merged {
+            self.snoop_entries += delta;
+            self.snoop_peak = self.snoop_peak.max(self.snoop_entries);
+        }
+        debug_assert_eq!(
+            self.snoop_entries,
+            self.shards.iter().map(|e| e.snoop_filter().entries()).sum::<usize>(),
+            "replayed occupancy must match the shard sum"
+        );
+        results.iter().all(|&(_, all)| all)
+    }
+
+    /// [`CoherenceEngine::read`], routed to the owner shard.
+    pub fn read(&mut self, reader: Agent, addr: Addr, line_bytes: usize) -> Vec<CxlPacket> {
+        let si = self.owner_of(self.resolve(addr));
+        let before = self.shards[si].snoop_filter().entries();
+        let out = self.shards[si].read(reader, addr, line_bytes);
+        self.book_event(si, before);
+        out
+    }
+
+    /// [`CoherenceEngine::flush`]: each address on its owner shard, in the
+    /// caller's order, packets concatenated in that same order.
+    pub fn flush(&mut self, flusher: Agent, addrs: &[Addr], line_bytes: usize) -> Vec<CxlPacket> {
+        let mut out = Vec::new();
+        for &addr in addrs {
+            let si = self.owner_of(self.resolve(addr));
+            let before = self.shards[si].snoop_filter().entries();
+            out.extend(self.shards[si].flush(flusher, &[addr], line_bytes));
+            self.book_event(si, before);
+        }
+        out
+    }
+
+    /// [`CoherenceEngine::admit_data`] — fabric-global poison containment.
+    pub fn admit_data(&mut self, pkt: &CxlPacket) -> bool {
+        if pkt.poisoned {
+            self.poisoned_rejects += 1;
+            return false;
+        }
+        true
+    }
+
+    /// Inbound data packets rejected for carrying the poison bit.
+    pub fn poisoned_rejects(&self) -> u64 {
+        self.poisoned_rejects
+    }
+
+    /// State of a line (owner shard's view — the only shard that ever
+    /// touches it).
+    pub fn line_state(&self, addr: Addr) -> LineState {
+        self.shards[self.owner_of(self.resolve(addr))].line_state(addr)
+    }
+
+    /// Messages sent so far for an opcode, summed across shards.
+    pub fn msg_count(&self, op: Opcode) -> u64 {
+        self.shards.iter().map(|s| s.msg_count(op)).sum()
+    }
+
+    /// Lines with non-initial tracked state, summed across shards.
+    pub fn tracked_lines(&self) -> usize {
+        self.shards.iter().map(|s| s.tracked_lines()).sum()
+    }
+
+    /// Traffic toward the device, summed across shards.
+    pub fn to_device(&self) -> TrafficStats {
+        self.shards.iter().fold(TrafficStats::default(), |acc, s| add_traffic(acc, s.to_device))
+    }
+
+    /// Traffic toward the host, summed across shards.
+    pub fn to_host(&self) -> TrafficStats {
+        self.shards.iter().fold(TrafficStats::default(), |acc, s| add_traffic(acc, s.to_host))
+    }
+
+    /// Snoop directory stats with the fabric-global occupancy and peak.
+    pub fn snoop_stats(&self) -> SnoopStats {
+        let mut dense_entries = 0;
+        let mut spill_entries = 0;
+        for s in &self.shards {
+            let st = s.snoop_filter().stats();
+            dense_entries += st.dense_entries;
+            spill_entries += st.spill_entries;
+        }
+        SnoopStats {
+            entries: self.snoop_entries,
+            dense_entries,
+            spill_entries,
+            dense_slots: self.shards[0].snoop_filter().stats().dense_slots,
+            peak_entries: self.snoop_peak,
+            peak_bytes: self.snoop_peak as u64 * BYTES_PER_ENTRY,
+        }
+    }
+
+    /// Merge the shards back into the *serial* snapshot layout —
+    /// byte-identical to what the equivalent serial engine would produce.
+    pub fn snapshot(&self) -> CoherenceSnapshot {
+        let snaps: Vec<CoherenceSnapshot> = self.shards.iter().map(|s| s.snapshot()).collect();
+        let w = self.workers;
+        let base = &snaps[0];
+
+        let mut touched_words = base.touched_words.clone();
+        for s in &snaps[1..] {
+            for (a, &b) in touched_words.iter_mut().zip(&s.touched_words) {
+                *a |= b;
+            }
+        }
+        let mut occupied_words = base.snoop.occupied_words.clone();
+        for s in &snaps[1..] {
+            for (a, &b) in occupied_words.iter_mut().zip(&s.snoop.occupied_words) {
+                *a |= b;
+            }
+        }
+
+        // Dense chunks: union of residency; each slot's value comes from
+        // its owner shard, or the serial slab fill where the owner never
+        // materialized the chunk (exactly what the serial engine holds at
+        // untouched slots of a freshly materialized chunk).
+        let mut dense: BTreeMap<u64, Vec<LineState>> = BTreeMap::new();
+        for (si, s) in snaps.iter().enumerate() {
+            for (c, vals) in &s.dense_chunks {
+                let dst = dense.entry(*c).or_insert_with(|| vec![self.fill; vals.len()]);
+                copy_owned_blocks(*c, vals, dst, si, w);
+            }
+        }
+        let mut snoop_dense: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        for (si, s) in snaps.iter().enumerate() {
+            for (c, vals) in &s.snoop.dense_chunks {
+                let dst = snoop_dense.entry(*c).or_insert_with(|| vec![0u8; vals.len()]);
+                copy_owned_blocks(*c, vals, dst, si, w);
+            }
+        }
+
+        let mut spill: Vec<(u64, LineState)> =
+            snaps.iter().flat_map(|s| s.spill.iter().copied()).collect();
+        spill.sort_unstable_by_key(|&(k, _)| k);
+        let mut snoop_spill: Vec<(u64, u8)> =
+            snaps.iter().flat_map(|s| s.snoop.spill.iter().copied()).collect();
+        snoop_spill.sort_unstable();
+
+        let mut msg_counts = vec![0u64; base.msg_counts.len()];
+        for s in &snaps {
+            for (a, &b) in msg_counts.iter_mut().zip(&s.msg_counts) {
+                *a += b;
+            }
+        }
+
+        CoherenceSnapshot {
+            mode: base.mode,
+            spans: base.spans.clone(),
+            dense_len: base.dense_len,
+            dense_chunks: dense.into_iter().collect(),
+            touched_lines: base.touched_lines,
+            touched_words,
+            spill,
+            initial: base.initial,
+            msg_counts,
+            to_device: snaps
+                .iter()
+                .fold(TrafficStats::default(), |a, s| add_traffic(a, s.to_device)),
+            to_host: snaps.iter().fold(TrafficStats::default(), |a, s| add_traffic(a, s.to_host)),
+            snoop: SnoopFilterSnapshot {
+                spans: base.snoop.spans.clone(),
+                dense_len: base.snoop.dense_len,
+                dense_chunks: snoop_dense.into_iter().collect(),
+                occupied_lines: base.snoop.occupied_lines,
+                occupied_words,
+                spill: snoop_spill,
+                peak_entries: self.snoop_peak as u64,
+            },
+            poisoned_rejects: self.poisoned_rejects,
+        }
+    }
+}
+
+/// What a session holds: either the serial [`CoherenceEngine`] (the
+/// default — bit-for-bit the pre-sharding code path) or a
+/// [`ShardedCoherence`]. Every method forwards; the two variants are
+/// observationally identical (the golden suite's whole point), differing
+/// only in bulk-run wall clock.
+// One fabric per session, held by value, never in collections — boxing
+// the engine would buy nothing and cost an indirection on every event.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum CoherenceFabric {
+    /// One engine, every event in program order on the caller's thread.
+    Serial(CoherenceEngine),
+    /// Block-cyclic shards with the `(time, seq)` merge.
+    Sharded(ShardedCoherence),
+}
+
+impl CoherenceFabric {
+    /// Fresh serial fabric — the default worker count (1) never pays any
+    /// sharding overhead.
+    pub fn new(mode: ProtocolMode) -> Self {
+        CoherenceFabric::Serial(CoherenceEngine::new(mode))
+    }
+
+    /// Current worker count (1 for serial).
+    pub fn workers(&self) -> usize {
+        match self {
+            CoherenceFabric::Serial(_) => 1,
+            CoherenceFabric::Sharded(s) => s.workers(),
+        }
+    }
+
+    /// Re-shard to `workers` via a snapshot round trip. `workers <= 1`
+    /// converts back to the serial engine. A no-op when the count already
+    /// matches (in particular, the default serial fabric is left
+    /// untouched by `set_workers(1)`).
+    pub fn set_workers(&mut self, workers: usize) {
+        let workers = workers.max(1);
+        if workers == self.workers() {
+            return;
+        }
+        let snap = self.snapshot();
+        *self = if workers == 1 {
+            CoherenceFabric::Serial(CoherenceEngine::restore(&snap))
+        } else {
+            CoherenceFabric::Sharded(ShardedCoherence::from_snapshot(&snap, workers))
+        };
+    }
+
+    /// The serial engine view, for consumers that take a
+    /// [`CoherenceEngine`] (the invariant auditor): borrows in the serial
+    /// case, merges-and-restores in the sharded one.
+    pub fn serial_equivalent(&self) -> Cow<'_, CoherenceEngine> {
+        match self {
+            CoherenceFabric::Serial(e) => Cow::Borrowed(e),
+            CoherenceFabric::Sharded(s) => Cow::Owned(CoherenceEngine::restore(&s.snapshot())),
+        }
+    }
+
+    /// See [`CoherenceEngine::mode`].
+    pub fn mode(&self) -> ProtocolMode {
+        match self {
+            CoherenceFabric::Serial(e) => e.mode(),
+            CoherenceFabric::Sharded(s) => s.mode(),
+        }
+    }
+
+    /// See [`CoherenceEngine::register_region`].
+    pub fn register_region(&mut self, base: Addr, bytes: u64) {
+        match self {
+            CoherenceFabric::Serial(e) => e.register_region(base, bytes),
+            CoherenceFabric::Sharded(s) => s.register_region(base, bytes),
+        }
+    }
+
+    /// See [`CoherenceEngine::resolve`].
+    #[inline]
+    pub fn resolve(&self, addr: Addr) -> LineSlot {
+        match self {
+            CoherenceFabric::Serial(e) => e.resolve(addr),
+            CoherenceFabric::Sharded(s) => s.resolve(addr),
+        }
+    }
+
+    /// See [`CoherenceEngine::resolve_run`].
+    #[inline]
+    pub fn resolve_run(&self, base: Addr, n: usize) -> Option<usize> {
+        match self {
+            CoherenceFabric::Serial(e) => e.resolve_run(base, n),
+            CoherenceFabric::Sharded(s) => s.resolve_run(base, n),
+        }
+    }
+
+    /// See [`CoherenceEngine::write`].
+    pub fn write(
+        &mut self,
+        writer: Agent,
+        addr: Addr,
+        payload: &[u8],
+        aggregated: bool,
+    ) -> Vec<CxlPacket> {
+        match self {
+            CoherenceFabric::Serial(e) => e.write(writer, addr, payload, aggregated),
+            CoherenceFabric::Sharded(s) => s.write(writer, addr, payload, aggregated),
+        }
+    }
+
+    /// See [`CoherenceEngine::write_accounted`].
+    pub fn write_accounted(&mut self, writer: Agent, addr: Addr, payload_len: usize) -> bool {
+        match self {
+            CoherenceFabric::Serial(e) => e.write_accounted(writer, addr, payload_len),
+            CoherenceFabric::Sharded(s) => s.write_accounted(writer, addr, payload_len),
+        }
+    }
+
+    /// See [`CoherenceEngine::write_accounted_at`].
+    pub fn write_accounted_at(
+        &mut self,
+        writer: Agent,
+        slot: LineSlot,
+        payload_len: usize,
+    ) -> bool {
+        match self {
+            CoherenceFabric::Serial(e) => e.write_accounted_at(writer, slot, payload_len),
+            CoherenceFabric::Sharded(s) => s.write_accounted_at(writer, slot, payload_len),
+        }
+    }
+
+    /// One coherence write per line of an aligned dense run. Serial: the
+    /// plain in-order loop. Sharded: the parallel `(time, seq)` path.
+    pub fn write_run_accounted(
+        &mut self,
+        writer: Agent,
+        dense_start: usize,
+        n: usize,
+        payload_len: usize,
+    ) -> bool {
+        match self {
+            CoherenceFabric::Serial(e) => {
+                let mut all = true;
+                for k in 0..n {
+                    all &=
+                        e.write_accounted_at(writer, LineSlot::Dense(dense_start + k), payload_len);
+                }
+                all
+            }
+            CoherenceFabric::Sharded(s) => {
+                s.write_run_accounted(writer, dense_start, n, payload_len)
+            }
+        }
+    }
+
+    /// See [`CoherenceEngine::read`].
+    pub fn read(&mut self, reader: Agent, addr: Addr, line_bytes: usize) -> Vec<CxlPacket> {
+        match self {
+            CoherenceFabric::Serial(e) => e.read(reader, addr, line_bytes),
+            CoherenceFabric::Sharded(s) => s.read(reader, addr, line_bytes),
+        }
+    }
+
+    /// See [`CoherenceEngine::flush`].
+    pub fn flush(&mut self, flusher: Agent, addrs: &[Addr], line_bytes: usize) -> Vec<CxlPacket> {
+        match self {
+            CoherenceFabric::Serial(e) => e.flush(flusher, addrs, line_bytes),
+            CoherenceFabric::Sharded(s) => s.flush(flusher, addrs, line_bytes),
+        }
+    }
+
+    /// See [`CoherenceEngine::admit_data`].
+    pub fn admit_data(&mut self, pkt: &CxlPacket) -> bool {
+        match self {
+            CoherenceFabric::Serial(e) => e.admit_data(pkt),
+            CoherenceFabric::Sharded(s) => s.admit_data(pkt),
+        }
+    }
+
+    /// See [`CoherenceEngine::poisoned_rejects`].
+    pub fn poisoned_rejects(&self) -> u64 {
+        match self {
+            CoherenceFabric::Serial(e) => e.poisoned_rejects(),
+            CoherenceFabric::Sharded(s) => s.poisoned_rejects(),
+        }
+    }
+
+    /// See [`CoherenceEngine::line_state`].
+    pub fn line_state(&self, addr: Addr) -> LineState {
+        match self {
+            CoherenceFabric::Serial(e) => e.line_state(addr),
+            CoherenceFabric::Sharded(s) => s.line_state(addr),
+        }
+    }
+
+    /// See [`CoherenceEngine::msg_count`].
+    pub fn msg_count(&self, op: Opcode) -> u64 {
+        match self {
+            CoherenceFabric::Serial(e) => e.msg_count(op),
+            CoherenceFabric::Sharded(s) => s.msg_count(op),
+        }
+    }
+
+    /// See [`CoherenceEngine::tracked_lines`].
+    pub fn tracked_lines(&self) -> usize {
+        match self {
+            CoherenceFabric::Serial(e) => e.tracked_lines(),
+            CoherenceFabric::Sharded(s) => s.tracked_lines(),
+        }
+    }
+
+    /// Traffic toward the device.
+    pub fn to_device(&self) -> TrafficStats {
+        match self {
+            CoherenceFabric::Serial(e) => e.to_device,
+            CoherenceFabric::Sharded(s) => s.to_device(),
+        }
+    }
+
+    /// Traffic toward the host.
+    pub fn to_host(&self) -> TrafficStats {
+        match self {
+            CoherenceFabric::Serial(e) => e.to_host,
+            CoherenceFabric::Sharded(s) => s.to_host(),
+        }
+    }
+
+    /// Snoop directory stats (§IV-A2 accounting).
+    pub fn snoop_stats(&self) -> SnoopStats {
+        match self {
+            CoherenceFabric::Serial(e) => e.snoop_filter().stats(),
+            CoherenceFabric::Sharded(s) => s.snoop_stats(),
+        }
+    }
+
+    /// Serial-layout snapshot — identical bytes whatever the worker count.
+    pub fn snapshot(&self) -> CoherenceSnapshot {
+        match self {
+            CoherenceFabric::Serial(e) => e.snapshot(),
+            CoherenceFabric::Sharded(s) => s.snapshot(),
+        }
+    }
+
+    /// Restore from a snapshot — always serial; re-shard afterwards with
+    /// [`CoherenceFabric::set_workers`] if desired (the worker count is a
+    /// runtime knob, deliberately not part of the checkpoint image).
+    pub fn restore(s: &CoherenceSnapshot) -> Self {
+        CoherenceFabric::Serial(CoherenceEngine::restore(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teco_mem::LINE_BYTES;
+
+    fn addr(line: u64) -> Addr {
+        Addr(line * LINE_BYTES as u64)
+    }
+
+    /// Drive the same mixed script through the serial engine and sharded
+    /// fabrics and compare every observable.
+    fn assert_equivalent_after<F: Fn(&mut CoherenceFabric)>(mode: ProtocolMode, script: F) {
+        let mut serial = CoherenceFabric::new(mode);
+        script(&mut serial);
+        let want = serial.snapshot();
+        for workers in [1usize, 2, 3, 4] {
+            let mut fab = CoherenceFabric::Serial(CoherenceEngine::new(mode));
+            fab.set_workers(workers);
+            script(&mut fab);
+            let got = fab.snapshot();
+            assert_eq!(got, want, "workers={workers} {mode:?}");
+            assert_eq!(fab.to_device(), serial.to_device(), "workers={workers}");
+            assert_eq!(fab.to_host(), serial.to_host(), "workers={workers}");
+            assert_eq!(fab.tracked_lines(), serial.tracked_lines(), "workers={workers}");
+            assert_eq!(fab.snoop_stats(), serial.snoop_stats(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn sharded_matches_serial_on_mixed_script() {
+        for mode in [ProtocolMode::Update, ProtocolMode::Invalidation] {
+            assert_equivalent_after(mode, |f| {
+                f.register_region(Addr(0), 3000 * LINE_BYTES as u64);
+                let start = f.resolve_run(Addr(0), 3000).unwrap();
+                f.write_run_accounted(Agent::Cpu, start, 3000, 32);
+                // Spill addresses (outside the region) and single ops.
+                for i in 0..50u64 {
+                    f.write_accounted(Agent::Cpu, addr(100_000 + 17 * i), 64);
+                }
+                f.read(Agent::Device, addr(5), LINE_BYTES);
+                f.write(Agent::Device, addr(7), &[0u8; LINE_BYTES], false);
+                let addrs: Vec<Addr> = (0..64).map(addr).collect();
+                f.flush(Agent::Cpu, &addrs, LINE_BYTES);
+            });
+        }
+    }
+
+    #[test]
+    fn sharded_run_crossing_block_boundaries_matches_serial() {
+        for mode in [ProtocolMode::Update, ProtocolMode::Invalidation] {
+            assert_equivalent_after(mode, |f| {
+                // 2.5 ownership blocks, starting mid-block.
+                f.register_region(Addr(0), 4096 * LINE_BYTES as u64);
+                let start = f.resolve_run(Addr(512 * LINE_BYTES as u64), 2560).unwrap();
+                f.write_run_accounted(Agent::Cpu, start, 2560, 16);
+            });
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_between_worker_counts() {
+        let mut fab = CoherenceFabric::new(ProtocolMode::Invalidation);
+        fab.register_region(Addr(0), 2048 * LINE_BYTES as u64);
+        let start = fab.resolve_run(Addr(0), 2048).unwrap();
+        fab.write_run_accounted(Agent::Cpu, start, 2048, 32);
+        let s1 = fab.snapshot();
+        // serial -> 4 shards -> 2 shards -> serial, writing in between.
+        fab.set_workers(4);
+        fab.write_run_accounted(Agent::Cpu, start, 1024, 32);
+        fab.set_workers(2);
+        fab.write_run_accounted(Agent::Cpu, start + 1024, 1024, 32);
+        fab.set_workers(1);
+        let sharded_final = fab.snapshot();
+        // The same tail on a never-sharded fabric.
+        let mut serial = CoherenceFabric::restore(&s1);
+        serial.write_run_accounted(Agent::Cpu, start, 1024, 32);
+        serial.write_run_accounted(Agent::Cpu, start + 1024, 1024, 32);
+        assert_eq!(sharded_final, serial.snapshot());
+    }
+
+    #[test]
+    fn poison_containment_counts_globally() {
+        let mut fab = CoherenceFabric::new(ProtocolMode::Update);
+        fab.set_workers(3);
+        let bad =
+            CxlPacket::data(Opcode::FlushData, Addr(0), vec![0u8; 64], false).with_poison(true);
+        assert!(!fab.admit_data(&bad));
+        assert!(fab.admit_data(&CxlPacket::data(Opcode::FlushData, Addr(0), vec![0u8; 64], false)));
+        assert_eq!(fab.poisoned_rejects(), 1);
+        assert_eq!(fab.snapshot().poisoned_rejects, 1);
+    }
+
+    #[test]
+    fn parallel_threshold_path_matches_small_run_path() {
+        // A run big enough to take the threaded path must land on the same
+        // state as the same lines pushed one-by-one.
+        let n = PARALLEL_BATCH_LINES + 1234;
+        for mode in [ProtocolMode::Update, ProtocolMode::Invalidation] {
+            let mut big = ShardedCoherence::new(mode, 4);
+            big.register_region(Addr(0), n as u64 * LINE_BYTES as u64);
+            let start = big.resolve_run(Addr(0), n).unwrap();
+            big.write_run_accounted(Agent::Cpu, start, n, 32);
+
+            let mut one = ShardedCoherence::new(mode, 4);
+            one.register_region(Addr(0), n as u64 * LINE_BYTES as u64);
+            for k in 0..n {
+                one.write_accounted_at(Agent::Cpu, LineSlot::Dense(start + k), 32);
+            }
+            assert_eq!(big.snapshot(), one.snapshot(), "{mode:?}");
+        }
+    }
+}

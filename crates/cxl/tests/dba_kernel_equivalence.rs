@@ -1,0 +1,174 @@
+//! Property-based equivalence of the 64-byte-chunked u64 pack/merge
+//! kernels (`teco_cxl::dba::kernels`) against the retained scalar oracle
+//! (`teco_cxl::dba::scalar`) — the same pattern `arena_equivalence.rs`
+//! uses for the dense arenas against `refmaps`.
+//!
+//! The suite sweeps dirty_bytes ∈ {0..4} (0 and 4 exercise the empty and
+//! bypass paths through the `Aggregator`/`Disaggregator` front ends, 1..3
+//! hit the kernels), run lengths including 0, 1, and non-multiples of any
+//! internal chunking, and unaligned buffer offsets (payload and resident
+//! regions sliced at arbitrary byte offsets out of larger buffers, so no
+//! kernel may assume u64 alignment).
+//!
+//! No counterexample seeds have been found to date; if proptest ever
+//! writes a `.proptest-regressions` file here, promote the seed to a
+//! named regression test alongside
+//! `chunked_kernels_match_scalar_oracle_on_fixed_vectors` in `dba.rs`.
+
+use proptest::prelude::*;
+use teco_cxl::dba::{kernels, scalar};
+use teco_cxl::{Aggregator, DbaRegister, Disaggregator};
+use teco_mem::{lines_as_bytes, LineData, LINE_BYTES, WORDS_PER_LINE};
+
+fn lines_strategy(max: usize) -> impl Strategy<Value = Vec<LineData>> {
+    prop::collection::vec(prop::array::uniform32(any::<u16>()), 0..max).prop_map(|halves| {
+        halves
+            .into_iter()
+            .map(|h| {
+                let mut l = LineData::zeroed();
+                for (i, v) in h.iter().enumerate() {
+                    l.bytes_mut()[2 * i..2 * i + 2].copy_from_slice(&v.to_le_bytes());
+                }
+                l
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Packing a run through the u64 kernels equals packing each line
+    /// through the scalar oracle, for every kernel width and run length
+    /// (0, 1, and lengths that are no multiple of any vector chunk).
+    #[test]
+    fn pack_run_matches_scalar_oracle(
+        lines in lines_strategy(9),
+        n in 1usize..=3,
+        offset in 0usize..8,
+    ) {
+        let per = WORDS_PER_LINE * n;
+        // Unaligned destination: slice the payload out of a larger buffer
+        // at an arbitrary byte offset.
+        let mut fast_buf = vec![0u8; offset + lines.len() * per];
+        kernels::pack_run(lines_as_bytes(&lines), n, &mut fast_buf[offset..]);
+        let mut slow = vec![0u8; lines.len() * per];
+        for (line, dst) in lines.iter().zip(slow.chunks_exact_mut(per)) {
+            scalar::pack_line(line, n, dst);
+        }
+        prop_assert_eq!(&fast_buf[offset..], slow.as_slice());
+    }
+
+    /// Merging a packed run through the u64 kernels equals merging each
+    /// line through the scalar oracle, with both the payload and the
+    /// resident region taken at arbitrary (unaligned) byte offsets.
+    #[test]
+    fn merge_run_matches_scalar_oracle(
+        fresh in lines_strategy(9),
+        stale_seed in any::<u64>(),
+        n in 1usize..=3,
+        pay_off in 0usize..8,
+        res_off in 0usize..8,
+    ) {
+        let per = WORDS_PER_LINE * n;
+        let mut payload = vec![0u8; pay_off + fresh.len() * per];
+        kernels::pack_run(lines_as_bytes(&fresh), n, &mut payload[pay_off..]);
+
+        // Deterministic stale bytes from the seed (splitmix64 stream).
+        let mut state = stale_seed;
+        let mut stale = vec![0u8; res_off + fresh.len() * LINE_BYTES];
+        for b in stale.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *b = (state >> 56) as u8;
+        }
+
+        let mut fast = stale.clone();
+        kernels::merge_run(&payload[pay_off..], n, &mut fast[res_off..]);
+        let mut slow = stale.clone();
+        for (p, r) in payload[pay_off..]
+            .chunks_exact(per)
+            .zip(slow[res_off..].chunks_exact_mut(LINE_BYTES))
+        {
+            scalar::unpack_merge_bytes(p, n, r);
+        }
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Front-end equivalence across the full register space (dirty_bytes
+    /// 0..=4, active or not): the streaming Aggregator/Disaggregator pair
+    /// — which now drive the u64 kernels — reproduces the per-line oracle
+    /// round trip bit-exactly, counters included.
+    #[test]
+    fn aggregate_merge_roundtrip_matches_oracle_per_register(
+        fresh in lines_strategy(7),
+        stale in lines_strategy(7),
+        n in 0u8..=4,
+        active in any::<bool>(),
+    ) {
+        let count = fresh.len().min(stale.len());
+        let (fresh, mut resident) = (&fresh[..count], stale[..count].to_vec());
+        let reg = DbaRegister::new(active, n);
+
+        let mut agg = Aggregator::new();
+        agg.set_register(reg);
+        let mut wire = Vec::new();
+        agg.aggregate_lines(fresh, &mut wire);
+
+        let mut oracle_wire = vec![0u8; reg.payload_bytes() * count];
+        if !reg.active() || n == 4 {
+            oracle_wire.copy_from_slice(lines_as_bytes(fresh));
+        } else if n > 0 {
+            for (line, dst) in
+                fresh.iter().zip(oracle_wire.chunks_exact_mut(reg.payload_bytes()))
+            {
+                scalar::pack_line(line, n as usize, dst);
+            }
+        }
+        prop_assert_eq!(&wire, &oracle_wire);
+
+        let mut dis = Disaggregator::new();
+        dis.set_register(reg);
+        let mut oracle_resident = resident.clone();
+        dis.disaggregate_lines(&wire, &mut resident);
+        for (line, (st, fr)) in oracle_resident.iter_mut().zip(stale.iter().zip(fresh)) {
+            if !reg.active() {
+                *line = *fr;
+            } else {
+                *line = teco_cxl::merged_reference(st, fr, n);
+            }
+        }
+        prop_assert_eq!(resident, oracle_resident);
+    }
+
+    /// The fused chunk-wise Fletcher-16 (`fault::line_checksum`, deferred
+    /// `% 255` folds) equals the pre-fusion per-byte oracle on arbitrary
+    /// payloads, including all-0xFF saturation and block-boundary lengths.
+    #[test]
+    fn fused_checksum_matches_bytewise_oracle(
+        payload in prop::collection::vec(any::<u8>(), 0..5000),
+    ) {
+        prop_assert_eq!(
+            teco_cxl::line_checksum(&payload),
+            scalar::line_checksum_bytewise(&payload)
+        );
+    }
+
+    /// The checksummed aggregate path (fused into the kernel loop) returns
+    /// the same payload *and* the same checksum as packing through the
+    /// scalar oracle and running the per-byte Fletcher over the result.
+    #[test]
+    fn checksummed_aggregate_matches_scalar_pack_plus_bytewise_checksum(
+        lines in lines_strategy(5),
+        n in 1u8..=3,
+    ) {
+        let reg = DbaRegister::new(true, n);
+        let mut agg = Aggregator::new();
+        agg.set_register(reg);
+        for line in &lines {
+            let mut fused = vec![0u8; reg.payload_bytes()];
+            let (len, csum) = agg.aggregate_into_checksummed(line, &mut fused);
+            let mut oracle = vec![0u8; reg.payload_bytes()];
+            scalar::pack_line(line, n as usize, &mut oracle);
+            prop_assert_eq!(&fused[..len], oracle.as_slice());
+            prop_assert_eq!(csum, scalar::line_checksum_bytewise(&oracle));
+        }
+    }
+}

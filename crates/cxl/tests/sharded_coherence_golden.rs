@@ -1,0 +1,231 @@
+//! The N-shard ≡ 1-shard golden suite: a [`ShardedCoherence`] fabric at
+//! any worker count must be observationally *byte-identical* to the serial
+//! [`CoherenceEngine`] — same packets, same per-opcode counts, same
+//! traffic, same snoop occupancy/peak, and the same serialized
+//! [`CoherenceSnapshot`] down to the JSON bytes.
+//!
+//! Scripts mix every fabric operation (bulk runs, single accounted writes,
+//! packet-returning writes, reads, flushes, spillover addresses outside
+//! any region, poison admissions) across both protocol modes, with
+//! proptest generating adversarial interleavings on top of the fixed
+//! scripts. Worker counts cover {1, 2, 4} plus a non-power-of-two; the
+//! 1-shard case runs the *sharded* code path (queues, scatter, merge), not
+//! the serial engine, so the degenerate fabric is tested too.
+
+use proptest::prelude::*;
+use teco_cxl::coherence::{Agent, CoherenceEngine, ProtocolMode};
+use teco_cxl::packet::{CxlPacket, Opcode};
+use teco_cxl::shard::ShardedCoherence;
+use teco_mem::{Addr, LineSlot, LINE_BYTES};
+
+const REGION_LINES: u64 = 6000;
+const SPILL_BASE_LINE: u64 = 1 << 20;
+
+fn addr(line: u64) -> Addr {
+    Addr(line * LINE_BYTES as u64)
+}
+
+/// One scripted fabric operation, applicable to both the serial engine
+/// and a sharded fabric.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Bulk accounted run over dense slots `[start, start + n)`.
+    WriteRun { start: u64, n: u64, len: usize },
+    /// Single accounted write (dense when `line < REGION_LINES`, spill
+    /// otherwise).
+    WriteAcc { agent: Agent, line: u64, len: usize },
+    /// Packet-returning write.
+    Write { agent: Agent, line: u64, len: usize },
+    /// Read (on-demand transfer in invalidation mode).
+    Read { agent: Agent, line: u64 },
+    /// Flush a stretch of lines.
+    Flush { agent: Agent, start: u64, n: u64 },
+    /// Poison-containment admission check.
+    Admit { poisoned: bool },
+}
+
+/// Apply `op` to the serial engine, collecting any packets for comparison.
+fn apply_serial(eng: &mut CoherenceEngine, op: &Op, pkts: &mut Vec<CxlPacket>) {
+    match *op {
+        Op::WriteRun { start, n, len } => {
+            for k in 0..n {
+                eng.write_accounted_at(Agent::Cpu, LineSlot::Dense((start + k) as usize), len);
+            }
+        }
+        Op::WriteAcc { agent, line, len } => {
+            eng.write_accounted(agent, addr(line), len);
+        }
+        Op::Write { agent, line, len } => {
+            pkts.extend(eng.write(agent, addr(line), &vec![0u8; len], len < LINE_BYTES));
+        }
+        Op::Read { agent, line } => {
+            pkts.extend(eng.read(agent, addr(line), LINE_BYTES));
+        }
+        Op::Flush { agent, start, n } => {
+            let addrs: Vec<Addr> = (start..start + n).map(addr).collect();
+            pkts.extend(eng.flush(agent, &addrs, LINE_BYTES));
+        }
+        Op::Admit { poisoned } => {
+            let pkt = CxlPacket::data(Opcode::FlushData, addr(0), vec![0u8; 16], false)
+                .with_poison(poisoned);
+            eng.admit_data(&pkt);
+        }
+    }
+}
+
+/// Apply `op` to a sharded fabric, collecting any packets.
+fn apply_sharded(fab: &mut ShardedCoherence, op: &Op, pkts: &mut Vec<CxlPacket>) {
+    match *op {
+        Op::WriteRun { start, n, len } => {
+            fab.write_run_accounted(Agent::Cpu, start as usize, n as usize, len);
+        }
+        Op::WriteAcc { agent, line, len } => {
+            fab.write_accounted(agent, addr(line), len);
+        }
+        Op::Write { agent, line, len } => {
+            pkts.extend(fab.write(agent, addr(line), &vec![0u8; len], len < LINE_BYTES));
+        }
+        Op::Read { agent, line } => {
+            pkts.extend(fab.read(agent, addr(line), LINE_BYTES));
+        }
+        Op::Flush { agent, start, n } => {
+            let addrs: Vec<Addr> = (start..start + n).map(addr).collect();
+            pkts.extend(fab.flush(agent, &addrs, LINE_BYTES));
+        }
+        Op::Admit { poisoned } => {
+            let pkt = CxlPacket::data(Opcode::FlushData, addr(0), vec![0u8; 16], false)
+                .with_poison(poisoned);
+            fab.admit_data(&pkt);
+        }
+    }
+}
+
+/// Run a script through the serial engine and through sharded fabrics at
+/// several worker counts; every observable must match, and the snapshots
+/// must serialize to the same JSON bytes.
+fn assert_golden(mode: ProtocolMode, script: &[Op]) {
+    let mut serial = CoherenceEngine::new(mode);
+    serial.register_region(addr(0), REGION_LINES * LINE_BYTES as u64);
+    let mut want_pkts = Vec::new();
+    for op in script {
+        apply_serial(&mut serial, op, &mut want_pkts);
+    }
+    let want_snap = serial.snapshot();
+    let want_json = serde_json::to_string(&want_snap).expect("serialize serial snapshot");
+
+    for workers in [1usize, 2, 3, 4] {
+        let mut fab = ShardedCoherence::new(mode, workers);
+        fab.register_region(addr(0), REGION_LINES * LINE_BYTES as u64);
+        let mut got_pkts = Vec::new();
+        for op in script {
+            apply_sharded(&mut fab, op, &mut got_pkts);
+        }
+        assert_eq!(got_pkts, want_pkts, "packet stream diverged (workers={workers}, {mode:?})");
+        let got_json = serde_json::to_string(&fab.snapshot()).expect("serialize merged snapshot");
+        assert_eq!(got_json, want_json, "snapshot bytes diverged (workers={workers}, {mode:?})");
+        assert_eq!(fab.to_device(), serial.to_device, "workers={workers}");
+        assert_eq!(fab.to_host(), serial.to_host, "workers={workers}");
+        assert_eq!(fab.tracked_lines(), serial.tracked_lines(), "workers={workers}");
+        assert_eq!(fab.snoop_stats(), serial.snoop_filter().stats(), "workers={workers}");
+        assert_eq!(fab.poisoned_rejects(), serial.poisoned_rejects(), "workers={workers}");
+        for op in [Opcode::ReadOwn, Opcode::Invalidate, Opcode::GoFlush, Opcode::FlushData] {
+            assert_eq!(fab.msg_count(op), serial.msg_count(op), "workers={workers} {op:?}");
+        }
+        // Restoring the merged snapshot yields an engine whose own
+        // snapshot round-trips to the same bytes.
+        let restored = CoherenceEngine::restore(&fab.snapshot());
+        assert_eq!(serde_json::to_string(&restored.snapshot()).unwrap(), want_json);
+    }
+}
+
+/// The fixed mixed script: big block-crossing bulk runs, conflicting
+/// cross-agent traffic, spillover lines, flushes, reads, and poison.
+fn fixed_script() -> Vec<Op> {
+    vec![
+        Op::WriteRun { start: 0, n: 3000, len: 32 },
+        Op::Read { agent: Agent::Device, line: 17 },
+        Op::Write { agent: Agent::Device, line: 40, len: 64 },
+        Op::WriteAcc { agent: Agent::Cpu, line: SPILL_BASE_LINE + 3, len: 64 },
+        Op::WriteAcc { agent: Agent::Cpu, line: SPILL_BASE_LINE + 4096, len: 64 },
+        Op::Flush { agent: Agent::Cpu, start: 0, n: 128 },
+        Op::WriteRun { start: 512, n: 2560, len: 16 },
+        Op::Admit { poisoned: true },
+        Op::Read { agent: Agent::Cpu, line: 40 },
+        Op::Write { agent: Agent::Cpu, line: 2047, len: 32 },
+        Op::Flush { agent: Agent::Device, start: 30, n: 20 },
+        Op::Admit { poisoned: false },
+        Op::WriteRun { start: 4000, n: 2000, len: 64 },
+    ]
+}
+
+#[test]
+fn fixed_script_golden_update_mode() {
+    assert_golden(ProtocolMode::Update, &fixed_script());
+}
+
+#[test]
+fn fixed_script_golden_invalidation_mode() {
+    assert_golden(ProtocolMode::Invalidation, &fixed_script());
+}
+
+#[test]
+fn threaded_batch_golden() {
+    // A run long enough to cross the thread-spawn threshold on every
+    // shard, preceded by conflicting state so the batch hits non-initial
+    // lines too.
+    for mode in [ProtocolMode::Update, ProtocolMode::Invalidation] {
+        assert_golden(
+            mode,
+            &[
+                Op::Read { agent: Agent::Device, line: 100 },
+                Op::WriteRun { start: 0, n: REGION_LINES, len: 32 },
+                Op::Flush { agent: Agent::Cpu, start: 0, n: 256 },
+                Op::WriteRun { start: 0, n: REGION_LINES, len: 32 },
+            ],
+        );
+    }
+}
+
+fn agent_strategy() -> impl Strategy<Value = Agent> {
+    prop_oneof![Just(Agent::Cpu), Just(Agent::Device)]
+}
+
+fn len_strategy() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(16usize), Just(32), Just(48), Just(64)]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..REGION_LINES - 1, 1u64..600, len_strategy()).prop_map(|(start, n, len)| {
+            Op::WriteRun { start, n: n.min(REGION_LINES - start), len }
+        }),
+        (
+            agent_strategy(),
+            prop_oneof![0..REGION_LINES, SPILL_BASE_LINE..SPILL_BASE_LINE + 5000],
+            len_strategy()
+        )
+            .prop_map(|(agent, line, len)| Op::WriteAcc { agent, line, len }),
+        (agent_strategy(), 0..REGION_LINES, len_strategy())
+            .prop_map(|(agent, line, len)| Op::Write { agent, line, len }),
+        (agent_strategy(), 0..REGION_LINES).prop_map(|(agent, line)| Op::Read { agent, line }),
+        (agent_strategy(), 0..REGION_LINES - 1, 1u64..100).prop_map(|(agent, start, n)| {
+            Op::Flush { agent, start, n: n.min(REGION_LINES - start) }
+        }),
+        any::<bool>().prop_map(|poisoned| Op::Admit { poisoned }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random operation interleavings: sharded ≡ serial for every worker
+    /// count, both modes, snapshot JSON compared byte-for-byte.
+    #[test]
+    fn random_scripts_are_golden(
+        script in prop::collection::vec(op_strategy(), 1..40),
+        inval in any::<bool>(),
+    ) {
+        let mode = if inval { ProtocolMode::Invalidation } else { ProtocolMode::Update };
+        assert_golden(mode, &script);
+    }
+}

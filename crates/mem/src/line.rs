@@ -59,8 +59,31 @@ pub const fn lines_for_bytes(bytes: u64) -> u64 {
 }
 
 /// The payload of one 64-byte cache line.
+///
+/// `repr(transparent)` over the byte array so a run of lines is one
+/// contiguous byte region — [`lines_as_bytes`] hands that region to the
+/// bulk pack/merge kernels without per-line staging.
 #[derive(Clone, Copy, PartialEq, Eq)]
+#[repr(transparent)]
 pub struct LineData(pub [u8; LINE_BYTES]);
+
+/// View a run of lines as one contiguous byte slice (`len * 64` bytes).
+#[inline]
+pub fn lines_as_bytes(lines: &[LineData]) -> &[u8] {
+    // SAFETY: `LineData` is `repr(transparent)` over `[u8; LINE_BYTES]`,
+    // so a slice of lines is exactly `lines.len() * LINE_BYTES` contiguous
+    // initialized bytes with alignment 1.
+    unsafe { std::slice::from_raw_parts(lines.as_ptr().cast(), lines.len() * LINE_BYTES) }
+}
+
+/// Mutable counterpart of [`lines_as_bytes`]. Every byte pattern is a
+/// valid `LineData`, so arbitrary writes through the view are sound.
+#[inline]
+pub fn lines_as_bytes_mut(lines: &mut [LineData]) -> &mut [u8] {
+    // SAFETY: as in `lines_as_bytes`; `LineData` has no invalid bit
+    // patterns, so mutation through the byte view cannot break it.
+    unsafe { std::slice::from_raw_parts_mut(lines.as_mut_ptr().cast(), lines.len() * LINE_BYTES) }
+}
 
 impl Default for LineData {
     fn default() -> Self {
@@ -215,6 +238,27 @@ mod tests {
         }
         let line = LineData::from_f32(words);
         assert_eq!(line.to_f32(), words);
+    }
+
+    #[test]
+    fn lines_as_bytes_views_are_contiguous_and_writable() {
+        let mut lines: Vec<LineData> = (0..3u8)
+            .map(|i| {
+                let mut l = LineData::zeroed();
+                l.bytes_mut().fill(i + 1);
+                l
+            })
+            .collect();
+        let flat = lines_as_bytes(&lines);
+        assert_eq!(flat.len(), 3 * LINE_BYTES);
+        for (i, chunk) in flat.chunks_exact(LINE_BYTES).enumerate() {
+            assert!(chunk.iter().all(|&b| b == i as u8 + 1), "line {i}");
+        }
+        assert_eq!(lines_as_bytes(&lines[..0]), &[] as &[u8]);
+
+        lines_as_bytes_mut(&mut lines)[LINE_BYTES] = 0xEE;
+        assert_eq!(lines[1].bytes()[0], 0xEE);
+        assert_eq!(lines[0].bytes()[LINE_BYTES - 1], 1);
     }
 
     #[test]
