@@ -1,0 +1,70 @@
+//! Churn sweep: fault domains under device loss and pool-media RAS,
+//! N ∈ {2, 4} × kill mode ∈ {none, lose, readmit} × media-fault rate
+//! ∈ {0, 1 per tick}.
+//!
+//! Each cell runs the fixed churn workload — a device killed mid-run is
+//! declared down by the fence-deadline watchdog, its host account is
+//! quarantined, its gradient shard reroutes through the survivors
+//! round-robin (the wrapping-sum reduce makes the pool bytes identical
+//! to the never-failed run's), and in readmit mode it is rebuilt from
+//! nothing but the pooled optimizer state. Persistent media faults are
+//! patrol-scrubbed, retired to spares, and rebuilt from the clean pooled
+//! copy before any poisoned byte reaches a parameter.
+//!
+//! The row computation lives in [`teco_bench::sweeps`]. Everything is
+//! seeded and formulaic: running this binary twice produces
+//! byte-identical `bench_results/churn_sweep.json` (the CI chaos-smoke
+//! job diffs exactly that). There is no paper baseline — the paper
+//! evaluates a single fault-free accelerator; this sweep is the model's
+//! prediction for the elastic-recovery regime (see EXPERIMENTS.md).
+
+use teco_bench::sweeps::churn_rows;
+use teco_bench::{dump_json, f, header, row};
+
+fn main() {
+    header("Churn sweep", "device loss × media faults × N over a shared CXL pool");
+    row(&[
+        "devices".into(),
+        "kill".into(),
+        "media rate".into(),
+        "down".into(),
+        "readmits".into(),
+        "rerouted".into(),
+        "faults".into(),
+        "retired".into(),
+        "rebuilds".into(),
+        "cluster ms".into(),
+        "converged".into(),
+    ]);
+    let out = churn_rows();
+    for r in &out {
+        row(&[
+            r.devices.to_string(),
+            r.kill_mode.clone(),
+            f(r.media_rate),
+            r.down_events.to_string(),
+            r.readmits.to_string(),
+            r.redistributed_lines.to_string(),
+            r.ras_faults_injected.to_string(),
+            r.ras_lines_retired.to_string(),
+            r.ras_rebuilds.to_string(),
+            f(r.cluster_time_ns as f64 / 1e6),
+            if r.converged { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    let diverged: Vec<String> = out
+        .iter()
+        .filter(|r| !r.converged)
+        .map(|r| format!("N={} kill={} rate={}", r.devices, r.kill_mode, r.media_rate))
+        .collect();
+    if diverged.is_empty() {
+        println!("\nevery cell converged: the pool and every live replica ended");
+        println!("byte-identical to its never-failed, fault-free baseline.");
+    } else {
+        println!("\nDIVERGED cells: {}", diverged.join("; "));
+    }
+    dump_json("churn_sweep", &out);
+    if !diverged.is_empty() {
+        std::process::exit(1);
+    }
+}

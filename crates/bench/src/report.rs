@@ -13,7 +13,7 @@ use teco_core::{
 };
 use teco_cxl::FaultConfig;
 use teco_mem::LineData;
-use teco_offload::{fault_report_md, scaling_report_md};
+use teco_offload::{churn_report_md, fault_report_md, scaling_report_md};
 use teco_sim::SimTime;
 
 /// A small fixed-seed faulty run so the report always carries a populated
@@ -180,4 +180,13 @@ pub fn datapath_section() -> String {
 pub fn scaling_section() -> String {
     let rows = sweeps::scaling_rows_with_workers(1);
     format!("\n{}", scaling_report_md(&sweeps::scaling_points(&rows)))
+}
+
+/// The fault-domain churn section: device loss, watchdog detection,
+/// shard redistribution, hot readmission, and pool-media RAS, rendered
+/// from the full churn sweep. Serial for the same reason as
+/// [`scaling_section`].
+pub fn churn_section() -> String {
+    let rows = sweeps::churn_rows_with_workers(1);
+    format!("\n{}", churn_report_md(&sweeps::churn_points(&rows)))
 }

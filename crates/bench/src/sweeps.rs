@@ -11,12 +11,12 @@
 
 use serde::{Deserialize, Serialize};
 use teco_core::{
-    run_cluster_uninterrupted, ClusterConfig, ClusterReport, ClusterWorkload, TecoConfig,
-    TecoSession,
+    run_churn, run_cluster_uninterrupted, ChurnWorkload, ClusterConfig, ClusterReport,
+    ClusterWorkload, TecoConfig, TecoSession,
 };
-use teco_cxl::FaultConfig;
+use teco_cxl::{FaultConfig, RasConfig};
 use teco_mem::{Addr, LineData};
-use teco_offload::{sweep_with_workers, ScalingPoint};
+use teco_offload::{sweep_with_workers, ChurnPoint, ScalingPoint};
 use teco_sim::SimTime;
 
 // ---------------------------------------------------------------------------
@@ -513,6 +513,219 @@ pub fn datapath_divergences(rows: &[DatapathRow]) -> Vec<String> {
     bad
 }
 
+// ---------------------------------------------------------------------------
+// Churn sweep (fault domains: device loss × media faults × N)
+// ---------------------------------------------------------------------------
+
+/// Device counts the churn sweep covers (≥ 2: a device must be losable).
+pub const CHURN_DEVICES: [usize; 2] = [2, 4];
+/// Media-fault rates (persistent uncorrectable faults per scrub tick).
+pub const CHURN_MEDIA_RATES: [f64; 2] = [0.0, 1.0];
+/// Steps per churn run.
+pub const CHURN_STEPS: u64 = 10;
+/// Parameter lines per replica.
+pub const CHURN_PARAM_LINES: u64 = 128;
+/// Gradient lines per device shard.
+pub const CHURN_GRAD_LINES: u64 = 32;
+/// Step at whose start the kill fires (kill modes only).
+pub const CHURN_KILL_STEP: u64 = 3;
+/// Steps between watchdog detection and hot readmission (readmit mode).
+pub const CHURN_READMIT_AFTER: u64 = 2;
+/// The RAS fault injector's fixed seed.
+pub const CHURN_RAS_SEED: u64 = 42;
+
+/// Failure schedule of one churn cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KillMode {
+    /// Never-failed run (the convergence baseline's shape).
+    None,
+    /// Kill one device; the cluster finishes at N−1.
+    Lose,
+    /// Kill one device, then hot-readmit it from the pooled state.
+    Readmit,
+}
+
+impl KillMode {
+    fn label(self) -> &'static str {
+        match self {
+            KillMode::None => "none",
+            KillMode::Lose => "lose",
+            KillMode::Readmit => "readmit",
+        }
+    }
+}
+
+/// One cell of the churn sweep's grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnCell {
+    /// Devices sharing the pool.
+    pub devices: usize,
+    /// Failure schedule.
+    pub kill: KillMode,
+    /// Persistent media faults per scrub tick (0 = RAS off).
+    pub media_rate: f64,
+}
+
+/// The grid: N ∈ {2, 4} × kill ∈ {none, lose, readmit} × media rate
+/// ∈ {0, 1}, devices-major.
+pub fn churn_grid() -> Vec<ChurnCell> {
+    let mut cells = Vec::new();
+    for &devices in &CHURN_DEVICES {
+        for &kill in &[KillMode::None, KillMode::Lose, KillMode::Readmit] {
+            for &media_rate in &CHURN_MEDIA_RATES {
+                cells.push(ChurnCell { devices, kill, media_rate });
+            }
+        }
+    }
+    cells
+}
+
+/// The fixed churn workload for one cell. Content is formulaic (see
+/// [`teco_core::churn`]), so a kill cell's end state is comparable by
+/// checksum to its clean baseline.
+pub fn churn_cell_workload(cell: &ChurnCell) -> ChurnWorkload {
+    let mut base = TecoConfig::default().with_act_aft_steps(2).with_giant_cache_bytes(1 << 22);
+    if cell.media_rate > 0.0 {
+        base = base.with_ras(RasConfig {
+            media_faults_per_tick: cell.media_rate,
+            scrub_lines_per_tick: 16,
+            spare_lines: 128,
+            seed: CHURN_RAS_SEED,
+        });
+    }
+    let mut w = ChurnWorkload {
+        cfg: ClusterConfig::new(base, cell.devices),
+        steps: CHURN_STEPS,
+        param_lines: CHURN_PARAM_LINES,
+        grad_lines: CHURN_GRAD_LINES,
+        kills: Vec::new(),
+        readmit_after: None,
+    };
+    match cell.kill {
+        KillMode::None => {}
+        KillMode::Lose => w = w.with_kill(cell.devices as u64 - 1, CHURN_KILL_STEP),
+        KillMode::Readmit => {
+            w = w
+                .with_kill(cell.devices as u64 - 1, CHURN_KILL_STEP)
+                .with_readmit_after(CHURN_READMIT_AFTER)
+        }
+    }
+    w
+}
+
+/// One row of `bench_results/churn_sweep.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnRow {
+    /// Devices sharing the pool.
+    pub devices: u64,
+    /// Failure schedule: `none`, `lose`, or `readmit`.
+    pub kill_mode: String,
+    /// Persistent media faults per scrub tick.
+    pub media_rate: f64,
+    /// Steps simulated.
+    pub steps: u64,
+    /// Watchdog detections.
+    pub down_events: u64,
+    /// Host-account quarantines.
+    pub quarantines: u64,
+    /// Hot readmissions performed.
+    pub readmits: u64,
+    /// Gradient-line pushes rerouted through survivors.
+    pub redistributed_lines: u64,
+    /// Typed `DeviceDown` errors the driver absorbed (never a panic).
+    pub typed_errors: u64,
+    /// Media faults injected (device + pool streams).
+    pub ras_faults_injected: u64,
+    /// Faults found by the patrol scrubber.
+    pub ras_detected_by_scrub: u64,
+    /// Faults found at access time.
+    pub ras_detected_on_access: u64,
+    /// Lines retired to spares.
+    pub ras_lines_retired: u64,
+    /// Quarantined lines rebuilt from the clean pooled copy.
+    pub ras_rebuilds: u64,
+    /// End-to-end cluster time.
+    pub cluster_time_ns: u64,
+    /// The pooled optimizer's end-state checksum.
+    pub pool_checksum: u64,
+    /// The clean (no-kill, no-RAS) baseline's pool checksum — must equal
+    /// `pool_checksum` in every cell: redistribution preserves the reduce
+    /// and chipkill-mirrored retirement preserves the pool bytes.
+    pub clean_pool_checksum: u64,
+    /// Did the pool and every live replica end byte-identical to the
+    /// clean baseline? (In `lose` mode the dead replica is excluded —
+    /// its last broadcasts never reached it.)
+    pub converged: bool,
+}
+
+/// Compute one churn row, including its own clean baseline (kill = none,
+/// RAS off), so rows are worker-independent.
+pub fn churn_row(cell: &ChurnCell) -> ChurnRow {
+    let clean_cell = ChurnCell { devices: cell.devices, kill: KillMode::None, media_rate: 0.0 };
+    let clean = run_churn(&churn_cell_workload(&clean_cell)).expect("clean churn run completes");
+    let out = run_churn(&churn_cell_workload(cell)).expect("churn run completes");
+    // Every device must match the clean run except a dead, never-readmitted
+    // one (the broadcasts after its death never reached it).
+    let dead = match cell.kill {
+        KillMode::Lose => Some(cell.devices - 1),
+        _ => None,
+    };
+    let converged = out.pool_checksum == clean.pool_checksum
+        && (0..cell.devices)
+            .filter(|&d| Some(d) != dead)
+            .all(|d| out.device_checksums[d] == clean.device_checksums[d]);
+    ChurnRow {
+        devices: cell.devices as u64,
+        kill_mode: cell.kill.label().to_string(),
+        media_rate: cell.media_rate,
+        steps: out.report.steps,
+        down_events: out.report.down_events,
+        quarantines: out.report.quarantines,
+        readmits: out.report.readmits,
+        redistributed_lines: out.redistributed_lines,
+        typed_errors: out.typed_errors,
+        ras_faults_injected: out.report.ras.faults_injected,
+        ras_detected_by_scrub: out.report.ras.detected_by_scrub,
+        ras_detected_on_access: out.report.ras.detected_on_access,
+        ras_lines_retired: out.report.ras.lines_retired,
+        ras_rebuilds: out.report.ras.rebuilds,
+        cluster_time_ns: out.report.cluster_time_ns,
+        pool_checksum: out.pool_checksum,
+        clean_pool_checksum: clean.pool_checksum,
+        converged,
+    }
+}
+
+/// The full churn sweep at an explicit worker count.
+pub fn churn_rows_with_workers(workers: usize) -> Vec<ChurnRow> {
+    let grid = churn_grid();
+    sweep_with_workers(&grid, workers, |_, cell| churn_row(cell))
+}
+
+/// The full churn sweep across all cores.
+pub fn churn_rows() -> Vec<ChurnRow> {
+    churn_rows_with_workers(teco_dl::num_cores())
+}
+
+/// Reduce churn rows to the report renderer's plain points.
+pub fn churn_points(rows: &[ChurnRow]) -> Vec<ChurnPoint> {
+    rows.iter()
+        .map(|r| ChurnPoint {
+            devices: r.devices,
+            kill_mode: r.kill_mode.clone(),
+            media_rate: r.media_rate,
+            down_events: r.down_events,
+            readmits: r.readmits,
+            redistributed_lines: r.redistributed_lines,
+            faults_injected: r.ras_faults_injected,
+            lines_retired: r.ras_lines_retired,
+            rebuilds: r.ras_rebuilds,
+            cluster_time_ns: r.cluster_time_ns,
+            converged: r.converged,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -556,6 +769,29 @@ mod tests {
             .collect();
         assert_eq!(datapath_divergences(&rows), Vec::<String>::new());
         assert!(rows[0].link_retries > 0, "fault model should have fired");
+    }
+
+    #[test]
+    fn churn_grid_shape_and_none_cell_is_clean() {
+        let grid = churn_grid();
+        assert_eq!(grid.len(), 12);
+        assert_eq!(grid[0], ChurnCell { devices: 2, kill: KillMode::None, media_rate: 0.0 });
+        let row = churn_row(&grid[0]);
+        assert_eq!(row.down_events, 0);
+        assert_eq!(row.redistributed_lines, 0);
+        assert_eq!(row.pool_checksum, row.clean_pool_checksum);
+        assert!(row.converged);
+    }
+
+    #[test]
+    fn churn_readmit_cell_converges_under_media_faults() {
+        let row = churn_row(&ChurnCell { devices: 2, kill: KillMode::Readmit, media_rate: 1.0 });
+        assert_eq!(row.down_events, 1);
+        assert_eq!(row.readmits, 1);
+        assert!(row.typed_errors >= 1, "kill must surface typed");
+        assert!(row.redistributed_lines > 0);
+        assert!(row.ras_faults_injected > 0, "media faults must fire");
+        assert!(row.converged, "readmitted cell must converge to clean baseline");
     }
 
     #[test]

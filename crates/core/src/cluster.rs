@@ -36,12 +36,15 @@ use crate::config::TecoConfig;
 use crate::resume::{audit_status, device_report, KillPoint, ResumeReport, StepBoundary};
 use crate::session::{SessionError, SessionSnapshot, TecoSession};
 use serde::{Deserialize, Serialize};
-use teco_cxl::{HostAccount, HostLinkArbiter, HostLinkArbiterSnapshot};
+use teco_cxl::{
+    FenceDeadline, HostAccount, HostLinkArbiter, HostLinkArbiterSnapshot, MediaRas,
+    MediaRasSnapshot, RasStats,
+};
 use teco_mem::{Addr, LineData, LINE_BYTES};
 use teco_sim::{decode_snapshot, encode_snapshot, Bandwidth, SimRng, SimTime, SnapshotError};
 
 /// Configuration for an N-accelerator cluster.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// The per-device TECO configuration, replicated across devices.
     pub base: TecoConfig,
@@ -51,17 +54,29 @@ pub struct ClusterConfig {
     /// two DDR4-2400 channels) sits between two and three paper links
     /// (15.088 GB/s each), so contention appears from N=3 up.
     pub host_dram_gb_per_sec: f64,
+    /// Device-loss watchdog deadline in nanoseconds: a device whose fence
+    /// acknowledgment is further away than this at a cluster fence point
+    /// is declared down and its host account quarantined. `0` disables
+    /// the watchdog (a dead device then hangs the fence forever, exactly
+    /// the failure mode the watchdog exists to bound). Default 1 ms.
+    pub watchdog_deadline_ns: u64,
 }
 
 impl ClusterConfig {
     /// A cluster of `devices` replicas of `base`.
     pub fn new(base: TecoConfig, devices: usize) -> Self {
-        ClusterConfig { base, devices, host_dram_gb_per_sec: 38.4 }
+        ClusterConfig { base, devices, host_dram_gb_per_sec: 38.4, watchdog_deadline_ns: 1_000_000 }
     }
 
     /// Builder-style: set the shared host DRAM budget.
     pub fn with_host_dram_gb_per_sec(mut self, gb: f64) -> Self {
         self.host_dram_gb_per_sec = gb;
+        self
+    }
+
+    /// Builder-style: set the device-loss watchdog deadline (0 disables).
+    pub fn with_watchdog_deadline_ns(mut self, ns: u64) -> Self {
+        self.watchdog_deadline_ns = ns;
         self
     }
 
@@ -80,6 +95,53 @@ impl ClusterConfig {
 
     fn host_bandwidth(&self) -> Bandwidth {
         Bandwidth::from_gb_per_sec(self.host_dram_gb_per_sec)
+    }
+
+    /// The per-device session configuration: device `d` forks its media-
+    /// RAS fault stream by offsetting the seed (device 0 keeps the base
+    /// seed, so an N=1 cluster stays bit-identical to a lone session).
+    fn device_config(&self, d: usize) -> TecoConfig {
+        let mut c = self.base.clone();
+        if c.ras.enabled() {
+            c.ras.seed = c.ras.seed.wrapping_add(d as u64);
+        }
+        c
+    }
+}
+
+// Hand-written (de)serialization: the vendored derive has no field
+// attributes, and `watchdog_deadline_ns` must be omitted at its default
+// so pre-fault-domain config bytes are unchanged.
+impl Serialize for ClusterConfig {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("base".to_string(), self.base.to_value()),
+            ("devices".to_string(), self.devices.to_value()),
+            ("host_dram_gb_per_sec".to_string(), self.host_dram_gb_per_sec.to_value()),
+        ];
+        if self.watchdog_deadline_ns != 1_000_000 {
+            fields.push(("watchdog_deadline_ns".to_string(), self.watchdog_deadline_ns.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for ClusterConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        fn req<T: Deserialize>(v: &serde::Value, key: &str) -> Result<T, serde::Error> {
+            T::from_value(v.get(key).ok_or_else(|| {
+                serde::Error::custom(format!("missing field `{key}` in ClusterConfig"))
+            })?)
+        }
+        Ok(ClusterConfig {
+            base: req(v, "base")?,
+            devices: req(v, "devices")?,
+            host_dram_gb_per_sec: req(v, "host_dram_gb_per_sec")?,
+            watchdog_deadline_ns: match v.get("watchdog_deadline_ns") {
+                Some(wv) => u64::from_value(wv)?,
+                None => 1_000_000,
+            },
+        })
     }
 }
 
@@ -218,13 +280,32 @@ pub struct ClusterSession {
     /// Per-device `bytes_to_host` watermark: the delta since the previous
     /// gradient round is what contends for the host budget this round.
     host_seen: Vec<u64>,
-    /// Device 0's `bytes_to_device` watermark: the broadcast's wire cost
-    /// (identical on every device) read off one representative.
-    bcast_seen: u64,
+    /// Per-device `bytes_to_device` watermarks: the broadcast's wire cost
+    /// is read off the first *alive* device (identical on every alive
+    /// device), and a readmitted device restarts its own watermark.
+    bcast_seen: Vec<u64>,
     /// Scratch for arbitration rounds; reused so the steady state
     /// allocates nothing.
     ready_buf: Vec<SimTime>,
     req_buf: Vec<u64>,
+    /// Per-device liveness: `false` after [`ClusterSession::kill_device`].
+    alive: Vec<bool>,
+    /// Per-device watchdog verdicts: a dead device becomes *detected* at
+    /// the first cluster fence whose deadline it blows.
+    detected_down: Vec<bool>,
+    /// Device-loss events the watchdog declared.
+    down_events: u64,
+    /// Hot readmissions performed.
+    readmits: u64,
+    /// Pool-media RAS over the pooled master-parameter pages; `None` when
+    /// `cfg.base.ras` is off. Pool pages are chipkill-mirrored, so
+    /// retirement re-homes them without content loss — the observable
+    /// cost is spare consumption and scrub/retire accounting.
+    pool_ras: Option<MediaRas>,
+    /// Spare pool pages left for retirement remaps.
+    pool_spares_left: u64,
+    /// Reused scratch for the pool patrol scrubber.
+    pool_scrub_buf: Vec<u64>,
 }
 
 impl ClusterSession {
@@ -232,8 +313,14 @@ impl ClusterSession {
     pub fn new(cfg: ClusterConfig) -> Result<Self, SessionError> {
         cfg.validate().map_err(SessionError::Config)?;
         let n = cfg.devices;
-        let devices =
-            (0..n).map(|_| TecoSession::new(cfg.base.clone())).collect::<Result<Vec<_>, _>>()?;
+        let devices = (0..n)
+            .map(|d| TecoSession::new(cfg.device_config(d)))
+            .collect::<Result<Vec<_>, _>>()?;
+        let pool_ras = if cfg.base.ras.enabled() {
+            Some(MediaRas::with_label(cfg.base.ras, "pool"))
+        } else {
+            None
+        };
         Ok(ClusterSession {
             arbiter: HostLinkArbiter::new(cfg.host_bandwidth(), n),
             devices,
@@ -243,9 +330,16 @@ impl ClusterSession {
             param_base: Addr(0),
             grad_base: Addr(0),
             host_seen: vec![0; n],
-            bcast_seen: 0,
+            bcast_seen: vec![0; n],
             ready_buf: vec![SimTime::ZERO; n],
             req_buf: vec![0; n],
+            alive: vec![true; n],
+            detected_down: vec![false; n],
+            down_events: 0,
+            readmits: 0,
+            pool_spares_left: cfg.base.ras.spare_lines,
+            pool_ras,
+            pool_scrub_buf: Vec::new(),
             cfg,
         })
     }
@@ -281,6 +375,34 @@ impl ClusterSession {
     /// Gradient region base (identical on every device).
     pub fn grad_base(&self) -> Addr {
         self.grad_base
+    }
+    /// Is device `dev` alive (not killed)?
+    pub fn is_alive(&self, dev: usize) -> bool {
+        self.alive[dev]
+    }
+    /// Has the watchdog declared device `dev` down?
+    pub fn is_detected_down(&self, dev: usize) -> bool {
+        self.detected_down[dev]
+    }
+    /// Alive devices right now.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+    /// Device-loss events the watchdog declared.
+    pub fn down_events(&self) -> u64 {
+        self.down_events
+    }
+    /// Hot readmissions performed.
+    pub fn readmits(&self) -> u64 {
+        self.readmits
+    }
+
+    /// Kill injection: device `dev` stops responding *now*. Nothing is
+    /// detected yet — every subsequent operation addressed to it fails
+    /// typed, and the watchdog declares it at the next cluster fence.
+    pub fn kill_device(&mut self, dev: usize) {
+        assert!(dev < self.devices.len(), "device {dev} out of range");
+        self.alive[dev] = false;
     }
 
     /// The cluster-level clock: the slowest device clock or the shared
@@ -330,15 +452,24 @@ impl ClusterSession {
     }
 
     /// Push gradient line `i` of device `dev`'s shard device→CPU and
-    /// reduce it into the pool accumulator.
+    /// reduce it into the pool accumulator. A dead device fails typed —
+    /// the shard must be redistributed to survivors instead.
     pub fn push_grad_shard(
         &mut self,
         dev: usize,
         i: u64,
         line: LineData,
     ) -> Result<(), SessionError> {
+        if !self.alive[dev] {
+            return Err(SessionError::DeviceDown {
+                device: dev as u64,
+                time_ns: self.now[dev].as_ns(),
+            });
+        }
         let addr = Addr(self.grad_base.0 + i * LINE_BYTES as u64);
-        self.devices[dev].push_grad_line(addr, line, self.now[dev])?;
+        self.devices[dev]
+            .push_grad_line(addr, line, self.now[dev])
+            .map_err(|e| e.in_context(dev as u64, Some("grads".to_string()), self.now[dev]))?;
         self.pool.reduce(i as usize, &line);
         Ok(())
     }
@@ -347,51 +478,182 @@ impl ClusterSession {
     /// landing in the pooled memory on the shared host budget (one
     /// round-robin round; each device's request is its wire volume since
     /// the previous round, ready when its own fence completed).
-    pub fn fence_grads_all(&mut self) {
+    ///
+    /// This fence point doubles as the device-loss watchdog: a dead
+    /// device's fence acknowledgment never arrives, so the shared
+    /// [`FenceDeadline`] expires against an infinitely-late completion,
+    /// the device is declared down, and its host account is quarantined.
+    /// Returns the devices *newly* detected down (empty in the steady
+    /// state — no allocation).
+    pub fn fence_grads_all(&mut self) -> Vec<usize> {
         let n = self.devices.len();
+        let mut newly_down = Vec::new();
+        let deadline = FenceDeadline::from_ns(self.cfg.watchdog_deadline_ns);
         for d in 0..n {
-            self.now[d] = self.devices[d].cxlfence_grads(self.now[d]);
+            if self.alive[d] {
+                self.now[d] = self.devices[d].cxlfence_grads(self.now[d]);
+            } else if !self.detected_down[d] && deadline.expired(self.now[d], SimTime::MAX) {
+                // The watchdog waits out its full deadline before giving
+                // up on the fence — that wait is real simulated time.
+                self.now[d] += deadline.timeout();
+                self.detected_down[d] = true;
+                self.down_events += 1;
+                self.arbiter.quarantine_device(d);
+                newly_down.push(d);
+            }
         }
+        self.pool_ras_maintenance();
         for d in 0..n {
-            let b = self.devices[d].stats().bytes_to_host;
-            self.req_buf[d] = b - self.host_seen[d];
-            self.host_seen[d] = b;
+            if self.alive[d] {
+                let b = self.devices[d].stats().bytes_to_host;
+                self.req_buf[d] = b - self.host_seen[d];
+                self.host_seen[d] = b;
+            } else {
+                self.req_buf[d] = 0;
+            }
             self.ready_buf[d] = self.now[d];
         }
         self.arbiter.arbitrate_round(&self.ready_buf, &self.req_buf);
+        newly_down
     }
 
-    /// Listing 1's `check_activation` on every device at the current step.
+    /// One patrol-scrub window over the pooled master-parameter pages.
+    /// Pool pages are chipkill-mirrored: a detected fault retires the
+    /// page to a spare with no content loss, so the training data is
+    /// never perturbed — only the RAS accounting moves.
+    fn pool_ras_maintenance(&mut self) {
+        let Some(ras) = self.pool_ras.as_mut() else { return };
+        let lines = self.pool.params.len() as u64;
+        if lines == 0 {
+            return;
+        }
+        ras.tick(lines);
+        let mut buf = std::mem::take(&mut self.pool_scrub_buf);
+        buf.clear();
+        ras.scrub(lines, &mut buf);
+        for _ in 0..buf.len() {
+            let remapped = self.pool_spares_left > 0;
+            if remapped {
+                self.pool_spares_left -= 1;
+            }
+            ras.note_retired(remapped);
+        }
+        self.pool_scrub_buf = buf;
+    }
+
+    /// Listing 1's `check_activation` on every device at the current
+    /// step. Dead devices are skipped — there is nobody to run it.
     pub fn check_activation_all(&mut self) -> bool {
         let step = self.step;
         let mut active = true;
-        for dev in &mut self.devices {
-            active &= dev.check_activation(step);
+        for (d, dev) in self.devices.iter_mut().enumerate() {
+            if self.alive[d] {
+                active &= dev.check_activation(step);
+            }
         }
         active
     }
 
     /// Broadcast the pooled optimizer's updated parameters: store the
-    /// master copy, push the same lines through every device's update-mode
-    /// coherence path (each on its own clock), fence each device, and
-    /// charge the host budget **once** for the pool read — the fan-out is
-    /// the coherence fabric's, not the DRAM's. Completes the step.
+    /// master copy, push the same lines through every alive device's
+    /// update-mode coherence path (each on its own clock), fence each
+    /// device, and charge the host budget **once** for the pool read —
+    /// the fan-out is the coherence fabric's, not the DRAM's. Completes
+    /// the step.
+    ///
+    /// A dead device the watchdog has not yet declared hangs the
+    /// broadcast: that surfaces as a typed [`SessionError::DeviceDown`]
+    /// (mid-broadcast kill injection), never a panic. Declared-down
+    /// devices are skipped and the fan-out shrinks to the survivors.
     pub fn broadcast_params(&mut self, lines: &[LineData]) -> Result<(), SessionError> {
-        self.pool.store_params(lines);
         let n = self.devices.len();
         for d in 0..n {
-            self.devices[d].push_param_lines(self.param_base, lines, self.now[d])?;
-            self.now[d] = self.devices[d].cxlfence_params(self.now[d]);
+            if !self.alive[d] && !self.detected_down[d] {
+                return Err(SessionError::DeviceDown {
+                    device: d as u64,
+                    time_ns: self.now[d].as_ns(),
+                }
+                .in_context(d as u64, Some("params".to_string()), self.now[d]));
+            }
         }
-        let b0 = self.devices[0].stats().bytes_to_device;
-        let wire = b0 - self.bcast_seen;
-        self.bcast_seen = b0;
+        self.pool.store_params(lines);
+        let mut fanout = 0usize;
+        let mut wire = 0u64;
+        for d in 0..n {
+            if !self.alive[d] {
+                continue;
+            }
+            self.devices[d]
+                .push_param_lines(self.param_base, lines, self.now[d])
+                .map_err(|e| e.in_context(d as u64, Some("params".to_string()), self.now[d]))?;
+            self.now[d] = self.devices[d].cxlfence_params(self.now[d]);
+            let b = self.devices[d].stats().bytes_to_device;
+            if fanout == 0 {
+                // The wire cost is identical on every alive device; read
+                // it off the first one.
+                wire = b - self.bcast_seen[d];
+            }
+            self.bcast_seen[d] = b;
+            fanout += 1;
+        }
         // The pool read queues on the host budget right after the gradient
         // round it depends on.
-        let ready = self.arbiter.drained_at();
-        self.arbiter.charge_broadcast(ready, wire, n);
+        if fanout > 0 {
+            let ready = self.arbiter.drained_at();
+            self.arbiter.charge_broadcast(ready, wire, fanout);
+        }
         self.step += 1;
         Ok(())
+    }
+
+    /// Hot readmission: rebuild device `dev` from nothing but the pooled
+    /// CPU optimizer state. A fresh session is constructed from the
+    /// per-device config, the replicated tensors are re-mapped at their
+    /// original bases, the master parameters are pushed (one pool read on
+    /// the host budget) and fenced, and the device rejoins arbitration.
+    /// Subsequent broadcasts reconverge it with the never-failed replicas.
+    pub fn readmit_device(&mut self, dev: usize) -> Result<(), SessionError> {
+        assert!(dev < self.devices.len(), "device {dev} out of range");
+        assert!(
+            !self.alive[dev] && self.detected_down[dev],
+            "readmit needs a watchdog-declared dead device"
+        );
+        let mut session = TecoSession::new(self.cfg.device_config(dev))?;
+        let param_bytes = self.pool.params.len() as u64 * LINE_BYTES as u64;
+        let grad_bytes = self.pool.grads.len() as u64 * LINE_BYTES as u64;
+        let (_, pb) = session.alloc_tensor("params", param_bytes)?;
+        let (_, gb) = session.alloc_tensor("grads", grad_bytes)?;
+        assert_eq!(pb, self.param_base, "readmitted device must re-map the same bases");
+        assert_eq!(gb, self.grad_base, "readmitted device must re-map the same bases");
+        // The rebuild starts at the cluster's current horizon: the pool
+        // read cannot begin before the state it copies exists.
+        let start = self.cluster_time();
+        session
+            .push_param_lines(self.param_base, &self.pool.params, start)
+            .map_err(|e| e.in_context(dev as u64, Some("params".to_string()), start))?;
+        let done = session.cxlfence_params(start);
+        // One pool read for the rebuild, fanned out to one device.
+        let wire = session.stats().bytes_to_device;
+        let ready = self.arbiter.drained_at();
+        self.arbiter.charge_broadcast(ready, wire, 1);
+        self.arbiter.readmit_device(dev);
+        self.host_seen[dev] = session.stats().bytes_to_host;
+        self.bcast_seen[dev] = session.stats().bytes_to_device;
+        self.now[dev] = done;
+        self.devices[dev] = session;
+        self.alive[dev] = true;
+        self.detected_down[dev] = false;
+        self.readmits += 1;
+        Ok(())
+    }
+
+    /// Aggregated media-RAS statistics: every device's plus the pool's.
+    pub fn ras_report(&self) -> RasStats {
+        let mut total = self.pool_ras.as_ref().map(|r| *r.stats()).unwrap_or_default();
+        for d in &self.devices {
+            total.merge(&d.ras_report());
+        }
+        total
     }
 
     /// Per-device reports (shared `device_report` path) plus the
@@ -405,6 +667,10 @@ impl ClusterSession {
             .collect();
         let total_wait_ns = self.arbiter.accounts().iter().map(|a| a.wait_ns).sum();
         ClusterReport {
+            down_events: self.down_events,
+            readmits: self.readmits,
+            quarantines: self.arbiter.quarantine_events(),
+            ras: self.ras_report(),
             n_devices: self.devices.len() as u64,
             steps: self.step,
             cluster_time_ns: self.cluster_time().as_ns(),
@@ -439,7 +705,13 @@ impl ClusterSession {
             param_base: self.param_base.0,
             grad_base: self.grad_base.0,
             host_seen: self.host_seen.clone(),
-            bcast_seen: self.bcast_seen,
+            bcast_seen: self.bcast_seen.clone(),
+            alive: self.alive.clone(),
+            detected_down: self.detected_down.clone(),
+            down_events: self.down_events,
+            readmits: self.readmits,
+            pool_ras: self.pool_ras.as_ref().map(|r| r.snapshot()),
+            pool_spares_left: self.pool_spares_left,
         }
     }
 
@@ -462,9 +734,16 @@ impl ClusterSession {
             param_base: Addr(s.param_base),
             grad_base: Addr(s.grad_base),
             host_seen: s.host_seen.clone(),
-            bcast_seen: s.bcast_seen,
+            bcast_seen: s.bcast_seen.clone(),
             ready_buf: vec![SimTime::ZERO; n],
             req_buf: vec![0; n],
+            alive: s.alive.clone(),
+            detected_down: s.detected_down.clone(),
+            down_events: s.down_events,
+            readmits: s.readmits,
+            pool_ras: s.pool_ras.as_ref().map(MediaRas::from_snapshot),
+            pool_spares_left: s.pool_spares_left,
+            pool_scrub_buf: Vec::new(),
         })
     }
 
@@ -495,8 +774,20 @@ pub struct ClusterSnapshot {
     pub grad_base: u64,
     /// Per-device `bytes_to_host` watermarks.
     pub host_seen: Vec<u64>,
-    /// Broadcast wire watermark (device 0's `bytes_to_device`).
-    pub bcast_seen: u64,
+    /// Per-device broadcast wire watermarks (`bytes_to_device`).
+    pub bcast_seen: Vec<u64>,
+    /// Per-device liveness flags.
+    pub alive: Vec<bool>,
+    /// Per-device watchdog verdicts.
+    pub detected_down: Vec<bool>,
+    /// Device-loss events declared so far.
+    pub down_events: u64,
+    /// Hot readmissions performed so far.
+    pub readmits: u64,
+    /// Pool-media RAS state; `None` when RAS is off.
+    pub pool_ras: Option<MediaRasSnapshot>,
+    /// Spare pool pages left for retirement remaps.
+    pub pool_spares_left: u64,
 }
 
 /// Host-side accounting in a [`ClusterReport`].
@@ -528,6 +819,14 @@ pub struct HostLinkReport {
 /// an N=1 cluster is the single-device [`ResumeReport`] verbatim.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterReport {
+    /// Device-loss events the watchdog declared.
+    pub down_events: u64,
+    /// Hot readmissions performed.
+    pub readmits: u64,
+    /// Arbiter quarantine transitions.
+    pub quarantines: u64,
+    /// Aggregated media-RAS statistics (pool + every device).
+    pub ras: RasStats,
     /// Devices in the cluster.
     pub n_devices: u64,
     /// Steps completed.

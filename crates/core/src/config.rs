@@ -7,10 +7,10 @@
 //! producer-consumer workloads, invalidation otherwise.
 
 use serde::{Deserialize, Serialize};
-use teco_cxl::{CxlConfig, ProtocolMode};
+use teco_cxl::{CxlConfig, ProtocolMode, RasConfig};
 
 /// The TECO runtime configuration (the "AI model configuration file" knobs).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TecoConfig {
     /// Steps before DBA activates (`act_aft_steps`, §V-A; default 500).
     pub act_aft_steps: u64,
@@ -30,6 +30,52 @@ pub struct TecoConfig {
     /// every fence. Off by default — the legacy path then pays nothing: no
     /// shadow allocations, no extra RNG draws, no audit walks.
     pub audit: bool,
+    /// Pool-media RAS: persistent uncorrectable faults, patrol scrub,
+    /// and page retirement. Off by default — then no `MediaRas` is ever
+    /// constructed and the session is bit-identical to a pre-RAS build.
+    pub ras: RasConfig,
+}
+
+// Hand-written (de)serialization: the vendored derive has no field
+// attributes, and `ras` must be omitted while off so pre-RAS config
+// bytes (digested inside committed session snapshots) are unchanged.
+impl Serialize for TecoConfig {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("act_aft_steps".to_string(), self.act_aft_steps.to_value()),
+            ("dirty_bytes".to_string(), self.dirty_bytes.to_value()),
+            ("protocol".to_string(), self.protocol.to_value()),
+            ("cxl".to_string(), self.cxl.to_value()),
+            ("giant_cache_bytes".to_string(), self.giant_cache_bytes.to_value()),
+            ("audit".to_string(), self.audit.to_value()),
+        ];
+        if !self.ras.is_off() {
+            fields.push(("ras".to_string(), self.ras.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for TecoConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        fn req<T: Deserialize>(v: &serde::Value, key: &str) -> Result<T, serde::Error> {
+            T::from_value(v.get(key).ok_or_else(|| {
+                serde::Error::custom(format!("missing field `{key}` in TecoConfig"))
+            })?)
+        }
+        Ok(TecoConfig {
+            act_aft_steps: req(v, "act_aft_steps")?,
+            dirty_bytes: req(v, "dirty_bytes")?,
+            protocol: req(v, "protocol")?,
+            cxl: req(v, "cxl")?,
+            giant_cache_bytes: req(v, "giant_cache_bytes")?,
+            audit: req(v, "audit")?,
+            ras: match v.get("ras") {
+                Some(rv) => RasConfig::from_value(rv)?,
+                None => RasConfig::off(),
+            },
+        })
+    }
 }
 
 impl Default for TecoConfig {
@@ -41,6 +87,7 @@ impl Default for TecoConfig {
             cxl: CxlConfig::paper(),
             giant_cache_bytes: 1 << 30,
             audit: false,
+            ras: RasConfig::off(),
         }
     }
 }
@@ -54,6 +101,7 @@ impl TecoConfig {
         if self.giant_cache_bytes == 0 {
             return Err("giant cache capacity must be nonzero".into());
         }
+        self.ras.validate()?;
         Ok(())
     }
 
@@ -86,6 +134,11 @@ impl TecoConfig {
     /// Builder-style: enable the paranoid invariant auditor.
     pub fn with_audit(mut self, on: bool) -> Self {
         self.audit = on;
+        self
+    }
+    /// Builder-style: configure pool-media RAS (off by default).
+    pub fn with_ras(mut self, ras: RasConfig) -> Self {
+        self.ras = ras;
         self
     }
 }
@@ -131,5 +184,25 @@ mod tests {
         let back: TecoConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.act_aft_steps, 321);
         assert_eq!(back.dirty_bytes, c.dirty_bytes);
+    }
+
+    #[test]
+    fn ras_field_omitted_while_off() {
+        let off = TecoConfig::default();
+        let json = serde_json::to_string(&off).unwrap();
+        assert!(!json.contains("ras"), "RAS-off config must serialize pre-RAS bytes");
+        let back: TecoConfig = serde_json::from_str(&json).unwrap();
+        assert!(back.ras.is_off());
+
+        let on = TecoConfig::default().with_ras(RasConfig {
+            media_faults_per_tick: 0.25,
+            scrub_lines_per_tick: 8,
+            spare_lines: 4,
+            seed: 7,
+        });
+        let json = serde_json::to_string(&on).unwrap();
+        assert!(json.contains("ras"));
+        let back: TecoConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.ras, on.ras);
     }
 }

@@ -24,12 +24,17 @@
 //! For whole-training-run *timing* simulation use `teco-offload`; for live
 //! convergence-with-DBA training use `teco_offload::convergence`.
 
+pub mod churn;
 pub mod cluster;
 pub mod config;
 pub mod resume;
 pub mod session;
 pub mod trainer;
 
+pub use churn::{
+    churn_grad_line, churn_param_line, run_churn, ChurnDetection, ChurnOutcome, ChurnWorkload,
+    KillSpec,
+};
 pub use cluster::{
     run_cluster_resumed, run_cluster_uninterrupted, ClusterConfig, ClusterDriver, ClusterReport,
     ClusterRunOutcome, ClusterSession, ClusterSnapshot, ClusterWorkload, ClusterWorkloadSnapshot,

@@ -16,8 +16,8 @@ use std::collections::{HashMap, HashSet};
 use teco_cxl::{
     audit_all, line_checksum, merged_reference, Agent, Aggregator, AggregatorSnapshot, AuditError,
     CoherenceFabric, CoherenceSnapshot, CxlFence, CxlLink, CxlLinkSnapshot, CxlPacket, DbaRegister,
-    Direction, FaultStats, FenceStats, FenceTimeout, GiantCache, GiantCacheError,
-    GiantCacheSnapshot, LinkError, Opcode, ProtocolMode,
+    Direction, FaultStats, FenceDeadline, FenceStats, FenceTimeout, GiantCache, GiantCacheError,
+    GiantCacheSnapshot, LinkError, MediaRas, MediaRasSnapshot, Opcode, ProtocolMode, RasStats,
 };
 use teco_mem::{Addr, LineData, RegionId, LINE_BYTES};
 use teco_sim::{Interval, SimTime};
@@ -52,6 +52,42 @@ pub enum SessionError {
     Fence(FenceTimeout),
     /// The paranoid auditor found a cross-module invariant violation.
     Audit(AuditError),
+    /// A cluster device stopped responding: its fence never reaches the
+    /// watchdog deadline's horizon and every operation on it fails typed.
+    DeviceDown {
+        /// The dead device's index.
+        device: u64,
+        /// Simulation time the operation observed the loss, ns.
+        time_ns: u64,
+    },
+    /// An inner error wrapped with attribution context, so a failure in
+    /// an N-device cluster names the device, region, and sim time that
+    /// produced it from the error alone.
+    Context {
+        /// Device the failing operation ran on.
+        device: u64,
+        /// Giant-cache region involved, when known.
+        region: Option<String>,
+        /// Simulation time of the failure, ns.
+        time_ns: u64,
+        /// The underlying error.
+        source: Box<SessionError>,
+    },
+}
+
+impl SessionError {
+    /// Wrap this error with cluster attribution context.
+    pub fn in_context(self, device: u64, region: Option<String>, now: SimTime) -> SessionError {
+        SessionError::Context { device, region, time_ns: now.as_ns(), source: Box::new(self) }
+    }
+
+    /// The innermost (context-free) error, for `matches!`-style dispatch.
+    pub fn root(&self) -> &SessionError {
+        match self {
+            SessionError::Context { source, .. } => source.root(),
+            other => other,
+        }
+    }
 }
 
 impl std::fmt::Display for SessionError {
@@ -62,6 +98,16 @@ impl std::fmt::Display for SessionError {
             SessionError::Link(e) => write!(f, "link: {e}"),
             SessionError::Fence(e) => write!(f, "fence: {e}"),
             SessionError::Audit(e) => write!(f, "audit: {e}"),
+            SessionError::DeviceDown { device, time_ns } => {
+                write!(f, "device {device} down at t={time_ns} ns: link unresponsive")
+            }
+            SessionError::Context { device, region, time_ns, source } => {
+                write!(f, "device {device}")?;
+                if let Some(r) = region {
+                    write!(f, " region `{r}`")?;
+                }
+                write!(f, " at t={time_ns} ns: {source}")
+            }
         }
     }
 }
@@ -118,6 +164,13 @@ pub struct TecoSession {
     /// off — the legacy path then never touches it (no allocations, no
     /// hashing, no walks).
     shadow: Option<HashMap<u64, LineData>>,
+    /// Pool-media RAS for this device's giant-cache pages: persistent
+    /// fault arrivals, the patrol scrubber, and retirement accounting.
+    /// `None` when `cfg.ras` is off — the legacy path then pays nothing.
+    media: Option<MediaRas>,
+    /// Reused scratch for patrol-scrub results; retains capacity across
+    /// steps so the RAS steady state allocates nothing.
+    scrub_buf: Vec<u64>,
 }
 
 impl TecoSession {
@@ -125,9 +178,13 @@ impl TecoSession {
     /// setting.
     pub fn new(cfg: TecoConfig) -> Result<Self, SessionError> {
         cfg.validate().map_err(SessionError::Config)?;
+        let mut giant_cache = GiantCache::new(cfg.giant_cache_bytes);
+        if cfg.ras.enabled() {
+            giant_cache.configure_spares(cfg.ras.spare_lines);
+        }
         Ok(TecoSession {
             aggregator: Aggregator::new(),
-            giant_cache: GiantCache::new(cfg.giant_cache_bytes),
+            giant_cache,
             coherence: CoherenceFabric::new(cfg.protocol),
             link: CxlLink::new(cfg.cxl),
             fence: CxlFence::new(),
@@ -138,6 +195,8 @@ impl TecoSession {
             degraded: HashSet::new(),
             degraded_names: Vec::new(),
             shadow: if cfg.audit { Some(HashMap::new()) } else { None },
+            media: if cfg.ras.enabled() { Some(MediaRas::new(cfg.ras)) } else { None },
+            scrub_buf: Vec::new(),
             cfg,
         })
     }
@@ -206,6 +265,7 @@ impl TecoSession {
     /// propagating it to the accelerator's module via a `DbaConfig`
     /// message. Returns whether DBA is active.
     pub fn check_activation(&mut self, step: u64) -> bool {
+        self.ras_maintenance();
         self.stats.steps = self.stats.steps.max(step + 1);
         let should = step >= self.cfg.act_aft_steps
             && self.cfg.dirty_bytes < 4
@@ -218,6 +278,58 @@ impl TecoSession {
             self.dba_active = true;
         }
         self.dba_active
+    }
+
+    /// Per-step pool-media RAS events, run as part of the training-step
+    /// schedule: persistent-fault arrivals land in the latent set, then
+    /// one budgeted patrol-scrub window walks its region slice and every
+    /// latent fault it finds is retired on the spot. A no-op when RAS is
+    /// off.
+    fn ras_maintenance(&mut self) {
+        if self.media.is_none() {
+            return;
+        }
+        let mapped = self.giant_cache.mapped_lines() as u64;
+        let mut buf = std::mem::take(&mut self.scrub_buf);
+        buf.clear();
+        {
+            let media = self.media.as_mut().expect("checked above");
+            media.tick(mapped);
+            media.scrub(mapped, &mut buf);
+        }
+        for &line in &buf {
+            self.retire_media_line(line);
+        }
+        self.scrub_buf = buf;
+    }
+
+    /// Retire one faulted giant-cache line: quarantine it so no read can
+    /// return the corrupt media (the PR 2 containment front end), and
+    /// re-home its storage to a spare slot when one is available. The
+    /// next parameter push to the line rebuilds it from the authoritative
+    /// CPU copy via the full-line heal path.
+    fn retire_media_line(&mut self, line: u64) {
+        let addr = Addr(line * LINE_BYTES as u64);
+        let remapped = self.giant_cache.retire_line(addr).unwrap_or(false);
+        let _ = self.giant_cache.quarantine_line(addr);
+        if let Some(m) = self.media.as_mut() {
+            m.note_retired(remapped);
+        }
+    }
+
+    /// Is the pool-media RAS model enabled?
+    pub fn ras_enabled(&self) -> bool {
+        self.media.is_some()
+    }
+
+    /// Pool-media RAS statistics (all-zero when RAS is off).
+    pub fn ras_report(&self) -> RasStats {
+        self.media.as_ref().map(|m| *m.stats()).unwrap_or_default()
+    }
+
+    /// Latent (injected, not yet detected) media faults right now.
+    pub fn ras_latent(&self) -> u64 {
+        self.media.as_ref().map_or(0, |m| m.latent_count())
     }
 
     /// Push one *parameter* cache line CPU→device through the full TECO
@@ -261,9 +373,10 @@ impl TecoSession {
             }
         }
         // The guarded per-line ladder runs only when it can matter: with
-        // the fault model off and nothing degraded, the bulk fast path is
-        // byte- and cycle-identical to the pre-fault-model behavior.
-        if self.link.faults_enabled() || !self.degraded.is_empty() {
+        // the fault model off, no media RAS, and nothing degraded, the
+        // bulk fast path is byte- and cycle-identical to the
+        // pre-fault-model behavior.
+        if self.link.faults_enabled() || !self.degraded.is_empty() || self.media.is_some() {
             let mut iv = Interval::new(now, now);
             for (i, line) in lines.iter().enumerate() {
                 let t = self.push_param_line_guarded(addr_of(i), line, now)?;
@@ -337,6 +450,24 @@ impl TecoSession {
     ) -> Result<Interval, SessionError> {
         if self.region_degraded(addr) {
             return self.push_baseline_line(addr, line, now);
+        }
+        if self.media.is_some() {
+            // On-access detection: a latent media fault on this line is
+            // found (and retired) by the access itself, without waiting
+            // for the patrol scrubber to reach it.
+            let line_idx = addr.0 / LINE_BYTES as u64;
+            let hit = self.media.as_mut().expect("checked above").check_access(line_idx);
+            if hit {
+                self.retire_media_line(line_idx);
+            }
+            if self.giant_cache.is_quarantined(addr) {
+                // The resident copy is gone (retired or still poisoned).
+                // The fresh CPU line is authoritative: rebuild with a
+                // full, uncompacted write, which heals the quarantine and
+                // lands in the line's current (possibly re-homed) slot.
+                self.media.as_mut().expect("checked above").note_rebuild();
+                return self.retry_full_line(addr, line, now);
+            }
         }
         let mut buf = [0u8; LINE_BYTES];
         // Sender-side checksum, computed in the same pass that packs the
@@ -580,37 +711,37 @@ impl TecoSession {
         t
     }
 
-    /// The fence timeout from the fault config (`0` means unbounded).
-    fn fence_timeout(&self) -> SimTime {
-        match self.cfg.cxl.fault.fence_timeout_ns {
-            0 => SimTime::MAX,
-            ns => SimTime::from_ns(ns),
-        }
+    /// The fence deadline from the fault config (`0` means unbounded).
+    /// One [`FenceDeadline`] value backs every deadline consumer — the
+    /// session's `try_*` fences, the cluster's per-device fences, and the
+    /// device-loss watchdog — so their expiry semantics cannot drift.
+    pub fn fence_deadline(&self) -> FenceDeadline {
+        FenceDeadline::from_ns(self.cfg.cxl.fault.fence_timeout_ns)
+    }
+
+    /// The shared deadline-checked fence: both directions funnel through
+    /// this one helper (the former per-direction copies had duplicated
+    /// the timeout translation and bookkeeping).
+    fn try_cxlfence(&mut self, dir: Direction, now: SimTime) -> Result<SimTime, SessionError> {
+        let deadline = self.fence_deadline();
+        let t = self.fence.try_fence(&self.link, dir, now, deadline.timeout()).map_err(|e| {
+            self.fstats.fence_timeouts += 1;
+            SessionError::Fence(e)
+        })?;
+        self.run_audit()?;
+        Ok(t)
     }
 
     /// [`TecoSession::cxlfence_params`] with the configured timeout: a
     /// drain that would outlast it surfaces as a typed error instead of
     /// blocking unboundedly.
     pub fn try_cxlfence_params(&mut self, now: SimTime) -> Result<SimTime, SessionError> {
-        let timeout = self.fence_timeout();
-        let t =
-            self.fence.try_fence(&self.link, Direction::ToDevice, now, timeout).map_err(|e| {
-                self.fstats.fence_timeouts += 1;
-                SessionError::Fence(e)
-            })?;
-        self.run_audit()?;
-        Ok(t)
+        self.try_cxlfence(Direction::ToDevice, now)
     }
 
     /// [`TecoSession::cxlfence_grads`] with the configured timeout.
     pub fn try_cxlfence_grads(&mut self, now: SimTime) -> Result<SimTime, SessionError> {
-        let timeout = self.fence_timeout();
-        let t = self.fence.try_fence(&self.link, Direction::ToHost, now, timeout).map_err(|e| {
-            self.fstats.fence_timeouts += 1;
-            SessionError::Fence(e)
-        })?;
-        self.run_audit()?;
-        Ok(t)
+        self.try_cxlfence(Direction::ToHost, now)
     }
 
     /// Read a line from the device's giant cache (what the GPU kernels
@@ -668,6 +799,7 @@ impl TecoSession {
             degraded,
             degraded_names: self.degraded_names.clone(),
             shadow,
+            media: self.media.as_ref().map(|m| m.snapshot()),
         }
     }
 
@@ -701,13 +833,15 @@ impl TecoSession {
             degraded: s.degraded.iter().copied().collect(),
             degraded_names: s.degraded_names.clone(),
             shadow,
+            media: s.media.as_ref().map(MediaRas::from_snapshot),
+            scrub_buf: Vec::new(),
         })
     }
 }
 
 /// Serialized form of a [`TecoSession`] — the per-crate checkpoint images
 /// plus session-level bookkeeping, all in deterministic order.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SessionSnapshot {
     /// The configuration the session was built with.
     pub cfg: TecoConfig,
@@ -737,6 +871,64 @@ pub struct SessionSnapshot {
     /// The auditor's shadow lines, sorted by address; `None` when auditing
     /// is off.
     pub shadow: Option<Vec<(u64, Vec<u8>)>>,
+    /// Pool-media RAS state (latent faults, RNG stream, scrub cursor);
+    /// `None` when RAS is off.
+    pub media: Option<MediaRasSnapshot>,
+}
+
+// Hand-written (de)serialization: the vendored derive has no field
+// attributes, and `media` must be omitted when `None` — committed sweep
+// reports digest serialized session snapshots byte-for-byte, so a
+// RAS-off snapshot has to keep its pre-RAS encoding exactly.
+impl Serialize for SessionSnapshot {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("cfg".to_string(), self.cfg.to_value()),
+            ("aggregator".to_string(), self.aggregator.to_value()),
+            ("giant_cache".to_string(), self.giant_cache.to_value()),
+            ("coherence".to_string(), self.coherence.to_value()),
+            ("link".to_string(), self.link.to_value()),
+            ("fence".to_string(), self.fence.to_value()),
+            ("dba_active".to_string(), self.dba_active.to_value()),
+            ("stats".to_string(), self.stats.to_value()),
+            ("fstats".to_string(), self.fstats.to_value()),
+            ("degraded".to_string(), self.degraded.to_value()),
+            ("degraded_names".to_string(), self.degraded_names.to_value()),
+            ("shadow".to_string(), self.shadow.to_value()),
+        ];
+        if let Some(m) = &self.media {
+            fields.push(("media".to_string(), m.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for SessionSnapshot {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        fn req<T: Deserialize>(v: &serde::Value, key: &str) -> Result<T, serde::Error> {
+            T::from_value(v.get(key).ok_or_else(|| {
+                serde::Error::custom(format!("missing field `{key}` in SessionSnapshot"))
+            })?)
+        }
+        Ok(SessionSnapshot {
+            cfg: req(v, "cfg")?,
+            aggregator: req(v, "aggregator")?,
+            giant_cache: req(v, "giant_cache")?,
+            coherence: req(v, "coherence")?,
+            link: req(v, "link")?,
+            fence: req(v, "fence")?,
+            dba_active: req(v, "dba_active")?,
+            stats: req(v, "stats")?,
+            fstats: req(v, "fstats")?,
+            degraded: req(v, "degraded")?,
+            degraded_names: req(v, "degraded_names")?,
+            shadow: req(v, "shadow")?,
+            media: match v.get("media") {
+                Some(mv) => Option::<MediaRasSnapshot>::from_value(mv)?,
+                None => None,
+            },
+        })
+    }
 }
 
 #[cfg(test)]
@@ -1116,6 +1308,115 @@ mod tests {
         assert_eq!(s.fence_stats().timeouts, 1);
         // An unbounded timeout succeeds on the untouched direction.
         assert!(s.try_cxlfence_grads(SimTime::ZERO).is_ok());
+    }
+
+    fn ras_session(rate: f64, scrub: u64, spares: u64, seed: u64) -> TecoSession {
+        let cfg = TecoConfig::default()
+            .with_giant_cache_bytes(1 << 20)
+            .with_act_aft_steps(10)
+            .with_ras(teco_cxl::RasConfig {
+                media_faults_per_tick: rate,
+                scrub_lines_per_tick: scrub,
+                spare_lines: spares,
+                seed,
+            });
+        TecoSession::new(cfg).unwrap()
+    }
+
+    /// DBA-conformant update for line `i` at `step`: fixed high halves,
+    /// step-varying low halves.
+    fn conformant_line(step: u64, i: u64) -> LineData {
+        let mut l = LineData::zeroed();
+        for w in 0..16u32 {
+            let hi = (0x5500_0000u32 | (i as u32) << 8 | w) & 0xFFFF_0000;
+            l.set_word(w as usize, hi | (step as u32 & 0xFFFF));
+        }
+        l
+    }
+
+    #[test]
+    fn media_faults_retire_and_rebuild_to_clean_content() {
+        // Persistent media faults at a high rate, detected by patrol scrub
+        // and on-access checks, retired to spares, and rebuilt from the
+        // authoritative CPU lines: the final device content is
+        // bit-identical to a fault-free run.
+        let mut r = ras_session(1.5, 8, 64, 42);
+        let mut c = TecoSession::new(
+            TecoConfig::default().with_giant_cache_bytes(1 << 20).with_act_aft_steps(10),
+        )
+        .unwrap();
+        let (_, br) = r.alloc_tensor("params", 1 << 12).unwrap(); // 64 lines
+        let (_, bc) = c.alloc_tensor("params", 1 << 12).unwrap();
+        for step in 0..40u64 {
+            r.check_activation(step);
+            c.check_activation(step);
+            let lines: Vec<LineData> = (0..64).map(|i| conformant_line(step, i)).collect();
+            r.push_param_lines(br, &lines, SimTime::ZERO).unwrap();
+            c.push_param_lines(bc, &lines, SimTime::ZERO).unwrap();
+        }
+        let stats = r.ras_report();
+        assert!(stats.faults_injected > 0, "faults actually arrived");
+        assert!(stats.lines_retired > 0, "retirement fired");
+        assert!(stats.rebuilds > 0, "rebuild path fired");
+        assert!(stats.detected_by_scrub + stats.detected_on_access > 0);
+        for i in 0..64u64 {
+            assert_eq!(
+                r.device_read_line(Addr(br.0 + i * 64)).unwrap(),
+                c.device_read_line(Addr(bc.0 + i * 64)).unwrap(),
+                "line {i}"
+            );
+        }
+        assert!(!c.ras_enabled() && r.ras_enabled());
+    }
+
+    #[test]
+    fn ras_snapshot_roundtrip_resumes_identically() {
+        let mut a = ras_session(0.7, 4, 16, 9);
+        let (_, base) = a.alloc_tensor("params", 1 << 12).unwrap();
+        for step in 0..10u64 {
+            a.check_activation(step);
+            let lines: Vec<LineData> = (0..64).map(|i| conformant_line(step, i)).collect();
+            a.push_param_lines(base, &lines, SimTime::ZERO).unwrap();
+        }
+        let json = serde_json::to_string(&a.snapshot()).unwrap();
+        assert!(json.contains("\"media\""), "RAS-on snapshot carries the media image");
+        let mut b = TecoSession::from_snapshot(&serde_json::from_str(&json).unwrap()).unwrap();
+        for step in 10..25u64 {
+            a.check_activation(step);
+            b.check_activation(step);
+            let lines: Vec<LineData> = (0..64).map(|i| conformant_line(step, i)).collect();
+            a.push_param_lines(base, &lines, SimTime::ZERO).unwrap();
+            b.push_param_lines(base, &lines, SimTime::ZERO).unwrap();
+        }
+        assert_eq!(a.ras_report(), b.ras_report());
+        assert_eq!(
+            serde_json::to_string(&a.snapshot()).unwrap(),
+            serde_json::to_string(&b.snapshot()).unwrap(),
+            "resumed run is byte-identical"
+        );
+    }
+
+    #[test]
+    fn ras_off_snapshot_keeps_pre_ras_bytes() {
+        let mut s = session();
+        let (_, base) = s.alloc_tensor("params", 4096).unwrap();
+        s.push_param_line(base, line_with(3), SimTime::ZERO).unwrap();
+        let json = serde_json::to_string(&s.snapshot()).unwrap();
+        assert!(!json.contains("\"media\""), "no media image when RAS is off");
+        assert!(!json.contains("\"ras\""), "no ras config when off");
+        assert!(!json.contains("\"remap\""), "no remap table without spares");
+    }
+
+    #[test]
+    fn error_context_attributes_device_region_time() {
+        let root = SessionError::DeviceDown { device: 3, time_ns: 777 };
+        let wrapped = root.clone().in_context(3, Some("grads".to_string()), SimTime::from_ns(1234));
+        let msg = wrapped.to_string();
+        assert!(msg.contains("device 3"), "{msg}");
+        assert!(msg.contains("`grads`"), "{msg}");
+        assert!(msg.contains("t=1234 ns"), "{msg}");
+        assert!(matches!(wrapped.root(), SessionError::DeviceDown { device: 3, .. }));
+        assert_eq!(*wrapped.root(), root);
     }
 
     #[test]

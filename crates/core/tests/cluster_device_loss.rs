@@ -1,0 +1,254 @@
+//! Device-loss fault-domain proofs: kill injection at non-boundary
+//! points surfaces typed errors (never a panic), a boundary snapshot
+//! taken with a device down still resumes bit-identically, the watchdog
+//! is what bounds detection (disabling it hangs the broadcast typed),
+//! and hot readmission reconverges to the never-failed golden run even
+//! when media faults are firing at the same time.
+
+use teco_core::{
+    churn_grad_line, churn_param_line, run_churn, ChurnWorkload, ClusterConfig, ClusterSession,
+    SessionError, TecoConfig,
+};
+
+const GRAD_LINES: u64 = 8;
+const PARAM_LINES: u64 = 32;
+
+fn small_cluster(devices: usize) -> ClusterSession {
+    let cfg = ClusterConfig::new(
+        TecoConfig::default().with_act_aft_steps(4).with_giant_cache_bytes(1 << 20),
+        devices,
+    );
+    let mut c = ClusterSession::new(cfg).unwrap();
+    c.alloc_params(PARAM_LINES).unwrap();
+    c.alloc_grads(GRAD_LINES).unwrap();
+    c
+}
+
+/// One full step with the churn protocol: reroute declared-dead shards
+/// through survivors, absorb typed kill-step errors, fence (watchdog),
+/// flush held shards, activate, broadcast.
+fn drive_step(c: &mut ClusterSession, step: u64) {
+    let n = c.config().devices;
+    let survivors: Vec<usize> = (0..n).filter(|&d| c.is_alive(d)).collect();
+    let mut held: Vec<usize> = Vec::new();
+    for d in 0..n {
+        if c.is_detected_down(d) {
+            for i in 0..GRAD_LINES {
+                let via = survivors[(i as usize) % survivors.len()];
+                c.push_grad_shard(via, i, churn_grad_line(d as u64, step, i)).unwrap();
+            }
+            continue;
+        }
+        let mut failed = false;
+        for i in 0..GRAD_LINES {
+            match c.push_grad_shard(d, i, churn_grad_line(d as u64, step, i)) {
+                Ok(()) => {}
+                Err(e) => {
+                    assert!(
+                        matches!(e.root(), SessionError::DeviceDown { .. }),
+                        "kill must surface typed, got: {e}"
+                    );
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        if failed {
+            held.push(d);
+        }
+    }
+    c.fence_grads_all();
+    if !held.is_empty() {
+        let survivors: Vec<usize> = (0..n).filter(|&d| c.is_alive(d)).collect();
+        for &dead in &held {
+            for i in 0..GRAD_LINES {
+                let via = survivors[(i as usize) % survivors.len()];
+                c.push_grad_shard(via, i, churn_grad_line(dead as u64, step, i)).unwrap();
+            }
+        }
+        c.fence_grads_all();
+    }
+    c.check_activation_all();
+    let lines: Vec<_> = (0..PARAM_LINES).map(|i| churn_param_line(step, i)).collect();
+    c.broadcast_params(&lines).unwrap();
+}
+
+#[test]
+fn push_to_dead_device_fails_typed_with_context() {
+    let mut c = small_cluster(3);
+    drive_step(&mut c, 0);
+    c.kill_device(1);
+    let err = c.push_grad_shard(1, 0, churn_grad_line(1, 1, 0)).unwrap_err();
+    match err {
+        SessionError::DeviceDown { device, .. } => assert_eq!(device, 1),
+        other => panic!("expected DeviceDown, got {other}"),
+    }
+}
+
+#[test]
+fn mid_fence_kill_is_detected_not_panicked() {
+    // The shard lands, then the device dies before its fence ack: the
+    // next cluster fence's watchdog declares it down — no panic, and the
+    // already-reduced shard stays reduced.
+    let mut c = small_cluster(3);
+    drive_step(&mut c, 0);
+    for d in 0..3 {
+        for i in 0..GRAD_LINES {
+            c.push_grad_shard(d, i, churn_grad_line(d as u64, 1, i)).unwrap();
+        }
+    }
+    c.kill_device(2);
+    let newly = c.fence_grads_all();
+    assert_eq!(newly, vec![2]);
+    assert!(c.is_detected_down(2));
+    assert_eq!(c.down_events(), 1);
+    assert_eq!(c.pool().reduced_lines(), 2 * 3 * GRAD_LINES);
+    // The step completes on the survivors.
+    c.check_activation_all();
+    let lines: Vec<_> = (0..PARAM_LINES).map(|i| churn_param_line(1, i)).collect();
+    c.broadcast_params(&lines).unwrap();
+}
+
+#[test]
+fn mid_broadcast_kill_fails_typed_then_recovers_at_next_fence() {
+    // The device dies after the gradient fence, before the broadcast: the
+    // broadcast cannot complete against an undeclared-dead device and
+    // must say so typed. The next fence declares it; the broadcast then
+    // proceeds on the survivors.
+    let mut c = small_cluster(3);
+    drive_step(&mut c, 0);
+    for d in 0..3 {
+        for i in 0..GRAD_LINES {
+            c.push_grad_shard(d, i, churn_grad_line(d as u64, 1, i)).unwrap();
+        }
+    }
+    c.fence_grads_all();
+    c.kill_device(0);
+    c.check_activation_all();
+    let lines: Vec<_> = (0..PARAM_LINES).map(|i| churn_param_line(1, i)).collect();
+    let err = c.broadcast_params(&lines).unwrap_err();
+    assert!(matches!(err.root(), SessionError::DeviceDown { device: 0, .. }), "got: {err}");
+    let msg = err.to_string();
+    assert!(msg.contains("device 0") && msg.contains("params"), "context-poor error: {msg}");
+    // Watchdog runs at the fence point; afterwards the broadcast succeeds.
+    let newly = c.fence_grads_all();
+    assert_eq!(newly, vec![0]);
+    c.broadcast_params(&lines).unwrap();
+    assert_eq!(c.alive_count(), 2);
+}
+
+#[test]
+fn disabled_watchdog_never_declares_and_errors_stay_typed() {
+    let cfg = ClusterConfig::new(
+        TecoConfig::default().with_act_aft_steps(4).with_giant_cache_bytes(1 << 20),
+        2,
+    )
+    .with_watchdog_deadline_ns(0);
+    let mut c = ClusterSession::new(cfg).unwrap();
+    c.alloc_params(PARAM_LINES).unwrap();
+    c.alloc_grads(GRAD_LINES).unwrap();
+    c.kill_device(1);
+    for i in 0..GRAD_LINES {
+        c.push_grad_shard(0, i, churn_grad_line(0, 0, i)).unwrap();
+    }
+    let newly = c.fence_grads_all();
+    assert!(newly.is_empty(), "deadline 0 must disable the watchdog");
+    assert!(!c.is_detected_down(1));
+    c.check_activation_all();
+    let lines: Vec<_> = (0..PARAM_LINES).map(|i| churn_param_line(0, i)).collect();
+    // With nobody to declare the device down, the broadcast hangs — as a
+    // typed error, not a panic or a deadlock.
+    let err = c.broadcast_params(&lines).unwrap_err();
+    assert!(matches!(err.root(), SessionError::DeviceDown { device: 1, .. }), "got: {err}");
+}
+
+#[test]
+fn boundary_snapshot_with_dead_device_resumes_bit_identically() {
+    // Kill at step 2, snapshot at the step-4 boundary (device down and
+    // declared), restore from nothing but the JSON bytes, and run both
+    // clusters to step 8: reports must match byte for byte.
+    let mut a = small_cluster(4);
+    for step in 0..2 {
+        drive_step(&mut a, step);
+    }
+    a.kill_device(3);
+    for step in 2..4 {
+        drive_step(&mut a, step);
+    }
+    assert!(a.is_detected_down(3));
+    let json = serde_json::to_string(&a.snapshot()).unwrap();
+    let snap = serde_json::from_str(&json).unwrap();
+    let mut b = ClusterSession::from_snapshot(&snap).unwrap();
+    for step in 4..8 {
+        drive_step(&mut a, step);
+        drive_step(&mut b, step);
+    }
+    assert_eq!(
+        serde_json::to_string(&a.report()).unwrap(),
+        serde_json::to_string(&b.report()).unwrap(),
+        "resume from a mid-outage boundary snapshot must be bit-identical"
+    );
+}
+
+#[test]
+fn snapshot_then_readmit_resumes_bit_identically() {
+    let mut a = small_cluster(4);
+    a.kill_device(0);
+    for step in 0..3 {
+        drive_step(&mut a, step);
+    }
+    let json = serde_json::to_string(&a.snapshot()).unwrap();
+    let mut b = ClusterSession::from_snapshot(&serde_json::from_str(&json).unwrap()).unwrap();
+    a.readmit_device(0).unwrap();
+    b.readmit_device(0).unwrap();
+    for step in 3..8 {
+        drive_step(&mut a, step);
+        drive_step(&mut b, step);
+    }
+    assert_eq!(
+        serde_json::to_string(&a.report()).unwrap(),
+        serde_json::to_string(&b.report()).unwrap(),
+        "readmission after restore must replay identically"
+    );
+    assert_eq!(a.report().readmits, 1);
+}
+
+#[test]
+fn kill_device_zero_readmits_and_reconverges() {
+    // Device 0 is the broadcast's wire-cost reference; losing and
+    // readmitting it must still converge to the golden run.
+    let golden = run_churn(&ChurnWorkload::small(4)).unwrap();
+    let churn = run_churn(&ChurnWorkload::small(4).with_kill(0, 3).with_readmit_after(1)).unwrap();
+    assert_eq!(churn.report.readmits, 1);
+    assert!(churn.content_matches(&golden));
+}
+
+#[test]
+fn churn_under_media_faults_still_reconverges() {
+    // Device loss and persistent media faults at the same time: the
+    // readmitted cluster must still land on the golden run's bytes.
+    let ras = teco_cxl::RasConfig {
+        media_faults_per_tick: 1.0,
+        scrub_lines_per_tick: 8,
+        spare_lines: 64,
+        seed: 9,
+    };
+    let mut golden_w = ChurnWorkload::small(4);
+    golden_w.cfg.base = golden_w.cfg.base.with_ras(ras);
+    let golden = run_churn(&golden_w).unwrap();
+    let churn_w = {
+        let mut w = golden_w.clone().with_kill(2, 4).with_readmit_after(2);
+        w.steps = 12;
+        w
+    };
+    let churn = run_churn(&churn_w).unwrap();
+    assert!(golden.report.ras.faults_injected > 0, "RAS must actually fire");
+    assert_eq!(churn.report.readmits, 1);
+    assert!(
+        churn.content_matches(&golden),
+        "media faults heal to clean content even across a readmission: \
+         pool {:#x} vs {:#x}",
+        churn.pool_checksum,
+        golden.pool_checksum
+    );
+}

@@ -54,6 +54,11 @@ pub struct HostLinkArbiter {
     fanout_saved_bytes: u64,
     /// Device deliveries fanned out from broadcast reads.
     fanout_deliveries: u64,
+    /// Per-device quarantine: a dead device's account takes no further
+    /// grants until it is readmitted (device-loss fault domain).
+    quarantined: Vec<bool>,
+    /// Quarantine declarations so far (readmissions do not decrement).
+    quarantine_events: u64,
 }
 
 impl HostLinkArbiter {
@@ -71,7 +76,36 @@ impl HostLinkArbiter {
             broadcast_bytes: 0,
             fanout_saved_bytes: 0,
             fanout_deliveries: 0,
+            quarantined: vec![false; n],
+            quarantine_events: 0,
         }
+    }
+
+    /// Quarantine a dead device's account: its requests are skipped in
+    /// every subsequent round until [`HostLinkArbiter::readmit_device`].
+    /// Idempotent — re-quarantining a quarantined device records nothing.
+    pub fn quarantine_device(&mut self, dev: usize) {
+        assert!(dev < self.n, "device index out of range");
+        if !self.quarantined[dev] {
+            self.quarantined[dev] = true;
+            self.quarantine_events += 1;
+        }
+    }
+
+    /// Readmit a quarantined device: its account takes grants again.
+    pub fn readmit_device(&mut self, dev: usize) {
+        assert!(dev < self.n, "device index out of range");
+        self.quarantined[dev] = false;
+    }
+
+    /// Is this device's account quarantined?
+    pub fn is_quarantined(&self, dev: usize) -> bool {
+        self.quarantined[dev]
+    }
+
+    /// Quarantine declarations so far.
+    pub fn quarantine_events(&self) -> u64 {
+        self.quarantine_events
     }
 
     /// Number of devices sharing the budget.
@@ -144,7 +178,7 @@ impl HostLinkArbiter {
         let mut end = self.next_free;
         for k in 0..self.n {
             let dev = (first + k) % self.n;
-            if requests[dev] == 0 {
+            if requests[dev] == 0 || self.quarantined[dev] {
                 continue;
             }
             let iv = self.grant(dev, ready[dev], requests[dev]);
@@ -182,6 +216,8 @@ impl HostLinkArbiter {
             broadcast_bytes: self.broadcast_bytes,
             fanout_saved_bytes: self.fanout_saved_bytes,
             fanout_deliveries: self.fanout_deliveries,
+            quarantined: self.quarantined.clone(),
+            quarantine_events: self.quarantine_events,
         }
     }
 
@@ -189,6 +225,12 @@ impl HostLinkArbiter {
     /// identically to the original.
     pub fn restore(s: &HostLinkArbiterSnapshot) -> Self {
         assert!(s.n > 0, "arbiter needs at least one device");
+        let quarantined = if s.quarantined.is_empty() {
+            vec![false; s.n as usize]
+        } else {
+            assert_eq!(s.quarantined.len(), s.n as usize, "one quarantine flag per device");
+            s.quarantined.clone()
+        };
         HostLinkArbiter {
             bw: s.bw,
             n: s.n as usize,
@@ -200,12 +242,14 @@ impl HostLinkArbiter {
             broadcast_bytes: s.broadcast_bytes,
             fanout_saved_bytes: s.fanout_saved_bytes,
             fanout_deliveries: s.fanout_deliveries,
+            quarantined,
+            quarantine_events: s.quarantine_events,
         }
     }
 }
 
 /// Serializable image of a [`HostLinkArbiter`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HostLinkArbiterSnapshot {
     /// Shared bandwidth.
     pub bw: Bandwidth,
@@ -227,6 +271,67 @@ pub struct HostLinkArbiterSnapshot {
     pub fanout_saved_bytes: u64,
     /// Fan-out deliveries.
     pub fanout_deliveries: u64,
+    /// Per-device quarantine flags (all-clear in pre-fault-domain
+    /// snapshots).
+    pub quarantined: Vec<bool>,
+    /// Quarantine declarations.
+    pub quarantine_events: u64,
+}
+
+// Hand-written (de)serialization: the vendored derive has no field
+// attributes, and the quarantine fields must be omitted while all-clear
+// so pre-fault-domain snapshot bytes are unchanged.
+impl Serialize for HostLinkArbiterSnapshot {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("bw".to_string(), self.bw.to_value()),
+            ("n".to_string(), self.n.to_value()),
+            ("next_free".to_string(), self.next_free.to_value()),
+            ("rr".to_string(), self.rr.to_value()),
+            ("accounts".to_string(), self.accounts.to_value()),
+            ("rounds".to_string(), self.rounds.to_value()),
+            ("broadcast_grants".to_string(), self.broadcast_grants.to_value()),
+            ("broadcast_bytes".to_string(), self.broadcast_bytes.to_value()),
+            ("fanout_saved_bytes".to_string(), self.fanout_saved_bytes.to_value()),
+            ("fanout_deliveries".to_string(), self.fanout_deliveries.to_value()),
+        ];
+        if self.quarantine_events != 0 || self.quarantined.iter().any(|&q| q) {
+            fields.push(("quarantined".to_string(), self.quarantined.to_value()));
+            fields.push(("quarantine_events".to_string(), self.quarantine_events.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for HostLinkArbiterSnapshot {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        fn req<T: Deserialize>(v: &serde::Value, key: &str) -> Result<T, serde::Error> {
+            T::from_value(v.get(key).ok_or_else(|| {
+                serde::Error::custom(format!("missing field `{key}` in HostLinkArbiterSnapshot"))
+            })?)
+        }
+        let n: u64 = req(v, "n")?;
+        Ok(HostLinkArbiterSnapshot {
+            bw: req(v, "bw")?,
+            n,
+            next_free: req(v, "next_free")?,
+            rr: req(v, "rr")?,
+            accounts: req(v, "accounts")?,
+            rounds: req(v, "rounds")?,
+            broadcast_grants: req(v, "broadcast_grants")?,
+            broadcast_bytes: req(v, "broadcast_bytes")?,
+            fanout_saved_bytes: req(v, "fanout_saved_bytes")?,
+            fanout_deliveries: req(v, "fanout_deliveries")?,
+            quarantined: match v.get("quarantined") {
+                Some(qv) => Vec::<bool>::from_value(qv)?,
+                None => vec![false; n as usize],
+            },
+            quarantine_events: match v.get("quarantine_events") {
+                Some(ev) => u64::from_value(ev)?,
+                None => 0,
+            },
+        })
+    }
 }
 
 #[cfg(test)]
@@ -310,6 +415,32 @@ mod tests {
         assert_eq!(ea, eb);
         assert_eq!(a.accounts(), b.accounts());
         assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn quarantined_account_takes_no_grants_until_readmitted() {
+        let mut a = arb(3);
+        a.quarantine_device(1);
+        a.quarantine_device(1); // idempotent
+        assert!(a.is_quarantined(1));
+        assert_eq!(a.quarantine_events(), 1);
+        // A stale request from the dead device is skipped even if nonzero.
+        let end = a.arbitrate_round(&[SimTime::ZERO; 3], &[64, 64, 64]);
+        assert_eq!(end, SimTime::from_ns(2), "only two grants served");
+        assert_eq!(a.accounts()[1].grants, 0);
+        assert_eq!(a.accounts()[0].grants, 1);
+        assert_eq!(a.accounts()[2].grants, 1);
+        // Readmission restores service.
+        a.readmit_device(1);
+        assert!(!a.is_quarantined(1));
+        let t = a.drained_at();
+        a.arbitrate_round(&[t; 3], &[0, 64, 0]);
+        assert_eq!(a.accounts()[1].grants, 1);
+        // Quarantine state survives a snapshot roundtrip.
+        a.quarantine_device(2);
+        let b = HostLinkArbiter::restore(&a.snapshot());
+        assert!(b.is_quarantined(2) && !b.is_quarantined(1));
+        assert_eq!(b.quarantine_events(), 2);
     }
 
     #[test]

@@ -61,6 +61,49 @@ impl std::fmt::Display for FenceTimeout {
 }
 impl std::error::Error for FenceTimeout {}
 
+/// A reusable fence deadline: the one place the "`0` ⇒ unbounded" rule
+/// and the expiry comparison live. The session's `try_cxlfence_*` pair
+/// and the cluster's device-loss watchdog both build their deadlines
+/// here, so "how long do we wait for a fence before declaring trouble"
+/// has a single definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FenceDeadline {
+    timeout: SimTime,
+}
+
+impl FenceDeadline {
+    /// A deadline of `ns` nanoseconds; `0` means unbounded (never
+    /// expires) — the legacy "no timeout configured" convention.
+    pub fn from_ns(ns: u64) -> Self {
+        let timeout = if ns == 0 { SimTime::MAX } else { SimTime::from_ns(ns) };
+        FenceDeadline { timeout }
+    }
+
+    /// The unbounded deadline.
+    pub fn unbounded() -> Self {
+        FenceDeadline { timeout: SimTime::MAX }
+    }
+
+    /// The timeout window (`SimTime::MAX` when unbounded), in the shape
+    /// [`CxlFence::try_fence`] takes.
+    pub fn timeout(&self) -> SimTime {
+        self.timeout
+    }
+
+    /// Is this deadline finite?
+    pub fn bounded(&self) -> bool {
+        self.timeout != SimTime::MAX
+    }
+
+    /// Would a fence issued at `now` that completes at `completes_at`
+    /// overrun this deadline? A device that never completes
+    /// (`completes_at == SimTime::MAX`) expires every bounded deadline —
+    /// that is exactly the watchdog's device-loss signal.
+    pub fn expired(&self, now: SimTime, completes_at: SimTime) -> bool {
+        completes_at.saturating_sub(now) > self.timeout
+    }
+}
+
 /// The fence primitive: tracks invocations against a link.
 #[derive(Debug, Clone, Default)]
 pub struct CxlFence {
@@ -271,6 +314,32 @@ mod tests {
         let via_try = b.try_fence(&link, Direction::ToHost, SimTime::ZERO, SimTime::MAX).unwrap();
         assert_eq!(via_fence, via_try);
         assert_eq!(a.stats().total_wait, b.stats().total_wait);
+    }
+
+    #[test]
+    fn deadline_zero_means_unbounded() {
+        let d = FenceDeadline::from_ns(0);
+        assert!(!d.bounded());
+        assert_eq!(d.timeout(), SimTime::MAX);
+        assert!(!d.expired(SimTime::ZERO, SimTime::from_ms(500)));
+        assert_eq!(d, FenceDeadline::unbounded());
+    }
+
+    #[test]
+    fn deadline_expiry_matches_try_fence_timeout() {
+        // The deadline's expiry predicate and try_fence's timeout check
+        // must agree: one definition of "this fence overran".
+        let mut link = CxlLink::new(CxlConfig::paper());
+        link.transfer_simple(Direction::ToDevice, SimTime::ZERO, 1 << 30);
+        let done = link.drained_at(Direction::ToDevice) + FENCE_CHECK_OVERHEAD;
+        let deadline = FenceDeadline::from_ns(1_000_000);
+        assert!(deadline.bounded());
+        assert!(deadline.expired(SimTime::ZERO, done));
+        let mut fence = CxlFence::new();
+        let res = fence.try_fence(&link, Direction::ToDevice, SimTime::ZERO, deadline.timeout());
+        assert!(res.is_err());
+        // A dead device never completes: every bounded deadline expires.
+        assert!(deadline.expired(SimTime::from_ms(40), SimTime::MAX));
     }
 
     #[test]

@@ -19,7 +19,10 @@
 
 use crate::dba::{Disaggregator, DisaggregatorSnapshot};
 use serde::{Deserialize, Serialize};
-use teco_mem::{Addr, LineBitmap, LineData, LineSlab, Region, RegionId, RegionMap, LINE_BYTES};
+use teco_mem::{
+    Addr, LineBitmap, LineData, LineSlab, Region, RegionId, RegionMap, RemapSnapshot, RemapTable,
+    LINE_BYTES,
+};
 
 /// Errors from giant-cache configuration and use.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,6 +79,10 @@ pub struct GiantCache {
     /// Device-side CXL module's disaggregator.
     pub disaggregator: Disaggregator,
     next_base: u64,
+    /// Page-retirement indirection (media RAS). Present only when spares
+    /// are configured; everything logical — regions, bitmaps, `is_mapped`,
+    /// the auditor — never sees it, only data-slot resolution does.
+    remap: Option<RemapTable>,
 }
 
 impl GiantCache {
@@ -91,7 +98,50 @@ impl GiantCache {
             quarantined: LineBitmap::new(),
             disaggregator: Disaggregator::new(),
             next_base: 0,
+            remap: None,
         }
+    }
+
+    /// Reserve `spare_lines` physical slots for page retirement (media
+    /// RAS). Spares live beyond the BAR capacity, so no mappable region
+    /// can ever collide with them and the bump-allocator accounting is
+    /// untouched. Idempotent: a second call keeps the existing table.
+    pub fn configure_spares(&mut self, spare_lines: u64) {
+        if self.remap.is_none() && spare_lines > 0 {
+            let spare_base = self.capacity.div_ceil(LINE_BYTES as u64);
+            self.remap = Some(RemapTable::new(spare_base, spare_lines));
+        }
+    }
+
+    /// Retire the line containing `a`: re-home its physical backing to a
+    /// spare slot. Returns `Ok(true)` if re-homed, `Ok(false)` if no
+    /// spare slot was left (the caller should still quarantine — the line
+    /// stays contained, just not re-homed). The caller owns quarantining
+    /// and the eventual full-line rebuild.
+    pub fn retire_line(&mut self, a: Addr) -> Result<bool, GiantCacheError> {
+        if !self.is_mapped(a) {
+            return Err(GiantCacheError::NotMapped(a));
+        }
+        let Some(remap) = self.remap.as_mut() else {
+            return Ok(false);
+        };
+        match remap.retire(a.line_index()) {
+            Ok(slot) => {
+                self.data.grow_lines(slot as usize + 1);
+                Ok(true)
+            }
+            Err(_) => Ok(false),
+        }
+    }
+
+    /// Number of logical lines retired to spare slots.
+    pub fn retired_lines(&self) -> u64 {
+        self.remap.as_ref().map_or(0, |r| r.retired_count())
+    }
+
+    /// Spare slots not yet consumed (0 when no spares are configured).
+    pub fn spares_left(&self) -> u64 {
+        self.remap.as_ref().map_or(0, |r| r.spares_left())
     }
 
     /// Configured capacity in bytes.
@@ -138,6 +188,18 @@ impl GiantCache {
         a.line_index() as usize
     }
 
+    /// Physical data slot of the line containing `a`: the line index,
+    /// unless the line has been retired and re-homed to a spare slot.
+    /// Only payload storage resolves through this — the written and
+    /// quarantine bitmaps stay logical.
+    #[inline]
+    fn data_slot(&self, a: Addr) -> usize {
+        match &self.remap {
+            Some(r) => r.resolve(a.line_index()) as usize,
+            None => Self::slot(a),
+        }
+    }
+
     /// Is the line containing `a` mapped into the giant-cache domain? This
     /// is the home agent's Fig. 8 check on every CPU writeback. The bump
     /// allocator keeps the mapped range contiguous from 0, so this is one
@@ -178,7 +240,7 @@ impl GiantCache {
             return Err(GiantCacheError::Poisoned(a.line_base()));
         }
         let mut out = LineData::zeroed();
-        self.data.copy_to(Self::slot(a) * LINE_BYTES, out.bytes_mut());
+        self.data.copy_to(self.data_slot(a) * LINE_BYTES, out.bytes_mut());
         Ok(out)
     }
 
@@ -191,7 +253,8 @@ impl GiantCache {
         let slot = Self::slot(a);
         self.quarantined.clear(slot);
         self.written.set(slot);
-        self.data.for_segments_mut(slot * LINE_BYTES, LINE_BYTES, |_, seg| {
+        let data_slot = self.data_slot(a);
+        self.data.for_segments_mut(data_slot * LINE_BYTES, LINE_BYTES, |_, seg| {
             seg.copy_from_slice(line.bytes());
         });
         Ok(())
@@ -212,13 +275,13 @@ impl GiantCache {
         if self.is_quarantined(a) {
             return Err(GiantCacheError::Poisoned(a.line_base()));
         }
-        let slot = Self::slot(a);
-        self.written.set(slot);
+        self.written.set(Self::slot(a));
+        let data_slot = self.data_slot(a);
         let dis = &mut self.disaggregator;
         let mut out = LineData::zeroed();
         // One line never crosses a chunk boundary (chunks hold whole
         // lines), so exactly one segment is visited.
-        self.data.for_segments_mut(slot * LINE_BYTES, LINE_BYTES, |_, seg| {
+        self.data.for_segments_mut(data_slot * LINE_BYTES, LINE_BYTES, |_, seg| {
             dis.disaggregate_slab(payload, seg);
             out.bytes_mut().copy_from_slice(seg);
         });
@@ -262,6 +325,21 @@ impl GiantCache {
             payload.len(),
         );
         self.written.set_range(start, n_lines);
+        // Retired lines break the run's physical contiguity: fall back to
+        // the per-line merge so each line resolves its own data slot. The
+        // result is byte-identical to the bulk pass (covered by tests).
+        if self.retired_lines() > 0 {
+            for i in 0..n_lines {
+                let a = Addr(((start + i) * LINE_BYTES) as u64);
+                let data_slot = self.data_slot(a);
+                let dis = &mut self.disaggregator;
+                let chunk = &payload[i * per..(i + 1) * per];
+                self.data.for_segments_mut(data_slot * LINE_BYTES, LINE_BYTES, |_, seg| {
+                    dis.disaggregate_slab(chunk, seg);
+                });
+            }
+            return Ok(());
+        }
         let dis = &mut self.disaggregator;
         self.data.for_segments_mut(start * LINE_BYTES, n_lines * LINE_BYTES, |off, seg| {
             // `off` and segment lengths are whole lines (chunk boundaries
@@ -307,6 +385,7 @@ impl GiantCache {
             quarantined_words: self.quarantined.word_parts(),
             disaggregator: self.disaggregator.snapshot(),
             next_base: self.next_base,
+            remap: self.remap.as_ref().map(|r| r.snapshot()),
         }
     }
 
@@ -321,12 +400,13 @@ impl GiantCache {
             quarantined: LineBitmap::from_parts(s.quarantined_lines as usize, &s.quarantined_words),
             disaggregator: Disaggregator::restore(&s.disaggregator),
             next_base: s.next_base,
+            remap: s.remap.as_ref().map(RemapTable::from_snapshot),
         }
     }
 }
 
 /// Serializable image of a [`GiantCache`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GiantCacheSnapshot {
     /// BAR-configured capacity.
     pub capacity: u64,
@@ -350,6 +430,62 @@ pub struct GiantCacheSnapshot {
     pub disaggregator: DisaggregatorSnapshot,
     /// Bump-allocator frontier.
     pub next_base: u64,
+    /// Page-retirement remap table (absent when no spares are
+    /// configured — keeps pre-RAS snapshot bytes unchanged).
+    pub remap: Option<RemapSnapshot>,
+}
+
+// Hand-written (de)serialization: the vendored derive has no field
+// attributes, and `remap` must be omitted when `None` so pre-RAS
+// snapshots — digested byte-for-byte by the committed sweeps — are
+// unchanged.
+impl Serialize for GiantCacheSnapshot {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("capacity".to_string(), self.capacity.to_value()),
+            ("allocated".to_string(), self.allocated.to_value()),
+            ("regions".to_string(), self.regions.to_value()),
+            ("data_len".to_string(), self.data_len.to_value()),
+            ("data_chunks".to_string(), self.data_chunks.to_value()),
+            ("written_lines".to_string(), self.written_lines.to_value()),
+            ("written_words".to_string(), self.written_words.to_value()),
+            ("quarantined_lines".to_string(), self.quarantined_lines.to_value()),
+            ("quarantined_words".to_string(), self.quarantined_words.to_value()),
+            ("disaggregator".to_string(), self.disaggregator.to_value()),
+            ("next_base".to_string(), self.next_base.to_value()),
+        ];
+        if let Some(r) = &self.remap {
+            fields.push(("remap".to_string(), r.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for GiantCacheSnapshot {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        fn req<T: Deserialize>(v: &serde::Value, key: &str) -> Result<T, serde::Error> {
+            T::from_value(v.get(key).ok_or_else(|| {
+                serde::Error::custom(format!("missing field `{key}` in GiantCacheSnapshot"))
+            })?)
+        }
+        Ok(GiantCacheSnapshot {
+            capacity: req(v, "capacity")?,
+            allocated: req(v, "allocated")?,
+            regions: req(v, "regions")?,
+            data_len: req(v, "data_len")?,
+            data_chunks: req(v, "data_chunks")?,
+            written_lines: req(v, "written_lines")?,
+            written_words: req(v, "written_words")?,
+            quarantined_lines: req(v, "quarantined_lines")?,
+            quarantined_words: req(v, "quarantined_words")?,
+            disaggregator: req(v, "disaggregator")?,
+            next_base: req(v, "next_base")?,
+            remap: match v.get("remap") {
+                Some(rv) => Option::<RemapSnapshot>::from_value(rv)?,
+                None => None,
+            },
+        })
+    }
 }
 
 #[cfg(test)]
@@ -574,6 +710,125 @@ mod tests {
         let mut gc = GiantCache::new(4096);
         gc.alloc_region("t", 64).unwrap();
         assert!(matches!(gc.quarantine_line(Addr(9999)), Err(GiantCacheError::NotMapped(_))));
+    }
+
+    #[test]
+    fn retirement_re_homes_transparently() {
+        let mut gc = GiantCache::new(4096);
+        gc.alloc_region("params", 4096).unwrap();
+        gc.configure_spares(4);
+        let mut line = LineData::zeroed();
+        line.set_word(0, 0x1111_2222);
+        gc.write_line(Addr(64), line).unwrap();
+
+        // Retire + quarantine (the media-RAS detection sequence).
+        assert!(gc.retire_line(Addr(64)).unwrap(), "spare available");
+        gc.quarantine_line(Addr(64)).unwrap();
+        assert_eq!(gc.retired_lines(), 1);
+        assert_eq!(gc.spares_left(), 3);
+        assert!(gc.is_quarantined(Addr(64)));
+        assert_eq!(gc.read_line(Addr(64)), Err(GiantCacheError::Poisoned(Addr(64))));
+
+        // A clean full-line write heals the quarantine and lands in the
+        // spare slot; reads resolve through the remap transparently.
+        let mut fresh = LineData::zeroed();
+        fresh.set_word(0, 0x3333_4444);
+        gc.write_line(Addr(64), fresh).unwrap();
+        assert!(!gc.is_quarantined(Addr(64)));
+        assert_eq!(gc.read_line(Addr(64)).unwrap(), fresh);
+        // Logical accounting is untouched by retirement.
+        assert_eq!(gc.mapped_lines(), 64);
+        assert!(gc.is_mapped(Addr(64)));
+    }
+
+    #[test]
+    fn retirement_without_spares_is_contained_not_rehomed() {
+        let mut gc = GiantCache::new(4096);
+        gc.alloc_region("params", 4096).unwrap();
+        gc.configure_spares(1);
+        assert!(gc.retire_line(Addr(0)).unwrap());
+        assert!(!gc.retire_line(Addr(64)).unwrap(), "spares exhausted");
+        assert_eq!(gc.retired_lines(), 1);
+        // No remap configured at all: retire reports un-homed too.
+        let mut bare = GiantCache::new(4096);
+        bare.alloc_region("p", 4096).unwrap();
+        assert!(!bare.retire_line(Addr(0)).unwrap());
+        assert!(matches!(bare.retire_line(Addr(9999)), Err(GiantCacheError::NotMapped(_))));
+    }
+
+    #[test]
+    fn bulk_merge_with_retired_line_matches_per_line() {
+        let reg = DbaRegister::new(true, 2);
+        let mut agg = Aggregator::new();
+        agg.set_register(reg);
+
+        let mut bulk = GiantCache::new(4096);
+        bulk.alloc_region("params", 4096).unwrap();
+        bulk.disaggregator.set_register(reg);
+        bulk.configure_spares(4);
+        let mut per = bulk.clone();
+
+        let n = 8usize;
+        let mut fresh = Vec::new();
+        for i in 0..n {
+            let mut stale = LineData::zeroed();
+            let mut f = LineData::zeroed();
+            for w in 0..16 {
+                stale.set_word(w, 0x4000_0000 + (i * 16 + w) as u32);
+                f.set_word(w, (stale.word(w) & 0xFFFF_0000) | (0x2000 + i as u32));
+            }
+            let a = Addr((i * LINE_BYTES) as u64);
+            bulk.write_line(a, stale).unwrap();
+            per.write_line(a, stale).unwrap();
+            fresh.push(f);
+        }
+        // Retire and heal line 3 in both, so the run is remapped but clean.
+        for gc in [&mut bulk, &mut per] {
+            assert!(gc.retire_line(Addr(192)).unwrap());
+            gc.quarantine_line(Addr(192)).unwrap();
+            gc.write_line(Addr(192), fresh[3]).unwrap();
+        }
+
+        let mut packed = Vec::new();
+        agg.aggregate_lines(&fresh, &mut packed);
+        bulk.apply_dba_payloads(Addr(0), n, &packed).unwrap();
+        let per_line = agg.register().payload_bytes();
+        for (i, chunk) in packed.chunks(per_line).enumerate() {
+            per.apply_dba_payload(Addr((i * LINE_BYTES) as u64), chunk).unwrap();
+        }
+        for (i, want) in fresh.iter().enumerate() {
+            let a = Addr((i * LINE_BYTES) as u64);
+            assert_eq!(bulk.read_line(a).unwrap(), per.read_line(a).unwrap(), "line {i}");
+            assert_eq!(bulk.read_line(a).unwrap(), *want);
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_retirement() {
+        let mut gc = GiantCache::new(4096);
+        gc.alloc_region("params", 4096).unwrap();
+        gc.configure_spares(2);
+        let mut line = LineData::zeroed();
+        line.set_word(5, 0xD00D);
+        gc.write_line(Addr(128), line).unwrap();
+        gc.retire_line(Addr(128)).unwrap();
+        gc.quarantine_line(Addr(128)).unwrap();
+        let mut fresh = LineData::zeroed();
+        fresh.set_word(5, 0xBEEF);
+        gc.write_line(Addr(128), fresh).unwrap();
+
+        let snap = gc.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back = GiantCache::restore(&serde_json::from_str(&json).unwrap());
+        assert_eq!(back.retired_lines(), 1);
+        assert_eq!(back.spares_left(), gc.spares_left());
+        assert_eq!(back.read_line(Addr(128)).unwrap(), fresh);
+
+        // A spare-free cache serializes without the remap field at all —
+        // pre-RAS snapshot bytes unchanged.
+        let plain = GiantCache::new(4096);
+        let text = serde_json::to_string(&plain.snapshot()).unwrap();
+        assert!(!text.contains("remap"));
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //! - [`fence`] — `CXLFENCE()` (with an optional timeout);
 //! - [`fault`]: deterministic link-level fault injection (CRC/replay,
 //!   transient stalls, poison) and the recovery statistics;
+//! - [`ras`]: pool-media RAS — seeded *persistent* uncorrectable faults,
+//!   a budgeted patrol scrubber, and page-retirement accounting;
 //! - [`audit`]: the paranoid invariant auditor — cross-module consistency
 //!   checks walked at fence points when a session opts in;
 //! - [`arbiter`]: the shared host-DRAM budget arbitrated round-robin across
@@ -43,6 +45,7 @@ pub mod flow;
 pub mod giant_cache;
 pub mod link;
 pub mod packet;
+pub mod ras;
 pub mod refmaps;
 pub mod shard;
 pub mod snoop;
@@ -66,7 +69,7 @@ pub use dba::{
 pub use fault::{
     line_checksum, FaultConfig, FaultInjector, FaultInjectorSnapshot, FaultStats, TransferFault,
 };
-pub use fence::{CxlFence, FenceStats, FenceTimeout, FENCE_CHECK_OVERHEAD};
+pub use fence::{CxlFence, FenceDeadline, FenceStats, FenceTimeout, FENCE_CHECK_OVERHEAD};
 pub use flit::{
     unpack, unpack_with, wire_bytes_for_packets, Flit, FlitError, FlitPacker, PacketView, Slot,
     FLIT_BYTES, SLOTS_PER_FLIT, SLOT_BYTES,
@@ -75,6 +78,7 @@ pub use flow::{CreditLoop, FlowConfig};
 pub use giant_cache::{GiantCache, GiantCacheError, GiantCacheSnapshot};
 pub use link::{CxlLink, CxlLinkSnapshot, Direction, LinkError, TransferOutcome};
 pub use packet::{wire_bytes_for_lines, CxlPacket, Opcode, HEADER_BYTES, MAX_PAYLOAD_BYTES};
+pub use ras::{MediaRas, MediaRasSnapshot, RasConfig, RasStats};
 pub use refmaps::{HashCoherenceEngine, HashGiantCache, HashSnoopFilter};
 pub use shard::{CoherenceFabric, ShardedCoherence, PARALLEL_BATCH_LINES, SHARD_BLOCK_LINES};
 pub use snoop::{

@@ -1,0 +1,388 @@
+//! Pool-media RAS: persistent uncorrectable faults, patrol scrub, and
+//! page retirement.
+//!
+//! PR 2's fault model is *transient*: a flit poison or CRC error is gone
+//! after a replay. Media wear-out is not — an uncorrectable fault in a
+//! host-pool or giant-cache page survives every retry, and the only
+//! remedies are finding it early (a budgeted patrol scrubber walking the
+//! region as a scheduler event) or catching it at consumption time
+//! (on-access detection when a DBA merge would read the rotten resident
+//! copy). Either way the page is **retired**: the logical line is
+//! re-homed to a spare physical slot through the
+//! [`teco_mem::remap::RemapTable`], the PR 2 quarantine bit marks the
+//! resident copy untrusted, and the next full-line write from the
+//! authoritative CPU master heals it — the session keeps training.
+//!
+//! Determinism: faults arrive at a fixed expected rate per scheduler
+//! tick through a fractional accumulator, line picks come from a forked
+//! [`SimRng`] stream, and the scrub cursor walks the mapped range in
+//! order — a run is byte-reproducible from `(config, seed)`, and a
+//! zero-rate config constructs no injector at all (`enabled()` gates
+//! everything), so RAS-off is bit-identical to the legacy path.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use teco_sim::SimRng;
+
+/// Media-RAS configuration. `off()` (the default) keeps every legacy
+/// code path bit-identical: no injector is constructed, no RNG stream is
+/// forked, no scrub events run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RasConfig {
+    /// Expected persistent uncorrectable faults injected per scheduler
+    /// tick (fractional rates accumulate: 0.25 ⇒ one fault every 4
+    /// ticks, at deterministic positions).
+    pub media_faults_per_tick: f64,
+    /// Patrol-scrub budget: lines the scrubber walks per scheduler tick.
+    pub scrub_lines_per_tick: u64,
+    /// Spare physical slots reserved for page retirement.
+    pub spare_lines: u64,
+    /// Seed for the forked fault-placement stream.
+    pub seed: u64,
+}
+
+impl RasConfig {
+    /// The disabled configuration: all rates and budgets zero.
+    pub fn off() -> Self {
+        RasConfig { media_faults_per_tick: 0.0, scrub_lines_per_tick: 0, spare_lines: 0, seed: 0 }
+    }
+
+    /// Is any media-fault injection configured?
+    pub fn enabled(&self) -> bool {
+        self.media_faults_per_tick > 0.0
+    }
+
+    /// Serde helper: skip serializing a disabled config so pre-RAS
+    /// snapshot and report bytes are unchanged.
+    pub fn is_off(&self) -> bool {
+        !self.enabled()
+    }
+
+    /// Reject non-finite or negative rates.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.media_faults_per_tick.is_finite() || self.media_faults_per_tick < 0.0 {
+            return Err(format!(
+                "media_faults_per_tick must be finite and >= 0, got {}",
+                self.media_faults_per_tick
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for RasConfig {
+    fn default() -> Self {
+        RasConfig::off()
+    }
+}
+
+/// RAS lifecycle counters. Deliberately a separate struct from
+/// [`crate::FaultStats`]: that schema is frozen in committed reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RasStats {
+    /// Persistent faults seeded into pages (latent until detected).
+    pub faults_injected: u64,
+    /// Lines the patrol scrubber has walked.
+    pub scrub_visits: u64,
+    /// Latent faults found by the patrol scrubber.
+    pub detected_by_scrub: u64,
+    /// Latent faults found at consumption time (a read of the line).
+    pub detected_on_access: u64,
+    /// Pages retired (re-homed or quarantine-only).
+    pub lines_retired: u64,
+    /// Retirements that found no spare slot left (quarantine-only).
+    pub spare_exhausted: u64,
+    /// Retired lines rebuilt with a full line from an authoritative copy.
+    pub rebuilds: u64,
+}
+
+impl RasStats {
+    /// Accumulate another counter set into this one.
+    pub fn merge(&mut self, other: &RasStats) {
+        self.faults_injected += other.faults_injected;
+        self.scrub_visits += other.scrub_visits;
+        self.detected_by_scrub += other.detected_by_scrub;
+        self.detected_on_access += other.detected_on_access;
+        self.lines_retired += other.lines_retired;
+        self.spare_exhausted += other.spare_exhausted;
+        self.rebuilds += other.rebuilds;
+    }
+
+    /// Did any RAS event fire?
+    pub fn any(&self) -> bool {
+        self.faults_injected != 0
+            || self.scrub_visits != 0
+            || self.detected_by_scrub != 0
+            || self.detected_on_access != 0
+            || self.lines_retired != 0
+            || self.spare_exhausted != 0
+            || self.rebuilds != 0
+    }
+}
+
+/// The seeded persistent-fault model for one pool of lines: injects
+/// latent faults, walks the patrol scrub, and answers on-access checks.
+/// Owns no storage — callers retire/quarantine/rebuild through their own
+/// memory structures; this tracks *which* lines are silently rotten.
+#[derive(Debug, Clone)]
+pub struct MediaRas {
+    cfg: RasConfig,
+    inject: SimRng,
+    /// Fractional fault budget carried across ticks.
+    accum: f64,
+    /// Patrol-scrub position (logical line index).
+    cursor: u64,
+    /// Lines holding a latent (undetected) persistent fault. A `BTreeSet`
+    /// so iteration and snapshots are deterministic.
+    latent: BTreeSet<u64>,
+    stats: RasStats,
+}
+
+/// Checkpoint image of a [`MediaRas`]: config plus raw RNG state plus the
+/// latent set — restoring resumes the exact fault schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MediaRasSnapshot {
+    /// The configuration.
+    pub cfg: RasConfig,
+    /// Raw xoshiro state of the placement stream.
+    pub inject: [u64; 4],
+    /// Fractional fault budget.
+    pub accum: f64,
+    /// Patrol-scrub cursor.
+    pub cursor: u64,
+    /// Latent fault lines, ascending.
+    pub latent: Vec<u64>,
+    /// Counters.
+    pub stats: RasStats,
+}
+
+impl MediaRas {
+    /// Build the fault model for a pool, forking the placement stream as
+    /// `"ras.media.<label>"` so distinct pools (device giant cache, host
+    /// pool) draw from independent streams of the same seed.
+    pub fn with_label(cfg: RasConfig, label: &str) -> Self {
+        let mut root = SimRng::seed_from_u64(cfg.seed);
+        MediaRas {
+            cfg,
+            inject: root.fork(&format!("ras.media.{label}")),
+            accum: 0.0,
+            cursor: 0,
+            latent: BTreeSet::new(),
+            stats: RasStats::default(),
+        }
+    }
+
+    /// Build with the default `"device"` pool label.
+    pub fn new(cfg: RasConfig) -> Self {
+        Self::with_label(cfg, "device")
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RasConfig {
+        &self.cfg
+    }
+
+    /// One scheduler tick of fault arrival: seed latent faults into the
+    /// `mapped_lines`-sized pool at the configured expected rate.
+    pub fn tick(&mut self, mapped_lines: u64) {
+        if mapped_lines == 0 {
+            return;
+        }
+        self.accum += self.cfg.media_faults_per_tick;
+        while self.accum >= 1.0 {
+            self.accum -= 1.0;
+            let line = self.inject.index(mapped_lines as usize) as u64;
+            self.latent.insert(line);
+            self.stats.faults_injected += 1;
+        }
+    }
+
+    /// One scheduler tick of patrol scrub: walk up to the budgeted number
+    /// of lines from the cursor (wrapping over the mapped range) and
+    /// append every latent fault found to `out` (detection order).
+    pub fn scrub(&mut self, mapped_lines: u64, out: &mut Vec<u64>) {
+        if mapped_lines == 0 || self.cfg.scrub_lines_per_tick == 0 {
+            return;
+        }
+        let budget = self.cfg.scrub_lines_per_tick.min(mapped_lines);
+        for k in 0..budget {
+            let line = (self.cursor + k) % mapped_lines;
+            if self.latent.remove(&line) {
+                self.stats.detected_by_scrub += 1;
+                out.push(line);
+            }
+        }
+        self.cursor = (self.cursor + budget) % mapped_lines;
+        self.stats.scrub_visits += budget;
+    }
+
+    /// On-access check at consumption time: returns `true` (and clears
+    /// the latent bit) if the line holds an undetected persistent fault —
+    /// the caller must retire it before trusting the resident bytes.
+    pub fn check_access(&mut self, line: u64) -> bool {
+        if self.latent.remove(&line) {
+            self.stats.detected_on_access += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Latent (injected, not yet detected) fault count.
+    pub fn latent_count(&self) -> u64 {
+        self.latent.len() as u64
+    }
+
+    /// Record a retirement (`remapped == false` means the spare pool was
+    /// exhausted and the line is quarantine-only).
+    pub fn note_retired(&mut self, remapped: bool) {
+        self.stats.lines_retired += 1;
+        if !remapped {
+            self.stats.spare_exhausted += 1;
+        }
+    }
+
+    /// Record a full-line rebuild of a retired line from an
+    /// authoritative copy.
+    pub fn note_rebuild(&mut self) {
+        self.stats.rebuilds += 1;
+    }
+
+    /// The counters.
+    pub fn stats(&self) -> &RasStats {
+        &self.stats
+    }
+
+    /// Checkpoint image.
+    pub fn snapshot(&self) -> MediaRasSnapshot {
+        MediaRasSnapshot {
+            cfg: self.cfg,
+            inject: self.inject.state(),
+            accum: self.accum,
+            cursor: self.cursor,
+            latent: self.latent.iter().copied().collect(),
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuild from a checkpoint image.
+    pub fn from_snapshot(s: &MediaRasSnapshot) -> Self {
+        MediaRas {
+            cfg: s.cfg,
+            inject: SimRng::from_state(s.inject),
+            accum: s.accum,
+            cursor: s.cursor,
+            latent: s.latent.iter().copied().collect(),
+            stats: s.stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(rate: f64, scrub: u64) -> RasConfig {
+        RasConfig {
+            media_faults_per_tick: rate,
+            scrub_lines_per_tick: scrub,
+            spare_lines: 8,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn off_config_is_disabled_and_validates() {
+        let c = RasConfig::off();
+        assert!(!c.enabled() && c.is_off());
+        c.validate().unwrap();
+        assert_eq!(RasConfig::default(), c);
+        assert!(RasConfig { media_faults_per_tick: f64::NAN, ..c }.validate().is_err());
+        assert!(RasConfig { media_faults_per_tick: -0.5, ..c }.validate().is_err());
+    }
+
+    #[test]
+    fn fractional_rate_accumulates_deterministically() {
+        let mut a = MediaRas::new(cfg(0.25, 0));
+        let mut b = MediaRas::new(cfg(0.25, 0));
+        for _ in 0..16 {
+            a.tick(512);
+            b.tick(512);
+        }
+        assert_eq!(a.stats().faults_injected, 4, "0.25/tick over 16 ticks = 4 faults");
+        assert_eq!(a.snapshot(), b.snapshot(), "same seed, same schedule");
+    }
+
+    #[test]
+    fn scrub_walks_budget_and_detects() {
+        let mut m = MediaRas::new(cfg(1.0, 64));
+        m.tick(256);
+        assert_eq!(m.latent_count(), 1);
+        let mut found = Vec::new();
+        // Four scrub ticks cover the whole 256-line pool.
+        for _ in 0..4 {
+            m.scrub(256, &mut found);
+        }
+        assert_eq!(found.len(), 1, "full patrol pass finds the latent fault");
+        assert_eq!(m.latent_count(), 0);
+        assert_eq!(m.stats().detected_by_scrub, 1);
+        assert_eq!(m.stats().scrub_visits, 256);
+    }
+
+    #[test]
+    fn on_access_detection_clears_the_latent_bit() {
+        let mut m = MediaRas::new(cfg(1.0, 0));
+        m.tick(8);
+        let line = (0..8).find(|&l| m.latent.contains(&l)).unwrap();
+        assert!(m.check_access(line));
+        assert!(!m.check_access(line), "a detected fault does not re-fire");
+        assert_eq!(m.stats().detected_on_access, 1);
+    }
+
+    #[test]
+    fn distinct_labels_fork_distinct_streams() {
+        let mut a = MediaRas::with_label(cfg(1.0, 0), "device");
+        let mut b = MediaRas::with_label(cfg(1.0, 0), "pool");
+        for _ in 0..32 {
+            a.tick(1 << 20);
+            b.tick(1 << 20);
+        }
+        assert_ne!(
+            a.snapshot().latent,
+            b.snapshot().latent,
+            "same seed, different pools, different placements"
+        );
+    }
+
+    #[test]
+    fn snapshot_roundtrip_resumes_the_exact_schedule() {
+        let mut m = MediaRas::new(cfg(0.7, 16));
+        let mut sink = Vec::new();
+        for _ in 0..5 {
+            m.tick(512);
+            m.scrub(512, &mut sink);
+        }
+        let snap = m.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let mut back = MediaRas::from_snapshot(&serde_json::from_str(&json).unwrap());
+        for _ in 0..5 {
+            m.tick(512);
+            m.scrub(512, &mut sink);
+            back.tick(512);
+            let mut other = Vec::new();
+            back.scrub(512, &mut other);
+        }
+        assert_eq!(m.snapshot(), back.snapshot());
+    }
+
+    #[test]
+    fn stats_merge_and_any() {
+        let mut a = RasStats { faults_injected: 2, lines_retired: 1, ..RasStats::default() };
+        let b = RasStats { detected_by_scrub: 3, rebuilds: 1, ..RasStats::default() };
+        assert!(a.any() && b.any() && !RasStats::default().any());
+        a.merge(&b);
+        assert_eq!(a.faults_injected, 2);
+        assert_eq!(a.detected_by_scrub, 3);
+        assert_eq!(a.rebuilds, 1);
+    }
+}

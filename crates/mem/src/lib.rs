@@ -14,13 +14,16 @@
 //!   trace-collection substitute), plus chunk-granular schedules for
 //!   billion-parameter regions;
 //! - [`dram`]: a bank/row-state DRAM model (Ramulator substitute) for the
-//!   §VIII-D Disaggregator read-modify-write overhead study.
+//!   §VIII-D Disaggregator read-modify-write overhead study;
+//! - [`remap`]: the page-retirement remap table — logical lines re-homed
+//!   to spare physical slots after persistent media faults.
 
 pub mod arena;
 pub mod cache;
 pub mod dram;
 pub mod line;
 pub mod region;
+pub mod remap;
 pub mod trace;
 
 pub use arena::{LineBitmap, LineIndexer, LineSlab, LineSlot, CHUNK_LINES};
@@ -31,4 +34,5 @@ pub use line::{
     LineData, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES,
 };
 pub use region::{Region, RegionId, RegionMap};
+pub use remap::{RemapError, RemapSnapshot, RemapTable};
 pub use trace::{Chunk, ChunkedSweep, MemAccess, SweepGen, Writeback, WritebackTrace};

@@ -1,0 +1,210 @@
+//! Page-retirement remap table.
+//!
+//! When pool-media RAS detects a *persistent* uncorrectable fault in a
+//! line (unlike the link layer's transient flit poison, these survive
+//! retry), the line's physical backing is retired and the logical line is
+//! transparently re-homed to a spare physical slot. The table is the
+//! single indirection between logical line indices (what regions,
+//! bitmaps, the coherence indexer, and the auditor reason about) and
+//! physical data slots (where the bytes actually live): everything above
+//! stays logical, only the data-slab access resolves through here.
+//!
+//! Spares live in a reserved physical range *beyond* any mappable region,
+//! so the bump-allocator frontier, `is_mapped`, and the auditor's
+//! accounting invariants are untouched by retirement. Retiring a line
+//! that is already retired assigns a *fresh* spare (the previous spare is
+//! itself considered worn out and abandoned) — media wear-out can strike
+//! the replacement too.
+//!
+//! The table is deterministic and snapshot-friendly: entries are kept
+//! sorted by logical line, spares are handed out sequentially, and the
+//! snapshot captures the exact allocation cursor.
+
+use serde::{Deserialize, Serialize};
+
+/// Retirement failed: every spare slot has been consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemapError {
+    /// No spare slot is left for the line that needs re-homing.
+    SparesExhausted {
+        /// The logical line that could not be retired.
+        line: u64,
+    },
+}
+
+impl std::fmt::Display for RemapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RemapError::SparesExhausted { line } => {
+                write!(f, "no spare slot left to retire line {line}")
+            }
+        }
+    }
+}
+impl std::error::Error for RemapError {}
+
+/// The logical-line → physical-slot indirection for retired pages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemapTable {
+    /// First physical slot of the spare range (beyond every region).
+    spare_base: u64,
+    /// Total spare slots reserved.
+    spare_slots: u64,
+    /// Spares consumed so far (allocation cursor).
+    next_spare: u64,
+    /// `(logical line, physical slot)`, sorted by logical line.
+    entries: Vec<(u64, u64)>,
+}
+
+/// Serializable image of a [`RemapTable`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RemapSnapshot {
+    /// First physical slot of the spare range.
+    pub spare_base: u64,
+    /// Total spare slots reserved.
+    pub spare_slots: u64,
+    /// Spares consumed.
+    pub next_spare: u64,
+    /// `(logical line, physical slot)`, sorted by logical line.
+    pub entries: Vec<(u64, u64)>,
+}
+
+impl RemapTable {
+    /// A table with `spare_slots` spare physical slots starting at
+    /// `spare_base` (which must lie beyond every mappable region).
+    pub fn new(spare_base: u64, spare_slots: u64) -> Self {
+        RemapTable { spare_base, spare_slots, next_spare: 0, entries: Vec::new() }
+    }
+
+    /// Resolve a logical line to its physical slot (identity unless the
+    /// line has been retired).
+    #[inline]
+    pub fn resolve(&self, line: u64) -> u64 {
+        if self.entries.is_empty() {
+            return line;
+        }
+        match self.entries.binary_search_by_key(&line, |&(l, _)| l) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => line,
+        }
+    }
+
+    /// Retire a logical line: re-home it to the next spare slot. Returns
+    /// the new physical slot. Retiring an already-retired line abandons
+    /// its current spare and assigns a fresh one.
+    pub fn retire(&mut self, line: u64) -> Result<u64, RemapError> {
+        if self.next_spare >= self.spare_slots {
+            return Err(RemapError::SparesExhausted { line });
+        }
+        let slot = self.spare_base + self.next_spare;
+        self.next_spare += 1;
+        match self.entries.binary_search_by_key(&line, |&(l, _)| l) {
+            Ok(i) => self.entries[i].1 = slot,
+            Err(i) => self.entries.insert(i, (line, slot)),
+        }
+        Ok(slot)
+    }
+
+    /// Has this logical line been retired?
+    pub fn is_retired(&self, line: u64) -> bool {
+        self.entries.binary_search_by_key(&line, |&(l, _)| l).is_ok()
+    }
+
+    /// Number of retired logical lines.
+    pub fn retired_count(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Spare slots not yet consumed.
+    pub fn spares_left(&self) -> u64 {
+        self.spare_slots - self.next_spare
+    }
+
+    /// First physical slot of the spare range.
+    pub fn spare_base(&self) -> u64 {
+        self.spare_base
+    }
+
+    /// Serializable image of the table.
+    pub fn snapshot(&self) -> RemapSnapshot {
+        RemapSnapshot {
+            spare_base: self.spare_base,
+            spare_slots: self.spare_slots,
+            next_spare: self.next_spare,
+            entries: self.entries.clone(),
+        }
+    }
+
+    /// Rebuild from a snapshot.
+    pub fn from_snapshot(s: &RemapSnapshot) -> Self {
+        RemapTable {
+            spare_base: s.spare_base,
+            spare_slots: s.spare_slots,
+            next_spare: s.next_spare,
+            entries: s.entries.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_until_retired() {
+        let t = RemapTable::new(1000, 4);
+        assert_eq!(t.resolve(0), 0);
+        assert_eq!(t.resolve(999), 999);
+        assert_eq!(t.retired_count(), 0);
+        assert_eq!(t.spares_left(), 4);
+    }
+
+    #[test]
+    fn retire_re_homes_to_sequential_spares() {
+        let mut t = RemapTable::new(1000, 4);
+        assert_eq!(t.retire(7).unwrap(), 1000);
+        assert_eq!(t.retire(3).unwrap(), 1001);
+        assert_eq!(t.resolve(7), 1000);
+        assert_eq!(t.resolve(3), 1001);
+        assert_eq!(t.resolve(5), 5);
+        assert!(t.is_retired(7) && t.is_retired(3) && !t.is_retired(5));
+        assert_eq!(t.retired_count(), 2);
+        assert_eq!(t.spares_left(), 2);
+    }
+
+    #[test]
+    fn re_retiring_a_line_consumes_a_fresh_spare() {
+        let mut t = RemapTable::new(1000, 4);
+        assert_eq!(t.retire(7).unwrap(), 1000);
+        assert_eq!(t.retire(7).unwrap(), 1001);
+        assert_eq!(t.resolve(7), 1001);
+        assert_eq!(t.retired_count(), 1, "still one logical line retired");
+        assert_eq!(t.spares_left(), 2, "but two spares consumed");
+    }
+
+    #[test]
+    fn exhaustion_is_a_typed_error() {
+        let mut t = RemapTable::new(1000, 1);
+        t.retire(0).unwrap();
+        let err = t.retire(1).unwrap_err();
+        assert_eq!(err, RemapError::SparesExhausted { line: 1 });
+        assert!(err.to_string().contains("line 1"));
+        // The failed retirement changed nothing.
+        assert_eq!(t.resolve(1), 1);
+        assert_eq!(t.retired_count(), 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_exact() {
+        let mut t = RemapTable::new(500, 8);
+        t.retire(2).unwrap();
+        t.retire(9).unwrap();
+        t.retire(2).unwrap();
+        let snap = t.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back = RemapTable::from_snapshot(&serde_json::from_str(&json).unwrap());
+        assert_eq!(back, t);
+        assert_eq!(back.resolve(2), t.resolve(2));
+        assert_eq!(back.spares_left(), t.spares_left());
+    }
+}
