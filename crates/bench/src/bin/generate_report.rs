@@ -6,7 +6,8 @@
 
 use serde::Value;
 use teco_bench::report::{
-    churn_section, datapath_section, fault_section, resume_section, scaling_section, snoop_section,
+    churn_section, collective_section, datapath_section, fault_section, resume_section,
+    scaling_section, snoop_section,
 };
 use teco_offload::{timing_report, Calibration};
 
@@ -51,14 +52,15 @@ fn perf_summary() -> Option<Value> {
 
 fn main() {
     let report = format!(
-        "{}\n{}{}{}{}{}{}",
+        "{}\n{}{}{}{}{}{}{}",
         timing_report(&Calibration::paper()),
         fault_section(),
         snoop_section(),
         resume_section(),
         scaling_section(),
         datapath_section(),
-        churn_section()
+        churn_section(),
+        collective_section()
     );
     std::fs::create_dir_all("bench_results").expect("create bench_results/");
     let path = "bench_results/REPORT.md";

@@ -19,6 +19,8 @@
 //!   perf_smoke --record-pr6  # (re)write BENCH_pr6.json from current medians
 
 use serde::Value;
+use teco_cxl::{ring_all_reduce, CollectiveConfig, PoolCollective};
+use teco_sim::SimTime;
 
 const MEDIANS: &str = "bench_results/criterion_medians.json";
 const BASELINE: &str = "bench_results/BENCH_pr3.json";
@@ -174,6 +176,40 @@ fn main() {
                 }
             }
             _ => failures.push(format!("{key} missing from {MEDIANS}")),
+        }
+    }
+
+    // Collective gate: at H >= 4 the pool-staged all-reduce must move
+    // fewer bytes than the ring and finish sooner. A pure model check
+    // (no Criterion medians involved), so it holds on any machine.
+    for hosts in [4usize, 8] {
+        let cfg = CollectiveConfig::for_hosts(hosts);
+        let ready = vec![SimTime::ZERO; hosts];
+        let mut bufs = vec![vec![0u8; 1 << 20]; hosts];
+        let pool = PoolCollective::new(cfg).all_reduce(&mut bufs, &ready);
+        let ring = ring_all_reduce(&cfg, &mut bufs, &ready);
+        let byte_verdict = if pool.port_bytes < ring.link_bytes { "ok" } else { "TOO MANY" };
+        let time_verdict = if pool.completion < ring.completion { "ok" } else { "TOO SLOW" };
+        println!(
+            "collective H={hosts}: pool {} vs ring {} link-bytes {byte_verdict}, \
+             pool {} vs ring {} ns {time_verdict}",
+            pool.port_bytes,
+            ring.link_bytes,
+            pool.completion.as_ns(),
+            ring.completion.as_ns()
+        );
+        if pool.port_bytes >= ring.link_bytes {
+            failures.push(format!(
+                "collective H={hosts}: pool moved {} bytes, ring {}",
+                pool.port_bytes, ring.link_bytes
+            ));
+        }
+        if pool.completion >= ring.completion {
+            failures.push(format!(
+                "collective H={hosts}: pool {} ns not faster than ring {} ns",
+                pool.completion.as_ns(),
+                ring.completion.as_ns()
+            ));
         }
     }
 

@@ -13,7 +13,7 @@ use teco_core::{
 };
 use teco_cxl::FaultConfig;
 use teco_mem::LineData;
-use teco_offload::{churn_report_md, fault_report_md, scaling_report_md};
+use teco_offload::{churn_report_md, collective_report_md, fault_report_md, scaling_report_md};
 use teco_sim::SimTime;
 
 /// A small fixed-seed faulty run so the report always carries a populated
@@ -189,4 +189,27 @@ pub fn scaling_section() -> String {
 pub fn churn_section() -> String {
     let rows = sweeps::churn_rows_with_workers(1);
     format!("\n{}", churn_report_md(&sweeps::churn_points(&rows)))
+}
+
+/// The inter-host collective section: the pool-vs-ring comparison grid
+/// rendered through the shared markdown renderer, with the sweep's
+/// acceptance gate (pool beats ring on time and bytes, bits match,
+/// host 0 unperturbed) summarized underneath. Serial for the same reason
+/// as [`scaling_section`].
+pub fn collective_section() -> String {
+    let sweep = sweeps::collective_sweep_with_workers(1);
+    let bad = sweeps::collective_divergences(&sweep);
+    let mut out =
+        format!("\n{}", collective_report_md(&sweeps::collective_points(&sweep.collective)));
+    out.push_str(&format!(
+        "\ngate: {}\n",
+        if bad.is_empty() {
+            "pool beat the ring on time and bytes in every cell, bit-identically, \
+             with host 0 of every fabric byte-identical to the single-host path"
+                .to_string()
+        } else {
+            format!("FAILED — {}", bad.join("; "))
+        }
+    ));
+    out
 }

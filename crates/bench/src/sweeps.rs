@@ -11,13 +11,13 @@
 
 use serde::{Deserialize, Serialize};
 use teco_core::{
-    run_churn, run_cluster_uninterrupted, ChurnWorkload, ClusterConfig, ClusterReport,
-    ClusterWorkload, TecoConfig, TecoSession,
+    run_churn, run_cluster_uninterrupted, run_fabric_uninterrupted, ChurnWorkload, ClusterConfig,
+    ClusterReport, ClusterWorkload, FabricWorkload, TecoConfig, TecoSession,
 };
-use teco_cxl::{FaultConfig, RasConfig};
+use teco_cxl::{ring_all_reduce, CollectiveConfig, FaultConfig, PoolCollective, RasConfig};
 use teco_mem::{Addr, LineData};
-use teco_offload::{sweep_with_workers, ChurnPoint, ScalingPoint};
-use teco_sim::SimTime;
+use teco_offload::{sweep_with_workers, ChurnPoint, CollectivePoint, ScalingPoint};
+use teco_sim::{SimRng, SimTime};
 
 // ---------------------------------------------------------------------------
 // Fault sweep
@@ -726,6 +726,273 @@ pub fn churn_points(rows: &[ChurnRow]) -> Vec<ChurnPoint> {
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Collective sweep (pool-staged all-reduce vs the point-to-point ring)
+// ---------------------------------------------------------------------------
+
+/// Host counts the collective comparison covers (H ≥ 2: an inter-host
+/// exchange must exist).
+pub const COLLECTIVE_HOSTS: [usize; 3] = [2, 4, 8];
+/// Per-host gradient sizes in MiB. 64 MiB is the acceptance cell: a
+/// Bert-large-class gradient per step.
+pub const COLLECTIVE_MB: [u64; 3] = [1, 16, 64];
+/// The gradient content-stream seed.
+pub const COLLECTIVE_SEED: u64 = 42;
+/// Host counts the fabric anchor rows cover (H = 1 is the anchor that
+/// must collapse to the single-host `scaling_sweep` path).
+pub const FABRIC_HOSTS: [usize; 4] = [1, 2, 4, 8];
+/// Devices per host in the fabric anchor rows.
+pub const FABRIC_DEVICES: usize = 2;
+/// The fabric workload seed.
+pub const FABRIC_SEED: u64 = 42;
+
+/// One cell of the collective comparison grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollectiveCell {
+    /// Hosts sharing the pool.
+    pub hosts: usize,
+    /// Per-host gradient size in MiB.
+    pub grad_mb: u64,
+}
+
+/// The grid: H ∈ {2, 4, 8} × G ∈ {1, 16, 64} MiB, hosts-major.
+pub fn collective_grid() -> Vec<CollectiveCell> {
+    let mut cells = Vec::new();
+    for &hosts in &COLLECTIVE_HOSTS {
+        for &grad_mb in &COLLECTIVE_MB {
+            cells.push(CollectiveCell { hosts, grad_mb });
+        }
+    }
+    cells
+}
+
+/// The per-host gradient buffers of one cell, drawn from per-host forks
+/// of the fixed content stream (regenerable, so a cell never needs pool
+/// and ring inputs alive at once).
+fn collective_inputs(hosts: usize, bytes: usize) -> Vec<Vec<u8>> {
+    (0..hosts)
+        .map(|h| {
+            let mut rng = SimRng::seed_from_u64(COLLECTIVE_SEED).fork(&format!("grad-h{h}"));
+            let mut buf = vec![0u8; bytes];
+            for chunk in buf.chunks_exact_mut(8) {
+                chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+            }
+            buf
+        })
+        .collect()
+}
+
+/// One row of the collective comparison in
+/// `bench_results/collective_sweep.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectiveRow {
+    /// Hosts sharing the pool.
+    pub hosts: u64,
+    /// Gradient bytes contributed per host.
+    pub grad_bytes: u64,
+    /// Pool-staged all-reduce completion (barrier → last host done).
+    pub pool_ns: u64,
+    /// Ring all-reduce completion over the same barrier.
+    pub ring_ns: u64,
+    /// `ring_ns / pool_ns` — must exceed 1 in every cell.
+    pub speedup: f64,
+    /// Host↔pool port bytes the pool path moved ((2H−1)·G).
+    pub pool_port_bytes: u64,
+    /// Pool-DRAM bytes served after fan-in dedup ((H+1)·G).
+    pub pool_media_bytes: u64,
+    /// Media bytes the gather fan-in avoided re-reading ((H−2)·G).
+    pub fanin_saved_bytes: u64,
+    /// Endpoint-port bytes the ring moved (4(H−1)·G).
+    pub ring_link_bytes: u64,
+    /// `ring_link_bytes / pool_port_bytes` — must exceed 1 in every cell.
+    pub byte_ratio: f64,
+    /// Did pool and ring produce bit-identical reduced gradients?
+    pub results_match: bool,
+    /// FNV-1a-64 over host 0's reduced gradient, hex (identical for both
+    /// paths whenever `results_match`).
+    pub grad_checksum: String,
+}
+
+/// Compute one collective comparison row. The pool and ring runs never
+/// hold their input sets concurrently: each path regenerates the
+/// formulaic gradients, reduces in place, and is summarized by checksum
+/// before the other starts — the 64 MiB × 8-host cell peaks at one input
+/// set, not two.
+pub fn collective_row(cell: &CollectiveCell) -> CollectiveRow {
+    let bytes = (cell.grad_mb << 20) as usize;
+    let cfg = CollectiveConfig::for_hosts(cell.hosts);
+    let ready = vec![SimTime::ZERO; cell.hosts];
+
+    let mut bufs = collective_inputs(cell.hosts, bytes);
+    let pool = PoolCollective::new(cfg).all_reduce(&mut bufs, &ready);
+    let pool_sum = fnv1a_hex(&bufs[0]);
+    let all_equal = bufs.windows(2).all(|w| w[0] == w[1]);
+    drop(bufs);
+
+    let mut bufs = collective_inputs(cell.hosts, bytes);
+    let ring = ring_all_reduce(&cfg, &mut bufs, &ready);
+    let ring_sum = fnv1a_hex(&bufs[0]);
+    drop(bufs);
+
+    let pool_ns = (pool.completion - pool.start).as_ns();
+    let ring_ns = (ring.completion - ring.start).as_ns();
+    CollectiveRow {
+        hosts: cell.hosts as u64,
+        grad_bytes: bytes as u64,
+        pool_ns,
+        ring_ns,
+        speedup: ring_ns as f64 / pool_ns as f64,
+        pool_port_bytes: pool.port_bytes,
+        pool_media_bytes: pool.media_bytes,
+        fanin_saved_bytes: pool.fanin_saved_bytes,
+        ring_link_bytes: ring.link_bytes,
+        byte_ratio: ring.link_bytes as f64 / pool.port_bytes as f64,
+        results_match: all_equal && pool_sum == ring_sum,
+        grad_checksum: pool_sum,
+    }
+}
+
+/// One fabric anchor row in `bench_results/collective_sweep.json`: an
+/// H-host training fabric over the shared pool, with the structural
+/// anchor asserted per row — host 0's cluster report is byte-identical
+/// to the standalone single-host path (`scaling_sweep`'s
+/// `run_cluster_uninterrupted`) at every H, and at H = 1 the whole
+/// fabric collapses to it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricRow {
+    /// Hosts in the fabric.
+    pub hosts: u64,
+    /// Devices per host.
+    pub devices_per_host: u64,
+    /// Steps simulated.
+    pub steps: u64,
+    /// The fabric clock at the end of the run.
+    pub fabric_time_ns: u64,
+    /// Time spent in inter-host exchanges.
+    pub exchange_ns: u64,
+    /// Host↔pool port bytes the collectives moved.
+    pub pool_port_bytes: u64,
+    /// Pool-DRAM bytes served (fan-in deduplicated).
+    pub pool_media_bytes: u64,
+    /// Media bytes the gather fan-in avoided re-reading.
+    pub fanin_saved_bytes: u64,
+    /// Running checksum of every step's globally reduced gradient.
+    pub global_grad_checksum: u64,
+    /// FNV-1a-64 over host 0's serialized cluster report.
+    pub host0_digest: String,
+    /// Does `host0_digest` equal the standalone cluster path's digest?
+    pub host0_matches_cluster: bool,
+}
+
+/// The fixed fabric workload for an anchor row.
+pub fn fabric_workload(hosts: usize) -> FabricWorkload {
+    FabricWorkload::small(hosts, FABRIC_DEVICES, FABRIC_SEED)
+}
+
+/// Compute one fabric anchor row, including the standalone-cluster
+/// digest comparison (each row runs its own baseline, so rows are
+/// worker-independent).
+pub fn fabric_row(hosts: usize) -> FabricRow {
+    let w = fabric_workload(hosts);
+    let fabric = run_fabric_uninterrupted(&w).expect("fabric run completes").report;
+    let cluster = run_cluster_uninterrupted(&w.base).expect("cluster run completes").report;
+    let host0 = serde_json::to_string(&fabric.host_reports[0]).expect("serialize host 0");
+    let standalone = serde_json::to_string(&cluster).expect("serialize cluster");
+    FabricRow {
+        hosts: fabric.hosts,
+        devices_per_host: FABRIC_DEVICES as u64,
+        steps: fabric.steps,
+        fabric_time_ns: fabric.fabric_time_ns,
+        exchange_ns: fabric.exchange_ns,
+        pool_port_bytes: fabric.pool_port_bytes,
+        pool_media_bytes: fabric.pool_media_bytes,
+        fanin_saved_bytes: fabric.fanin_saved_bytes,
+        global_grad_checksum: fabric.global_grad_checksum,
+        host0_digest: fnv1a_hex(host0.as_bytes()),
+        host0_matches_cluster: host0 == standalone,
+    }
+}
+
+/// Everything `collective_sweep` writes, as one JSON document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectiveSweep {
+    /// The fabric anchor rows, H ∈ {1, 2, 4, 8}.
+    pub fabric: Vec<FabricRow>,
+    /// The pool-vs-ring comparison grid.
+    pub collective: Vec<CollectiveRow>,
+}
+
+/// The full collective sweep at an explicit worker count.
+pub fn collective_sweep_with_workers(workers: usize) -> CollectiveSweep {
+    let fabric = sweep_with_workers(&FABRIC_HOSTS, workers, |_, &hosts| fabric_row(hosts));
+    let grid = collective_grid();
+    let collective = sweep_with_workers(&grid, workers, |_, cell| collective_row(cell));
+    CollectiveSweep { fabric, collective }
+}
+
+/// The full collective sweep across all cores.
+pub fn collective_sweep() -> CollectiveSweep {
+    collective_sweep_with_workers(teco_dl::num_cores())
+}
+
+/// Reduce collective rows to the report renderer's plain points.
+pub fn collective_points(rows: &[CollectiveRow]) -> Vec<CollectivePoint> {
+    rows.iter()
+        .map(|r| CollectivePoint {
+            hosts: r.hosts,
+            grad_bytes: r.grad_bytes,
+            pool_ns: r.pool_ns,
+            ring_ns: r.ring_ns,
+            speedup: r.speedup,
+            pool_port_bytes: r.pool_port_bytes,
+            ring_link_bytes: r.ring_link_bytes,
+            fanin_saved_bytes: r.fanin_saved_bytes,
+            results_match: r.results_match,
+        })
+        .collect()
+}
+
+/// The sweep's acceptance gate: every comparison cell must beat the ring
+/// on completion time *and* moved bytes with bit-identical results, and
+/// every fabric row must keep host 0 byte-identical to the standalone
+/// cluster path. Returns the offending descriptions (empty = pass).
+pub fn collective_divergences(sweep: &CollectiveSweep) -> Vec<String> {
+    let mut bad = Vec::new();
+    for r in &sweep.collective {
+        if !r.results_match {
+            bad.push(format!(
+                "H={} G={}MB: pool and ring bits diverge",
+                r.hosts,
+                r.grad_bytes >> 20
+            ));
+        }
+        if r.pool_ns >= r.ring_ns {
+            bad.push(format!(
+                "H={} G={}MB: pool {}ns not faster than ring {}ns",
+                r.hosts,
+                r.grad_bytes >> 20,
+                r.pool_ns,
+                r.ring_ns
+            ));
+        }
+        if r.pool_port_bytes >= r.ring_link_bytes {
+            bad.push(format!(
+                "H={} G={}MB: pool moved {} bytes, ring {}",
+                r.hosts,
+                r.grad_bytes >> 20,
+                r.pool_port_bytes,
+                r.ring_link_bytes
+            ));
+        }
+    }
+    for r in &sweep.fabric {
+        if !r.host0_matches_cluster {
+            bad.push(format!("H={}: host 0 diverged from the standalone cluster path", r.hosts));
+        }
+    }
+    bad
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -792,6 +1059,33 @@ mod tests {
         assert!(row.redistributed_lines > 0);
         assert!(row.ras_faults_injected > 0, "media faults must fire");
         assert!(row.converged, "readmitted cell must converge to clean baseline");
+    }
+
+    #[test]
+    fn collective_grid_shape_and_small_cell_beats_ring() {
+        let grid = collective_grid();
+        assert_eq!(grid.len(), 9);
+        assert_eq!(grid[0], CollectiveCell { hosts: 2, grad_mb: 1 });
+        let row = collective_row(&grid[0]);
+        assert!(row.results_match, "pool and ring must agree bit for bit");
+        assert!(row.speedup > 1.0, "pool must beat the ring: {row:?}");
+        assert!(row.byte_ratio > 1.0, "pool must move fewer bytes: {row:?}");
+        assert_eq!(row.pool_port_bytes, 3 << 20);
+        assert_eq!(row.ring_link_bytes, 4 << 20);
+    }
+
+    #[test]
+    fn fabric_anchor_holds_at_one_host_and_four() {
+        let one = fabric_row(1);
+        assert!(one.host0_matches_cluster, "H=1 must collapse to the cluster path");
+        assert_eq!(one.exchange_ns, 0);
+        assert_eq!(one.pool_port_bytes, 0);
+        let four = fabric_row(4);
+        assert!(four.host0_matches_cluster, "host 0 must stay unperturbed at H=4");
+        assert!(four.exchange_ns > 0);
+        assert!(four.fanin_saved_bytes > 0);
+        let sweep = CollectiveSweep { fabric: vec![one, four], collective: Vec::new() };
+        assert_eq!(collective_divergences(&sweep), Vec::<String>::new());
     }
 
     #[test]

@@ -161,13 +161,11 @@ impl CpuPool {
     }
 
     /// Reduce one gradient line into the accumulator (per-word wrapping
-    /// add — the integer stand-in for the optimizer's sum-reduce).
+    /// add — the integer stand-in for the optimizer's sum-reduce), through
+    /// the same chunked kernel the inter-host collectives fold with
+    /// (bit-identical to the original word-at-a-time loop).
     fn reduce(&mut self, i: usize, line: &LineData) {
-        let acc = &mut self.grads[i];
-        for w in 0..(LINE_BYTES / 4) {
-            let sum = acc.word(w).wrapping_add(line.word(w));
-            acc.set_word(w, sum);
-        }
+        teco_cxl::dba::kernels::reduce_sum_run(line.bytes(), self.grads[i].bytes_mut());
         self.reduced_lines += 1;
     }
 
@@ -185,6 +183,16 @@ impl CpuPool {
     /// Optimizer updates (parameter broadcasts) so far.
     pub fn updates(&self) -> u64 {
         self.updates
+    }
+
+    /// Copy the gradient accumulator's raw bytes into `out` (cleared
+    /// first, capacity reused) — the pool-resident staging region the
+    /// inter-host collective layer reads this host's contribution from.
+    pub fn copy_grad_bytes_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        for line in &self.grads {
+            out.extend_from_slice(line.bytes());
+        }
     }
 
     /// FNV-1a-64 over the master parameters then the gradient accumulator
@@ -948,6 +956,22 @@ impl ClusterDriver {
         })
     }
 
+    /// A driver for host `host` of a multi-host fabric. Host 0 is seeded
+    /// exactly like [`ClusterDriver::new`] — its cluster must stay
+    /// byte-identical to a standalone run (the fabric's correctness
+    /// anchor) — while hosts 1.. fork every device stream by a
+    /// host-qualified label so replicas train on distinct shards.
+    pub fn for_host(w: &ClusterWorkload, host: usize) -> Result<Self, SessionError> {
+        if host == 0 {
+            return Self::new(w);
+        }
+        let mut d = Self::new(w)?;
+        d.rngs = (0..w.cfg.devices)
+            .map(|dev| SimRng::seed_from_u64(w.seed).fork(&format!("fabric-h{host}-dev-{dev}")))
+            .collect();
+        Ok(d)
+    }
+
     /// The cluster under the driver.
     pub fn cluster(&self) -> &ClusterSession {
         &self.cluster
@@ -1045,16 +1069,36 @@ impl ClusterDriver {
         self.run_step_until(StepBoundary::AfterParamFence)
     }
 
+    /// Draw this step's updated parameter lines from the driver's pool
+    /// stream (device 0's) into `out` (cleared first). Public so the
+    /// fabric layer can draw the globally shared update on host 0 and
+    /// broadcast the *same* lines to every host.
+    pub fn draw_param_lines(&mut self, out: &mut Vec<LineData>) {
+        let n = self.param_lines() as usize;
+        out.clear();
+        for _ in 0..n {
+            out.push(Self::random_line(&mut self.rngs[0]));
+        }
+    }
+
+    /// Run this step's activation check on every device (Listing 1's one
+    /// TECO line) — the fabric layer's handle between the inter-host
+    /// exchange and the parameter broadcast.
+    pub fn check_activation(&mut self) {
+        self.cluster.check_activation_all();
+    }
+
+    /// Broadcast externally supplied parameter lines (the fabric's
+    /// globally reduced update) to every giant cache.
+    pub fn broadcast_lines(&mut self, lines: &[LineData]) -> Result<(), SessionError> {
+        self.cluster.broadcast_params(lines)
+    }
+
     /// The pooled optimizer's update: fresh parameters from device 0's
     /// stream (the pool stream), broadcast to every giant cache.
     fn broadcast_from_pool(&mut self) -> Result<(), SessionError> {
-        let n = self.param_lines() as usize;
-        self.param_buf.clear();
-        for _ in 0..n {
-            let line = Self::random_line(&mut self.rngs[0]);
-            self.param_buf.push(line);
-        }
-        let lines = std::mem::take(&mut self.param_buf);
+        let mut lines = std::mem::take(&mut self.param_buf);
+        self.draw_param_lines(&mut lines);
         let r = self.cluster.broadcast_params(&lines);
         self.param_buf = lines;
         r

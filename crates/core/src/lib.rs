@@ -27,6 +27,7 @@
 pub mod churn;
 pub mod cluster;
 pub mod config;
+pub mod fabric;
 pub mod resume;
 pub mod session;
 pub mod trainer;
@@ -41,6 +42,10 @@ pub use cluster::{
     CpuPool, CpuPoolSnapshot, HostLinkReport,
 };
 pub use config::TecoConfig;
+pub use fabric::{
+    host0_matches_cluster_path, run_fabric_resumed, run_fabric_uninterrupted, FabricDriver,
+    FabricReport, FabricRunOutcome, FabricSnapshot, FabricWorkload,
+};
 pub use resume::{
     run_resumed, run_uninterrupted, KillPoint, ResumeReport, ResumeWorkload, RunOutcome,
     StepBoundary, WorkloadSnapshot,

@@ -59,6 +59,15 @@ pub struct HostLinkArbiter {
     quarantined: Vec<bool>,
     /// Quarantine declarations so far (readmissions do not decrement).
     quarantine_events: u64,
+    /// Fan-in charges: one pool-media read serving every reading host.
+    fanin_grants: u64,
+    /// Bytes the pool media served to fan-in reads (charged once).
+    fanin_bytes: u64,
+    /// Bytes the pool-read fan-in avoided re-reading from media, versus
+    /// one independent media read per reading host.
+    fanin_saved_bytes: u64,
+    /// Host deliveries served from fan-in reads.
+    fanin_deliveries: u64,
 }
 
 impl HostLinkArbiter {
@@ -78,6 +87,10 @@ impl HostLinkArbiter {
             fanout_deliveries: 0,
             quarantined: vec![false; n],
             quarantine_events: 0,
+            fanin_grants: 0,
+            fanin_bytes: 0,
+            fanin_saved_bytes: 0,
+            fanin_deliveries: 0,
         }
     }
 
@@ -144,6 +157,22 @@ impl HostLinkArbiter {
     pub fn fanout_deliveries(&self) -> u64 {
         self.fanout_deliveries
     }
+    /// Fan-in charges so far.
+    pub fn fanin_grants(&self) -> u64 {
+        self.fanin_grants
+    }
+    /// Bytes the pool media served to fan-in reads.
+    pub fn fanin_bytes(&self) -> u64 {
+        self.fanin_bytes
+    }
+    /// Bytes pool-read fan-in saved versus per-reader media reads.
+    pub fn fanin_saved_bytes(&self) -> u64 {
+        self.fanin_saved_bytes
+    }
+    /// Host deliveries produced by fan-in reads.
+    pub fn fanin_deliveries(&self) -> u64 {
+        self.fanin_deliveries
+    }
 
     /// Serve one grant on the shared budget. Unlike the per-device links,
     /// ready times across devices are not globally ordered, so the budget
@@ -170,18 +199,48 @@ impl HostLinkArbiter {
     ///
     /// Allocation-free: the round walks device indices in place.
     pub fn arbitrate_round(&mut self, ready: &[SimTime], requests: &[u64]) -> SimTime {
+        self.round_impl(ready, requests, None)
+    }
+
+    /// [`HostLinkArbiter::arbitrate_round`], but additionally writes each
+    /// device's grant completion time into `ends[d]` (its own ready time
+    /// when it requested nothing or is quarantined). Cross-host collectives
+    /// need the per-port completion, not just the round drain, to overlap
+    /// the next phase per host.
+    pub fn arbitrate_round_into(
+        &mut self,
+        ready: &[SimTime],
+        requests: &[u64],
+        ends: &mut [SimTime],
+    ) -> SimTime {
+        assert_eq!(ends.len(), self.n, "one end slot per device");
+        self.round_impl(ready, requests, Some(ends))
+    }
+
+    fn round_impl(
+        &mut self,
+        ready: &[SimTime],
+        requests: &[u64],
+        mut ends: Option<&mut [SimTime]>,
+    ) -> SimTime {
         assert_eq!(ready.len(), self.n, "one ready time per device");
         assert_eq!(requests.len(), self.n, "one request per device");
         self.rounds += 1;
         let first = self.rr;
         self.rr = (self.rr + 1) % self.n;
         let mut end = self.next_free;
+        if let Some(ends) = ends.as_deref_mut() {
+            ends.copy_from_slice(ready);
+        }
         for k in 0..self.n {
             let dev = (first + k) % self.n;
             if requests[dev] == 0 || self.quarantined[dev] {
                 continue;
             }
             let iv = self.grant(dev, ready[dev], requests[dev]);
+            if let Some(ends) = ends.as_deref_mut() {
+                ends[dev] = iv.end;
+            }
             end = end.max(iv.end);
         }
         end
@@ -203,6 +262,23 @@ impl HostLinkArbiter {
         Interval::new(start, end)
     }
 
+    /// Charge a pool-read fan-in: one staged region is read by `readers`
+    /// hosts, but the pool media serves it **once** — the switched pool
+    /// multicasts the same DRAM read to every requesting port. The dual of
+    /// [`HostLinkArbiter::charge_broadcast`]: fan-out pushes one write to
+    /// many devices, fan-in satisfies many reads from one media access.
+    pub fn charge_fanin(&mut self, ready: SimTime, bytes: u64, readers: usize) -> Interval {
+        assert!(readers >= 1, "fan-in needs at least one reader");
+        let start = ready.max(self.next_free);
+        let end = start + self.bw.transfer_time(bytes);
+        self.next_free = end;
+        self.fanin_grants += 1;
+        self.fanin_bytes += bytes;
+        self.fanin_deliveries += readers as u64;
+        self.fanin_saved_bytes += bytes * (readers as u64 - 1);
+        Interval::new(start, end)
+    }
+
     /// Checkpoint image of the arbiter.
     pub fn snapshot(&self) -> HostLinkArbiterSnapshot {
         HostLinkArbiterSnapshot {
@@ -218,6 +294,10 @@ impl HostLinkArbiter {
             fanout_deliveries: self.fanout_deliveries,
             quarantined: self.quarantined.clone(),
             quarantine_events: self.quarantine_events,
+            fanin_grants: self.fanin_grants,
+            fanin_bytes: self.fanin_bytes,
+            fanin_saved_bytes: self.fanin_saved_bytes,
+            fanin_deliveries: self.fanin_deliveries,
         }
     }
 
@@ -244,6 +324,10 @@ impl HostLinkArbiter {
             fanout_deliveries: s.fanout_deliveries,
             quarantined,
             quarantine_events: s.quarantine_events,
+            fanin_grants: s.fanin_grants,
+            fanin_bytes: s.fanin_bytes,
+            fanin_saved_bytes: s.fanin_saved_bytes,
+            fanin_deliveries: s.fanin_deliveries,
         }
     }
 }
@@ -276,11 +360,20 @@ pub struct HostLinkArbiterSnapshot {
     pub quarantined: Vec<bool>,
     /// Quarantine declarations.
     pub quarantine_events: u64,
+    /// Fan-in charges (zero in pre-collective snapshots).
+    pub fanin_grants: u64,
+    /// Fan-in bytes served by the pool media.
+    pub fanin_bytes: u64,
+    /// Bytes fan-in saved versus per-reader media reads.
+    pub fanin_saved_bytes: u64,
+    /// Fan-in deliveries.
+    pub fanin_deliveries: u64,
 }
 
 // Hand-written (de)serialization: the vendored derive has no field
-// attributes, and the quarantine fields must be omitted while all-clear
-// so pre-fault-domain snapshot bytes are unchanged.
+// attributes, and the quarantine/fan-in fields must be omitted while
+// all-clear/zero so pre-fault-domain and pre-collective snapshot bytes
+// are unchanged.
 impl Serialize for HostLinkArbiterSnapshot {
     fn to_value(&self) -> serde::Value {
         let mut fields = vec![
@@ -299,6 +392,12 @@ impl Serialize for HostLinkArbiterSnapshot {
             fields.push(("quarantined".to_string(), self.quarantined.to_value()));
             fields.push(("quarantine_events".to_string(), self.quarantine_events.to_value()));
         }
+        if self.fanin_grants != 0 {
+            fields.push(("fanin_grants".to_string(), self.fanin_grants.to_value()));
+            fields.push(("fanin_bytes".to_string(), self.fanin_bytes.to_value()));
+            fields.push(("fanin_saved_bytes".to_string(), self.fanin_saved_bytes.to_value()));
+            fields.push(("fanin_deliveries".to_string(), self.fanin_deliveries.to_value()));
+        }
         serde::Value::Object(fields)
     }
 }
@@ -309,6 +408,12 @@ impl Deserialize for HostLinkArbiterSnapshot {
             T::from_value(v.get(key).ok_or_else(|| {
                 serde::Error::custom(format!("missing field `{key}` in HostLinkArbiterSnapshot"))
             })?)
+        }
+        fn opt(v: &serde::Value, key: &str) -> Result<u64, serde::Error> {
+            match v.get(key) {
+                Some(fv) => u64::from_value(fv),
+                None => Ok(0),
+            }
         }
         let n: u64 = req(v, "n")?;
         Ok(HostLinkArbiterSnapshot {
@@ -330,6 +435,10 @@ impl Deserialize for HostLinkArbiterSnapshot {
                 Some(ev) => u64::from_value(ev)?,
                 None => 0,
             },
+            fanin_grants: opt(v, "fanin_grants")?,
+            fanin_bytes: opt(v, "fanin_bytes")?,
+            fanin_saved_bytes: opt(v, "fanin_saved_bytes")?,
+            fanin_deliveries: opt(v, "fanin_deliveries")?,
         })
     }
 }
@@ -441,6 +550,58 @@ mod tests {
         let b = HostLinkArbiter::restore(&a.snapshot());
         assert!(b.is_quarantined(2) && !b.is_quarantined(1));
         assert_eq!(b.quarantine_events(), 2);
+    }
+
+    #[test]
+    fn round_into_reports_per_device_ends() {
+        let mut a = arb(3);
+        let ready = [SimTime::ZERO, SimTime::from_ns(5), SimTime::ZERO];
+        let mut ends = [SimTime::MAX; 3];
+        let end = a.arbitrate_round_into(&ready, &[64, 64, 0], &mut ends);
+        // Device 0 granted first (1 ns), device 1 not ready until 5 ns so
+        // it runs 5..6; the idle device keeps its own ready time.
+        assert_eq!(ends[0], SimTime::from_ns(1));
+        assert_eq!(ends[1], SimTime::from_ns(6));
+        assert_eq!(ends[2], SimTime::ZERO);
+        assert_eq!(end, SimTime::from_ns(6));
+        // The `_into` variant must arbitrate exactly like the plain round.
+        let mut b = arb(3);
+        let plain = b.arbitrate_round(&ready, &[64, 64, 0]);
+        assert_eq!(end, plain);
+        assert_eq!(a.accounts(), b.accounts());
+    }
+
+    #[test]
+    fn fanin_charges_media_once_and_records_savings() {
+        let mut a = arb(4);
+        let iv = a.charge_fanin(SimTime::ZERO, 128, 3);
+        assert_eq!(iv.end, SimTime::from_ns(2));
+        assert_eq!(a.fanin_grants(), 1);
+        assert_eq!(a.fanin_bytes(), 128);
+        assert_eq!(a.fanin_deliveries(), 3);
+        assert_eq!(a.fanin_saved_bytes(), 128 * 2);
+        // Like broadcasts, the media read belongs to the pool, not to any
+        // one host's account.
+        assert!(a.accounts().iter().all(|acct| acct.bytes == 0));
+        // Fan-in state survives a snapshot roundtrip.
+        let b = HostLinkArbiter::restore(&a.snapshot());
+        assert_eq!(b.fanin_saved_bytes(), 256);
+        assert_eq!(b.fanin_deliveries(), 3);
+    }
+
+    #[test]
+    fn fanin_free_snapshot_bytes_match_pre_collective_layout() {
+        // An arbiter that never served a fan-in must serialize without the
+        // fan-in fields, so pre-collective snapshot bytes are unchanged.
+        let mut a = arb(2);
+        a.arbitrate_round(&[SimTime::ZERO; 2], &[64, 64]);
+        let json = serde_json::to_string(&a.snapshot()).unwrap();
+        assert!(!json.contains("fanin"), "fan-in fields leaked: {json}");
+        a.charge_fanin(SimTime::ZERO, 64, 2);
+        let json = serde_json::to_string(&a.snapshot()).unwrap();
+        assert!(json.contains("fanin_saved_bytes"));
+        let back: HostLinkArbiterSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a.snapshot());
     }
 
     #[test]

@@ -1,0 +1,728 @@
+//! Pool-staged inter-host collectives and the point-to-point ring baseline.
+//!
+//! When H hosts share one switched CXL memory pool, the pool itself can be
+//! the collective fabric (CCCL, PAPERS.md): every host's gradient already
+//! lands in its pool-resident staging region as part of the training step,
+//! so an all-reduce needs only **one staged write plus direct reads of the
+//! peers' regions** — no per-hop store-and-forward. [`PoolCollective`]
+//! models that datapath:
+//!
+//! - `reduce_scatter`: host `h` reads shard `h` of every peer's staged
+//!   gradient ((H−1)·G/H port-bytes) and folds them with the chunked
+//!   wrapping-add kernel ([`crate::dba::kernels::reduce_sum_run`]);
+//! - `all_gather`: host `h` writes its owned chunk once and reads the
+//!   H−1 others directly;
+//! - `all_reduce`: the fused pipeline — the reduced-shard writeback
+//!   overlaps the read stream on the full-duplex port (chunk-granular,
+//!   so the store of reduced chunk *k* issues while chunk *k+1* of the
+//!   peers is in flight), and the gather reads continue on the same
+//!   read stream. Total port traffic is (2H−1)·G versus the ring's
+//!   4(H−1)·G endpoint-port bytes.
+//!
+//! The pool media (its DRAM channels) is a shared resource behind the
+//! per-host ports, arbitrated by a [`HostLinkArbiter`] with one account
+//! per host port. Gather-phase reads of the same reduced shard by H−1
+//! hosts are charged to the media **once** ([`HostLinkArbiter::charge_fanin`]):
+//! the switched pool multicasts one DRAM read to every requesting port,
+//! the dual of the update-mode broadcast fan-out inside one host.
+//!
+//! [`ring_all_reduce`] is the baseline: an NCCL-style ring over modeled
+//! point-to-point links, 2(H−1) bulk-synchronous steps each moving G/H
+//! bytes per link with a per-hop latency. Link-bytes use endpoint-port
+//! accounting — every hop consumes the sender's egress *and* the
+//! receiver's ingress port, whereas a pool access traverses exactly one
+//! host↔pool port (the pool is switched memory, not a peer NIC).
+//!
+//! Both paths reduce with wrapping `u32` addition, which is commutative
+//! and associative — pool shard order and ring hop order produce
+//! bit-identical sums, and the tests assert exactly that.
+
+use crate::arbiter::{HostLinkArbiter, HostLinkArbiterSnapshot};
+use crate::dba::kernels;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+use teco_sim::{Bandwidth, SimTime};
+
+/// Tuning knobs for both the pool-staged collectives and the ring
+/// baseline. Defaults model the paper's platform: the host↔pool port is
+/// the 15.088 GB/s effective CXL link, the ring NIC is 100 GbE
+/// (12.5 GB/s), and the pool media is a multi-channel DDR5 box that can
+/// feed all eight ports at once.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CollectiveConfig {
+    /// Hosts sharing the pool (H ≥ 1; H = 1 collectives are no-ops).
+    pub hosts: usize,
+    /// Per-host host↔pool port bandwidth (full duplex).
+    pub pool_port_gb_per_sec: f64,
+    /// Aggregate pool DRAM bandwidth shared by all ports.
+    pub pool_media_gb_per_sec: f64,
+    /// Per-link bandwidth of the ring baseline's point-to-point NICs.
+    pub ring_link_gb_per_sec: f64,
+    /// Pool phase-barrier latency (doorbell + visibility ordering).
+    pub pool_phase_latency_ns: u64,
+    /// Per-hop latency of a ring step (NIC + switch traversal).
+    pub ring_hop_latency_ns: u64,
+    /// Pipelining granule of the fused all-reduce: the reduced-shard
+    /// writeback trails the read stream by one chunk.
+    pub chunk_bytes: u64,
+}
+
+impl CollectiveConfig {
+    /// The default platform model for `hosts` hosts.
+    pub fn for_hosts(hosts: usize) -> Self {
+        CollectiveConfig {
+            hosts,
+            pool_port_gb_per_sec: 15.088,
+            pool_media_gb_per_sec: 256.0,
+            ring_link_gb_per_sec: 12.5,
+            pool_phase_latency_ns: 500,
+            ring_hop_latency_ns: 1_500,
+            chunk_bytes: 256 * 1024,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.hosts >= 1, "collective needs at least one host");
+        for (name, v) in [
+            ("pool_port_gb_per_sec", self.pool_port_gb_per_sec),
+            ("pool_media_gb_per_sec", self.pool_media_gb_per_sec),
+            ("ring_link_gb_per_sec", self.ring_link_gb_per_sec),
+        ] {
+            assert!(v.is_finite() && v > 0.0, "{name} must be finite and positive, got {v}");
+        }
+        assert!(self.chunk_bytes >= 64, "chunk_bytes must be at least one line");
+    }
+
+    fn port(&self) -> Bandwidth {
+        Bandwidth::from_gb_per_sec(self.pool_port_gb_per_sec)
+    }
+    fn media(&self) -> Bandwidth {
+        Bandwidth::from_gb_per_sec(self.pool_media_gb_per_sec)
+    }
+    fn ring(&self) -> Bandwidth {
+        Bandwidth::from_gb_per_sec(self.ring_link_gb_per_sec)
+    }
+    fn phase_latency(&self) -> SimTime {
+        SimTime::from_ns(self.pool_phase_latency_ns)
+    }
+    fn hop_latency(&self) -> SimTime {
+        SimTime::from_ns(self.ring_hop_latency_ns)
+    }
+}
+
+/// Byte range of host `h`'s shard of a `total_bytes` gradient split
+/// across `hosts` hosts at FP32-word granularity: the first
+/// `total_words % hosts` shards take one extra word. Both the pool
+/// collectives and the ring baseline partition with this, so their
+/// reduction segments line up exactly.
+pub fn shard_range(total_bytes: usize, hosts: usize, h: usize) -> Range<usize> {
+    assert!(h < hosts, "shard index out of range");
+    assert_eq!(total_bytes % 4, 0, "gradients are whole FP32 words");
+    let words = total_bytes / 4;
+    let base = words / hosts;
+    let rem = words % hosts;
+    let start = h * base + h.min(rem);
+    let len = base + usize::from(h < rem);
+    4 * start..4 * (start + len)
+}
+
+/// Cumulative operation counters of a [`PoolCollective`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollectiveStats {
+    /// `reduce_scatter` operations completed.
+    pub reduce_scatters: u64,
+    /// `all_gather` operations completed.
+    pub all_gathers: u64,
+    /// Fused `all_reduce` operations completed.
+    pub all_reduces: u64,
+    /// Total host↔pool port bytes moved (both directions, all hosts).
+    pub port_bytes: u64,
+    /// Total pool-DRAM bytes served (after fan-in dedup).
+    pub media_bytes: u64,
+}
+
+/// Modeled result of one pool-staged collective operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectiveOutcome {
+    /// Participating hosts.
+    pub hosts: u64,
+    /// Gradient bytes contributed per host.
+    pub bytes_per_host: u64,
+    /// When the operation's entry barrier passed (latest host ready).
+    pub start: SimTime,
+    /// When the last host held its full result.
+    pub completion: SimTime,
+    /// Per-host completion times.
+    pub per_host_done: Vec<SimTime>,
+    /// Host↔pool port bytes this operation moved (all hosts, both
+    /// directions).
+    pub port_bytes: u64,
+    /// Pool-DRAM bytes served (gather fan-in deduplicated).
+    pub media_bytes: u64,
+    /// Media bytes the gather fan-in avoided re-reading.
+    pub fanin_saved_bytes: u64,
+}
+
+impl CollectiveOutcome {
+    fn noop(hosts: u64, bytes: u64, at: SimTime) -> Self {
+        CollectiveOutcome {
+            hosts,
+            bytes_per_host: bytes,
+            start: at,
+            completion: at,
+            per_host_done: vec![at; hosts as usize],
+            port_bytes: 0,
+            media_bytes: 0,
+            fanin_saved_bytes: 0,
+        }
+    }
+}
+
+/// The pool-staged collective engine: per-host port timelines over a
+/// media budget arbitrated by a [`HostLinkArbiter`] (one account per
+/// host port).
+#[derive(Debug, Clone)]
+pub struct PoolCollective {
+    cfg: CollectiveConfig,
+    media: HostLinkArbiter,
+    stats: CollectiveStats,
+}
+
+impl PoolCollective {
+    /// A collective engine over `cfg.hosts` pool ports.
+    pub fn new(cfg: CollectiveConfig) -> Self {
+        cfg.validate();
+        PoolCollective {
+            media: HostLinkArbiter::new(cfg.media(), cfg.hosts),
+            cfg,
+            stats: CollectiveStats::default(),
+        }
+    }
+
+    /// The configuration this engine models.
+    pub fn config(&self) -> &CollectiveConfig {
+        &self.cfg
+    }
+    /// Cumulative operation counters.
+    pub fn stats(&self) -> CollectiveStats {
+        self.stats
+    }
+    /// The pool-media arbiter (per-host-port accounts, fan-in counters).
+    pub fn media(&self) -> &HostLinkArbiter {
+        &self.media
+    }
+
+    fn check_operands(&self, bufs: &[Vec<u8>], ready: &[SimTime]) -> u64 {
+        assert_eq!(bufs.len(), self.cfg.hosts, "one buffer per host");
+        assert_eq!(ready.len(), self.cfg.hosts, "one ready time per host");
+        let g = bufs[0].len();
+        assert!(bufs.iter().all(|b| b.len() == g), "hosts must contribute equal-size buffers");
+        assert_eq!(g % 4, 0, "gradients are whole FP32 words");
+        g as u64
+    }
+
+    /// Reduce-scatter over gradients already staged in the pool: host `h`
+    /// reads shard `h` of every peer's region and folds them locally,
+    /// returning each host's owned reduced shard. One phase: (H−1)·G/H
+    /// port read-bytes per host, no writes (the inputs are the staged
+    /// gradients the training step already flushed).
+    pub fn reduce_scatter(
+        &mut self,
+        shards: &[Vec<u8>],
+        ready: &[SimTime],
+    ) -> (Vec<Vec<u8>>, CollectiveOutcome) {
+        let g = self.check_operands(shards, ready);
+        let h = self.cfg.hosts;
+        self.stats.reduce_scatters += 1;
+        let owned: Vec<Vec<u8>> = (0..h).map(|d| reduce_shard(shards, d)).collect();
+        if h == 1 {
+            return (owned, CollectiveOutcome::noop(1, g, ready[0]));
+        }
+
+        let start = ready.iter().copied().fold(SimTime::ZERO, SimTime::max);
+        let t0 = start + self.cfg.phase_latency();
+        let port = self.cfg.port();
+        let reads: Vec<u64> = (0..h).map(|d| (h as u64 - 1) * range_len(g, h, d)).collect();
+        let mut media_ends = vec![SimTime::ZERO; h];
+        self.media.arbitrate_round_into(&vec![t0; h], &reads, &mut media_ends);
+        let per_host_done: Vec<SimTime> =
+            (0..h).map(|d| (t0 + port.transfer_time(reads[d])).max(media_ends[d])).collect();
+        let port_bytes: u64 = reads.iter().sum();
+        self.stats.port_bytes += port_bytes;
+        self.stats.media_bytes += port_bytes;
+        let outcome = CollectiveOutcome {
+            hosts: h as u64,
+            bytes_per_host: g,
+            start,
+            completion: per_host_done.iter().copied().fold(SimTime::ZERO, SimTime::max),
+            per_host_done,
+            port_bytes,
+            media_bytes: port_bytes,
+            fanin_saved_bytes: 0,
+        };
+        (owned, outcome)
+    }
+
+    /// All-gather: host `h` writes its owned chunk into its staging
+    /// region **once**, then every host reads the H−1 peer chunks
+    /// directly. The media serves each chunk one time and multicasts it
+    /// to all reading ports ([`HostLinkArbiter::charge_fanin`]).
+    pub fn all_gather(
+        &mut self,
+        owned: &[Vec<u8>],
+        ready: &[SimTime],
+    ) -> (Vec<Vec<u8>>, CollectiveOutcome) {
+        assert_eq!(owned.len(), self.cfg.hosts, "one owned chunk per host");
+        assert_eq!(ready.len(), self.cfg.hosts, "one ready time per host");
+        let h = self.cfg.hosts;
+        self.stats.all_gathers += 1;
+        let full: Vec<u8> = owned.iter().flat_map(|c| c.iter().copied()).collect();
+        let g = full.len() as u64;
+        let result: Vec<Vec<u8>> = vec![full; h];
+        if h == 1 {
+            return (result, CollectiveOutcome::noop(1, g, ready[0]));
+        }
+
+        let start = ready.iter().copied().fold(SimTime::ZERO, SimTime::max);
+        let t0 = start + self.cfg.phase_latency();
+        let port = self.cfg.port();
+        let writes: Vec<u64> = owned.iter().map(|c| c.len() as u64).collect();
+        let mut media_w = vec![SimTime::ZERO; h];
+        self.media.arbitrate_round_into(&vec![t0; h], &writes, &mut media_w);
+        // Barrier: every chunk staged and visible before the reads start.
+        let t1 = (0..h)
+            .map(|d| (t0 + port.transfer_time(writes[d])).max(media_w[d]))
+            .fold(SimTime::ZERO, SimTime::max);
+        let mut fanin_saved = 0u64;
+        for (d, &bytes) in writes.iter().enumerate() {
+            if bytes > 0 {
+                let before = self.media.fanin_saved_bytes();
+                self.media.charge_fanin(t1.max(media_w[d]), bytes, h - 1);
+                fanin_saved += self.media.fanin_saved_bytes() - before;
+            }
+        }
+        let drain = self.media.drained_at();
+        let per_host_done: Vec<SimTime> =
+            (0..h).map(|d| (t1 + port.transfer_time(g - writes[d])).max(drain)).collect();
+        let port_bytes: u64 = writes.iter().map(|&w| w + (g - w)).sum();
+        let media_bytes = 2 * g; // each chunk written once + served once
+        self.stats.port_bytes += port_bytes;
+        self.stats.media_bytes += media_bytes;
+        let outcome = CollectiveOutcome {
+            hosts: h as u64,
+            bytes_per_host: g,
+            start,
+            completion: per_host_done.iter().copied().fold(SimTime::ZERO, SimTime::max),
+            per_host_done,
+            port_bytes,
+            media_bytes,
+            fanin_saved_bytes: fanin_saved,
+        };
+        (result, outcome)
+    }
+
+    /// The fused all-reduce: reduce-scatter and all-gather share one
+    /// continuous per-host read stream (2(H−1)·G/H bytes), with the
+    /// reduced-shard writeback overlapped on the full-duplex port's write
+    /// direction at chunk granularity. Gradients land reduced in place in
+    /// every host's buffer.
+    ///
+    /// Port traffic totals (2H−1)·G across hosts; the gather fan-in costs
+    /// the media only G. Data-wise this is exactly
+    /// `reduce_scatter` + `all_gather` (the tests pin that), but the
+    /// fused timeline is what makes the pool beat the ring at H = 2.
+    pub fn all_reduce(&mut self, shards: &mut [Vec<u8>], ready: &[SimTime]) -> CollectiveOutcome {
+        let g = self.check_operands(shards, ready);
+        let h = self.cfg.hosts;
+        self.stats.all_reduces += 1;
+        if h == 1 {
+            return CollectiveOutcome::noop(1, g, ready[0]);
+        }
+
+        // Data: fold every peer's shard, then scatter the reduced shards
+        // back into all hosts' buffers.
+        let reduced: Vec<Vec<u8>> = (0..h).map(|d| reduce_shard(shards, d)).collect();
+        for buf in shards.iter_mut() {
+            for (d, red) in reduced.iter().enumerate() {
+                buf[shard_range(g as usize, h, d)].copy_from_slice(red);
+            }
+        }
+
+        // Time: per-host port timelines.
+        let start = ready.iter().copied().fold(SimTime::ZERO, SimTime::max);
+        let t0 = start + self.cfg.phase_latency();
+        let port = self.cfg.port();
+        let shard_bytes: Vec<u64> = (0..h).map(|d| range_len(g, h, d)).collect();
+        let r1: Vec<u64> = shard_bytes.iter().map(|&s| (h as u64 - 1) * s).collect();
+        let chunk: Vec<u64> = shard_bytes.iter().map(|&s| s.min(self.cfg.chunk_bytes)).collect();
+
+        // Reduced-shard store trails the peer-read stream by one chunk on
+        // the write direction of the full-duplex port.
+        let write_end: Vec<SimTime> =
+            (0..h).map(|d| t0 + port.transfer_time(r1[d]) + port.transfer_time(chunk[d])).collect();
+        let w_last = write_end.iter().copied().fold(SimTime::ZERO, SimTime::max);
+        // The read stream continues straight into the gather reads; the
+        // final chunk of the slowest peer's reduced shard gates the tail.
+        let port_done: Vec<SimTime> = (0..h)
+            .map(|d| {
+                let stream = t0 + port.transfer_time(r1[d] + (g - shard_bytes[d]));
+                stream.max(w_last + port.transfer_time(chunk[d]))
+            })
+            .collect();
+
+        // Media: the reduce reads, the reduced-shard writes, then one
+        // fan-in read per shard serving all H−1 gathering ports.
+        let mut media_r = vec![SimTime::ZERO; h];
+        self.media.arbitrate_round_into(&vec![t0; h], &r1, &mut media_r);
+        let mut media_w = vec![SimTime::ZERO; h];
+        self.media.arbitrate_round_into(&media_r, &shard_bytes, &mut media_w);
+        let mut fanin_saved = 0u64;
+        for (d, &s) in shard_bytes.iter().enumerate() {
+            if s > 0 {
+                let before = self.media.fanin_saved_bytes();
+                self.media.charge_fanin(media_w[d], s, h - 1);
+                fanin_saved += self.media.fanin_saved_bytes() - before;
+            }
+        }
+        let drain = self.media.drained_at();
+
+        let per_host_done: Vec<SimTime> = port_done.iter().map(|&t| t.max(drain)).collect();
+        let port_bytes = (2 * h as u64 - 1) * g;
+        let media_bytes = (h as u64 + 1) * g; // (H−1)·G reads + G writes + G fan-in
+        self.stats.port_bytes += port_bytes;
+        self.stats.media_bytes += media_bytes;
+        CollectiveOutcome {
+            hosts: h as u64,
+            bytes_per_host: g,
+            start,
+            completion: per_host_done.iter().copied().fold(SimTime::ZERO, SimTime::max),
+            per_host_done,
+            port_bytes,
+            media_bytes,
+            fanin_saved_bytes: fanin_saved,
+        }
+    }
+
+    /// Checkpoint image of the engine.
+    pub fn snapshot(&self) -> PoolCollectiveSnapshot {
+        PoolCollectiveSnapshot { cfg: self.cfg, media: self.media.snapshot(), stats: self.stats }
+    }
+
+    /// Rebuild an engine from a snapshot; subsequent operations time and
+    /// account identically to the original.
+    pub fn restore(s: &PoolCollectiveSnapshot) -> Self {
+        s.cfg.validate();
+        PoolCollective { cfg: s.cfg, media: HostLinkArbiter::restore(&s.media), stats: s.stats }
+    }
+}
+
+/// Serializable image of a [`PoolCollective`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolCollectiveSnapshot {
+    /// Engine configuration.
+    pub cfg: CollectiveConfig,
+    /// Media-arbiter state.
+    pub media: HostLinkArbiterSnapshot,
+    /// Operation counters.
+    pub stats: CollectiveStats,
+}
+
+fn range_len(total: u64, hosts: usize, h: usize) -> u64 {
+    let r = shard_range(total as usize, hosts, h);
+    (r.end - r.start) as u64
+}
+
+/// Fold shard `d` of every host's buffer with the chunked wrapping-add
+/// kernel, starting from host `d`'s own contribution.
+fn reduce_shard(shards: &[Vec<u8>], d: usize) -> Vec<u8> {
+    let g = shards[0].len();
+    let range = shard_range(g, shards.len(), d);
+    let mut acc = shards[d][range.clone()].to_vec();
+    for (p, buf) in shards.iter().enumerate() {
+        if p != d {
+            kernels::reduce_sum_run(&buf[range.clone()], &mut acc);
+        }
+    }
+    acc
+}
+
+/// Modeled result of one ring all-reduce.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RingOutcome {
+    /// Participating hosts.
+    pub hosts: u64,
+    /// Gradient bytes per host.
+    pub bytes_per_host: u64,
+    /// When the ring's entry barrier passed (latest host ready).
+    pub start: SimTime,
+    /// When the last step's transfers landed.
+    pub completion: SimTime,
+    /// Bulk-synchronous steps executed (2(H−1)).
+    pub steps: u64,
+    /// Endpoint-port bytes moved: every hop consumes the sender's egress
+    /// and the receiver's ingress port.
+    pub link_bytes: u64,
+    /// Point-to-point messages sent.
+    pub messages: u64,
+}
+
+/// The NCCL-style ring all-reduce baseline: H−1 reduce-scatter steps then
+/// H−1 all-gather steps, each a bulk-synchronous round in which host `h`
+/// sends one segment to host `(h+1) % H` over its point-to-point link
+/// (full duplex, so every host sends and receives concurrently). The
+/// reduction segments are the same word-granular [`shard_range`] split
+/// the pool path uses, and the additions are the same wrapping kernel —
+/// the result is bit-identical to [`PoolCollective::all_reduce`].
+pub fn ring_all_reduce(
+    cfg: &CollectiveConfig,
+    shards: &mut [Vec<u8>],
+    ready: &[SimTime],
+) -> RingOutcome {
+    cfg.validate();
+    let h = shards.len();
+    assert_eq!(h, cfg.hosts, "one buffer per host");
+    assert_eq!(ready.len(), h, "one ready time per host");
+    let g = shards[0].len();
+    assert!(shards.iter().all(|b| b.len() == g), "hosts must contribute equal-size buffers");
+    assert_eq!(g % 4, 0, "gradients are whole FP32 words");
+
+    let start = ready.iter().copied().fold(SimTime::ZERO, SimTime::max);
+    if h == 1 {
+        return RingOutcome {
+            hosts: 1,
+            bytes_per_host: g as u64,
+            start: ready[0],
+            completion: ready[0],
+            steps: 0,
+            link_bytes: 0,
+            messages: 0,
+        };
+    }
+
+    let link = cfg.ring();
+    let hop = cfg.hop_latency();
+    let mut now = start;
+    let mut link_bytes = 0u64;
+    let mut messages = 0u64;
+    let mut outgoing: Vec<Vec<u8>> = vec![Vec::new(); h];
+
+    // Phase 1 — reduce-scatter: at step k, host `h` sends segment
+    // (h − k) mod H and folds the segment arriving from its predecessor.
+    // Phase 2 — all-gather: host `h` sends segment (h + 1 − k) mod H and
+    // copies the arriving one. After both, every buffer holds the sum.
+    for (phase, reduce) in [(0usize, true), (1, false)] {
+        for k in 0..h - 1 {
+            let mut in_flight_max = 0u64;
+            for (src, out) in outgoing.iter_mut().enumerate() {
+                let idx =
+                    if phase == 0 { (src + h - k % h) % h } else { (src + 1 + h - k % h) % h };
+                let seg = shard_range(g, h, idx);
+                out.clear();
+                out.extend_from_slice(&shards[src][seg]);
+                in_flight_max = in_flight_max.max(out.len() as u64);
+                link_bytes += 2 * out.len() as u64; // sender egress + receiver ingress
+                messages += 1;
+            }
+            for (dst, shard) in shards.iter_mut().enumerate() {
+                let src = (dst + h - 1) % h;
+                let idx =
+                    if phase == 0 { (src + h - k % h) % h } else { (src + 1 + h - k % h) % h };
+                let seg = shard_range(g, h, idx);
+                if reduce {
+                    kernels::reduce_sum_run(&outgoing[src], &mut shard[seg]);
+                } else {
+                    shard[seg].copy_from_slice(&outgoing[src]);
+                }
+            }
+            now = now + hop + link.transfer_time(in_flight_max);
+        }
+    }
+
+    RingOutcome {
+        hosts: h as u64,
+        bytes_per_host: g as u64,
+        start,
+        completion: now,
+        steps: 2 * (h as u64 - 1),
+        link_bytes,
+        messages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dba::scalar;
+    use teco_sim::SimRng;
+
+    fn gradients(hosts: usize, bytes: usize, seed: u64) -> Vec<Vec<u8>> {
+        (0..hosts)
+            .map(|hst| {
+                let mut rng = SimRng::seed_from_u64(seed).fork(&format!("grad-h{hst}"));
+                let mut buf = vec![0u8; bytes];
+                for chunk in buf.chunks_exact_mut(8) {
+                    chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+                }
+                buf
+            })
+            .collect()
+    }
+
+    /// The element-wise wrapping sum every path must land on.
+    fn expected_sum(inputs: &[Vec<u8>]) -> Vec<u8> {
+        let mut acc = inputs[0].clone();
+        for other in &inputs[1..] {
+            scalar::reduce_sum_words(other, &mut acc);
+        }
+        acc
+    }
+
+    #[test]
+    fn shard_ranges_partition_the_buffer() {
+        for (bytes, hosts) in [(1024usize, 4usize), (100, 3), (64, 8), (8, 3)] {
+            let mut covered = 0;
+            for hst in 0..hosts {
+                let r = shard_range(bytes, hosts, hst);
+                assert_eq!(r.start, covered, "shards must tile in order");
+                assert_eq!(r.len() % 4, 0);
+                covered = r.end;
+            }
+            assert_eq!(covered, bytes);
+        }
+    }
+
+    #[test]
+    fn pool_all_reduce_computes_the_global_sum_on_every_host() {
+        for hosts in [2usize, 3, 4, 8] {
+            let inputs = gradients(hosts, 4096, 7);
+            let want = expected_sum(&inputs);
+            let mut pool = PoolCollective::new(CollectiveConfig::for_hosts(hosts));
+            let mut bufs = inputs.clone();
+            let out = pool.all_reduce(&mut bufs, &vec![SimTime::ZERO; hosts]);
+            for buf in &bufs {
+                assert_eq!(buf, &want, "every host must hold the global sum");
+            }
+            assert_eq!(out.port_bytes, (2 * hosts as u64 - 1) * 4096);
+            assert_eq!(out.media_bytes, (hosts as u64 + 1) * 4096);
+            assert!(out.completion > out.start);
+        }
+    }
+
+    #[test]
+    fn ring_matches_pool_bit_for_bit() {
+        for hosts in [2usize, 3, 4, 8] {
+            let inputs = gradients(hosts, 2048, 21);
+            let cfg = CollectiveConfig::for_hosts(hosts);
+            let mut pool_bufs = inputs.clone();
+            PoolCollective::new(cfg).all_reduce(&mut pool_bufs, &vec![SimTime::ZERO; hosts]);
+            let mut ring_bufs = inputs.clone();
+            let out = ring_all_reduce(&cfg, &mut ring_bufs, &vec![SimTime::ZERO; hosts]);
+            assert_eq!(pool_bufs, ring_bufs, "hop order must not change the sum");
+            assert_eq!(out.steps, 2 * (hosts as u64 - 1));
+            // Endpoint-port accounting with evenly divisible segments:
+            // 2(H−1) steps × H messages × 2 ports × G/H bytes.
+            assert_eq!(out.link_bytes, 4 * (hosts as u64 - 1) * 2048);
+        }
+    }
+
+    #[test]
+    fn fused_all_reduce_equals_scatter_then_gather_data() {
+        let hosts = 4;
+        let inputs = gradients(hosts, 1024, 3);
+        let cfg = CollectiveConfig::for_hosts(hosts);
+        let mut fused = inputs.clone();
+        PoolCollective::new(cfg).all_reduce(&mut fused, &vec![SimTime::ZERO; hosts]);
+
+        let mut staged = PoolCollective::new(cfg);
+        let ready = vec![SimTime::ZERO; hosts];
+        let (owned, rs) = staged.reduce_scatter(&inputs, &ready);
+        let (full, _) = staged.all_gather(&owned, &rs.per_host_done);
+        assert_eq!(fused, full);
+    }
+
+    #[test]
+    fn single_host_collectives_are_noops() {
+        let inputs = gradients(1, 512, 9);
+        let mut pool = PoolCollective::new(CollectiveConfig::for_hosts(1));
+        let mut bufs = inputs.clone();
+        let ready = [SimTime::from_ns(42)];
+        let out = pool.all_reduce(&mut bufs, &ready);
+        assert_eq!(bufs, inputs, "H = 1 must not touch the data");
+        assert_eq!(out.completion, SimTime::from_ns(42));
+        assert_eq!(out.port_bytes, 0);
+        assert_eq!(pool.media().rounds(), 0, "H = 1 must not touch the arbiter");
+        let ring = ring_all_reduce(pool.config(), &mut bufs, &ready);
+        assert_eq!(ring.steps, 0);
+        assert_eq!(ring.link_bytes, 0);
+        assert_eq!(ring.completion, SimTime::from_ns(42));
+    }
+
+    #[test]
+    fn pool_beats_ring_on_time_and_port_bytes() {
+        for hosts in [2usize, 4, 8] {
+            let bytes = 1 << 20;
+            let inputs = gradients(hosts, bytes, 11);
+            let cfg = CollectiveConfig::for_hosts(hosts);
+            let ready = vec![SimTime::ZERO; hosts];
+            let mut pool_bufs = inputs.clone();
+            let pool = PoolCollective::new(cfg).all_reduce(&mut pool_bufs, &ready);
+            let mut ring_bufs = inputs.clone();
+            let ring = ring_all_reduce(&cfg, &mut ring_bufs, &ready);
+            assert!(
+                pool.completion < ring.completion,
+                "H={hosts}: pool {:?} must beat ring {:?}",
+                pool.completion,
+                ring.completion
+            );
+            assert!(pool.port_bytes < ring.link_bytes, "H={hosts}: pool must move fewer bytes");
+        }
+    }
+
+    #[test]
+    fn outcomes_are_deterministic_and_snapshot_compatible() {
+        let hosts = 3;
+        let cfg = CollectiveConfig::for_hosts(hosts);
+        let inputs = gradients(hosts, 1536, 5);
+        let ready = vec![SimTime::from_ns(10); hosts];
+
+        let run = || {
+            let mut pool = PoolCollective::new(cfg);
+            let mut bufs = inputs.clone();
+            let a = pool.all_reduce(&mut bufs, &ready);
+            (a, pool.snapshot())
+        };
+        let (o1, s1) = run();
+        let (o2, s2) = run();
+        assert_eq!(o1, o2);
+        assert_eq!(s1, s2);
+        assert_eq!(serde_json::to_string(&s1).unwrap(), serde_json::to_string(&s2).unwrap());
+
+        // Restore mid-sequence: the second op must come out identical.
+        let mut orig = PoolCollective::new(cfg);
+        let mut bufs = inputs.clone();
+        orig.all_reduce(&mut bufs, &ready);
+        let snap_json = serde_json::to_string(&orig.snapshot()).unwrap();
+        let snap: PoolCollectiveSnapshot = serde_json::from_str(&snap_json).unwrap();
+        let mut restored = PoolCollective::restore(&snap);
+        let later = vec![SimTime::from_us(2); hosts];
+        let mut b1 = inputs.clone();
+        let mut b2 = inputs.clone();
+        let a = orig.all_reduce(&mut b1, &later);
+        let b = restored.all_reduce(&mut b2, &later);
+        assert_eq!(a, b);
+        assert_eq!(orig.snapshot(), restored.snapshot());
+    }
+
+    #[test]
+    fn gather_fanin_is_charged_once_per_shard() {
+        let hosts = 4;
+        let mut pool = PoolCollective::new(CollectiveConfig::for_hosts(hosts));
+        let mut bufs = gradients(hosts, 4096, 13);
+        let out = pool.all_reduce(&mut bufs, &vec![SimTime::ZERO; hosts]);
+        // Each of the four reduced shards is read by three ports but
+        // served from media once: saved = G × (H − 2).
+        assert_eq!(out.fanin_saved_bytes, 4096 * (hosts as u64 - 2));
+        assert_eq!(pool.media().fanin_grants(), hosts as u64);
+        assert_eq!(pool.media().fanin_deliveries(), (hosts * (hosts - 1)) as u64);
+    }
+}

@@ -543,6 +543,36 @@ pub mod kernels {
         }
     }
 
+    /// Element-wise wrapping FP32-word accumulate: `acc[w] += src[w]` for
+    /// every 4-byte word, eight bytes at a time. Each `u64` chunk is two
+    /// independent `u32` lanes added with `wrapping_add` and repacked —
+    /// branch-free, so LLVM autovectorizes it like the pack/merge swizzles
+    /// above. Wrapping `u32` addition is commutative **and** associative,
+    /// so any reduction order (pool-staged shard order, ring hop order)
+    /// produces bit-identical sums — the property the collective layer's
+    /// pool-vs-ring data-equality checks lean on. `src` and `acc` must be
+    /// the same length, a multiple of 4 bytes; no alignment is required.
+    pub fn reduce_sum_run(src: &[u8], acc: &mut [u8]) {
+        assert_eq!(src.len(), acc.len(), "reduce operands must be the same length");
+        assert_eq!(src.len() % 4, 0, "reduce operates on whole FP32 words");
+        let full = src.len() & !7;
+        let (s8, s_tail) = src.split_at(full);
+        let (a8, a_tail) = acc.split_at_mut(full);
+        for (sc, ac) in s8.chunks_exact(8).zip(a8.chunks_exact_mut(8)) {
+            let x = ld(sc);
+            let y = ld(ac);
+            let lo = (y as u32).wrapping_add(x as u32) as u64;
+            let hi = ((y >> 32) as u32).wrapping_add((x >> 32) as u32) as u64;
+            st(ac, lo | (hi << 32));
+        }
+        // A lone trailing word when the run has an odd word count.
+        for (sc, ac) in s_tail.chunks_exact(4).zip(a_tail.chunks_exact_mut(4)) {
+            let v = u32::from_le_bytes(ac.try_into().expect("4-byte word"))
+                .wrapping_add(u32::from_le_bytes(sc.try_into().expect("4-byte word")));
+            ac.copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
     /// One line, n = 3: reassemble the four 48-bit lanes of each
     /// payload-u64 triple, keep the top byte of every resident word, OR
     /// in the low 3 bytes.
@@ -635,6 +665,19 @@ pub mod scalar {
             b = (b + a) % 255;
         }
         (b << 8) | a
+    }
+
+    /// Word-at-a-time wrapping accumulate, the reference semantics for
+    /// [`super::kernels::reduce_sum_run`]: one `u32` load, add, store per
+    /// FP32 word.
+    pub fn reduce_sum_words(src: &[u8], acc: &mut [u8]) {
+        debug_assert_eq!(src.len(), acc.len());
+        debug_assert_eq!(src.len() % WORD_BYTES, 0);
+        for (s, a) in src.chunks_exact(WORD_BYTES).zip(acc.chunks_exact_mut(WORD_BYTES)) {
+            let v = u32::from_le_bytes(a.try_into().expect("4-byte word"))
+                .wrapping_add(u32::from_le_bytes(s.try_into().expect("4-byte word")));
+            a.copy_from_slice(&v.to_le_bytes());
+        }
     }
 
     /// Byte-slice reset-shift-OR merge, so the merge can target raw

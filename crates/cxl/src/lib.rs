@@ -30,11 +30,16 @@
 //! - [`shard`]: the region-sharded coherence fabric — the engine + snoop
 //!   filter split block-cyclically across worker shards with a
 //!   deterministic `(time, seq)` merge, snapshot-byte-identical to the
-//!   serial engine.
+//!   serial engine;
+//! - [`collective`]: pool-staged inter-host collectives (reduce-scatter /
+//!   all-gather / fused all-reduce through the shared pool, one write +
+//!   N−1 reads) and the NCCL-style ring all-reduce baseline they are
+//!   measured against.
 
 pub mod arbiter;
 pub mod audit;
 pub mod coherence;
+pub mod collective;
 pub mod config;
 pub mod controller;
 pub mod dba;
@@ -57,6 +62,10 @@ pub use audit::{
 };
 pub use coherence::{
     Agent, CoherenceEngine, CoherenceSnapshot, LineState, MesiState, ProtocolMode, TrafficStats,
+};
+pub use collective::{
+    ring_all_reduce, shard_range, CollectiveConfig, CollectiveOutcome, CollectiveStats,
+    PoolCollective, PoolCollectiveSnapshot, RingOutcome,
 };
 pub use config::{CxlConfig, PcieGen};
 pub use controller::{

@@ -138,6 +138,40 @@ proptest! {
         prop_assert_eq!(resident, oracle_resident);
     }
 
+    /// The chunked wrapping-accumulate kernel (`kernels::reduce_sum_run`,
+    /// two u32 lanes per u64 chunk) equals the word-at-a-time oracle on
+    /// arbitrary word counts (odd counts hit the lone-word tail) and
+    /// unaligned operands, and reduction order never changes the bits.
+    #[test]
+    fn reduce_sum_run_matches_scalar_oracle(
+        words in prop::collection::vec(any::<u32>(), 0..600),
+        acc_seed in any::<u64>(),
+        src_off in 0usize..8,
+        acc_off in 0usize..8,
+    ) {
+        let mut src = vec![0u8; src_off + words.len() * 4];
+        for (w, dst) in words.iter().zip(src[src_off..].chunks_exact_mut(4)) {
+            dst.copy_from_slice(&w.to_le_bytes());
+        }
+        let mut state = acc_seed;
+        let mut acc = vec![0u8; acc_off + words.len() * 4];
+        for b in acc.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *b = (state >> 56) as u8;
+        }
+        let mut fast = acc.clone();
+        kernels::reduce_sum_run(&src[src_off..], &mut fast[acc_off..]);
+        let mut slow = acc.clone();
+        scalar::reduce_sum_words(&src[src_off..], &mut slow[acc_off..]);
+        prop_assert_eq!(&fast, &slow);
+
+        // Commutativity: accumulating in the opposite order lands on the
+        // same bits (the pool-vs-ring data-equality property).
+        let mut swapped = src[src_off..].to_vec();
+        kernels::reduce_sum_run(&acc[acc_off..], &mut swapped);
+        prop_assert_eq!(&fast[acc_off..], swapped.as_slice());
+    }
+
     /// The fused chunk-wise Fletcher-16 (`fault::line_checksum`, deferred
     /// `% 255` folds) equals the pre-fusion per-byte oracle on arbitrary
     /// payloads, including all-0xFF saturation and block-boundary lengths.

@@ -114,6 +114,13 @@ fn sweep_json_is_byte_identical_across_runs_and_worker_counts() {
     let scaling_serial = scaling(1);
     assert_eq!(scaling_serial, scaling(1), "scaling sweep diverged run to run");
     assert_eq!(scaling_serial, scaling(parallel), "scaling sweep leaked its worker count");
+
+    let collective = |workers| {
+        serde_json::to_string(&teco_bench::sweeps::collective_sweep_with_workers(workers)).unwrap()
+    };
+    let collective_serial = collective(1);
+    assert_eq!(collective_serial, collective(1), "collective sweep diverged run to run");
+    assert_eq!(collective_serial, collective(parallel), "collective sweep leaked its worker count");
 }
 
 #[test]
