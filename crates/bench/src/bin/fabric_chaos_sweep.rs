@@ -1,0 +1,70 @@
+//! Fabric chaos sweep: host loss and staging-media faults
+//! mid-all-reduce, H ∈ {2, 4} × kill phase ∈ {none, reduce-scatter,
+//! all-gather} × media-fault rate ∈ {0, 1 per tick}.
+//!
+//! Each cell runs the fixed chaos workload — a host killed at a chunk
+//! boundary of the fused all-reduce is declared lost by the collective
+//! deadline watchdog, its arbiter account is quarantined, the survivors
+//! regroup H→H−1 and re-run the step's collective bit-identically to a
+//! never-failed H−1 fabric, and one full step later the host is
+//! hot-readmitted from the pooled parameter state (its device replicas
+//! end byte-identical to hosts that never died). Staging-media faults
+//! are patrol-scrubbed and caught on access; no poisoned byte ever
+//! reaches a reduction.
+//!
+//! The row computation lives in [`teco_bench::sweeps`]. Everything is
+//! seeded and formulaic: running this binary twice produces
+//! byte-identical `bench_results/fabric_chaos_sweep.json` (the CI
+//! fabric-chaos-smoke job diffs exactly that). There is no paper
+//! baseline — the paper evaluates a single fault-free host; this sweep
+//! is the model's prediction for the degraded-collective regime (see
+//! EXPERIMENTS.md).
+
+use teco_bench::sweeps::{chaos_divergences, chaos_rows};
+use teco_bench::{dump_json, f, header, row};
+
+fn main() {
+    header("Fabric chaos sweep", "host loss × media faults × H over the pool-staged collective");
+    row(&[
+        "hosts".into(),
+        "kill".into(),
+        "media rate".into(),
+        "detect".into(),
+        "regroup".into(),
+        "readmit".into(),
+        "retries".into(),
+        "media det".into(),
+        "ring fb".into(),
+        "poisoned".into(),
+        "fabric ms".into(),
+        "converged".into(),
+    ]);
+    let out = chaos_rows();
+    for r in &out {
+        row(&[
+            r.hosts.to_string(),
+            r.kill_phase.clone(),
+            f(r.media_rate),
+            r.detections.to_string(),
+            r.regroups.to_string(),
+            r.readmissions.to_string(),
+            r.chunk_retries.to_string(),
+            r.media_detections.to_string(),
+            r.ring_fallbacks.to_string(),
+            r.poisoned_admitted.to_string(),
+            f(r.fabric_time_ns as f64 / 1e6),
+            if r.converged { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    let diverged = chaos_divergences(&out);
+    if diverged.is_empty() {
+        println!("\nevery cell converged: degraded and readmitted fabrics ended");
+        println!("byte-identical to their never-failed goldens, zero poisoned bytes.");
+    } else {
+        println!("\nDIVERGED cells: {}", diverged.join("; "));
+    }
+    dump_json("fabric_chaos_sweep", &out);
+    if !diverged.is_empty() {
+        std::process::exit(1);
+    }
+}

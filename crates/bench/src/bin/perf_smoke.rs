@@ -19,7 +19,8 @@
 //!   perf_smoke --record-pr6  # (re)write BENCH_pr6.json from current medians
 
 use serde::Value;
-use teco_cxl::{ring_all_reduce, CollectiveConfig, PoolCollective};
+use teco_core::{run_fabric_chaos, FabricChaosWorkload, HostKillSpec};
+use teco_cxl::{ring_all_reduce, CollectiveConfig, CollectivePhase, PoolCollective};
 use teco_sim::SimTime;
 
 const MEDIANS: &str = "bench_results/criterion_medians.json";
@@ -186,8 +187,10 @@ fn main() {
         let cfg = CollectiveConfig::for_hosts(hosts);
         let ready = vec![SimTime::ZERO; hosts];
         let mut bufs = vec![vec![0u8; 1 << 20]; hosts];
-        let pool = PoolCollective::new(cfg).all_reduce(&mut bufs, &ready);
-        let ring = ring_all_reduce(&cfg, &mut bufs, &ready);
+        let pool = PoolCollective::new(cfg)
+            .and_then(|mut p| p.all_reduce(&mut bufs, &ready))
+            .expect("pool all-reduce completes");
+        let ring = ring_all_reduce(&cfg, &mut bufs, &ready).expect("ring all-reduce completes");
         let byte_verdict = if pool.port_bytes < ring.link_bytes { "ok" } else { "TOO MANY" };
         let time_verdict = if pool.completion < ring.completion { "ok" } else { "TOO SLOW" };
         println!(
@@ -210,6 +213,55 @@ fn main() {
                 pool.completion.as_ns(),
                 ring.completion.as_ns()
             ));
+        }
+    }
+
+    // Chaos gate: a host killed mid reduce-scatter must be detected by
+    // the watchdog, the survivors must regroup, and the degraded fabric
+    // must end with the never-failed golden's parameters and zero
+    // poisoned bytes. A pure model check, like the collective gate.
+    {
+        let mut w = FabricChaosWorkload::small(4, 2, 42);
+        w.fabric.base.steps = 4;
+        w.fabric.collective.chunk_bytes = 64;
+        let golden = run_fabric_chaos(&w).expect("golden chaos run completes").outcome;
+        let chaos = run_fabric_chaos(
+            &w.clone()
+                .with_kill(HostKillSpec {
+                    host: 3,
+                    step: 1,
+                    phase: CollectivePhase::ReduceScatter,
+                    chunk: 1,
+                })
+                .with_readmit_after(1),
+        )
+        .expect("chaos run completes")
+        .outcome;
+        let detect_verdict = if chaos.detections.len() == 1 { "ok" } else { "MISSED" };
+        let param_verdict =
+            if chaos.param_checksum == golden.param_checksum { "ok" } else { "DIVERGED" };
+        println!(
+            "chaos H=4: {} detections, {} regroups, {} readmissions {detect_verdict}, \
+             {} poisoned bytes, params vs golden {param_verdict}",
+            chaos.detections.len(),
+            chaos.regroups,
+            chaos.readmissions,
+            chaos.poisoned_admitted
+        );
+        if chaos.detections.len() != 1 || chaos.regroups != 1 || chaos.readmissions != 1 {
+            failures.push(format!(
+                "chaos H=4: detections={} regroups={} readmissions={} (want 1 each)",
+                chaos.detections.len(),
+                chaos.regroups,
+                chaos.readmissions
+            ));
+        }
+        if chaos.poisoned_admitted > 0 {
+            failures
+                .push(format!("chaos H=4: {} poisoned bytes admitted", chaos.poisoned_admitted));
+        }
+        if chaos.param_checksum != golden.param_checksum {
+            failures.push("chaos H=4: final parameters diverged from the golden".to_string());
         }
     }
 

@@ -13,7 +13,9 @@ use teco_core::{
 };
 use teco_cxl::FaultConfig;
 use teco_mem::LineData;
-use teco_offload::{churn_report_md, collective_report_md, fault_report_md, scaling_report_md};
+use teco_offload::{
+    chaos_report_md, churn_report_md, collective_report_md, fault_report_md, scaling_report_md,
+};
 use teco_sim::SimTime;
 
 /// A small fixed-seed faulty run so the report always carries a populated
@@ -189,6 +191,28 @@ pub fn scaling_section() -> String {
 pub fn churn_section() -> String {
     let rows = sweeps::churn_rows_with_workers(1);
     format!("\n{}", churn_report_md(&sweeps::churn_points(&rows)))
+}
+
+/// The fabric chaos section: host loss at a chunk boundary of the fused
+/// all-reduce, watchdog detection, survivor regroup, hot readmission,
+/// and staging-media RAS, rendered from the full chaos sweep with its
+/// acceptance gate summarized underneath. Serial for the same reason as
+/// [`scaling_section`].
+pub fn chaos_section() -> String {
+    let rows = sweeps::chaos_rows_with_workers(1);
+    let bad = sweeps::chaos_divergences(&rows);
+    let mut out = format!("\n{}", chaos_report_md(&sweeps::chaos_points(&rows)));
+    out.push_str(&format!(
+        "\ngate: {}\n",
+        if bad.is_empty() {
+            "every degraded and readmitted fabric ended byte-identical to its \
+             never-failed golden, with zero poisoned bytes admitted"
+                .to_string()
+        } else {
+            format!("FAILED — {}", bad.join("; "))
+        }
+    ));
+    out
 }
 
 /// The inter-host collective section: the pool-vs-ring comparison grid

@@ -11,12 +11,15 @@
 
 use serde::{Deserialize, Serialize};
 use teco_core::{
-    run_churn, run_cluster_uninterrupted, run_fabric_uninterrupted, ChurnWorkload, ClusterConfig,
-    ClusterReport, ClusterWorkload, FabricWorkload, TecoConfig, TecoSession,
+    run_churn, run_cluster_uninterrupted, run_fabric_chaos, run_fabric_uninterrupted,
+    ChurnWorkload, ClusterConfig, ClusterReport, ClusterWorkload, FabricChaosWorkload,
+    FabricWorkload, HostKillSpec, TecoConfig, TecoSession,
 };
-use teco_cxl::{ring_all_reduce, CollectiveConfig, FaultConfig, PoolCollective, RasConfig};
+use teco_cxl::{
+    ring_all_reduce, CollectiveConfig, CollectivePhase, FaultConfig, PoolCollective, RasConfig,
+};
 use teco_mem::{Addr, LineData};
-use teco_offload::{sweep_with_workers, ChurnPoint, CollectivePoint, ScalingPoint};
+use teco_offload::{sweep_with_workers, ChaosPoint, ChurnPoint, CollectivePoint, ScalingPoint};
 use teco_sim::{SimRng, SimTime};
 
 // ---------------------------------------------------------------------------
@@ -824,13 +827,15 @@ pub fn collective_row(cell: &CollectiveCell) -> CollectiveRow {
     let ready = vec![SimTime::ZERO; cell.hosts];
 
     let mut bufs = collective_inputs(cell.hosts, bytes);
-    let pool = PoolCollective::new(cfg).all_reduce(&mut bufs, &ready);
+    let pool = PoolCollective::new(cfg)
+        .and_then(|mut p| p.all_reduce(&mut bufs, &ready))
+        .expect("pool all-reduce completes");
     let pool_sum = fnv1a_hex(&bufs[0]);
     let all_equal = bufs.windows(2).all(|w| w[0] == w[1]);
     drop(bufs);
 
     let mut bufs = collective_inputs(cell.hosts, bytes);
-    let ring = ring_all_reduce(&cfg, &mut bufs, &ready);
+    let ring = ring_all_reduce(&cfg, &mut bufs, &ready).expect("ring all-reduce completes");
     let ring_sum = fnv1a_hex(&bufs[0]);
     drop(bufs);
 
@@ -993,6 +998,258 @@ pub fn collective_divergences(sweep: &CollectiveSweep) -> Vec<String> {
     bad
 }
 
+// ---------------------------------------------------------------------------
+// Fabric chaos sweep
+// ---------------------------------------------------------------------------
+
+/// Host counts swept by the chaos grid.
+pub const CHAOS_HOSTS: [usize; 2] = [2, 4];
+/// Devices per host in the chaos workload.
+pub const CHAOS_DEVICES: usize = 2;
+/// Training steps in the chaos workload — long enough that the DBA
+/// activates (step 4) *after* the kill and the readmission, so the
+/// readmitted host must reproduce the dirty-byte merge history too.
+pub const CHAOS_STEPS: u64 = 6;
+/// The chaos workload's fixed seed.
+pub const CHAOS_SEED: u64 = 42;
+/// Step whose collective the scheduled kill fires in.
+pub const CHAOS_KILL_STEP: u64 = 1;
+/// Flat chunk index (within the kill phase) the host goes silent at.
+pub const CHAOS_KILL_CHUNK: u64 = 1;
+/// Full steps between the watchdog detection and hot readmission.
+pub const CHAOS_READMIT_AFTER: u64 = 1;
+/// Chunk size forcing multi-chunk shards on the small workload.
+pub const CHAOS_CHUNK_BYTES: u64 = 64;
+/// Staging-media fault rates swept (faults per RAS tick).
+pub const CHAOS_MEDIA_RATES: [f64; 2] = [0.0, 1.0];
+
+/// Where (if anywhere) the scheduled host kill fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChaosKill {
+    /// Never-failed cell (the golden for its host count).
+    None,
+    /// Kill mid reduce-scatter.
+    ReduceScatter,
+    /// Kill mid all-gather.
+    AllGather,
+}
+
+impl ChaosKill {
+    /// The label carried in rows, points, and the report table.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChaosKill::None => "none",
+            ChaosKill::ReduceScatter => "reduce-scatter",
+            ChaosKill::AllGather => "all-gather",
+        }
+    }
+
+    fn phase(self) -> Option<CollectivePhase> {
+        match self {
+            ChaosKill::None => None,
+            ChaosKill::ReduceScatter => Some(CollectivePhase::ReduceScatter),
+            ChaosKill::AllGather => Some(CollectivePhase::AllGather),
+        }
+    }
+}
+
+/// One cell of the chaos grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaosCell {
+    /// Hosts in the fabric.
+    pub hosts: usize,
+    /// Kill schedule.
+    pub kill: ChaosKill,
+    /// Staging-media faults per RAS tick.
+    pub media_rate: f64,
+}
+
+/// The chaos grid, hosts-major: H ∈ {2, 4} × kill ∈ {none,
+/// reduce-scatter, all-gather} × media rate ∈ {0, 1}.
+pub fn chaos_grid() -> Vec<ChaosCell> {
+    let mut cells = Vec::new();
+    for &hosts in &CHAOS_HOSTS {
+        for &kill in &[ChaosKill::None, ChaosKill::ReduceScatter, ChaosKill::AllGather] {
+            for &media_rate in &CHAOS_MEDIA_RATES {
+                cells.push(ChaosCell { hosts, kill, media_rate });
+            }
+        }
+    }
+    cells
+}
+
+/// The fixed chaos workload for one cell. Kill cells lose their
+/// highest-numbered host at step 1 and hot-readmit it one full step
+/// after detection; media cells arm staging-media RAS.
+pub fn chaos_cell_workload(cell: &ChaosCell) -> FabricChaosWorkload {
+    let mut w = FabricChaosWorkload::small(cell.hosts, CHAOS_DEVICES, CHAOS_SEED);
+    w.fabric.base.steps = CHAOS_STEPS;
+    w.fabric.collective.chunk_bytes = CHAOS_CHUNK_BYTES;
+    if cell.media_rate > 0.0 {
+        w = w.with_media_faults(cell.media_rate);
+    }
+    if let Some(phase) = cell.kill.phase() {
+        w = w
+            .with_kill(HostKillSpec {
+                host: cell.hosts as u64 - 1,
+                step: CHAOS_KILL_STEP,
+                phase,
+                chunk: CHAOS_KILL_CHUNK,
+            })
+            .with_readmit_after(CHAOS_READMIT_AFTER);
+    }
+    w
+}
+
+/// One row of the chaos sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosRow {
+    /// Hosts in the fabric.
+    pub hosts: usize,
+    /// Kill schedule label (`none` / `reduce-scatter` / `all-gather`).
+    pub kill_phase: String,
+    /// Staging-media faults per RAS tick.
+    pub media_rate: f64,
+    /// Steps the fabric completed.
+    pub steps: u64,
+    /// Watchdog host-loss detections.
+    pub detections: u64,
+    /// Survivor regroups (ladder rung 2).
+    pub regroups: u64,
+    /// Hot host readmissions.
+    pub readmissions: u64,
+    /// Per-chunk checksummed retries on transient port faults.
+    pub chunk_retries: u64,
+    /// Staging-media faults detected (scrub + on-access) before any
+    /// poisoned byte reached a reduction.
+    pub media_detections: u64,
+    /// Collectives rerouted over the ring fallback (ladder rung 3).
+    pub ring_fallbacks: u64,
+    /// Watchdog deadline expiries.
+    pub watchdog_timeouts: u64,
+    /// Persistent media faults injected.
+    pub ras_faults_injected: u64,
+    /// Staging lines retired to spares.
+    pub ras_lines_retired: u64,
+    /// Corrupted bytes admitted to a reduction — must be zero.
+    pub poisoned_admitted: u64,
+    /// End-of-run fabric time in nanoseconds.
+    pub fabric_time_ns: u64,
+    /// FNV-1a-64 over every broadcast parameter line.
+    pub param_checksum: u64,
+    /// The never-failed same-H golden's parameter checksum.
+    pub golden_param_checksum: u64,
+    /// Byte-identity verdict against the golden (see [`chaos_row`]).
+    pub converged: bool,
+}
+
+/// Compute one chaos row. Self-contained: the cell recomputes its own
+/// never-failed, fault-free same-H golden, so rows can run on any
+/// worker in any order.
+///
+/// `converged` requires zero poisoned bytes, the golden's parameter
+/// checksum, the golden's per-device content checksums (the readmitted
+/// host included), and golden per-step global-gradient checksums — the
+/// full run for fault-only cells, the pre-kill prefix for kill cells
+/// (the survivor accumulator restarts at the regroup; the post-kill
+/// tail is asserted against the never-failed H−1 fabric by the
+/// `fabric_chaos` acceptance suite, not re-derived here).
+pub fn chaos_row(cell: &ChaosCell) -> ChaosRow {
+    let golden_cell = ChaosCell { hosts: cell.hosts, kill: ChaosKill::None, media_rate: 0.0 };
+    let golden = run_fabric_chaos(&chaos_cell_workload(&golden_cell))
+        .expect("golden chaos run completes")
+        .outcome;
+    let out = run_fabric_chaos(&chaos_cell_workload(cell)).expect("chaos run completes").outcome;
+    let k = CHAOS_KILL_STEP as usize;
+    let grads_ok = match cell.kill {
+        ChaosKill::None => out.step_grad_checksums == golden.step_grad_checksums,
+        _ => out.step_grad_checksums[..k] == golden.step_grad_checksums[..k],
+    };
+    let converged = out.poisoned_admitted == 0
+        && grads_ok
+        && out.param_checksum == golden.param_checksum
+        && out.device_checksums == golden.device_checksums;
+    ChaosRow {
+        hosts: cell.hosts,
+        kill_phase: cell.kill.label().to_string(),
+        media_rate: cell.media_rate,
+        steps: out.report.steps,
+        detections: out.detections.len() as u64,
+        regroups: out.regroups,
+        readmissions: out.readmissions,
+        chunk_retries: out.fstats.chunk_retries,
+        media_detections: out.ras.detected_by_scrub + out.ras.detected_on_access,
+        ring_fallbacks: out.fstats.ring_fallbacks,
+        watchdog_timeouts: out.fstats.watchdog_timeouts,
+        ras_faults_injected: out.ras.faults_injected,
+        ras_lines_retired: out.ras.lines_retired,
+        poisoned_admitted: out.poisoned_admitted,
+        fabric_time_ns: out.report.fabric_time_ns,
+        param_checksum: out.param_checksum,
+        golden_param_checksum: golden.param_checksum,
+        converged,
+    }
+}
+
+/// All chaos rows at an explicit worker count.
+pub fn chaos_rows_with_workers(workers: usize) -> Vec<ChaosRow> {
+    let grid = chaos_grid();
+    sweep_with_workers(&grid, workers, |_, cell| chaos_row(cell))
+}
+
+/// All chaos rows across all cores.
+pub fn chaos_rows() -> Vec<ChaosRow> {
+    chaos_rows_with_workers(teco_dl::num_cores())
+}
+
+/// Reduce chaos rows to the report renderer's plain points.
+pub fn chaos_points(rows: &[ChaosRow]) -> Vec<ChaosPoint> {
+    rows.iter()
+        .map(|r| ChaosPoint {
+            hosts: r.hosts as u64,
+            kill_phase: r.kill_phase.clone(),
+            media_rate: r.media_rate,
+            detections: r.detections,
+            regroups: r.regroups,
+            readmissions: r.readmissions,
+            chunk_retries: r.chunk_retries,
+            media_detections: r.media_detections,
+            ring_fallbacks: r.ring_fallbacks,
+            poisoned_admitted: r.poisoned_admitted,
+            fabric_time_ns: r.fabric_time_ns,
+            converged: r.converged,
+        })
+        .collect()
+}
+
+/// The chaos sweep's acceptance gate: every cell byte-converged, zero
+/// poisoned bytes anywhere, kill cells saw exactly one detection, one
+/// regroup, and one readmission, never-failed cells saw none. Returns
+/// the offending descriptions (empty = pass).
+pub fn chaos_divergences(rows: &[ChaosRow]) -> Vec<String> {
+    let mut bad = Vec::new();
+    for r in rows {
+        let cell = format!("H={} kill={} rate={}", r.hosts, r.kill_phase, r.media_rate);
+        if !r.converged {
+            bad.push(format!("{cell}: diverged from the never-failed golden"));
+        }
+        if r.poisoned_admitted > 0 {
+            bad.push(format!("{cell}: {} poisoned bytes admitted", r.poisoned_admitted));
+        }
+        if r.kill_phase == "none" {
+            if r.detections != 0 || r.regroups != 0 || r.readmissions != 0 {
+                bad.push(format!("{cell}: spurious loss events on a kill-free cell"));
+            }
+        } else if r.detections != 1 || r.regroups != 1 || r.readmissions != 1 {
+            bad.push(format!(
+                "{cell}: detections={} regroups={} readmissions={} (want 1 each)",
+                r.detections, r.regroups, r.readmissions
+            ));
+        }
+    }
+    bad
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1086,6 +1343,24 @@ mod tests {
         assert!(four.fanin_saved_bytes > 0);
         let sweep = CollectiveSweep { fabric: vec![one, four], collective: Vec::new() };
         assert_eq!(collective_divergences(&sweep), Vec::<String>::new());
+    }
+
+    #[test]
+    fn chaos_grid_shape_and_kill_cell_converges() {
+        let grid = chaos_grid();
+        assert_eq!(grid.len(), 12);
+        assert_eq!(grid[0], ChaosCell { hosts: 2, kill: ChaosKill::None, media_rate: 0.0 });
+        // One kill cell end to end — the full grid runs in the
+        // fabric_chaos_sweep binary and the CI fabric-chaos-smoke job.
+        let row =
+            chaos_row(&ChaosCell { hosts: 2, kill: ChaosKill::ReduceScatter, media_rate: 1.0 });
+        assert_eq!(row.detections, 1);
+        assert_eq!(row.regroups, 1);
+        assert_eq!(row.readmissions, 1);
+        assert!(row.ras_faults_injected > 0, "media faults must fire");
+        assert_eq!(row.poisoned_admitted, 0);
+        assert!(row.converged, "kill cell must converge to the never-failed golden");
+        assert_eq!(chaos_divergences(&[row]), Vec::<String>::new());
     }
 
     #[test]

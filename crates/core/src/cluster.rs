@@ -376,6 +376,14 @@ impl ClusterSession {
     pub fn step(&self) -> u64 {
         self.step
     }
+    /// Align the step counter with an external timeline — the hot host
+    /// readmission hook. Step-scheduled behavior (DBA activation after
+    /// `act_aft_steps`) must resume exactly where a never-failed host's
+    /// would, or the dirty-byte merge leaves different stale bytes in
+    /// the replicas and byte-identical convergence breaks.
+    pub fn align_step(&mut self, step: u64) {
+        self.step = step;
+    }
     /// Parameter region base (identical on every device).
     pub fn param_base(&self) -> Addr {
         self.param_base
@@ -1079,6 +1087,32 @@ impl ClusterDriver {
         for _ in 0..n {
             out.push(Self::random_line(&mut self.rngs[0]));
         }
+    }
+
+    /// Advance every device content stream past `steps` full steps of
+    /// gradient draws without running them — the hot-readmission
+    /// primitive. A host rebuilt mid-run must rejoin with its streams
+    /// positioned where the surviving fabric's timeline expects them, so
+    /// the lines it pushes from the readmission step onward are
+    /// byte-identical to the ones it would have pushed had it never
+    /// died. Parameter draws are not skipped here: on the fabric path
+    /// only the draw host consumes its param stream, and a dead draw
+    /// host hands that role to the next live one.
+    pub fn fast_forward_steps(&mut self, steps: u64) {
+        let gl = self.grad_lines();
+        for rng in &mut self.rngs {
+            for _ in 0..steps * gl {
+                Self::random_line(rng);
+            }
+        }
+    }
+
+    /// Align the cluster's step counter with the fabric's timeline (see
+    /// [`ClusterSession::align_step`]) — called after the readmission
+    /// catch-up broadcast so the next activation check sees the same
+    /// step a never-failed host would.
+    pub fn align_step(&mut self, step: u64) {
+        self.cluster.align_step(step);
     }
 
     /// Run this step's activation check on every device (Listing 1's one

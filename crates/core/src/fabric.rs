@@ -34,9 +34,68 @@ use crate::cluster::{
 use crate::resume::{KillPoint, StepBoundary};
 use crate::session::SessionError;
 use serde::{Deserialize, Serialize};
-use teco_cxl::{CollectiveConfig, PoolCollective, PoolCollectiveSnapshot};
+use std::fmt;
+use teco_cxl::{CollectiveConfig, CollectiveError, PoolCollective, PoolCollectiveSnapshot};
 use teco_mem::LineData;
 use teco_sim::{decode_snapshot, encode_snapshot, SimTime, SnapshotError};
+
+/// Typed failure of the multi-host fabric, carrying host/step/time
+/// context. Wraps the per-host session errors and the collective
+/// layer's typed errors so nothing on the fabric path panics on a
+/// non-boundary kill point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FabricError {
+    /// A per-host cluster operation failed.
+    Session(SessionError),
+    /// The inter-host collective failed.
+    Collective(CollectiveError),
+    /// A host was declared lost and nobody recovered it.
+    HostLost {
+        /// The lost host.
+        host: u64,
+        /// The training step the loss surfaced in.
+        step: u64,
+        /// Simulated time of the declaration, in nanoseconds.
+        time_ns: u64,
+    },
+    /// The workload or harness parameters are unusable.
+    Config(String),
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::Session(e) => write!(f, "fabric host session error: {e}"),
+            FabricError::Collective(e) => write!(f, "fabric collective error: {e}"),
+            FabricError::HostLost { host, step, time_ns } => {
+                write!(f, "host {host} lost at step {step} ({time_ns} ns) with no recovery")
+            }
+            FabricError::Config(msg) => write!(f, "fabric config error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FabricError::Session(e) => Some(e),
+            FabricError::Collective(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SessionError> for FabricError {
+    fn from(e: SessionError) -> Self {
+        FabricError::Session(e)
+    }
+}
+
+impl From<CollectiveError> for FabricError {
+    fn from(e: CollectiveError) -> Self {
+        FabricError::Collective(e)
+    }
+}
 
 /// A fixed-seed multi-host workload the harness can run, kill, and
 /// resume.
@@ -63,12 +122,12 @@ impl FabricWorkload {
         }
     }
 
-    fn validate(&self) -> Result<(), SessionError> {
+    fn validate(&self) -> Result<(), FabricError> {
         if self.hosts == 0 {
-            return Err(SessionError::Config("fabric needs at least one host".into()));
+            return Err(FabricError::Config("fabric needs at least one host".into()));
         }
         if self.collective.hosts != self.hosts {
-            return Err(SessionError::Config(format!(
+            return Err(FabricError::Config(format!(
                 "collective config models {} hosts but the fabric has {}",
                 self.collective.hosts, self.hosts
             )));
@@ -100,14 +159,14 @@ pub struct FabricDriver {
 
 impl FabricDriver {
     /// Build every host's cluster and the pool collective engine.
-    pub fn new(w: &FabricWorkload) -> Result<Self, SessionError> {
+    pub fn new(w: &FabricWorkload) -> Result<Self, FabricError> {
         w.validate()?;
         let hosts = (0..w.hosts)
             .map(|h| ClusterDriver::for_host(&w.base, h))
-            .collect::<Result<Vec<_>, _>>()?;
+            .collect::<Result<Vec<_>, SessionError>>()?;
         Ok(FabricDriver {
             hosts,
-            collective: PoolCollective::new(w.collective),
+            collective: PoolCollective::new(w.collective)?,
             lag: SimTime::ZERO,
             exchange_time: SimTime::ZERO,
             global_grads: Vec::new(),
@@ -134,6 +193,12 @@ impl FabricDriver {
     pub fn global_grads(&self) -> &[u8] {
         &self.global_grads
     }
+    /// The parameter lines broadcast by the most recent step (empty
+    /// before the first broadcast). The chaos harness folds these into
+    /// its parameter checksum without re-deriving the draw stream.
+    pub fn last_params(&self) -> &[LineData] {
+        &self.param_buf
+    }
 
     /// The fabric clock: the slowest host's own physics plus the
     /// accumulated inter-host exchange excess.
@@ -149,7 +214,7 @@ impl FabricDriver {
     /// the pool. At H = 1 the collective is a structural no-op (no data
     /// movement, no arbiter state) and the "global" gradient is host 0's
     /// accumulator verbatim.
-    fn exchange(&mut self) {
+    fn exchange(&mut self) -> Result<(), FabricError> {
         let h = self.hosts.len();
         self.staged.resize_with(h, Vec::new);
         self.ready_buf.clear();
@@ -157,7 +222,7 @@ impl FabricDriver {
             host.cluster().pool().copy_grad_bytes_into(buf);
             self.ready_buf.push(host.cluster().cluster_time() + self.lag);
         }
-        let outcome = self.collective.all_reduce(&mut self.staged, &self.ready_buf);
+        let outcome = self.collective.all_reduce(&mut self.staged, &self.ready_buf)?;
         self.lag = outcome.completion.saturating_sub(self.max_cluster_time());
         self.exchange_time += outcome.completion - outcome.start;
         for &b in &self.staged[0] {
@@ -165,11 +230,12 @@ impl FabricDriver {
         }
         self.global_grads.clear();
         self.global_grads.extend_from_slice(&self.staged[0]);
+        Ok(())
     }
 
     /// One globally shared parameter update: drawn from host 0's pool
     /// stream, broadcast to every host's giant caches.
-    fn broadcast(&mut self) -> Result<(), SessionError> {
+    fn broadcast(&mut self) -> Result<(), FabricError> {
         let mut lines = std::mem::take(&mut self.param_buf);
         self.hosts[0].draw_param_lines(&mut lines);
         for host in &mut self.hosts {
@@ -182,11 +248,11 @@ impl FabricDriver {
     /// Run the current step from its start up to (and including) `until`.
     /// The fabric's `AfterGradFence` boundary includes the inter-host
     /// exchange.
-    pub fn run_step_until(&mut self, until: StepBoundary) -> Result<(), SessionError> {
+    pub fn run_step_until(&mut self, until: StepBoundary) -> Result<(), FabricError> {
         for host in &mut self.hosts {
             host.run_step_until(StepBoundary::AfterGradFence)?;
         }
-        self.exchange();
+        self.exchange()?;
         if until == StepBoundary::AfterGradFence {
             return Ok(());
         }
@@ -200,7 +266,7 @@ impl FabricDriver {
     }
 
     /// Finish the current step from `after` (exclusive) to its end.
-    pub fn finish_step_from(&mut self, after: StepBoundary) -> Result<(), SessionError> {
+    pub fn finish_step_from(&mut self, after: StepBoundary) -> Result<(), FabricError> {
         match after {
             StepBoundary::AfterParamFence => Ok(()), // step completed pre-kill
             StepBoundary::AfterGradFence => {
@@ -214,7 +280,7 @@ impl FabricDriver {
     }
 
     /// Run one full step.
-    pub fn run_step(&mut self) -> Result<(), SessionError> {
+    pub fn run_step(&mut self) -> Result<(), FabricError> {
         self.run_step_until(StepBoundary::AfterParamFence)
     }
 
@@ -231,13 +297,17 @@ impl FabricDriver {
     }
 
     /// Rebuild a fabric from a captured state.
-    pub fn restore(s: &FabricSnapshot) -> Result<Self, SessionError> {
+    pub fn restore(s: &FabricSnapshot) -> Result<Self, FabricError> {
         if s.hosts.is_empty() {
-            return Err(SessionError::Config("fabric snapshot has no hosts".into()));
+            return Err(FabricError::Config("fabric snapshot has no hosts".into()));
         }
         Ok(FabricDriver {
-            hosts: s.hosts.iter().map(ClusterDriver::restore).collect::<Result<Vec<_>, _>>()?,
-            collective: PoolCollective::restore(&s.collective),
+            hosts: s
+                .hosts
+                .iter()
+                .map(ClusterDriver::restore)
+                .collect::<Result<Vec<_>, SessionError>>()?,
+            collective: PoolCollective::restore(&s.collective)?,
             lag: s.lag,
             exchange_time: s.exchange_time,
             global_grads: s.global_grads.clone(),
@@ -326,7 +396,7 @@ pub struct FabricRunOutcome {
 }
 
 /// Run the fabric workload start to finish with no interruption.
-pub fn run_fabric_uninterrupted(w: &FabricWorkload) -> Result<FabricRunOutcome, SessionError> {
+pub fn run_fabric_uninterrupted(w: &FabricWorkload) -> Result<FabricRunOutcome, FabricError> {
     let mut d = FabricDriver::new(w)?;
     for _ in 0..w.base.steps {
         d.run_step()?;
@@ -341,8 +411,13 @@ pub fn run_fabric_uninterrupted(w: &FabricWorkload) -> Result<FabricRunOutcome, 
 pub fn run_fabric_resumed(
     w: &FabricWorkload,
     kill: KillPoint,
-) -> Result<FabricRunOutcome, SessionError> {
-    assert!(kill.step < w.base.steps, "kill step {} out of range {}", kill.step, w.base.steps);
+) -> Result<FabricRunOutcome, FabricError> {
+    if kill.step >= w.base.steps {
+        return Err(FabricError::Config(format!(
+            "kill step {} out of range {}",
+            kill.step, w.base.steps
+        )));
+    }
     let mut d = FabricDriver::new(w)?;
     for _ in 0..kill.step {
         d.run_step()?;
@@ -353,7 +428,7 @@ pub fn run_fabric_resumed(
     let snapshot_bytes = bytes.len() as u64;
     drop(d);
     let snap: FabricSnapshot =
-        decode_snapshot(&bytes).map_err(|e: SnapshotError| SessionError::Config(e.to_string()))?;
+        decode_snapshot(&bytes).map_err(|e: SnapshotError| FabricError::Config(e.to_string()))?;
     let mut d = FabricDriver::restore(&snap)?;
 
     d.finish_step_from(kill.boundary)?;
@@ -366,13 +441,13 @@ pub fn run_fabric_resumed(
 /// Serialized `host_reports[0]` of an H-host fabric equals the standalone
 /// cluster report of the same base workload — exposed as a helper so the
 /// bench sweep can assert the anchor inside every row.
-pub fn host0_matches_cluster_path(w: &FabricWorkload) -> Result<bool, SessionError> {
+pub fn host0_matches_cluster_path(w: &FabricWorkload) -> Result<bool, FabricError> {
     let fabric = run_fabric_uninterrupted(w)?;
     let cluster = run_cluster_uninterrupted(&w.base)?;
     let a = serde_json::to_string(&fabric.report.host_reports[0])
-        .map_err(|e| SessionError::Config(e.to_string()))?;
+        .map_err(|e| FabricError::Config(e.to_string()))?;
     let b =
-        serde_json::to_string(&cluster.report).map_err(|e| SessionError::Config(e.to_string()))?;
+        serde_json::to_string(&cluster.report).map_err(|e| FabricError::Config(e.to_string()))?;
     Ok(a == b)
 }
 

@@ -28,6 +28,7 @@ pub mod churn;
 pub mod cluster;
 pub mod config;
 pub mod fabric;
+pub mod fabric_chaos;
 pub mod resume;
 pub mod session;
 pub mod trainer;
@@ -44,7 +45,11 @@ pub use cluster::{
 pub use config::TecoConfig;
 pub use fabric::{
     host0_matches_cluster_path, run_fabric_resumed, run_fabric_uninterrupted, FabricDriver,
-    FabricReport, FabricRunOutcome, FabricSnapshot, FabricWorkload,
+    FabricError, FabricReport, FabricRunOutcome, FabricSnapshot, FabricWorkload,
+};
+pub use fabric_chaos::{
+    run_fabric_chaos, run_fabric_chaos_chunked, run_fabric_chaos_resumed, ChaosDetection,
+    ChunkPoint, FabricChaosOutcome, FabricChaosRun, FabricChaosWorkload, HostKillSpec,
 };
 pub use resume::{
     run_resumed, run_uninterrupted, KillPoint, ResumeReport, ResumeWorkload, RunOutcome,

@@ -275,7 +275,10 @@ impl HostLinkArbiter {
         self.fanin_grants += 1;
         self.fanin_bytes += bytes;
         self.fanin_deliveries += readers as u64;
-        self.fanin_saved_bytes += bytes * (readers as u64 - 1);
+        // A single reader (H = 2 collectives) saves exactly zero bytes —
+        // saturating so the accounting can never wrap however the caller
+        // computes `readers`.
+        self.fanin_saved_bytes += bytes * (readers as u64).saturating_sub(1);
         Interval::new(start, end)
     }
 
@@ -550,6 +553,30 @@ mod tests {
         let b = HostLinkArbiter::restore(&a.snapshot());
         assert!(b.is_quarantined(2) && !b.is_quarantined(1));
         assert_eq!(b.quarantine_events(), 2);
+    }
+
+    #[test]
+    fn single_reader_fanin_saves_exactly_zero_and_round_trips() {
+        // The H = 2 collective edge case: one reader per staged shard.
+        // The grant must be recorded, the saved-bytes must be exactly
+        // zero (not wrapped), and the counters must survive the
+        // conditional-field JSON round trip.
+        let mut a = arb(2);
+        a.charge_fanin(SimTime::ZERO, 128, 1);
+        a.charge_fanin(a.drained_at(), 128, 1);
+        assert_eq!(a.fanin_grants(), 2);
+        assert_eq!(a.fanin_bytes(), 256);
+        assert_eq!(a.fanin_deliveries(), 2);
+        assert_eq!(a.fanin_saved_bytes(), 0, "one reader saves nothing");
+        let snap = a.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("fanin_grants"), "grants>0 must keep the fan-in fields");
+        let back: HostLinkArbiterSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        let b = HostLinkArbiter::restore(&back);
+        assert_eq!(b.fanin_saved_bytes(), 0);
+        assert_eq!(b.fanin_grants(), 2);
+        assert_eq!(b.snapshot(), snap);
     }
 
     #[test]

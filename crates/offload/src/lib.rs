@@ -28,8 +28,8 @@ pub use doublebuffer::{double_buffer, DoubleBufferResult};
 pub use memory::{cpu_layout, gpu_layout, CpuLayout, GpuLayout};
 pub use multistep::{simulate_dpu_run, simulate_run, RunResult};
 pub use report::{
-    churn_report_md, collective_report_md, fault_report_md, md_table, scaling_report_md,
-    timing_report, ChurnPoint, CollectivePoint, ScalingPoint,
+    chaos_report_md, churn_report_md, collective_report_md, fault_report_md, md_table,
+    scaling_report_md, timing_report, ChaosPoint, ChurnPoint, CollectivePoint, ScalingPoint,
 };
 pub use schedule::{
     dba_payload_fraction, simulate_step, simulate_teco_dba, Breakdown, StepResult, System,

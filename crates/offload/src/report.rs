@@ -394,6 +394,100 @@ pub fn collective_report_md(points: &[CollectivePoint]) -> String {
     out
 }
 
+/// One fabric-chaos point for the report's markdown table: an H-host
+/// fabric with a host kill and/or staging-media faults injected into
+/// its collectives. A plain data carrier, like [`ChurnPoint`]: the
+/// fabric layer that runs the chaos lives above this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPoint {
+    /// Hosts in the fabric.
+    pub hosts: u64,
+    /// Kill schedule: `"none"`, `"reduce-scatter"`, or `"all-gather"`
+    /// (the collective phase the host dies in).
+    pub kill_phase: String,
+    /// Staging-media faults injected per RAS tick.
+    pub media_rate: f64,
+    /// Watchdog host-loss detections.
+    pub detections: u64,
+    /// Survivor regroups (H→H−1 re-shards, ladder rung 2).
+    pub regroups: u64,
+    /// Hot host readmissions performed.
+    pub readmissions: u64,
+    /// Per-chunk checksummed retries on transient port faults.
+    pub chunk_retries: u64,
+    /// Staging-media faults detected before any reader consumed them.
+    pub media_detections: u64,
+    /// Collectives rerouted over the ring fallback (ladder rung 3).
+    pub ring_fallbacks: u64,
+    /// Corrupted bytes that reached a reduction — must be zero.
+    pub poisoned_admitted: u64,
+    /// End-of-run fabric time in nanoseconds.
+    pub fabric_time_ns: u64,
+    /// Did the degraded run's reduced gradients and parameters stay
+    /// byte-identical to the matching never-failed fabric's?
+    pub converged: bool,
+}
+
+/// Render the fabric-chaos section: one row per (hosts, kill-phase,
+/// media-rate) cell, fixed shape for clean diffs.
+pub fn chaos_report_md(points: &[ChaosPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Fabric chaos: host loss and media faults mid-all-reduce\n");
+    if points.is_empty() {
+        let _ = writeln!(out, "No chaos points recorded.\n");
+        return out;
+    }
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.hosts.to_string(),
+                p.kill_phase.clone(),
+                format!("{:.2}", p.media_rate),
+                p.detections.to_string(),
+                p.regroups.to_string(),
+                p.readmissions.to_string(),
+                p.chunk_retries.to_string(),
+                p.media_detections.to_string(),
+                p.ring_fallbacks.to_string(),
+                p.poisoned_admitted.to_string(),
+                format!("{:.3}", p.fabric_time_ns as f64 / 1e6),
+                if p.converged { "yes".into() } else { "NO".into() },
+            ]
+        })
+        .collect();
+    out += &md_table(
+        &[
+            "hosts",
+            "kill phase",
+            "media rate",
+            "detected",
+            "regroups",
+            "readmits",
+            "retries",
+            "media det",
+            "ring falls",
+            "poisoned",
+            "fabric ms",
+            "converged",
+        ],
+        &rows,
+    );
+    let _ = writeln!(
+        out,
+        "\nEach cell kills a host at a chunk boundary of one step's all-reduce\n\
+         and/or injects persistent staging-media faults. The collective\n\
+         deadline watchdog detects the loss, the fabric walks the degradation\n\
+         ladder (per-chunk checksummed retry \u{2192} survivor regroup \u{2192} ring\n\
+         fallback under retirement pressure), and the lost host hot-readmits\n\
+         from pooled state. \"converged\" means the regrouped reduces and the\n\
+         final parameters stayed byte-identical to the matching never-failed\n\
+         fabric; \"poisoned\" counts corrupt bytes admitted to a reduction and\n\
+         must be zero in every cell."
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
