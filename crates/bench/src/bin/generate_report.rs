@@ -7,7 +7,7 @@
 use serde::Value;
 use teco_bench::report::{
     chaos_section, churn_section, collective_section, datapath_section, fault_section,
-    resume_section, scaling_section, snoop_section,
+    placement_section, resume_section, scaling_section, snoop_section,
 };
 use teco_offload::{timing_report, Calibration};
 
@@ -52,7 +52,7 @@ fn perf_summary() -> Option<Value> {
 
 fn main() {
     let report = format!(
-        "{}\n{}{}{}{}{}{}{}{}",
+        "{}\n{}{}{}{}{}{}{}{}{}",
         timing_report(&Calibration::paper()),
         fault_section(),
         snoop_section(),
@@ -61,7 +61,8 @@ fn main() {
         datapath_section(),
         churn_section(),
         collective_section(),
-        chaos_section()
+        chaos_section(),
+        placement_section()
     );
     std::fs::create_dir_all("bench_results").expect("create bench_results/");
     let path = "bench_results/REPORT.md";

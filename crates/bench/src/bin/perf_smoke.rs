@@ -19,8 +19,12 @@
 //!   perf_smoke --record-pr6  # (re)write BENCH_pr6.json from current medians
 
 use serde::Value;
-use teco_core::{run_fabric_chaos, FabricChaosWorkload, HostKillSpec};
+use teco_bench::sweeps::run_placement_workload;
+use teco_core::{
+    run_fabric_chaos, FabricChaosWorkload, HostKillSpec, PlacementPolicy, TecoConfig, TieredPolicy,
+};
 use teco_cxl::{ring_all_reduce, CollectiveConfig, CollectivePhase, PoolCollective};
+use teco_dl::ModelSpec;
 use teco_sim::SimTime;
 
 const MEDIANS: &str = "bench_results/criterion_medians.json";
@@ -262,6 +266,33 @@ fn main() {
         }
         if chaos.param_checksum != golden.param_checksum {
             failures.push("chaos H=4: final parameters diverged from the golden".to_string());
+        }
+    }
+
+    // Placement gate: the default tiered policy must not be slower than
+    // the single-tier baseline on the fixed placement workload (spilling
+    // write-mostly optimizer moments to plain host DRAM rides the faster
+    // pool link; it must never cost step time). A pure model check, like
+    // the collective gate.
+    {
+        let spec = ModelSpec::gpt2();
+        let (_, single) = run_placement_workload(&spec, TecoConfig::default());
+        let (_, tiered) = run_placement_workload(
+            &spec,
+            TecoConfig::default().with_placement(PlacementPolicy::Tiered(TieredPolicy::default())),
+        );
+        let verdict = if tiered <= single { "ok" } else { "TOO SLOW" };
+        println!(
+            "placement GPT-2: tiered default {} ns vs single-tier {} ns {verdict}",
+            tiered.as_ns(),
+            single.as_ns()
+        );
+        if tiered > single {
+            failures.push(format!(
+                "placement: tiered default {} ns slower than single-tier {} ns",
+                tiered.as_ns(),
+                single.as_ns()
+            ));
         }
     }
 

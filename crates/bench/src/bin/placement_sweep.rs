@@ -1,0 +1,63 @@
+//! Placement sweep: every Table III model under the explicit single-tier
+//! policy instance and the non-default tiered policy.
+//!
+//! Each cell runs the fixed scaled-down workload — per step: gradient
+//! lines flush and fence, DBA activates mid-run, parameters and optimizer
+//! moments push back — under one placement policy, then serializes the
+//! end state. Single-tier cells must be byte-identical to a session whose
+//! config never mentions placement (the legacy layout is one policy
+//! instance); tiered cells pin small hot tensors device-resident, stage
+//! params/grads in the CXL giant cache, and spill optimizer moments to
+//! plain host DRAM, migrating only at step boundaries. Each row also
+//! carries the BO-autotuned giant-cache size next to the published
+//! Table III setting.
+//!
+//! The row computation lives in [`teco_bench::sweeps`]. Everything is
+//! seeded: running this binary twice produces byte-identical
+//! `bench_results/placement_sweep.json` (the CI placement-smoke job
+//! diffs exactly that), and the acceptance gate aborts the process on
+//! any divergence.
+
+use teco_bench::sweeps::{placement_divergences, placement_rows};
+use teco_bench::{dump_json, header, row};
+
+fn main() {
+    header("Placement sweep", "Table III models × {single-tier, tiered} policies");
+    row(&[
+        "model".into(),
+        "policy".into(),
+        "tuned MB".into(),
+        "Table III MB".into(),
+        "device B".into(),
+        "cache B".into(),
+        "host B".into(),
+        "migrations".into(),
+        "snapshot".into(),
+    ]);
+    let out = placement_rows();
+    for r in &out {
+        row(&[
+            r.model.clone(),
+            r.policy.clone(),
+            r.autotuned_mb.to_string(),
+            r.table3_mb.to_string(),
+            r.device_bytes.to_string(),
+            r.giant_cache_bytes.to_string(),
+            r.host_dram_bytes.to_string(),
+            r.migrations.to_string(),
+            r.snapshot_digest.clone(),
+        ]);
+    }
+    let bad = placement_divergences(&out);
+    if bad.is_empty() {
+        println!("\ngate: explicit single-tier matched the legacy default byte-for-byte on");
+        println!("every model; every tiered cell re-placed tensors off the giant cache;");
+        println!("the autotuned giant cache tracked Table III on every row.");
+    } else {
+        for b in &bad {
+            eprintln!("DIVERGENCE: {b}");
+        }
+        std::process::exit(1);
+    }
+    dump_json("placement_sweep", &out);
+}

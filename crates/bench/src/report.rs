@@ -14,7 +14,8 @@ use teco_core::{
 use teco_cxl::FaultConfig;
 use teco_mem::LineData;
 use teco_offload::{
-    chaos_report_md, churn_report_md, collective_report_md, fault_report_md, scaling_report_md,
+    chaos_report_md, churn_report_md, collective_report_md, fault_report_md, placement_report_md,
+    scaling_report_md,
 };
 use teco_sim::SimTime;
 
@@ -207,6 +208,30 @@ pub fn chaos_section() -> String {
         if bad.is_empty() {
             "every degraded and readmitted fabric ended byte-identical to its \
              never-failed golden, with zero poisoned bytes admitted"
+                .to_string()
+        } else {
+            format!("FAILED — {}", bad.join("; "))
+        }
+    ));
+    out
+}
+
+/// The tiered-placement section: every Table III model under the
+/// explicit single-tier policy instance and the tiered policy, with the
+/// sweep's acceptance gate (single-tier byte-identical to the legacy
+/// default, tiered demonstrably re-placed, autotuned cache tracking
+/// Table III) summarized underneath. Serial for the same reason as
+/// [`scaling_section`].
+pub fn placement_section() -> String {
+    let rows = sweeps::placement_rows_with_workers(1);
+    let bad = sweeps::placement_divergences(&rows);
+    let mut out = format!("\n{}", placement_report_md(&sweeps::placement_points(&rows)));
+    out.push_str(&format!(
+        "\ngate: {}\n",
+        if bad.is_empty() {
+            "explicit single-tier stayed byte-identical to the legacy default on \
+             every model, every tiered cell re-placed tensors off the giant cache, \
+             and the autotuned cache tracked Table III"
                 .to_string()
         } else {
             format!("FAILED — {}", bad.join("; "))

@@ -13,13 +13,17 @@ use serde::{Deserialize, Serialize};
 use teco_core::{
     run_churn, run_cluster_uninterrupted, run_fabric_chaos, run_fabric_uninterrupted,
     ChurnWorkload, ClusterConfig, ClusterReport, ClusterWorkload, FabricChaosWorkload,
-    FabricWorkload, HostKillSpec, TecoConfig, TecoSession,
+    FabricWorkload, HostKillSpec, PlacementPolicy, TecoConfig, TecoSession, TieredPolicy,
 };
 use teco_cxl::{
     ring_all_reduce, CollectiveConfig, CollectivePhase, FaultConfig, PoolCollective, RasConfig,
 };
+use teco_dl::ModelSpec;
 use teco_mem::{Addr, LineData};
-use teco_offload::{sweep_with_workers, ChaosPoint, ChurnPoint, CollectivePoint, ScalingPoint};
+use teco_offload::{
+    autotune_giant_cache, sweep_with_workers, ChaosPoint, ChurnPoint, CollectivePoint,
+    PlacementPoint, ScalingPoint,
+};
 use teco_sim::{SimRng, SimTime};
 
 // ---------------------------------------------------------------------------
@@ -1250,6 +1254,253 @@ pub fn chaos_divergences(rows: &[ChaosRow]) -> Vec<String> {
     bad
 }
 
+// ---------------------------------------------------------------------------
+// Placement sweep (tiered tensor placement × Table III models)
+// ---------------------------------------------------------------------------
+
+/// Training steps per placement cell.
+pub const PLACEMENT_STEPS: u64 = 4;
+/// DBA activation step for placement cells (activates mid-run).
+pub const PLACEMENT_ACT_AFT: u64 = 2;
+/// Giant-cache capacity for the scaled-down placement workloads.
+pub const PLACEMENT_CACHE_BYTES: u64 = 1 << 20;
+/// The BO autotuner's fixed seed.
+pub const PLACEMENT_SEED: u64 = 11;
+
+/// One cell of the placement grid.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementCell {
+    /// Table III model name (resolved via [`ModelSpec::by_name`]).
+    pub model: String,
+    /// Tiered policy instead of the explicit single-tier instance?
+    pub tiered: bool,
+}
+
+/// The placement grid, model-major: each Table III model under the
+/// explicit single-tier policy instance, then the tiered policy.
+pub fn placement_grid() -> Vec<PlacementCell> {
+    let mut cells = Vec::new();
+    for spec in ModelSpec::table3() {
+        for &tiered in &[false, true] {
+            cells.push(PlacementCell { model: spec.name.to_string(), tiered });
+        }
+    }
+    cells
+}
+
+/// The non-default tiering policy every tiered cell runs: a small
+/// device-resident tier for compact hot tensors, optimizer moments
+/// spilled to plain host DRAM, params/grads staged in the giant cache.
+pub fn placement_tiered_policy() -> TieredPolicy {
+    TieredPolicy {
+        device_capacity_bytes: 1 << 14,
+        device_size_threshold: 2048,
+        ..TieredPolicy::default()
+    }
+}
+
+/// Scaled-down tensor shapes for one model: line counts derived from the
+/// parameter count so every model lands on distinct, cache-fitting sizes.
+pub fn placement_shapes(spec: &ModelSpec) -> (u64, u64, u64) {
+    let param_lines = 64 + spec.params / 10_000_000;
+    let grad_lines = param_lines / 4;
+    let moment_bytes = 2 * grad_lines * 64;
+    (param_lines, grad_lines, moment_bytes)
+}
+
+/// One row of `bench_results/placement_sweep.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementRow {
+    /// Model display name.
+    pub model: String,
+    /// Policy label: `single-tier` or `tiered`.
+    pub policy: String,
+    /// BO-autotuned giant-cache size in MB.
+    pub autotuned_mb: u64,
+    /// Published Table III giant-cache size in MB.
+    pub table3_mb: u64,
+    /// End-of-run simulated time.
+    pub sim_time_ns: u64,
+    /// Bytes resident in the device tier at end of run.
+    pub device_bytes: u64,
+    /// Bytes resident in the giant cache at end of run.
+    pub giant_cache_bytes: u64,
+    /// Bytes resident in plain host DRAM at end of run.
+    pub host_dram_bytes: u64,
+    /// Step-boundary migrations executed.
+    pub migrations: u64,
+    /// Bytes moved by those migrations.
+    pub migrated_bytes: u64,
+    /// Link bytes CPU→device (parameter direction).
+    pub bytes_to_device: u64,
+    /// Link bytes device→CPU (gradient direction).
+    pub bytes_to_host: u64,
+    /// FNV-1a 64 over the serialized session snapshot — the byte-identity
+    /// witness the CI placement-smoke job diffs run-to-run.
+    pub snapshot_digest: String,
+}
+
+/// Run one model's scaled workload under one explicit placement policy
+/// and serialize the end state. Self-contained like every other sweep
+/// row: the cell derives its own shapes and policy from the grid cell.
+pub fn placement_row(cell: &PlacementCell) -> PlacementRow {
+    let spec = ModelSpec::by_name(&cell.model).expect("placement cell names a known model");
+    let policy = if cell.tiered {
+        PlacementPolicy::Tiered(placement_tiered_policy())
+    } else {
+        PlacementPolicy::SingleTier
+    };
+    let (s, now) = run_placement_workload(&spec, TecoConfig::default().with_placement(policy));
+    let tune = autotune_giant_cache(&spec, PLACEMENT_SEED);
+    let (device_bytes, giant_cache_bytes, host_dram_bytes, migrations, migrated_bytes) =
+        match s.placement() {
+            Some(engine) => {
+                let map = engine.map();
+                let st = engine.stats();
+                (
+                    map.used(teco_mem::Tier::Device),
+                    map.used(teco_mem::Tier::GiantCache),
+                    map.used(teco_mem::Tier::HostDram),
+                    st.migrations,
+                    st.migrated_bytes,
+                )
+            }
+            None => (0, s.giant_cache().allocated(), 0, 0, 0),
+        };
+    let snap_json = serde_json::to_string(&s.snapshot()).expect("serialize snapshot");
+    PlacementRow {
+        model: cell.model.clone(),
+        policy: if cell.tiered { "tiered" } else { "single-tier" }.to_string(),
+        autotuned_mb: tune.tuned_mb,
+        table3_mb: tune.table3_mb,
+        sim_time_ns: now.as_ns(),
+        device_bytes,
+        giant_cache_bytes,
+        host_dram_bytes,
+        migrations,
+        migrated_bytes,
+        bytes_to_device: s.stats().bytes_to_device,
+        bytes_to_host: s.stats().bytes_to_host,
+        snapshot_digest: fnv1a_hex(snap_json.as_bytes()),
+    }
+}
+
+/// The fixed placement workload: params (broadcast-mostly), grads
+/// (write-once per step), and optimizer moments (write-mostly) pushed for
+/// [`PLACEMENT_STEPS`] steps with DBA activating mid-run.
+pub fn run_placement_workload(spec: &ModelSpec, cfg: TecoConfig) -> (TecoSession, SimTime) {
+    let (param_lines, grad_lines, moment_bytes) = placement_shapes(spec);
+    let cfg = cfg
+        .with_giant_cache_bytes(PLACEMENT_CACHE_BYTES)
+        .with_act_aft_steps(PLACEMENT_ACT_AFT)
+        .with_dirty_bytes(2);
+    let mut s = TecoSession::new(cfg).expect("valid config");
+    let (_, pbase) = s.alloc_tensor("params", param_lines * 64).expect("alloc params");
+    let (_, gbase) = s.alloc_tensor("grads", grad_lines * 64).expect("alloc grads");
+    let (_, mbase) = s.alloc_tensor("moment_m", moment_bytes).expect("alloc moments");
+    let mut now = SimTime::ZERO;
+    for step in 0..PLACEMENT_STEPS {
+        for i in 0..grad_lines {
+            let _ = s.push_grad_line(Addr(gbase.0 + i * 64), grad_line(step, i), now);
+        }
+        now = s.cxlfence_grads(now);
+        s.check_activation(step);
+        let lines: Vec<LineData> = (0..param_lines).map(|i| param_line(step, i)).collect();
+        s.push_param_lines(pbase, &lines, now).expect("param push");
+        let moments: Vec<LineData> =
+            (0..moment_bytes / 64).map(|i| param_line(step.wrapping_add(17), i)).collect();
+        s.push_param_lines(mbase, &moments, now).expect("moment push");
+        now = s.cxlfence_params(now);
+    }
+    (s, now)
+}
+
+/// All placement rows at an explicit worker count.
+pub fn placement_rows_with_workers(workers: usize) -> Vec<PlacementRow> {
+    let grid = placement_grid();
+    sweep_with_workers(&grid, workers, |_, cell| placement_row(cell))
+}
+
+/// All placement rows across all cores.
+pub fn placement_rows() -> Vec<PlacementRow> {
+    placement_rows_with_workers(teco_dl::num_cores())
+}
+
+/// Reduce placement rows to the report renderer's plain points.
+pub fn placement_points(rows: &[PlacementRow]) -> Vec<PlacementPoint> {
+    rows.iter()
+        .map(|r| PlacementPoint {
+            model: r.model.clone(),
+            policy: r.policy.clone(),
+            autotuned_mb: r.autotuned_mb,
+            table3_mb: r.table3_mb,
+            device_bytes: r.device_bytes,
+            giant_cache_bytes: r.giant_cache_bytes,
+            host_dram_bytes: r.host_dram_bytes,
+            migrations: r.migrations,
+            migrated_bytes: r.migrated_bytes,
+            link_param_bytes: r.bytes_to_device,
+            link_grad_bytes: r.bytes_to_host,
+            snapshot_digest: r.snapshot_digest.clone(),
+        })
+        .collect()
+}
+
+/// The placement sweep's acceptance gate:
+///
+/// 1. every single-tier row is byte-identical to a freshly-run session
+///    whose config never mentions placement at all (the explicit
+///    `SingleTier` policy instance *is* the legacy layout);
+/// 2. every tiered row demonstrably changes placement — bytes resident
+///    outside the giant cache, and a snapshot digest different from its
+///    single-tier sibling;
+/// 3. the autotuned giant-cache size tracks Table III within ratio
+///    [0.7, 1.4] on every row.
+///
+/// Returns the offending descriptions (empty = pass).
+pub fn placement_divergences(rows: &[PlacementRow]) -> Vec<String> {
+    let mut bad = Vec::new();
+    for r in rows {
+        let cell = format!("model={} policy={}", r.model, r.policy);
+        let ratio = r.autotuned_mb as f64 / r.table3_mb as f64;
+        if !(0.7..=1.4).contains(&ratio) {
+            bad.push(format!(
+                "{cell}: autotuned {} MB strays from Table III {} MB",
+                r.autotuned_mb, r.table3_mb
+            ));
+        }
+        if r.policy == "single-tier" {
+            let spec = ModelSpec::by_name(&r.model).expect("known model");
+            let (s, _) = run_placement_workload(&spec, TecoConfig::default());
+            let legacy =
+                fnv1a_hex(serde_json::to_string(&s.snapshot()).expect("serialize").as_bytes());
+            if r.snapshot_digest != legacy {
+                bad.push(format!(
+                    "{cell}: explicit single-tier digest {} != legacy default {legacy}",
+                    r.snapshot_digest
+                ));
+            }
+            if r.device_bytes != 0 || r.host_dram_bytes != 0 || r.migrations != 0 {
+                bad.push(format!("{cell}: single-tier row placed bytes outside the giant cache"));
+            }
+        } else {
+            if r.device_bytes + r.host_dram_bytes == 0 {
+                bad.push(format!("{cell}: tiered row placed nothing outside the giant cache"));
+            }
+            if let Some(single) =
+                rows.iter().find(|s| s.model == r.model && s.policy == "single-tier")
+            {
+                if single.snapshot_digest == r.snapshot_digest {
+                    bad.push(format!("{cell}: tiered digest equals the single-tier digest"));
+                }
+            } else {
+                bad.push(format!("{cell}: no single-tier sibling row"));
+            }
+        }
+    }
+    bad
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1361,6 +1612,31 @@ mod tests {
         assert_eq!(row.poisoned_admitted, 0);
         assert!(row.converged, "kill cell must converge to the never-failed golden");
         assert_eq!(chaos_divergences(&[row]), Vec::<String>::new());
+    }
+
+    #[test]
+    fn placement_grid_shape_and_tiered_cell_changes_placement() {
+        let grid = placement_grid();
+        assert_eq!(grid.len(), 10);
+        assert_eq!(grid[0], PlacementCell { model: "GPT-2".into(), tiered: false });
+        // One model's (single-tier, tiered) pair end to end — the full grid
+        // runs in the placement_sweep binary and the CI placement-smoke job.
+        let single = placement_row(&grid[0]);
+        let tiered = placement_row(&grid[1]);
+        assert_eq!(single.device_bytes, 0);
+        assert_eq!(single.host_dram_bytes, 0);
+        assert!(tiered.host_dram_bytes > 0, "moments must spill to host DRAM: {tiered:?}");
+        assert!(tiered.device_bytes > 0, "small grads must pin device-resident: {tiered:?}");
+        assert_ne!(single.snapshot_digest, tiered.snapshot_digest);
+        assert_eq!(placement_divergences(&[single, tiered]), Vec::<String>::new());
+    }
+
+    #[test]
+    fn placement_rows_reproduce_run_to_run() {
+        let cell = PlacementCell { model: "GCNII".into(), tiered: true };
+        let a = placement_row(&cell);
+        let b = placement_row(&cell);
+        assert_eq!(a, b, "tiered placement row must be byte-reproducible");
     }
 
     #[test]

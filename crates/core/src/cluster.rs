@@ -1017,19 +1017,20 @@ impl ClusterDriver {
         l
     }
 
-    /// Per-step line counts, recovered from device 0's region registry so
-    /// a restored driver needs nothing beyond the snapshot.
+    /// Per-step line counts, recovered from device 0's region registry
+    /// (giant-cache or side-tier) so a restored driver needs nothing
+    /// beyond the snapshot.
     fn grad_lines(&self) -> u64 {
         let dev = &self.cluster.devices()[0];
-        (dev.giant_cache().regions().lookup(self.cluster.grad_base()))
-            .map(|r| r.size / LINE_BYTES as u64)
+        (dev.region_bytes(self.cluster.grad_base()))
+            .map(|bytes| bytes / LINE_BYTES as u64)
             .expect("grad region was allocated at driver construction")
     }
 
     fn param_lines(&self) -> u64 {
         let dev = &self.cluster.devices()[0];
-        (dev.giant_cache().regions().lookup(self.cluster.param_base()))
-            .map(|r| r.size / LINE_BYTES as u64)
+        (dev.region_bytes(self.cluster.param_base()))
+            .map(|bytes| bytes / LINE_BYTES as u64)
             .expect("param region was allocated at driver construction")
     }
 
@@ -1254,6 +1255,42 @@ mod tests {
         }
         assert_eq!(out.report.reduced_lines, 4 * w.steps * w.grad_lines);
         assert_eq!(out.report.pool_updates, w.steps);
+    }
+
+    #[test]
+    fn tiered_placement_propagates_to_every_device() {
+        use crate::placement::{PlacementPolicy, TieredPolicy};
+        // Grad shards (8 lines = 512 B) fall under the device-size
+        // threshold and become device-resident on every device; the
+        // params broadcast (32 lines) stays in the giant cache.
+        let mut w = ClusterWorkload::small(2, 7);
+        w.cfg.base = w.cfg.base.clone().with_placement(PlacementPolicy::Tiered(TieredPolicy {
+            device_capacity_bytes: 1 << 16,
+            device_size_threshold: 512,
+            ..Default::default()
+        }));
+        let a = run_cluster_uninterrupted(&w).expect("tiered cluster run completes");
+        let b = run_cluster_uninterrupted(&w).expect("second run completes");
+        assert_eq!(
+            serde_json::to_string(&a.report).unwrap(),
+            serde_json::to_string(&b.report).unwrap(),
+            "tiered cluster runs are byte-reproducible"
+        );
+        for (i, dev) in a.report.devices.iter().enumerate() {
+            assert_eq!(
+                dev.stats.bytes_to_host, 0,
+                "device {i}: device-resident grads cross no link"
+            );
+            assert_eq!(dev.stats.grad_lines, w.steps * w.grad_lines, "grads still counted");
+        }
+        // The non-default policy demonstrably changes behavior vs the
+        // default single-tier layout.
+        let default_run = run_cluster_uninterrupted(&ClusterWorkload::small(2, 7)).unwrap();
+        assert_ne!(
+            serde_json::to_string(&a.report).unwrap(),
+            serde_json::to_string(&default_run.report).unwrap(),
+            "tiered placement changes the cluster report"
+        );
     }
 
     #[test]

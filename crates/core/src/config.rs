@@ -6,6 +6,7 @@
 //! protocol mode is selectable per §IV-A2: update for clear
 //! producer-consumer workloads, invalidation otherwise.
 
+use crate::placement::PlacementPolicy;
 use serde::{Deserialize, Serialize};
 use teco_cxl::{CxlConfig, ProtocolMode, RasConfig};
 
@@ -34,11 +35,16 @@ pub struct TecoConfig {
     /// and page retirement. Off by default — then no `MediaRas` is ever
     /// constructed and the session is bit-identical to a pre-RAS build.
     pub ras: RasConfig,
+    /// Tensor placement policy. `SingleTier` (the default) keeps every
+    /// tensor in the giant cache and constructs no placement engine —
+    /// the session is then bit-identical to a pre-placement build.
+    pub placement: PlacementPolicy,
 }
 
 // Hand-written (de)serialization: the vendored derive has no field
-// attributes, and `ras` must be omitted while off so pre-RAS config
-// bytes (digested inside committed session snapshots) are unchanged.
+// attributes, and `ras`/`placement` must be omitted while at their
+// defaults so pre-RAS / pre-placement config bytes (digested inside
+// committed session snapshots) are unchanged.
 impl Serialize for TecoConfig {
     fn to_value(&self) -> serde::Value {
         let mut fields = vec![
@@ -51,6 +57,9 @@ impl Serialize for TecoConfig {
         ];
         if !self.ras.is_off() {
             fields.push(("ras".to_string(), self.ras.to_value()));
+        }
+        if !self.placement.is_single_tier() {
+            fields.push(("placement".to_string(), self.placement.to_value()));
         }
         serde::Value::Object(fields)
     }
@@ -74,6 +83,10 @@ impl Deserialize for TecoConfig {
                 Some(rv) => RasConfig::from_value(rv)?,
                 None => RasConfig::off(),
             },
+            placement: match v.get("placement") {
+                Some(pv) => PlacementPolicy::from_value(pv)?,
+                None => PlacementPolicy::SingleTier,
+            },
         })
     }
 }
@@ -88,6 +101,7 @@ impl Default for TecoConfig {
             giant_cache_bytes: 1 << 30,
             audit: false,
             ras: RasConfig::off(),
+            placement: PlacementPolicy::SingleTier,
         }
     }
 }
@@ -102,6 +116,7 @@ impl TecoConfig {
             return Err("giant cache capacity must be nonzero".into());
         }
         self.ras.validate()?;
+        self.placement.validate()?;
         Ok(())
     }
 
@@ -139,6 +154,12 @@ impl TecoConfig {
     /// Builder-style: configure pool-media RAS (off by default).
     pub fn with_ras(mut self, ras: RasConfig) -> Self {
         self.ras = ras;
+        self
+    }
+    /// Builder-style: select the tensor placement policy (single-tier by
+    /// default).
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
         self
     }
 }
@@ -204,5 +225,25 @@ mod tests {
         assert!(json.contains("ras"));
         let back: TecoConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.ras, on.ras);
+    }
+
+    #[test]
+    fn placement_field_omitted_while_single_tier() {
+        let single = TecoConfig::default();
+        let json = serde_json::to_string(&single).unwrap();
+        assert!(
+            !json.contains("placement"),
+            "single-tier config must serialize pre-placement bytes"
+        );
+        let back: TecoConfig = serde_json::from_str(&json).unwrap();
+        assert!(back.placement.is_single_tier());
+
+        let tiered = TecoConfig::default()
+            .with_placement(crate::placement::PlacementPolicy::Tiered(Default::default()));
+        let json = serde_json::to_string(&tiered).unwrap();
+        assert!(json.contains("placement"));
+        let back: TecoConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.placement, tiered.placement);
+        assert!(tiered.validate().is_ok());
     }
 }

@@ -29,6 +29,7 @@ pub mod cluster;
 pub mod config;
 pub mod fabric;
 pub mod fabric_chaos;
+pub mod placement;
 pub mod resume;
 pub mod session;
 pub mod trainer;
@@ -50,6 +51,10 @@ pub use fabric::{
 pub use fabric_chaos::{
     run_fabric_chaos, run_fabric_chaos_chunked, run_fabric_chaos_resumed, ChaosDetection,
     ChunkPoint, FabricChaosOutcome, FabricChaosRun, FabricChaosWorkload, HostKillSpec,
+};
+pub use placement::{
+    PlacementEngine, PlacementEngineSnapshot, PlacementPolicy, PlacementStats, TensorClass,
+    TieredPolicy,
 };
 pub use resume::{
     run_resumed, run_uninterrupted, KillPoint, ResumeReport, ResumeWorkload, RunOutcome,

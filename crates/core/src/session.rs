@@ -11,6 +11,7 @@
 //! integration tests.
 
 use crate::config::TecoConfig;
+use crate::placement::{PlacementEngine, PlacementEngineSnapshot, PlacementPolicy};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use teco_cxl::{
@@ -19,6 +20,7 @@ use teco_cxl::{
     Direction, FaultStats, FenceDeadline, FenceStats, FenceTimeout, GiantCache, GiantCacheError,
     GiantCacheSnapshot, LinkError, MediaRas, MediaRasSnapshot, Opcode, ProtocolMode, RasStats,
 };
+use teco_mem::tier::Tier;
 use teco_mem::{Addr, LineData, RegionId, LINE_BYTES};
 use teco_sim::{Interval, SimTime};
 
@@ -171,6 +173,10 @@ pub struct TecoSession {
     /// Reused scratch for patrol-scrub results; retains capacity across
     /// steps so the RAS steady state allocates nothing.
     scrub_buf: Vec<u64>,
+    /// The tiered placement engine. `None` under the default single-tier
+    /// policy — the legacy path then pays nothing: no placement map, no
+    /// heat taps, no boundary planning, no new snapshot fields.
+    placement: Option<PlacementEngine>,
 }
 
 impl TecoSession {
@@ -197,6 +203,12 @@ impl TecoSession {
             shadow: if cfg.audit { Some(HashMap::new()) } else { None },
             media: if cfg.ras.enabled() { Some(MediaRas::new(cfg.ras)) } else { None },
             scrub_buf: Vec::new(),
+            placement: match &cfg.placement {
+                PlacementPolicy::SingleTier => None,
+                PlacementPolicy::Tiered(p) => {
+                    Some(PlacementEngine::new(p.clone(), cfg.giant_cache_bytes))
+                }
+            },
             cfg,
         })
     }
@@ -250,11 +262,33 @@ impl TecoSession {
         name: impl Into<String>,
         bytes: u64,
     ) -> Result<(RegionId, Addr), GiantCacheError> {
+        let name = name.into();
+        let rounded = bytes.div_ceil(LINE_BYTES as u64) * LINE_BYTES as u64;
+        if let Some(engine) = &mut self.placement {
+            // The placement engine decides the tier. Giant-cache tensors
+            // take the classic path below; device-resident and host-DRAM
+            // tensors get engine-backed side storage instead.
+            let (handle, tier) = engine.place(&name, bytes).map_err(|e| match e {
+                teco_mem::tier::TierError::CapacityExceeded { requested, available, .. } => {
+                    GiantCacheError::CapacityExceeded { requested, available }
+                }
+                other => panic!("placement failed unexpectedly: {other}"),
+            })?;
+            if tier != Tier::GiantCache {
+                let base = engine.bind_side(handle);
+                // Side regions never collide with giant-cache ids; offset
+                // well past any BAR-allocated index.
+                return Ok((RegionId(1_000_000 + handle), base));
+            }
+            let (id, base) = self.giant_cache.alloc_region(name, bytes)?;
+            self.coherence.register_region(base, rounded);
+            self.placement.as_mut().expect("engine checked above").bind(handle, base.0, rounded);
+            return Ok((id, base));
+        }
         let (id, base) = self.giant_cache.alloc_region(name, bytes)?;
         // Register the line-rounded span with the coherence engine so its
         // per-line state (and the snoop directory behind it) lives in the
         // dense arena instead of the spillover map.
-        let rounded = bytes.div_ceil(LINE_BYTES as u64) * LINE_BYTES as u64;
         self.coherence.register_region(base, rounded);
         Ok((id, base))
     }
@@ -276,6 +310,11 @@ impl TecoSession {
             // Host agent forwards the register value to the device module.
             self.giant_cache.disaggregator.set_register(reg);
             self.dba_active = true;
+        }
+        // The step boundary is the only point tensors may migrate between
+        // tiers; a replayed step is a no-op inside the engine.
+        if let Some(engine) = &mut self.placement {
+            engine.step_boundary(step);
         }
         self.dba_active
     }
@@ -322,6 +361,27 @@ impl TecoSession {
         self.media.is_some()
     }
 
+    /// The tiered placement engine, when a non-default policy is active.
+    pub fn placement(&self) -> Option<&PlacementEngine> {
+        self.placement.as_ref()
+    }
+
+    /// Size in bytes of the allocated tensor region containing `addr`,
+    /// whether it lives in the giant cache or an engine-backed side tier.
+    pub fn region_bytes(&self, addr: Addr) -> Option<u64> {
+        if let Some(engine) = &self.placement {
+            if addr.0 >= crate::placement::SIDE_BASE {
+                return engine.locate(addr).map(|(h, _)| engine.map().tensors()[h].bytes);
+            }
+        }
+        self.giant_cache.regions().lookup(addr).map(|r| r.size)
+    }
+
+    /// Is the tiered placement engine active?
+    pub fn placement_enabled(&self) -> bool {
+        self.placement.is_some()
+    }
+
     /// Pool-media RAS statistics (all-zero when RAS is off).
     pub fn ras_report(&self) -> RasStats {
         self.media.as_ref().map(|m| *m.stats()).unwrap_or_default()
@@ -365,6 +425,15 @@ impl TecoSession {
         let n = lines.len();
         if n == 0 {
             return Ok(Interval::new(now, now));
+        }
+        if self.placement.as_ref().is_some_and(|e| e.owns(base)) {
+            return self.push_side_lines(base, lines, now, true);
+        }
+        if let Some(engine) = &mut self.placement {
+            // Heat tap on the coherence-transaction stream for giant-cache
+            // tensors; informational for pinned regions, decisive for
+            // promoted ones.
+            engine.note_write(base, (n * LINE_BYTES) as u64);
         }
         let addr_of = |i: usize| Addr(base.0 + (i * LINE_BYTES) as u64);
         for i in 0..n {
@@ -615,6 +684,12 @@ impl TecoSession {
         line: LineData,
         now: SimTime,
     ) -> Result<Interval, SessionError> {
+        if self.placement.as_ref().is_some_and(|e| e.owns(addr)) {
+            return self.push_side_lines(addr, std::slice::from_ref(&line), now, false);
+        }
+        if let Some(engine) = &mut self.placement {
+            engine.note_write(addr, LINE_BYTES as u64);
+        }
         let _ = self.coherence.write(Agent::Device, addr, line.bytes(), false);
         if !self.link.faults_enabled() {
             let iv = self.link.transfer(Direction::ToHost, now, LINE_BYTES as u64, SimTime::ZERO);
@@ -655,6 +730,47 @@ impl TecoSession {
                 }
             }
         }
+    }
+
+    /// The engine-backed push path for side-tier tensors (device-resident
+    /// and host-DRAM placements, plus tensors later promoted into the
+    /// giant-cache tier). Device-resident lines cross no link at all;
+    /// host-DRAM lines cross the pool budget as full 64-byte lines (no
+    /// DBA — plain coherent host memory); promoted giant-cache lines pay
+    /// the DBA-aggregated wire size. All pool traffic is charged through
+    /// the engine's `HostLinkArbiter`.
+    fn push_side_lines(
+        &mut self,
+        base: Addr,
+        lines: &[LineData],
+        now: SimTime,
+        to_device: bool,
+    ) -> Result<Interval, SessionError> {
+        let n = lines.len() as u64;
+        let per_wire = self.aggregator.register().payload_bytes() as u64;
+        let engine = self.placement.as_mut().expect("side address implies an engine");
+        let (_, tier) = engine.locate(base).ok_or(GiantCacheError::NotMapped(base))?;
+        engine.write_lines(base, lines)?;
+        engine.note_write(base, n * LINE_BYTES as u64);
+        let (charged, iv) = match tier {
+            Tier::Device => (0, Interval::new(now, now)),
+            Tier::GiantCache => {
+                let bytes = if to_device { per_wire * n } else { LINE_BYTES as u64 * n };
+                (bytes, engine.charge_pool(now, bytes))
+            }
+            Tier::HostDram => {
+                let bytes = LINE_BYTES as u64 * n;
+                (bytes, engine.charge_pool(now, bytes))
+            }
+        };
+        if to_device {
+            self.stats.param_lines += n;
+            self.stats.bytes_to_device += charged;
+        } else {
+            self.stats.grad_lines += n;
+            self.stats.bytes_to_host += charged;
+        }
+        Ok(iv)
     }
 
     /// Evolve the shadow copy of `addr` by the device's merge semantics.
@@ -745,8 +861,13 @@ impl TecoSession {
     }
 
     /// Read a line from the device's giant cache (what the GPU kernels
-    /// see).
+    /// see), or from the placement engine's store for side-tier tensors.
     pub fn device_read_line(&self, addr: Addr) -> Result<LineData, GiantCacheError> {
+        if let Some(engine) = &self.placement {
+            if engine.owns(addr) {
+                return engine.read_line(addr);
+            }
+        }
         self.giant_cache.read_line(addr)
     }
 
@@ -800,6 +921,7 @@ impl TecoSession {
             degraded_names: self.degraded_names.clone(),
             shadow,
             media: self.media.as_ref().map(|m| m.snapshot()),
+            placement: self.placement.as_ref().map(|e| e.snapshot()),
         }
     }
 
@@ -835,6 +957,7 @@ impl TecoSession {
             shadow,
             media: s.media.as_ref().map(MediaRas::from_snapshot),
             scrub_buf: Vec::new(),
+            placement: s.placement.as_ref().map(PlacementEngine::from_snapshot),
         })
     }
 }
@@ -874,12 +997,16 @@ pub struct SessionSnapshot {
     /// Pool-media RAS state (latent faults, RNG stream, scrub cursor);
     /// `None` when RAS is off.
     pub media: Option<MediaRasSnapshot>,
+    /// Tiered placement engine state; `None` under the default
+    /// single-tier policy.
+    pub placement: Option<PlacementEngineSnapshot>,
 }
 
 // Hand-written (de)serialization: the vendored derive has no field
-// attributes, and `media` must be omitted when `None` — committed sweep
-// reports digest serialized session snapshots byte-for-byte, so a
-// RAS-off snapshot has to keep its pre-RAS encoding exactly.
+// attributes, and `media`/`placement` must be omitted when `None` —
+// committed sweep reports digest serialized session snapshots
+// byte-for-byte, so a RAS-off, single-tier snapshot has to keep its
+// pre-RAS, pre-placement encoding exactly.
 impl Serialize for SessionSnapshot {
     fn to_value(&self) -> serde::Value {
         let mut fields = vec![
@@ -898,6 +1025,9 @@ impl Serialize for SessionSnapshot {
         ];
         if let Some(m) = &self.media {
             fields.push(("media".to_string(), m.to_value()));
+        }
+        if let Some(p) = &self.placement {
+            fields.push(("placement".to_string(), p.to_value()));
         }
         serde::Value::Object(fields)
     }
@@ -925,6 +1055,10 @@ impl Deserialize for SessionSnapshot {
             shadow: req(v, "shadow")?,
             media: match v.get("media") {
                 Some(mv) => Option::<MediaRasSnapshot>::from_value(mv)?,
+                None => None,
+            },
+            placement: match v.get("placement") {
+                Some(pv) => Option::<PlacementEngineSnapshot>::from_value(pv)?,
                 None => None,
             },
         })
@@ -1417,6 +1551,107 @@ mod tests {
         assert!(msg.contains("t=1234 ns"), "{msg}");
         assert!(matches!(wrapped.root(), SessionError::DeviceDown { device: 3, .. }));
         assert_eq!(*wrapped.root(), root);
+    }
+
+    fn tiered_cfg() -> TecoConfig {
+        TecoConfig::default().with_giant_cache_bytes(1 << 20).with_placement(
+            crate::placement::PlacementPolicy::Tiered(crate::placement::TieredPolicy {
+                device_capacity_bytes: 1 << 16,
+                device_size_threshold: 4096,
+                ..Default::default()
+            }),
+        )
+    }
+
+    #[test]
+    fn tiered_policy_changes_placement_but_default_builds_no_engine() {
+        let d = session();
+        assert!(!d.placement_enabled(), "default policy constructs no engine");
+        let mut s = TecoSession::new(tiered_cfg()).unwrap();
+        assert!(s.placement_enabled());
+        let (_, pbase) = s.alloc_tensor("params", 8192).unwrap();
+        let (_, mbase) = s.alloc_tensor("moment_m", 8192).unwrap();
+        let (_, ebase) = s.alloc_tensor("embed", 4096).unwrap();
+        let engine = s.placement().unwrap();
+        assert!(pbase.0 < crate::placement::SIDE_BASE, "params stay in the giant cache");
+        assert!(mbase.0 >= crate::placement::SIDE_BASE, "moments offloaded to host DRAM");
+        assert!(ebase.0 >= crate::placement::SIDE_BASE, "small tensor is device-resident");
+        use teco_mem::tier::Tier;
+        assert_eq!(engine.map().used(Tier::GiantCache), 8192);
+        assert_eq!(engine.map().used(Tier::HostDram), 8192);
+        assert_eq!(engine.map().used(Tier::Device), 4096);
+
+        // Device-resident pushes cross no link; host-DRAM pushes cross the
+        // pool as full lines; the giant-cache path is untouched.
+        let before = s.link().volume(Direction::ToDevice);
+        s.push_param_line(ebase, line_with(1), SimTime::ZERO).unwrap();
+        assert_eq!(s.link().volume(Direction::ToDevice), before, "device tier: no link bytes");
+        assert_eq!(s.device_read_line(ebase).unwrap(), line_with(1));
+        let iv = s.push_param_line(mbase, line_with(2), SimTime::ZERO).unwrap();
+        assert!(iv.end > iv.start, "host-DRAM push pays pool time");
+        assert_eq!(s.device_read_line(mbase).unwrap(), line_with(2));
+        assert_eq!(s.placement().unwrap().arbiter().broadcast_bytes(), 64);
+        s.push_param_line(pbase, line_with(3), SimTime::ZERO).unwrap();
+        assert_eq!(s.link().volume(Direction::ToDevice), before + 64, "giant cache uses the link");
+    }
+
+    #[test]
+    fn tiered_session_snapshot_roundtrip_replays_identically() {
+        let mut a = TecoSession::new(tiered_cfg()).unwrap();
+        let (_, pbase) = a.alloc_tensor("params", 8192).unwrap();
+        let (_, mbase) = a.alloc_tensor("moment_m", 8192).unwrap();
+        for step in 0..4u64 {
+            for i in 0..8u64 {
+                a.push_param_line(Addr(pbase.0 + i * 64), line_with(i as u32), SimTime::ZERO)
+                    .unwrap();
+                a.push_param_line(Addr(mbase.0 + i * 64), line_with(90 + i as u32), SimTime::ZERO)
+                    .unwrap();
+            }
+            a.check_activation(step);
+        }
+        let json = serde_json::to_string(&a.snapshot()).unwrap();
+        assert!(json.contains("\"placement\""), "tiered snapshot carries the engine image");
+        let mut b = TecoSession::from_snapshot(&serde_json::from_str(&json).unwrap()).unwrap();
+        for step in 4..8u64 {
+            for i in 0..8u64 {
+                let l = line_with(1000 + step as u32 * 8 + i as u32);
+                let ia = a.push_param_line(Addr(mbase.0 + i * 64), l, SimTime::ZERO).unwrap();
+                let ib = b.push_param_line(Addr(mbase.0 + i * 64), l, SimTime::ZERO).unwrap();
+                assert_eq!(ia, ib);
+            }
+            a.check_activation(step);
+            b.check_activation(step);
+        }
+        assert_eq!(a.placement().unwrap().stats(), b.placement().unwrap().stats());
+        assert_eq!(
+            serde_json::to_string(&a.snapshot()).unwrap(),
+            serde_json::to_string(&b.snapshot()).unwrap(),
+            "resumed tiered run is byte-identical"
+        );
+    }
+
+    #[test]
+    fn hot_host_dram_tensor_promotes_at_boundary_only() {
+        let mut s = TecoSession::new(tiered_cfg()).unwrap();
+        // Above the device-size threshold, so the class rule (moments →
+        // host DRAM) decides the initial tier.
+        let (_, mbase) = s.alloc_tensor("moment_m", 8192).unwrap();
+        use teco_mem::tier::Tier;
+        for i in 0..8u64 {
+            s.push_param_line(Addr(mbase.0 + (i % 4) * 64), line_with(i as u32), SimTime::ZERO)
+                .unwrap();
+            // Mid-step: still host-DRAM no matter how hot.
+            assert_eq!(s.placement().unwrap().map().tensors()[0].tier, Tier::HostDram);
+        }
+        s.check_activation(0);
+        assert_eq!(
+            s.placement().unwrap().map().tensors()[0].tier,
+            Tier::GiantCache,
+            "promotion lands exactly at the step boundary"
+        );
+        assert_eq!(s.placement().unwrap().stats().promotions, 1);
+        // The data survived the tier change (address is stable).
+        assert_eq!(s.device_read_line(Addr(mbase.0 + 3 * 64)).unwrap(), line_with(7));
     }
 
     #[test]

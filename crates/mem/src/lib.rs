@@ -16,7 +16,10 @@
 //! - [`dram`]: a bank/row-state DRAM model (Ramulator substitute) for the
 //!   §VIII-D Disaggregator read-modify-write overhead study;
 //! - [`remap`]: the page-retirement remap table — logical lines re-homed
-//!   to spare physical slots after persistent media faults.
+//!   to spare physical slots after persistent media faults;
+//! - [`tier`]: tiered-placement mechanism — device / giant-cache /
+//!   host-DRAM capacities, per-region heat tracking, and the deterministic
+//!   step-boundary migration planner.
 
 pub mod arena;
 pub mod cache;
@@ -24,6 +27,7 @@ pub mod dram;
 pub mod line;
 pub mod region;
 pub mod remap;
+pub mod tier;
 pub mod trace;
 
 pub use arena::{LineBitmap, LineIndexer, LineSlab, LineSlot, CHUNK_LINES};
@@ -35,4 +39,8 @@ pub use line::{
 };
 pub use region::{Region, RegionId, RegionMap};
 pub use remap::{RemapError, RemapSnapshot, RemapTable};
+pub use tier::{
+    HeatTracker, MigrationMove, MigrationPlan, MigrationPlanner, PlacedTensor, PlacementMap,
+    PlannerConfig, RegionHeat, Tier, TierCapacities, TierError,
+};
 pub use trace::{Chunk, ChunkedSweep, MemAccess, SweepGen, Writeback, WritebackTrace};

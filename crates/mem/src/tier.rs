@@ -1,0 +1,620 @@
+//! Tiered tensor placement: tiers, capacities, per-region heat, and the
+//! step-boundary migration planner.
+//!
+//! TECO's giant cache is one tier of a three-tier memory hierarchy:
+//! accelerator-resident memory (no link traffic), the CXL giant cache
+//! (coherent, DBA-aggregated traffic), and plain host DRAM (coherent but
+//! uncached — every device access crosses the link full-size). 10Cache
+//! and the CostEfficientUSL offload managers argue that *which* tier a
+//! tensor lives in should follow its class and observed heat, not a
+//! hard-coded layout. This module is the mechanism layer: capacity-checked
+//! placement accounting, deterministic heat decay, and a migration planner
+//! that produces a plan only at strictly increasing step boundaries — the
+//! policy (which class prefers which tier) lives in `teco_core::placement`.
+//!
+//! Invariants the planner guarantees (locked down by the proptest suite in
+//! `tests/tier_planner_props.rs`):
+//! - a plan never drives any tier above its capacity;
+//! - plans exist only at step boundaries, and a boundary is planned at
+//!   most once (a replayed step yields `NotAtBoundary`, never a second,
+//!   different plan);
+//! - planning is a pure function of (step, heat, map, planner state), so a
+//!   snapshot/restore replay reproduces every subsequent plan bit-for-bit;
+//! - pinned tensors never move.
+
+use serde::{Deserialize, Serialize};
+
+/// One level of the placement hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    /// Accelerator-resident: no link traffic, scarcest capacity.
+    Device,
+    /// The CXL giant cache: coherent, DBA-aggregated transfers.
+    GiantCache,
+    /// Plain (uncached) host DRAM: coherent full-line transfers, no DBA.
+    HostDram,
+}
+
+impl Tier {
+    /// All tiers, fastest first.
+    pub const ALL: [Tier; 3] = [Tier::Device, Tier::GiantCache, Tier::HostDram];
+
+    /// Stable human-readable label (used in reports and sweep JSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Device => "device",
+            Tier::GiantCache => "giant_cache",
+            Tier::HostDram => "host_dram",
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            Tier::Device => 0,
+            Tier::GiantCache => 1,
+            Tier::HostDram => 2,
+        }
+    }
+}
+
+/// Byte capacity of each tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierCapacities {
+    /// Accelerator-resident bytes the placement engine may claim.
+    pub device_bytes: u64,
+    /// Giant-cache bytes (the resizable-BAR setting).
+    pub giant_cache_bytes: u64,
+    /// Plain host-DRAM bytes offered to offloaded tensors.
+    pub host_dram_bytes: u64,
+}
+
+impl TierCapacities {
+    /// The capacity of `tier`.
+    pub fn of(&self, tier: Tier) -> u64 {
+        match tier {
+            Tier::Device => self.device_bytes,
+            Tier::GiantCache => self.giant_cache_bytes,
+            Tier::HostDram => self.host_dram_bytes,
+        }
+    }
+}
+
+/// Errors from placement accounting and planning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TierError {
+    /// Placing (or migrating) the tensor would exceed the tier's capacity.
+    CapacityExceeded {
+        /// The tier that would overflow.
+        tier: Tier,
+        /// Bytes the operation needed.
+        requested: u64,
+        /// Bytes still free in that tier.
+        available: u64,
+    },
+    /// No tensor with this handle exists.
+    UnknownRegion(usize),
+    /// The planner was asked to plan a step it has already planned (or an
+    /// earlier one): migration decisions happen at most once per step
+    /// boundary, in strictly increasing step order.
+    NotAtBoundary {
+        /// The step the caller asked to plan.
+        step: u64,
+        /// The last step boundary already planned.
+        last_planned: u64,
+    },
+}
+
+impl std::fmt::Display for TierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TierError::CapacityExceeded { tier, requested, available } => write!(
+                f,
+                "tier {} capacity exceeded: requested {requested} B, {available} B available",
+                tier.label()
+            ),
+            TierError::UnknownRegion(h) => write!(f, "unknown placement region handle {h}"),
+            TierError::NotAtBoundary { step, last_planned } => write!(
+                f,
+                "step {step} is not a fresh boundary (last planned boundary: {last_planned})"
+            ),
+        }
+    }
+}
+impl std::error::Error for TierError {}
+
+/// One placed tensor (the placement map's unit of accounting).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacedTensor {
+    /// Human-readable tag (mirrors the giant-cache region name).
+    pub name: String,
+    /// Size in bytes.
+    pub bytes: u64,
+    /// Current tier.
+    pub tier: Tier,
+    /// Pinned tensors are never migrated (the policy layer pins tensor
+    /// classes whose layout the training loop hard-codes, e.g. the
+    /// parameter region a cluster broadcast targets).
+    pub pinned: bool,
+}
+
+/// Capacity-checked tensor→tier accounting. Handles are dense indices in
+/// placement order, so every walk is deterministic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementMap {
+    caps: TierCapacities,
+    tensors: Vec<PlacedTensor>,
+    used: [u64; 3],
+}
+
+impl PlacementMap {
+    /// An empty map over the given capacities.
+    pub fn new(caps: TierCapacities) -> Self {
+        PlacementMap { caps, tensors: Vec::new(), used: [0; 3] }
+    }
+
+    /// The configured capacities.
+    pub fn capacities(&self) -> TierCapacities {
+        self.caps
+    }
+
+    /// Bytes currently placed in `tier`.
+    pub fn used(&self, tier: Tier) -> u64 {
+        self.used[tier.idx()]
+    }
+
+    /// Bytes still free in `tier`.
+    pub fn free(&self, tier: Tier) -> u64 {
+        self.caps.of(tier) - self.used(tier)
+    }
+
+    /// Number of placed tensors.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// The placed tensors, in placement order (handle = index).
+    pub fn tensors(&self) -> &[PlacedTensor] {
+        &self.tensors
+    }
+
+    /// The tensor behind `handle`.
+    pub fn get(&self, handle: usize) -> Result<&PlacedTensor, TierError> {
+        self.tensors.get(handle).ok_or(TierError::UnknownRegion(handle))
+    }
+
+    /// The tier `handle` currently lives in.
+    pub fn tier_of(&self, handle: usize) -> Result<Tier, TierError> {
+        Ok(self.get(handle)?.tier)
+    }
+
+    /// Place a tensor in `tier`, capacity-checked. Returns its handle.
+    pub fn place(
+        &mut self,
+        name: impl Into<String>,
+        bytes: u64,
+        tier: Tier,
+        pinned: bool,
+    ) -> Result<usize, TierError> {
+        let free = self.free(tier);
+        if bytes > free {
+            return Err(TierError::CapacityExceeded { tier, requested: bytes, available: free });
+        }
+        self.used[tier.idx()] += bytes;
+        self.tensors.push(PlacedTensor { name: name.into(), bytes, tier, pinned });
+        Ok(self.tensors.len() - 1)
+    }
+
+    /// Place a tensor in the first tier of `order` with room, starting
+    /// from `preferred`. Returns the handle and the tier actually used.
+    pub fn place_with_fallback(
+        &mut self,
+        name: impl Into<String>,
+        bytes: u64,
+        preferred: Tier,
+        pinned: bool,
+        fallback: &[Tier],
+    ) -> Result<(usize, Tier), TierError> {
+        let name = name.into();
+        let mut last_err = None;
+        for &tier in std::iter::once(&preferred).chain(fallback) {
+            match self.place(name.clone(), bytes, tier, pinned) {
+                Ok(h) => return Ok((h, tier)),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("at least the preferred tier was tried"))
+    }
+
+    /// Apply a migration plan, re-validating every move against the
+    /// capacities (a plan produced against this map always validates; the
+    /// check catches replaying a foreign or stale plan).
+    pub fn apply(&mut self, plan: &MigrationPlan) -> Result<(), TierError> {
+        for mv in &plan.moves {
+            let t = self.get(mv.region)?;
+            debug_assert_eq!(t.tier, mv.from, "plan disagrees with map on source tier");
+            debug_assert_eq!(t.bytes, mv.bytes, "plan disagrees with map on size");
+            let free = self.free(mv.to);
+            if mv.bytes > free {
+                return Err(TierError::CapacityExceeded {
+                    tier: mv.to,
+                    requested: mv.bytes,
+                    available: free,
+                });
+            }
+            self.used[mv.from.idx()] -= mv.bytes;
+            self.used[mv.to.idx()] += mv.bytes;
+            self.tensors[mv.region].tier = mv.to;
+        }
+        Ok(())
+    }
+}
+
+/// Per-region access heat for one decay window (one training step).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionHeat {
+    /// Read transactions observed.
+    pub reads: u64,
+    /// Write transactions observed.
+    pub writes: u64,
+    /// Bytes read.
+    pub read_bytes: u64,
+    /// Bytes written.
+    pub write_bytes: u64,
+}
+
+impl RegionHeat {
+    /// The planner's scalar heat score: total transactions this window.
+    pub fn score(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    fn decay(&mut self) {
+        // Deterministic integer halving: history fades geometrically, and
+        // two identical traces always decay identically.
+        self.reads >>= 1;
+        self.writes >>= 1;
+        self.read_bytes >>= 1;
+        self.write_bytes >>= 1;
+    }
+}
+
+/// Per-region heat accounting, fed by the session's coherence-transaction
+/// stream and decayed once per step boundary.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeatTracker {
+    heats: Vec<RegionHeat>,
+}
+
+impl HeatTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grow to cover handle `h` (new slots start cold).
+    pub fn ensure(&mut self, h: usize) {
+        if h >= self.heats.len() {
+            self.heats.resize(h + 1, RegionHeat::default());
+        }
+    }
+
+    /// Record a read of `bytes` against region `h`.
+    pub fn record_read(&mut self, h: usize, bytes: u64) {
+        self.ensure(h);
+        self.heats[h].reads += 1;
+        self.heats[h].read_bytes += bytes;
+    }
+
+    /// Record a write of `bytes` against region `h`.
+    pub fn record_write(&mut self, h: usize, bytes: u64) {
+        self.ensure(h);
+        self.heats[h].writes += 1;
+        self.heats[h].write_bytes += bytes;
+    }
+
+    /// The heat of region `h` (cold if never seen).
+    pub fn heat(&self, h: usize) -> RegionHeat {
+        self.heats.get(h).copied().unwrap_or_default()
+    }
+
+    /// Decay every region's heat (called once per step boundary, after
+    /// planning, so a plan sees the full just-finished window).
+    pub fn end_step(&mut self) {
+        for h in &mut self.heats {
+            h.decay();
+        }
+    }
+}
+
+/// One tensor migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationMove {
+    /// The tensor's placement handle.
+    pub region: usize,
+    /// Tier it leaves.
+    pub from: Tier,
+    /// Tier it enters.
+    pub to: Tier,
+    /// Bytes moved across the link.
+    pub bytes: u64,
+}
+
+/// A step boundary's migration decisions, in application order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationPlan {
+    /// The step boundary this plan belongs to.
+    pub step: u64,
+    /// The moves, demotions first (they free the capacity promotions
+    /// consume).
+    pub moves: Vec<MigrationMove>,
+}
+
+impl MigrationPlan {
+    /// A plan with nothing to do.
+    pub fn empty(step: u64) -> Self {
+        MigrationPlan { step, moves: Vec::new() }
+    }
+
+    /// Total bytes the plan moves.
+    pub fn bytes(&self) -> u64 {
+        self.moves.iter().map(|m| m.bytes).sum()
+    }
+}
+
+/// Heat thresholds steering promotion/demotion between the giant cache
+/// and plain host DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlannerConfig {
+    /// A host-DRAM tensor whose heat score reaches this is promoted into
+    /// the giant cache (capacity permitting).
+    pub promote_score: u64,
+    /// A giant-cache tensor whose heat score falls to or below this is
+    /// demoted to host DRAM.
+    pub demote_score: u64,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig { promote_score: 4, demote_score: 0 }
+    }
+}
+
+impl PlannerConfig {
+    /// Validate the thresholds; a demote threshold at or above the promote
+    /// threshold would oscillate a tensor between tiers every step.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.demote_score >= self.promote_score {
+            return Err(format!(
+                "demote_score {} must be below promote_score {}",
+                self.demote_score, self.promote_score
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The step-boundary migration planner. Device-tier tensors are fixed by
+/// the allocation policy; the planner shuttles *unpinned* tensors between
+/// the giant cache and plain host DRAM by heat.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationPlanner {
+    cfg: PlannerConfig,
+    /// Last step boundary planned; `u64::MAX` sentinel = none yet.
+    last_planned: u64,
+}
+
+/// Sentinel for "no boundary planned yet" (keeps the snapshot a plain
+/// integer).
+const NEVER_PLANNED: u64 = u64::MAX;
+
+impl MigrationPlanner {
+    /// A planner with the given thresholds.
+    pub fn new(cfg: PlannerConfig) -> Self {
+        MigrationPlanner { cfg, last_planned: NEVER_PLANNED }
+    }
+
+    /// The thresholds.
+    pub fn config(&self) -> PlannerConfig {
+        self.cfg
+    }
+
+    /// The last boundary planned, if any.
+    pub fn last_planned_step(&self) -> Option<u64> {
+        (self.last_planned != NEVER_PLANNED).then_some(self.last_planned)
+    }
+
+    /// Plan the migrations for the boundary after `step`. Deterministic:
+    /// demotions in ascending handle order first, then promotions in
+    /// descending heat-score order (ties broken by ascending handle),
+    /// admitted only while the giant cache has room. Errors with
+    /// [`TierError::NotAtBoundary`] when `step` is not strictly beyond the
+    /// last planned boundary — the planner structurally cannot migrate
+    /// mid-step or double-plan a boundary.
+    pub fn plan(
+        &mut self,
+        step: u64,
+        heat: &HeatTracker,
+        map: &PlacementMap,
+    ) -> Result<MigrationPlan, TierError> {
+        if self.last_planned != NEVER_PLANNED && step <= self.last_planned {
+            return Err(TierError::NotAtBoundary { step, last_planned: self.last_planned });
+        }
+        self.last_planned = step;
+
+        let mut plan = MigrationPlan::empty(step);
+        let mut cache_free = map.free(Tier::GiantCache);
+        let mut dram_free = map.free(Tier::HostDram);
+
+        // Demotions first: cold giant-cache tensors head to host DRAM,
+        // freeing the room promotions below will want.
+        for (h, t) in map.tensors().iter().enumerate() {
+            if t.pinned || t.tier != Tier::GiantCache {
+                continue;
+            }
+            if heat.heat(h).score() <= self.cfg.demote_score && t.bytes <= dram_free {
+                dram_free -= t.bytes;
+                cache_free += t.bytes;
+                plan.moves.push(MigrationMove {
+                    region: h,
+                    from: Tier::GiantCache,
+                    to: Tier::HostDram,
+                    bytes: t.bytes,
+                });
+            }
+        }
+
+        // Promotions: hot host-DRAM tensors move into the giant cache,
+        // hottest first, while capacity lasts.
+        let mut candidates: Vec<(u64, usize)> = map
+            .tensors()
+            .iter()
+            .enumerate()
+            .filter(|(h, t)| {
+                !t.pinned
+                    && t.tier == Tier::HostDram
+                    && heat.heat(*h).score() >= self.cfg.promote_score
+            })
+            .map(|(h, _)| (heat.heat(h).score(), h))
+            .collect();
+        candidates.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for (_, h) in candidates {
+            let bytes = map.tensors()[h].bytes;
+            if bytes <= cache_free {
+                cache_free -= bytes;
+                plan.moves.push(MigrationMove {
+                    region: h,
+                    from: Tier::HostDram,
+                    to: Tier::GiantCache,
+                    bytes,
+                });
+            }
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps() -> TierCapacities {
+        TierCapacities { device_bytes: 1024, giant_cache_bytes: 4096, host_dram_bytes: 1 << 20 }
+    }
+
+    #[test]
+    fn place_and_account() {
+        let mut m = PlacementMap::new(caps());
+        let p = m.place("params", 2048, Tier::GiantCache, true).unwrap();
+        let g = m.place("grads", 1024, Tier::GiantCache, false).unwrap();
+        assert_eq!((p, g), (0, 1));
+        assert_eq!(m.used(Tier::GiantCache), 3072);
+        assert_eq!(m.free(Tier::GiantCache), 1024);
+        let err = m.place("too_big", 2048, Tier::GiantCache, false).unwrap_err();
+        assert!(matches!(err, TierError::CapacityExceeded { tier: Tier::GiantCache, .. }));
+    }
+
+    #[test]
+    fn fallback_walks_tiers_in_order() {
+        let mut m = PlacementMap::new(caps());
+        m.place("fill", 1024, Tier::Device, true).unwrap();
+        let (_, tier) =
+            m.place_with_fallback("small", 512, Tier::Device, false, &[Tier::GiantCache]).unwrap();
+        assert_eq!(tier, Tier::GiantCache, "full device tier falls back to the giant cache");
+    }
+
+    #[test]
+    fn heat_decays_deterministically() {
+        let mut h = HeatTracker::new();
+        h.record_write(2, 64);
+        h.record_write(2, 64);
+        h.record_read(2, 64);
+        assert_eq!(h.heat(2).score(), 3);
+        h.end_step();
+        assert_eq!(h.heat(2), RegionHeat { reads: 0, writes: 1, read_bytes: 32, write_bytes: 64 });
+        assert_eq!(h.heat(0), RegionHeat::default());
+    }
+
+    #[test]
+    fn planner_promotes_and_demotes_by_heat() {
+        let mut m = PlacementMap::new(caps());
+        let cold = m.place("cold", 1024, Tier::GiantCache, false).unwrap();
+        let hot = m.place("hot", 2048, Tier::HostDram, false).unwrap();
+        let pinned = m.place("pinned", 512, Tier::GiantCache, true).unwrap();
+        let mut heat = HeatTracker::new();
+        for _ in 0..8 {
+            heat.record_write(hot, 64);
+        }
+        let mut planner = MigrationPlanner::new(PlannerConfig::default());
+        let plan = planner.plan(0, &heat, &m).unwrap();
+        assert_eq!(plan.moves.len(), 2);
+        assert_eq!(plan.moves[0].region, cold);
+        assert_eq!(plan.moves[0].to, Tier::HostDram);
+        assert_eq!(plan.moves[1].region, hot);
+        assert_eq!(plan.moves[1].to, Tier::GiantCache);
+        assert!(plan.moves.iter().all(|mv| mv.region != pinned));
+        m.apply(&plan).unwrap();
+        assert_eq!(m.tier_of(hot).unwrap(), Tier::GiantCache);
+        assert_eq!(m.tier_of(cold).unwrap(), Tier::HostDram);
+    }
+
+    #[test]
+    fn planner_rejects_replayed_boundary() {
+        let m = PlacementMap::new(caps());
+        let heat = HeatTracker::new();
+        let mut planner = MigrationPlanner::new(PlannerConfig::default());
+        planner.plan(3, &heat, &m).unwrap();
+        let err = planner.plan(3, &heat, &m).unwrap_err();
+        assert_eq!(err, TierError::NotAtBoundary { step: 3, last_planned: 3 });
+        assert!(planner.plan(2, &heat, &m).is_err());
+        assert!(planner.plan(4, &heat, &m).is_ok());
+    }
+
+    #[test]
+    fn promotion_respects_capacity() {
+        let mut m = PlacementMap::new(TierCapacities {
+            device_bytes: 0,
+            giant_cache_bytes: 2048,
+            host_dram_bytes: 1 << 20,
+        });
+        m.place("resident", 1536, Tier::GiantCache, true).unwrap();
+        let big = m.place("big_hot", 1024, Tier::HostDram, false).unwrap();
+        let small = m.place("small_hot", 512, Tier::HostDram, false).unwrap();
+        let mut heat = HeatTracker::new();
+        for _ in 0..10 {
+            heat.record_write(big, 64);
+        }
+        for _ in 0..5 {
+            heat.record_write(small, 64);
+        }
+        let mut planner = MigrationPlanner::new(PlannerConfig::default());
+        let plan = planner.plan(0, &heat, &m).unwrap();
+        // The hottest candidate does not fit; the next one does.
+        assert_eq!(plan.moves.len(), 1);
+        assert_eq!(plan.moves[0].region, small);
+        m.apply(&plan).unwrap();
+        assert!(m.used(Tier::GiantCache) <= m.capacities().giant_cache_bytes);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut m = PlacementMap::new(caps());
+        m.place("a", 256, Tier::Device, false).unwrap();
+        m.place("b", 512, Tier::HostDram, false).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: PlacementMap = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+
+        let mut planner = MigrationPlanner::new(PlannerConfig::default());
+        let heat = HeatTracker::new();
+        planner.plan(1, &heat, &m).unwrap();
+        let json = serde_json::to_string(&planner).unwrap();
+        let back: MigrationPlanner = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, planner);
+        assert_eq!(back.last_planned_step(), Some(1));
+    }
+}

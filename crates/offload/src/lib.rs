@@ -20,7 +20,10 @@ pub mod schedule;
 pub mod sweep;
 pub mod timing;
 
-pub use autotune::{expected_improvement, minimize, BoResult, GaussianProcess};
+pub use autotune::{
+    autotune_giant_cache, expected_improvement, giant_cache_working_set, minimize, BoResult,
+    GaussianProcess, GiantCacheTune,
+};
 pub use baselines::{dpu_hiding_fraction, simulate_prefetch_step, simulate_zero_offload_dpu};
 pub use convergence::{dba_merge_bits, ConvergenceConfig, ConvergenceResult, DbaSchedule, Task};
 pub use cost::DatacenterModel;
@@ -29,7 +32,8 @@ pub use memory::{cpu_layout, gpu_layout, CpuLayout, GpuLayout};
 pub use multistep::{simulate_dpu_run, simulate_run, RunResult};
 pub use report::{
     chaos_report_md, churn_report_md, collective_report_md, fault_report_md, md_table,
-    scaling_report_md, timing_report, ChaosPoint, ChurnPoint, CollectivePoint, ScalingPoint,
+    placement_report_md, scaling_report_md, timing_report, ChaosPoint, ChurnPoint, CollectivePoint,
+    PlacementPoint, ScalingPoint,
 };
 pub use schedule::{
     dba_payload_fraction, simulate_step, simulate_teco_dba, Breakdown, StepResult, System,
